@@ -1,0 +1,108 @@
+// Reproduces Figure 10: eviction policies under a limited number of
+// recycle-pool entries ("cache lines"). The mixed 200-query batch first runs
+// with KEEPALL/unlimited to measure total resource needs; then each policy
+// runs with the entry budget limited to 80/60/40/20% of that total. We
+// report cumulative hit ratio (relative to potential hits) along the batch
+// and the total time relative to the naive strategy.
+
+#include "bench/bench_common.h"
+
+using namespace recycledb;        // NOLINT
+using namespace recycledb::bench; // NOLINT
+
+namespace {
+
+struct Series {
+  std::vector<double> hit_ratio_at;  // sampled every 25 queries
+  double time_ms = 0;
+};
+
+Series RunLimited(Catalog* cat, const MixedBatch& batch, size_t max_entries,
+                  EvictionKind ev, AdmissionKind adm) {
+  RecyclerConfig cfg;
+  cfg.admission = adm;
+  cfg.credits = 5;
+  cfg.eviction = ev;
+  cfg.max_entries = max_entries;
+  Recycler rec(cfg);
+  Interpreter interp(cat, &rec);
+  Series s;
+  StopWatch sw;
+  int i = 0;
+  for (const auto& [t, params] : batch.queries) {
+    MustRun(&interp, batch.templates[t].prog, params);
+    if (++i % 25 == 0) {
+      s.hit_ratio_at.push_back(
+          rec.stats().monitored
+              ? static_cast<double>(rec.stats().hits) / rec.stats().monitored
+              : 0);
+    }
+  }
+  s.time_ms = sw.ElapsedMillis();
+  return s;
+}
+
+void PrintSeries(const char* label, const Series& s, double naive_ms) {
+  std::printf("%-12s", label);
+  for (double h : s.hit_ratio_at) std::printf(" %5.2f", h);
+  std::printf(" | t/naive %.2f\n", s.time_ms / naive_ms);
+}
+
+}  // namespace
+
+int main() {
+  auto cat = MakeTpchDb(EnvSf());
+  MixedBatch batch = MakeMixedBatch();
+
+  // Naive baseline and KEEPALL/unlimited resource measurement.
+  double naive_ms;
+  {
+    Interpreter naive(cat.get());
+    for (size_t t = 0; t < batch.templates.size(); ++t)
+      MustRun(&naive, batch.templates[t].prog, batch.queries[t].second);
+    StopWatch sw;
+    for (const auto& [t, params] : batch.queries)
+      MustRun(&naive, batch.templates[t].prog, params);
+    naive_ms = sw.ElapsedMillis();
+  }
+  Series unlimited = RunLimited(cat.get(), batch, 0, EvictionKind::kLru,
+                                AdmissionKind::kKeepAll);
+  size_t total_entries;
+  {
+    Recycler rec;
+    Interpreter interp(cat.get(), &rec);
+    for (const auto& [t, params] : batch.queries)
+      MustRun(&interp, batch.templates[t].prog, params);
+    total_entries = rec.pool().num_entries();
+  }
+
+  std::printf(
+      "Figure 10: eviction under limited RP entries (total needed: %zu)\n"
+      "cumulative hit ratio sampled every 25 of 200 queries\n\n",
+      total_entries);
+  PrintSeries("No limit", unlimited, naive_ms);
+  for (int pct : {80, 60, 40, 20}) {
+    size_t limit = total_entries * pct / 100;
+    std::printf("\n-- %d%% cache lines (%zu entries) --\n", pct, limit);
+    PrintSeries("LRU", RunLimited(cat.get(), batch, limit,
+                                  EvictionKind::kLru, AdmissionKind::kKeepAll),
+                naive_ms);
+    PrintSeries("BP", RunLimited(cat.get(), batch, limit,
+                                 EvictionKind::kBenefit,
+                                 AdmissionKind::kKeepAll),
+                naive_ms);
+    PrintSeries("CRD+LRU", RunLimited(cat.get(), batch, limit,
+                                      EvictionKind::kLru,
+                                      AdmissionKind::kCredit),
+                naive_ms);
+    PrintSeries("CRD+BP", RunLimited(cat.get(), batch, limit,
+                                     EvictionKind::kBenefit,
+                                     AdmissionKind::kCredit),
+                naive_ms);
+  }
+  std::printf(
+      "\nShape check vs paper: limits >= 40%% barely affect the hit ratio;\n"
+      "the 20%% limit drops it substantially while all policies stay well\n"
+      "under the naive time; CRD improves LRU under severe limits.\n");
+  return 0;
+}

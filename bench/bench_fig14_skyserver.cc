@@ -1,0 +1,113 @@
+// Reproduces Figure 14: total time of the SkyServer query batch under the
+// naive strategy, the resource-limited recycler (CRD admission + LRU
+// eviction, memory capped at 65% of the unlimited footprint, following the
+// paper's 1 GB / 1.5 GB proportion), and KEEPALL/unlimited. Batches of
+// 4x25, 2x50 and 1x100 queries, with the pool emptied between sub-batches
+// to model update-driven resets; plus a longer confirmation batch.
+
+#include "bench/bench_common.h"
+
+using namespace recycledb;        // NOLINT
+using namespace recycledb::bench; // NOLINT
+
+namespace {
+
+struct Workload {
+  std::vector<std::pair<int, std::vector<Scalar>>> queries;  // kind, params
+};
+
+Workload MakeWorkload(int n, size_t objects, uint64_t seed) {
+  skyserver::SkyConfig cfg;
+  cfg.n_objects = objects;
+  skyserver::SkyLogSampler sampler(cfg, seed);
+  Workload w;
+  for (int i = 0; i < n; ++i) {
+    auto q = sampler.Next();
+    w.queries.emplace_back(q.kind, q.params);
+  }
+  return w;
+}
+
+double RunBatches(Catalog* cat, const Workload& w, int n_batches,
+                  Recycler* rec, const Program* progs[3]) {
+  Interpreter interp(cat, rec);
+  size_t per = w.queries.size() / n_batches;
+  StopWatch sw;
+  for (int b = 0; b < n_batches; ++b) {
+    if (rec != nullptr) rec->Clear();  // batch boundary: pool reset
+    for (size_t i = b * per; i < (b + 1) * per; ++i) {
+      MustRun(&interp, *progs[w.queries[i].first], w.queries[i].second);
+    }
+  }
+  return sw.ElapsedMillis();
+}
+
+}  // namespace
+
+int main() {
+  size_t objects = EnvSkyObjects();
+  auto cat = MakeSkyDb(objects);
+  Program cone = skyserver::BuildConeSearchTemplate();
+  Program doc = skyserver::BuildDocQueryTemplate();
+  Program point = skyserver::BuildPointQueryTemplate();
+  const Program* progs[3] = {&cone, &doc, &point};
+
+  Workload w100 = MakeWorkload(100, objects, 31);
+
+  // Warm-up pass (naive) per §8 preparation.
+  {
+    Interpreter warm(cat.get());
+    for (auto& [k, p] : w100.queries) MustRun(&warm, *progs[k], p);
+  }
+
+  // KEEPALL/unlimited footprint to scale the limited variant.
+  size_t footprint;
+  {
+    Recycler rec;
+    Interpreter interp(cat.get(), &rec);
+    for (auto& [k, p] : w100.queries) MustRun(&interp, *progs[k], p);
+    footprint = rec.pool().total_bytes();
+  }
+
+  std::printf("Figure 14: SkyServer batch times (ms); %zu objects\n",
+              objects);
+  std::printf("%-8s %10s %12s %16s\n", "batch", "Naive", "CRD/LRU-65%",
+              "KeepAll/Unlim");
+  PrintRule(52);
+  for (int n_batches : {4, 2, 1}) {
+    double naive = RunBatches(cat.get(), w100, n_batches, nullptr, progs);
+    RecyclerConfig lim;
+    lim.admission = AdmissionKind::kCredit;
+    lim.credits = 5;
+    lim.eviction = EvictionKind::kLru;
+    lim.max_bytes = footprint * 65 / 100;
+    Recycler rec_lim(lim);
+    double limited = RunBatches(cat.get(), w100, n_batches, &rec_lim, progs);
+    Recycler rec_ka;
+    double keepall = RunBatches(cat.get(), w100, n_batches, &rec_ka, progs);
+    std::printf("%dx%-5zu %10.1f %12.1f %16.1f\n", n_batches,
+                w100.queries.size() / n_batches, naive, limited, keepall);
+  }
+
+  // Longer confirmation batch (paper: 500 queries).
+  Workload w300 = MakeWorkload(300, objects, 77);
+  double naive = RunBatches(cat.get(), w300, 1, nullptr, progs);
+  Recycler rec_ka;
+  double keepall = RunBatches(cat.get(), w300, 1, &rec_ka, progs);
+  RecyclerConfig lim;
+  lim.admission = AdmissionKind::kCredit;
+  lim.credits = 5;
+  lim.eviction = EvictionKind::kLru;
+  lim.max_bytes = footprint * 65 / 100;
+  Recycler rec_lim(lim);
+  double limited = RunBatches(cat.get(), w300, 1, &rec_lim, progs);
+  PrintRule(52);
+  std::printf("%-8s %10.1f %12.1f %16.1f\n", "1x300", naive, limited, keepall);
+
+  std::printf(
+      "\nShape check vs paper: KEEPALL/unlimited achieves order(s) of\n"
+      "magnitude speedup over naive (785s -> 14s in the paper); the\n"
+      "memory-limited CRD/LRU variant lands at a fraction of naive time;\n"
+      "shorter sub-batches pay a small re-population overhead.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Figure 7: effect of the CREDIT admission parameter on the hit
+// ratio relative to KEEPALL (a), on reused memory % (b), and on reused
+// recycle-pool entries % (c), for Q11 (intra), Q18 and Q19 (inter), with
+// 10 instances each and unlimited resources.
+
+#include "bench/bench_common.h"
+
+using namespace recycledb;        // NOLINT
+using namespace recycledb::bench; // NOLINT
+
+namespace {
+
+struct RunResult {
+  uint64_t hits = 0;
+  double reused_mem_pct = 0;
+  double reused_entries_pct = 0;
+};
+
+RunResult RunInstances(Catalog* cat, int qnum, AdmissionKind adm,
+                       int credits) {
+  auto q = tpch::BuildQuery(qnum);
+  Rng rng(40 + qnum);  // identical parameter sequence across policies
+  RecyclerConfig cfg;
+  cfg.admission = adm;
+  cfg.credits = credits;
+  Recycler rec(cfg);
+  Interpreter interp(cat, &rec);
+  for (int i = 0; i < 10; ++i) MustRun(&interp, q.prog, q.gen_params(rng));
+  RunResult r;
+  r.hits = rec.stats().hits;
+  size_t total = rec.pool().total_bytes();
+  size_t entries = rec.pool().num_entries();
+  r.reused_mem_pct = total ? 100.0 * rec.pool().ReusedBytes() / total : 0;
+  r.reused_entries_pct =
+      entries ? 100.0 * rec.pool().ReusedEntries() / entries : 0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  auto cat = MakeTpchDb(EnvSf());
+  const int kQueries[] = {11, 18, 19};
+
+  std::printf("Figure 7: CREDIT admission vs KEEPALL (10 instances each)\n");
+  std::printf("%-7s %8s | %9s %10s %10s | %10s %10s\n", "Query", "credits",
+              "hit/KA", "mem%%(CRD)", "mem%%(KA)", "ent%%(CRD)", "ent%%(KA)");
+  PrintRule(78);
+
+  for (int qn : kQueries) {
+    RunResult keepall = RunInstances(cat.get(), qn,
+                                     AdmissionKind::kKeepAll, 0);
+    for (int credits = 2; credits <= 10; credits += 2) {
+      RunResult crd =
+          RunInstances(cat.get(), qn, AdmissionKind::kCredit, credits);
+      std::printf("Q%-6d %8d | %9.2f %10.1f %10.1f | %10.1f %10.1f\n", qn,
+                  credits,
+                  keepall.hits ? static_cast<double>(crd.hits) / keepall.hits
+                               : 0,
+                  crd.reused_mem_pct, keepall.reused_mem_pct,
+                  crd.reused_entries_pct, keepall.reused_entries_pct);
+    }
+    PrintRule(78);
+  }
+  std::printf(
+      "Shape check vs paper: Q11's hit ratio is credit-insensitive (local\n"
+      "reuse returns credits); Q18/Q19 hit ratios climb with credits while\n"
+      "resource utilisation degrades; CREDIT always reuses a larger\n"
+      "fraction of its (smaller) pool than KEEPALL.\n");
+  return 0;
+}

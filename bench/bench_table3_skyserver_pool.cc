@@ -1,0 +1,93 @@
+// Reproduces Table III: the recycle-pool content after the SkyServer
+// 100-query batch under KEEPALL/unlimited. Per instruction type: number of
+// cache lines, memory, average computation time, reused cache lines, total
+// reuses, and average time saved per reuse. Also reports the paper's
+// headline: the fraction of monitored instructions successfully reused.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace recycledb;        // NOLINT
+using namespace recycledb::bench; // NOLINT
+
+int main() {
+  auto cat = MakeSkyDb(EnvSkyObjects());
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+
+  Program cone = skyserver::BuildConeSearchTemplate();
+  Program doc = skyserver::BuildDocQueryTemplate();
+  Program point = skyserver::BuildPointQueryTemplate();
+  skyserver::SkyConfig cfg;
+  cfg.n_objects = EnvSkyObjects();
+  skyserver::SkyLogSampler sampler(cfg, 2024);
+
+  // Warm up, then empty the pool (§8 preparation).
+  MustRun(&interp, cone,
+          {Scalar::Dbl(0), Scalar::Dbl(5), Scalar::Dbl(0), Scalar::Dbl(5)});
+  rec.Clear();
+
+  const int kBatch = 100;
+  for (int i = 0; i < kBatch; ++i) {
+    skyserver::SkyQuery q = sampler.Next();
+    const Program& prog = q.kind == 0 ? cone : (q.kind == 1 ? doc : point);
+    MustRun(&interp, prog, q.params);
+  }
+
+  struct Row {
+    size_t lines = 0;
+    size_t bytes = 0;
+    double cost_ms = 0;
+    size_t reused_lines = 0;
+    uint64_t reuses = 0;
+    double saved_ms = 0;
+  };
+  std::map<std::string, Row> rows;
+  Row total;
+  for (const PoolEntry* e :
+       const_cast<const RecyclePool&>(rec.pool()).Entries()) {
+    Row& r = rows[OpcodeName(e->op)];
+    int uses = e->reuses + e->subsumption_uses;
+    r.lines += 1;
+    r.bytes += e->owned_bytes;
+    r.cost_ms += e->cost_ms;
+    r.reused_lines += uses > 0 ? 1 : 0;
+    r.reuses += static_cast<uint64_t>(uses);
+    r.saved_ms += e->cost_ms * uses;
+    total.lines += 1;
+    total.bytes += e->owned_bytes;
+    total.cost_ms += e->cost_ms;
+    total.reused_lines += uses > 0 ? 1 : 0;
+    total.reuses += static_cast<uint64_t>(uses);
+    total.saved_ms += e->cost_ms * uses;
+  }
+
+  std::printf("Table III: recycle pool after the %d-query SkyServer batch\n",
+              kBatch);
+  std::printf("%-22s %6s %9s %9s %8s %8s %10s\n", "Instruction", "lines",
+              "mem(KB)", "avg(ms)", "#reused", "#reuses", "saved(ms)");
+  PrintRule(80);
+  for (const auto& [name, r] : rows) {
+    std::printf("%-22s %6zu %9.1f %9.3f %8zu %8llu %10.1f\n", name.c_str(),
+                r.lines, r.bytes / 1024.0,
+                r.lines ? r.cost_ms / r.lines : 0, r.reused_lines,
+                static_cast<unsigned long long>(r.reuses), r.saved_ms);
+  }
+  PrintRule(80);
+  std::printf("%-22s %6zu %9.1f %9s %8zu %8llu %10.1f\n", "Total", total.lines,
+              total.bytes / 1024.0, "", total.reused_lines,
+              static_cast<unsigned long long>(total.reuses), total.saved_ms);
+
+  std::printf(
+      "\nmonitored executions: %llu, reused: %llu (%.1f%%)\n"
+      "RP memory: %.2f MB (persistent data: %.2f MB)\n",
+      static_cast<unsigned long long>(rec.stats().monitored),
+      static_cast<unsigned long long>(rec.stats().hits),
+      100.0 * rec.stats().hits / rec.stats().monitored,
+      Mb(rec.pool().total_bytes()), Mb(cat->TotalPersistentBytes()));
+  std::printf(
+      "\nShape check vs paper: ~95%% of monitored instructions reused; join\n"
+      "lines dominate memory and savings; bind/markT lines own no memory.\n");
+  return 0;
+}

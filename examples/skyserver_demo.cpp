@@ -1,0 +1,75 @@
+// SkyServer demo: replay a web-telescope query log (cone searches with
+// popular sky regions, documentation lookups, point queries) and watch the
+// recycler self-materialise the hot PhotoPrimary projection — the §8
+// scenario where recycling gave a tenfold improvement over a DBA-tuned
+// database.
+//
+//   ./skyserver_demo       (120k objects; override with RDB_SKY_OBJECTS)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/recycler.h"
+#include "util/check.h"
+#include "interp/interpreter.h"
+#include "skyserver/skyserver.h"
+#include "util/timer.h"
+
+using namespace recycledb;  // NOLINT: example code
+
+int main() {
+  skyserver::SkyConfig cfg;
+  cfg.n_objects = 120000;
+  if (const char* v = std::getenv("RDB_SKY_OBJECTS"))
+    cfg.n_objects = static_cast<size_t>(std::atoll(v));
+
+  Catalog cat;
+  RDB_CHECK(skyserver::LoadSkyServer(&cat, cfg).ok());
+  std::printf("SkyServer-like catalog: %zu objects, %zu columns projected by "
+              "the hot query\n",
+              cfg.n_objects, skyserver::PhotoProperties().size() + 1);
+
+  Program cone = skyserver::BuildConeSearchTemplate();
+  Program doc = skyserver::BuildDocQueryTemplate();
+  Program point = skyserver::BuildPointQueryTemplate();
+  const Program* progs[3] = {&cone, &doc, &point};
+  const char* names[3] = {"cone-search", "doc-page", "point"};
+
+  skyserver::SkyLogSampler sampler(cfg, 555);
+  std::vector<skyserver::SkyQuery> log;
+  for (int i = 0; i < 120; ++i) log.push_back(sampler.Next());
+
+  // Naive pass.
+  Interpreter naive(&cat);
+  StopWatch sw;
+  int counts[3] = {0, 0, 0};
+  for (const auto& q : log) {
+    RDB_CHECK(naive.Run(*progs[q.kind], q.params).ok());
+    ++counts[q.kind];
+  }
+  double t_naive = sw.ElapsedMillis();
+
+  // Recycled pass.
+  Recycler recycler;
+  Interpreter recycled(&cat, &recycler);
+  sw.Restart();
+  for (const auto& q : log) {
+    RDB_CHECK(recycled.Run(*progs[q.kind], q.params).ok());
+  }
+  double t_rec = sw.ElapsedMillis();
+
+  std::printf("\nlog mix: ");
+  for (int k = 0; k < 3; ++k) std::printf("%s=%d  ", names[k], counts[k]);
+  std::printf("\nnaive:    %8.1f ms\nrecycled: %8.1f ms  (%.1fx)\n", t_naive,
+              t_rec, t_naive / t_rec);
+  std::printf(
+      "reuse: %llu of %llu monitored instructions (%.1f%%), pool %.2f MB\n",
+      static_cast<unsigned long long>(recycler.stats().hits),
+      static_cast<unsigned long long>(recycler.stats().monitored),
+      100.0 * recycler.stats().hits / recycler.stats().monitored,
+      static_cast<double>(recycler.pool().total_bytes()) / (1024 * 1024));
+  std::printf(
+      "\nThe recycler detected and materialised the queried projection over\n"
+      "the PhotoPrimary view without any human intervention (paper §8.2).\n");
+  return 0;
+}

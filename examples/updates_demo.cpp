@@ -1,0 +1,97 @@
+// Volatile-database demo (§6): what happens to the recycle pool when the
+// base tables change. Shows both implemented synchronisation mechanisms:
+// immediate column-wise invalidation (§6.4) and insert propagation through
+// cached selections (§6.3).
+//
+//   ./updates_demo
+
+#include <cstdio>
+
+#include "core/recycler.h"
+#include "util/check.h"
+#include "core/recycler_optimizer.h"
+#include "interp/interpreter.h"
+#include "mal/plan_builder.h"
+
+using namespace recycledb;  // NOLINT: example code
+
+namespace {
+
+Program RangeSum() {
+  PlanBuilder b("range_sum");
+  int lo = b.Param("A0");
+  int hi = b.Param("A1");
+  int v = b.Bind("t", "v");
+  int sel = b.Select(v, lo, hi, true, true);
+  int cand = b.Reverse(b.MarkT(sel, 0));
+  int w = b.Join(cand, b.Bind("t", "w"));
+  b.ExportValue(b.AggrCount(w), "n");
+  b.ExportValue(b.AggrSum(w), "sum");
+  Program p = b.Build();
+  MarkForRecycling(&p);
+  return p;
+}
+
+void Load(Catalog* cat) {
+  cat->CreateTable("t", {{"v", TypeTag::kInt}, {"w", TypeTag::kLng}});
+  std::vector<int32_t> v;
+  std::vector<int64_t> w;
+  for (int i = 0; i < 100000; ++i) {
+    v.push_back(i % 1000);
+    w.push_back(i);
+  }
+  RDB_CHECK(cat->LoadColumn<int32_t>("t", "v", std::move(v)).ok());
+  RDB_CHECK(cat->LoadColumn<int64_t>("t", "w", std::move(w)).ok());
+}
+
+void Demo(bool propagate) {
+  Catalog cat;
+  Load(&cat);
+  Recycler rec;
+  cat.SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+    if (propagate)
+      rec.PropagateUpdate(&cat, cols);
+    else
+      rec.OnCatalogUpdate(cols);
+  });
+  Interpreter interp(&cat, &rec);
+  Program prog = RangeSum();
+  std::vector<Scalar> params{Scalar::Int(100), Scalar::Int(200)};
+
+  std::printf("\n=== %s ===\n",
+              propagate ? "insert propagation (§6.3)"
+                        : "immediate invalidation (§6.4)");
+  RDB_CHECK(interp.Run(prog, params).ok());
+  std::printf("after query 1: pool=%zu entries\n", rec.pool().num_entries());
+
+  // Insert rows, two of which fall inside the cached range.
+  RDB_CHECK(cat.Append("t", {{Scalar::Int(150), Scalar::Lng(1000000)},
+                             {Scalar::Int(180), Scalar::Lng(2000000)},
+                             {Scalar::Int(999), Scalar::Lng(3000000)}})
+                .ok());
+  RDB_CHECK(cat.Commit().ok());
+  std::printf("after insert commit: pool=%zu entries, invalidated=%llu, "
+              "propagated=%llu\n",
+              rec.pool().num_entries(),
+              static_cast<unsigned long long>(rec.stats().invalidated),
+              static_cast<unsigned long long>(rec.stats().propagated));
+
+  auto r = interp.Run(prog, params);
+  RDB_CHECK(r.ok());
+  std::printf("re-run: %s", r.value().ToString().c_str());
+  std::printf("hits so far: %llu (propagation keeps the refreshed select "
+              "reusable)\n",
+              static_cast<unsigned long long>(rec.stats().hits));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Recycling with updates: the two §6 synchronisation designs\n");
+  Demo(/*propagate=*/false);
+  Demo(/*propagate=*/true);
+  std::printf(
+      "\nBoth re-runs return identical results; propagation answers the\n"
+      "selection from the refreshed intermediate instead of rescanning.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "bat/bat.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace recycledb {
+
+std::atomic<uint64_t> Bat::next_id_{1};
+
+Bat::Bat(BatSide head, BatSide tail, size_t count)
+    : head_(std::move(head)),
+      tail_(std::move(tail)),
+      count_(count),
+      id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {
+  if (!head_.dense()) RDB_CHECK(head_.offset + count_ <= head_.col->size());
+  if (!tail_.dense()) RDB_CHECK(tail_.offset + count_ <= tail_.col->size());
+}
+
+BatPtr Bat::DenseHead(ColumnPtr tail, Oid hseq) {
+  size_t n = tail->size();
+  return std::make_shared<Bat>(BatSide::Dense(hseq),
+                               BatSide::Materialized(std::move(tail)), n);
+}
+
+BatPtr Bat::DenseDense(Oid hseq, Oid tseq, size_t n) {
+  return std::make_shared<Bat>(BatSide::Dense(hseq), BatSide::Dense(tseq), n);
+}
+
+BatPtr Bat::Make(BatSide head, BatSide tail, size_t count) {
+  return std::make_shared<Bat>(std::move(head), std::move(tail), count);
+}
+
+Scalar Bat::SideAt(const BatSide& s, size_t i) const {
+  RDB_CHECK(i < count_);
+  if (s.dense()) return Scalar::OidVal(s.seq + i);
+  return s.col->GetScalar(s.offset + i);
+}
+
+namespace {
+
+size_t SideOwnedBytes(const BatSide& s, size_t count) {
+  if (s.dense()) return 0;
+  if (s.col->persistent()) return 0;
+  // A view over a strictly larger column is borrowed storage.
+  if (s.offset != 0 || count != s.col->size()) return 0;
+  return s.col->MemoryBytes();
+}
+
+}  // namespace
+
+size_t Bat::MemoryBytes() const {
+  size_t bytes = SideOwnedBytes(head_, count_);
+  // mirror-style bats share one column on both sides; count it once.
+  if (!head_.dense() && !tail_.dense() && head_.col == tail_.col)
+    return bytes;
+  return bytes + SideOwnedBytes(tail_, count_);
+}
+
+std::string Bat::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << "bat[:" << TypeName(head_.LogicalType()) << ",:"
+     << TypeName(tail_.LogicalType()) << "] #" << count_ << " {";
+  size_t n = count_ < max_rows ? count_ : max_rows;
+  for (size_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << HeadAt(i).ToString() << "->" << TailAt(i).ToString();
+  }
+  if (count_ > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace recycledb

@@ -1,0 +1,123 @@
+#ifndef RECYCLEDB_BAT_BAT_H_
+#define RECYCLEDB_BAT_BAT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "bat/column.h"
+
+namespace recycledb {
+
+class Bat;
+using BatPtr = std::shared_ptr<const Bat>;
+
+/// One side (head or tail) of a binary association table. A side is either
+///  - dense: a virtual oid sequence `seq, seq+1, ...` with no storage, or
+///  - materialised: a (possibly view-sliced) reference into a Column.
+///
+/// Views (offset/length slices) are how zero-cost operations — `reverse`,
+/// `mirror`, `markT`, and range selects over sorted columns — "materialise a
+/// new viewpoint over the underlying data structures" (paper §2.2) without
+/// copying.
+struct BatSide {
+  ColumnPtr col;      // nullptr => dense void side
+  Oid seq = 0;        // dense base, valid iff col == nullptr
+  size_t offset = 0;  // view offset into col
+  TypeTag type = TypeTag::kVoid;
+
+  bool dense() const { return col == nullptr; }
+
+  static BatSide Dense(Oid base) {
+    BatSide s;
+    s.seq = base;
+    s.type = TypeTag::kVoid;
+    return s;
+  }
+  static BatSide Materialized(ColumnPtr c, size_t offset = 0) {
+    BatSide s;
+    s.type = c->type();
+    s.col = std::move(c);
+    s.offset = offset;
+    return s;
+  }
+
+  /// Logical type seen by operators: dense sides read as oid.
+  TypeTag LogicalType() const {
+    return dense() ? TypeTag::kOid : type;
+  }
+
+  /// Whether this side is sorted ascending over the view window.
+  bool Sorted(size_t count) const {
+    if (dense()) return true;
+    if (col->sorted()) return true;
+    (void)count;
+    return false;
+  }
+};
+
+/// Binary Association Table: an ordered sequence of (head, tail) pairs.
+/// This is the only collection type the relational kernel operates on;
+/// every operator consumes BATs and produces a fully materialised BAT
+/// (possibly a zero-copy viewpoint).
+///
+/// BATs are immutable; identity (`id()`) is used by the recycler to match
+/// intermediate arguments by provenance.
+class Bat {
+ public:
+  Bat(BatSide head, BatSide tail, size_t count);
+
+  /// [dense(hseq) -> column]: the standard persistent/intermediate layout.
+  static BatPtr DenseHead(ColumnPtr tail, Oid hseq = 0);
+
+  /// [dense(hseq) -> dense(tseq)] of length n.
+  static BatPtr DenseDense(Oid hseq, Oid tseq, size_t n);
+
+  /// Arbitrary sides.
+  static BatPtr Make(BatSide head, BatSide tail, size_t count);
+
+  size_t size() const { return count_; }
+  const BatSide& head() const { return head_; }
+  const BatSide& tail() const { return tail_; }
+
+  /// Unique id for provenance-based matching in the recycle pool.
+  uint64_t id() const { return id_; }
+
+  /// Boxed element access (slow path).
+  Scalar HeadAt(size_t i) const { return SideAt(head_, i); }
+  Scalar TailAt(size_t i) const { return SideAt(tail_, i); }
+
+  /// Bytes of freshly materialised storage reachable from this BAT. Views
+  /// over larger columns, dense sides, and persistent columns count as 0 —
+  /// matching the paper's stance that viewpoint ops are zero-cost.
+  size_t MemoryBytes() const;
+
+  /// Debug/table rendering (first `max_rows` pairs).
+  std::string ToString(size_t max_rows = 16) const;
+
+  Scalar SideAt(const BatSide& s, size_t i) const;
+
+ private:
+  BatSide head_, tail_;
+  size_t count_;
+  uint64_t id_;
+
+  static std::atomic<uint64_t> next_id_;
+};
+
+/// Typed reader over a materialised side: `reader[i]` is pair i's value.
+template <typename T>
+class SideReader {
+ public:
+  SideReader(const BatSide& side, size_t /*count*/)
+      : data_(side.col->Data<T>().data() + side.offset) {}
+
+  const T& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const T* data_;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_BAT_BAT_H_

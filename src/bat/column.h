@@ -1,0 +1,81 @@
+#ifndef RECYCLEDB_BAT_COLUMN_H_
+#define RECYCLEDB_BAT_COLUMN_H_
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "bat/scalar.h"
+#include "bat/types.h"
+
+namespace recycledb {
+
+class Column;
+using ColumnPtr = std::shared_ptr<const Column>;
+
+/// A typed, immutable column of values: the physical storage unit behind a
+/// BAT side. Columns are shared freely between BATs via shared_ptr, which is
+/// how the kernel implements its "data structure sharing to minimise the
+/// need for taking a complete copy" (paper §2.3).
+///
+/// Properties (`sorted`, `key`) steer operator implementation choices: a
+/// range select over a sorted column returns a zero-copy view, a join whose
+/// inner is a key column skips duplicate handling.
+class Column {
+ public:
+  using Storage =
+      std::variant<std::vector<int8_t>, std::vector<int32_t>,
+                   std::vector<int64_t>, std::vector<Oid>, std::vector<double>,
+                   std::vector<std::string>>;
+
+  Column(TypeTag type, Storage storage);
+
+  /// Builds a column from a typed vector. T must be the physical type of
+  /// `type` (e.g., int32_t for kDate).
+  template <typename T>
+  static std::shared_ptr<Column> Make(TypeTag type, std::vector<T> v) {
+    return std::make_shared<Column>(type, Storage(std::move(v)));
+  }
+
+  TypeTag type() const { return type_; }
+  size_t size() const;
+
+  template <typename T>
+  const std::vector<T>& Data() const {
+    return std::get<std::vector<T>>(storage_);
+  }
+
+  /// Ascending-sorted property (nils, if any, must lead).
+  bool sorted() const { return sorted_; }
+  void set_sorted(bool s) { sorted_ = s; }
+
+  /// All values distinct.
+  bool key() const { return key_; }
+  void set_key(bool k) { key_ = k; }
+
+  /// Persistent columns belong to the catalog; they are not accounted as
+  /// recycled intermediate memory (paper Table III reports Bind memory 0).
+  bool persistent() const { return persistent_; }
+  void set_persistent(bool p) { persistent_ = p; }
+
+  /// Heap bytes held by this column (strings include character data).
+  size_t MemoryBytes() const { return mem_bytes_; }
+
+  /// Boxed element access (slow path: printing, tests, tiny results).
+  Scalar GetScalar(size_t i) const;
+
+  /// Detects and sets the sorted property by scanning.
+  void ComputeSorted();
+
+ private:
+  TypeTag type_;
+  Storage storage_;
+  bool sorted_ = false;
+  bool key_ = false;
+  bool persistent_ = false;
+  size_t mem_bytes_ = 0;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_BAT_COLUMN_H_

@@ -1,0 +1,71 @@
+#ifndef RECYCLEDB_BAT_HASH_INDEX_H_
+#define RECYCLEDB_BAT_HASH_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bat/types.h"
+
+namespace recycledb {
+
+/// Chained hash table over a typed value array, mapping value -> positions.
+/// This is the "hash-structures for fast key look-up" companion of a BAT
+/// (paper §2.1); hash joins and semijoins build one over the inner side.
+///
+/// Buckets store 1-based chain heads; `next_[i]` links positions with equal
+/// hash. Nil values are never inserted (nil never matches in joins).
+template <typename T>
+class HashIndexT {
+ public:
+  HashIndexT(const T* data, size_t n) : next_(n, 0) {
+    size_t cap = 16;
+    while (cap < n * 2) cap <<= 1;
+    buckets_.assign(cap, 0);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (IsNil(data[i])) continue;
+      size_t b = std::hash<T>()(data[i]) & mask_;
+      next_[i] = buckets_[b];
+      buckets_[b] = static_cast<uint32_t>(i + 1);
+    }
+    data_ = data;
+  }
+
+  /// Visits every position whose value equals `key` (reverse insertion
+  /// order). `fn(pos)` may return void.
+  template <typename Fn>
+  void ForEachMatch(const T& key, Fn&& fn) const {
+    if (IsNil(key)) return;
+    size_t b = std::hash<T>()(key) & mask_;
+    for (uint32_t p = buckets_[b]; p != 0; p = next_[p - 1]) {
+      if (data_[p - 1] == key) fn(p - 1);
+    }
+  }
+
+  /// True iff `key` occurs at least once.
+  bool Contains(const T& key) const {
+    bool found = false;
+    ForEachMatch(key, [&](uint32_t) { found = true; });
+    return found;
+  }
+
+  /// First (lowest) matching position or SIZE_MAX.
+  size_t FindFirst(const T& key) const {
+    size_t best = SIZE_MAX;
+    ForEachMatch(key, [&](uint32_t p) {
+      if (p < best) best = p;
+    });
+    return best;
+  }
+
+ private:
+  std::vector<uint32_t> buckets_;
+  std::vector<uint32_t> next_;
+  size_t mask_ = 0;
+  const T* data_ = nullptr;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_BAT_HASH_INDEX_H_

@@ -1,0 +1,153 @@
+#include "bat/scalar.h"
+
+#include <functional>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace recycledb {
+
+Scalar Scalar::Nil(TypeTag t) {
+  switch (t) {
+    case TypeTag::kBit:
+      return Scalar(t, NilOf<int8_t>());
+    case TypeTag::kInt:
+    case TypeTag::kDate:
+      return Scalar(t, NilOf<int32_t>());
+    case TypeTag::kLng:
+      return Scalar(t, NilOf<int64_t>());
+    case TypeTag::kDbl:
+      return Scalar(t, NilOf<double>());
+    case TypeTag::kOid:
+      return Scalar(t, NilOf<Oid>());
+    case TypeTag::kStr:
+      return Scalar(t, std::string());
+    case TypeTag::kVoid:
+      return Scalar();
+  }
+  return Scalar();
+}
+
+bool Scalar::is_nil() const {
+  switch (tag_) {
+    case TypeTag::kVoid:
+      return true;
+    case TypeTag::kBit:
+      return IsNil(std::get<int8_t>(v_));
+    case TypeTag::kInt:
+    case TypeTag::kDate:
+      return IsNil(std::get<int32_t>(v_));
+    case TypeTag::kLng:
+      return IsNil(std::get<int64_t>(v_));
+    case TypeTag::kDbl:
+      return IsNil(std::get<double>(v_));
+    case TypeTag::kOid:
+      return IsNil(std::get<Oid>(v_));
+    case TypeTag::kStr:
+      return std::get<std::string>(v_).empty();
+  }
+  return true;
+}
+
+double Scalar::ToDouble() const {
+  switch (tag_) {
+    case TypeTag::kBit:
+      return static_cast<double>(std::get<int8_t>(v_));
+    case TypeTag::kInt:
+    case TypeTag::kDate:
+      return static_cast<double>(std::get<int32_t>(v_));
+    case TypeTag::kLng:
+      return static_cast<double>(std::get<int64_t>(v_));
+    case TypeTag::kDbl:
+      return std::get<double>(v_);
+    case TypeTag::kOid:
+      return static_cast<double>(std::get<Oid>(v_));
+    default:
+      RDB_UNREACHABLE();
+  }
+}
+
+int64_t Scalar::ToInt64() const {
+  switch (tag_) {
+    case TypeTag::kBit:
+      return std::get<int8_t>(v_);
+    case TypeTag::kInt:
+    case TypeTag::kDate:
+      return std::get<int32_t>(v_);
+    case TypeTag::kLng:
+      return std::get<int64_t>(v_);
+    case TypeTag::kDbl:
+      return static_cast<int64_t>(std::get<double>(v_));
+    case TypeTag::kOid:
+      return static_cast<int64_t>(std::get<Oid>(v_));
+    default:
+      RDB_UNREACHABLE();
+  }
+}
+
+bool Scalar::operator==(const Scalar& o) const {
+  return tag_ == o.tag_ && v_ == o.v_;
+}
+
+int Scalar::Compare(const Scalar& o) const {
+  RDB_CHECK(v_.index() == o.v_.index());
+  if (v_ < o.v_) return -1;
+  if (o.v_ < v_) return 1;
+  return 0;
+}
+
+size_t Scalar::Hash() const {
+  size_t h = static_cast<size_t>(tag_) * 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](size_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  switch (tag_) {
+    case TypeTag::kVoid:
+      break;
+    case TypeTag::kBit:
+      mix(std::hash<int8_t>()(std::get<int8_t>(v_)));
+      break;
+    case TypeTag::kInt:
+    case TypeTag::kDate:
+      mix(std::hash<int32_t>()(std::get<int32_t>(v_)));
+      break;
+    case TypeTag::kLng:
+      mix(std::hash<int64_t>()(std::get<int64_t>(v_)));
+      break;
+    case TypeTag::kDbl:
+      mix(std::hash<double>()(std::get<double>(v_)));
+      break;
+    case TypeTag::kOid:
+      mix(std::hash<Oid>()(std::get<Oid>(v_)));
+      break;
+    case TypeTag::kStr:
+      mix(std::hash<std::string>()(std::get<std::string>(v_)));
+      break;
+  }
+  return h;
+}
+
+std::string Scalar::ToString() const {
+  if (tag_ == TypeTag::kVoid) return "void-nil";
+  if (is_nil()) return "nil";
+  switch (tag_) {
+    case TypeTag::kBit:
+      return AsBit() ? "true" : "false";
+    case TypeTag::kInt:
+      return StrFormat("%d", AsInt());
+    case TypeTag::kLng:
+      return StrFormat("%lld", static_cast<long long>(AsLng()));
+    case TypeTag::kDbl:
+      return StrFormat("%.6g", AsDbl());
+    case TypeTag::kOid:
+      return StrFormat("%llu@0", static_cast<unsigned long long>(AsOid()));
+    case TypeTag::kDate:
+      return DateToString(AsDate());
+    case TypeTag::kStr:
+      return "\"" + AsStr() + "\"";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace recycledb

@@ -1,0 +1,75 @@
+#ifndef RECYCLEDB_BAT_SCALAR_H_
+#define RECYCLEDB_BAT_SCALAR_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "bat/types.h"
+
+namespace recycledb {
+
+/// A typed scalar value: MAL constants, query-template parameters, selection
+/// bounds, and scalar aggregate results. Nil is in-band per type.
+class Scalar {
+ public:
+  Scalar() : tag_(TypeTag::kVoid) {}
+
+  static Scalar Bit(bool v) { return Scalar(TypeTag::kBit, int8_t(v ? 1 : 0)); }
+  static Scalar Int(int32_t v) { return Scalar(TypeTag::kInt, v); }
+  static Scalar Lng(int64_t v) { return Scalar(TypeTag::kLng, v); }
+  static Scalar Dbl(double v) { return Scalar(TypeTag::kDbl, v); }
+  static Scalar OidVal(Oid v) { return Scalar(TypeTag::kOid, v); }
+  static Scalar DateVal(DateT v) { return Scalar(TypeTag::kDate, v); }
+  static Scalar Str(std::string v) { return Scalar(TypeTag::kStr, std::move(v)); }
+
+  /// A typed nil (SQL NULL / unbounded selection endpoint).
+  static Scalar Nil(TypeTag t);
+
+  TypeTag tag() const { return tag_; }
+  bool IsVoid() const { return tag_ == TypeTag::kVoid; }
+  bool is_nil() const;
+
+  bool AsBit() const { return std::get<int8_t>(v_) != 0; }
+  int32_t AsInt() const { return std::get<int32_t>(v_); }
+  int64_t AsLng() const { return std::get<int64_t>(v_); }
+  double AsDbl() const { return std::get<double>(v_); }
+  Oid AsOid() const { return std::get<Oid>(v_); }
+  DateT AsDate() const { return std::get<int32_t>(v_); }
+  const std::string& AsStr() const { return std::get<std::string>(v_); }
+
+  /// Typed getter over physical type (used by generic operator code).
+  template <typename T>
+  const T& Get() const {
+    return std::get<T>(v_);
+  }
+
+  /// Numeric widening to double (cost models, arithmetic). Dies on strings.
+  double ToDouble() const;
+
+  /// Numeric widening to int64 (counts, keys). Dies on strings/doubles-nil.
+  int64_t ToInt64() const;
+
+  bool operator==(const Scalar& o) const;
+  bool operator!=(const Scalar& o) const { return !(*this == o); }
+
+  /// Three-way comparison; both scalars must have the same physical type.
+  /// Nil sorts lowest.
+  int Compare(const Scalar& o) const;
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  template <typename V>
+  Scalar(TypeTag t, V v) : tag_(t), v_(std::move(v)) {}
+
+  TypeTag tag_;
+  std::variant<std::monostate, int8_t, int32_t, int64_t, Oid, double,
+               std::string>
+      v_;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_BAT_SCALAR_H_

@@ -1,0 +1,27 @@
+#include "bat/types.h"
+
+namespace recycledb {
+
+const char* TypeName(TypeTag t) {
+  switch (t) {
+    case TypeTag::kVoid:
+      return "void";
+    case TypeTag::kBit:
+      return "bit";
+    case TypeTag::kInt:
+      return "int";
+    case TypeTag::kLng:
+      return "lng";
+    case TypeTag::kDbl:
+      return "dbl";
+    case TypeTag::kOid:
+      return "oid";
+    case TypeTag::kDate:
+      return "date";
+    case TypeTag::kStr:
+      return "str";
+  }
+  return "?";
+}
+
+}  // namespace recycledb

@@ -1,0 +1,348 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace recycledb {
+
+int Table::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int32_t Catalog::CreateTable(
+    const std::string& name,
+    const std::vector<std::pair<std::string, TypeTag>>& cols) {
+  RDB_CHECK(table_by_name_.find(name) == table_by_name_.end());
+  int32_t id = static_cast<int32_t>(tables_.size());
+  auto t = std::make_unique<Table>(id, name);
+  for (const auto& [cname, ctype] : cols) {
+    t->defs_.push_back({cname, ctype});
+    t->cols_.push_back(nullptr);
+  }
+  tables_.push_back(std::move(t));
+  table_by_name_[name] = id;
+  return id;
+}
+
+template <typename T>
+Status Catalog::LoadColumn(const std::string& table, const std::string& column,
+                           std::vector<T> data, bool sorted, bool key) {
+  const Table* tc = FindTable(table);
+  if (tc == nullptr) return Status::NotFound("table " + table);
+  Table* t = tables_[tc->id()].get();
+  int ci = t->FindColumn(column);
+  if (ci < 0) return Status::NotFound("column " + table + "." + column);
+  auto col = Column::Make(t->defs_[ci].type, std::move(data));
+  col->set_sorted(sorted);
+  col->set_key(key);
+  col->set_persistent(true);
+  bool any_loaded = false;
+  for (size_t k = 0; k < t->cols_.size(); ++k) {
+    if (k != static_cast<size_t>(ci) && t->cols_[k] != nullptr)
+      any_loaded = true;
+  }
+  if (!any_loaded) {
+    t->rows_ = col->size();
+  } else if (col->size() != t->rows_) {
+    return Status::InvalidArgument(
+        StrFormat("column %s.%s has %zu rows, table has %zu", table.c_str(),
+                  column.c_str(), col->size(), t->rows_));
+  }
+  t->cols_[ci] = std::move(col);
+  bind_cache_.erase({t->id(), ci});
+  return Status::OK();
+}
+
+template Status Catalog::LoadColumn<int8_t>(const std::string&,
+                                            const std::string&,
+                                            std::vector<int8_t>, bool, bool);
+template Status Catalog::LoadColumn<int32_t>(const std::string&,
+                                             const std::string&,
+                                             std::vector<int32_t>, bool, bool);
+template Status Catalog::LoadColumn<int64_t>(const std::string&,
+                                             const std::string&,
+                                             std::vector<int64_t>, bool, bool);
+template Status Catalog::LoadColumn<Oid>(const std::string&, const std::string&,
+                                         std::vector<Oid>, bool, bool);
+template Status Catalog::LoadColumn<double>(const std::string&,
+                                            const std::string&,
+                                            std::vector<double>, bool, bool);
+template Status Catalog::LoadColumn<std::string>(const std::string&,
+                                                 const std::string&,
+                                                 std::vector<std::string>, bool,
+                                                 bool);
+
+Status Catalog::RegisterFkIndex(const std::string& name,
+                                const std::string& child_table,
+                                const std::string& child_key,
+                                const std::string& parent_table,
+                                const std::string& parent_key) {
+  const Table* c = FindTable(child_table);
+  const Table* p = FindTable(parent_table);
+  if (c == nullptr || p == nullptr)
+    return Status::NotFound("fk index tables");
+  FkIndex idx;
+  idx.name = name;
+  idx.child_table = c->id();
+  idx.parent_table = p->id();
+  idx.child_key = c->FindColumn(child_key);
+  idx.parent_key = p->FindColumn(parent_key);
+  if (idx.child_key < 0 || idx.parent_key < 0)
+    return Status::NotFound("fk index key columns");
+  RDB_RETURN_NOT_OK(RebuildIndex(&idx));
+  index_by_name_[name] = static_cast<int>(indices_.size());
+  indices_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Status Catalog::RebuildIndex(FkIndex* idx) {
+  const Table* c = tables_[idx->child_table].get();
+  const Table* p = tables_[idx->parent_table].get();
+  const ColumnPtr& ckey = c->column(idx->child_key);
+  const ColumnPtr& pkey = p->column(idx->parent_key);
+  if (ckey == nullptr || pkey == nullptr)
+    return Status::Internal("fk index over unloaded columns");
+  if (ckey->type() != TypeTag::kOid || pkey->type() != TypeTag::kOid)
+    return Status::InvalidArgument("fk keys must be oid-typed");
+  const auto& cvals = ckey->Data<Oid>();
+  const auto& pvals = pkey->Data<Oid>();
+  std::unordered_map<Oid, Oid> ppos;
+  ppos.reserve(pvals.size());
+  for (size_t j = 0; j < pvals.size(); ++j) ppos.emplace(pvals[j], j);
+  std::vector<Oid> map(cvals.size());
+  for (size_t i = 0; i < cvals.size(); ++i) {
+    auto it = ppos.find(cvals[i]);
+    map[i] = it == ppos.end() ? kNilOid : it->second;
+  }
+  auto col = Column::Make(TypeTag::kOid, std::move(map));
+  col->set_persistent(true);
+  idx->map = std::move(col);
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = table_by_name_.find(name);
+  if (it == table_by_name_.end()) return Status::NotFound("table " + name);
+  int32_t id = it->second;
+  std::vector<ColumnId> invalidated;
+  Table* t = tables_[id].get();
+  for (size_t ci = 0; ci < t->num_columns(); ++ci)
+    invalidated.push_back({id, static_cast<int32_t>(ci)});
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    if (indices_[k].child_table == id || indices_[k].parent_table == id) {
+      invalidated.push_back({indices_[k].child_table,
+                             kIndexColBase + static_cast<int32_t>(k)});
+      index_by_name_.erase(indices_[k].name);
+      index_bind_cache_.erase(static_cast<int>(k));
+    }
+  }
+  indices_.erase(std::remove_if(indices_.begin(), indices_.end(),
+                                [&](const FkIndex& x) {
+                                  return x.child_table == id ||
+                                         x.parent_table == id;
+                                }),
+                 indices_.end());
+  // Rebuild name->slot map since slots shifted.
+  index_by_name_.clear();
+  for (size_t k = 0; k < indices_.size(); ++k)
+    index_by_name_[indices_[k].name] = static_cast<int>(k);
+  InvalidateBindCache(id);
+  tables_[id].reset();
+  table_by_name_.erase(it);
+  if (listener_) listener_(invalidated);
+  return Status::OK();
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  auto it = table_by_name_.find(name);
+  if (it == table_by_name_.end()) return nullptr;
+  return tables_[it->second].get();
+}
+
+Result<ColumnId> Catalog::GetColumnId(const std::string& table,
+                                      const std::string& column) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  int ci = t->FindColumn(column);
+  if (ci < 0) return Status::NotFound("column " + table + "." + column);
+  return ColumnId{t->id(), ci};
+}
+
+Result<ColumnId> Catalog::GetIndexId(const std::string& index) const {
+  auto it = index_by_name_.find(index);
+  if (it == index_by_name_.end()) return Status::NotFound("index " + index);
+  return ColumnId{indices_[it->second].child_table,
+                  kIndexColBase + it->second};
+}
+
+Result<BatPtr> Catalog::BindColumn(const std::string& table,
+                                   const std::string& column) {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  int ci = t->FindColumn(column);
+  if (ci < 0) return Status::NotFound("column " + table + "." + column);
+  if (t->column(ci) == nullptr)
+    return Status::Internal("column not loaded: " + table + "." + column);
+  auto key = std::make_pair(t->id(), ci);
+  auto it = bind_cache_.find(key);
+  if (it != bind_cache_.end()) return it->second;
+  BatPtr b = Bat::DenseHead(t->column(ci));
+  bind_cache_[key] = b;
+  return b;
+}
+
+Result<BatPtr> Catalog::BindIndex(const std::string& index) {
+  auto it = index_by_name_.find(index);
+  if (it == index_by_name_.end()) return Status::NotFound("index " + index);
+  auto cached = index_bind_cache_.find(it->second);
+  if (cached != index_bind_cache_.end()) return cached->second;
+  BatPtr b = Bat::DenseHead(indices_[it->second].map);
+  index_bind_cache_[it->second] = b;
+  return b;
+}
+
+Status Catalog::Append(const std::string& table,
+                       std::vector<std::vector<Scalar>> rows) {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  for (const auto& r : rows) {
+    if (r.size() != t->num_columns())
+      return Status::InvalidArgument("row arity mismatch");
+  }
+  auto& delta = pending_[t->id()];
+  for (auto& r : rows) delta.inserts.push_back(std::move(r));
+  return Status::OK();
+}
+
+Status Catalog::Delete(const std::string& table, std::vector<Oid> row_oids) {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  auto& delta = pending_[t->id()];
+  for (Oid o : row_oids) delta.deletes.push_back(o);
+  return Status::OK();
+}
+
+void Catalog::InvalidateBindCache(int32_t table_id) {
+  for (auto it = bind_cache_.begin(); it != bind_cache_.end();) {
+    if (it->first.first == table_id)
+      it = bind_cache_.erase(it);
+    else
+      ++it;
+  }
+}
+
+Status Catalog::Commit() {
+  if (pending_.empty()) return Status::OK();
+  std::vector<ColumnId> invalidated;
+  last_insert_delta_.clear();
+  last_commit_insert_only_.clear();
+  std::vector<int32_t> updated_tables;
+
+  for (auto& [tid, delta] : pending_) {
+    if (delta.Empty()) continue;
+    Table* t = tables_[tid].get();
+    updated_tables.push_back(tid);
+    last_commit_insert_only_[tid] = delta.deletes.empty();
+
+    std::vector<bool> deleted(t->rows_, false);
+    size_t del_count = 0;
+    for (Oid o : delta.deletes) {
+      if (o < t->rows_ && !deleted[o]) {
+        deleted[o] = true;
+        ++del_count;
+      }
+    }
+    size_t kept = t->rows_ - del_count;
+
+    for (size_t ci = 0; ci < t->num_columns(); ++ci) {
+      TypeTag ctype = t->defs_[ci].type;
+      const ColumnPtr& old = t->cols_[ci];
+      RDB_CHECK(old != nullptr);
+      VisitPhysical(ctype, [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        const auto& src = old->Data<T>();
+        std::vector<T> fresh;
+        fresh.reserve(kept + delta.inserts.size());
+        for (size_t i = 0; i < src.size(); ++i) {
+          if (!deleted[i]) fresh.push_back(src[i]);
+        }
+        std::vector<T> ins;
+        ins.reserve(delta.inserts.size());
+        for (const auto& row : delta.inserts) {
+          ins.push_back(row[ci].Get<T>());
+        }
+        // Record the insert delta for §6.3 propagation before merging.
+        if (!ins.empty()) {
+          auto dcol = Column::Make(ctype, ins);
+          last_insert_delta_[{tid, static_cast<int>(ci)}] =
+              Bat::Make(BatSide::Dense(kept), BatSide::Materialized(dcol),
+                        ins.size());
+        }
+        fresh.insert(fresh.end(), ins.begin(), ins.end());
+        auto col = Column::Make(ctype, std::move(fresh));
+        col->set_persistent(true);
+        col->ComputeSorted();
+        t->cols_[ci] = std::move(col);
+      });
+      invalidated.push_back({tid, static_cast<int32_t>(ci)});
+    }
+    t->rows_ = kept + delta.inserts.size();
+    InvalidateBindCache(tid);
+  }
+
+  // Rebuild join indices touching any updated table.
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    FkIndex& idx = indices_[k];
+    bool touched = false;
+    for (int32_t tid : updated_tables) {
+      if (idx.child_table == tid || idx.parent_table == tid) touched = true;
+    }
+    if (!touched) continue;
+    RDB_RETURN_NOT_OK(RebuildIndex(&idx));
+    index_bind_cache_.erase(static_cast<int>(k));
+    invalidated.push_back({idx.child_table,
+                           kIndexColBase + static_cast<int32_t>(k)});
+  }
+
+  pending_.clear();
+  if (listener_ && !invalidated.empty()) listener_(invalidated);
+  return Status::OK();
+}
+
+Result<BatPtr> Catalog::LastInsertDelta(const std::string& table,
+                                        const std::string& column) const {
+  RDB_ASSIGN_OR_RETURN(ColumnId cid, GetColumnId(table, column));
+  auto it = last_insert_delta_.find({cid.table, cid.col});
+  if (it == last_insert_delta_.end())
+    return Status::NotFound("no insert delta for " + table + "." + column);
+  return it->second;
+}
+
+bool Catalog::LastCommitInsertOnly(const std::string& table) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return false;
+  auto it = last_commit_insert_only_.find(t->id());
+  return it != last_commit_insert_only_.end() && it->second;
+}
+
+size_t Catalog::TotalPersistentBytes() const {
+  size_t bytes = 0;
+  for (const auto& t : tables_) {
+    if (!t) continue;
+    for (size_t ci = 0; ci < t->num_columns(); ++ci) {
+      if (t->column(ci)) bytes += t->column(ci)->MemoryBytes();
+    }
+  }
+  for (const auto& idx : indices_) {
+    if (idx.map) bytes += idx.map->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace recycledb

@@ -1,0 +1,175 @@
+#ifndef RECYCLEDB_CATALOG_CATALOG_H_
+#define RECYCLEDB_CATALOG_CATALOG_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "util/status.h"
+
+namespace recycledb {
+
+/// Identifies a persistent column (or a join index, which gets a pseudo
+/// column id). The recycler tracks per-intermediate dependency sets of
+/// ColumnIds to invalidate exactly the affected pool entries (paper §6.4:
+/// column-wise immediate invalidation).
+struct ColumnId {
+  int32_t table = -1;
+  int32_t col = -1;
+
+  bool operator==(const ColumnId& o) const {
+    return table == o.table && col == o.col;
+  }
+  bool operator<(const ColumnId& o) const {
+    return table != o.table ? table < o.table : col < o.col;
+  }
+};
+
+/// A persistent table: named, typed columns of equal length. Columns are
+/// immutable snapshots; updates install fresh column objects (delta merge),
+/// which is what lets bind caching + recycler invalidation stay consistent.
+class Table {
+ public:
+  Table(int32_t id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  int32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return rows_; }
+  size_t num_columns() const { return defs_.size(); }
+  const std::string& column_name(int i) const { return defs_[i].name; }
+  TypeTag column_type(int i) const { return defs_[i].type; }
+  int FindColumn(const std::string& name) const;
+  const ColumnPtr& column(int i) const { return cols_[i]; }
+
+ private:
+  friend class Catalog;
+  struct ColumnDef {
+    std::string name;
+    TypeTag type;
+  };
+
+  int32_t id_;
+  std::string name_;
+  std::vector<ColumnDef> defs_;
+  std::vector<ColumnPtr> cols_;
+  size_t rows_ = 0;
+};
+
+/// Pending DML against one table: MonetDB-style insert/delete deltas that
+/// are applied at commit (paper §6: delta-based update processing).
+struct PendingDelta {
+  std::vector<std::vector<Scalar>> inserts;  // row-major
+  std::vector<Oid> deletes;                  // row oids in committed order
+  bool Empty() const { return inserts.empty() && deletes.empty(); }
+};
+
+/// The database catalog: tables, persistent columns, foreign-key join
+/// indices, and the update path. Bind results are cached so repeated binds
+/// of an unchanged column return the *same* BAT object — persistent bats
+/// have stable identity, which bottom-up sequence matching relies on.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // --- DDL -----------------------------------------------------------------
+
+  /// Creates an empty table; returns its id.
+  int32_t CreateTable(const std::string& name,
+                      const std::vector<std::pair<std::string, TypeTag>>& cols);
+
+  /// Installs column data during bulk load. All columns must end up with
+  /// equal length. T is the physical type of the declared column type.
+  template <typename T>
+  Status LoadColumn(const std::string& table, const std::string& column,
+                    std::vector<T> data, bool sorted = false,
+                    bool key = false);
+
+  /// Registers a foreign-key join index `name`: for each row of
+  /// `child_table`, the oid (position) of the matching `parent_table` row,
+  /// computed by matching `child_key` to `parent_key`. Rebuilt on commit.
+  Status RegisterFkIndex(const std::string& name, const std::string& child_table,
+                         const std::string& child_key,
+                         const std::string& parent_table,
+                         const std::string& parent_key);
+
+  Status DropTable(const std::string& name);
+
+  // --- access --------------------------------------------------------------
+
+  Result<BatPtr> BindColumn(const std::string& table,
+                            const std::string& column);
+  Result<BatPtr> BindIndex(const std::string& index);
+
+  const Table* FindTable(const std::string& name) const;
+  Result<ColumnId> GetColumnId(const std::string& table,
+                               const std::string& column) const;
+  /// The pseudo column id under which a join index registers.
+  Result<ColumnId> GetIndexId(const std::string& index) const;
+
+  // --- DML (delta-based) -----------------------------------------------------
+
+  /// Queues row inserts into the table's pending delta.
+  Status Append(const std::string& table,
+                std::vector<std::vector<Scalar>> rows);
+
+  /// Queues row deletions (by current row oid).
+  Status Delete(const std::string& table, std::vector<Oid> row_oids);
+
+  /// Applies all pending deltas: merges inserts, compacts deletions,
+  /// rebuilds affected join indices, refreshes bind caches, and notifies the
+  /// update listener with every invalidated ColumnId.
+  Status Commit();
+
+  /// Insert deltas of the last committed transaction, per table/column —
+  /// consumed by the recycler's update-propagation extension (§6.3).
+  Result<BatPtr> LastInsertDelta(const std::string& table,
+                                 const std::string& column) const;
+
+  /// True iff the table's last commit consisted of inserts only (no
+  /// deletions), which is the precondition for sound insert propagation.
+  bool LastCommitInsertOnly(const std::string& table) const;
+
+  /// Registered listener receives the ColumnIds invalidated by a commit.
+  void SetUpdateListener(std::function<void(const std::vector<ColumnId>&)> fn) {
+    listener_ = std::move(fn);
+  }
+
+  size_t TotalPersistentBytes() const;
+
+ private:
+  struct FkIndex {
+    std::string name;
+    int32_t child_table, parent_table;
+    int child_key, parent_key;
+    ColumnPtr map;  // oid positions into parent, aligned with child rows
+  };
+
+  Status RebuildIndex(FkIndex* idx);
+  void InvalidateBindCache(int32_t table_id);
+
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::map<std::string, int32_t> table_by_name_;
+  std::vector<FkIndex> indices_;
+  std::map<std::string, int> index_by_name_;
+  std::map<int32_t, PendingDelta> pending_;
+  // Bind caches: stable BAT identities for persistent data.
+  std::map<std::pair<int32_t, int>, BatPtr> bind_cache_;
+  std::map<int, BatPtr> index_bind_cache_;
+  std::function<void(const std::vector<ColumnId>&)> listener_;
+  // Last committed insert deltas: (table, col) -> delta bat with head oids
+  // continuing the pre-commit row numbering.
+  std::map<std::pair<int32_t, int>, BatPtr> last_insert_delta_;
+  std::map<int32_t, bool> last_commit_insert_only_;
+};
+
+/// Pseudo column id space for join indices: col = kIndexColBase + index slot.
+inline constexpr int32_t kIndexColBase = 1 << 20;
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_CATALOG_CATALOG_H_

@@ -1,0 +1,252 @@
+#include "core/policies.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace recycledb {
+
+const char* AdmissionName(AdmissionKind k) {
+  switch (k) {
+    case AdmissionKind::kKeepAll:
+      return "KEEPALL";
+    case AdmissionKind::kCredit:
+      return "CREDIT";
+    case AdmissionKind::kAdaptiveCredit:
+      return "ADAPT";
+  }
+  return "?";
+}
+
+const char* EvictionName(EvictionKind k) {
+  switch (k) {
+    case EvictionKind::kLru:
+      return "LRU";
+    case EvictionKind::kBenefit:
+      return "BP";
+    case EvictionKind::kHistory:
+      return "HP";
+  }
+  return "?";
+}
+
+CreditLedger::Source& CreditLedger::Lookup(uint64_t tid, int pc) {
+  auto it = sources_.find({tid, pc});
+  if (it == sources_.end()) {
+    it = sources_.emplace(std::make_pair(tid, pc), Source{initial_}).first;
+  }
+  return it->second;
+}
+
+bool CreditLedger::TryAdmit(uint64_t tid, int pc) {
+  if (kind_ == AdmissionKind::kKeepAll) return true;
+  Source& s = Lookup(tid, pc);
+  ++s.invocations;
+  if (kind_ == AdmissionKind::kAdaptiveCredit && s.invocations > initial_) {
+    // Graduation point: proven sources get unlimited credits, the rest are
+    // cut off (paper §7.2).
+    return s.reused;
+  }
+  if (s.credits <= 0) return false;
+  --s.credits;
+  return true;
+}
+
+void CreditLedger::NoteReuse(uint64_t tid, int pc, bool local) {
+  if (kind_ == AdmissionKind::kKeepAll) return;
+  Source& s = Lookup(tid, pc);
+  s.reused = true;
+  if (local) ++s.credits;  // local reuse returns the credit immediately
+}
+
+void CreditLedger::NoteEviction(uint64_t tid, int pc, bool had_global_reuse) {
+  if (kind_ == AdmissionKind::kKeepAll) return;
+  if (!had_global_reuse) return;
+  Source& s = Lookup(tid, pc);
+  ++s.credits;  // a globally reused instance returns its credit on eviction
+}
+
+int CreditLedger::CreditsLeft(uint64_t tid, int pc) const {
+  auto it = sources_.find({tid, pc});
+  return it == sources_.end() ? initial_ : it->second.credits;
+}
+
+double EntryBenefit(const PoolEntry& e, EvictionKind kind, double now_ms) {
+  // Weight per Eq. 2: proven (globally reused) intermediates weigh their
+  // reuse count; unreused or only-locally-reused ones weigh 0.1.
+  double weight;
+  if (e.reuses > 0 && e.global_reuse) {
+    weight = static_cast<double>(e.reuses);
+  } else {
+    weight = 0.1;
+  }
+  double benefit = e.cost_ms * weight;
+  if (kind == EvictionKind::kHistory) {
+    double age_ms = now_ms - e.admit_ms;
+    if (age_ms < 1e-3) age_ms = 1e-3;
+    benefit /= age_ms;
+  }
+  return benefit;
+}
+
+namespace {
+
+/// Victim selection among the current leaves for a single eviction round.
+/// Returns entry ids to evict this round; empty means nothing evictable.
+std::vector<uint64_t> PickRound(RecyclePool* pool, EvictionKind kind,
+                                bool memory_mode, size_t amount_needed,
+                                uint64_t protected_query, double now_ms) {
+  std::vector<PoolEntry*> leaves =
+      pool->Leaves(protected_query, /*include_protected=*/false);
+  if (leaves.empty()) {
+    // Exception of §4.3: a single query may fill the entire pool, in which
+    // case its own intermediates become evictable.
+    leaves = pool->Leaves(protected_query, /*include_protected=*/true);
+  }
+  if (leaves.empty()) return {};
+
+  if (!memory_mode) {
+    // Entry-count limit: evict exactly one entry per round.
+    PoolEntry* victim = nullptr;
+    if (kind == EvictionKind::kLru) {
+      for (PoolEntry* e : leaves) {
+        if (victim == nullptr || e->last_use_seq < victim->last_use_seq)
+          victim = e;
+      }
+    } else {
+      double best = std::numeric_limits<double>::max();
+      for (PoolEntry* e : leaves) {
+        double b = EntryBenefit(*e, kind, now_ms);
+        if (b < best) {
+          best = b;
+          victim = e;
+        }
+      }
+    }
+    return {victim->id};
+  }
+
+  size_t leaf_bytes = 0;
+  for (PoolEntry* e : leaves) leaf_bytes += e->owned_bytes;
+  if (leaf_bytes <= amount_needed) {
+    // Leaves alone cannot free enough: evict them all and let the caller
+    // iterate (their parents become leaves).
+    std::vector<uint64_t> all;
+    all.reserve(leaves.size());
+    for (PoolEntry* e : leaves) all.push_back(e->id);
+    return all;
+  }
+
+  if (kind == EvictionKind::kLru) {
+    std::sort(leaves.begin(), leaves.end(),
+              [](const PoolEntry* a, const PoolEntry* b) {
+                return a->last_use_seq < b->last_use_seq;
+              });
+    std::vector<uint64_t> out;
+    size_t freed = 0;
+    for (PoolEntry* e : leaves) {
+      if (freed >= amount_needed) break;
+      out.push_back(e->id);
+      freed += e->owned_bytes;
+    }
+    return out;
+  }
+
+  // Benefit/History memory eviction: keep the most profitable subset that
+  // fits in capacity = leaf_bytes - needed (complementary knapsack, greedy
+  // 1/2-approximation; §4.3).
+  size_t capacity = leaf_bytes - amount_needed;
+  std::vector<PoolEntry*> order = leaves;
+  std::sort(order.begin(), order.end(),
+            [&](const PoolEntry* a, const PoolEntry* b) {
+              // Zero-byte entries always fit; rank by profit density.
+              double da = a->owned_bytes
+                              ? EntryBenefit(*a, kind, now_ms) /
+                                    static_cast<double>(a->owned_bytes)
+                              : std::numeric_limits<double>::max();
+              double db = b->owned_bytes
+                              ? EntryBenefit(*b, kind, now_ms) /
+                                    static_cast<double>(b->owned_bytes)
+                              : std::numeric_limits<double>::max();
+              return da > db;
+            });
+  std::vector<bool> keep(order.size(), false);
+  size_t used = 0;
+  double greedy_profit = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (used + order[i]->owned_bytes <= capacity) {
+      keep[i] = true;
+      used += order[i]->owned_bytes;
+      greedy_profit += EntryBenefit(*order[i], kind, now_ms);
+    }
+  }
+  // Worst-case guard: compare with keeping only the single best item.
+  size_t best_single = SIZE_MAX;
+  double best_single_profit = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i]->owned_bytes <= capacity) {
+      double p = EntryBenefit(*order[i], kind, now_ms);
+      if (p > best_single_profit) {
+        best_single_profit = p;
+        best_single = i;
+      }
+    }
+  }
+  if (best_single != SIZE_MAX && best_single_profit > greedy_profit) {
+    std::fill(keep.begin(), keep.end(), false);
+    keep[best_single] = true;
+  }
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (!keep[i]) out.push_back(order[i]->id);
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t EvictForEntries(RecyclePool* pool, EvictionKind kind,
+                       size_t max_entries, size_t need,
+                       uint64_t protected_query, double now_ms,
+                       const std::function<void(const PoolEntry&)>& on_evict) {
+  size_t evicted = 0;
+  while (pool->num_entries() + need > max_entries) {
+    std::vector<uint64_t> round =
+        PickRound(pool, kind, /*memory_mode=*/false, 0, protected_query,
+                  now_ms);
+    if (round.empty()) break;
+    for (uint64_t id : round) {
+      PoolEntry* e = pool->Get(id);
+      if (e == nullptr) continue;
+      on_evict(*e);
+      pool->Remove(id);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+size_t EvictForMemory(RecyclePool* pool, EvictionKind kind, size_t max_bytes,
+                      size_t bytes_needed, uint64_t protected_query,
+                      double now_ms,
+                      const std::function<void(const PoolEntry&)>& on_evict) {
+  size_t evicted = 0;
+  // Iterate: each round evicts among current leaves; parents surface as new
+  // leaves in the next round.
+  while (pool->total_bytes() + bytes_needed > max_bytes &&
+         pool->num_entries() > 0) {
+    size_t excess = pool->total_bytes() + bytes_needed - max_bytes;
+    std::vector<uint64_t> round = PickRound(
+        pool, kind, /*memory_mode=*/true, excess, protected_query, now_ms);
+    if (round.empty()) break;
+    for (uint64_t id : round) {
+      PoolEntry* e = pool->Get(id);
+      if (e == nullptr) continue;
+      on_evict(*e);
+      pool->Remove(id);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace recycledb

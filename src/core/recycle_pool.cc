@@ -1,0 +1,308 @@
+#include "core/recycle_pool.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace recycledb {
+
+namespace {
+
+/// Visits every distinct non-persistent column reachable from the entry's
+/// result bats, in a deterministic order (admission and removal must agree).
+template <typename Fn>
+void ForEachResultColumn(const PoolEntry& e, Fn&& fn) {
+  for (const MalValue& v : e.results) {
+    if (!v.is_bat()) continue;
+    const Bat& b = *v.bat();
+    const Column* h = b.head().col.get();
+    const Column* t = b.tail().col.get();
+    if (h != nullptr && !h->persistent()) fn(h);
+    if (t != nullptr && t != h && !t->persistent()) fn(t);
+  }
+}
+
+}  // namespace
+
+size_t RecyclePool::MatchHash(Opcode op, const std::vector<MalValue>& args) {
+  size_t h = static_cast<size_t>(op) * 0x9e3779b97f4a7c15ULL + 0x1234567;
+  for (const MalValue& a : args) {
+    h ^= a.MatchHash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+uint64_t RecyclePool::Admit(PoolEntry entry) {
+  entry.id = next_id_++;
+  uint64_t id = entry.id;
+  auto [it, ok] = entries_.emplace(id, std::move(entry));
+  RDB_CHECK(ok);
+  IndexEntry(&it->second);
+  return id;
+}
+
+void RecyclePool::IndexEntry(PoolEntry* e) {
+  match_index_.emplace(MatchHash(e->op, e->args), e->id);
+  for (const MalValue& v : e->results) {
+    if (v.is_bat()) producer_[v.bat()->id()] = e->id;
+  }
+  if (!e->args.empty() && e->args[0].is_bat()) {
+    op_arg_index_[{static_cast<int>(e->op), e->args[0].bat()->id()}]
+        .push_back(e->id);
+  }
+  // Lineage edges: the producers of my bat arguments gain a child.
+  for (const MalValue& a : e->args) {
+    if (!a.is_bat()) continue;
+    auto it = producer_.find(a.bat()->id());
+    if (it != producer_.end() && it->second != e->id) {
+      PoolEntry* parent = Get(it->second);
+      if (parent != nullptr) ++parent->children;
+    }
+  }
+  // Memory attribution: fresh columns are owned; shared columns add a
+  // borrow edge to the owning entry (keeps subsumption sources alive).
+  ForEachResultColumn(*e, [&](const Column* c) {
+    auto it = col_track_.find(c);
+    if (it == col_track_.end()) {
+      size_t bytes = c->MemoryBytes();
+      col_track_.emplace(c, ColTrack{e->id, 1, bytes});
+      e->owned_bytes += bytes;
+      total_bytes_ += bytes;
+    } else {
+      ++it->second.refs;
+      if (it->second.owner_entry != e->id) {
+        PoolEntry* owner = Get(it->second.owner_entry);
+        if (owner != nullptr) ++owner->children;
+      }
+    }
+  });
+}
+
+void RecyclePool::UnindexEntry(PoolEntry* e) {
+  // match index
+  auto range = match_index_.equal_range(MatchHash(e->op, e->args));
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == e->id) {
+      match_index_.erase(it);
+      break;
+    }
+  }
+  for (const MalValue& v : e->results) {
+    if (!v.is_bat()) continue;
+    auto it = producer_.find(v.bat()->id());
+    if (it != producer_.end() && it->second == e->id) producer_.erase(it);
+  }
+  if (!e->args.empty() && e->args[0].is_bat()) {
+    auto key = std::make_pair(static_cast<int>(e->op), e->args[0].bat()->id());
+    auto it = op_arg_index_.find(key);
+    if (it != op_arg_index_.end()) {
+      auto& vec = it->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), e->id), vec.end());
+      if (vec.empty()) op_arg_index_.erase(it);
+    }
+  }
+  for (const MalValue& a : e->args) {
+    if (!a.is_bat()) continue;
+    auto it = producer_.find(a.bat()->id());
+    if (it != producer_.end() && it->second != e->id) {
+      PoolEntry* parent = Get(it->second);
+      if (parent != nullptr && parent->children > 0) --parent->children;
+    }
+  }
+  ForEachResultColumn(*e, [&](const Column* c) {
+    auto it = col_track_.find(c);
+    if (it == col_track_.end()) return;
+    if (it->second.owner_entry != e->id) {
+      PoolEntry* owner = Get(it->second.owner_entry);
+      if (owner != nullptr && owner->children > 0) --owner->children;
+    }
+    if (--it->second.refs == 0) {
+      total_bytes_ -= it->second.bytes;
+      col_track_.erase(it);
+    }
+  });
+}
+
+PoolEntry* RecyclePool::FindExact(Opcode op,
+                                  const std::vector<MalValue>& args) {
+  auto range = match_index_.equal_range(MatchHash(op, args));
+  for (auto it = range.first; it != range.second; ++it) {
+    PoolEntry* e = Get(it->second);
+    if (e == nullptr || e->op != op || e->args.size() != args.size()) continue;
+    bool eq = true;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!e->args[i].MatchEq(args[i])) {
+        eq = false;
+        break;
+      }
+    }
+    if (eq) return e;
+  }
+  return nullptr;
+}
+
+std::vector<PoolEntry*> RecyclePool::FindByOpAndFirstArg(Opcode op,
+                                                         uint64_t bat_id) {
+  std::vector<PoolEntry*> out;
+  auto it = op_arg_index_.find({static_cast<int>(op), bat_id});
+  if (it == op_arg_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (uint64_t id : it->second) {
+    PoolEntry* e = Get(id);
+    if (e != nullptr) out.push_back(e);
+  }
+  return out;
+}
+
+PoolEntry* RecyclePool::ProducerOf(uint64_t bat_id) {
+  auto it = producer_.find(bat_id);
+  if (it == producer_.end()) return nullptr;
+  return Get(it->second);
+}
+
+PoolEntry* RecyclePool::Get(uint64_t id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void RecyclePool::AddSubsetEdge(uint64_t sub_bat, uint64_t super_bat) {
+  if (sub_bat == super_bat) return;
+  // Bound the relation table; losing edges only loses optional subsumption.
+  if (subset_parents_.size() > 200000) subset_parents_.clear();
+  auto& parents = subset_parents_[sub_bat];
+  if (std::find(parents.begin(), parents.end(), super_bat) == parents.end())
+    parents.push_back(super_bat);
+}
+
+bool RecyclePool::IsSubsetOf(uint64_t sub_bat, uint64_t super_bat) const {
+  if (sub_bat == super_bat) return true;
+  // DFS up the superset edges; the lattice is tiny.
+  std::vector<uint64_t> work{sub_bat};
+  std::vector<uint64_t> seen;
+  while (!work.empty()) {
+    uint64_t cur = work.back();
+    work.pop_back();
+    auto it = subset_parents_.find(cur);
+    if (it == subset_parents_.end()) continue;
+    for (uint64_t p : it->second) {
+      if (p == super_bat) return true;
+      if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+        seen.push_back(p);
+        work.push_back(p);
+      }
+    }
+  }
+  return false;
+}
+
+void RecyclePool::Remove(uint64_t id, bool force) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  if (!force) RDB_CHECK(it->second.children == 0);
+  UnindexEntry(&it->second);
+  entries_.erase(it);
+}
+
+size_t RecyclePool::InvalidateColumns(const std::vector<ColumnId>& cols) {
+  std::vector<uint64_t> doomed;
+  for (auto& [id, e] : entries_) {
+    bool hit = false;
+    for (const ColumnId& d : e.deps) {
+      for (const ColumnId& c : cols) {
+        if (d == c) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) break;
+    }
+    if (hit) doomed.push_back(id);
+  }
+  for (uint64_t id : doomed) Remove(id, /*force=*/true);
+  return doomed.size();
+}
+
+void RecyclePool::Clear() {
+  entries_.clear();
+  match_index_.clear();
+  producer_.clear();
+  op_arg_index_.clear();
+  col_track_.clear();
+  subset_parents_.clear();
+  total_bytes_ = 0;
+}
+
+std::vector<PoolEntry*> RecyclePool::Entries() {
+  std::vector<PoolEntry*> out;
+  out.reserve(entries_.size());
+  for (auto& [id, e] : entries_) out.push_back(&e);
+  return out;
+}
+
+std::vector<const PoolEntry*> RecyclePool::Entries() const {
+  std::vector<const PoolEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.push_back(&e);
+  return out;
+}
+
+std::vector<PoolEntry*> RecyclePool::Leaves(uint64_t protected_query,
+                                            bool include_protected) {
+  std::vector<PoolEntry*> out;
+  for (auto& [id, e] : entries_) {
+    if (!e.IsLeaf()) continue;
+    if (!include_protected && e.last_query == protected_query) continue;
+    out.push_back(&e);
+  }
+  return out;
+}
+
+size_t RecyclePool::ReusedBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, e] : entries_) {
+    if (e.reuses > 0 || e.subsumption_uses > 0) bytes += e.owned_bytes;
+  }
+  return bytes;
+}
+
+size_t RecyclePool::ReusedEntries() const {
+  size_t n = 0;
+  for (const auto& [id, e] : entries_) {
+    if (e.reuses > 0 || e.subsumption_uses > 0) ++n;
+  }
+  return n;
+}
+
+std::string RecyclePool::Dump(size_t max_entries) const {
+  std::ostringstream os;
+  os << StrFormat("recycle pool: %zu entries, %.2f MB\n", entries_.size(),
+                  static_cast<double>(total_bytes_) / (1024.0 * 1024.0));
+  std::vector<const PoolEntry*> es = Entries();
+  std::sort(es.begin(), es.end(), [](const PoolEntry* a, const PoolEntry* b) {
+    return a->admit_seq < b->admit_seq;
+  });
+  size_t n = 0;
+  for (const PoolEntry* e : es) {
+    if (n++ >= max_entries) {
+      os << "  ...\n";
+      break;
+    }
+    os << "  " << OpcodeName(e->op) << "(";
+    for (size_t i = 0; i < e->args.size(); ++i) {
+      if (i) os << ", ";
+      if (e->args[i].is_bat())
+        os << "bat#" << e->args[i].bat()->id();
+      else
+        os << e->args[i].scalar().ToString();
+    }
+    os << StrFormat(") rows=%zu cost=%.3fms mem=%zuB reuses=%d%s%s",
+                    e->result_rows, e->cost_ms, e->owned_bytes, e->reuses,
+                    e->global_reuse ? " G" : "", e->local_reuse ? " L" : "");
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace recycledb

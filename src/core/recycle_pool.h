@@ -1,0 +1,140 @@
+#ifndef RECYCLEDB_CORE_RECYCLE_POOL_H_
+#define RECYCLEDB_CORE_RECYCLE_POOL_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "mal/opcode.h"
+#include "mal/value.h"
+
+namespace recycledb {
+
+/// One cached instruction instance: the instruction (opcode + resolved
+/// argument values), its materialised results, and the execution / reuse
+/// statistics driving the admission and eviction policies (paper §3.2).
+struct PoolEntry {
+  uint64_t id = 0;
+  Opcode op{};
+  std::vector<MalValue> args;
+  std::vector<MalValue> results;
+
+  // --- cost & storage -------------------------------------------------------
+  double cost_ms = 0;       ///< CPU time of the original computation
+  size_t owned_bytes = 0;   ///< fresh column bytes this entry introduced
+  size_t result_rows = 0;   ///< rows of the first bat result (cost model)
+
+  // --- reuse statistics -----------------------------------------------------
+  int reuses = 0;
+  bool local_reuse = false;   ///< reused within its admitting invocation
+  bool global_reuse = false;  ///< reused by a different invocation
+  int subsumption_uses = 0;   ///< times used as a subsumption source
+
+  // --- bookkeeping ----------------------------------------------------------
+  uint64_t admit_seq = 0;     ///< logical clock at admission
+  uint64_t last_use_seq = 0;  ///< logical clock at last use
+  double admit_ms = 0;        ///< wall clock at admission (HP ageing)
+  uint64_t admit_query = 0;   ///< invocation id that admitted it
+  uint64_t last_query = 0;    ///< invocation id of last admit/use
+  uint64_t source_tid = 0;    ///< template id of the source instruction
+  int source_pc = 0;          ///< pc of the source instruction
+  std::vector<ColumnId> deps; ///< persistent columns it derives from
+  int children = 0;           ///< pool entries consuming my results
+
+  bool IsLeaf() const { return children == 0; }
+};
+
+/// The recycle pool: an instruction cache with lineage (paper §4.1).
+///
+/// Responsibilities: exact-match lookup, dependency (children) tracking so
+/// eviction respects lineage, per-column memory attribution (viewpoint
+/// entries own no bytes, exactly like Table III's Bind/MarkT rows), subset
+/// relations between intermediates (for semijoin subsumption), and
+/// column-wise invalidation.
+class RecyclePool {
+ public:
+  RecyclePool() = default;
+  RecyclePool(const RecyclePool&) = delete;
+  RecyclePool& operator=(const RecyclePool&) = delete;
+
+  /// Admits an entry (already filled in by the recycler). Returns its id.
+  uint64_t Admit(PoolEntry entry);
+
+  /// Exact match: same opcode, all argument values equal (bats by identity).
+  PoolEntry* FindExact(Opcode op, const std::vector<MalValue>& args);
+
+  /// All live entries with `op` whose first argument is the bat `bat_id`
+  /// (subsumption candidate enumeration).
+  std::vector<PoolEntry*> FindByOpAndFirstArg(Opcode op, uint64_t bat_id);
+
+  /// Entry producing the bat `bat_id`, or nullptr.
+  PoolEntry* ProducerOf(uint64_t bat_id);
+
+  PoolEntry* Get(uint64_t id);
+
+  /// Registers that `sub` (a bat id) is a subset of `super` (a bat id):
+  /// the W ⊂ V test of semijoin subsumption walks these edges.
+  void AddSubsetEdge(uint64_t sub_bat, uint64_t super_bat);
+  bool IsSubsetOf(uint64_t sub_bat, uint64_t super_bat) const;
+
+  /// Removes one entry. The caller must ensure it is a leaf (children == 0)
+  /// unless `force` is set (bulk invalidation recomputes dependents).
+  void Remove(uint64_t id, bool force = false);
+
+  /// Removes every entry whose dependency set intersects `cols`; returns
+  /// the number of entries dropped. Dependents are dropped with their
+  /// ancestors (their dependency sets are supersets, see interpreter dep
+  /// propagation), so lineage consistency is preserved.
+  size_t InvalidateColumns(const std::vector<ColumnId>& cols);
+
+  /// Drops everything.
+  void Clear();
+
+  // --- introspection --------------------------------------------------------
+  size_t num_entries() const { return entries_.size(); }
+  size_t total_bytes() const { return total_bytes_; }
+
+  /// Live entries, unordered. Pointers valid until the next mutation.
+  std::vector<PoolEntry*> Entries();
+  std::vector<const PoolEntry*> Entries() const;
+
+  /// Leaf entries eligible for eviction. Entries whose `last_query` equals
+  /// `protected_query` are excluded unless `include_protected`.
+  std::vector<PoolEntry*> Leaves(uint64_t protected_query,
+                                 bool include_protected);
+
+  /// Bytes and entry counts that have seen at least one reuse (the
+  /// "reused memory/lines" metrics of Figs. 7-8).
+  size_t ReusedBytes() const;
+  size_t ReusedEntries() const;
+
+  /// Table I-style rendering of the pool head.
+  std::string Dump(size_t max_entries = 24) const;
+
+ private:
+  struct ColTrack {
+    uint64_t owner_entry;
+    int refs;
+    size_t bytes;
+  };
+
+  static size_t MatchHash(Opcode op, const std::vector<MalValue>& args);
+  void IndexEntry(PoolEntry* e);
+  void UnindexEntry(PoolEntry* e);
+
+  std::unordered_map<uint64_t, PoolEntry> entries_;
+  std::unordered_multimap<size_t, uint64_t> match_index_;
+  std::unordered_map<uint64_t, uint64_t> producer_;  // bat id -> entry id
+  // (op, first-arg bat id) -> entry ids, for subsumption candidates.
+  std::map<std::pair<int, uint64_t>, std::vector<uint64_t>> op_arg_index_;
+  std::unordered_map<const Column*, ColTrack> col_track_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> subset_parents_;
+  size_t total_bytes_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_CORE_RECYCLE_POOL_H_

@@ -1,0 +1,315 @@
+#include "core/recycler.h"
+
+#include <algorithm>
+
+#include "engine/operators.h"
+#include "util/timer.h"
+
+namespace recycledb {
+
+Recycler::Recycler(RecyclerConfig cfg)
+    : cfg_(cfg),
+      ledger_(cfg.admission, cfg.credits),
+      subsume_(&pool_, SubsumptionEngine::Options{
+                           cfg.enable_combined_subsumption,
+                           cfg.combined_max_candidates,
+                           cfg.combined_overhead_rows}) {}
+
+void Recycler::BeginQuery(const Program& prog) {
+  ++query_seq_;
+  cur_template_ = prog.template_id;
+}
+
+void Recycler::EndQuery() { cur_template_ = 0; }
+
+void Recycler::RecordHit(PoolEntry* e, bool exact) {
+  bool local = e->admit_query == query_seq_;
+  ++e->reuses;
+  e->local_reuse |= local;
+  e->global_reuse |= !local;
+  e->last_use_seq = ++clock_;
+  e->last_query = query_seq_;
+  ledger_.NoteReuse(e->source_tid, e->source_pc, local);
+  ++stats_.hits;
+  if (exact) ++stats_.exact_hits;
+  if (local)
+    ++stats_.local_hits;
+  else
+    ++stats_.global_hits;
+  if (exact) stats_.time_saved_ms += e->cost_ms;
+}
+
+bool Recycler::OnEntry(const InstrView& instr, std::vector<MalValue>* results) {
+  ++stats_.monitored;
+  StopWatch match_watch;
+
+  PoolEntry* e = pool_.FindExact(instr.op, *instr.args);
+  if (e != nullptr) {
+    *results = e->results;
+    RecordHit(e, /*exact=*/true);
+    stats_.match_ms += match_watch.ElapsedMillis();
+    return true;
+  }
+  stats_.match_ms += match_watch.ElapsedMillis();
+
+  if (!cfg_.enable_subsumption) return false;
+
+  std::optional<SubsumeOutcome> outcome;
+  StopWatch subsume_watch;
+  switch (instr.op) {
+    case Opcode::kSelect:
+    case Opcode::kUselect:
+      outcome = subsume_.TrySelect(instr.op, *instr.args);
+      break;
+    case Opcode::kLikeSelect:
+      outcome = subsume_.TryLike(*instr.args);
+      break;
+    case Opcode::kSemijoin:
+      outcome = subsume_.TrySemijoin(*instr.args);
+      break;
+    default:
+      break;
+  }
+  if (!outcome.has_value()) return false;
+
+  double subsumed_exec_ms = subsume_watch.ElapsedMillis();
+  ++stats_.hits;
+  if (outcome->combined) {
+    ++stats_.combined_hits;
+    stats_.subsume_alg_ms += outcome->algorithm_ms;
+    stats_.max_subsume_alg_ms =
+        std::max(stats_.max_subsume_alg_ms, outcome->algorithm_ms);
+  } else {
+    ++stats_.subsumed_hits;
+  }
+
+  // Account reuse on the sources and classify locality by the closest one.
+  bool any_local = false;
+  std::vector<ColumnId> deps;
+  for (PoolEntry* src : outcome->sources) {
+    ++src->subsumption_uses;
+    src->last_use_seq = ++clock_;
+    bool local = src->admit_query == query_seq_;
+    src->last_query = query_seq_;
+    any_local |= local;
+    for (const ColumnId& d : src->deps) {
+      if (std::find(deps.begin(), deps.end(), d) == deps.end())
+        deps.push_back(d);
+    }
+  }
+  std::sort(deps.begin(), deps.end());
+  if (any_local)
+    ++stats_.local_hits;
+  else
+    ++stats_.global_hits;
+
+  // The modified instruction's result enters the pool under the prevailing
+  // admission policy (§5.1), and the subset lattice learns the new edges:
+  // both result ⊆ column-operand (via AdmitResult) and result ⊆ source
+  // intermediate, which later enables semijoin subsumption (W ⊂ V).
+  AdmitResult(instr, outcome->results, subsumed_exec_ms, deps,
+              outcome->sources);
+  if (!outcome->results.empty() && outcome->results[0].is_bat()) {
+    for (PoolEntry* src : outcome->sources) {
+      if (!src->results.empty() && src->results[0].is_bat()) {
+        pool_.AddSubsetEdge(outcome->results[0].bat()->id(),
+                            src->results[0].bat()->id());
+      }
+    }
+  }
+
+  *results = outcome->results;
+  return true;
+}
+
+void Recycler::OnExit(const InstrView& instr,
+                      const std::vector<MalValue>& results, double cpu_ms,
+                      const std::vector<ColumnId>& deps) {
+  AdmitResult(instr, results, cpu_ms, deps, {});
+}
+
+size_t Recycler::EstimateNewBytes(const std::vector<MalValue>& results) const {
+  size_t bytes = 0;
+  for (const MalValue& v : results) {
+    if (v.is_bat()) bytes += v.bat()->MemoryBytes();
+  }
+  return bytes;
+}
+
+bool Recycler::AdmitResult(const InstrView& instr,
+                           const std::vector<MalValue>& results,
+                           double cost_ms, const std::vector<ColumnId>& deps,
+                           const std::vector<PoolEntry*>& extra_sources) {
+  (void)extra_sources;  // sources are kept alive via column borrow edges
+  if (!ledger_.TryAdmit(instr.prog->template_id, instr.pc)) {
+    ++stats_.rejected;
+    return false;
+  }
+  size_t bytes_needed = EstimateNewBytes(results);
+  if (!EnsureCapacity(bytes_needed)) {
+    ++stats_.rejected;
+    return false;
+  }
+
+  PoolEntry e;
+  e.op = instr.op;
+  e.args = *instr.args;
+  e.results = results;
+  e.cost_ms = cost_ms;
+  e.result_rows =
+      (!results.empty() && results[0].is_bat()) ? results[0].bat()->size() : 0;
+  e.admit_seq = ++clock_;
+  e.last_use_seq = e.admit_seq;
+  e.admit_ms = NowMillis();
+  e.admit_query = query_seq_;
+  e.last_query = query_seq_;
+  e.source_tid = instr.prog->template_id;
+  e.source_pc = instr.pc;
+  e.deps = deps;
+  pool_.Admit(std::move(e));
+  ++stats_.admitted;
+
+  AddSubsetEdges(instr.op, *instr.args, results);
+  return true;
+}
+
+void Recycler::AddSubsetEdges(Opcode op, const std::vector<MalValue>& args,
+                              const std::vector<MalValue>& results) {
+  // Selection-family results are subsets of their column operand: the
+  // semijoin-subsumption test W ⊂ V walks these edges (§5.1).
+  switch (op) {
+    case Opcode::kSelect:
+    case Opcode::kUselect:
+    case Opcode::kAntiUselect:
+    case Opcode::kLikeSelect:
+    case Opcode::kSelectNotNil:
+    case Opcode::kSemijoin:
+    case Opcode::kSlice:
+    case Opcode::kKunique:
+      if (!args.empty() && args[0].is_bat() && !results.empty() &&
+          results[0].is_bat()) {
+        pool_.AddSubsetEdge(results[0].bat()->id(), args[0].bat()->id());
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void Recycler::NoteEviction(const PoolEntry& e) {
+  ++stats_.evicted;
+  ledger_.NoteEviction(e.source_tid, e.source_pc, e.global_reuse);
+}
+
+bool Recycler::EnsureCapacity(size_t bytes_needed) {
+  uint64_t protected_query =
+      cfg_.protect_current_query ? query_seq_ : UINT64_MAX;
+  auto on_evict = [this](const PoolEntry& e) { NoteEviction(e); };
+
+  if (cfg_.max_entries != 0) {
+    EvictForEntries(&pool_, cfg_.eviction, cfg_.max_entries, 1,
+                    protected_query, NowMillis(), on_evict);
+    if (pool_.num_entries() + 1 > cfg_.max_entries) return false;
+  }
+  if (cfg_.max_bytes != 0) {
+    if (bytes_needed > cfg_.max_bytes) return false;
+    if (pool_.total_bytes() + bytes_needed > cfg_.max_bytes) {
+      EvictForMemory(&pool_, cfg_.eviction, cfg_.max_bytes, bytes_needed,
+                     protected_query, NowMillis(), on_evict);
+    }
+    if (pool_.total_bytes() + bytes_needed > cfg_.max_bytes) return false;
+  }
+  return true;
+}
+
+void Recycler::OnCatalogUpdate(const std::vector<ColumnId>& cols) {
+  stats_.invalidated += pool_.InvalidateColumns(cols);
+}
+
+void Recycler::PropagateUpdate(Catalog* catalog,
+                               const std::vector<ColumnId>& cols) {
+  // Collect affected entries, separating refreshable select-over-bind
+  // entries (single-column dependency, insert-only delta available) from
+  // the rest.
+  struct Refresh {
+    Opcode op;
+    std::vector<MalValue> args;  // with arg0 rewritten to the fresh bind
+    std::vector<MalValue> results;
+    double cost_ms;
+    std::vector<ColumnId> deps;
+    uint64_t source_tid;
+    int source_pc;
+  };
+  std::vector<Refresh> refreshes;
+
+  for (PoolEntry* e : pool_.Entries()) {
+    bool affected = false;
+    for (const ColumnId& d : e->deps) {
+      for (const ColumnId& c : cols) {
+        if (d == c) affected = true;
+      }
+    }
+    if (!affected) continue;
+    if (e->op != Opcode::kSelect || e->deps.size() != 1) continue;
+    // Identify the bind instruction that produced arg0.
+    if (e->args.empty() || !e->args[0].is_bat()) continue;
+    PoolEntry* bind = pool_.ProducerOf(e->args[0].bat()->id());
+    if (bind == nullptr || bind->op != Opcode::kBind) continue;
+    const std::string& table = bind->args[1].scalar().AsStr();
+    const std::string& column = bind->args[2].scalar().AsStr();
+    auto delta = catalog->LastInsertDelta(table, column);
+    if (!delta.ok()) continue;  // deletes or no insert delta: invalidate
+    if (!catalog->LastCommitInsertOnly(table)) continue;
+
+    // Execute the select over the delta only and append (§6.3).
+    auto piece =
+        engine::Select(delta.value(), e->args[1].scalar(), e->args[2].scalar(),
+                       e->args[3].scalar().AsBit(), e->args[4].scalar().AsBit());
+    if (!piece.ok()) continue;
+    auto merged =
+        engine::Concat({e->results[0].bat(), std::move(piece).value()});
+    if (!merged.ok()) continue;
+    auto fresh_bind = catalog->BindColumn(table, column);
+    if (!fresh_bind.ok()) continue;
+
+    Refresh r;
+    r.op = e->op;
+    r.args = e->args;
+    r.args[0] = MalValue(fresh_bind.value());
+    r.results.emplace_back(std::move(merged).value());
+    r.cost_ms = e->cost_ms;
+    r.deps = e->deps;
+    r.source_tid = e->source_tid;
+    r.source_pc = e->source_pc;
+    refreshes.push_back(std::move(r));
+  }
+
+  // Drop the affected subtree wholesale, then re-admit the refreshed
+  // selections against the new binds.
+  stats_.invalidated += pool_.InvalidateColumns(cols);
+
+  for (Refresh& r : refreshes) {
+    if (!EnsureCapacity(EstimateNewBytes(r.results))) continue;
+    PoolEntry e;
+    e.op = r.op;
+    e.args = std::move(r.args);
+    e.results = std::move(r.results);
+    e.cost_ms = r.cost_ms;
+    e.result_rows = e.results[0].bat()->size();
+    e.admit_seq = ++clock_;
+    e.last_use_seq = e.admit_seq;
+    e.admit_ms = NowMillis();
+    e.admit_query = query_seq_;
+    e.last_query = query_seq_;
+    e.source_tid = r.source_tid;
+    e.source_pc = r.source_pc;
+    e.deps = std::move(r.deps);
+    AddSubsetEdges(e.op, e.args, e.results);
+    pool_.Admit(std::move(e));
+    ++stats_.propagated;
+  }
+}
+
+void Recycler::Clear() { pool_.Clear(); }
+
+}  // namespace recycledb

@@ -1,0 +1,123 @@
+#ifndef RECYCLEDB_CORE_RECYCLER_H_
+#define RECYCLEDB_CORE_RECYCLER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "core/recycle_pool.h"
+#include "core/subsumption.h"
+#include "interp/recycler_hook.h"
+
+namespace recycledb {
+
+/// Knobs of the recycler architecture (paper §3-§6). Defaults correspond to
+/// the paper's baseline micro-benchmark setting: KEEPALL admission, no
+/// resource limits, subsumption enabled.
+struct RecyclerConfig {
+  AdmissionKind admission = AdmissionKind::kKeepAll;
+  int credits = 5;  ///< initial credits for CREDIT / ADAPT
+
+  EvictionKind eviction = EvictionKind::kLru;
+  size_t max_entries = 0;  ///< recycle-pool entry limit; 0 = unlimited
+  size_t max_bytes = 0;    ///< recycle-pool memory limit; 0 = unlimited
+
+  bool enable_subsumption = true;
+  bool enable_combined_subsumption = true;
+  size_t combined_max_candidates = 16;
+  size_t combined_overhead_rows = 16;
+
+  /// Protect the running query's intermediates from eviction (§4.3); the
+  /// single-query-fills-pool exception still applies. Ablation knob.
+  bool protect_current_query = true;
+};
+
+/// Aggregate recycler statistics, accumulated across queries.
+struct RecyclerStats {
+  uint64_t monitored = 0;  ///< monitored executions ("potential hits")
+  uint64_t hits = 0;       ///< instructions answered from the pool
+  uint64_t exact_hits = 0;
+  uint64_t subsumed_hits = 0;  ///< singleton subsumption
+  uint64_t combined_hits = 0;  ///< combined subsumption
+  uint64_t local_hits = 0;     ///< reuse within the admitting invocation
+  uint64_t global_hits = 0;    ///< reuse across invocations
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;   ///< admission declined (credits / capacity)
+  uint64_t evicted = 0;
+  uint64_t invalidated = 0;  ///< entries dropped by update invalidation
+  uint64_t propagated = 0;   ///< entries refreshed by delta propagation
+  double time_saved_ms = 0;  ///< Σ original cost of entries reused exactly
+  double match_ms = 0;       ///< total time spent in recycleEntry matching
+  double subsume_alg_ms = 0; ///< time inside the combined-subsumption DP
+  double max_subsume_alg_ms = 0;
+};
+
+/// The recycler run-time support (paper §3.3, Algorithm 1): implements the
+/// RecyclerHook the interpreter wraps around marked instructions, manages
+/// the recycle pool under the configured admission/eviction policies, and
+/// performs instruction subsumption on match misses.
+class Recycler : public RecyclerHook {
+ public:
+  explicit Recycler(RecyclerConfig cfg = {});
+
+  // --- RecyclerHook (Algorithm 1) ------------------------------------------
+  void BeginQuery(const Program& prog) override;
+  void EndQuery() override;
+  bool OnEntry(const InstrView& instr, std::vector<MalValue>* results) override;
+  void OnExit(const InstrView& instr, const std::vector<MalValue>& results,
+              double cpu_ms, const std::vector<ColumnId>& deps) override;
+
+  // --- update synchronisation (§6) -----------------------------------------
+
+  /// Immediate column-wise invalidation (§6.4): drops every entry derived
+  /// from any of `cols`. This is the listener the catalog should call.
+  void OnCatalogUpdate(const std::vector<ColumnId>& cols);
+
+  /// §6.3 extension: for insert-only commits, refreshes select-over-bind
+  /// entries by running them over the insert delta and appending, instead of
+  /// dropping them; everything else is invalidated. Requires the catalog
+  /// that produced the update.
+  void PropagateUpdate(Catalog* catalog, const std::vector<ColumnId>& cols);
+
+  /// Empties the pool (benchmark preparation; "empty the recycle pool").
+  void Clear();
+
+  // --- introspection --------------------------------------------------------
+  RecyclePool& pool() { return pool_; }
+  const RecyclePool& pool() const { return pool_; }
+  const RecyclerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RecyclerStats(); }
+  const RecyclerConfig& config() const { return cfg_; }
+
+  /// Table I-style dump of the pool.
+  std::string DumpPool(size_t max_entries = 24) const {
+    return pool_.Dump(max_entries);
+  }
+
+ private:
+  void RecordHit(PoolEntry* e, bool exact);
+  /// Admits an executed/subsumed result; returns true if stored.
+  bool AdmitResult(const InstrView& instr,
+                   const std::vector<MalValue>& results, double cost_ms,
+                   const std::vector<ColumnId>& deps,
+                   const std::vector<PoolEntry*>& extra_sources);
+  /// Frees capacity for `bytes_needed`; returns false if impossible.
+  bool EnsureCapacity(size_t bytes_needed);
+  void NoteEviction(const PoolEntry& e);
+  void AddSubsetEdges(Opcode op, const std::vector<MalValue>& args,
+                      const std::vector<MalValue>& results);
+  size_t EstimateNewBytes(const std::vector<MalValue>& results) const;
+
+  RecyclerConfig cfg_;
+  RecyclePool pool_;
+  CreditLedger ledger_;
+  SubsumptionEngine subsume_;
+  RecyclerStats stats_;
+  uint64_t clock_ = 0;      ///< logical use clock (LRU ordering)
+  uint64_t query_seq_ = 0;  ///< invocation counter (local/global, protection)
+  uint64_t cur_template_ = 0;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_CORE_RECYCLER_H_

@@ -1,0 +1,43 @@
+#include "core/recycler_optimizer.h"
+
+namespace recycledb {
+
+int MarkForRecycling(Program* prog) {
+  const size_t nvars = prog->vars.size();
+  std::vector<bool> candidate(nvars, false);
+  std::vector<bool> param_dep(nvars, false);
+
+  for (size_t i = 0; i < nvars; ++i) {
+    const VarDecl& v = prog->vars[i];
+    if (v.is_const) candidate[i] = true;
+    if (v.is_param) {
+      // Parameters are known at run time; they qualify as candidates but
+      // taint everything derived from them as parameter-dependent.
+      candidate[i] = true;
+      param_dep[i] = true;
+    }
+  }
+
+  int marked = 0;
+  for (Instruction& ins : prog->instrs) {
+    bool all_candidates = true;
+    bool any_param = false;
+    for (uint16_t a : ins.args) {
+      if (!candidate[a]) all_candidates = false;
+      if (param_dep[a]) any_param = true;
+    }
+
+    bool propagate = all_candidates && OpcodeDeterministic(ins.op);
+    ins.monitored = all_candidates && OpcodeMonitorable(ins.op);
+    ins.param_independent = ins.monitored && !any_param;
+    if (ins.monitored) ++marked;
+
+    for (uint16_t r : ins.rets) {
+      candidate[r] = propagate;
+      param_dep[r] = any_param;
+    }
+  }
+  return marked;
+}
+
+}  // namespace recycledb

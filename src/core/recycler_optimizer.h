@@ -1,0 +1,29 @@
+#ifndef RECYCLEDB_CORE_RECYCLER_OPTIMIZER_H_
+#define RECYCLEDB_CORE_RECYCLER_OPTIMIZER_H_
+
+#include "mal/program.h"
+
+namespace recycledb {
+
+/// The recycler optimiser (paper §3.1): inspects a MAL plan and marks the
+/// instructions eligible for run-time monitoring by the recycler.
+///
+/// An instruction is marked iff
+///  - its opcode is of interest (relational operators over bats; cheap
+///    scalar expressions and side-effecting instructions are excluded), and
+///  - every argument is a constant, a template parameter, or a variable
+///    already designated as a recycling candidate.
+///
+/// The candidate property additionally propagates through deterministic
+/// scalar instructions (e.g. mtime.addmonths over parameters), which are not
+/// themselves monitored but whose results are run-time constants.
+///
+/// The pass also computes `param_independent` per instruction — the dark
+/// nodes of Fig. 2, reusable across template instances with any parameters.
+///
+/// Returns the number of instructions marked.
+int MarkForRecycling(Program* prog);
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_CORE_RECYCLER_OPTIMIZER_H_

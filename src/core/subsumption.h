@@ -1,0 +1,84 @@
+#ifndef RECYCLEDB_CORE_SUBSUMPTION_H_
+#define RECYCLEDB_CORE_SUBSUMPTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/recycle_pool.h"
+
+namespace recycledb {
+
+/// A (possibly unbounded) typed selection endpoint.
+struct RangeBound {
+  Scalar v;
+  bool inclusive = true;
+  bool unbounded = false;
+};
+
+/// A typed selection interval over an ordered domain.
+struct ValRange {
+  RangeBound lo, hi;
+};
+
+/// Builds the range of a `algebra.select(b, lo, hi, li, hi)` argument list.
+ValRange RangeOfSelect(const std::vector<MalValue>& args);
+
+/// outer ⊇ inner.
+bool RangeCovers(const ValRange& outer, const ValRange& inner);
+
+/// Non-empty intersection: touching endpoints overlap only when both sides
+/// are inclusive. Conservative for discrete domains: adjacency without a
+/// shared point does not chain in the combined-subsumption algorithm.
+bool RangeOverlaps(const ValRange& a, const ValRange& b);
+
+/// Result of a successful subsumption: the computed results, the pool
+/// entries used as sources, and diagnostics.
+struct SubsumeOutcome {
+  std::vector<MalValue> results;
+  std::vector<PoolEntry*> sources;
+  bool combined = false;
+  double algorithm_ms = 0;  ///< time spent in the combined-subsumption DP
+};
+
+/// Run-time instruction subsumption (paper §5). Stateless over a pool; all
+/// methods return nullopt when no profitable subsumption exists, in which
+/// case the caller executes the instruction normally.
+class SubsumptionEngine {
+ public:
+  struct Options {
+    bool allow_combined = true;
+    size_t max_candidates = 16;   ///< cap on |R| for Algorithm 2
+    size_t overhead_rows = 16;    ///< `ov` of the §5.2 cost model, in rows
+  };
+
+  explicit SubsumptionEngine(RecyclePool* pool)
+      : pool_(pool), opts_(Options()) {}
+  SubsumptionEngine(RecyclePool* pool, Options opts)
+      : pool_(pool), opts_(opts) {}
+
+  /// Range-select subsumption: singleton (§5.1) first, then combined
+  /// (Algorithm 2). `op` may be kSelect or kUselect (an equality select is
+  /// the degenerate range [v, v]).
+  std::optional<SubsumeOutcome> TrySelect(Opcode op,
+                                          const std::vector<MalValue>& args);
+
+  /// LIKE-pattern subsumption: a cached `%s%` scan covers any pattern whose
+  /// guaranteed literal content contains `s`.
+  std::optional<SubsumeOutcome> TryLike(const std::vector<MalValue>& args);
+
+  /// Semijoin subsumption: semijoin(X, W) from a cached semijoin(X, V) with
+  /// W ⊂ V, established via the pool's subset lattice.
+  std::optional<SubsumeOutcome> TrySemijoin(const std::vector<MalValue>& args);
+
+ private:
+  std::optional<SubsumeOutcome> TryCombined(const ValRange& target,
+                                            const std::vector<MalValue>& args,
+                                            std::vector<PoolEntry*> cands);
+
+  RecyclePool* pool_;
+  Options opts_;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_CORE_SUBSUMPTION_H_

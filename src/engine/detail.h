@@ -1,0 +1,72 @@
+#ifndef RECYCLEDB_ENGINE_DETAIL_H_
+#define RECYCLEDB_ENGINE_DETAIL_H_
+
+#include <type_traits>
+
+#include "bat/bat.h"
+#include "util/check.h"
+
+namespace recycledb::engine::detail {
+
+/// Reads a side that may be dense (oid sequence) or materialised. For
+/// non-oid physical types the side must be materialised.
+template <typename T>
+class AnySideReader {
+ public:
+  explicit AnySideReader(const BatSide& s) {
+    if (s.dense()) {
+      dense_ = true;
+      seq_ = s.seq;
+    } else {
+      data_ = s.col->Data<T>().data() + s.offset;
+    }
+  }
+
+  T operator[](size_t i) const {
+    if constexpr (std::is_same_v<T, Oid>) {
+      if (dense_) return seq_ + i;
+    }
+    return data_[i];
+  }
+
+  bool dense() const { return dense_; }
+
+ private:
+  bool dense_ = false;
+  Oid seq_ = 0;
+  const T* data_ = nullptr;
+};
+
+/// True iff the two logical types share a physical representation, so that
+/// typed operator code can treat them interchangeably.
+inline bool PhysCompatible(TypeTag a, TypeTag b) {
+  auto phys = [](TypeTag t) -> int {
+    switch (t) {
+      case TypeTag::kBit:
+        return 1;
+      case TypeTag::kInt:
+      case TypeTag::kDate:
+        return 2;
+      case TypeTag::kLng:
+        return 3;
+      case TypeTag::kDbl:
+        return 4;
+      case TypeTag::kOid:
+      case TypeTag::kVoid:
+        return 5;
+      case TypeTag::kStr:
+        return 6;
+    }
+    return 0;
+  };
+  return phys(a) == phys(b);
+}
+
+inline bool IsNumeric(TypeTag t) {
+  return t == TypeTag::kInt || t == TypeTag::kLng || t == TypeTag::kDbl ||
+         t == TypeTag::kDate || t == TypeTag::kOid || t == TypeTag::kBit;
+}
+
+}  // namespace recycledb::engine::detail
+
+#endif  // RECYCLEDB_ENGINE_DETAIL_H_

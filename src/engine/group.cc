@@ -1,0 +1,133 @@
+#include <unordered_map>
+
+#include "engine/detail.h"
+#include "engine/materialize.h"
+#include "engine/operators.h"
+
+namespace recycledb::engine {
+
+using detail::AnySideReader;
+
+Result<BatPtr> Kunique(const BatPtr& b) {
+  const BatSide& head = b->head();
+  // Dense heads and declared-key columns are already duplicate-free.
+  if (head.dense()) return b;
+  if (head.col->key()) return b;
+  TypeTag t = head.LogicalType();
+  return VisitPhysical(t, [&](auto tag) -> Result<BatPtr> {
+    using T = typename decltype(tag)::type;
+    AnySideReader<T> reader(head);
+    size_t n = b->size();
+    std::unordered_map<T, uint32_t> seen;
+    seen.reserve(n);
+    SelVector sel;
+    for (size_t i = 0; i < n; ++i) {
+      if (seen.emplace(reader[i], static_cast<uint32_t>(i)).second)
+        sel.push_back(static_cast<uint32_t>(i));
+    }
+    if (sel.size() == n) return b;
+    return Bat::Make(TakeSide(head, n, sel), TakeSide(b->tail(), n, sel),
+                     sel.size());
+  });
+}
+
+namespace {
+
+template <typename T>
+GroupResult GroupByTyped(const BatPtr& keys) {
+  AnySideReader<T> reader(keys->tail());
+  AnySideReader<Oid> heads(keys->head());
+  size_t n = keys->size();
+  std::unordered_map<T, Oid> groups;
+  groups.reserve(n);
+  std::vector<Oid> map;
+  map.reserve(n);
+  std::vector<Oid> reps;
+  for (size_t i = 0; i < n; ++i) {
+    auto [it, fresh] =
+        groups.emplace(reader[i], static_cast<Oid>(groups.size()));
+    if (fresh) reps.push_back(heads[i]);
+    map.push_back(it->second);
+  }
+  GroupResult out;
+  out.map = Bat::DenseHead(Column::Make(TypeTag::kOid, std::move(map)));
+  auto reps_col = Column::Make(TypeTag::kOid, std::move(reps));
+  reps_col->set_key(true);
+  out.reps = Bat::DenseHead(std::move(reps_col));
+  return out;
+}
+
+struct PairKey {
+  Oid gid;
+  uint64_t vhash;
+  bool operator==(const PairKey& o) const {
+    return gid == o.gid && vhash == o.vhash;
+  }
+};
+struct PairKeyHash {
+  size_t operator()(const PairKey& k) const {
+    return k.gid * 0x9e3779b97f4a7c15ULL ^ k.vhash;
+  }
+};
+
+template <typename T>
+GroupResult SubGroupByTyped(const BatPtr& keys, const BatPtr& prev_map) {
+  AnySideReader<T> reader(keys->tail());
+  AnySideReader<Oid> heads(keys->head());
+  AnySideReader<Oid> prev(prev_map->tail());
+  size_t n = keys->size();
+  // Group on (previous gid, key value); to avoid per-type pair maps we key
+  // on (gid, hash(value)) and verify values via a representative check.
+  std::unordered_map<PairKey, Oid, PairKeyHash> groups;
+  groups.reserve(n);
+  std::vector<uint32_t> first_row;  // representative row per new gid
+  std::vector<Oid> map;
+  map.reserve(n);
+  std::vector<Oid> reps;
+  for (size_t i = 0; i < n; ++i) {
+    PairKey k{prev[i], std::hash<T>()(reader[i])};
+    auto it = groups.find(k);
+    // Resolve (rare) hash collisions by probing alternative keys.
+    while (it != groups.end() && !(reader[first_row[it->second]] == reader[i])) {
+      k.vhash = k.vhash * 0x100000001b3ULL + 1;
+      it = groups.find(k);
+    }
+    if (it == groups.end()) {
+      Oid gid = static_cast<Oid>(first_row.size());
+      groups.emplace(k, gid);
+      first_row.push_back(static_cast<uint32_t>(i));
+      reps.push_back(heads[i]);
+      map.push_back(gid);
+    } else {
+      map.push_back(it->second);
+    }
+  }
+  GroupResult out;
+  out.map = Bat::DenseHead(Column::Make(TypeTag::kOid, std::move(map)));
+  auto reps_col = Column::Make(TypeTag::kOid, std::move(reps));
+  reps_col->set_key(true);
+  out.reps = Bat::DenseHead(std::move(reps_col));
+  return out;
+}
+
+}  // namespace
+
+Result<GroupResult> GroupBy(const BatPtr& keys) {
+  TypeTag t = keys->tail().LogicalType();
+  return VisitPhysical(t, [&](auto tag) -> Result<GroupResult> {
+    using T = typename decltype(tag)::type;
+    return GroupByTyped<T>(keys);
+  });
+}
+
+Result<GroupResult> SubGroupBy(const BatPtr& keys, const BatPtr& prev_map) {
+  if (keys->size() != prev_map->size())
+    return Status::InvalidArgument("subgroupby: misaligned inputs");
+  TypeTag t = keys->tail().LogicalType();
+  return VisitPhysical(t, [&](auto tag) -> Result<GroupResult> {
+    using T = typename decltype(tag)::type;
+    return SubGroupByTyped<T>(keys, prev_map);
+  });
+}
+
+}  // namespace recycledb::engine

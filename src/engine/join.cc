@@ -1,0 +1,155 @@
+#include "bat/hash_index.h"
+#include "engine/detail.h"
+#include "engine/materialize.h"
+#include "engine/operators.h"
+
+namespace recycledb::engine {
+
+using detail::AnySideReader;
+using detail::PhysCompatible;
+
+namespace {
+
+/// Positional fetch join: r.head is a dense oid sequence, so the match for
+/// l.tail value v sits at position v - r.seq. This is the projection join
+/// that dominates MAL plans after markT/reverse candidate construction.
+Result<BatPtr> PositionalJoin(const BatPtr& l, const BatPtr& r) {
+  const BatSide& ltail = l->tail();
+  Oid seq = r->head().seq;
+  size_t rn = r->size();
+  size_t ln = l->size();
+  AnySideReader<Oid> reader(ltail);
+
+  if (reader.dense()) {
+    // Both sides dense: the join is an offset window over r.
+    Oid lo = ltail.seq, hi = ltail.seq + ln;  // values [lo, hi)
+    Oid rlo = seq, rhi = seq + rn;
+    Oid from = lo > rlo ? lo : rlo;
+    Oid to = hi < rhi ? hi : rhi;
+    if (to < from) to = from;
+    size_t loff = from - lo, roff = from - rlo, len = to - from;
+    return Bat::Make(SliceSide(l->head(), loff, len),
+                     SliceSide(r->tail(), roff, len), len);
+  }
+
+  SelVector sel_l, pos_r;
+  sel_l.reserve(ln);
+  pos_r.reserve(ln);
+  for (size_t i = 0; i < ln; ++i) {
+    Oid v = reader[i];
+    if (v == kNilOid) continue;
+    if (v < seq || v - seq >= rn) continue;
+    sel_l.push_back(static_cast<uint32_t>(i));
+    pos_r.push_back(static_cast<uint32_t>(v - seq));
+  }
+  return Bat::Make(TakeSide(l->head(), ln, sel_l),
+                   TakeSide(r->tail(), rn, pos_r), sel_l.size());
+}
+
+template <typename T>
+Result<BatPtr> HashJoin(const BatPtr& l, const BatPtr& r) {
+  const BatSide& rhead = r->head();
+  const T* rdata = rhead.col->Data<T>().data() + rhead.offset;
+  size_t rn = r->size();
+  HashIndexT<T> index(rdata, rn);
+
+  AnySideReader<T> lreader(l->tail());
+  size_t ln = l->size();
+  SelVector sel_l, pos_r;
+  for (size_t i = 0; i < ln; ++i) {
+    const T& v = lreader[i];
+    index.ForEachMatch(v, [&](uint32_t j) {
+      sel_l.push_back(static_cast<uint32_t>(i));
+      pos_r.push_back(j);
+    });
+  }
+  return Bat::Make(TakeSide(l->head(), ln, sel_l),
+                   TakeSide(r->tail(), rn, pos_r), sel_l.size());
+}
+
+}  // namespace
+
+Result<BatPtr> Join(const BatPtr& l, const BatPtr& r) {
+  TypeTag lt = l->tail().LogicalType();
+  TypeTag rt = r->head().LogicalType();
+  if (!PhysCompatible(lt, rt))
+    return Status::TypeMismatch("join key types are incompatible");
+
+  if (r->head().dense()) return PositionalJoin(l, r);
+
+  return VisitPhysical(rt, [&](auto tag) -> Result<BatPtr> {
+    using T = typename decltype(tag)::type;
+    return HashJoin<T>(l, r);
+  });
+}
+
+namespace {
+
+template <typename T>
+Result<BatPtr> HashSemijoin(const BatPtr& l, const BatPtr& r, bool anti) {
+  const BatSide& rhead = r->head();
+  AnySideReader<T> rreader(rhead);
+  size_t rn = r->size();
+  // Build over r.head; dense r heads are handled by the caller's fast path
+  // for the positive case, but anti-joins still land here.
+  std::vector<T> rvals;
+  const T* rdata;
+  if (rreader.dense()) {
+    rvals.reserve(rn);
+    for (size_t j = 0; j < rn; ++j) rvals.push_back(rreader[j]);
+    rdata = rvals.data();
+  } else {
+    rdata = rhead.col->Data<T>().data() + rhead.offset;
+  }
+  HashIndexT<T> index(rdata, rn);
+
+  AnySideReader<T> lreader(l->head());
+  size_t ln = l->size();
+  SelVector sel;
+  for (size_t i = 0; i < ln; ++i) {
+    const T& v = lreader[i];
+    bool in = !IsNil(v) && index.Contains(v);
+    if (in != anti) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return Bat::Make(TakeSide(l->head(), ln, sel), TakeSide(l->tail(), ln, sel),
+                   sel.size());
+}
+
+}  // namespace
+
+Result<BatPtr> Semijoin(const BatPtr& l, const BatPtr& r) {
+  TypeTag lt = l->head().LogicalType();
+  TypeTag rt = r->head().LogicalType();
+  if (!PhysCompatible(lt, rt))
+    return Status::TypeMismatch("semijoin key types are incompatible");
+
+  if (l->head().dense() && r->head().dense()) {
+    // Range intersection: a zero-copy slice of l.
+    Oid llo = l->head().seq, lhi = llo + l->size();
+    Oid rlo = r->head().seq, rhi = rlo + r->size();
+    Oid from = llo > rlo ? llo : rlo;
+    Oid to = lhi < rhi ? lhi : rhi;
+    if (to < from) to = from;
+    size_t off = from - llo, len = to - from;
+    return Bat::Make(SliceSide(l->head(), off, len),
+                     SliceSide(l->tail(), off, len), len);
+  }
+
+  return VisitPhysical(rt, [&](auto tag) -> Result<BatPtr> {
+    using T = typename decltype(tag)::type;
+    return HashSemijoin<T>(l, r, /*anti=*/false);
+  });
+}
+
+Result<BatPtr> AntiSemijoin(const BatPtr& l, const BatPtr& r) {
+  TypeTag lt = l->head().LogicalType();
+  TypeTag rt = r->head().LogicalType();
+  if (!PhysCompatible(lt, rt))
+    return Status::TypeMismatch("anti-semijoin key types are incompatible");
+  return VisitPhysical(rt, [&](auto tag) -> Result<BatPtr> {
+    using T = typename decltype(tag)::type;
+    return HashSemijoin<T>(l, r, /*anti=*/true);
+  });
+}
+
+}  // namespace recycledb::engine

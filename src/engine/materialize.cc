@@ -1,0 +1,85 @@
+#include "engine/materialize.h"
+
+#include "util/check.h"
+
+namespace recycledb::engine {
+
+BatSide TakeSide(const BatSide& side, size_t count, const SelVector& sel) {
+  (void)count;
+  if (side.dense()) {
+    std::vector<Oid> out;
+    out.reserve(sel.size());
+    for (uint32_t i : sel) out.push_back(side.seq + i);
+    auto col = Column::Make(TypeTag::kOid, std::move(out));
+    // A gather from a dense sequence at increasing positions stays sorted.
+    bool increasing = true;
+    for (size_t k = 1; k < sel.size(); ++k) {
+      if (sel[k] <= sel[k - 1]) {
+        increasing = false;
+        break;
+      }
+    }
+    col->set_sorted(increasing);
+    col->set_key(increasing);
+    return BatSide::Materialized(std::move(col));
+  }
+  TypeTag t = side.type;
+  return VisitPhysical(t, [&](auto tag) -> BatSide {
+    using T = typename decltype(tag)::type;
+    const T* src = side.col->Data<T>().data() + side.offset;
+    std::vector<T> out;
+    out.reserve(sel.size());
+    for (uint32_t i : sel) out.push_back(src[i]);
+    auto col = Column::Make(t, std::move(out));
+    if (side.col->sorted()) {
+      bool increasing = true;
+      for (size_t k = 1; k < sel.size(); ++k) {
+        if (sel[k] <= sel[k - 1]) {
+          increasing = false;
+          break;
+        }
+      }
+      col->set_sorted(increasing);
+    }
+    return BatSide::Materialized(std::move(col));
+  });
+}
+
+BatSide SliceSide(const BatSide& side, size_t offset, size_t len) {
+  if (side.dense()) return BatSide::Dense(side.seq + offset);
+  BatSide out = side;
+  out.offset = side.offset + offset;
+  (void)len;
+  return out;
+}
+
+BatSide ConcatSides(const std::vector<const Bat*>& bats, bool head_side) {
+  RDB_CHECK(!bats.empty());
+  const BatSide& first =
+      head_side ? bats[0]->head() : bats[0]->tail();
+  TypeTag t = first.LogicalType();
+  return VisitPhysical(t, [&](auto tag) -> BatSide {
+    using T = typename decltype(tag)::type;
+    std::vector<T> out;
+    size_t total = 0;
+    for (const Bat* b : bats) total += b->size();
+    out.reserve(total);
+    for (const Bat* b : bats) {
+      const BatSide& s = head_side ? b->head() : b->tail();
+      size_t n = b->size();
+      if (s.dense()) {
+        if constexpr (std::is_same_v<T, Oid>) {
+          for (size_t i = 0; i < n; ++i) out.push_back(s.seq + i);
+        } else {
+          RDB_UNREACHABLE();
+        }
+      } else {
+        const T* src = s.col->Data<T>().data() + s.offset;
+        out.insert(out.end(), src, src + n);
+      }
+    }
+    return BatSide::Materialized(Column::Make(t, std::move(out)));
+  });
+}
+
+}  // namespace recycledb::engine

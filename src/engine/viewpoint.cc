@@ -1,0 +1,28 @@
+#include "engine/materialize.h"
+#include "engine/operators.h"
+
+namespace recycledb::engine {
+
+BatPtr MarkT(const BatPtr& b, Oid base) {
+  return Bat::Make(b->head(), BatSide::Dense(base), b->size());
+}
+
+BatPtr Reverse(const BatPtr& b) {
+  return Bat::Make(b->tail(), b->head(), b->size());
+}
+
+BatPtr Mirror(const BatPtr& b) {
+  return Bat::Make(b->head(), b->head(), b->size());
+}
+
+Result<BatPtr> Slice(const BatPtr& b, size_t lo, size_t hi) {
+  size_t n = b->size();
+  if (lo > n) lo = n;
+  if (hi > n) hi = n;
+  if (hi < lo) hi = lo;
+  size_t len = hi - lo;
+  return Bat::Make(SliceSide(b->head(), lo, len), SliceSide(b->tail(), lo, len),
+                   len);
+}
+
+}  // namespace recycledb::engine

@@ -1,0 +1,51 @@
+#ifndef RECYCLEDB_INTERP_INTERPRETER_H_
+#define RECYCLEDB_INTERP_INTERPRETER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "interp/query_result.h"
+#include "interp/recycler_hook.h"
+#include "mal/program.h"
+
+namespace recycledb {
+
+/// Per-invocation execution statistics.
+struct RunStats {
+  double wall_ms = 0;        ///< total invocation time
+  int instrs = 0;            ///< instructions interpreted
+  int monitored = 0;         ///< instructions wrapped by the recycler
+  int pool_hits = 0;         ///< instructions answered from the pool
+  double exec_ms = 0;        ///< time spent actually executing instructions
+  double monitored_exec_ms = 0;  ///< execution time inside monitored instrs
+};
+
+/// The linear MAL interpreter (paper §2.2): executes a query template
+/// bottom-up, one fully materialising operator at a time. If a RecyclerHook
+/// is attached, instructions marked by the recycler optimiser are wrapped
+/// with recycleEntry/recycleExit per Algorithm 1.
+class Interpreter {
+ public:
+  explicit Interpreter(Catalog* catalog, RecyclerHook* recycler = nullptr)
+      : catalog_(catalog), recycler_(recycler) {}
+
+  /// Runs `prog` with positional parameter values. Thread-compatible: one
+  /// interpreter per thread.
+  Result<QueryResult> Run(const Program& prog,
+                          const std::vector<Scalar>& params);
+
+  const RunStats& last_run() const { return last_run_; }
+
+ private:
+  Result<std::vector<MalValue>> ExecInstr(const Instruction& ins,
+                                          const std::vector<MalValue>& args,
+                                          QueryResult* result);
+
+  Catalog* catalog_;
+  RecyclerHook* recycler_;
+  RunStats last_run_;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_INTERP_INTERPRETER_H_

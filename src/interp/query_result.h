@@ -1,0 +1,36 @@
+#ifndef RECYCLEDB_INTERP_QUERY_RESULT_H_
+#define RECYCLEDB_INTERP_QUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "mal/value.h"
+
+namespace recycledb {
+
+/// Result set assembled by sql.exportValue / sql.exportResult instructions.
+struct QueryResult {
+  std::vector<std::pair<std::string, MalValue>> values;
+
+  const MalValue* Find(const std::string& label) const {
+    for (const auto& [l, v] : values) {
+      if (l == label) return &v;
+    }
+    return nullptr;
+  }
+
+  std::string ToString() const {
+    std::string out;
+    for (const auto& [l, v] : values) {
+      out += l;
+      out += " = ";
+      out += v.ToString();
+      out += "\n";
+    }
+    return out;
+  }
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_INTERP_QUERY_RESULT_H_

@@ -1,0 +1,49 @@
+#ifndef RECYCLEDB_INTERP_RECYCLER_HOOK_H_
+#define RECYCLEDB_INTERP_RECYCLER_HOOK_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "mal/program.h"
+#include "mal/value.h"
+
+namespace recycledb {
+
+/// Interpreter-side view of the recycler run-time support (Algorithm 1).
+/// The interpreter wraps every instruction marked by the recycler optimiser
+/// with OnEntry (match & reuse) and OnExit (admission). The core library
+/// provides the concrete implementation; keeping the interface here lets the
+/// interpreter stay independent of recycling policy details.
+class RecyclerHook {
+ public:
+  virtual ~RecyclerHook() = default;
+
+  /// Identifies one dynamic instruction: the template, its pc, and the
+  /// run-time-resolved argument values.
+  struct InstrView {
+    const Program* prog = nullptr;
+    int pc = 0;
+    Opcode op{};
+    const std::vector<MalValue>* args = nullptr;
+  };
+
+  /// Starts a query invocation (protects its intermediates from eviction and
+  /// scopes local-vs-global reuse classification).
+  virtual void BeginQuery(const Program& prog) = 0;
+  virtual void EndQuery() = 0;
+
+  /// recycleEntry(): returns true and fills `results` if the instruction was
+  /// answered from the pool (exact match or subsumption).
+  virtual bool OnEntry(const InstrView& instr,
+                       std::vector<MalValue>* results) = 0;
+
+  /// recycleExit(): offers the executed instruction's results for admission.
+  /// `deps` is the set of persistent columns the results derive from.
+  virtual void OnExit(const InstrView& instr,
+                      const std::vector<MalValue>& results, double cpu_ms,
+                      const std::vector<ColumnId>& deps) = 0;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_INTERP_RECYCLER_HOOK_H_

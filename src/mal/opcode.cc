@@ -1,0 +1,149 @@
+#include "mal/opcode.h"
+
+namespace recycledb {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kBind:
+      return "sql.bind";
+    case Opcode::kBindIdx:
+      return "sql.bindIdxbat";
+    case Opcode::kSelect:
+      return "algebra.select";
+    case Opcode::kUselect:
+      return "algebra.uselect";
+    case Opcode::kAntiUselect:
+      return "algebra.antiuselect";
+    case Opcode::kLikeSelect:
+      return "algebra.likeselect";
+    case Opcode::kSelectNotNil:
+      return "algebra.selectNotNil";
+    case Opcode::kJoin:
+      return "algebra.join";
+    case Opcode::kSemijoin:
+      return "algebra.semijoin";
+    case Opcode::kAntiSemijoin:
+      return "algebra.antisemijoin";
+    case Opcode::kMarkT:
+      return "algebra.markT";
+    case Opcode::kReverse:
+      return "bat.reverse";
+    case Opcode::kMirror:
+      return "bat.mirror";
+    case Opcode::kSlice:
+      return "algebra.slice";
+    case Opcode::kKunique:
+      return "algebra.kunique";
+    case Opcode::kGroupBy:
+      return "group.new";
+    case Opcode::kSubGroupBy:
+      return "group.refine";
+    case Opcode::kAggrCount:
+      return "aggr.count";
+    case Opcode::kAggrSum:
+      return "aggr.sum";
+    case Opcode::kAggrMin:
+      return "aggr.min";
+    case Opcode::kAggrMax:
+      return "aggr.max";
+    case Opcode::kAggrAvg:
+      return "aggr.avg";
+    case Opcode::kGrpCount:
+      return "aggr.count_grp";
+    case Opcode::kGrpSum:
+      return "aggr.sum_grp";
+    case Opcode::kGrpMin:
+      return "aggr.min_grp";
+    case Opcode::kGrpMax:
+      return "aggr.max_grp";
+    case Opcode::kGrpAvg:
+      return "aggr.avg_grp";
+    case Opcode::kCalcAdd:
+      return "batcalc.add";
+    case Opcode::kCalcSub:
+      return "batcalc.sub";
+    case Opcode::kCalcMul:
+      return "batcalc.mul";
+    case Opcode::kCalcDiv:
+      return "batcalc.div";
+    case Opcode::kCalcYear:
+      return "batmtime.year";
+    case Opcode::kCmpEq:
+      return "batcalc.eq";
+    case Opcode::kCmpNe:
+      return "batcalc.ne";
+    case Opcode::kCmpLt:
+      return "batcalc.lt";
+    case Opcode::kCmpLe:
+      return "batcalc.le";
+    case Opcode::kCmpGt:
+      return "batcalc.gt";
+    case Opcode::kCmpGe:
+      return "batcalc.ge";
+    case Opcode::kSortTail:
+      return "algebra.sortTail";
+    case Opcode::kScalarMul:
+      return "calc.mul";
+    case Opcode::kAddMonths:
+      return "mtime.addmonths";
+    case Opcode::kAddDays:
+      return "mtime.adddays";
+    case Opcode::kExportValue:
+      return "sql.exportValue";
+    case Opcode::kExportBat:
+      return "sql.exportResult";
+  }
+  return "?";
+}
+
+bool OpcodeMonitorable(Opcode op) {
+  switch (op) {
+    case Opcode::kScalarMul:
+    case Opcode::kAddMonths:
+    case Opcode::kAddDays:
+    case Opcode::kExportValue:
+    case Opcode::kExportBat:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool OpcodeZeroCost(Opcode op) {
+  switch (op) {
+    case Opcode::kBind:
+    case Opcode::kBindIdx:
+    case Opcode::kMarkT:
+    case Opcode::kReverse:
+    case Opcode::kMirror:
+    case Opcode::kSlice:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OpcodeDeterministic(Opcode op) {
+  switch (op) {
+    case Opcode::kExportValue:
+    case Opcode::kExportBat:
+      return false;
+    default:
+      return true;
+  }
+}
+
+int OpcodeNumResults(Opcode op) {
+  switch (op) {
+    case Opcode::kGroupBy:
+    case Opcode::kSubGroupBy:
+      return 2;
+    case Opcode::kExportValue:
+    case Opcode::kExportBat:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace recycledb

@@ -1,0 +1,107 @@
+#ifndef RECYCLEDB_MAL_OPCODE_H_
+#define RECYCLEDB_MAL_OPCODE_H_
+
+#include <cstdint>
+
+namespace recycledb {
+
+/// MAL instruction set of the abstract relational-algebra machine. Mirrors
+/// the subset of MonetDB's MAL used by the paper's plans (Fig. 1) plus the
+/// grouping/aggregation and calc instructions TPC-H needs.
+enum class Opcode : uint8_t {
+  // data access
+  kBind,     // (schema:str, table:str, column:str, access:int) -> bat
+  kBindIdx,  // (schema:str, table:str, index:str) -> bat
+
+  // selections
+  kSelect,       // (b, lo, hi, li:bit, hi:bit) -> bat
+  kUselect,      // (b, v) -> bat
+  kAntiUselect,  // (b, v) -> bat
+  kLikeSelect,   // (b, pattern:str) -> bat
+  kSelectNotNil, // (b) -> bat
+
+  // joins
+  kJoin,          // (l, r) -> bat
+  kSemijoin,      // (l, r) -> bat
+  kAntiSemijoin,  // (l, r) -> bat
+
+  // viewpoints (zero cost)
+  kMarkT,    // (b, base:oid) -> bat
+  kReverse,  // (b) -> bat
+  kMirror,   // (b) -> bat
+  kSlice,    // (b, lo:lng, hi:lng) -> bat
+
+  // distinct / grouping
+  kKunique,     // (b) -> bat
+  kGroupBy,     // (keys) -> (map, reps)
+  kSubGroupBy,  // (keys, prev_map) -> (map, reps)
+
+  // scalar aggregates over a bat
+  kAggrCount,  // (b) -> lng
+  kAggrSum,    // (b) -> lng/dbl
+  kAggrMin,
+  kAggrMax,
+  kAggrAvg,
+
+  // per-group aggregates: (vals, map, reps) -> bat[gid -> agg]
+  kGrpCount,
+  kGrpSum,
+  kGrpMin,
+  kGrpMax,
+  kGrpAvg,
+
+  // element-wise calc: (l, r) where either side may be a scalar
+  kCalcAdd,
+  kCalcSub,
+  kCalcMul,
+  kCalcDiv,
+
+  // date-year extraction over a bat -> bat[int]
+  kCalcYear,
+
+  // element-wise compare over two bats -> bat[bit]
+  kCmpEq,
+  kCmpNe,
+  kCmpLt,
+  kCmpLe,
+  kCmpGt,
+  kCmpGe,
+
+  // ordering
+  kSortTail,  // (b) -> bat sorted by tail
+
+  // scalar arithmetic (deterministic, never monitored)
+  kScalarMul,  // (a, b) -> dbl scalar product
+
+  // scalar date arithmetic (deterministic, never monitored)
+  kAddMonths,  // (d:date, n:int) -> date
+  kAddDays,    // (d:date, n:int) -> date
+
+  // result-set construction (side effects, never monitored)
+  kExportValue,  // (v, label:str)
+  kExportBat,    // (b, label:str)
+};
+
+/// MAL-style dotted name, e.g. "algebra.select".
+const char* OpcodeName(Opcode op);
+
+/// Whether the recycler optimiser may mark this instruction for monitoring
+/// (paper §3.1): relational operators over bats qualify; cheap scalar
+/// expressions and side-effecting instructions do not.
+bool OpcodeMonitorable(Opcode op);
+
+/// Whether the instruction only materialises a new viewpoint (paper §2.3):
+/// used for Table III-style memory accounting and admission heuristics.
+bool OpcodeZeroCost(Opcode op);
+
+/// Deterministic: same arguments always produce the same value, so the
+/// recycling-candidate property propagates through it even when it is not
+/// itself monitored (e.g., mtime.addmonths feeding a select bound).
+bool OpcodeDeterministic(Opcode op);
+
+/// Number of result variables (GroupBy-family instructions return two).
+int OpcodeNumResults(Opcode op);
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_MAL_OPCODE_H_

@@ -1,0 +1,232 @@
+#include "mal/plan_builder.h"
+
+#include <atomic>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace recycledb {
+
+namespace {
+std::atomic<uint64_t> next_template_id{1};
+}  // namespace
+
+PlanBuilder::PlanBuilder(std::string name) {
+  prog_.name = std::move(name);
+  prog_.template_id = next_template_id.fetch_add(1);
+}
+
+int PlanBuilder::NewVar() {
+  int idx = static_cast<int>(prog_.vars.size());
+  RDB_CHECK(idx < 65535);
+  VarDecl v;
+  v.name = StrFormat("X%d", next_tmp_++);
+  prog_.vars.push_back(std::move(v));
+  return idx;
+}
+
+int PlanBuilder::Param(const std::string& name) {
+  RDB_CHECK(!params_closed_);
+  int idx = static_cast<int>(prog_.vars.size());
+  VarDecl v;
+  v.name = name.empty() ? StrFormat("A%d", prog_.num_params) : name;
+  v.is_param = true;
+  prog_.vars.push_back(std::move(v));
+  prog_.num_params++;
+  return idx;
+}
+
+int PlanBuilder::Const(Scalar s) {
+  params_closed_ = true;
+  auto key = std::make_pair(static_cast<int>(s.tag()), s.ToString());
+  auto it = const_pool_.find(key);
+  if (it != const_pool_.end()) return it->second;
+  int idx = static_cast<int>(prog_.vars.size());
+  VarDecl v;
+  v.name = StrFormat("TMP%d", static_cast<int>(const_pool_.size()));
+  v.is_const = true;
+  v.const_val = std::move(s);
+  prog_.vars.push_back(std::move(v));
+  const_pool_.emplace(key, idx);
+  return idx;
+}
+
+int PlanBuilder::Emit(Opcode op, std::vector<uint16_t> args, int nrets) {
+  params_closed_ = true;
+  if (nrets < 0) nrets = OpcodeNumResults(op);
+  Instruction ins;
+  ins.op = op;
+  ins.args = std::move(args);
+  int first = -1;
+  for (int i = 0; i < nrets; ++i) {
+    int v = NewVar();
+    if (first < 0) first = v;
+    ins.rets.push_back(static_cast<uint16_t>(v));
+  }
+  prog_.instrs.push_back(std::move(ins));
+  return first;
+}
+
+static uint16_t U16(int v) {
+  RDB_CHECK(v >= 0 && v < 65536);
+  return static_cast<uint16_t>(v);
+}
+
+int PlanBuilder::Bind(const std::string& table, const std::string& column) {
+  int s = ConstStr("sys");
+  int t = ConstStr(table);
+  int c = ConstStr(column);
+  int a = ConstInt(0);
+  return Emit(Opcode::kBind, {U16(s), U16(t), U16(c), U16(a)});
+}
+
+int PlanBuilder::BindIdx(const std::string& table, const std::string& index) {
+  int s = ConstStr("sys");
+  int t = ConstStr(table);
+  int i = ConstStr(index);
+  return Emit(Opcode::kBindIdx, {U16(s), U16(t), U16(i)});
+}
+
+int PlanBuilder::Select(int b, int lo, int hi, bool lo_inc, bool hi_inc) {
+  int li = ConstBit(lo_inc);
+  int hinc = ConstBit(hi_inc);
+  return Emit(Opcode::kSelect, {U16(b), U16(lo), U16(hi), U16(li), U16(hinc)});
+}
+
+int PlanBuilder::Uselect(int b, int v) {
+  return Emit(Opcode::kUselect, {U16(b), U16(v)});
+}
+
+int PlanBuilder::AntiUselect(int b, int v) {
+  return Emit(Opcode::kAntiUselect, {U16(b), U16(v)});
+}
+
+int PlanBuilder::LikeSelect(int b, int pattern) {
+  return Emit(Opcode::kLikeSelect, {U16(b), U16(pattern)});
+}
+
+int PlanBuilder::SelectNotNil(int b) {
+  return Emit(Opcode::kSelectNotNil, {U16(b)});
+}
+
+int PlanBuilder::Join(int l, int r) {
+  return Emit(Opcode::kJoin, {U16(l), U16(r)});
+}
+
+int PlanBuilder::Semijoin(int l, int r) {
+  return Emit(Opcode::kSemijoin, {U16(l), U16(r)});
+}
+
+int PlanBuilder::AntiSemijoin(int l, int r) {
+  return Emit(Opcode::kAntiSemijoin, {U16(l), U16(r)});
+}
+
+int PlanBuilder::MarkT(int b, Oid base) {
+  int c = ConstOid(base);
+  return Emit(Opcode::kMarkT, {U16(b), U16(c)});
+}
+
+int PlanBuilder::Reverse(int b) { return Emit(Opcode::kReverse, {U16(b)}); }
+
+int PlanBuilder::Mirror(int b) { return Emit(Opcode::kMirror, {U16(b)}); }
+
+int PlanBuilder::SliceN(int b, int64_t lo, int64_t hi) {
+  int l = ConstLng(lo);
+  int h = ConstLng(hi);
+  return Emit(Opcode::kSlice, {U16(b), U16(l), U16(h)});
+}
+
+int PlanBuilder::Kunique(int b) { return Emit(Opcode::kKunique, {U16(b)}); }
+
+std::pair<int, int> PlanBuilder::GroupBy(int keys) {
+  int first = Emit(Opcode::kGroupBy, {U16(keys)});
+  return {first, first + 1};
+}
+
+std::pair<int, int> PlanBuilder::SubGroupBy(int keys, int prev_map) {
+  int first = Emit(Opcode::kSubGroupBy, {U16(keys), U16(prev_map)});
+  return {first, first + 1};
+}
+
+int PlanBuilder::AggrCount(int b) { return Emit(Opcode::kAggrCount, {U16(b)}); }
+int PlanBuilder::AggrSum(int b) { return Emit(Opcode::kAggrSum, {U16(b)}); }
+int PlanBuilder::AggrMin(int b) { return Emit(Opcode::kAggrMin, {U16(b)}); }
+int PlanBuilder::AggrMax(int b) { return Emit(Opcode::kAggrMax, {U16(b)}); }
+int PlanBuilder::AggrAvg(int b) { return Emit(Opcode::kAggrAvg, {U16(b)}); }
+
+int PlanBuilder::GrpCount(int vals, int map, int reps) {
+  return Emit(Opcode::kGrpCount, {U16(vals), U16(map), U16(reps)});
+}
+int PlanBuilder::GrpSum(int vals, int map, int reps) {
+  return Emit(Opcode::kGrpSum, {U16(vals), U16(map), U16(reps)});
+}
+int PlanBuilder::GrpMin(int vals, int map, int reps) {
+  return Emit(Opcode::kGrpMin, {U16(vals), U16(map), U16(reps)});
+}
+int PlanBuilder::GrpMax(int vals, int map, int reps) {
+  return Emit(Opcode::kGrpMax, {U16(vals), U16(map), U16(reps)});
+}
+int PlanBuilder::GrpAvg(int vals, int map, int reps) {
+  return Emit(Opcode::kGrpAvg, {U16(vals), U16(map), U16(reps)});
+}
+
+int PlanBuilder::Add(int l, int r) {
+  return Emit(Opcode::kCalcAdd, {U16(l), U16(r)});
+}
+int PlanBuilder::Sub(int l, int r) {
+  return Emit(Opcode::kCalcSub, {U16(l), U16(r)});
+}
+int PlanBuilder::Mul(int l, int r) {
+  return Emit(Opcode::kCalcMul, {U16(l), U16(r)});
+}
+int PlanBuilder::Div(int l, int r) {
+  return Emit(Opcode::kCalcDiv, {U16(l), U16(r)});
+}
+int PlanBuilder::Year(int b) { return Emit(Opcode::kCalcYear, {U16(b)}); }
+
+int PlanBuilder::CmpEq(int l, int r) {
+  return Emit(Opcode::kCmpEq, {U16(l), U16(r)});
+}
+int PlanBuilder::CmpNe(int l, int r) {
+  return Emit(Opcode::kCmpNe, {U16(l), U16(r)});
+}
+int PlanBuilder::CmpLt(int l, int r) {
+  return Emit(Opcode::kCmpLt, {U16(l), U16(r)});
+}
+int PlanBuilder::CmpLe(int l, int r) {
+  return Emit(Opcode::kCmpLe, {U16(l), U16(r)});
+}
+int PlanBuilder::CmpGt(int l, int r) {
+  return Emit(Opcode::kCmpGt, {U16(l), U16(r)});
+}
+int PlanBuilder::CmpGe(int l, int r) {
+  return Emit(Opcode::kCmpGe, {U16(l), U16(r)});
+}
+
+int PlanBuilder::SortTail(int b) { return Emit(Opcode::kSortTail, {U16(b)}); }
+
+int PlanBuilder::ScalarMul(int l, int r) {
+  return Emit(Opcode::kScalarMul, {U16(l), U16(r)});
+}
+
+int PlanBuilder::AddMonths(int date, int months) {
+  return Emit(Opcode::kAddMonths, {U16(date), U16(months)});
+}
+
+int PlanBuilder::AddDays(int date, int days) {
+  return Emit(Opcode::kAddDays, {U16(date), U16(days)});
+}
+
+void PlanBuilder::ExportValue(int v, const std::string& label) {
+  int l = ConstStr(label);
+  Emit(Opcode::kExportValue, {U16(v), U16(l)});
+}
+
+void PlanBuilder::ExportBat(int b, const std::string& label) {
+  int l = ConstStr(label);
+  Emit(Opcode::kExportBat, {U16(b), U16(l)});
+}
+
+Program PlanBuilder::Build() { return std::move(prog_); }
+
+}  // namespace recycledb

@@ -1,0 +1,121 @@
+#ifndef RECYCLEDB_MAL_PLAN_BUILDER_H_
+#define RECYCLEDB_MAL_PLAN_BUILDER_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "mal/program.h"
+
+namespace recycledb {
+
+/// Builds MAL query templates programmatically. This plays the role of the
+/// SQL front-end in the paper: literal constants become parameters, constants
+/// are interned, and the result is a linear Program ready for the recycler
+/// optimiser.
+///
+/// All methods return the variable index of the (first) result.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::string name);
+
+  /// Declares a template parameter (call before any instruction). Parameters
+  /// are bound positionally at Run() time.
+  int Param(const std::string& name);
+
+  /// Interns a constant; equal constants share one variable.
+  int Const(Scalar v);
+
+  // Convenience constant helpers.
+  int ConstInt(int32_t v) { return Const(Scalar::Int(v)); }
+  int ConstLng(int64_t v) { return Const(Scalar::Lng(v)); }
+  int ConstDbl(double v) { return Const(Scalar::Dbl(v)); }
+  int ConstStr(std::string v) { return Const(Scalar::Str(std::move(v))); }
+  int ConstDate(DateT v) { return Const(Scalar::DateVal(v)); }
+  int ConstOid(Oid v) { return Const(Scalar::OidVal(v)); }
+  int ConstBit(bool v) { return Const(Scalar::Bit(v)); }
+  int NilConst(TypeTag t) { return Const(Scalar::Nil(t)); }
+
+  // --- data access ---------------------------------------------------------
+  int Bind(const std::string& table, const std::string& column);
+  int BindIdx(const std::string& table, const std::string& index);
+
+  // --- selections ----------------------------------------------------------
+  int Select(int b, int lo, int hi, bool lo_inc = true, bool hi_inc = true);
+  int Uselect(int b, int v);
+  int AntiUselect(int b, int v);
+  int LikeSelect(int b, int pattern);
+  int SelectNotNil(int b);
+
+  // --- joins ---------------------------------------------------------------
+  int Join(int l, int r);
+  int Semijoin(int l, int r);
+  int AntiSemijoin(int l, int r);
+
+  // --- viewpoints ----------------------------------------------------------
+  int MarkT(int b, Oid base = 0);
+  int Reverse(int b);
+  int Mirror(int b);
+  int SliceN(int b, int64_t lo, int64_t hi);
+
+  // --- distinct / grouping -------------------------------------------------
+  int Kunique(int b);
+  /// Returns (map, reps).
+  std::pair<int, int> GroupBy(int keys);
+  std::pair<int, int> SubGroupBy(int keys, int prev_map);
+
+  // --- aggregates ----------------------------------------------------------
+  int AggrCount(int b);
+  int AggrSum(int b);
+  int AggrMin(int b);
+  int AggrMax(int b);
+  int AggrAvg(int b);
+  int GrpCount(int vals, int map, int reps);
+  int GrpSum(int vals, int map, int reps);
+  int GrpMin(int vals, int map, int reps);
+  int GrpMax(int vals, int map, int reps);
+  int GrpAvg(int vals, int map, int reps);
+
+  // --- calc ----------------------------------------------------------------
+  int Add(int l, int r);
+  int Sub(int l, int r);
+  int Mul(int l, int r);
+  int Div(int l, int r);
+  int Year(int b);
+  int CmpEq(int l, int r);
+  int CmpNe(int l, int r);
+  int CmpLt(int l, int r);
+  int CmpLe(int l, int r);
+  int CmpGt(int l, int r);
+  int CmpGe(int l, int r);
+
+  // --- ordering ------------------------------------------------------------
+  int SortTail(int b);
+
+  // --- scalar arithmetic -----------------------------------------------------
+  int ScalarMul(int l, int r);
+
+  // --- scalar date arithmetic ----------------------------------------------
+  int AddMonths(int date, int months);
+  int AddDays(int date, int days);
+
+  // --- result set ----------------------------------------------------------
+  void ExportValue(int v, const std::string& label);
+  void ExportBat(int b, const std::string& label);
+
+  /// Finalises the template. The builder must not be reused afterwards.
+  Program Build();
+
+ private:
+  int NewVar();
+  int Emit(Opcode op, std::vector<uint16_t> args, int nrets = -1);
+
+  Program prog_;
+  std::map<std::pair<int, std::string>, int> const_pool_;  // (tag, repr) -> var
+  int next_tmp_ = 0;
+  bool params_closed_ = false;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_MAL_PLAN_BUILDER_H_

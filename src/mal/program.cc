@@ -1,0 +1,51 @@
+#include "mal/program.h"
+
+#include <sstream>
+
+namespace recycledb {
+
+std::string Program::ToString(bool show_marks) const {
+  std::ostringstream os;
+  os << "function " << name << "(";
+  for (int i = 0; i < num_params; ++i) {
+    if (i) os << ", ";
+    os << vars[i].name;
+  }
+  os << "):\n";
+  for (const Instruction& ins : instrs) {
+    os << "  ";
+    if (show_marks) {
+      if (ins.monitored && ins.param_independent)
+        os << "** ";
+      else if (ins.monitored)
+        os << "*  ";
+      else
+        os << "   ";
+    }
+    for (size_t i = 0; i < ins.rets.size(); ++i) {
+      if (i) os << ", ";
+      os << vars[ins.rets[i]].name;
+    }
+    if (!ins.rets.empty()) os << " := ";
+    os << OpcodeName(ins.op) << "(";
+    for (size_t i = 0; i < ins.args.size(); ++i) {
+      if (i) os << ", ";
+      const VarDecl& v = vars[ins.args[i]];
+      if (v.is_const)
+        os << v.const_val.ToString();
+      else
+        os << v.name;
+    }
+    os << ");\n";
+  }
+  os << "end " << name << ";\n";
+  return os.str();
+}
+
+int Program::MonitoredCount() const {
+  int n = 0;
+  for (const Instruction& ins : instrs) n += ins.monitored ? 1 : 0;
+  return n;
+}
+
+}  // namespace recycledb

@@ -1,0 +1,60 @@
+#ifndef RECYCLEDB_MAL_PROGRAM_H_
+#define RECYCLEDB_MAL_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bat/scalar.h"
+#include "mal/opcode.h"
+
+namespace recycledb {
+
+/// A program variable: query-template parameter, interned constant, or the
+/// result of an instruction.
+struct VarDecl {
+  std::string name;
+  bool is_const = false;
+  bool is_param = false;
+  Scalar const_val;  ///< valid iff is_const
+};
+
+/// One MAL instruction: `rets := op(args)`. Arguments and results are
+/// indices into the program's variable table.
+struct Instruction {
+  Opcode op;
+  std::vector<uint16_t> args;
+  std::vector<uint16_t> rets;
+
+  /// Set by the recycler optimiser (§3.1): the interpreter wraps marked
+  /// instructions with recycleEntry/recycleExit.
+  bool monitored = false;
+
+  /// True when the instruction's value is independent of the template
+  /// parameters (the dark nodes of Fig. 2): reusable across any instance of
+  /// the template.
+  bool param_independent = false;
+};
+
+/// A compiled query template: a linear MAL function with literal constants
+/// factored out into parameters (paper §2.2). Templates are immutable after
+/// optimisation and shared across invocations via the template cache.
+struct Program {
+  std::string name;
+  uint64_t template_id = 0;  ///< unique; keys the recycler's credit ledger
+  std::vector<VarDecl> vars;
+  std::vector<Instruction> instrs;
+  int num_params = 0;  ///< vars[0 .. num_params-1] are the parameters
+
+  /// Pretty-prints a Fig. 1-style MAL listing. When `show_marks` is set,
+  /// monitored instructions are prefixed with `*` (param-independent ones
+  /// with `**`), mirroring the shading of Fig. 2.
+  std::string ToString(bool show_marks = false) const;
+
+  /// Number of instructions currently marked for monitoring.
+  int MonitoredCount() const;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_MAL_PROGRAM_H_

@@ -1,0 +1,78 @@
+#ifndef RECYCLEDB_SKYSERVER_SKYSERVER_H_
+#define RECYCLEDB_SKYSERVER_SKYSERVER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "mal/program.h"
+#include "util/rng.h"
+
+namespace recycledb::skyserver {
+
+/// Synthetic stand-in for the SkyServer DR4 subset (paper §8). The real
+/// application is a 100 GB astronomical catalog; we generate a photometric
+/// object table with the same query-relevant structure: sky coordinates,
+/// a PhotoPrimary mode flag, and 19 projected property columns, plus the
+/// web-site documentation tables and a spectro table for point queries.
+struct SkyConfig {
+  size_t n_objects = 200000;
+  uint64_t seed = 99;
+};
+
+Status LoadSkyServer(Catalog* cat, const SkyConfig& cfg);
+
+/// The property columns the dominant query pattern projects (19, as in the
+/// paper's `SELECT p.objID, p.run, ...` example).
+const std::vector<std::string>& PhotoProperties();
+
+/// The dominant (>60%) query pattern: fGetNearbyObjEq-style cone search —
+/// box select on ra/dec, PhotoPrimary mode filter (constant: self-
+/// materialising view), 19 projection joins, LIMIT 1.
+/// Params: ra_lo, ra_hi, dec_lo, dec_hi (dbl).
+Program BuildConeSearchTemplate();
+
+/// Documentation-table lookup (~36% of the log). Param: page name.
+Program BuildDocQueryTemplate();
+
+/// Point query on the spectro table (~2%). Param: specObjID.
+Program BuildPointQueryTemplate();
+
+/// Minimal ra-range scan used by the combined-subsumption micro-benchmarks
+/// (§8.3). Params: ra_lo, ra_hi.
+Program BuildRaSelectTemplate();
+
+/// One sampled query of the observed log mix. The cone-search parameters
+/// are drawn from two overlapping finite populations, reproducing the
+/// "two different, but overlapping, sets of parameter values" of §8.1.
+struct SkyQuery {
+  int kind = 0;  ///< 0 = cone, 1 = doc, 2 = point
+  std::vector<Scalar> params;
+};
+
+class SkyLogSampler {
+ public:
+  SkyLogSampler(const SkyConfig& cfg, uint64_t seed);
+  SkyQuery Next();
+
+ private:
+  Rng rng_;
+  SkyConfig cfg_;
+  std::vector<std::vector<Scalar>> cone_population_;
+};
+
+/// §8.3 micro-benchmark: a sequence of ra-range parameter vectors where
+/// every (k+1)-th query (the seed, selectivity `s`) is answerable by
+/// combined subsumption of the preceding k covering queries
+/// (selectivity 1.5*s/(k-1) each).
+struct SubsumptionBenchQuery {
+  std::vector<Scalar> params;
+  bool is_seed = false;
+};
+std::vector<SubsumptionBenchQuery> GenerateSubsumptionBench(int k,
+                                                            int n_seeds,
+                                                            double s,
+                                                            uint64_t seed);
+
+}  // namespace recycledb::skyserver
+
+#endif  // RECYCLEDB_SKYSERVER_SKYSERVER_H_

@@ -1,0 +1,949 @@
+#include <memory>
+
+#include "core/recycler_optimizer.h"
+#include "util/check.h"
+#include "util/str.h"
+#include "mal/plan_builder.h"
+#include "tpch/tpch.h"
+
+namespace recycledb::tpch {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Plan-building idioms shared by the 22 templates. They mirror the MAL
+// patterns of the paper's Fig. 1: selections produce [row -> value] subsets,
+// markT/reverse turn them into dense candidate lists [cand -> row], and
+// positional joins (r.head dense) implement column fetches and FK hops.
+// ---------------------------------------------------------------------------
+class QB {
+ public:
+  explicit QB(const char* name) : b(name) {}
+
+  /// Candidate list from a selection result [row -> v] => [cand -> row].
+  int Recand(int subset) { return b.Reverse(b.MarkT(subset, 0)); }
+
+  /// Renumbers a filtered candidate list [cand -> row] => [cand' -> row]
+  /// with a fresh dense head.
+  int Rebase(int cand) { return b.Reverse(b.MarkT(b.Reverse(cand), 0)); }
+
+  /// Column fetch: [cand -> row] x [dense row -> val] => [cand -> val].
+  int Fetch(int cand, const std::string& tbl, const std::string& col) {
+    return b.Join(cand, b.Bind(tbl, col));
+  }
+
+  /// FK hop through a join index: [cand -> row] => [cand -> parent row].
+  int Hop(int cand, const std::string& tbl, const std::string& idx) {
+    return b.Join(cand, b.BindIdx(tbl, idx));
+  }
+
+  /// Child rows referencing a qualifying parent row, through the FK join
+  /// index (robust against key/row drift after updates):
+  /// `parent_subset` is any [parent row -> v] subset.
+  /// Returns [child row -> parent row].
+  int RowsReferencing(const std::string& tbl, const std::string& idx,
+                      int parent_subset) {
+    int fkidx = b.BindIdx(tbl, idx);
+    int by_parent = b.Reverse(fkidx);  // [parent row -> child row]
+    int sem = b.Semijoin(by_parent, parent_subset);
+    return b.Reverse(sem);  // [child row -> parent row]
+  }
+
+  /// revenue = extendedprice * (1 - discount) for a candidate list.
+  int Revenue(int cand) {
+    int price = Fetch(cand, "lineitem", "l_extendedprice");
+    int disc = Fetch(cand, "lineitem", "l_discount");
+    int one_minus = b.Sub(b.ConstDbl(1.0), disc);
+    return b.Mul(price, one_minus);
+  }
+
+  /// Fetches the group-key values: [gid -> key] via the representatives.
+  int GroupKeys(int reps, int keys_bat) { return b.Join(reps, keys_bat); }
+
+  PlanBuilder b;
+};
+
+QueryTemplate Finish(int number, QB* q,
+                     std::function<std::vector<Scalar>(Rng&)> gen) {
+  QueryTemplate t;
+  t.number = number;
+  t.prog = q->b.Build();
+  MarkForRecycling(&t.prog);
+  t.gen_params = std::move(gen);
+  return t;
+}
+
+DateT Ymd(int y, int m, int d) { return DateFromYmd(y, m, d); }
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",  "EGYPT",   "ETHIOPIA",
+    "FRANCE",  "GERMANY",   "INDIA",   "INDONESIA", "IRAN",  "IRAQ",
+    "JAPAN",   "JORDAN",    "KENYA",   "MOROCCO", "MOZAMBIQUE", "PERU",
+    "CHINA",   "ROMANIA",   "SAUDI ARABIA", "VIETNAM", "RUSSIA",
+    "UNITED KINGDOM", "UNITED STATES"};
+const char* kSegmentNames[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                               "MACHINERY", "HOUSEHOLD"};
+const char* kModeNames[] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kType3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kType1[] = {"STANDARD", "SMALL", "MEDIUM",
+                        "LARGE",    "ECONOMY", "PROMO"};
+const char* kType2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                        "BRUSHED"};
+const char* kColors[] = {"green", "blue", "red",  "black", "navy",
+                         "azure", "lace", "plum", "ivory", "khaki"};
+const char* kW1[] = {"special", "pending", "unusual", "express"};
+const char* kW2[] = {"packages", "requests", "accounts", "deposits"};
+
+std::string Brand(Rng& rng) {
+  return StrFormat("Brand#%d%d", static_cast<int>(rng.UniformRange(1, 5)),
+                   static_cast<int>(rng.UniformRange(1, 5)));
+}
+
+// ---------------------------------------------------------------------------
+// Q1: pricing summary report. Param: shipdate upper bound.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ1() {
+  QB q("q1");
+  int a0 = q.b.Param("A0");
+  int ship = q.b.Bind("lineitem", "l_shipdate");
+  int sel = q.b.Select(ship, q.b.NilConst(TypeTag::kDate), a0, true, true);
+  int cand = q.Recand(sel);
+  int flag = q.Fetch(cand, "lineitem", "l_returnflag");
+  int status = q.Fetch(cand, "lineitem", "l_linestatus");
+  auto [m1, r1] = q.b.GroupBy(flag);
+  auto [map, reps] = q.b.SubGroupBy(status, m1);
+  (void)r1;
+  int qty = q.Fetch(cand, "lineitem", "l_quantity");
+  int price = q.Fetch(cand, "lineitem", "l_extendedprice");
+  int disc = q.Fetch(cand, "lineitem", "l_discount");
+  int tax = q.Fetch(cand, "lineitem", "l_tax");
+  int disc_price = q.b.Mul(price, q.b.Sub(q.b.ConstDbl(1.0), disc));
+  int charge = q.b.Mul(disc_price, q.b.Add(q.b.ConstDbl(1.0), tax));
+  q.b.ExportBat(q.GroupKeys(reps, flag), "returnflag");
+  q.b.ExportBat(q.GroupKeys(reps, status), "linestatus");
+  q.b.ExportBat(q.b.GrpSum(qty, map, reps), "sum_qty");
+  q.b.ExportBat(q.b.GrpSum(price, map, reps), "sum_base_price");
+  q.b.ExportBat(q.b.GrpSum(disc_price, map, reps), "sum_disc_price");
+  q.b.ExportBat(q.b.GrpSum(charge, map, reps), "sum_charge");
+  q.b.ExportBat(q.b.GrpAvg(qty, map, reps), "avg_qty");
+  q.b.ExportBat(q.b.GrpAvg(price, map, reps), "avg_price");
+  q.b.ExportBat(q.b.GrpAvg(disc, map, reps), "avg_disc");
+  q.b.ExportBat(q.b.GrpCount(qty, map, reps), "count_order");
+  return Finish(1, &q, [](Rng& rng) {
+    int delta = static_cast<int>(rng.UniformRange(60, 120));
+    return std::vector<Scalar>{Scalar::DateVal(Ymd(1998, 12, 1) - delta)};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q2: minimum-cost supplier. Params: size, type suffix, region.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ2() {
+  QB q("q2");
+  int a_size = q.b.Param("A0");
+  int a_type = q.b.Param("A1");
+  int a_region = q.b.Param("A2");
+  // parts of the requested size & type
+  int psel = q.b.Uselect(q.b.Bind("part", "p_size"), a_size);
+  int pcand = q.Recand(psel);
+  int ptype = q.Fetch(pcand, "part", "p_type");
+  int tsel = q.b.LikeSelect(ptype, a_type);
+  int pcand2 = q.Rebase(q.b.Semijoin(pcand, tsel));  // [pc -> part row]
+  // suppliers in the region
+  int rsel = q.b.Uselect(q.b.Bind("region", "r_name"), a_region);
+  int nat = q.RowsReferencing("nation", "nation_region", rsel);
+  int supp = q.RowsReferencing("supplier", "supp_nation", nat);
+  // partsupp rows of both
+  int ps_by_part = q.RowsReferencing("partsupp", "ps_part",
+                                     q.b.Reverse(pcand2));
+  int ps_by_supp = q.RowsReferencing("partsupp", "ps_supp", supp);
+  int ps = q.b.Semijoin(ps_by_part, ps_by_supp);
+  int cand = q.Recand(ps);
+  int cost = q.Fetch(cand, "partsupp", "ps_supplycost");
+  int pk = q.Fetch(cand, "partsupp", "ps_partkey");
+  auto [map, reps] = q.b.GroupBy(pk);
+  int mins = q.b.GrpMin(cost, map, reps);
+  q.b.ExportBat(q.GroupKeys(reps, pk), "p_partkey");
+  q.b.ExportBat(mins, "min_supplycost");
+  q.b.ExportValue(q.b.AggrCount(mins), "groups");
+  return Finish(2, &q, [](Rng& rng) {
+    return std::vector<Scalar>{
+        Scalar::Int(static_cast<int32_t>(rng.UniformRange(1, 50))),
+        Scalar::Str(std::string("%") +
+                    kType3[rng.Uniform(sizeof(kType3) / sizeof(kType3[0]))]),
+        Scalar::Str(
+            kRegionNames[rng.Uniform(sizeof(kRegionNames) /
+                                     sizeof(kRegionNames[0]))])};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q3: shipping priority. Params: segment, date.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ3() {
+  QB q("q3");
+  int a_seg = q.b.Param("A0");
+  int a_date = q.b.Param("A1");
+  int csel = q.b.Uselect(q.b.Bind("customer", "c_mktsegment"), a_seg);
+  int osel = q.b.Select(q.b.Bind("orders", "o_orderdate"),
+                        q.b.NilConst(TypeTag::kDate), a_date, true, false);
+  // orders of those customers (through the ord_cust join index)
+  int of = q.RowsReferencing("orders", "ord_cust", csel);
+  int orders = q.b.Semijoin(osel, of);  // [ord row -> date]
+  // their lineitems, shipped after the date
+  int li = q.RowsReferencing("lineitem", "li_orders", orders);
+  int lcand = q.Recand(li);
+  int ship = q.Fetch(lcand, "lineitem", "l_shipdate");
+  int ssel = q.b.Select(ship, a_date, q.b.NilConst(TypeTag::kDate), false,
+                        true);
+  int lcand2 = q.Rebase(q.b.Semijoin(lcand, ssel));
+  int rev = q.Revenue(lcand2);
+  int okey = q.Fetch(lcand2, "lineitem", "l_orderkey");
+  auto [map, reps] = q.b.GroupBy(okey);
+  int sums = q.b.GrpSum(rev, map, reps);
+  int sorted = q.b.SortTail(sums);
+  q.b.ExportBat(q.b.SliceN(sorted, 0, 10), "revenue_top");
+  q.b.ExportBat(q.GroupKeys(reps, okey), "l_orderkey");
+  return Finish(3, &q, [](Rng& rng) {
+    return std::vector<Scalar>{
+        Scalar::Str(kSegmentNames[rng.Uniform(5)]),
+        Scalar::DateVal(Ymd(1995, 3, 1) +
+                        static_cast<int>(rng.UniformRange(0, 30)))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q4: order priority checking. Param: quarter start. The late-lineitem
+// detection (commitdate < receiptdate) is parameter independent, giving the
+// large inter-query reuse Table II reports.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ4() {
+  QB q("q4");
+  int a0 = q.b.Param("A0");
+  int hi = q.b.AddMonths(a0, q.b.ConstInt(3));
+  int osel = q.b.Select(q.b.Bind("orders", "o_orderdate"), a0, hi, true,
+                        false);
+  // parameter-independent: orders with a late lineitem
+  int lt = q.b.CmpLt(q.b.Bind("lineitem", "l_commitdate"),
+                     q.b.Bind("lineitem", "l_receiptdate"));
+  int late = q.b.Uselect(lt, q.b.ConstBit(true));
+  int lcand = q.Recand(late);
+  int orow = q.Hop(lcand, "lineitem", "li_orders");     // [c -> ord row]
+  int distinct = q.b.Kunique(q.b.Reverse(orow));        // [ord row -> c]
+  // orders in range with exists(late lineitem)
+  int qual = q.b.Semijoin(osel, distinct);              // [ord row -> date]
+  int ocand2 = q.Recand(qual);
+  int prio = q.Fetch(ocand2, "orders", "o_orderpriority");
+  auto [map, reps] = q.b.GroupBy(prio);
+  q.b.ExportBat(q.GroupKeys(reps, prio), "o_orderpriority");
+  q.b.ExportBat(q.b.GrpCount(prio, map, reps), "order_count");
+  return Finish(4, &q, [](Rng& rng) {
+    int y = static_cast<int>(rng.UniformRange(1993, 1997));
+    int m = static_cast<int>(rng.UniformRange(1, 10));
+    return std::vector<Scalar>{Scalar::DateVal(Ymd(y, m, 1))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q5: local supplier volume. Params: region, year.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ5() {
+  QB q("q5");
+  int a_region = q.b.Param("A0");
+  int a_date = q.b.Param("A1");
+  int rsel = q.b.Uselect(q.b.Bind("region", "r_name"), a_region);
+  int nat = q.b.Reverse(
+      q.b.Semijoin(q.b.Reverse(q.b.Bind("nation", "n_regionkey")), rsel));
+  int hi = q.b.AddMonths(a_date, q.b.ConstInt(12));
+  int osel = q.b.Select(q.b.Bind("orders", "o_orderdate"), a_date, hi, true,
+                        false);
+  int li = q.RowsReferencing("lineitem", "li_orders", osel);
+  int lcand = q.Recand(li);
+  int snat = q.b.Join(q.Hop(lcand, "lineitem", "li_supp"),
+                      q.b.Bind("supplier", "s_nationkey"));
+  // keep lineitems whose supplier nation lies in the region
+  int innat = q.b.Reverse(q.b.Semijoin(q.b.Reverse(snat), nat));
+  int lcand2 = q.Rebase(q.b.Semijoin(lcand, innat));
+  int nkey = q.b.Join(q.Hop(lcand2, "lineitem", "li_supp"),
+                      q.b.Bind("supplier", "s_nationkey"));
+  int nname = q.b.Join(nkey, q.b.Bind("nation", "n_name"));
+  int rev = q.Revenue(lcand2);
+  auto [map, reps] = q.b.GroupBy(nname);
+  q.b.ExportBat(q.GroupKeys(reps, nname), "n_name");
+  q.b.ExportBat(q.b.GrpSum(rev, map, reps), "revenue");
+  return Finish(5, &q, [](Rng& rng) {
+    int y = static_cast<int>(rng.UniformRange(1993, 1997));
+    return std::vector<Scalar>{Scalar::Str(kRegionNames[rng.Uniform(5)]),
+                               Scalar::DateVal(Ymd(y, 1, 1))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q6: forecasting revenue change. Params: year, discount band, quantity.
+// Fully parameter dependent: the classic no-reuse query.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ6() {
+  QB q("q6");
+  int a_date = q.b.Param("A0");
+  int a_dlo = q.b.Param("A1");
+  int a_dhi = q.b.Param("A2");
+  int a_qty = q.b.Param("A3");
+  int hi = q.b.AddMonths(a_date, q.b.ConstInt(12));
+  int ssel = q.b.Select(q.b.Bind("lineitem", "l_shipdate"), a_date, hi, true,
+                        false);
+  int cand = q.Recand(ssel);
+  int disc = q.Fetch(cand, "lineitem", "l_discount");
+  int dsel = q.b.Select(disc, a_dlo, a_dhi, true, true);
+  int cand2 = q.Rebase(q.b.Semijoin(cand, dsel));
+  int qty = q.Fetch(cand2, "lineitem", "l_quantity");
+  int qsel = q.b.Select(qty, q.b.NilConst(TypeTag::kInt), a_qty, true, false);
+  int cand3 = q.Rebase(q.b.Semijoin(cand2, qsel));
+  int price = q.Fetch(cand3, "lineitem", "l_extendedprice");
+  int disc3 = q.Fetch(cand3, "lineitem", "l_discount");
+  q.b.ExportValue(q.b.AggrSum(q.b.Mul(price, disc3)), "revenue");
+  return Finish(6, &q, [](Rng& rng) {
+    int y = static_cast<int>(rng.UniformRange(1993, 1997));
+    double d = rng.UniformRange(2, 9) / 100.0;
+    return std::vector<Scalar>{
+        Scalar::DateVal(Ymd(y, 1, 1)), Scalar::Dbl(d - 0.01),
+        Scalar::Dbl(d + 0.01),
+        Scalar::Int(static_cast<int32_t>(rng.UniformRange(24, 25)))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q7: volume shipping. Params: two nations. The 1995-1996 shipdate window is
+// constant, hence parameter independent.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ7() {
+  QB q("q7");
+  int a_n1 = q.b.Param("A0");
+  int a_n2 = q.b.Param("A1");
+  int ssel = q.b.Select(q.b.Bind("lineitem", "l_shipdate"),
+                        q.b.ConstDate(Ymd(1995, 1, 1)),
+                        q.b.ConstDate(Ymd(1996, 12, 31)), true, true);
+  int cand = q.Recand(ssel);
+  int sname = q.b.Join(q.b.Join(q.Hop(cand, "lineitem", "li_supp"),
+                                q.b.Bind("supplier", "s_nationkey")),
+                       q.b.Bind("nation", "n_name"));
+  int cname = q.b.Join(
+      q.b.Join(q.b.Join(q.Hop(cand, "lineitem", "li_orders"),
+                        q.b.Bind("orders", "o_custkey")),
+               q.b.Bind("customer", "c_nationkey")),
+      q.b.Bind("nation", "n_name"));
+  // direction 1: supp in n1, cust in n2
+  int d1 = q.Rebase(q.b.Semijoin(q.b.Semijoin(cand, q.b.Uselect(sname, a_n1)),
+                                 q.b.Uselect(cname, a_n2)));
+  int y1 = q.b.Year(q.Fetch(d1, "lineitem", "l_shipdate"));
+  auto [m1, r1] = q.b.GroupBy(y1);
+  q.b.ExportBat(q.GroupKeys(r1, y1), "year_1");
+  q.b.ExportBat(q.b.GrpSum(q.Revenue(d1), m1, r1), "volume_1");
+  // direction 2: supp in n2, cust in n1
+  int d2 = q.Rebase(q.b.Semijoin(q.b.Semijoin(cand, q.b.Uselect(sname, a_n2)),
+                                 q.b.Uselect(cname, a_n1)));
+  int y2 = q.b.Year(q.Fetch(d2, "lineitem", "l_shipdate"));
+  auto [m2, r2] = q.b.GroupBy(y2);
+  q.b.ExportBat(q.GroupKeys(r2, y2), "year_2");
+  q.b.ExportBat(q.b.GrpSum(q.Revenue(d2), m2, r2), "volume_2");
+  return Finish(7, &q, [](Rng& rng) {
+    int n1 = static_cast<int>(rng.Uniform(25));
+    int n2 = static_cast<int>((n1 + 1 + rng.Uniform(24)) % 25);
+    return std::vector<Scalar>{Scalar::Str(kNationNames[n1]),
+                               Scalar::Str(kNationNames[n2])};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q8: national market share. Params: region, part type.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ8() {
+  QB q("q8");
+  int a_region = q.b.Param("A0");
+  int a_type = q.b.Param("A1");
+  // parameter independent: orders placed in 1995-1996
+  int osel = q.b.Select(q.b.Bind("orders", "o_orderdate"),
+                        q.b.ConstDate(Ymd(1995, 1, 1)),
+                        q.b.ConstDate(Ymd(1996, 12, 31)), true, true);
+  int li = q.RowsReferencing("lineitem", "li_orders", osel);
+  int lcand = q.Recand(li);
+  int ptype = q.b.Join(q.Hop(lcand, "lineitem", "li_part"),
+                       q.b.Bind("part", "p_type"));
+  int tsel = q.b.Uselect(ptype, a_type);
+  int lcand2 = q.Rebase(q.b.Semijoin(lcand, tsel));
+  // customer region filter
+  int rname = q.b.Join(
+      q.b.Join(q.b.Join(q.b.Join(q.Hop(lcand2, "lineitem", "li_orders"),
+                                 q.b.Bind("orders", "o_custkey")),
+                        q.b.Bind("customer", "c_nationkey")),
+               q.b.Bind("nation", "n_regionkey")),
+      q.b.Bind("region", "r_name"));
+  int rsel = q.b.Uselect(rname, a_region);
+  int lcand3 = q.Rebase(q.b.Semijoin(lcand2, rsel));
+  int year = q.b.Year(q.b.Join(q.Hop(lcand3, "lineitem", "li_orders"),
+                               q.b.Bind("orders", "o_orderdate")));
+  int rev = q.Revenue(lcand3);
+  auto [map, reps] = q.b.GroupBy(year);
+  q.b.ExportBat(q.GroupKeys(reps, year), "o_year");
+  q.b.ExportBat(q.b.GrpSum(rev, map, reps), "volume");
+  return Finish(8, &q, [](Rng& rng) {
+    std::string type = std::string(kType1[rng.Uniform(6)]) + " " +
+                       kType2[rng.Uniform(5)] + " " + kType3[rng.Uniform(5)];
+    return std::vector<Scalar>{Scalar::Str(kRegionNames[rng.Uniform(5)]),
+                               Scalar::Str(type)};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q9: product type profit. Param: part-name colour pattern.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ9() {
+  QB q("q9");
+  int a_color = q.b.Param("A0");
+  int psel = q.b.LikeSelect(q.b.Bind("part", "p_name"), a_color);
+  int li = q.RowsReferencing("lineitem", "li_part", psel);
+  int lcand = q.Recand(li);
+  int nname = q.b.Join(q.b.Join(q.Hop(lcand, "lineitem", "li_supp"),
+                                q.b.Bind("supplier", "s_nationkey")),
+                       q.b.Bind("nation", "n_name"));
+  int year = q.b.Year(q.b.Join(q.Hop(lcand, "lineitem", "li_orders"),
+                               q.b.Bind("orders", "o_orderdate")));
+  int amount = q.Revenue(lcand);
+  auto [m1, r1] = q.b.GroupBy(nname);
+  auto [map, reps] = q.b.SubGroupBy(year, m1);
+  (void)r1;
+  q.b.ExportBat(q.GroupKeys(reps, nname), "nation");
+  q.b.ExportBat(q.GroupKeys(reps, year), "o_year");
+  q.b.ExportBat(q.b.GrpSum(amount, map, reps), "sum_profit");
+  return Finish(9, &q, [](Rng& rng) {
+    return std::vector<Scalar>{
+        Scalar::Str(std::string("%") + kColors[rng.Uniform(10)] + "%")};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q10: returned item reporting. Param: quarter start.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ10() {
+  QB q("q10");
+  int a0 = q.b.Param("A0");
+  int hi = q.b.AddMonths(a0, q.b.ConstInt(3));
+  int osel = q.b.Select(q.b.Bind("orders", "o_orderdate"), a0, hi, true,
+                        false);
+  int li = q.RowsReferencing("lineitem", "li_orders", osel);
+  int lcand = q.Recand(li);
+  int flag = q.Fetch(lcand, "lineitem", "l_returnflag");
+  int fsel = q.b.Uselect(flag, q.b.ConstStr("R"));
+  int lcand2 = q.Rebase(q.b.Semijoin(lcand, fsel));
+  int cust = q.b.Join(q.Hop(lcand2, "lineitem", "li_orders"),
+                      q.b.Bind("orders", "o_custkey"));
+  int rev = q.Revenue(lcand2);
+  auto [map, reps] = q.b.GroupBy(cust);
+  int sums = q.b.GrpSum(rev, map, reps);
+  int names = q.b.Join(q.GroupKeys(reps, cust), q.b.Bind("customer", "c_name"));
+  int sorted = q.b.SortTail(sums);
+  q.b.ExportBat(q.b.SliceN(sorted, 0, 20), "revenue");
+  q.b.ExportBat(names, "c_name");
+  return Finish(10, &q, [](Rng& rng) {
+    int y = static_cast<int>(rng.UniformRange(1993, 1994));
+    int m = static_cast<int>(rng.UniformRange(1, 12));
+    return std::vector<Scalar>{Scalar::DateVal(Ymd(y, m, 1))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q11: important stock identification. Params: nation, fraction.
+// The SQL repeats the partsupp-supplier-nation join + value computation in
+// the HAVING subquery; the plan deliberately duplicates that thread, which
+// is the intra-query commonality Table II reports (33%).
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ11() {
+  QB q("q11");
+  int a_nation = q.b.Param("A0");
+  int a_frac = q.b.Param("A1");
+
+  auto subplan = [&](int* cand_out, int* value_out) {
+    int nsel = q.b.Uselect(q.b.Bind("nation", "n_name"), a_nation);
+    int supp = q.RowsReferencing("supplier", "supp_nation", nsel);
+    int ps = q.RowsReferencing("partsupp", "ps_supp", supp);
+    int cand = q.Recand(ps);
+    int cost = q.Fetch(cand, "partsupp", "ps_supplycost");
+    int qty = q.Fetch(cand, "partsupp", "ps_availqty");
+    *cand_out = cand;
+    *value_out = q.b.Mul(cost, qty);
+  };
+
+  int cand1, value1;
+  subplan(&cand1, &value1);
+  int pk = q.Fetch(cand1, "partsupp", "ps_partkey");
+  auto [map, reps] = q.b.GroupBy(pk);
+  int sums = q.b.GrpSum(value1, map, reps);
+
+  // HAVING subquery: the same thread recomputed (reused locally).
+  int cand2, value2;
+  subplan(&cand2, &value2);
+  (void)cand2;
+  int total = q.b.AggrSum(value2);
+  int bound = q.b.ScalarMul(total, a_frac);
+
+  int hot = q.b.Select(sums, bound, q.b.NilConst(TypeTag::kDbl), false, true);
+  int hot_cand = q.Recand(hot);
+  int keys = q.b.Join(hot_cand, q.GroupKeys(reps, pk));
+  q.b.ExportBat(keys, "ps_partkey");
+  q.b.ExportBat(hot, "value");
+  return Finish(11, &q, [](Rng& rng) {
+    return std::vector<Scalar>{
+        Scalar::Str(kNationNames[rng.Uniform(25)]),
+        Scalar::Dbl(rng.UniformDouble(0.002, 0.01))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q12: shipping mode & order priority. Params: two modes, year.
+// The commit/receipt/ship date comparisons are parameter independent.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ12() {
+  QB q("q12");
+  int a_m1 = q.b.Param("A0");
+  int a_m2 = q.b.Param("A1");
+  int a_date = q.b.Param("A2");
+  int hi = q.b.AddMonths(a_date, q.b.ConstInt(12));
+  int modes = q.b.Bind("lineitem", "l_shipmode");
+  int rsel = q.b.Select(q.b.Bind("lineitem", "l_receiptdate"), a_date, hi,
+                        true, false);
+  // parameter-independent threads
+  int ok1 = q.b.Uselect(q.b.CmpLt(q.b.Bind("lineitem", "l_commitdate"),
+                                  q.b.Bind("lineitem", "l_receiptdate")),
+                        q.b.ConstBit(true));
+  int ok2 = q.b.Uselect(q.b.CmpLt(q.b.Bind("lineitem", "l_shipdate"),
+                                  q.b.Bind("lineitem", "l_commitdate")),
+                        q.b.ConstBit(true));
+  auto branch = [&](int mode_param, const char* suffix) {
+    int msel = q.b.Uselect(modes, mode_param);
+    int both = q.b.Semijoin(q.b.Semijoin(q.b.Semijoin(msel, rsel), ok1), ok2);
+    int cand = q.Recand(both);
+    int prio = q.b.Join(q.Hop(cand, "lineitem", "li_orders"),
+                        q.b.Bind("orders", "o_orderpriority"));
+    int urgent = q.b.Uselect(prio, q.b.ConstStr("1-URGENT"));
+    int high = q.b.Uselect(prio, q.b.ConstStr("2-HIGH"));
+    q.b.ExportValue(q.b.AggrCount(urgent), std::string("urgent_") + suffix);
+    q.b.ExportValue(q.b.AggrCount(high), std::string("high_") + suffix);
+    q.b.ExportValue(q.b.AggrCount(prio), std::string("all_") + suffix);
+  };
+  branch(a_m1, "1");
+  branch(a_m2, "2");
+  return Finish(12, &q, [](Rng& rng) {
+    int m1 = static_cast<int>(rng.Uniform(7));
+    int m2 = static_cast<int>((m1 + 1 + rng.Uniform(6)) % 7);
+    int y = static_cast<int>(rng.UniformRange(1993, 1997));
+    return std::vector<Scalar>{Scalar::Str(kModeNames[m1]),
+                               Scalar::Str(kModeNames[m2]),
+                               Scalar::DateVal(Ymd(y, 1, 1))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q13: customer distribution. Param: comment pattern.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ13() {
+  QB q("q13");
+  int a_pat = q.b.Param("A0");
+  int comments = q.b.Bind("orders", "o_comment");
+  int excluded = q.b.LikeSelect(comments, a_pat);
+  int custkeys = q.b.Bind("orders", "o_custkey");
+  int keep = q.b.AntiSemijoin(custkeys, excluded);
+  auto [map, reps] = q.b.GroupBy(keep);
+  int counts = q.b.GrpCount(keep, map, reps);  // orders per customer
+  auto [m2, r2] = q.b.GroupBy(counts);
+  q.b.ExportBat(q.GroupKeys(r2, counts), "c_count");
+  q.b.ExportBat(q.b.GrpCount(counts, m2, r2), "custdist");
+  return Finish(13, &q, [](Rng& rng) {
+    return std::vector<Scalar>{
+        Scalar::Str(std::string("%") + kW1[rng.Uniform(4)] + "%" +
+                    kW2[rng.Uniform(4)] + "%")};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q14: promotion effect. Param: month. Instances barely overlap: the
+// recycler-overhead counter-example of Fig. 5b.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ14() {
+  QB q("q14");
+  int a0 = q.b.Param("A0");
+  int hi = q.b.AddMonths(a0, q.b.ConstInt(1));
+  int ssel = q.b.Select(q.b.Bind("lineitem", "l_shipdate"), a0, hi, true,
+                        false);
+  int cand = q.Recand(ssel);
+  int ptype = q.b.Join(q.Hop(cand, "lineitem", "li_part"),
+                       q.b.Bind("part", "p_type"));
+  int promo = q.b.LikeSelect(ptype, q.b.ConstStr("PROMO%"));
+  int rev = q.Revenue(cand);
+  int promo_rev = q.b.Semijoin(rev, promo);
+  q.b.ExportValue(q.b.AggrSum(promo_rev), "promo_revenue");
+  q.b.ExportValue(q.b.AggrSum(rev), "total_revenue");
+  return Finish(14, &q, [](Rng& rng) {
+    int y = static_cast<int>(rng.UniformRange(1993, 1997));
+    int m = static_cast<int>(rng.UniformRange(1, 12));
+    return std::vector<Scalar>{Scalar::DateVal(Ymd(y, m, 1))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q15: top supplier. Param: quarter start.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ15() {
+  QB q("q15");
+  int a0 = q.b.Param("A0");
+  int hi = q.b.AddMonths(a0, q.b.ConstInt(3));
+  int ssel = q.b.Select(q.b.Bind("lineitem", "l_shipdate"), a0, hi, true,
+                        false);
+  int cand = q.Recand(ssel);
+  int supp = q.Fetch(cand, "lineitem", "l_suppkey");
+  int rev = q.Revenue(cand);
+  auto [map, reps] = q.b.GroupBy(supp);
+  int sums = q.b.GrpSum(rev, map, reps);
+  int mx = q.b.AggrMax(sums);
+  int best = q.b.Uselect(sums, mx);
+  int bcand = q.Recand(best);
+  int bkeys = q.b.Join(bcand, q.GroupKeys(reps, supp));
+  int names = q.b.Join(bkeys, q.b.Bind("supplier", "s_name"));
+  q.b.ExportBat(names, "s_name");
+  q.b.ExportBat(best, "total_revenue");
+  return Finish(15, &q, [](Rng& rng) {
+    int y = static_cast<int>(rng.UniformRange(1993, 1997));
+    int m = 1 + 3 * static_cast<int>(rng.Uniform(4));
+    return std::vector<Scalar>{Scalar::DateVal(Ymd(y, m, 1))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q16: parts/supplier relationship. Params: brand, type pattern, size band.
+// The complained-about-suppliers scan is constant: strong inter reuse.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ16() {
+  QB q("q16");
+  int a_brand = q.b.Param("A0");
+  int a_type = q.b.Param("A1");
+  int a_szlo = q.b.Param("A2");
+  int a_szhi = q.b.Param("A3");
+  // parameter independent: suppliers with complaints
+  int complaints = q.b.LikeSelect(q.b.Bind("supplier", "s_comment"),
+                             q.b.ConstStr("%Customer%Complaints%"));
+  int bsel = q.b.AntiUselect(q.b.Bind("part", "p_brand"), a_brand);
+  int tsel = q.b.LikeSelect(q.b.Bind("part", "p_type"), a_type);
+  int szsel = q.b.Select(q.b.Bind("part", "p_size"), a_szlo, a_szhi, true,
+                         true);
+  int parts = q.b.Semijoin(q.b.Semijoin(bsel, tsel), szsel);
+  int ps = q.RowsReferencing("partsupp", "ps_part", parts);
+  int cand = q.Recand(ps);
+  int sk = q.b.Join(q.Hop(cand, "partsupp", "ps_supp"),
+                    q.b.Bind("supplier", "s_suppkey"));
+  int good = q.b.Reverse(q.b.AntiSemijoin(q.b.Reverse(sk), complaints));
+  int cand2 = q.Rebase(q.b.Semijoin(cand, good));
+  int prow = q.Hop(cand2, "partsupp", "ps_part");
+  int brand = q.b.Join(prow, q.b.Bind("part", "p_brand"));
+  int type = q.b.Join(prow, q.b.Bind("part", "p_type"));
+  int size = q.b.Join(prow, q.b.Bind("part", "p_size"));
+  auto [m1, r1] = q.b.GroupBy(brand);
+  auto [m2, r2] = q.b.SubGroupBy(type, m1);
+  auto [map, reps] = q.b.SubGroupBy(size, m2);
+  (void)r1;
+  (void)r2;
+  q.b.ExportBat(q.GroupKeys(reps, brand), "p_brand");
+  q.b.ExportBat(q.GroupKeys(reps, type), "p_type");
+  q.b.ExportBat(q.GroupKeys(reps, size), "p_size");
+  q.b.ExportBat(q.b.GrpCount(size, map, reps), "supplier_cnt");
+  return Finish(16, &q, [](Rng& rng) {
+    int lo = static_cast<int>(rng.UniformRange(1, 40));
+    return std::vector<Scalar>{
+        Scalar::Str(Brand(rng)),
+        Scalar::Str(std::string(kType1[rng.Uniform(6)]) + " " +
+                    kType2[rng.Uniform(5)] + "%"),
+        Scalar::Int(lo), Scalar::Int(lo + 9)};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q17: small-quantity-order revenue. Params: brand, container.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ17() {
+  QB q("q17");
+  int a_brand = q.b.Param("A0");
+  int a_cont = q.b.Param("A1");
+  int bsel = q.b.Uselect(q.b.Bind("part", "p_brand"), a_brand);
+  int csel = q.b.Uselect(q.b.Bind("part", "p_container"), a_cont);
+  int parts = q.b.Semijoin(bsel, csel);
+  int li = q.RowsReferencing("lineitem", "li_part", parts);
+  int lcand = q.Recand(li);
+  int qty = q.Fetch(lcand, "lineitem", "l_quantity");
+  int pk = q.Fetch(lcand, "lineitem", "l_partkey");
+  auto [map, reps] = q.b.GroupBy(pk);
+  int avgq = q.b.GrpAvg(qty, map, reps);
+  int thr = q.b.Mul(avgq, q.b.ConstDbl(0.2));
+  int thr_row = q.b.Join(map, thr);  // positional: per-row threshold
+  int qty_d = q.b.Mul(qty, q.b.ConstDbl(1.0));  // widen int -> dbl
+  int small = q.b.Uselect(q.b.CmpLt(qty_d, thr_row), q.b.ConstBit(true));
+  int price = q.Fetch(lcand, "lineitem", "l_extendedprice");
+  int chosen = q.b.Semijoin(price, small);
+  int total = q.b.AggrSum(chosen);
+  q.b.ExportValue(q.b.ScalarMul(total, q.b.ConstDbl(1.0 / 7.0)),
+                  "avg_yearly");
+  return Finish(17, &q, [](Rng& rng) {
+    const char* c1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+    const char* c2[] = {"CASE", "BOX", "BAG", "JAR",
+                        "PKG",  "PACK", "CAN", "DRUM"};
+    return std::vector<Scalar>{
+        Scalar::Str(Brand(rng)),
+        Scalar::Str(std::string(c1[rng.Uniform(5)]) + " " +
+                    c2[rng.Uniform(8)])};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q18: large volume customer. Param: quantity threshold. The grouping and
+// aggregation over lineitem is parameter independent — the paper's flagship
+// inter-query reuse case (75%, Fig. 4b).
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ18() {
+  QB q("q18");
+  int a0 = q.b.Param("A0");
+  // parameter independent: total quantity per order
+  int okeys = q.b.Bind("lineitem", "l_orderkey");
+  auto [map, reps] = q.b.GroupBy(okeys);
+  int qty = q.b.Bind("lineitem", "l_quantity");
+  int sums = q.b.GrpSum(qty, map, reps);
+  // parameter dependent remainder
+  int sel = q.b.Select(sums, a0, q.b.NilConst(TypeTag::kLng), false, true);
+  int cand = q.Recand(sel);
+  int gkeys = q.GroupKeys(reps, okeys);
+  int sel_keys = q.b.Join(cand, gkeys);  // [x -> orderkey]
+  // key -> row mapping survives row drift after updates
+  int orows = q.b.Join(sel_keys, q.b.Reverse(q.b.Bind("orders", "o_orderkey")));
+  int total = q.b.Join(orows, q.b.Bind("orders", "o_totalprice"));
+  int odate = q.b.Join(orows, q.b.Bind("orders", "o_orderdate"));
+  int cname = q.b.Join(q.b.Join(orows, q.b.Bind("orders", "o_custkey")),
+                       q.b.Bind("customer", "c_name"));
+  q.b.ExportBat(sel_keys, "o_orderkey");
+  q.b.ExportBat(total, "o_totalprice");
+  q.b.ExportBat(odate, "o_orderdate");
+  q.b.ExportBat(cname, "c_name");
+  q.b.ExportBat(sel, "sum_quantity");
+  return Finish(18, &q, [](Rng& rng) {
+    return std::vector<Scalar>{
+        Scalar::Lng(static_cast<int64_t>(rng.UniformRange(300, 315)))};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q19: discounted revenue, three OR'd predicate branches. Params: brand and
+// quantity band per branch. Each branch re-evaluates the constant
+// shipinstruct/shipmode selections: intra + inter commonality (Fig. 5a).
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ19() {
+  QB q("q19");
+  int a_brand[3] = {q.b.Param("A0"), q.b.Param("A1"), q.b.Param("A2")};
+  int a_qlo[3] = {q.b.Param("A3"), q.b.Param("A4"), q.b.Param("A5")};
+  int a_qhi[3] = {q.b.Param("A6"), q.b.Param("A7"), q.b.Param("A8")};
+  const char* containers[3] = {"SM%", "MED%", "LG%"};
+
+  int total_vars[3];
+  for (int i = 0; i < 3; ++i) {
+    // constant sub-thread, re-evaluated per branch as the SQL compiler does
+    int instr = q.b.Uselect(q.b.Bind("lineitem", "l_shipinstruct"),
+                            q.b.ConstStr("DELIVER IN PERSON"));
+    int air = q.b.Uselect(q.b.Bind("lineitem", "l_shipmode"),
+                          q.b.ConstStr("AIR"));
+    int base = q.b.Semijoin(instr, air);
+    // parameterised part filter
+    int bsel = q.b.Uselect(q.b.Bind("part", "p_brand"), a_brand[i]);
+    int cont = q.b.LikeSelect(q.b.Bind("part", "p_container"),
+                              q.b.ConstStr(containers[i]));
+    int parts = q.b.Semijoin(bsel, cont);
+    int li = q.RowsReferencing("lineitem", "li_part", parts);
+    int both = q.b.Semijoin(li, base);
+    int cand = q.Recand(both);
+    int qty = q.Fetch(cand, "lineitem", "l_quantity");
+    int qsel = q.b.Select(qty, a_qlo[i], a_qhi[i], true, true);
+    int cand2 = q.Rebase(q.b.Semijoin(cand, qsel));
+    total_vars[i] = q.b.AggrSum(q.Revenue(cand2));
+  }
+  q.b.ExportValue(total_vars[0], "revenue_1");
+  q.b.ExportValue(total_vars[1], "revenue_2");
+  q.b.ExportValue(total_vars[2], "revenue_3");
+  return Finish(19, &q, [](Rng& rng) {
+    std::vector<Scalar> p;
+    for (int i = 0; i < 3; ++i) p.push_back(Scalar::Str(Brand(rng)));
+    int qlo[3];
+    for (int i = 0; i < 3; ++i) {
+      qlo[i] = static_cast<int>(rng.UniformRange(1, 10 * (i + 1)));
+      p.push_back(Scalar::Int(qlo[i]));
+    }
+    for (int i = 0; i < 3; ++i) p.push_back(Scalar::Int(qlo[i] + 10));
+    return p;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q20: potential part promotion. Params: colour prefix, year, nation.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ20() {
+  QB q("q20");
+  int a_color = q.b.Param("A0");
+  int a_date = q.b.Param("A1");
+  int a_nation = q.b.Param("A2");
+  int psel = q.b.LikeSelect(q.b.Bind("part", "p_name"), a_color);
+  // quantity shipped per selected part within the year
+  int hi = q.b.AddMonths(a_date, q.b.ConstInt(12));
+  int li = q.RowsReferencing("lineitem", "li_part", psel);
+  int ssel = q.b.Select(q.b.Bind("lineitem", "l_shipdate"), a_date, hi, true,
+                        false);
+  int li2 = q.b.Semijoin(li, ssel);
+  int lcand = q.Recand(li2);
+  int lqty = q.Fetch(lcand, "lineitem", "l_quantity");
+  int lpk = q.Fetch(lcand, "lineitem", "l_partkey");
+  auto [map, reps] = q.b.GroupBy(lpk);
+  int half = q.b.Mul(q.b.GrpSum(lqty, map, reps), q.b.ConstDbl(0.5));
+  int gkeys = q.GroupKeys(reps, lpk);  // [gid -> partkey]
+  // partsupp rows of the selected parts, availqty > half of shipped
+  int ps = q.RowsReferencing("partsupp", "ps_part", psel);
+  int cand = q.Recand(ps);
+  int pspk = q.Fetch(cand, "partsupp", "ps_partkey");
+  int gid = q.b.Join(pspk, q.b.Reverse(gkeys));  // [c -> gid]
+  int thr = q.b.Join(gid, half);
+  int avail = q.Fetch(cand, "partsupp", "ps_availqty");
+  // align: avail is [c -> qty] over all candidate rows; thr only covers rows
+  // whose part shipped this year. Restrict avail to those rows first.
+  int avail2 = q.b.Semijoin(avail, gid);
+  int avail_d = q.b.Mul(avail2, q.b.ConstDbl(1.0));  // widen int -> dbl
+  int cmp = q.b.CmpGt(avail_d, thr);
+  int sel = q.b.Uselect(cmp, q.b.ConstBit(true));
+  int sk = q.Fetch(cand, "partsupp", "ps_suppkey");
+  int sk2 = q.b.Semijoin(sk, sel);
+  // nation filter
+  int nsel = q.b.Uselect(q.b.Bind("nation", "n_name"), a_nation);
+  int snat = q.RowsReferencing("supplier", "supp_nation", nsel);
+  int in_nation = q.b.Semijoin(q.b.Reverse(sk2), snat);  // [suppkey -> c]
+  int distinct = q.b.Kunique(in_nation);
+  int ncand = q.Recand(distinct);
+  int names = q.b.Join(ncand, q.b.Bind("supplier", "s_name"));
+  q.b.ExportBat(names, "s_name");
+  q.b.ExportValue(q.b.AggrCount(names), "supplier_count");
+  return Finish(20, &q, [](Rng& rng) {
+    int y = static_cast<int>(rng.UniformRange(1993, 1997));
+    return std::vector<Scalar>{
+        Scalar::Str(std::string(kColors[rng.Uniform(10)]) + "%"),
+        Scalar::DateVal(Ymd(y, 1, 1)),
+        Scalar::Str(kNationNames[rng.Uniform(25)])};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q21: suppliers who kept orders waiting. Param: nation. The late-lineitem
+// and F-order threads are parameter independent.
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ21() {
+  QB q("q21");
+  int a_nation = q.b.Param("A0");
+  // parameter independent: late lineitems on finished orders
+  int late = q.b.Uselect(q.b.CmpGt(q.b.Bind("lineitem", "l_receiptdate"),
+                                   q.b.Bind("lineitem", "l_commitdate")),
+                         q.b.ConstBit(true));
+  int fsel = q.b.Uselect(q.b.Bind("orders", "o_orderstatus"),
+                         q.b.ConstStr("F"));
+  int lidx = q.b.Reverse(q.b.BindIdx("lineitem", "li_orders"));
+  int li_f = q.b.Reverse(q.b.Semijoin(lidx, fsel));  // [l_row -> ord row]
+  int lateF = q.b.Semijoin(late, li_f);
+  // parameter dependent: suppliers of the nation
+  int nsel = q.b.Uselect(q.b.Bind("nation", "n_name"), a_nation);
+  int snat = q.RowsReferencing("supplier", "supp_nation", nsel);
+  int cand = q.Recand(lateF);
+  int srow = q.Hop(cand, "lineitem", "li_supp");  // [c -> supp row]
+  int in_nation = q.b.Reverse(q.b.Semijoin(q.b.Reverse(srow), snat));
+  auto [map, reps] = q.b.GroupBy(in_nation);
+  int cnt = q.b.GrpCount(in_nation, map, reps);
+  int names = q.b.Join(q.GroupKeys(reps, in_nation),
+                       q.b.Bind("supplier", "s_name"));
+  int sorted = q.b.SortTail(cnt);
+  q.b.ExportBat(names, "s_name");
+  q.b.ExportBat(q.b.SliceN(sorted, 0, 100), "numwait");
+  return Finish(21, &q, [](Rng& rng) {
+    return std::vector<Scalar>{Scalar::Str(kNationNames[rng.Uniform(25)])};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Q22: global sales opportunity. Params: phone country-code band. The
+// average-balance subquery is constant: strong inter reuse (75%).
+// ---------------------------------------------------------------------------
+QueryTemplate BuildQ22() {
+  QB q("q22");
+  int a_lo = q.b.Param("A0");
+  int a_hi = q.b.Param("A1");
+  int cc = q.b.Bind("customer", "c_phone_cc");
+  int csel = q.b.Select(cc, a_lo, a_hi, true, true);
+  // parameter independent: average positive account balance
+  int bal = q.b.Bind("customer", "c_acctbal");
+  int pos = q.b.Select(bal, q.b.ConstDbl(0.0), q.b.NilConst(TypeTag::kDbl),
+                       false, true);
+  int avg = q.b.AggrAvg(pos);
+  int rich = q.b.Select(bal, avg, q.b.NilConst(TypeTag::kDbl), false, true);
+  int sel2 = q.b.Semijoin(csel, rich);
+  // customers without orders (through the ord_cust index: [cust row -> ...])
+  int haveord = q.b.Reverse(q.b.BindIdx("orders", "ord_cust"));
+  int noord = q.b.AntiSemijoin(sel2, haveord);
+  int cand = q.Recand(noord);
+  int ccv = q.b.Join(cand, cc);
+  int balv = q.b.Join(cand, bal);
+  auto [map, reps] = q.b.GroupBy(ccv);
+  q.b.ExportBat(q.GroupKeys(reps, ccv), "cntrycode");
+  q.b.ExportBat(q.b.GrpCount(balv, map, reps), "numcust");
+  q.b.ExportBat(q.b.GrpSum(balv, map, reps), "totacctbal");
+  return Finish(22, &q, [](Rng& rng) {
+    int lo = static_cast<int>(rng.UniformRange(10, 30));
+    return std::vector<Scalar>{Scalar::Int(lo), Scalar::Int(lo + 4)};
+  });
+}
+
+}  // namespace
+
+QueryTemplate BuildQuery(int qnum) {
+  switch (qnum) {
+    case 1: return BuildQ1();
+    case 2: return BuildQ2();
+    case 3: return BuildQ3();
+    case 4: return BuildQ4();
+    case 5: return BuildQ5();
+    case 6: return BuildQ6();
+    case 7: return BuildQ7();
+    case 8: return BuildQ8();
+    case 9: return BuildQ9();
+    case 10: return BuildQ10();
+    case 11: return BuildQ11();
+    case 12: return BuildQ12();
+    case 13: return BuildQ13();
+    case 14: return BuildQ14();
+    case 15: return BuildQ15();
+    case 16: return BuildQ16();
+    case 17: return BuildQ17();
+    case 18: return BuildQ18();
+    case 19: return BuildQ19();
+    case 20: return BuildQ20();
+    case 21: return BuildQ21();
+    case 22: return BuildQ22();
+    default:
+      RDB_CHECK(false);
+  }
+  return QueryTemplate{};
+}
+
+std::vector<QueryTemplate> BuildAllQueries() {
+  std::vector<QueryTemplate> out;
+  out.reserve(22);
+  for (int i = 1; i <= 22; ++i) out.push_back(BuildQuery(i));
+  return out;
+}
+
+}  // namespace recycledb::tpch

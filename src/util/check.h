@@ -1,0 +1,27 @@
+#ifndef RECYCLEDB_UTIL_CHECK_H_
+#define RECYCLEDB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant checks. These guard programming errors (not user
+/// input, which goes through Status); a failed check aborts the process.
+#define RDB_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "RDB_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define RDB_DCHECK(cond) RDB_CHECK(cond)
+
+#define RDB_UNREACHABLE()                                                \
+  do {                                                                   \
+    std::fprintf(stderr, "RDB_UNREACHABLE hit at %s:%d\n", __FILE__,     \
+                 __LINE__);                                              \
+    std::abort();                                                        \
+  } while (0)
+
+#endif  // RECYCLEDB_UTIL_CHECK_H_

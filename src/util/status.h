@@ -1,0 +1,145 @@
+#ifndef RECYCLEDB_UTIL_STATUS_H_
+#define RECYCLEDB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace recycledb {
+
+/// Error taxonomy for the engine. Kept deliberately small: the kernel is a
+/// library, so callers mostly branch on ok()/!ok() and log the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kTypeMismatch,
+  kOutOfRange,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Arrow/RocksDB-style status object. The engine does not use exceptions;
+/// every fallible public entry point returns a Status or a Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  static const char* CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kTypeMismatch:
+        return "TypeMismatch";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kInternal:
+        return "Internal";
+      case StatusCode::kNotImplemented:
+        return "NotImplemented";
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  /// Returns the value or dies; for tests and examples.
+  T ValueOrDie() &&;
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define RDB_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::recycledb::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define RDB_CONCAT_IMPL(a, b) a##b
+#define RDB_CONCAT(a, b) RDB_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define RDB_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto RDB_CONCAT(_res_, __LINE__) = (rexpr);                  \
+  if (!RDB_CONCAT(_res_, __LINE__).ok())                       \
+    return RDB_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(RDB_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace recycledb
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace recycledb {
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) {
+    std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                 status().ToString().c_str());
+    std::abort();
+  }
+  return std::get<T>(std::move(v_));
+}
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_UTIL_STATUS_H_

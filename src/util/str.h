@@ -1,0 +1,18 @@
+#ifndef RECYCLEDB_UTIL_STR_H_
+#define RECYCLEDB_UTIL_STR_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace recycledb {
+
+/// printf-style formatting into a std::string (gcc 12 lacks std::format).
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// SQL LIKE pattern match with '%' (any run) and '_' (any single char).
+/// No escape-character support; the workloads do not use escapes.
+bool LikeMatch(const std::string& value, const std::string& pattern);
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_UTIL_STR_H_

@@ -1,0 +1,40 @@
+#ifndef RECYCLEDB_UTIL_TIMER_H_
+#define RECYCLEDB_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace recycledb {
+
+/// Monotonic wall-clock helpers used for operator cost accounting and
+/// benchmark reporting.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double NowMillis() { return static_cast<double>(NowNanos()) / 1e6; }
+
+/// Simple stopwatch: measures elapsed time since construction or Restart().
+class StopWatch {
+ public:
+  StopWatch() : start_(NowNanos()) {}
+
+  void Restart() { start_ = NowNanos(); }
+
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_UTIL_TIMER_H_

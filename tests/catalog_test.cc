@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace recycledb {
+namespace {
+
+std::unique_ptr<Catalog> SmallDb() {
+  auto cat = std::make_unique<Catalog>();
+  cat->CreateTable("orders", {{"o_orderkey", TypeTag::kOid},
+                              {"o_totalprice", TypeTag::kDbl}});
+  cat->CreateTable("lineitem", {{"l_orderkey", TypeTag::kOid},
+                                {"l_quantity", TypeTag::kInt}});
+  EXPECT_TRUE(cat->LoadColumn<Oid>("orders", "o_orderkey", {100, 101, 102},
+                                   true, true)
+                  .ok());
+  EXPECT_TRUE(
+      cat->LoadColumn<double>("orders", "o_totalprice", {10.0, 20.0, 30.0})
+          .ok());
+  EXPECT_TRUE(
+      cat->LoadColumn<Oid>("lineitem", "l_orderkey", {101, 100, 101, 102})
+          .ok());
+  EXPECT_TRUE(cat->LoadColumn<int32_t>("lineitem", "l_quantity", {1, 2, 3, 4})
+                  .ok());
+  EXPECT_TRUE(cat->RegisterFkIndex("li_fkey", "lineitem", "l_orderkey",
+                                   "orders", "o_orderkey")
+                  .ok());
+  return cat;
+}
+
+TEST(CatalogTest, CreateAndBind) {
+  auto cat = SmallDb();
+  auto b = cat->BindColumn("orders", "o_totalprice").ValueOrDie();
+  EXPECT_EQ(b->size(), 3u);
+  EXPECT_EQ(b->TailAt(1), Scalar::Dbl(20.0));
+  EXPECT_TRUE(b->head().dense());
+  EXPECT_TRUE(b->tail().col->persistent());
+}
+
+TEST(CatalogTest, BindIdentityIsStable) {
+  auto cat = SmallDb();
+  auto a = cat->BindColumn("orders", "o_totalprice").ValueOrDie();
+  auto b = cat->BindColumn("orders", "o_totalprice").ValueOrDie();
+  EXPECT_EQ(a->id(), b->id()) << "persistent bats must have stable identity";
+}
+
+TEST(CatalogTest, MissingObjects) {
+  auto cat = SmallDb();
+  EXPECT_FALSE(cat->BindColumn("nope", "x").ok());
+  EXPECT_FALSE(cat->BindColumn("orders", "nope").ok());
+  EXPECT_FALSE(cat->BindIndex("nope").ok());
+}
+
+TEST(CatalogTest, RowCountMismatchRejected) {
+  Catalog cat;
+  cat.CreateTable("t", {{"a", TypeTag::kInt}, {"b", TypeTag::kInt}});
+  EXPECT_TRUE(cat.LoadColumn<int32_t>("t", "a", {1, 2}).ok());
+  EXPECT_FALSE(cat.LoadColumn<int32_t>("t", "b", {1, 2, 3}).ok());
+}
+
+TEST(CatalogTest, FkIndexMapsPositions) {
+  auto cat = SmallDb();
+  auto idx = cat->BindIndex("li_fkey").ValueOrDie();
+  ASSERT_EQ(idx->size(), 4u);
+  EXPECT_EQ(idx->TailAt(0), Scalar::OidVal(1));  // 101 -> orders row 1
+  EXPECT_EQ(idx->TailAt(1), Scalar::OidVal(0));
+  EXPECT_EQ(idx->TailAt(3), Scalar::OidVal(2));
+}
+
+TEST(CatalogTest, ColumnIds) {
+  auto cat = SmallDb();
+  auto a = cat->GetColumnId("orders", "o_orderkey").ValueOrDie();
+  auto b = cat->GetColumnId("orders", "o_totalprice").ValueOrDie();
+  EXPECT_EQ(a.table, b.table);
+  EXPECT_NE(a.col, b.col);
+  auto i = cat->GetIndexId("li_fkey").ValueOrDie();
+  EXPECT_GE(i.col, kIndexColBase);
+}
+
+TEST(CatalogUpdateTest, AppendCommit) {
+  auto cat = SmallDb();
+  ASSERT_TRUE(cat->Append("orders", {{Scalar::OidVal(103), Scalar::Dbl(40.0)}})
+                  .ok());
+  ASSERT_TRUE(cat->Commit().ok());
+  auto b = cat->BindColumn("orders", "o_totalprice").ValueOrDie();
+  ASSERT_EQ(b->size(), 4u);
+  EXPECT_EQ(b->TailAt(3), Scalar::Dbl(40.0));
+  EXPECT_TRUE(cat->LastCommitInsertOnly("orders"));
+}
+
+TEST(CatalogUpdateTest, DeleteCompacts) {
+  auto cat = SmallDb();
+  ASSERT_TRUE(cat->Delete("orders", {1}).ok());
+  ASSERT_TRUE(cat->Commit().ok());
+  auto b = cat->BindColumn("orders", "o_orderkey").ValueOrDie();
+  ASSERT_EQ(b->size(), 2u);
+  EXPECT_EQ(b->TailAt(0), Scalar::OidVal(100));
+  EXPECT_EQ(b->TailAt(1), Scalar::OidVal(102));
+  EXPECT_FALSE(cat->LastCommitInsertOnly("orders"));
+}
+
+TEST(CatalogUpdateTest, CommitRefreshesBindIdentity) {
+  auto cat = SmallDb();
+  auto before = cat->BindColumn("orders", "o_totalprice").ValueOrDie();
+  ASSERT_TRUE(cat->Append("orders", {{Scalar::OidVal(104), Scalar::Dbl(1.0)}})
+                  .ok());
+  ASSERT_TRUE(cat->Commit().ok());
+  auto after = cat->BindColumn("orders", "o_totalprice").ValueOrDie();
+  EXPECT_NE(before->id(), after->id());
+}
+
+TEST(CatalogUpdateTest, IndexRebuiltOnParentUpdate) {
+  auto cat = SmallDb();
+  // Delete order row 0 (key 100): lineitem rows pointing at 100 become nil;
+  // others shift.
+  ASSERT_TRUE(cat->Delete("orders", {0}).ok());
+  ASSERT_TRUE(cat->Commit().ok());
+  auto idx = cat->BindIndex("li_fkey").ValueOrDie();
+  EXPECT_EQ(idx->TailAt(0), Scalar::OidVal(0));  // 101 now at row 0
+  EXPECT_EQ(idx->TailAt(1), Scalar::OidVal(kNilOid));
+}
+
+TEST(CatalogUpdateTest, ListenerReceivesAffectedColumns) {
+  auto cat = SmallDb();
+  std::vector<ColumnId> seen;
+  cat->SetUpdateListener(
+      [&](const std::vector<ColumnId>& cols) { seen = cols; });
+  ASSERT_TRUE(cat->Append("lineitem",
+                          {{Scalar::OidVal(100), Scalar::Int(9)}})
+                  .ok());
+  ASSERT_TRUE(cat->Commit().ok());
+  // Both lineitem columns + the join index must be reported.
+  auto lq = cat->GetColumnId("lineitem", "l_quantity").ValueOrDie();
+  auto li = cat->GetIndexId("li_fkey").ValueOrDie();
+  EXPECT_NE(std::find(seen.begin(), seen.end(), lq), seen.end());
+  EXPECT_NE(std::find(seen.begin(), seen.end(), li), seen.end());
+  // Orders columns untouched.
+  auto oc = cat->GetColumnId("orders", "o_totalprice").ValueOrDie();
+  EXPECT_EQ(std::find(seen.begin(), seen.end(), oc), seen.end());
+}
+
+TEST(CatalogUpdateTest, InsertDeltaExposed) {
+  auto cat = SmallDb();
+  ASSERT_TRUE(cat->Append("orders", {{Scalar::OidVal(103), Scalar::Dbl(40.0)},
+                                     {Scalar::OidVal(104), Scalar::Dbl(50.0)}})
+                  .ok());
+  ASSERT_TRUE(cat->Commit().ok());
+  auto d = cat->LastInsertDelta("orders", "o_totalprice").ValueOrDie();
+  ASSERT_EQ(d->size(), 2u);
+  EXPECT_EQ(d->HeadAt(0), Scalar::OidVal(3));  // rows continue numbering
+  EXPECT_EQ(d->TailAt(1), Scalar::Dbl(50.0));
+}
+
+TEST(CatalogUpdateTest, DropTableNotifies) {
+  auto cat = SmallDb();
+  std::vector<ColumnId> seen;
+  cat->SetUpdateListener(
+      [&](const std::vector<ColumnId>& cols) { seen = cols; });
+  ASSERT_TRUE(cat->DropTable("lineitem").ok());
+  EXPECT_GE(seen.size(), 2u);
+  EXPECT_EQ(cat->FindTable("lineitem"), nullptr);
+  EXPECT_FALSE(cat->BindIndex("li_fkey").ok());
+}
+
+}  // namespace
+}  // namespace recycledb

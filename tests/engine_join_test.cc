@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/operators.h"
+
+namespace recycledb {
+namespace {
+
+using engine::AntiSemijoin;
+using engine::Join;
+using engine::Semijoin;
+
+BatPtr OidBat(std::vector<Oid> v) {
+  return Bat::DenseHead(Column::Make(TypeTag::kOid, std::move(v)));
+}
+
+BatPtr IntBat(std::vector<int32_t> v) {
+  return Bat::DenseHead(Column::Make(TypeTag::kInt, std::move(v)));
+}
+
+// [oid-col -> int-col] bat with explicit heads.
+BatPtr HeadedBat(std::vector<Oid> heads, std::vector<int32_t> tails) {
+  auto h = Column::Make(TypeTag::kOid, std::move(heads));
+  auto t = Column::Make(TypeTag::kInt, std::move(tails));
+  size_t n = h->size();
+  return Bat::Make(BatSide::Materialized(h), BatSide::Materialized(t), n);
+}
+
+TEST(JoinTest, PositionalFetchJoin) {
+  // l: [oid -> row positions], r: persistent column [dense -> value].
+  auto l = OidBat({2, 0, 3});
+  auto r = IntBat({10, 20, 30, 40});
+  auto j = Join(l, r).ValueOrDie();
+  ASSERT_EQ(j->size(), 3u);
+  EXPECT_EQ(j->TailAt(0), Scalar::Int(30));
+  EXPECT_EQ(j->TailAt(1), Scalar::Int(10));
+  EXPECT_EQ(j->TailAt(2), Scalar::Int(40));
+  EXPECT_EQ(j->HeadAt(0), Scalar::OidVal(0));
+}
+
+TEST(JoinTest, PositionalOutOfRangeDropped) {
+  auto l = OidBat({1, 9, kNilOid});
+  auto r = IntBat({10, 20});
+  auto j = Join(l, r).ValueOrDie();
+  ASSERT_EQ(j->size(), 1u);
+  EXPECT_EQ(j->TailAt(0), Scalar::Int(20));
+}
+
+TEST(JoinTest, DenseDenseWindow) {
+  // l tail values 5..14, r head 8..19: overlap 8..14.
+  auto l = Bat::DenseDense(0, 5, 10);
+  auto r = Bat::Make(BatSide::Dense(8),
+                     BatSide::Materialized(Column::Make(
+                         TypeTag::kInt, std::vector<int32_t>(12, 7))),
+                     12);
+  auto j = Join(l, r).ValueOrDie();
+  EXPECT_EQ(j->size(), 7u);
+  EXPECT_EQ(j->HeadAt(0), Scalar::OidVal(3));  // l pair whose tail is 8
+  EXPECT_EQ(j->MemoryBytes(), 0u) << "dense-dense join is a view";
+}
+
+TEST(JoinTest, HashJoinWithDuplicates) {
+  // r has a materialised non-dense head: hash path.
+  auto r = HeadedBat({5, 7, 5}, {50, 70, 51});
+  auto l = Bat::Make(
+      BatSide::Dense(0),
+      BatSide::Materialized(Column::Make(TypeTag::kOid,
+                                         std::vector<Oid>{7, 5, 6})),
+      3);
+  auto j = Join(l, r).ValueOrDie();
+  // l[0]=7 matches one; l[1]=5 matches two; l[2]=6 none.
+  ASSERT_EQ(j->size(), 3u);
+  EXPECT_EQ(j->TailAt(0), Scalar::Int(70));
+  // matches for 5 in reverse insertion order (hash chain), both present
+  std::vector<int32_t> fives{j->TailAt(1).AsInt(), j->TailAt(2).AsInt()};
+  std::sort(fives.begin(), fives.end());
+  EXPECT_EQ(fives, (std::vector<int32_t>{50, 51}));
+}
+
+TEST(JoinTest, StringKeys) {
+  auto r = Bat::Make(
+      BatSide::Materialized(Column::Make(
+          TypeTag::kStr, std::vector<std::string>{"a", "b"})),
+      BatSide::Materialized(Column::Make(TypeTag::kInt,
+                                         std::vector<int32_t>{1, 2})),
+      2);
+  auto l = Bat::Make(
+      BatSide::Dense(0),
+      BatSide::Materialized(Column::Make(
+          TypeTag::kStr, std::vector<std::string>{"b", "c", "a"})),
+      3);
+  auto j = Join(l, r).ValueOrDie();
+  ASSERT_EQ(j->size(), 2u);
+  EXPECT_EQ(j->TailAt(0), Scalar::Int(2));
+  EXPECT_EQ(j->TailAt(1), Scalar::Int(1));
+}
+
+TEST(JoinTest, TypeMismatchRejected) {
+  auto l = IntBat({1});
+  auto r = Bat::Make(
+      BatSide::Materialized(Column::Make(
+          TypeTag::kStr, std::vector<std::string>{"x"})),
+      BatSide::Dense(0), 1);
+  EXPECT_FALSE(Join(l, r).ok());
+}
+
+TEST(SemijoinTest, HashPath) {
+  auto l = HeadedBat({1, 2, 3, 4}, {10, 20, 30, 40});
+  auto r = HeadedBat({2, 4, 9}, {0, 0, 0});
+  auto s = Semijoin(l, r).ValueOrDie();
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_EQ(s->HeadAt(0), Scalar::OidVal(2));
+  EXPECT_EQ(s->TailAt(0), Scalar::Int(20));
+  EXPECT_EQ(s->HeadAt(1), Scalar::OidVal(4));
+}
+
+TEST(SemijoinTest, DenseDenseSlice) {
+  auto l = Bat::DenseDense(5, 100, 10);  // heads 5..14
+  auto r = Bat::DenseDense(8, 0, 4);     // heads 8..11
+  auto s = Semijoin(l, r).ValueOrDie();
+  EXPECT_EQ(s->size(), 4u);
+  EXPECT_EQ(s->HeadAt(0), Scalar::OidVal(8));
+  EXPECT_EQ(s->TailAt(0), Scalar::OidVal(103));
+  EXPECT_EQ(s->MemoryBytes(), 0u);
+}
+
+TEST(SemijoinTest, SubsetSemantics) {
+  // Paper §5.1: semijoin(X, W) ⊆ semijoin(X, V) when W ⊂ V.
+  auto x = HeadedBat({1, 2, 3, 4, 5}, {1, 2, 3, 4, 5});
+  auto v = HeadedBat({1, 2, 3, 4}, {0, 0, 0, 0});
+  auto w = HeadedBat({2, 3}, {0, 0});
+  auto sv = Semijoin(x, v).ValueOrDie();
+  auto sw = Semijoin(x, w).ValueOrDie();
+  auto sw2 = Semijoin(sv, w).ValueOrDie();  // rewritten execution
+  ASSERT_EQ(sw->size(), sw2->size());
+  for (size_t i = 0; i < sw->size(); ++i) {
+    EXPECT_EQ(sw->HeadAt(i), sw2->HeadAt(i));
+    EXPECT_EQ(sw->TailAt(i), sw2->TailAt(i));
+  }
+}
+
+TEST(AntiSemijoinTest, Complement) {
+  auto l = HeadedBat({1, 2, 3, 4}, {10, 20, 30, 40});
+  auto r = HeadedBat({2, 4}, {0, 0});
+  auto a = AntiSemijoin(l, r).ValueOrDie();
+  ASSERT_EQ(a->size(), 2u);
+  EXPECT_EQ(a->HeadAt(0), Scalar::OidVal(1));
+  EXPECT_EQ(a->HeadAt(1), Scalar::OidVal(3));
+}
+
+TEST(AntiSemijoinTest, PartitionProperty) {
+  auto l = HeadedBat({1, 2, 3, 4, 5, 6}, {1, 2, 3, 4, 5, 6});
+  auto r = HeadedBat({2, 5}, {0, 0});
+  auto in = Semijoin(l, r).ValueOrDie();
+  auto out = AntiSemijoin(l, r).ValueOrDie();
+  EXPECT_EQ(in->size() + out->size(), l->size());
+}
+
+}  // namespace
+}  // namespace recycledb

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/operators.h"
+#include "util/rng.h"
+
+namespace recycledb {
+namespace {
+
+using engine::LikeSelect;
+using engine::Select;
+using engine::SelectNotNil;
+using engine::AntiUselect;
+using engine::Uselect;
+
+BatPtr IntBat(std::vector<int32_t> v, bool sorted = false) {
+  auto col = Column::Make(TypeTag::kInt, std::move(v));
+  col->set_sorted(sorted);
+  return Bat::DenseHead(col);
+}
+
+BatPtr StrBat(std::vector<std::string> v) {
+  return Bat::DenseHead(Column::Make(TypeTag::kStr, std::move(v)));
+}
+
+std::vector<int32_t> TailInts(const BatPtr& b) {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < b->size(); ++i) out.push_back(b->TailAt(i).AsInt());
+  return out;
+}
+
+std::vector<Oid> HeadOids(const BatPtr& b) {
+  std::vector<Oid> out;
+  for (size_t i = 0; i < b->size(); ++i) out.push_back(b->HeadAt(i).AsOid());
+  return out;
+}
+
+TEST(SelectTest, UnsortedRangeInclusive) {
+  auto b = IntBat({5, 1, 9, 3, 7});
+  auto r = Select(b, Scalar::Int(3), Scalar::Int(7), true, true).ValueOrDie();
+  EXPECT_EQ(TailInts(r), (std::vector<int32_t>{5, 3, 7}));
+  EXPECT_EQ(HeadOids(r), (std::vector<Oid>{0, 3, 4}));
+}
+
+TEST(SelectTest, ExclusiveBounds) {
+  auto b = IntBat({5, 1, 9, 3, 7});
+  auto r = Select(b, Scalar::Int(3), Scalar::Int(7), false, false).ValueOrDie();
+  EXPECT_EQ(TailInts(r), (std::vector<int32_t>{5}));
+}
+
+TEST(SelectTest, HalfOpenBoundsMatchPaperExample) {
+  // o_orderdate >= d AND o_orderdate < d+3mo, as in the running example.
+  auto b = IntBat({10, 20, 30, 40});
+  auto r = Select(b, Scalar::Int(20), Scalar::Int(40), true, false).ValueOrDie();
+  EXPECT_EQ(TailInts(r), (std::vector<int32_t>{20, 30}));
+}
+
+TEST(SelectTest, UnboundedEnds) {
+  auto b = IntBat({5, 1, 9});
+  auto lo = Select(b, Scalar::Nil(TypeTag::kInt), Scalar::Int(5), true, true)
+                .ValueOrDie();
+  EXPECT_EQ(TailInts(lo), (std::vector<int32_t>{5, 1}));
+  auto hi = Select(b, Scalar::Int(5), Scalar::Nil(TypeTag::kInt), true, true)
+                .ValueOrDie();
+  EXPECT_EQ(TailInts(hi), (std::vector<int32_t>{5, 9}));
+}
+
+TEST(SelectTest, NilValuesNeverQualify) {
+  auto b = IntBat({5, NilOf<int32_t>(), 9});
+  auto r = Select(b, Scalar::Nil(TypeTag::kInt), Scalar::Nil(TypeTag::kInt),
+                  true, true)
+                .ValueOrDie();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(SelectTest, SortedColumnReturnsZeroCopyView) {
+  auto b = IntBat({1, 3, 5, 7, 9}, /*sorted=*/true);
+  auto r = Select(b, Scalar::Int(3), Scalar::Int(7), true, true).ValueOrDie();
+  EXPECT_EQ(TailInts(r), (std::vector<int32_t>{3, 5, 7}));
+  EXPECT_EQ(HeadOids(r), (std::vector<Oid>{1, 2, 3}));
+  EXPECT_EQ(r->MemoryBytes(), 0u) << "sorted select must be a view";
+}
+
+TEST(SelectTest, SortedViewExcludesLeadingNils) {
+  auto b = IntBat({NilOf<int32_t>(), 1, 3}, /*sorted=*/true);
+  auto r = Select(b, Scalar::Nil(TypeTag::kInt), Scalar::Int(3), true, true)
+                .ValueOrDie();
+  EXPECT_EQ(TailInts(r), (std::vector<int32_t>{1, 3}));
+}
+
+TEST(SelectTest, EmptyRange) {
+  auto b = IntBat({1, 2, 3});
+  auto r = Select(b, Scalar::Int(9), Scalar::Int(4), true, true).ValueOrDie();
+  EXPECT_EQ(r->size(), 0u);
+}
+
+TEST(SelectTest, TypeMismatchRejected) {
+  auto b = IntBat({1, 2, 3});
+  auto r = Select(b, Scalar::Str("x"), Scalar::Str("y"), true, true);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(SelectTest, DateAndIntShareStorageButBothWork) {
+  auto col = Column::Make(TypeTag::kDate,
+                          std::vector<int32_t>{100, 200, 300});
+  auto b = Bat::DenseHead(col);
+  auto r = Select(b, Scalar::DateVal(150), Scalar::DateVal(250), true, true)
+               .ValueOrDie();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->TailAt(0), Scalar::DateVal(200));
+}
+
+TEST(SelectTest, DenseTailSelect) {
+  auto b = Bat::DenseDense(0, 100, 10);  // tail 100..109
+  auto r = Select(b, Scalar::OidVal(103), Scalar::OidVal(106), true, false)
+               .ValueOrDie();
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_EQ(r->TailAt(0), Scalar::OidVal(103));
+  EXPECT_EQ(r->HeadAt(0), Scalar::OidVal(3));
+  EXPECT_EQ(r->MemoryBytes(), 0u);
+}
+
+TEST(SelectTest, StringRange) {
+  auto b = StrBat({"banana", "apple", "cherry"});
+  auto r = Select(b, Scalar::Str("apple"), Scalar::Str("banana"), true, true)
+               .ValueOrDie();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(UselectTest, Equality) {
+  auto b = StrBat({"R", "A", "R", "N"});
+  auto r = Uselect(b, Scalar::Str("R")).ValueOrDie();
+  EXPECT_EQ(HeadOids(r), (std::vector<Oid>{0, 2}));
+}
+
+TEST(UselectTest, NilRejected) {
+  auto b = IntBat({1});
+  EXPECT_FALSE(Uselect(b, Scalar::Nil(TypeTag::kInt)).ok());
+}
+
+TEST(AntiUselectTest, ExcludesValueAndNils) {
+  auto b = IntBat({1, 2, NilOf<int32_t>(), 1, 3});
+  auto r = AntiUselect(b, Scalar::Int(1)).ValueOrDie();
+  EXPECT_EQ(TailInts(r), (std::vector<int32_t>{2, 3}));
+}
+
+TEST(LikeSelectTest, Patterns) {
+  auto b = StrBat({"PROMO BRUSHED", "STANDARD", "PROMO POLISHED", "ECONOMY"});
+  auto r = LikeSelect(b, "PROMO%").ValueOrDie();
+  EXPECT_EQ(HeadOids(r), (std::vector<Oid>{0, 2}));
+  auto r2 = LikeSelect(b, "%O%").ValueOrDie();
+  EXPECT_EQ(r2->size(), 3u);  // STANDARD has no 'O'
+  auto r3 = LikeSelect(b, "%BRUSHED").ValueOrDie();
+  EXPECT_EQ(r3->size(), 1u);
+}
+
+TEST(LikeSelectTest, NonStringRejected) {
+  auto b = IntBat({1});
+  EXPECT_FALSE(LikeSelect(b, "%x%").ok());
+}
+
+TEST(SelectNotNilTest, DropsNils) {
+  auto b = IntBat({1, NilOf<int32_t>(), 3});
+  auto r = SelectNotNil(b).ValueOrDie();
+  EXPECT_EQ(TailInts(r), (std::vector<int32_t>{1, 3}));
+}
+
+TEST(SelectNotNilTest, SharesWhenNoNils) {
+  auto b = IntBat({1, 2, 3});
+  auto r = SelectNotNil(b).ValueOrDie();
+  EXPECT_EQ(r->id(), b->id()) << "no-op should share the viewpoint";
+}
+
+// Property sweep: scan select and sorted-view select agree on random data.
+class SelectPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectPropertyTest, SortedAndScanAgree) {
+  Rng rng(GetParam());
+  std::vector<int32_t> vals;
+  for (int i = 0; i < 500; ++i)
+    vals.push_back(static_cast<int32_t>(rng.UniformRange(0, 99)));
+  auto unsorted = IntBat(vals);
+  std::vector<int32_t> sorted_vals = vals;
+  std::sort(sorted_vals.begin(), sorted_vals.end());
+  auto sorted = IntBat(sorted_vals, /*sorted=*/true);
+
+  for (int t = 0; t < 20; ++t) {
+    int32_t lo = static_cast<int32_t>(rng.UniformRange(0, 99));
+    int32_t hi = static_cast<int32_t>(rng.UniformRange(lo, 99));
+    bool li = rng.Bernoulli(0.5), hinc = rng.Bernoulli(0.5);
+    auto a = Select(unsorted, Scalar::Int(lo), Scalar::Int(hi), li, hinc)
+                 .ValueOrDie();
+    auto b = Select(sorted, Scalar::Int(lo), Scalar::Int(hi), li, hinc)
+                 .ValueOrDie();
+    // Same multiset of qualifying values.
+    std::vector<int32_t> av = TailInts(a), bv = TailInts(b);
+    std::sort(av.begin(), av.end());
+    EXPECT_EQ(av, bv) << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace recycledb

@@ -1,0 +1,127 @@
+// Cross-configuration invariant sweep: for every combination of admission
+// policy, eviction policy, and resource limit, a mixed TPC-H workload must
+// (1) produce exactly the results of the recycler-free interpreter,
+// (2) respect the configured resource bounds at every step, and
+// (3) keep the pool's lineage closed (no entry's bat argument missing its
+//     producer unless that producer was never admitted).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/recycler.h"
+#include "interp/interpreter.h"
+#include "tpch/tpch.h"
+
+namespace recycledb {
+namespace {
+
+struct SweepCase {
+  AdmissionKind admission;
+  EvictionKind eviction;
+  int limit_mode;  // 0 = unlimited, 1 = entry limit, 2 = memory limit
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string s = AdmissionName(info.param.admission);
+  s += "_";
+  s += EvictionName(info.param.eviction);
+  s += info.param.limit_mode == 0
+           ? "_unlimited"
+           : (info.param.limit_mode == 1 ? "_entries" : "_memory");
+  return s;
+}
+
+class PolicySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PolicySweep, ResultsAndBoundsHold) {
+  SweepCase c = GetParam();
+
+  tpch::TpchConfig dbcfg;
+  dbcfg.scale_factor = 0.002;
+  dbcfg.seed = 7;
+  auto cat_rec = std::make_unique<Catalog>();
+  auto cat_plain = std::make_unique<Catalog>();
+  ASSERT_TRUE(tpch::LoadTpch(cat_rec.get(), dbcfg).ok());
+  ASSERT_TRUE(tpch::LoadTpch(cat_plain.get(), dbcfg).ok());
+
+  RecyclerConfig cfg;
+  cfg.admission = c.admission;
+  cfg.credits = 3;
+  cfg.eviction = c.eviction;
+  if (c.limit_mode == 1) cfg.max_entries = 60;
+  if (c.limit_mode == 2) cfg.max_bytes = 256 * 1024;
+  Recycler rec(cfg);
+  Interpreter recycled(cat_rec.get(), &rec);
+  Interpreter plain(cat_plain.get());
+
+  std::vector<tpch::QueryTemplate> templates;
+  for (int qn : {4, 11, 18, 19, 22}) templates.push_back(tpch::BuildQuery(qn));
+  Rng rng(99);
+
+  for (int round = 0; round < 4; ++round) {
+    for (auto& q : templates) {
+      auto params = q.gen_params(rng);
+      auto a = recycled.Run(q.prog, params);
+      auto b = plain.Run(q.prog, params);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+      // (1) identical results modulo float summation order.
+      const auto& av = a.value().values;
+      const auto& bv = b.value().values;
+      ASSERT_EQ(av.size(), bv.size());
+      for (size_t i = 0; i < av.size(); ++i) {
+        if (!av[i].second.is_bat()) {
+          const Scalar& x = av[i].second.scalar();
+          const Scalar& y = bv[i].second.scalar();
+          if (x.tag() == TypeTag::kDbl) {
+            EXPECT_NEAR(x.AsDbl(), y.AsDbl(), 1e-6 * (std::abs(y.AsDbl()) + 1));
+          } else {
+            EXPECT_EQ(x, y) << "Q" << q.number << " " << av[i].first;
+          }
+        } else {
+          EXPECT_EQ(av[i].second.bat()->size(), bv[i].second.bat()->size())
+              << "Q" << q.number << " " << av[i].first;
+        }
+      }
+
+      // (2) resource bounds hold after every query.
+      if (cfg.max_entries != 0)
+        EXPECT_LE(rec.pool().num_entries(), cfg.max_entries);
+      if (cfg.max_bytes != 0)
+        EXPECT_LE(rec.pool().total_bytes(), cfg.max_bytes);
+
+      // (3) lineage closure: children counters are consistent with the
+      // producer relation (no negative, leaves exist whenever non-empty).
+      size_t leaves = 0;
+      for (const PoolEntry* e :
+           const_cast<const RecyclePool&>(rec.pool()).Entries()) {
+        EXPECT_GE(e->children, 0);
+        if (e->IsLeaf()) ++leaves;
+      }
+      if (rec.pool().num_entries() > 0) EXPECT_GT(leaves, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, PolicySweep,
+    ::testing::Values(
+        SweepCase{AdmissionKind::kKeepAll, EvictionKind::kLru, 0},
+        SweepCase{AdmissionKind::kKeepAll, EvictionKind::kLru, 1},
+        SweepCase{AdmissionKind::kKeepAll, EvictionKind::kLru, 2},
+        SweepCase{AdmissionKind::kKeepAll, EvictionKind::kBenefit, 1},
+        SweepCase{AdmissionKind::kKeepAll, EvictionKind::kBenefit, 2},
+        SweepCase{AdmissionKind::kKeepAll, EvictionKind::kHistory, 2},
+        SweepCase{AdmissionKind::kCredit, EvictionKind::kLru, 0},
+        SweepCase{AdmissionKind::kCredit, EvictionKind::kLru, 2},
+        SweepCase{AdmissionKind::kCredit, EvictionKind::kBenefit, 1},
+        SweepCase{AdmissionKind::kAdaptiveCredit, EvictionKind::kLru, 0},
+        SweepCase{AdmissionKind::kAdaptiveCredit, EvictionKind::kBenefit, 2},
+        SweepCase{AdmissionKind::kAdaptiveCredit, EvictionKind::kHistory, 1}),
+    CaseName);
+
+}  // namespace
+}  // namespace recycledb

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "core/recycler_optimizer.h"
+#include "interp/interpreter.h"
+#include "mal/plan_builder.h"
+
+namespace recycledb {
+namespace {
+
+std::unique_ptr<Catalog> Db() {
+  auto cat = std::make_unique<Catalog>();
+  cat->CreateTable("orders", {{"o_orderkey", TypeTag::kOid},
+                              {"o_orderdate", TypeTag::kDate},
+                              {"o_totalprice", TypeTag::kDbl}});
+  cat->CreateTable("lineitem", {{"l_orderkey", TypeTag::kOid},
+                                {"l_returnflag", TypeTag::kStr},
+                                {"l_quantity", TypeTag::kInt}});
+  EXPECT_TRUE(cat->LoadColumn<Oid>("orders", "o_orderkey",
+                                   {100, 101, 102, 103}, true, true)
+                  .ok());
+  EXPECT_TRUE(cat->LoadColumn<int32_t>(
+                     "orders", "o_orderdate",
+                     {DateFromYmd(1996, 6, 15), DateFromYmd(1996, 8, 1),
+                      DateFromYmd(1996, 9, 20), DateFromYmd(1997, 1, 5)})
+                  .ok());
+  EXPECT_TRUE(cat->LoadColumn<double>("orders", "o_totalprice",
+                                      {10, 20, 30, 40})
+                  .ok());
+  EXPECT_TRUE(cat->LoadColumn<Oid>("lineitem", "l_orderkey",
+                                   {101, 100, 101, 102, 103, 101})
+                  .ok());
+  EXPECT_TRUE(cat->LoadColumn<std::string>(
+                     "lineitem", "l_returnflag", {"R", "A", "R", "R", "N", "A"})
+                  .ok());
+  EXPECT_TRUE(cat->LoadColumn<int32_t>("lineitem", "l_quantity",
+                                       {1, 2, 3, 4, 5, 6})
+                  .ok());
+  EXPECT_TRUE(cat->RegisterFkIndex("li_fkey", "lineitem", "l_orderkey",
+                                   "orders", "o_orderkey")
+                  .ok());
+  return cat;
+}
+
+/// The paper's running example (§2.2): count distinct o_orderkey for
+/// lineitems with a given returnflag whose order date falls in
+/// [A0, A0 + A2 months).
+Program ExampleQuery() {
+  PlanBuilder b("s1_2");
+  int a0 = b.Param("A0");  // date
+  int a2 = b.Param("A2");  // months
+  int a3 = b.Param("A3");  // returnflag
+  int x5 = b.Bind("lineitem", "l_returnflag");
+  int x11 = b.Uselect(x5, a3);
+  int x14 = b.MarkT(x11, 0);
+  int x15 = b.Reverse(x14);
+  int x16 = b.BindIdx("lineitem", "li_fkey");
+  int x18 = b.Join(x15, x16);  // cand -> orders row
+  int x19 = b.Bind("orders", "o_orderdate");
+  int x25 = b.AddMonths(a0, a2);
+  int x26 = b.Select(x19, a0, x25, true, false);
+  int x30 = b.MarkT(x26, 0);
+  int x31 = b.Reverse(x30);  // date-qualified orders row -> seq
+  int x32 = b.Bind("orders", "o_orderkey");
+  int x34 = b.Mirror(x32);   // orders row -> orders row
+  int x35 = b.Join(x31, x34);
+  int x36 = b.Reverse(x35);
+  int x37 = b.Join(x18, x36);  // lineitem cand -> qualified order seq
+  int x38 = b.Reverse(x37);
+  int x40 = b.MarkT(x38, 0);
+  int x41 = b.Reverse(x40);
+  int x45 = b.Join(x31, x32);  // seq -> orderkey
+  int x46 = b.Join(x41, x45);
+  int x49 = b.SelectNotNil(x46);
+  int x50 = b.Reverse(x49);
+  int x51 = b.Kunique(x50);
+  int x52 = b.Reverse(x51);
+  int x53 = b.AggrCount(x52);
+  b.ExportValue(x53, "L1");
+  return b.Build();
+}
+
+TEST(InterpreterTest, RunsExampleQuery) {
+  auto cat = Db();
+  Interpreter interp(cat.get());
+  Program p = ExampleQuery();
+  // R-flag lineitems: orders 101 (x2), 102. Dates in [1996-07-01, +3mo):
+  // orders 101, 102. Distinct qualified orderkeys referenced: 101, 102 -> 2.
+  auto r = interp
+               .Run(p, {Scalar::DateVal(DateFromYmd(1996, 7, 1)),
+                        Scalar::Int(3), Scalar::Str("R")})
+               .ValueOrDie();
+  ASSERT_NE(r.Find("L1"), nullptr);
+  EXPECT_EQ(r.Find("L1")->scalar(), Scalar::Lng(2));
+}
+
+TEST(InterpreterTest, ParamVariation) {
+  auto cat = Db();
+  Interpreter interp(cat.get());
+  Program p = ExampleQuery();
+  auto r = interp
+               .Run(p, {Scalar::DateVal(DateFromYmd(1996, 7, 1)),
+                        Scalar::Int(3), Scalar::Str("A")})
+               .ValueOrDie();
+  // A-flag lineitems: orders 100, 101. In window: 101 only.
+  EXPECT_EQ(r.Find("L1")->scalar(), Scalar::Lng(1));
+}
+
+TEST(InterpreterTest, ParamCountMismatch) {
+  auto cat = Db();
+  Interpreter interp(cat.get());
+  Program p = ExampleQuery();
+  EXPECT_FALSE(interp.Run(p, {Scalar::Int(1)}).ok());
+}
+
+TEST(InterpreterTest, GroupedAggregation) {
+  auto cat = Db();
+  Interpreter interp(cat.get());
+  PlanBuilder b("grp");
+  int flag = b.Bind("lineitem", "l_returnflag");
+  int qty = b.Bind("lineitem", "l_quantity");
+  auto [map, reps] = b.GroupBy(flag);
+  int sums = b.GrpSum(qty, map, reps);
+  int keys = b.Join(reps, flag);  // gid -> flag value
+  b.ExportBat(keys, "keys");
+  b.ExportBat(sums, "sums");
+  auto r = interp.Run(b.Build(), {}).ValueOrDie();
+  const BatPtr& kb = r.Find("keys")->bat();
+  const BatPtr& sb = r.Find("sums")->bat();
+  ASSERT_EQ(kb->size(), 3u);
+  // first-seen order: R, A, N ; sums: R=1+3+4=8, A=2+6=8, N=5
+  EXPECT_EQ(kb->TailAt(0), Scalar::Str("R"));
+  EXPECT_EQ(sb->TailAt(0), Scalar::Lng(8));
+  EXPECT_EQ(kb->TailAt(1), Scalar::Str("A"));
+  EXPECT_EQ(sb->TailAt(1), Scalar::Lng(8));
+  EXPECT_EQ(kb->TailAt(2), Scalar::Str("N"));
+  EXPECT_EQ(sb->TailAt(2), Scalar::Lng(5));
+}
+
+TEST(InterpreterTest, StatsCollected) {
+  auto cat = Db();
+  Interpreter interp(cat.get());
+  Program p = ExampleQuery();
+  ASSERT_TRUE(interp
+                  .Run(p, {Scalar::DateVal(DateFromYmd(1996, 7, 1)),
+                           Scalar::Int(3), Scalar::Str("R")})
+                  .ok());
+  EXPECT_EQ(interp.last_run().instrs, static_cast<int>(p.instrs.size()));
+  EXPECT_GT(interp.last_run().wall_ms, 0);
+}
+
+TEST(OptimizerTest, MarksExpectedInstructions) {
+  Program p = ExampleQuery();
+  int marked = MarkForRecycling(&p);
+  // Everything except addmonths and exportValue is monitorable here, and all
+  // arguments chain from binds/params, so all qualify.
+  EXPECT_EQ(marked, static_cast<int>(p.instrs.size()) - 2);
+  for (const Instruction& ins : p.instrs) {
+    if (ins.op == Opcode::kAddMonths || ins.op == Opcode::kExportValue) {
+      EXPECT_FALSE(ins.monitored);
+    } else {
+      EXPECT_TRUE(ins.monitored);
+    }
+  }
+}
+
+TEST(OptimizerTest, ParamIndependenceComputed) {
+  Program p = ExampleQuery();
+  MarkForRecycling(&p);
+  // The l_returnflag thread depends on A3; the bind itself does not.
+  bool saw_independent_bind = false, saw_dependent_select = false;
+  for (const Instruction& ins : p.instrs) {
+    if (ins.op == Opcode::kBind) {
+      EXPECT_TRUE(ins.param_independent);
+      saw_independent_bind = true;
+    }
+    if (ins.op == Opcode::kSelect || ins.op == Opcode::kUselect) {
+      EXPECT_FALSE(ins.param_independent);
+      saw_dependent_select = true;
+    }
+  }
+  EXPECT_TRUE(saw_independent_bind);
+  EXPECT_TRUE(saw_dependent_select);
+}
+
+TEST(OptimizerTest, CandidatePropagationStopsAtNonDeterministic) {
+  PlanBuilder b("stop");
+  int col = b.Bind("orders", "o_totalprice");
+  b.ExportBat(col, "out");      // side effect: not a candidate
+  Program p = b.Build();
+  MarkForRecycling(&p);
+  EXPECT_TRUE(p.instrs[0].monitored);
+  EXPECT_FALSE(p.instrs[1].monitored);
+}
+
+TEST(ProgramTest, PrintsMalListing) {
+  Program p = ExampleQuery();
+  MarkForRecycling(&p);
+  std::string s = p.ToString(/*show_marks=*/true);
+  EXPECT_NE(s.find("algebra.uselect"), std::string::npos);
+  EXPECT_NE(s.find("sql.bind"), std::string::npos);
+  EXPECT_NE(s.find("**"), std::string::npos);  // param-independent marks
+  EXPECT_NE(s.find("function s1_2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recycledb

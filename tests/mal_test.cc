@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "mal/opcode.h"
+#include "mal/plan_builder.h"
+#include "mal/value.h"
+
+namespace recycledb {
+namespace {
+
+TEST(OpcodeTest, MetadataConsistency) {
+  for (int i = 0; i <= static_cast<int>(Opcode::kExportBat); ++i) {
+    Opcode op = static_cast<Opcode>(i);
+    EXPECT_STRNE(OpcodeName(op), "?") << i;
+    // Zero-cost viewpoint ops are always monitorable relational ops.
+    if (OpcodeZeroCost(op)) EXPECT_TRUE(OpcodeMonitorable(op)) << i;
+    // Side-effecting exports are neither deterministic nor monitorable.
+    if (!OpcodeDeterministic(op)) EXPECT_FALSE(OpcodeMonitorable(op)) << i;
+    EXPECT_GE(OpcodeNumResults(op), 0);
+    EXPECT_LE(OpcodeNumResults(op), 2);
+  }
+}
+
+TEST(MalValueTest, MatchSemantics) {
+  MalValue a(Scalar::Int(5));
+  MalValue b(Scalar::Int(5));
+  MalValue c(Scalar::Int(6));
+  EXPECT_TRUE(a.MatchEq(b));
+  EXPECT_FALSE(a.MatchEq(c));
+  EXPECT_EQ(a.MatchHash(), b.MatchHash());
+
+  auto col = Column::Make(TypeTag::kInt, std::vector<int32_t>{1});
+  BatPtr bat1 = Bat::DenseHead(col);
+  BatPtr bat2 = Bat::DenseHead(col);  // same column, different bat identity
+  MalValue v1(bat1), v1b(bat1), v2(bat2);
+  EXPECT_TRUE(v1.MatchEq(v1b));
+  EXPECT_FALSE(v1.MatchEq(v2)) << "bats match by identity, not by content";
+  EXPECT_FALSE(v1.MatchEq(a)) << "bat never matches scalar";
+}
+
+TEST(PlanBuilderTest, ConstInterning) {
+  PlanBuilder b("t");
+  int c1 = b.ConstInt(42);
+  int c2 = b.ConstInt(42);
+  int c3 = b.ConstInt(43);
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+  // Same value, different type: distinct constants.
+  int c4 = b.ConstLng(42);
+  EXPECT_NE(c1, c4);
+}
+
+TEST(PlanBuilderTest, ParamsPrecedeConstants) {
+  PlanBuilder b("t");
+  int p0 = b.Param("A0");
+  int p1 = b.Param("A1");
+  EXPECT_EQ(p0, 0);
+  EXPECT_EQ(p1, 1);
+  Program prog = b.Build();
+  EXPECT_EQ(prog.num_params, 2);
+  EXPECT_TRUE(prog.vars[0].is_param);
+}
+
+TEST(PlanBuilderTest, MultiResultInstructionAllocatesBothVars) {
+  PlanBuilder b("t");
+  int col = b.Bind("x", "y");
+  auto [map, reps] = b.GroupBy(col);
+  EXPECT_EQ(reps, map + 1);
+  Program prog = b.Build();
+  const Instruction& g = prog.instrs.back();
+  EXPECT_EQ(g.op, Opcode::kGroupBy);
+  ASSERT_EQ(g.rets.size(), 2u);
+}
+
+TEST(PlanBuilderTest, TemplateIdsUnique) {
+  PlanBuilder a("a"), b("b");
+  EXPECT_NE(a.Build().template_id, b.Build().template_id);
+}
+
+TEST(ProgramTest, PrintedPlanShowsConstantsInline) {
+  PlanBuilder b("show");
+  int v = b.Bind("orders", "o_orderdate");
+  int sel = b.Select(v, b.ConstDate(DateFromYmd(1996, 7, 1)),
+                     b.ConstDate(DateFromYmd(1996, 10, 1)), true, false);
+  b.ExportValue(b.AggrCount(sel), "n");
+  Program p = b.Build();
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("1996-07-01"), std::string::npos);
+  EXPECT_NE(s.find("\"orders\""), std::string::npos);
+  EXPECT_NE(s.find("aggr.count"), std::string::npos);
+  EXPECT_NE(s.find("end show;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recycledb

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "core/recycler.h"
+#include "core/recycler_optimizer.h"
+#include "interp/interpreter.h"
+#include "mal/plan_builder.h"
+#include "util/rng.h"
+
+namespace recycledb {
+namespace {
+
+/// A small orders-like table with an unsorted date column and a payload.
+std::unique_ptr<Catalog> Db(int rows = 2000) {
+  auto cat = std::make_unique<Catalog>();
+  cat->CreateTable("orders", {{"o_orderkey", TypeTag::kOid},
+                              {"o_orderdate", TypeTag::kDate},
+                              {"o_totalprice", TypeTag::kDbl}});
+  cat->CreateTable("customer", {{"c_custkey", TypeTag::kOid},
+                                {"c_acctbal", TypeTag::kDbl}});
+  Rng rng(17);
+  std::vector<Oid> keys(rows);
+  std::vector<int32_t> dates(rows);
+  std::vector<double> prices(rows);
+  for (int i = 0; i < rows; ++i) {
+    keys[i] = static_cast<Oid>(i);
+    dates[i] = static_cast<int32_t>(rng.UniformRange(0, 2000));
+    prices[i] = rng.UniformDouble(1, 1000);
+  }
+  EXPECT_TRUE(cat->LoadColumn<Oid>("orders", "o_orderkey", std::move(keys),
+                                   true, true)
+                  .ok());
+  EXPECT_TRUE(
+      cat->LoadColumn<int32_t>("orders", "o_orderdate", std::move(dates)).ok());
+  EXPECT_TRUE(
+      cat->LoadColumn<double>("orders", "o_totalprice", std::move(prices))
+          .ok());
+  EXPECT_TRUE(cat->LoadColumn<Oid>("customer", "c_custkey", {1, 2, 3}).ok());
+  EXPECT_TRUE(cat->LoadColumn<double>("customer", "c_acctbal", {5, 6, 7}).ok());
+  return cat;
+}
+
+/// select count(*), sum(price) over a parametrised date range.
+Program RangeCountTemplate() {
+  PlanBuilder b("range_count");
+  int lo = b.Param("A0");
+  int hi = b.Param("A1");
+  int dates = b.Bind("orders", "o_orderdate");
+  int sel = b.Select(dates, lo, hi, true, false);
+  int mark = b.MarkT(sel, 0);
+  int rev = b.Reverse(mark);
+  int prices = b.Bind("orders", "o_totalprice");
+  int fetched = b.Join(rev, prices);
+  int cnt = b.AggrCount(fetched);
+  int sum = b.AggrSum(fetched);
+  b.ExportValue(cnt, "cnt");
+  b.ExportValue(sum, "sum");
+  Program p = b.Build();
+  MarkForRecycling(&p);
+  return p;
+}
+
+
+/// Sums computed from recycled intermediates may differ by float summation
+/// order (subsumed execution concatenates value-ordered pieces).
+void ExpectNearRel(double a, double b) {
+  EXPECT_NEAR(a, b, 1e-9 * (std::abs(a) + 1));
+}
+
+std::vector<Scalar> DateParams(int lo, int hi) {
+  return {Scalar::DateVal(lo), Scalar::DateVal(hi)};
+}
+
+TEST(RecyclerTest, ExactReuseAcrossInvocations) {
+  auto cat = Db();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+
+  auto r1 = interp.Run(p, DateParams(100, 200)).ValueOrDie();
+  uint64_t hits_after_first = rec.stats().hits;
+  auto r2 = interp.Run(p, DateParams(100, 200)).ValueOrDie();
+
+  EXPECT_EQ(r1.Find("cnt")->scalar(), r2.Find("cnt")->scalar());
+  EXPECT_EQ(r1.Find("sum")->scalar(), r2.Find("sum")->scalar());
+  // Second invocation answers every monitored instruction from the pool.
+  EXPECT_EQ(rec.stats().hits - hits_after_first,
+            static_cast<uint64_t>(p.MonitoredCount()));
+  EXPECT_GT(rec.stats().global_hits, 0u);
+}
+
+TEST(RecyclerTest, ResultsIdenticalWithAndWithoutRecycling) {
+  auto cat1 = Db();
+  auto cat2 = Db();
+  Recycler rec;
+  Interpreter plain(cat1.get());
+  Interpreter recycled(cat2.get(), &rec);
+  Program p = RangeCountTemplate();
+
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    int lo = static_cast<int>(rng.UniformRange(0, 1500));
+    int hi = lo + static_cast<int>(rng.UniformRange(1, 400));
+    auto a = plain.Run(p, DateParams(lo, hi)).ValueOrDie();
+    auto b = recycled.Run(p, DateParams(lo, hi)).ValueOrDie();
+    EXPECT_EQ(a.Find("cnt")->scalar(), b.Find("cnt")->scalar());
+    ExpectNearRel(a.Find("sum")->scalar().AsDbl(),
+                  b.Find("sum")->scalar().AsDbl());
+  }
+  EXPECT_GT(rec.stats().hits, 0u) << "random ranges overlap: binds at least";
+}
+
+TEST(RecyclerTest, LocalReuseWithinOneQuery) {
+  auto cat = Db();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+
+  // The same sub-expression appears twice in one plan (intra-query
+  // commonality, like TPC-H Q11).
+  PlanBuilder b("intra");
+  int lo = b.Param("A0");
+  int hi = b.Param("A1");
+  int dates = b.Bind("orders", "o_orderdate");
+  int s1 = b.Select(dates, lo, hi, true, false);
+  int c1 = b.AggrCount(s1);
+  int dates2 = b.Bind("orders", "o_orderdate");
+  int s2 = b.Select(dates2, lo, hi, true, false);
+  int c2 = b.AggrCount(s2);
+  b.ExportValue(c1, "c1");
+  b.ExportValue(c2, "c2");
+  Program p = b.Build();
+  MarkForRecycling(&p);
+
+  auto r = interp.Run(p, DateParams(10, 500)).ValueOrDie();
+  EXPECT_EQ(r.Find("c1")->scalar(), r.Find("c2")->scalar());
+  EXPECT_GE(rec.stats().local_hits, 3u)
+      << "second bind, select and count all reuse locally";
+}
+
+TEST(RecyclerTest, CreditAdmissionBoundsUnreusedEntries) {
+  auto cat = Db();
+  RecyclerConfig cfg;
+  cfg.admission = AdmissionKind::kCredit;
+  cfg.credits = 3;
+  Recycler rec(cfg);
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+
+  // 20 instances with disjoint parameters: nothing is ever reused except
+  // the parameter-independent prefix (binds).
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(interp.Run(p, DateParams(i * 100, i * 100 + 50)).ok());
+  }
+  // Parameter-dependent instructions enter at most `credits` times each.
+  // 4 param-dependent monitored instructions (select, markT, reverse, join,
+  // count, sum depend on params; binds do not).
+  Recycler unlimited;
+  Interpreter interp2(cat.get(), &unlimited);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(interp2.Run(p, DateParams(i * 100, i * 100 + 50)).ok());
+  }
+  EXPECT_LT(rec.pool().num_entries(), unlimited.pool().num_entries());
+  EXPECT_GT(rec.stats().rejected, 0u);
+}
+
+TEST(RecyclerTest, AdaptStopsAdmittingUnreusedAndKeepsReused) {
+  auto cat = Db();
+  RecyclerConfig cfg;
+  cfg.admission = AdmissionKind::kAdaptiveCredit;
+  cfg.credits = 3;
+  Recycler rec(cfg);
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(interp.Run(p, DateParams(i * 100, i * 100 + 50)).ok());
+  }
+  size_t entries_mid = rec.pool().num_entries();
+  uint64_t rejected_mid = rec.stats().rejected;
+  for (int i = 10; i < 20; ++i) {
+    ASSERT_TRUE(interp.Run(p, DateParams(i * 100, i * 100 + 50)).ok());
+  }
+  // After graduation, unreused sources stop claiming entries entirely.
+  EXPECT_EQ(rec.pool().num_entries(), entries_mid);
+  EXPECT_GT(rec.stats().rejected, rejected_mid);
+}
+
+TEST(RecyclerTest, EntryLimitHonoured) {
+  auto cat = Db();
+  RecyclerConfig cfg;
+  cfg.max_entries = 12;
+  Recycler rec(cfg);
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(interp.Run(p, DateParams(i * 50, i * 50 + 120)).ok());
+    EXPECT_LE(rec.pool().num_entries(), 12u);
+  }
+  EXPECT_GT(rec.stats().evicted, 0u);
+}
+
+TEST(RecyclerTest, MemoryLimitHonoured) {
+  auto cat = Db();
+  RecyclerConfig cfg;
+  cfg.max_bytes = 64 * 1024;
+  cfg.eviction = EvictionKind::kBenefit;
+  Recycler rec(cfg);
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(interp.Run(p, DateParams(i * 50, i * 50 + 400)).ok());
+    EXPECT_LE(rec.pool().total_bytes(), cfg.max_bytes);
+  }
+}
+
+TEST(RecyclerTest, SingletonSubsumption) {
+  auto cat = Db();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+
+  auto wide = interp.Run(p, DateParams(100, 900)).ValueOrDie();
+  uint64_t before = rec.stats().subsumed_hits;
+  auto narrow = interp.Run(p, DateParams(300, 500)).ValueOrDie();
+  EXPECT_GT(rec.stats().subsumed_hits, before)
+      << "narrow range must be answered from the wide intermediate";
+
+  // Correctness: compare with a recycler-free run.
+  auto cat2 = Db();
+  Interpreter plain(cat2.get());
+  auto expect = plain.Run(p, DateParams(300, 500)).ValueOrDie();
+  EXPECT_EQ(narrow.Find("cnt")->scalar(), expect.Find("cnt")->scalar());
+  ExpectNearRel(narrow.Find("sum")->scalar().AsDbl(),
+                expect.Find("sum")->scalar().AsDbl());
+  (void)wide;
+}
+
+TEST(RecyclerTest, CombinedSubsumption) {
+  auto cat = Db();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+
+  // Two overlapping windows whose union covers [200, 600).
+  ASSERT_TRUE(interp.Run(p, DateParams(150, 450)).ok());
+  ASSERT_TRUE(interp.Run(p, DateParams(400, 700)).ok());
+  uint64_t before = rec.stats().combined_hits;
+  auto got = interp.Run(p, DateParams(200, 600)).ValueOrDie();
+  EXPECT_GT(rec.stats().combined_hits, before);
+
+  auto cat2 = Db();
+  Interpreter plain(cat2.get());
+  auto expect = plain.Run(p, DateParams(200, 600)).ValueOrDie();
+  EXPECT_EQ(got.Find("cnt")->scalar(), expect.Find("cnt")->scalar());
+  ExpectNearRel(got.Find("sum")->scalar().AsDbl(),
+                expect.Find("sum")->scalar().AsDbl());
+}
+
+TEST(RecyclerTest, CombinedSubsumptionDisabledByConfig) {
+  auto cat = Db();
+  RecyclerConfig cfg;
+  cfg.enable_combined_subsumption = false;
+  Recycler rec(cfg);
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+  ASSERT_TRUE(interp.Run(p, DateParams(150, 450)).ok());
+  ASSERT_TRUE(interp.Run(p, DateParams(400, 700)).ok());
+  ASSERT_TRUE(interp.Run(p, DateParams(200, 600)).ok());
+  EXPECT_EQ(rec.stats().combined_hits, 0u);
+}
+
+TEST(RecyclerTest, InvalidationDropsAffectedLineageOnly) {
+  auto cat = Db();
+  Recycler rec;
+  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+    rec.OnCatalogUpdate(cols);
+  });
+  Interpreter interp(cat.get(), &rec);
+  Program orders_q = RangeCountTemplate();
+
+  PlanBuilder b("cust");
+  int bal = b.Bind("customer", "c_acctbal");
+  int cnt = b.AggrCount(bal);
+  b.ExportValue(cnt, "n");
+  Program cust_q = b.Build();
+  MarkForRecycling(&cust_q);
+
+  ASSERT_TRUE(interp.Run(orders_q, DateParams(0, 500)).ok());
+  ASSERT_TRUE(interp.Run(cust_q, {}).ok());
+  size_t before = rec.pool().num_entries();
+
+  ASSERT_TRUE(
+      cat->Append("orders", {{Scalar::OidVal(99999), Scalar::DateVal(5),
+                              Scalar::Dbl(1.0)}})
+          .ok());
+  ASSERT_TRUE(cat->Commit().ok());
+
+  EXPECT_LT(rec.pool().num_entries(), before);
+  EXPECT_GT(rec.stats().invalidated, 0u);
+  // customer-derived entries survive (like TPC-H Q11/Q16 in Fig. 12).
+  bool cust_survived = false;
+  for (const PoolEntry* e : const_cast<const RecyclePool&>(rec.pool()).Entries()) {
+    for (const ColumnId& d : e->deps) {
+      auto cid = cat->GetColumnId("customer", "c_acctbal").ValueOrDie();
+      if (d == cid) cust_survived = true;
+    }
+  }
+  EXPECT_TRUE(cust_survived);
+
+  // And the queries still compute correct results afterwards.
+  auto cat2 = Db();
+  ASSERT_TRUE(
+      cat2->Append("orders", {{Scalar::OidVal(99999), Scalar::DateVal(5),
+                               Scalar::Dbl(1.0)}})
+          .ok());
+  ASSERT_TRUE(cat2->Commit().ok());
+  Interpreter plain(cat2.get());
+  auto a = interp.Run(orders_q, DateParams(0, 500)).ValueOrDie();
+  auto e = plain.Run(orders_q, DateParams(0, 500)).ValueOrDie();
+  EXPECT_EQ(a.Find("cnt")->scalar(), e.Find("cnt")->scalar());
+}
+
+TEST(RecyclerTest, PropagationRefreshesSelects) {
+  auto cat = Db();
+  RecyclerConfig cfg;
+  Recycler rec(cfg);
+  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+    rec.PropagateUpdate(cat.get(), cols);
+  });
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+
+  ASSERT_TRUE(interp.Run(p, DateParams(0, 1000)).ok());
+  // Insert one row inside the cached range.
+  ASSERT_TRUE(cat->Append("orders", {{Scalar::OidVal(77777),
+                                      Scalar::DateVal(500), Scalar::Dbl(3.0)}})
+                  .ok());
+  ASSERT_TRUE(cat->Commit().ok());
+  EXPECT_GT(rec.stats().propagated, 0u);
+
+  // The refreshed intermediate answers the re-run correctly.
+  auto got = interp.Run(p, DateParams(0, 1000)).ValueOrDie();
+  auto cat2 = Db();
+  ASSERT_TRUE(cat2->Append("orders", {{Scalar::OidVal(77777),
+                                       Scalar::DateVal(500), Scalar::Dbl(3.0)}})
+                  .ok());
+  ASSERT_TRUE(cat2->Commit().ok());
+  Interpreter plain(cat2.get());
+  auto expect = plain.Run(p, DateParams(0, 1000)).ValueOrDie();
+  EXPECT_EQ(got.Find("cnt")->scalar(), expect.Find("cnt")->scalar());
+  ExpectNearRel(got.Find("sum")->scalar().AsDbl(),
+                expect.Find("sum")->scalar().AsDbl());
+  // The select over o_orderdate was found in the pool after the update.
+  EXPECT_GT(rec.stats().hits, 0u);
+}
+
+TEST(RecyclerTest, MatchingOverheadStaysTiny) {
+  auto cat = Db();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(interp.Run(p, DateParams(100, 200)).ok());
+  }
+  double per_lookup_us =
+      rec.stats().match_ms * 1000.0 / static_cast<double>(rec.stats().monitored);
+  EXPECT_LT(per_lookup_us, 50.0) << "paper claims <1us; allow slack in CI";
+}
+
+TEST(RecyclerTest, ClearEmptiesPool) {
+  auto cat = Db();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+  Program p = RangeCountTemplate();
+  ASSERT_TRUE(interp.Run(p, DateParams(0, 100)).ok());
+  EXPECT_GT(rec.pool().num_entries(), 0u);
+  rec.Clear();
+  EXPECT_EQ(rec.pool().num_entries(), 0u);
+  EXPECT_EQ(rec.pool().total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace recycledb

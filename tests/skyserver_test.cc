@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "core/recycler.h"
+#include "interp/interpreter.h"
+#include "skyserver/skyserver.h"
+
+namespace recycledb {
+namespace {
+
+using namespace skyserver;  // NOLINT: test of this module
+
+SkyConfig SmallCfg() {
+  SkyConfig cfg;
+  cfg.n_objects = 20000;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::unique_ptr<Catalog> Db() {
+  auto cat = std::make_unique<Catalog>();
+  EXPECT_TRUE(LoadSkyServer(cat.get(), SmallCfg()).ok());
+  return cat;
+}
+
+TEST(SkyServerGenTest, SchemaLoads) {
+  auto cat = Db();
+  EXPECT_EQ(cat->FindTable("photoobj")->num_rows(), 20000u);
+  EXPECT_EQ(cat->FindTable("elredshift")->num_rows(), 2000u);
+  EXPECT_EQ(cat->FindTable("dbobjects")->num_rows(), 600u);
+  // 4 base columns + 19 properties
+  EXPECT_EQ(cat->FindTable("photoobj")->num_columns(),
+            4 + PhotoProperties().size());
+}
+
+TEST(SkyServerGenTest, CoordinateRanges) {
+  auto cat = Db();
+  auto ra = cat->BindColumn("photoobj", "ra").ValueOrDie();
+  auto dec = cat->BindColumn("photoobj", "dec").ValueOrDie();
+  for (size_t i = 0; i < ra->size(); i += 131) {
+    double r = ra->TailAt(i).AsDbl();
+    double d = dec->TailAt(i).AsDbl();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 360.0);
+    EXPECT_GE(d, -90.0);
+    EXPECT_LE(d, 90.0);
+  }
+}
+
+TEST(SkyServerQueryTest, ConeSearchRuns) {
+  auto cat = Db();
+  Interpreter interp(cat.get());
+  Program cone = BuildConeSearchTemplate();
+  auto r = interp.Run(cone, {Scalar::Dbl(100), Scalar::Dbl(140),
+                             Scalar::Dbl(-30), Scalar::Dbl(30)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const MalValue* obj = r.value().Find("objID");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_LE(obj->bat()->size(), 1u);  // LIMIT 1
+  // every projected property is exported
+  for (const std::string& p : PhotoProperties()) {
+    EXPECT_NE(r.value().Find(p), nullptr) << p;
+  }
+}
+
+TEST(SkyServerQueryTest, ConeRecyclingParity) {
+  auto cat1 = Db();
+  auto cat2 = Db();
+  Recycler rec;
+  Interpreter plain(cat1.get());
+  Interpreter recycled(cat2.get(), &rec);
+  Program cone = BuildConeSearchTemplate();
+  SkyLogSampler sampler(SmallCfg(), 77);
+  for (int i = 0; i < 30; ++i) {
+    SkyQuery q = sampler.Next();
+    if (q.kind != 0) continue;
+    auto a = plain.Run(cone, q.params).ValueOrDie();
+    auto b = recycled.Run(cone, q.params).ValueOrDie();
+    ASSERT_EQ(a.values.size(), b.values.size());
+    for (size_t k = 0; k < a.values.size(); ++k) {
+      const BatPtr& ab = a.values[k].second.bat();
+      const BatPtr& bb = b.values[k].second.bat();
+      ASSERT_EQ(ab->size(), bb->size());
+      for (size_t j = 0; j < ab->size(); ++j)
+        EXPECT_EQ(ab->TailAt(j), bb->TailAt(j));
+    }
+  }
+  EXPECT_GT(rec.stats().hits, 0u);
+}
+
+TEST(SkyServerQueryTest, RepeatedConeIsAlmostFullyRecycled) {
+  auto cat = Db();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+  Program cone = BuildConeSearchTemplate();
+  std::vector<Scalar> params{Scalar::Dbl(10), Scalar::Dbl(20),
+                             Scalar::Dbl(-10), Scalar::Dbl(10)};
+  ASSERT_TRUE(interp.Run(cone, params).ok());
+  uint64_t monitored0 = rec.stats().monitored;
+  uint64_t hits0 = rec.stats().hits;
+  ASSERT_TRUE(interp.Run(cone, params).ok());
+  uint64_t monitored = rec.stats().monitored - monitored0;
+  uint64_t hits = rec.stats().hits - hits0;
+  EXPECT_EQ(hits, monitored) << "identical instance: 100% hit ratio";
+}
+
+TEST(SkyServerQueryTest, DocAndPointQueries) {
+  auto cat = Db();
+  Interpreter interp(cat.get());
+  auto doc = BuildDocQueryTemplate();
+  auto r = interp.Run(doc, {Scalar::Str("DocPage0005")}).ValueOrDie();
+  ASSERT_NE(r.Find("description"), nullptr);
+  EXPECT_EQ(r.Find("description")->bat()->size(), 1u);
+
+  auto point = BuildPointQueryTemplate();
+  auto pr = interp.Run(point, {Scalar::OidVal(100)}).ValueOrDie();
+  ASSERT_NE(pr.Find("z"), nullptr);
+  EXPECT_EQ(pr.Find("z")->bat()->size(), 1u);
+}
+
+TEST(SkyServerSamplerTest, MixMatchesLog) {
+  SkyLogSampler sampler(SmallCfg(), 123);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 2000; ++i) ++counts[sampler.Next().kind];
+  EXPECT_NEAR(counts[0] / 2000.0, 0.62, 0.05);
+  EXPECT_NEAR(counts[1] / 2000.0, 0.36, 0.05);
+  EXPECT_NEAR(counts[2] / 2000.0, 0.02, 0.02);
+}
+
+TEST(SkyServerSamplerTest, ConeParamsRepeat) {
+  SkyLogSampler sampler(SmallCfg(), 9);
+  std::vector<std::string> seen;
+  int repeats = 0, cones = 0;
+  for (int i = 0; i < 300; ++i) {
+    SkyQuery q = sampler.Next();
+    if (q.kind != 0) continue;
+    ++cones;
+    std::string key = q.params[0].ToString() + q.params[2].ToString();
+    if (std::find(seen.begin(), seen.end(), key) != seen.end())
+      ++repeats;
+    else
+      seen.push_back(key);
+  }
+  EXPECT_GT(repeats, cones / 2) << "finite population must repeat often";
+}
+
+TEST(SubsumptionBenchTest, StructureAndCoverage) {
+  auto queries = GenerateSubsumptionBench(/*k=*/2, /*n_seeds=*/5, 0.02, 42);
+  ASSERT_EQ(queries.size(), 15u);  // (2 covers + 1 seed) x 5
+  for (size_t i = 0; i < queries.size(); i += 3) {
+    EXPECT_FALSE(queries[i].is_seed);
+    EXPECT_FALSE(queries[i + 1].is_seed);
+    EXPECT_TRUE(queries[i + 2].is_seed);
+    // covers' union must cover the seed range
+    double s_lo = queries[i + 2].params[0].AsDbl();
+    double s_hi = queries[i + 2].params[1].AsDbl();
+    double c_lo = std::min(queries[i].params[0].AsDbl(),
+                           queries[i + 1].params[0].AsDbl());
+    double c_hi = std::max(queries[i].params[1].AsDbl(),
+                           queries[i + 1].params[1].AsDbl());
+    EXPECT_LE(c_lo, s_lo);
+    EXPECT_GE(c_hi, s_hi);
+  }
+}
+
+TEST(SubsumptionBenchTest, SeedsAnsweredByCombinedSubsumption) {
+  auto cat = Db();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+  Program scan = BuildRaSelectTemplate();
+  auto queries = GenerateSubsumptionBench(/*k=*/2, /*n_seeds=*/6, 0.02, 17);
+
+  // Parity against a recycler-free interpreter.
+  auto cat2 = Db();
+  Interpreter plain(cat2.get());
+
+  int combined_before = 0;
+  for (const auto& q : queries) {
+    auto a = interp.Run(scan, q.params).ValueOrDie();
+    auto b = plain.Run(scan, q.params).ValueOrDie();
+    EXPECT_EQ(a.Find("n")->scalar(), b.Find("n")->scalar());
+    if (q.is_seed) {
+      EXPECT_GT(static_cast<int>(rec.stats().combined_hits), combined_before)
+          << "seed query must be answered by combined subsumption";
+      combined_before = static_cast<int>(rec.stats().combined_hits);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recycledb

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/recycler.h"
+#include "interp/interpreter.h"
+#include "tpch/tpch.h"
+
+namespace recycledb {
+namespace {
+
+using tpch::BuildAllQueries;
+using tpch::BuildQuery;
+using tpch::LoadTpch;
+using tpch::QueryTemplate;
+using tpch::TpchConfig;
+
+TpchConfig SmallCfg() {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;  // ~3k orders, ~12k lineitems: fast CI runs
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::unique_ptr<Catalog> SmallDb() {
+  auto cat = std::make_unique<Catalog>();
+  EXPECT_TRUE(LoadTpch(cat.get(), SmallCfg()).ok());
+  return cat;
+}
+
+bool ValuesClose(const MalValue& a, const MalValue& b) {
+  if (a.is_bat() != b.is_bat()) return false;
+  if (!a.is_bat()) {
+    if (a.scalar().tag() == TypeTag::kDbl) {
+      double x = a.scalar().AsDbl(), y = b.scalar().AsDbl();
+      return std::abs(x - y) <= 1e-6 * (std::abs(x) + 1);
+    }
+    return a.scalar() == b.scalar();
+  }
+  const BatPtr& ab = a.bat();
+  const BatPtr& bb = b.bat();
+  if (ab->size() != bb->size()) return false;
+  for (size_t i = 0; i < ab->size(); ++i) {
+    Scalar x = ab->TailAt(i), y = bb->TailAt(i);
+    if (x.tag() == TypeTag::kDbl) {
+      if (std::abs(x.AsDbl() - y.AsDbl()) > 1e-6 * (std::abs(x.AsDbl()) + 1))
+        return false;
+    } else if (!(x == y)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ExpectSameResults(const QueryResult& a, const QueryResult& b, int qnum,
+                       int instance) {
+  ASSERT_EQ(a.values.size(), b.values.size()) << "Q" << qnum;
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(a.values[i].first, b.values[i].first) << "Q" << qnum;
+    EXPECT_TRUE(ValuesClose(a.values[i].second, b.values[i].second))
+        << "Q" << qnum << " instance " << instance << " column "
+        << a.values[i].first;
+  }
+}
+
+TEST(TpchGenTest, SchemaLoads) {
+  auto cat = SmallDb();
+  EXPECT_EQ(cat->FindTable("region")->num_rows(), 5u);
+  EXPECT_EQ(cat->FindTable("nation")->num_rows(), 25u);
+  EXPECT_GT(cat->FindTable("orders")->num_rows(), 1000u);
+  EXPECT_GT(cat->FindTable("lineitem")->num_rows(),
+            cat->FindTable("orders")->num_rows() * 2);
+  EXPECT_EQ(cat->FindTable("partsupp")->num_rows(),
+            cat->FindTable("part")->num_rows() * 4);
+  EXPECT_TRUE(cat->BindIndex("li_orders").ok());
+  EXPECT_TRUE(cat->BindIndex("nation_region").ok());
+}
+
+TEST(TpchGenTest, JoinIndexConsistent) {
+  auto cat = SmallDb();
+  auto idx = cat->BindIndex("li_orders").ValueOrDie();
+  auto lkeys = cat->BindColumn("lineitem", "l_orderkey").ValueOrDie();
+  auto okeys = cat->BindColumn("orders", "o_orderkey").ValueOrDie();
+  for (size_t i = 0; i < 200; ++i) {
+    Oid pos = idx->TailAt(i).AsOid();
+    ASSERT_NE(pos, kNilOid);
+    EXPECT_EQ(okeys->TailAt(pos), lkeys->TailAt(i));
+  }
+}
+
+TEST(TpchGenTest, Deterministic) {
+  auto a = SmallDb();
+  auto b = SmallDb();
+  auto ca = a->BindColumn("orders", "o_totalprice").ValueOrDie();
+  auto cb = b->BindColumn("orders", "o_totalprice").ValueOrDie();
+  ASSERT_EQ(ca->size(), cb->size());
+  for (size_t i = 0; i < ca->size(); i += 97) {
+    EXPECT_EQ(ca->TailAt(i), cb->TailAt(i));
+  }
+}
+
+TEST(TpchQueryTest, AllTemplatesBuildAndMark) {
+  auto qs = BuildAllQueries();
+  ASSERT_EQ(qs.size(), 22u);
+  for (const auto& q : qs) {
+    EXPECT_GT(q.prog.MonitoredCount(), 3) << "Q" << q.number;
+    EXPECT_GE(q.prog.num_params, 1) << "Q" << q.number;
+    Rng rng(1);
+    auto params = q.gen_params(rng);
+    EXPECT_EQ(static_cast<int>(params.size()), q.prog.num_params)
+        << "Q" << q.number;
+  }
+}
+
+TEST(TpchQueryTest, ParamIndependentPrefixesMatchTableII) {
+  // Queries the paper singles out for large inter-query reuse must have a
+  // substantial parameter-independent monitored prefix; Q6/Q14 must not.
+  auto frac = [](int qn) {
+    auto q = BuildQuery(qn);
+    int indep = 0;
+    for (const auto& ins : q.prog.instrs) {
+      if (ins.monitored && ins.param_independent) ++indep;
+    }
+    return static_cast<double>(indep) / q.prog.MonitoredCount();
+  };
+  EXPECT_GT(frac(4), 0.3);   // late-lineitem thread
+  EXPECT_GT(frac(18), 0.3);  // per-order grouping/aggregation
+  EXPECT_GT(frac(22), 0.3);  // avg-balance subquery
+  EXPECT_LT(frac(6), 0.35);  // parameters dominate
+  EXPECT_LT(frac(14), 0.5);
+}
+
+class TpchQueryParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchQueryParity, RecyclerPreservesResults) {
+  int qn = GetParam();
+  auto cat_plain = SmallDb();
+  auto cat_rec = SmallDb();
+  Recycler rec;
+  Interpreter plain(cat_plain.get());
+  Interpreter recycled(cat_rec.get(), &rec);
+  auto q = BuildQuery(qn);
+
+  Rng rng(100 + qn);
+  for (int inst = 0; inst < 3; ++inst) {
+    auto params = q.gen_params(rng);
+    auto a = plain.Run(q.prog, params);
+    ASSERT_TRUE(a.ok()) << "Q" << qn << ": " << a.status().ToString();
+    auto b = recycled.Run(q.prog, params);
+    ASSERT_TRUE(b.ok()) << "Q" << qn << ": " << b.status().ToString();
+    ExpectSameResults(a.value(), b.value(), qn, inst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryParity,
+                         ::testing::Range(1, 23));
+
+TEST(TpchQueryTest, RepeatedInstanceHitsPool) {
+  auto cat = SmallDb();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+  auto q18 = BuildQuery(18);
+  Rng rng(3);
+  auto p1 = q18.gen_params(rng);
+  ASSERT_TRUE(interp.Run(q18.prog, p1).ok());
+  uint64_t hits0 = rec.stats().hits;
+  auto p2 = q18.gen_params(rng);  // different threshold
+  ASSERT_TRUE(interp.Run(q18.prog, p2).ok());
+  // The grouping/aggregation prefix must be answered from the pool.
+  EXPECT_GT(rec.stats().hits, hits0 + 3)
+      << "Q18's param-independent prefix should hit";
+}
+
+TEST(TpchQueryTest, Q11LocalReuse) {
+  auto cat = SmallDb();
+  Recycler rec;
+  Interpreter interp(cat.get(), &rec);
+  auto q11 = BuildQuery(11);
+  Rng rng(4);
+  ASSERT_TRUE(interp.Run(q11.prog, q11.gen_params(rng)).ok());
+  EXPECT_GT(rec.stats().local_hits, 5u)
+      << "the duplicated HAVING thread must reuse locally";
+}
+
+TEST(TpchUpdateTest, UpdateBlockKeepsQueriesCorrect) {
+  auto cat_a = SmallDb();
+  auto cat_b = SmallDb();
+  Rng ra(11), rb(11);
+  ASSERT_TRUE(tpch::RunUpdateBlock(cat_a.get(), &ra).ok());
+  ASSERT_TRUE(tpch::RunUpdateBlock(cat_b.get(), &rb).ok());
+
+  Recycler rec;
+  cat_a->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+    rec.OnCatalogUpdate(cols);
+  });
+  Interpreter with_rec(cat_a.get(), &rec);
+  Interpreter plain(cat_b.get());
+
+  for (int qn : {1, 4, 12, 18}) {
+    auto q = BuildQuery(qn);
+    Rng rng(200 + qn);
+    auto params = q.gen_params(rng);
+    auto a = with_rec.Run(q.prog, params);
+    auto b = plain.Run(q.prog, params);
+    ASSERT_TRUE(a.ok() && b.ok()) << "Q" << qn;
+    ExpectSameResults(a.value(), b.value(), qn, 0);
+  }
+}
+
+TEST(TpchUpdateTest, InvalidationScopedToUpdatedTables) {
+  auto cat = SmallDb();
+  Recycler rec;
+  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+    rec.OnCatalogUpdate(cols);
+  });
+  Interpreter interp(cat.get(), &rec);
+
+  // Q16 touches part/partsupp/supplier only; Q4 touches orders/lineitem.
+  auto q16 = BuildQuery(16);
+  auto q4 = BuildQuery(4);
+  Rng rng(5);
+  ASSERT_TRUE(interp.Run(q16.prog, q16.gen_params(rng)).ok());
+  ASSERT_TRUE(interp.Run(q4.prog, q4.gen_params(rng)).ok());
+  size_t entries_before = rec.pool().num_entries();
+
+  Rng ur(21);
+  ASSERT_TRUE(tpch::RunUpdateBlock(cat.get(), &ur).ok());
+
+  // Orders/lineitem entries die; part/partsupp/supplier entries survive
+  // (paper: "queries such as TPC-H 11 and 16 ... are not affected").
+  size_t after = rec.pool().num_entries();
+  EXPECT_LT(after, entries_before);
+  EXPECT_GT(after, 0u);
+  bool q16_dep_alive = false;
+  auto cid = cat->GetColumnId("part", "p_brand").ValueOrDie();
+  for (const PoolEntry* e :
+       const_cast<const RecyclePool&>(rec.pool()).Entries()) {
+    for (const ColumnId& d : e->deps) {
+      if (d == cid) q16_dep_alive = true;
+    }
+  }
+  EXPECT_TRUE(q16_dep_alive);
+}
+
+}  // namespace
+}  // namespace recycledb
