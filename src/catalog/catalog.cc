@@ -55,7 +55,10 @@ Status Catalog::LoadColumn(const std::string& table, const std::string& column,
                   column.c_str(), col->size(), t->rows_));
   }
   t->cols_[ci] = std::move(col);
-  bind_cache_.erase({t->id(), ci});
+  {
+    std::lock_guard<std::mutex> lock(bind_mu_);
+    bind_cache_.erase({t->id(), ci});
+  }
   return Status::OK();
 }
 
@@ -139,7 +142,6 @@ Status Catalog::DropTable(const std::string& name) {
       invalidated.push_back({indices_[k].child_table,
                              kIndexColBase + static_cast<int32_t>(k)});
       index_by_name_.erase(indices_[k].name);
-      index_bind_cache_.erase(static_cast<int>(k));
     }
   }
   indices_.erase(std::remove_if(indices_.begin(), indices_.end(),
@@ -148,10 +150,17 @@ Status Catalog::DropTable(const std::string& name) {
                                          x.parent_table == id;
                                 }),
                  indices_.end());
-  // Rebuild name->slot map since slots shifted.
+  // Rebuild name->slot map since slots shifted — and drop the whole
+  // slot-keyed index bind cache: surviving indices now live under new slots,
+  // so per-slot erasure would leave stale entries that a later index
+  // reusing the slot would wrongly inherit.
   index_by_name_.clear();
   for (size_t k = 0; k < indices_.size(); ++k)
     index_by_name_[indices_[k].name] = static_cast<int>(k);
+  {
+    std::lock_guard<std::mutex> lock(bind_mu_);
+    index_bind_cache_.clear();
+  }
   InvalidateBindCache(id);
   tables_[id].reset();
   table_by_name_.erase(it);
@@ -190,6 +199,7 @@ Result<BatPtr> Catalog::BindColumn(const std::string& table,
   if (t->column(ci) == nullptr)
     return Status::Internal("column not loaded: " + table + "." + column);
   auto key = std::make_pair(t->id(), ci);
+  std::lock_guard<std::mutex> lock(bind_mu_);
   auto it = bind_cache_.find(key);
   if (it != bind_cache_.end()) return it->second;
   BatPtr b = Bat::DenseHead(t->column(ci));
@@ -200,6 +210,7 @@ Result<BatPtr> Catalog::BindColumn(const std::string& table,
 Result<BatPtr> Catalog::BindIndex(const std::string& index) {
   auto it = index_by_name_.find(index);
   if (it == index_by_name_.end()) return Status::NotFound("index " + index);
+  std::lock_guard<std::mutex> lock(bind_mu_);
   auto cached = index_bind_cache_.find(it->second);
   if (cached != index_bind_cache_.end()) return cached->second;
   BatPtr b = Bat::DenseHead(indices_[it->second].map);
@@ -229,6 +240,7 @@ Status Catalog::Delete(const std::string& table, std::vector<Oid> row_oids) {
 }
 
 void Catalog::InvalidateBindCache(int32_t table_id) {
+  std::lock_guard<std::mutex> lock(bind_mu_);
   for (auto it = bind_cache_.begin(); it != bind_cache_.end();) {
     if (it->first.first == table_id)
       it = bind_cache_.erase(it);
@@ -305,7 +317,10 @@ Status Catalog::Commit() {
     }
     if (!touched) continue;
     RDB_RETURN_NOT_OK(RebuildIndex(&idx));
-    index_bind_cache_.erase(static_cast<int>(k));
+    {
+      std::lock_guard<std::mutex> lock(bind_mu_);
+      index_bind_cache_.erase(static_cast<int>(k));
+    }
     invalidated.push_back({idx.child_table,
                            kIndexColBase + static_cast<int32_t>(k)});
   }

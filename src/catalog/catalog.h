@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,13 @@ struct PendingDelta {
 /// indices, and the update path. Bind results are cached so repeated binds
 /// of an unchanged column return the *same* BAT object — persistent bats
 /// have stable identity, which bottom-up sequence matching relies on.
+///
+/// Thread-safety: the read path (BindColumn, BindIndex, FindTable,
+/// GetColumnId, GetIndexId, LastInsertDelta, LastCommitInsertOnly) is safe
+/// to call from many threads concurrently — the bind caches, the only state
+/// reads mutate, are guarded internally. DDL and the DML/Commit path mutate
+/// tables and must be externally serialised against all readers;
+/// QueryService enforces this with its update read-write lock.
 class Catalog {
  public:
   Catalog() = default;
@@ -157,7 +165,9 @@ class Catalog {
   std::vector<FkIndex> indices_;
   std::map<std::string, int> index_by_name_;
   std::map<int32_t, PendingDelta> pending_;
-  // Bind caches: stable BAT identities for persistent data.
+  // Bind caches: stable BAT identities for persistent data. Guarded by
+  // bind_mu_ so concurrent readers can populate them safely.
+  mutable std::mutex bind_mu_;
   std::map<std::pair<int32_t, int>, BatPtr> bind_cache_;
   std::map<int, BatPtr> index_bind_cache_;
   std::function<void(const std::vector<ColumnId>&)> listener_;

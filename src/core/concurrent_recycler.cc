@@ -1,0 +1,130 @@
+#include "core/concurrent_recycler.h"
+
+#include <mutex>
+
+namespace recycledb {
+
+QueryCtx ConcurrentRecycler::SessionBegin(const Program& prog) {
+  // BeginQueryCtx/EndQueryCtx are thread-safe on their own (leaf mutex in
+  // the core), so per-query bookkeeping skips the pool-wide lock entirely.
+  return core_.BeginQueryCtx(prog);
+}
+
+void ConcurrentRecycler::SessionEnd(const QueryCtx& ctx) {
+  core_.EndQueryCtx(ctx);
+}
+
+bool ConcurrentRecycler::SessionOnEntry(const QueryCtx& ctx,
+                                        const RecyclerHook::InstrView& instr,
+                                        std::vector<MalValue>* results) {
+  {
+    std::shared_lock lock(mu_);
+    if (core_.config().admission == AdmissionKind::kKeepAll) {
+      // Hot path: an exact hit completes entirely under the shared lock
+      // (per-entry reuse stats are atomics; aggregates below are ours).
+      Recycler::SharedHit hit = core_.TryExactHitShared(ctx, instr, results);
+      if (hit.hit) {
+        fast_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (hit.local)
+          fast_local_hits_.fetch_add(1, std::memory_order_relaxed);
+        else
+          fast_global_hits_.fetch_add(1, std::memory_order_relaxed);
+        fast_saved_ns_.fetch_add(static_cast<uint64_t>(hit.saved_ms * 1e6),
+                                 std::memory_order_relaxed);
+        return true;
+      }
+    } else if (core_.pool().FindExact(instr.op, *instr.args) != nullptr) {
+      // Credit regimes mutate the ledger on hits: take the exclusive path.
+      lock.unlock();
+      std::unique_lock wlock(mu_);
+      return core_.OnEntryCtx(ctx, instr, results);
+    }
+    // Exact match missed: a miss with no subsumption candidates — the
+    // common case for cold instructions — finishes under the shared lock.
+    bool maybe_subsumes = false;
+    if (core_.config().enable_subsumption && !instr.args->empty() &&
+        (*instr.args)[0].is_bat()) {
+      std::optional<Opcode> cand_op = Recycler::SubsumptionCandidateOp(instr.op);
+      maybe_subsumes =
+          cand_op.has_value() &&
+          core_.pool().HasEntriesFor(*cand_op, (*instr.args)[0].bat()->id());
+    }
+    if (!maybe_subsumes) {
+      // Pure miss: execute outside any lock; OnExit offers the result.
+      fast_misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  // Possible subsumption: the DP reads candidate entries and admits the
+  // subsumed result, so it runs under the exclusive lock. It re-probes from
+  // scratch, so a racing invalidation between the two lock scopes degrades
+  // to a miss.
+  std::unique_lock lock(mu_);
+  return core_.OnEntryCtx(ctx, instr, results);
+}
+
+void ConcurrentRecycler::SessionOnExit(const QueryCtx& ctx,
+                                       const RecyclerHook::InstrView& instr,
+                                       const std::vector<MalValue>& results,
+                                       double cpu_ms,
+                                       const std::vector<ColumnId>& deps) {
+  std::unique_lock lock(mu_);
+  core_.OnExitCtx(ctx, instr, results, cpu_ms, deps);
+}
+
+void ConcurrentRecycler::OnCatalogUpdate(const std::vector<ColumnId>& cols) {
+  std::unique_lock lock(mu_);
+  core_.OnCatalogUpdate(cols);
+}
+
+void ConcurrentRecycler::PropagateUpdate(Catalog* catalog,
+                                         const std::vector<ColumnId>& cols) {
+  std::unique_lock lock(mu_);
+  core_.PropagateUpdate(catalog, cols);
+}
+
+void ConcurrentRecycler::Clear() {
+  std::unique_lock lock(mu_);
+  core_.Clear();
+}
+
+void ConcurrentRecycler::ResetStats() {
+  std::unique_lock lock(mu_);
+  core_.ResetStats();
+  fast_misses_.store(0, std::memory_order_relaxed);
+  fast_hits_.store(0, std::memory_order_relaxed);
+  fast_local_hits_.store(0, std::memory_order_relaxed);
+  fast_global_hits_.store(0, std::memory_order_relaxed);
+  fast_saved_ns_.store(0, std::memory_order_relaxed);
+}
+
+RecyclerStats ConcurrentRecycler::stats() const {
+  std::shared_lock lock(mu_);
+  RecyclerStats s = core_.stats();
+  uint64_t fh = fast_hits_.load(std::memory_order_relaxed);
+  s.monitored += fast_misses_.load(std::memory_order_relaxed) + fh;
+  s.hits += fh;
+  s.exact_hits += fh;
+  s.local_hits += fast_local_hits_.load(std::memory_order_relaxed);
+  s.global_hits += fast_global_hits_.load(std::memory_order_relaxed);
+  s.time_saved_ms +=
+      static_cast<double>(fast_saved_ns_.load(std::memory_order_relaxed)) / 1e6;
+  return s;
+}
+
+size_t ConcurrentRecycler::pool_entries() const {
+  std::shared_lock lock(mu_);
+  return core_.pool().num_entries();
+}
+
+size_t ConcurrentRecycler::pool_bytes() const {
+  std::shared_lock lock(mu_);
+  return core_.pool().total_bytes();
+}
+
+std::string ConcurrentRecycler::DumpPool(size_t max_entries) const {
+  std::shared_lock lock(mu_);
+  return core_.DumpPool(max_entries);
+}
+
+}  // namespace recycledb

@@ -1,0 +1,122 @@
+#ifndef RECYCLEDB_CORE_CONCURRENT_RECYCLER_H_
+#define RECYCLEDB_CORE_CONCURRENT_RECYCLER_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/recycler.h"
+
+namespace recycledb {
+
+/// Thread-safe shell around one shared Recycler: the single recycle pool
+/// that all workers of a QueryService populate and reuse from.
+///
+/// ## Locking protocol (shared_mutex)
+///
+/// The match indexes and entry payloads are immutable between admissions
+/// and removals, while hit recording only touches per-entry atomics — so
+/// the two dominant operations run under the *shared* lock and the
+/// exclusive lock is reserved for structural changes:
+///
+///  - exact hit under KEEPALL admission (shared lock): the probe reads the
+///    indexes, reuse stats are per-entry atomics, and the aggregate
+///    counters are ConcurrentRecycler-side atomics. Hit-heavy workloads
+///    therefore never serialise on the pool.
+///  - pure miss (shared lock): a failed probe plus a failed
+///    subsumption-candidate existence check; the instruction then executes
+///    OUTSIDE any lock, concurrently with everything.
+///  - subsumption and credit-regime hits (exclusive lock): the DP reads
+///    candidate entries, admits the rewritten result, and the credit ledger
+///    is not concurrent — these re-run the full Algorithm-1 matching under
+///    the exclusive lock. Returned results are shared_ptr copies, so the
+///    lock is released before the caller consumes them.
+///  - recycleExit / admission, eviction, invalidation, Clear, ResetStats
+///    (exclusive).
+///  - stats()/pool introspection (shared): consistent snapshots by value.
+///
+/// Eviction protection is epoch-based: BeginQuery/EndQuery (under the
+/// exclusive lock) maintain the set of in-flight query ids inside the core
+/// Recycler, and eviction spares every entry last touched at or after the
+/// oldest running query — §4.3's protect-current-query rule extended to N
+/// concurrent queries. Entries handed to a running query stay alive via
+/// shared ownership even if evicted or invalidated mid-flight, so the epoch
+/// rule is a reuse-quality policy, not a memory-safety requirement.
+class ConcurrentRecycler {
+ public:
+  explicit ConcurrentRecycler(RecyclerConfig cfg = {}) : core_(cfg) {}
+
+  /// Per-worker RecyclerHook facade: holds the worker's current QueryCtx and
+  /// forwards to the shared core under the locking protocol above. One
+  /// Session per interpreter; a Session itself is single-threaded.
+  class Session : public RecyclerHook {
+   public:
+    explicit Session(ConcurrentRecycler* owner) : owner_(owner) {}
+
+    void BeginQuery(const Program& prog) override {
+      ctx_ = owner_->SessionBegin(prog);
+    }
+    void EndQuery() override { owner_->SessionEnd(ctx_); }
+    bool OnEntry(const InstrView& instr,
+                 std::vector<MalValue>* results) override {
+      return owner_->SessionOnEntry(ctx_, instr, results);
+    }
+    void OnExit(const InstrView& instr, const std::vector<MalValue>& results,
+                double cpu_ms, const std::vector<ColumnId>& deps) override {
+      owner_->SessionOnExit(ctx_, instr, results, cpu_ms, deps);
+    }
+
+   private:
+    ConcurrentRecycler* owner_;
+    QueryCtx ctx_;
+  };
+
+  std::unique_ptr<Session> NewSession() {
+    return std::make_unique<Session>(this);
+  }
+
+  // --- update synchronisation (exclusive) -----------------------------------
+  void OnCatalogUpdate(const std::vector<ColumnId>& cols);
+  void PropagateUpdate(Catalog* catalog, const std::vector<ColumnId>& cols);
+
+  /// Empties the pool. Safe at any time, including while queries run: their
+  /// already-fetched results stay alive via shared ownership and later
+  /// lookups simply miss.
+  void Clear();
+  void ResetStats();
+
+  // --- introspection (consistent snapshots) ---------------------------------
+  RecyclerStats stats() const;
+  size_t pool_entries() const;
+  size_t pool_bytes() const;
+  std::string DumpPool(size_t max_entries = 24) const;
+  const RecyclerConfig& config() const { return core_.config(); }
+
+ private:
+  friend class Session;
+
+  QueryCtx SessionBegin(const Program& prog);
+  void SessionEnd(const QueryCtx& ctx);
+  bool SessionOnEntry(const QueryCtx& ctx, const RecyclerHook::InstrView& instr,
+                      std::vector<MalValue>* results);
+  void SessionOnExit(const QueryCtx& ctx, const RecyclerHook::InstrView& instr,
+                     const std::vector<MalValue>& results, double cpu_ms,
+                     const std::vector<ColumnId>& deps);
+
+  mutable std::shared_mutex mu_;
+  Recycler core_;
+  /// Monitored executions resolved entirely on the shared-lock fast paths
+  /// (pure misses and exact hits). Folded into stats() so aggregates stay
+  /// exact without the fast paths writing the core's plain counters.
+  std::atomic<uint64_t> fast_misses_{0};
+  std::atomic<uint64_t> fast_hits_{0};
+  std::atomic<uint64_t> fast_local_hits_{0};
+  std::atomic<uint64_t> fast_global_hits_{0};
+  std::atomic<uint64_t> fast_saved_ns_{0};
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_CORE_CONCURRENT_RECYCLER_H_

@@ -94,13 +94,13 @@ namespace {
 /// Returns entry ids to evict this round; empty means nothing evictable.
 std::vector<uint64_t> PickRound(RecyclePool* pool, EvictionKind kind,
                                 bool memory_mode, size_t amount_needed,
-                                uint64_t protected_query, double now_ms) {
+                                uint64_t protected_epoch, double now_ms) {
   std::vector<PoolEntry*> leaves =
-      pool->Leaves(protected_query, /*include_protected=*/false);
+      pool->Leaves(protected_epoch, /*include_protected=*/false);
   if (leaves.empty()) {
     // Exception of §4.3: a single query may fill the entire pool, in which
     // case its own intermediates become evictable.
-    leaves = pool->Leaves(protected_query, /*include_protected=*/true);
+    leaves = pool->Leaves(protected_epoch, /*include_protected=*/true);
   }
   if (leaves.empty()) return {};
 
@@ -206,12 +206,12 @@ std::vector<uint64_t> PickRound(RecyclePool* pool, EvictionKind kind,
 
 size_t EvictForEntries(RecyclePool* pool, EvictionKind kind,
                        size_t max_entries, size_t need,
-                       uint64_t protected_query, double now_ms,
+                       uint64_t protected_epoch, double now_ms,
                        const std::function<void(const PoolEntry&)>& on_evict) {
   size_t evicted = 0;
   while (pool->num_entries() + need > max_entries) {
     std::vector<uint64_t> round =
-        PickRound(pool, kind, /*memory_mode=*/false, 0, protected_query,
+        PickRound(pool, kind, /*memory_mode=*/false, 0, protected_epoch,
                   now_ms);
     if (round.empty()) break;
     for (uint64_t id : round) {
@@ -226,7 +226,7 @@ size_t EvictForEntries(RecyclePool* pool, EvictionKind kind,
 }
 
 size_t EvictForMemory(RecyclePool* pool, EvictionKind kind, size_t max_bytes,
-                      size_t bytes_needed, uint64_t protected_query,
+                      size_t bytes_needed, uint64_t protected_epoch,
                       double now_ms,
                       const std::function<void(const PoolEntry&)>& on_evict) {
   size_t evicted = 0;
@@ -236,7 +236,7 @@ size_t EvictForMemory(RecyclePool* pool, EvictionKind kind, size_t max_bytes,
          pool->num_entries() > 0) {
     size_t excess = pool->total_bytes() + bytes_needed - max_bytes;
     std::vector<uint64_t> round = PickRound(
-        pool, kind, /*memory_mode=*/true, excess, protected_query, now_ms);
+        pool, kind, /*memory_mode=*/true, excess, protected_epoch, now_ms);
     if (round.empty()) break;
     for (uint64_t id : round) {
       PoolEntry* e = pool->Get(id);

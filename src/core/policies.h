@@ -63,13 +63,15 @@ class CreditLedger {
 };
 
 /// Evicts entries until at least `need` entry slots are free given the
-/// `max_entries` limit, honouring lineage (leaves only) and protecting the
-/// running query (`protected_query`) unless its own intermediates fill the
-/// pool. `on_evict` fires for every victim before removal.
+/// `max_entries` limit, honouring lineage (leaves only) and protecting every
+/// entry last touched at or after `protected_epoch` — the oldest running
+/// query's id, which generalises §4.3's protect-current-query rule to N
+/// concurrent queries — unless the protected entries fill the pool.
+/// `on_evict` fires for every victim before removal.
 /// Returns the number of entries evicted.
 size_t EvictForEntries(RecyclePool* pool, EvictionKind kind,
                        size_t max_entries, size_t need,
-                       uint64_t protected_query, double now_ms,
+                       uint64_t protected_epoch, double now_ms,
                        const std::function<void(const PoolEntry&)>& on_evict);
 
 /// Evicts entries until `bytes_needed` bytes fit under `max_bytes`. For the
@@ -77,7 +79,7 @@ size_t EvictForEntries(RecyclePool* pool, EvictionKind kind,
 /// problem with the greedy 1/2-approximation of §4.3 (items in decreasing
 /// profit-per-byte order, compared against the best single item).
 size_t EvictForMemory(RecyclePool* pool, EvictionKind kind, size_t max_bytes,
-                      size_t bytes_needed, uint64_t protected_query,
+                      size_t bytes_needed, uint64_t protected_epoch,
                       double now_ms,
                       const std::function<void(const PoolEntry&)>& on_evict);
 

@@ -143,6 +143,11 @@ PoolEntry* RecyclePool::FindExact(Opcode op,
   return nullptr;
 }
 
+bool RecyclePool::HasEntriesFor(Opcode op, uint64_t bat_id) const {
+  auto it = op_arg_index_.find({static_cast<int>(op), bat_id});
+  return it != op_arg_index_.end() && !it->second.empty();
+}
+
 std::vector<PoolEntry*> RecyclePool::FindByOpAndFirstArg(Opcode op,
                                                          uint64_t bat_id) {
   std::vector<PoolEntry*> out;
@@ -248,12 +253,12 @@ std::vector<const PoolEntry*> RecyclePool::Entries() const {
   return out;
 }
 
-std::vector<PoolEntry*> RecyclePool::Leaves(uint64_t protected_query,
+std::vector<PoolEntry*> RecyclePool::Leaves(uint64_t protected_epoch,
                                             bool include_protected) {
   std::vector<PoolEntry*> out;
   for (auto& [id, e] : entries_) {
     if (!e.IsLeaf()) continue;
-    if (!include_protected && e.last_query == protected_query) continue;
+    if (!include_protected && e.last_query >= protected_epoch) continue;
     out.push_back(&e);
   }
   return out;
@@ -298,8 +303,9 @@ std::string RecyclePool::Dump(size_t max_entries) const {
         os << e->args[i].scalar().ToString();
     }
     os << StrFormat(") rows=%zu cost=%.3fms mem=%zuB reuses=%d%s%s",
-                    e->result_rows, e->cost_ms, e->owned_bytes, e->reuses,
-                    e->global_reuse ? " G" : "", e->local_reuse ? " L" : "");
+                    e->result_rows, e->cost_ms, e->owned_bytes,
+                    e->reuses.load(), e->global_reuse.load() ? " G" : "",
+                    e->local_reuse.load() ? " L" : "");
     os << "\n";
   }
   return os.str();

@@ -1,6 +1,7 @@
 #ifndef RECYCLEDB_CORE_RECYCLE_POOL_H_
 #define RECYCLEDB_CORE_RECYCLE_POOL_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -15,6 +16,13 @@ namespace recycledb {
 /// One cached instruction instance: the instruction (opcode + resolved
 /// argument values), its materialised results, and the execution / reuse
 /// statistics driving the admission and eviction policies (paper §3.2).
+///
+/// The reuse statistics are atomics so ConcurrentRecycler can record exact
+/// hits under a *shared* pool lock — the hot path of a hit-heavy concurrent
+/// workload. Everything else (identity, arguments, results, admission
+/// bookkeeping, lineage) is written once at admission and only ever removed
+/// under the exclusive lock, so plain reads are safe wherever the entry is
+/// reachable.
 struct PoolEntry {
   uint64_t id = 0;
   Opcode op{};
@@ -26,24 +34,72 @@ struct PoolEntry {
   size_t owned_bytes = 0;   ///< fresh column bytes this entry introduced
   size_t result_rows = 0;   ///< rows of the first bat result (cost model)
 
-  // --- reuse statistics -----------------------------------------------------
-  int reuses = 0;
-  bool local_reuse = false;   ///< reused within its admitting invocation
-  bool global_reuse = false;  ///< reused by a different invocation
-  int subsumption_uses = 0;   ///< times used as a subsumption source
+  // --- reuse statistics (atomic: updated under a shared lock on hits) -------
+  std::atomic<int> reuses{0};
+  std::atomic<bool> local_reuse{false};   ///< reused within admitting invocation
+  std::atomic<bool> global_reuse{false};  ///< reused by a different invocation
+  std::atomic<int> subsumption_uses{0};   ///< times used as subsumption source
+  std::atomic<uint64_t> last_use_seq{0};  ///< logical clock at last use
+  std::atomic<uint64_t> last_query{0};    ///< invocation id of last admit/use
 
-  // --- bookkeeping ----------------------------------------------------------
+  // --- bookkeeping (written at admission, under the exclusive lock) ---------
   uint64_t admit_seq = 0;     ///< logical clock at admission
-  uint64_t last_use_seq = 0;  ///< logical clock at last use
   double admit_ms = 0;        ///< wall clock at admission (HP ageing)
   uint64_t admit_query = 0;   ///< invocation id that admitted it
-  uint64_t last_query = 0;    ///< invocation id of last admit/use
   uint64_t source_tid = 0;    ///< template id of the source instruction
   int source_pc = 0;          ///< pc of the source instruction
   std::vector<ColumnId> deps; ///< persistent columns it derives from
   int children = 0;           ///< pool entries consuming my results
 
+  PoolEntry() = default;
+  // Atomics are neither movable nor copyable member-wise; entries transfer
+  // by value only at admission (exclusive section) and in tests, where
+  // plain value transfer is exactly right.
+  PoolEntry(PoolEntry&& o) noexcept { *this = std::move(o); }
+  PoolEntry(const PoolEntry& o) { *this = o; }
+  PoolEntry& operator=(PoolEntry&& o) noexcept {
+    CopyScalars(o);
+    args = std::move(o.args);
+    results = std::move(o.results);
+    deps = std::move(o.deps);
+    return *this;
+  }
+  PoolEntry& operator=(const PoolEntry& o) {
+    CopyScalars(o);
+    args = o.args;
+    results = o.results;
+    deps = o.deps;
+    return *this;
+  }
+
   bool IsLeaf() const { return children == 0; }
+
+ private:
+  void CopyScalars(const PoolEntry& o) {
+    id = o.id;
+    op = o.op;
+    cost_ms = o.cost_ms;
+    owned_bytes = o.owned_bytes;
+    result_rows = o.result_rows;
+    reuses.store(o.reuses.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    local_reuse.store(o.local_reuse.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    global_reuse.store(o.global_reuse.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    subsumption_uses.store(o.subsumption_uses.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    last_use_seq.store(o.last_use_seq.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    last_query.store(o.last_query.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    admit_seq = o.admit_seq;
+    admit_ms = o.admit_ms;
+    admit_query = o.admit_query;
+    source_tid = o.source_tid;
+    source_pc = o.source_pc;
+    children = o.children;
+  }
 };
 
 /// The recycle pool: an instruction cache with lineage (paper §4.1).
@@ -63,7 +119,14 @@ class RecyclePool {
   uint64_t Admit(PoolEntry entry);
 
   /// Exact match: same opcode, all argument values equal (bats by identity).
+  /// Only reads the indexes, so it is safe under ConcurrentRecycler's shared
+  /// lock (hit recording on the returned entry uses its atomic fields).
   PoolEntry* FindExact(Opcode op, const std::vector<MalValue>& args);
+
+  /// True when at least one live entry has `op` over first-argument bat
+  /// `bat_id` (cheap subsumption-candidate existence probe; const for the
+  /// shared-lock fast path).
+  bool HasEntriesFor(Opcode op, uint64_t bat_id) const;
 
   /// All live entries with `op` whose first argument is the bat `bat_id`
   /// (subsumption candidate enumeration).
@@ -100,9 +163,13 @@ class RecyclePool {
   std::vector<PoolEntry*> Entries();
   std::vector<const PoolEntry*> Entries() const;
 
-  /// Leaf entries eligible for eviction. Entries whose `last_query` equals
-  /// `protected_query` are excluded unless `include_protected`.
-  std::vector<PoolEntry*> Leaves(uint64_t protected_query,
+  /// Leaf entries eligible for eviction. Entries whose `last_query` is at or
+  /// after `protected_epoch` are excluded unless `include_protected`: with a
+  /// single running query the epoch is that query's id, which reproduces the
+  /// paper's protect-current-query rule (§4.3); with N concurrent queries the
+  /// epoch is the oldest running query's id, so every entry a running query
+  /// may still touch is protected.
+  std::vector<PoolEntry*> Leaves(uint64_t protected_epoch,
                                  bool include_protected);
 
   /// Bytes and entry counts that have seen at least one reuse (the

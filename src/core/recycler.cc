@@ -15,20 +15,56 @@ Recycler::Recycler(RecyclerConfig cfg)
                            cfg.combined_max_candidates,
                            cfg.combined_overhead_rows}) {}
 
-void Recycler::BeginQuery(const Program& prog) {
-  ++query_seq_;
-  cur_template_ = prog.template_id;
+QueryCtx Recycler::BeginQueryCtx(const Program& prog) {
+  (void)prog;
+  QueryCtx ctx;
+  ctx.query_id = ++query_seq_;
+  std::lock_guard<std::mutex> lock(active_mu_);
+  active_queries_.push_back(ctx.query_id);
+  return ctx;
 }
 
-void Recycler::EndQuery() { cur_template_ = 0; }
+void Recycler::EndQueryCtx(const QueryCtx& ctx) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  auto it = std::find(active_queries_.begin(), active_queries_.end(),
+                      ctx.query_id);
+  if (it != active_queries_.end()) active_queries_.erase(it);
+}
 
-void Recycler::RecordHit(PoolEntry* e, bool exact) {
-  bool local = e->admit_query == query_seq_;
+uint64_t Recycler::ProtectedEpoch() const {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  if (active_queries_.empty()) return UINT64_MAX;
+  return *std::min_element(active_queries_.begin(), active_queries_.end());
+}
+
+void Recycler::BeginQuery(const Program& prog) {
+  cur_ctx_ = BeginQueryCtx(prog);
+}
+
+void Recycler::EndQuery() {
+  EndQueryCtx(cur_ctx_);
+  cur_ctx_ = QueryCtx();
+}
+
+bool Recycler::OnEntry(const InstrView& instr, std::vector<MalValue>* results) {
+  return OnEntryCtx(cur_ctx_, instr, results);
+}
+
+void Recycler::OnExit(const InstrView& instr,
+                      const std::vector<MalValue>& results, double cpu_ms,
+                      const std::vector<ColumnId>& deps) {
+  OnExitCtx(cur_ctx_, instr, results, cpu_ms, deps);
+}
+
+void Recycler::RecordHit(const QueryCtx& ctx, PoolEntry* e, bool exact) {
+  bool local = e->admit_query == ctx.query_id;
   ++e->reuses;
-  e->local_reuse |= local;
-  e->global_reuse |= !local;
+  if (local)
+    e->local_reuse = true;
+  else
+    e->global_reuse = true;
   e->last_use_seq = ++clock_;
-  e->last_query = query_seq_;
+  e->last_query = ctx.query_id;
   ledger_.NoteReuse(e->source_tid, e->source_pc, local);
   ++stats_.hits;
   if (exact) ++stats_.exact_hits;
@@ -39,14 +75,51 @@ void Recycler::RecordHit(PoolEntry* e, bool exact) {
   if (exact) stats_.time_saved_ms += e->cost_ms;
 }
 
-bool Recycler::OnEntry(const InstrView& instr, std::vector<MalValue>* results) {
+std::optional<Opcode> Recycler::SubsumptionCandidateOp(Opcode op) {
+  switch (op) {
+    case Opcode::kSelect:
+    case Opcode::kUselect:
+      return Opcode::kSelect;  // TrySelect enumerates kSelect entries
+    case Opcode::kLikeSelect:
+      return Opcode::kLikeSelect;
+    case Opcode::kSemijoin:
+      return Opcode::kSemijoin;
+    default:
+      return std::nullopt;
+  }
+}
+
+Recycler::SharedHit Recycler::TryExactHitShared(const QueryCtx& ctx,
+                                                const InstrView& instr,
+                                                std::vector<MalValue>* results) {
+  SharedHit out;
+  PoolEntry* e = pool_.FindExact(instr.op, *instr.args);
+  if (e == nullptr) return out;
+  *results = e->results;  // shared_ptr copies: safe against later eviction
+  bool local = e->admit_query == ctx.query_id;
+  e->reuses.fetch_add(1, std::memory_order_relaxed);
+  if (local)
+    e->local_reuse.store(true, std::memory_order_relaxed);
+  else
+    e->global_reuse.store(true, std::memory_order_relaxed);
+  e->last_use_seq.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  e->last_query.store(ctx.query_id, std::memory_order_relaxed);
+  out.hit = true;
+  out.local = local;
+  out.saved_ms = e->cost_ms;
+  return out;
+}
+
+bool Recycler::OnEntryCtx(const QueryCtx& ctx, const InstrView& instr,
+                          std::vector<MalValue>* results) {
   ++stats_.monitored;
   StopWatch match_watch;
 
   PoolEntry* e = pool_.FindExact(instr.op, *instr.args);
   if (e != nullptr) {
     *results = e->results;
-    RecordHit(e, /*exact=*/true);
+    RecordHit(ctx, e, /*exact=*/true);
     stats_.match_ms += match_watch.ElapsedMillis();
     return true;
   }
@@ -89,8 +162,8 @@ bool Recycler::OnEntry(const InstrView& instr, std::vector<MalValue>* results) {
   for (PoolEntry* src : outcome->sources) {
     ++src->subsumption_uses;
     src->last_use_seq = ++clock_;
-    bool local = src->admit_query == query_seq_;
-    src->last_query = query_seq_;
+    bool local = src->admit_query == ctx.query_id;
+    src->last_query = ctx.query_id;
     any_local |= local;
     for (const ColumnId& d : src->deps) {
       if (std::find(deps.begin(), deps.end(), d) == deps.end())
@@ -107,14 +180,19 @@ bool Recycler::OnEntry(const InstrView& instr, std::vector<MalValue>* results) {
   // admission policy (§5.1), and the subset lattice learns the new edges:
   // both result ⊆ column-operand (via AdmitResult) and result ⊆ source
   // intermediate, which later enables semijoin subsumption (W ⊂ V).
-  AdmitResult(instr, outcome->results, subsumed_exec_ms, deps,
+  // Capture the source bat ids first: AdmitResult may evict the source
+  // entries (bounded pool, §4.3 all-leaves-protected fallback), and the
+  // lattice keys on bat ids, not entries.
+  std::vector<uint64_t> source_bats;
+  for (PoolEntry* src : outcome->sources) {
+    if (!src->results.empty() && src->results[0].is_bat())
+      source_bats.push_back(src->results[0].bat()->id());
+  }
+  AdmitResult(ctx, instr, outcome->results, subsumed_exec_ms, deps,
               outcome->sources);
   if (!outcome->results.empty() && outcome->results[0].is_bat()) {
-    for (PoolEntry* src : outcome->sources) {
-      if (!src->results.empty() && src->results[0].is_bat()) {
-        pool_.AddSubsetEdge(outcome->results[0].bat()->id(),
-                            src->results[0].bat()->id());
-      }
+    for (uint64_t src_bat : source_bats) {
+      pool_.AddSubsetEdge(outcome->results[0].bat()->id(), src_bat);
     }
   }
 
@@ -122,10 +200,10 @@ bool Recycler::OnEntry(const InstrView& instr, std::vector<MalValue>* results) {
   return true;
 }
 
-void Recycler::OnExit(const InstrView& instr,
-                      const std::vector<MalValue>& results, double cpu_ms,
-                      const std::vector<ColumnId>& deps) {
-  AdmitResult(instr, results, cpu_ms, deps, {});
+void Recycler::OnExitCtx(const QueryCtx& ctx, const InstrView& instr,
+                         const std::vector<MalValue>& results, double cpu_ms,
+                         const std::vector<ColumnId>& deps) {
+  AdmitResult(ctx, instr, results, cpu_ms, deps, {});
 }
 
 size_t Recycler::EstimateNewBytes(const std::vector<MalValue>& results) const {
@@ -136,11 +214,19 @@ size_t Recycler::EstimateNewBytes(const std::vector<MalValue>& results) const {
   return bytes;
 }
 
-bool Recycler::AdmitResult(const InstrView& instr,
+bool Recycler::AdmitResult(const QueryCtx& ctx, const InstrView& instr,
                            const std::vector<MalValue>& results,
                            double cost_ms, const std::vector<ColumnId>& deps,
                            const std::vector<PoolEntry*>& extra_sources) {
   (void)extra_sources;  // sources are kept alive via column borrow edges
+  // A racing invocation may have admitted the same instruction while this
+  // one executed it (both missed, both ran). Keep the incumbent: its entry
+  // may already have reuse statistics, and duplicate keys would make exact
+  // matching ambiguous.
+  if (pool_.FindExact(instr.op, *instr.args) != nullptr) {
+    ++stats_.rejected;
+    return false;
+  }
   if (!ledger_.TryAdmit(instr.prog->template_id, instr.pc)) {
     ++stats_.rejected;
     return false;
@@ -161,8 +247,8 @@ bool Recycler::AdmitResult(const InstrView& instr,
   e.admit_seq = ++clock_;
   e.last_use_seq = e.admit_seq;
   e.admit_ms = NowMillis();
-  e.admit_query = query_seq_;
-  e.last_query = query_seq_;
+  e.admit_query = ctx.query_id;
+  e.last_query = ctx.query_id;
   e.source_tid = instr.prog->template_id;
   e.source_pc = instr.pc;
   e.deps = deps;
@@ -202,20 +288,20 @@ void Recycler::NoteEviction(const PoolEntry& e) {
 }
 
 bool Recycler::EnsureCapacity(size_t bytes_needed) {
-  uint64_t protected_query =
-      cfg_.protect_current_query ? query_seq_ : UINT64_MAX;
+  uint64_t protected_epoch =
+      cfg_.protect_current_query ? ProtectedEpoch() : UINT64_MAX;
   auto on_evict = [this](const PoolEntry& e) { NoteEviction(e); };
 
   if (cfg_.max_entries != 0) {
     EvictForEntries(&pool_, cfg_.eviction, cfg_.max_entries, 1,
-                    protected_query, NowMillis(), on_evict);
+                    protected_epoch, NowMillis(), on_evict);
     if (pool_.num_entries() + 1 > cfg_.max_entries) return false;
   }
   if (cfg_.max_bytes != 0) {
     if (bytes_needed > cfg_.max_bytes) return false;
     if (pool_.total_bytes() + bytes_needed > cfg_.max_bytes) {
       EvictForMemory(&pool_, cfg_.eviction, cfg_.max_bytes, bytes_needed,
-                     protected_query, NowMillis(), on_evict);
+                     protected_epoch, NowMillis(), on_evict);
     }
     if (pool_.total_bytes() + bytes_needed > cfg_.max_bytes) return false;
   }
@@ -299,8 +385,8 @@ void Recycler::PropagateUpdate(Catalog* catalog,
     e.admit_seq = ++clock_;
     e.last_use_seq = e.admit_seq;
     e.admit_ms = NowMillis();
-    e.admit_query = query_seq_;
-    e.last_query = query_seq_;
+    e.admit_query = query_seq_.load(std::memory_order_relaxed);
+    e.last_query = e.admit_query;
     e.source_tid = r.source_tid;
     e.source_pc = r.source_pc;
     e.deps = std::move(r.deps);

@@ -1,6 +1,9 @@
 #ifndef RECYCLEDB_CORE_RECYCLER_H_
 #define RECYCLEDB_CORE_RECYCLER_H_
 
+#include <atomic>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,8 +30,10 @@ struct RecyclerConfig {
   size_t combined_max_candidates = 16;
   size_t combined_overhead_rows = 16;
 
-  /// Protect the running query's intermediates from eviction (§4.3); the
-  /// single-query-fills-pool exception still applies. Ablation knob.
+  /// Protect the running queries' intermediates from eviction (§4.3); the
+  /// single-query-fills-pool exception still applies. With N concurrent
+  /// queries the protection is epoch-based: everything last touched at or
+  /// after the oldest running query is protected. Ablation knob.
   bool protect_current_query = true;
 };
 
@@ -52,20 +57,89 @@ struct RecyclerStats {
   double max_subsume_alg_ms = 0;
 };
 
+/// Identifies one query invocation against the shared pool by its globally
+/// ordered invocation id, which drives local/global reuse classification
+/// and the eviction-protection epoch.
+struct QueryCtx {
+  uint64_t query_id = 0;
+};
+
 /// The recycler run-time support (paper §3.3, Algorithm 1): implements the
 /// RecyclerHook the interpreter wraps around marked instructions, manages
 /// the recycle pool under the configured admission/eviction policies, and
 /// performs instruction subsumption on match misses.
+///
+/// ## Thread-safety contract
+///
+/// Recycler is *thread-compatible*, not thread-safe: every method — including
+/// Clear(), ResetStats() and the introspection accessors while queries are in
+/// flight — requires external synchronisation when the instance is shared
+/// between threads. ConcurrentRecycler provides exactly that (a shared_mutex
+/// protocol) and is the supported way to share one pool across interpreters.
+///
+/// Two properties make external locking sufficient and Clear()/invalidation
+/// safe even "during" an invocation:
+///  - results are handed out as shared_ptr copies, so dropping a pool entry
+///    never invalidates data an in-flight query already holds;
+///  - per-invocation state lives in the caller-held QueryCtx (multi-session
+///    API below), not in the instance, so invocations may interleave freely
+///    as long as individual calls are serialised.
 class Recycler : public RecyclerHook {
  public:
   explicit Recycler(RecyclerConfig cfg = {});
 
-  // --- RecyclerHook (Algorithm 1) ------------------------------------------
+  // --- RecyclerHook (Algorithm 1, single-session convenience) ---------------
+  // These forward to the multi-session API below using an instance-held
+  // current context; they serve the common one-interpreter-one-recycler case.
   void BeginQuery(const Program& prog) override;
   void EndQuery() override;
   bool OnEntry(const InstrView& instr, std::vector<MalValue>* results) override;
   void OnExit(const InstrView& instr, const std::vector<MalValue>& results,
               double cpu_ms, const std::vector<ColumnId>& deps) override;
+
+  // --- multi-session API (used by ConcurrentRecycler) -----------------------
+  // Each concurrent invocation mints its own QueryCtx; calls carrying
+  // different contexts may interleave arbitrarily (and, unlike the rest of
+  // the class, BeginQueryCtx/EndQueryCtx/ProtectedEpoch are themselves
+  // thread-safe: the active-query registry has its own leaf mutex, so
+  // per-query bookkeeping never contends with pool traffic).
+
+  /// Registers a new invocation: mints its query id and marks it active for
+  /// epoch-based eviction protection.
+  QueryCtx BeginQueryCtx(const Program& prog);
+
+  /// Unregisters an invocation, releasing its eviction protection.
+  void EndQueryCtx(const QueryCtx& ctx);
+
+  bool OnEntryCtx(const QueryCtx& ctx, const InstrView& instr,
+                  std::vector<MalValue>* results);
+  void OnExitCtx(const QueryCtx& ctx, const InstrView& instr,
+                 const std::vector<MalValue>& results, double cpu_ms,
+                 const std::vector<ColumnId>& deps);
+
+  /// Outcome of TryExactHitShared; the caller folds it into its own
+  /// (atomic) aggregate statistics.
+  struct SharedHit {
+    bool hit = false;
+    bool local = false;     ///< reuse within the admitting invocation
+    double saved_ms = 0;    ///< original cost of the reused entry
+  };
+
+  /// The pool-entry opcode whose entries can subsume `op`, or nullopt when
+  /// the opcode never subsumes. This is the single source of truth for the
+  /// OnEntryCtx subsumption dispatch below and for ConcurrentRecycler's
+  /// shared-lock candidate-existence probe — keep it in sync with the
+  /// SubsumptionEngine's candidate enumeration when adding subsumable ops.
+  static std::optional<Opcode> SubsumptionCandidateOp(Opcode op);
+
+  /// Exact-match hit path that is safe under a *shared* (read) pool lock:
+  /// the match indexes are only read, per-entry reuse statistics are
+  /// atomics, and the logical clock is atomic. Valid only under KEEPALL
+  /// admission (the credit ledger is not concurrent) — callers gate on
+  /// config().admission. Aggregate RecyclerStats are deliberately NOT
+  /// touched; ConcurrentRecycler accounts the hit on its side.
+  SharedHit TryExactHitShared(const QueryCtx& ctx, const InstrView& instr,
+                              std::vector<MalValue>* results);
 
   // --- update synchronisation (§6) -----------------------------------------
 
@@ -80,14 +154,23 @@ class Recycler : public RecyclerHook {
   void PropagateUpdate(Catalog* catalog, const std::vector<ColumnId>& cols);
 
   /// Empties the pool (benchmark preparation; "empty the recycle pool").
+  /// Safe between invocations, and — under external synchronisation — while
+  /// invocations are in flight: their already-fetched results stay alive via
+  /// shared ownership and subsequent lookups simply miss.
   void Clear();
 
   // --- introspection --------------------------------------------------------
   RecyclePool& pool() { return pool_; }
   const RecyclePool& pool() const { return pool_; }
   const RecyclerStats& stats() const { return stats_; }
+  /// Zeroes the aggregate counters; pool contents and per-entry reuse
+  /// statistics are untouched. Same synchronisation rules as Clear().
   void ResetStats() { stats_ = RecyclerStats(); }
   const RecyclerConfig& config() const { return cfg_; }
+
+  /// Oldest active query id, or UINT64_MAX when no query is running (then
+  /// nothing is protected). Exposed for tests.
+  uint64_t ProtectedEpoch() const;
 
   /// Table I-style dump of the pool.
   std::string DumpPool(size_t max_entries = 24) const {
@@ -95,9 +178,9 @@ class Recycler : public RecyclerHook {
   }
 
  private:
-  void RecordHit(PoolEntry* e, bool exact);
+  void RecordHit(const QueryCtx& ctx, PoolEntry* e, bool exact);
   /// Admits an executed/subsumed result; returns true if stored.
-  bool AdmitResult(const InstrView& instr,
+  bool AdmitResult(const QueryCtx& ctx, const InstrView& instr,
                    const std::vector<MalValue>& results, double cost_ms,
                    const std::vector<ColumnId>& deps,
                    const std::vector<PoolEntry*>& extra_sources);
@@ -113,9 +196,12 @@ class Recycler : public RecyclerHook {
   CreditLedger ledger_;
   SubsumptionEngine subsume_;
   RecyclerStats stats_;
-  uint64_t clock_ = 0;      ///< logical use clock (LRU ordering)
-  uint64_t query_seq_ = 0;  ///< invocation counter (local/global, protection)
-  uint64_t cur_template_ = 0;
+  std::atomic<uint64_t> clock_{0};  ///< logical use clock (LRU ordering)
+  /// Invocation counter (local/global classification, protection epoch).
+  std::atomic<uint64_t> query_seq_{0};
+  mutable std::mutex active_mu_;  ///< guards active_queries_ (leaf lock)
+  std::vector<uint64_t> active_queries_;  ///< ids of in-flight invocations
+  QueryCtx cur_ctx_;        ///< context of the single-session convenience API
 };
 
 }  // namespace recycledb

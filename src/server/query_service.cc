@@ -1,0 +1,169 @@
+#include "server/query_service.h"
+
+#include <utility>
+
+#include "util/timer.h"
+
+namespace recycledb {
+
+QueryService::QueryService(std::unique_ptr<Catalog> catalog, ServiceConfig cfg)
+    : QueryService(catalog.get(), cfg) {
+  owned_catalog_ = std::move(catalog);
+}
+
+QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
+    : catalog_(catalog), cfg_(cfg), recycler_(cfg.recycler) {
+  if (cfg_.num_workers < 1) cfg_.num_workers = 1;
+  if (cfg_.enable_recycler) {
+    // Commits report their invalidated columns here; ApplyUpdate's exclusive
+    // lock makes the pool maintenance atomic w.r.t. query execution.
+    if (cfg_.propagate_updates) {
+      catalog_->SetUpdateListener([this](const std::vector<ColumnId>& cols) {
+        recycler_.PropagateUpdate(catalog_, cols);
+      });
+    } else {
+      catalog_->SetUpdateListener([this](const std::vector<ColumnId>& cols) {
+        recycler_.OnCatalogUpdate(cols);
+      });
+    }
+  }
+  workers_.reserve(cfg_.num_workers);
+  for (int i = 0; i < cfg_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryService::~QueryService() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  if (cfg_.enable_recycler) catalog_->SetUpdateListener(nullptr);
+}
+
+std::future<Result<QueryResult>> QueryService::Submit(
+    const Program* prog, std::vector<Scalar> params) {
+  Task t;
+  t.prog = prog;
+  t.params = std::move(params);
+  std::future<Result<QueryResult>> fut = t.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      t.promise.set_value(Status::Internal("query service is shut down"));
+      return fut;
+    }
+    n_submitted_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push_back(std::move(t));
+    ++outstanding_;
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+std::vector<Result<QueryResult>> QueryService::RunBatch(
+    const std::vector<QueryRequest>& batch) {
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(batch.size());
+  for (const QueryRequest& q : batch) futures.push_back(Submit(q.prog, q.params));
+  std::vector<Result<QueryResult>> out;
+  out.reserve(batch.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+Status QueryService::ApplyUpdate(
+    const std::function<Status(Catalog*)>& mutator) {
+  {
+    std::lock_guard<std::mutex> gate(gate_mu_);
+    ++updates_waiting_;
+  }
+  Status st;
+  {
+    std::unique_lock<std::shared_mutex> lock(update_mu_);
+    st = mutator(catalog_);
+  }
+  {
+    std::lock_guard<std::mutex> gate(gate_mu_);
+    --updates_waiting_;
+  }
+  gate_cv_.notify_all();
+  return st;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.submitted = n_submitted_.load(std::memory_order_relaxed);
+  s.completed = n_completed_.load(std::memory_order_relaxed);
+  s.failed = n_failed_.load(std::memory_order_relaxed);
+  s.instrs = n_instrs_.load(std::memory_order_relaxed);
+  s.pool_hits = n_pool_hits_.load(std::memory_order_relaxed);
+  s.monitored = n_monitored_.load(std::memory_order_relaxed);
+  s.exec_us = exec_us_.load(std::memory_order_relaxed);
+  s.wall_us = wall_us_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void QueryService::WorkerLoop(int worker_idx) {
+  (void)worker_idx;
+  // One interpreter per worker; all sessions share the one recycler.
+  std::unique_ptr<ConcurrentRecycler::Session> session;
+  if (cfg_.enable_recycler) session = recycler_.NewSession();
+  Interpreter interp(catalog_, session.get());
+
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    {
+      // Let a waiting commit through first: shared_mutex acquisition is
+      // reader-preferring on glibc, so back-to-back queries would starve
+      // the exclusive holder without this gate.
+      {
+        std::unique_lock<std::mutex> gate(gate_mu_);
+        gate_cv_.wait(gate, [this] { return updates_waiting_ == 0; });
+      }
+      // Shared hold: commits (exclusive holders) serialise against us.
+      std::shared_lock<std::shared_mutex> qlock(update_mu_);
+      auto r = interp.Run(*task.prog, task.params);
+      const RunStats& rs = interp.last_run();
+      n_instrs_.fetch_add(rs.instrs, std::memory_order_relaxed);
+      n_pool_hits_.fetch_add(rs.pool_hits, std::memory_order_relaxed);
+      n_monitored_.fetch_add(rs.monitored, std::memory_order_relaxed);
+      exec_us_.fetch_add(static_cast<uint64_t>(rs.exec_ms * 1e3),
+                         std::memory_order_relaxed);
+      wall_us_.fetch_add(static_cast<uint64_t>(rs.wall_ms * 1e3),
+                         std::memory_order_relaxed);
+      if (r.ok())
+        n_completed_.fetch_add(1, std::memory_order_relaxed);
+      else
+        n_failed_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(std::move(r));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --outstanding_;
+      if (outstanding_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace recycledb

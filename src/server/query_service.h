@@ -1,0 +1,153 @@
+#ifndef RECYCLEDB_SERVER_QUERY_SERVICE_H_
+#define RECYCLEDB_SERVER_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/concurrent_recycler.h"
+#include "interp/interpreter.h"
+#include "interp/query_result.h"
+#include "mal/program.h"
+
+namespace recycledb {
+
+/// Configuration of the concurrent query service.
+struct ServiceConfig {
+  int num_workers = 4;          ///< fixed-size worker pool
+  bool enable_recycler = true;  ///< share one recycle pool across workers
+  RecyclerConfig recycler;      ///< knobs of the shared recycler
+  /// When set, insert-only commits refresh matching select-over-bind pool
+  /// entries via delta propagation (§6.3) instead of dropping them.
+  bool propagate_updates = false;
+};
+
+/// Cumulative service counters; every field is maintained atomically so the
+/// aggregate can be read while workers run.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;  ///< queries finished with an OK result
+  uint64_t failed = 0;     ///< queries finished with an error Status
+  uint64_t instrs = 0;     ///< instructions interpreted
+  uint64_t pool_hits = 0;  ///< instructions answered from the shared pool
+  uint64_t monitored = 0;  ///< instructions wrapped by the recycler
+  uint64_t exec_us = 0;    ///< Σ per-query instruction execution time
+  uint64_t wall_us = 0;    ///< Σ per-query wall time
+};
+
+/// One query of a synchronous batch.
+struct QueryRequest {
+  const Program* prog = nullptr;  ///< must outlive the request
+  std::vector<Scalar> params;
+};
+
+/// The concurrent query service: owns the catalog and a single shared
+/// recycler, runs a fixed-size worker pool (one Interpreter per worker, as
+/// Interpreter's thread-compatibility contract anticipates), and exposes an
+/// asynchronous Submit plus synchronous batch execution.
+///
+/// ## Threading model
+///
+///  - Submissions enqueue into one mutex-guarded queue; workers pop and run.
+///  - Every query executes under a *shared* hold of the update lock; DML
+///    applied through ApplyUpdate runs under the *exclusive* hold. A commit
+///    therefore waits for in-flight queries, and queries never observe a
+///    half-applied commit — the recycle-pool invalidation the commit
+///    triggers is atomic with respect to query execution.
+///  - Workers share one ConcurrentRecycler (see its header for the pool
+///    locking protocol); each worker talks to it through its own Session.
+///  - Results are immutable snapshots (shared_ptr columns), so a result
+///    returned before a commit stays valid after it.
+class QueryService {
+ public:
+  /// Takes ownership of a loaded catalog. `cfg.num_workers` threads start
+  /// immediately.
+  explicit QueryService(std::unique_ptr<Catalog> catalog,
+                        ServiceConfig cfg = {});
+
+  /// Borrows a catalog the caller keeps alive (benchmarks reuse one loaded
+  /// database across many service configurations). The update listener is
+  /// still installed, and cleared again on destruction.
+  explicit QueryService(Catalog* catalog, ServiceConfig cfg = {});
+
+  /// Drains outstanding work, then stops the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query invocation. `prog` must stay alive until the future
+  /// resolves. Never blocks on query execution.
+  std::future<Result<QueryResult>> Submit(const Program* prog,
+                                          std::vector<Scalar> params);
+
+  /// Runs a batch to completion, preserving request order in the results.
+  /// Queries execute concurrently across the worker pool.
+  std::vector<Result<QueryResult>> RunBatch(
+      const std::vector<QueryRequest>& batch);
+
+  /// Applies DML/DDL through `mutator` under the exclusive update lock:
+  /// waits for in-flight queries, blocks new ones, and lets the commit's
+  /// invalidation (or delta propagation) hit the shared pool atomically.
+  Status ApplyUpdate(const std::function<Status(Catalog*)>& mutator);
+
+  /// Blocks until every submitted query has finished.
+  void Drain();
+
+  Catalog* catalog() { return catalog_; }
+  ConcurrentRecycler& recycler() { return recycler_; }
+  const ConcurrentRecycler& recycler() const { return recycler_; }
+
+  ServiceStats stats() const;
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Task {
+    const Program* prog;
+    std::vector<Scalar> params;
+    std::promise<Result<QueryResult>> promise;
+  };
+
+  void WorkerLoop(int worker_idx);
+
+  std::unique_ptr<Catalog> owned_catalog_;  ///< null when borrowing
+  Catalog* catalog_;
+  ServiceConfig cfg_;
+  ConcurrentRecycler recycler_;
+
+  // Task queue.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Task> queue_;
+  size_t outstanding_ = 0;  ///< queued + running (guarded by queue_mu_)
+  bool stopping_ = false;
+
+  /// Queries hold this shared; ApplyUpdate holds it exclusive. Acquisition
+  /// is reader-preferring on glibc, so workers block on the gate below
+  /// while an update is waiting — otherwise a saturated queue keeps the
+  /// shared count nonzero forever and a commit never lands.
+  std::shared_mutex update_mu_;
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  int updates_waiting_ = 0;  ///< guarded by gate_mu_
+
+  // Atomic counters (see ServiceStats).
+  std::atomic<uint64_t> n_submitted_{0}, n_completed_{0}, n_failed_{0};
+  std::atomic<uint64_t> n_instrs_{0}, n_pool_hits_{0}, n_monitored_{0};
+  std::atomic<uint64_t> exec_us_{0}, wall_us_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_SERVER_QUERY_SERVICE_H_

@@ -1,0 +1,301 @@
+// Concurrency tests for the query service and the shared recycle pool:
+// N workers hammering one pool must produce exactly the serial results, keep
+// sharing intermediates across sessions (hit rate > 0), survive Clear() and
+// ResetStats() mid-flight, and never return stale results when catalog
+// updates interleave with query execution.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/concurrent_recycler.h"
+#include "core/recycler_optimizer.h"
+#include "interp/interpreter.h"
+#include "mal/plan_builder.h"
+#include "server/query_service.h"
+#include "util/rng.h"
+
+namespace recycledb {
+namespace {
+
+/// A small two-column database; deterministic for a given seed so a shadow
+/// copy built with the same seed is value-identical.
+std::unique_ptr<Catalog> MakeDb(uint64_t seed = 6, int rows = 3000) {
+  auto cat = std::make_unique<Catalog>();
+  cat->CreateTable("t", {{"a", TypeTag::kInt}, {"b", TypeTag::kInt}});
+  Rng rng(seed);
+  std::vector<int32_t> a(rows), b(rows);
+  for (int i = 0; i < rows; ++i) {
+    a[i] = static_cast<int32_t>(rng.UniformRange(0, 999));
+    b[i] = static_cast<int32_t>(rng.UniformRange(0, 999));
+  }
+  EXPECT_TRUE(cat->LoadColumn<int32_t>("t", "a", std::move(a)).ok());
+  EXPECT_TRUE(cat->LoadColumn<int32_t>("t", "b", std::move(b)).ok());
+  return cat;
+}
+
+/// sum(b) over rows with a in [A0, A1].
+Program BuildSumTemplate() {
+  PlanBuilder pb("range_sum");
+  int lo = pb.Param("A0");
+  int hi = pb.Param("A1");
+  int a = pb.Bind("t", "a");
+  int sel = pb.Select(a, lo, hi, true, true);
+  int cand = pb.Reverse(pb.MarkT(sel, 0));
+  int bb = pb.Join(cand, pb.Bind("t", "b"));
+  pb.ExportValue(pb.AggrSum(bb), "s");
+  Program p = pb.Build();
+  MarkForRecycling(&p);
+  return p;
+}
+
+/// count(*) over rows with a in [A0, A1].
+Program BuildCountTemplate() {
+  PlanBuilder pb("range_count");
+  int lo = pb.Param("A0");
+  int hi = pb.Param("A1");
+  int a = pb.Bind("t", "a");
+  int sel = pb.Select(a, lo, hi, true, true);
+  pb.ExportValue(pb.AggrCount(sel), "c");
+  Program p = pb.Build();
+  MarkForRecycling(&p);
+  return p;
+}
+
+/// sum(b) over the whole table (parameter-independent: fully recyclable,
+/// and fully invalidated by any update of t).
+Program BuildTotalTemplate() {
+  PlanBuilder pb("total_sum");
+  int b = pb.Bind("t", "b");
+  pb.ExportValue(pb.AggrSum(b), "s");
+  Program p = pb.Build();
+  MarkForRecycling(&p);
+  return p;
+}
+
+/// A repeated workload over a small parameter space, so concurrent sessions
+/// keep re-encountering each other's intermediates.
+std::vector<QueryRequest> MakeWorkload(const Program* sum_prog,
+                                       const Program* count_prog, int n,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryRequest> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int lo = 100 * static_cast<int>(rng.UniformRange(0, 8));
+    int hi = lo + 100 + 50 * static_cast<int>(rng.UniformRange(0, 3));
+    QueryRequest q;
+    q.prog = rng.Bernoulli(0.5) ? sum_prog : count_prog;
+    q.params = {Scalar::Int(lo), Scalar::Int(hi)};
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+const Scalar& ResultScalar(const Result<QueryResult>& r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  const QueryResult& qr = r.value();
+  EXPECT_EQ(qr.values.size(), 1u);
+  return qr.values[0].second.scalar();
+}
+
+TEST(QueryServiceTest, ConcurrentMatchesSerialAndSharesPool) {
+  Program sum_prog = BuildSumTemplate();
+  Program count_prog = BuildCountTemplate();
+  std::vector<QueryRequest> workload =
+      MakeWorkload(&sum_prog, &count_prog, 200, 99);
+
+  // Serial ground truth on an identical shadow database, no recycler.
+  auto shadow = MakeDb();
+  Interpreter serial(shadow.get());
+  std::vector<Scalar> expected;
+  expected.reserve(workload.size());
+  for (const QueryRequest& q : workload) {
+    auto r = serial.Run(*q.prog, q.params).ValueOrDie();
+    expected.push_back(r.values[0].second.scalar());
+  }
+
+  ServiceConfig cfg;
+  cfg.num_workers = 4;
+  QueryService svc(MakeDb(), cfg);
+  std::vector<Result<QueryResult>> results = svc.RunBatch(workload);
+
+  ASSERT_EQ(results.size(), workload.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(ResultScalar(results[i]), expected[i]) << "query " << i;
+  }
+
+  RecyclerStats rs = svc.recycler().stats();
+  EXPECT_GT(rs.hits, 0u) << "shared pool produced no reuse";
+  EXPECT_GT(rs.global_hits, 0u) << "no reuse across invocations";
+  ServiceStats ss = svc.stats();
+  EXPECT_EQ(ss.completed, workload.size());
+  EXPECT_EQ(ss.failed, 0u);
+  EXPECT_GT(ss.pool_hits, 0u);
+}
+
+TEST(QueryServiceTest, SubmitFutureResolvesWithResult) {
+  Program total = BuildTotalTemplate();
+  QueryService svc(MakeDb(), ServiceConfig{});
+  auto f1 = svc.Submit(&total, {});
+  auto f2 = svc.Submit(&total, {});
+  Scalar s1 = ResultScalar(f1.get());
+  Scalar s2 = ResultScalar(f2.get());
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(QueryServiceTest, SharedPoolSurvivesClearAndResetMidFlight) {
+  Program sum_prog = BuildSumTemplate();
+  Program count_prog = BuildCountTemplate();
+  std::vector<QueryRequest> workload =
+      MakeWorkload(&sum_prog, &count_prog, 300, 17);
+
+  auto shadow = MakeDb();
+  Interpreter serial(shadow.get());
+  std::vector<Scalar> expected;
+  for (const QueryRequest& q : workload) {
+    auto r = serial.Run(*q.prog, q.params).ValueOrDie();
+    expected.push_back(r.values[0].second.scalar());
+  }
+
+  ServiceConfig cfg;
+  cfg.num_workers = 4;
+  QueryService svc(MakeDb(), cfg);
+
+  // Hammer Clear()/ResetStats() while the batch runs: results must be
+  // unaffected (the pool is a cache, never the source of truth).
+  std::atomic<bool> done{false};
+  std::thread clearer([&] {
+    while (!done.load()) {
+      svc.recycler().Clear();
+      svc.recycler().ResetStats();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<Result<QueryResult>> results = svc.RunBatch(workload);
+  done.store(true);
+  clearer.join();
+
+  ASSERT_EQ(results.size(), workload.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(ResultScalar(results[i]), expected[i]) << "query " << i;
+  }
+}
+
+TEST(QueryServiceTest, UpdatesInterleavedWithQueriesNeverStale) {
+  Program total = BuildTotalTemplate();
+  const int kCommits = 20;
+  const int kRowsPerCommit = 5;
+
+  // Precompute the only sums a query may legally observe: the state after
+  // each commit. Any other value means a query saw a half-applied commit or
+  // a stale (non-invalidated) pool entry.
+  auto db = MakeDb();
+  Interpreter probe(db.get());
+  std::vector<int64_t> valid;
+  valid.push_back(
+      probe.Run(total, {}).ValueOrDie().values[0].second.scalar().AsLng());
+  // Deterministic rows per commit; replayed identically below.
+  auto rows_for = [](int commit) {
+    std::vector<std::vector<Scalar>> rows;
+    for (int r = 0; r < kRowsPerCommit; ++r) {
+      rows.push_back({Scalar::Int(commit), Scalar::Int(1000 * commit + r)});
+    }
+    return rows;
+  };
+  for (int c = 1; c <= kCommits; ++c) {
+    int64_t delta = 0;
+    for (int r = 0; r < kRowsPerCommit; ++r) delta += 1000 * c + r;
+    valid.push_back(valid.back() + delta);
+  }
+
+  ServiceConfig cfg;
+  cfg.num_workers = 4;
+  QueryService svc(MakeDb(), cfg);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto r = svc.Submit(&total, {}).get();
+        if (!r.ok()) {
+          ++bad;
+          continue;
+        }
+        int64_t s = r.value().values[0].second.scalar().AsLng();
+        if (std::find(valid.begin(), valid.end(), s) == valid.end()) ++bad;
+      }
+    });
+  }
+
+  for (int c = 1; c <= kCommits; ++c) {
+    Status st = svc.ApplyUpdate([&](Catalog* cat) {
+      RDB_RETURN_NOT_OK(cat->Append("t", rows_for(c)));
+      return cat->Commit();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(bad.load(), 0) << "a query observed a stale or torn result";
+
+  // After all commits, a fresh query must see the final state.
+  auto last = svc.Submit(&total, {}).get();
+  EXPECT_EQ(last.value().values[0].second.scalar().AsLng(), valid.back());
+
+  RecyclerStats rs = svc.recycler().stats();
+  EXPECT_GT(rs.invalidated, 0u) << "commits never invalidated pool entries";
+  EXPECT_GT(rs.hits, 0u);
+}
+
+TEST(ConcurrentRecyclerTest, EpochProtectionTracksOldestActiveQuery) {
+  Recycler rec;
+  EXPECT_EQ(rec.ProtectedEpoch(), UINT64_MAX) << "idle pool: nothing protected";
+  PlanBuilder pb("p");
+  pb.ExportValue(pb.ConstInt(1), "x");
+  Program prog = pb.Build();
+  QueryCtx q1 = rec.BeginQueryCtx(prog);
+  QueryCtx q2 = rec.BeginQueryCtx(prog);
+  EXPECT_EQ(rec.ProtectedEpoch(), q1.query_id);
+  rec.EndQueryCtx(q1);
+  EXPECT_EQ(rec.ProtectedEpoch(), q2.query_id);
+  rec.EndQueryCtx(q2);
+  EXPECT_EQ(rec.ProtectedEpoch(), UINT64_MAX);
+}
+
+TEST(ConcurrentRecyclerTest, BoundedPoolUnderConcurrencyStaysConsistent) {
+  // A tiny bounded pool forces constant admission/eviction churn from all
+  // workers; the service must still produce exact results.
+  Program sum_prog = BuildSumTemplate();
+  Program count_prog = BuildCountTemplate();
+  std::vector<QueryRequest> workload =
+      MakeWorkload(&sum_prog, &count_prog, 200, 23);
+
+  auto shadow = MakeDb();
+  Interpreter serial(shadow.get());
+  std::vector<Scalar> expected;
+  for (const QueryRequest& q : workload) {
+    auto r = serial.Run(*q.prog, q.params).ValueOrDie();
+    expected.push_back(r.values[0].second.scalar());
+  }
+
+  ServiceConfig cfg;
+  cfg.num_workers = 4;
+  cfg.recycler.max_entries = 8;
+  cfg.recycler.eviction = EvictionKind::kBenefit;
+  QueryService svc(MakeDb(), cfg);
+  std::vector<Result<QueryResult>> results = svc.RunBatch(workload);
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(ResultScalar(results[i]), expected[i]) << "query " << i;
+  }
+  EXPECT_LE(svc.recycler().pool_entries(), 8u);
+}
+
+}  // namespace
+}  // namespace recycledb
