@@ -12,6 +12,7 @@
 
 #include "bench/bench_common.h"
 #include "server/query_service.h"
+#include "util/str.h"
 
 using namespace recycledb;         // NOLINT
 using namespace recycledb::bench;  // NOLINT
@@ -109,6 +110,86 @@ int EnvMaxWorkers(int def = 8) {
   return n < 1 ? def : n;  // unparsable/zero: fall back to the default
 }
 
+/// Mixed ad-hoc SQL workload through SubmitSql: a handful of TPC-H-style
+/// query patterns, each instantiated with literals drawn from small pools.
+/// Every line is distinct text, but normalisation maps it onto one of a few
+/// fingerprints — the compile-once, share-everywhere behaviour the plan
+/// cache exists for (compiles ≪ submissions), feeding the recycler the same
+/// inter-query commonality the hand-built templates have.
+void RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
+  ServiceConfig cfg;
+  cfg.num_workers = workers;
+  QueryService svc(cat, cfg);
+  Rng rng(4242);
+
+  auto query = [&](int pattern) -> std::string {
+    int y = 1993 + static_cast<int>(rng.Uniform(4));
+    switch (pattern) {
+      case 0:  // Q6-style: fully parameter dependent
+        return StrFormat(
+            "select sum(l_extendedprice * l_discount) from lineitem "
+            "where l_shipdate >= date '%d-01-01' and l_shipdate < date "
+            "'%d-01-01' and l_discount between %.2f and %.2f and "
+            "l_quantity < %d",
+            y, y + 1, 0.02 + 0.01 * rng.Uniform(3),
+            0.05 + 0.01 * rng.Uniform(3), 24 + static_cast<int>(rng.Uniform(2)));
+      case 1:  // Q1-style: grouped aggregation
+        return StrFormat(
+            "select l_returnflag, l_linestatus, sum(l_quantity), count(*) "
+            "from lineitem where l_shipdate <= date '1998-%02d-01' "
+            "group by l_returnflag, l_linestatus",
+            1 + static_cast<int>(rng.Uniform(12)));
+      case 2:  // Q18 prefix: no literals at all — fully recyclable
+        return "select l_orderkey, sum(l_quantity) from lineitem "
+               "group by l_orderkey limit 10";
+      case 3:  // FK join through the li_orders index
+        return StrFormat(
+            "select count(*) from lineitem inner join orders "
+            "on l_orderkey = o_orderkey where o_orderdate >= date "
+            "'%d-01-01' and o_orderdate < date '%d-07-01'",
+            y, y);
+      default:  // order-priority histogram over a quarter
+        return StrFormat(
+            "select o_orderpriority, count(*) from orders where o_orderdate "
+            "between date '%d-01-01' and date '%d-03-01' "
+            "group by o_orderpriority",
+            y, y);
+    }
+  };
+
+  StopWatch sw;
+  std::vector<std::future<Result<QueryResult>>> futs;
+  futs.reserve(n_queries);
+  for (int i = 0; i < n_queries; ++i) futs.push_back(svc.SubmitSql(query(i % 5)));
+  for (auto& f : futs) {
+    auto r = f.get();
+    if (!r.ok()) {
+      std::fprintf(stderr, "sql query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  double secs = sw.ElapsedSeconds();
+
+  ServiceStats s = svc.stats();
+  RecyclerStats rs = svc.recycler().stats();
+  std::printf("SQL plan cache (%d workers, 5 patterns, %d submissions)\n",
+              workers, n_queries);
+  std::printf(
+      "  qps=%.1f  compiles=%llu  plan-hits=%llu  invalidations=%llu  "
+      "(compiles/submissions = %.1f%%)\n",
+      n_queries / secs, static_cast<unsigned long long>(s.plan_compiles),
+      static_cast<unsigned long long>(s.plan_hits),
+      static_cast<unsigned long long>(s.plan_invalidations),
+      100.0 * static_cast<double>(s.plan_compiles) /
+          static_cast<double>(s.plan_lookups));
+  std::printf(
+      "  recycler: monitored=%llu pool-hits=%llu (hit ratio %.2f)\n",
+      static_cast<unsigned long long>(rs.monitored),
+      static_cast<unsigned long long>(rs.hits),
+      rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0);
+}
+
 }  // namespace
 
 int main() {
@@ -150,6 +231,8 @@ int main() {
                 hot_4w / hot_1w,
                 hot_4w / hot_1w > 1.5 ? "(scales)" : "(NOT scaling)");
   }
+  RunSqlPlanCachePhase(cat.get(), std::min(4, max_workers), 500);
+
   if (std::thread::hardware_concurrency() < 4) {
     std::printf(
         "note: this host exposes %u hardware thread(s); worker counts above\n"

@@ -1,0 +1,176 @@
+// Interactive SQL shell over the concurrent query service: loads TPC-H or
+// SkyServer data, runs each line through QueryService::SubmitSql (shared
+// plan-template cache + shared recycle pool), and prints results with
+// per-query timing and recycler statistics.
+//
+//   ./sql_shell                    # TPC-H at RDB_TPCH_SF (default 0.01)
+//   ./sql_shell --db=sky           # SkyServer photoobj/elredshift/dbobjects
+//   ./sql_shell --workers=8
+//
+// Shell commands:
+//   .help            this text
+//   .stats           service, plan-cache, and recycle-pool counters
+//   .plan SELECT ... print the compiled MAL listing without running it
+//   .tables          list tables and row counts
+//   .quit            exit (EOF works too)
+//
+// The REPL reads one statement per line. Queries to try against the TPC-H
+// database (each is one input line; wrapped here only to fit the comment):
+//
+//   select l_returnflag, count(*), sum(l_quantity) from lineitem where
+//   l_shipdate <= date '1998-09-02' group by l_returnflag
+//
+//   select sum(l_extendedprice * l_discount) from lineitem where l_shipdate
+//   >= date '1994-01-01' and l_discount between 0.05 and 0.07
+//
+//   select count(*) from lineitem inner join orders on l_orderkey =
+//   o_orderkey where o_orderdate >= date '1995-01-01'
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/query_service.h"
+#include "skyserver/skyserver.h"
+#include "sql/planner.h"
+#include "tpch/tpch.h"
+#include "util/timer.h"
+
+using namespace recycledb;  // NOLINT
+
+namespace {
+
+void PrintStats(const QueryService& svc) {
+  ServiceStats s = svc.stats();
+  RecyclerStats rs = svc.recycler().stats();
+  std::printf("service:     submitted=%llu completed=%llu failed=%llu\n",
+              static_cast<unsigned long long>(s.submitted),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.failed));
+  std::printf(
+      "plan cache:  lookups=%llu hits=%llu compiles=%llu invalidations=%llu "
+      "cached=%zu\n",
+      static_cast<unsigned long long>(s.plan_lookups),
+      static_cast<unsigned long long>(s.plan_hits),
+      static_cast<unsigned long long>(s.plan_compiles),
+      static_cast<unsigned long long>(s.plan_invalidations),
+      svc.plan_cache().size());
+  std::printf(
+      "recycler:    monitored=%llu pool-hits=%llu entries=%zu bytes=%zu\n",
+      static_cast<unsigned long long>(rs.monitored),
+      static_cast<unsigned long long>(rs.hits), svc.recycler().pool_entries(),
+      svc.recycler().pool_bytes());
+}
+
+void PrintHelp() {
+  std::printf(
+      ".help            this text\n"
+      ".stats           service, plan-cache, and recycle-pool counters\n"
+      ".plan SELECT ... print the compiled MAL listing without running it\n"
+      ".tables          list tables and row counts\n"
+      ".quit            exit\n"
+      "anything else is parsed as SQL and submitted to the service.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db = "tpch";
+  double sf = 0.01;
+  if (const char* v = std::getenv("RDB_TPCH_SF")) sf = std::atof(v);
+  size_t objects = 50000;
+  int workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--db=", 5) == 0) db = a + 5;
+    else if (std::strncmp(a, "--sf=", 5) == 0) sf = std::atof(a + 5);
+    else if (std::strncmp(a, "--objects=", 10) == 0)
+      objects = static_cast<size_t>(std::atoll(a + 10));
+    else if (std::strncmp(a, "--workers=", 10) == 0) workers = std::atoi(a + 10);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--db=tpch|sky] [--sf=N] [--objects=N] "
+                   "[--workers=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto cat = std::make_unique<Catalog>();
+  std::printf("loading %s...\n", db.c_str());
+  Status st;
+  if (db == "sky") {
+    skyserver::SkyConfig cfg;
+    cfg.n_objects = objects;
+    st = skyserver::LoadSkyServer(cat.get(), cfg);
+  } else {
+    tpch::TpchConfig cfg;
+    cfg.scale_factor = sf;
+    st = tpch::LoadTpch(cat.get(), cfg);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  ServiceConfig cfg;
+  cfg.num_workers = workers;
+  QueryService svc(std::move(cat), cfg);
+  std::printf("ready (%d workers). \".help\" lists shell commands.\n",
+              svc.num_workers());
+
+  std::string line;
+  while (true) {
+    std::printf("sql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    line = line.substr(b);
+
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".help") {
+      PrintHelp();
+      continue;
+    }
+    if (line == ".stats") {
+      PrintStats(svc);
+      continue;
+    }
+    if (line == ".tables") {
+      for (const char* t :
+           {"region", "nation", "supplier", "customer", "part", "partsupp",
+            "orders", "lineitem", "photoobj", "elredshift", "dbobjects"}) {
+        const Table* tab = svc.catalog()->FindTable(t);
+        if (tab != nullptr)
+          std::printf("  %-12s %zu rows, %zu columns\n", t, tab->num_rows(),
+                      tab->num_columns());
+      }
+      continue;
+    }
+    if (line.rfind(".plan", 0) == 0) {
+      std::string text = line.substr(5);
+      auto q = sql::CompileSql(svc.catalog(), text);
+      if (!q.ok()) {
+        std::printf("error: %s\n", q.status().ToString().c_str());
+        continue;
+      }
+      std::printf("fingerprint: %s\n%s", q.value().fingerprint.c_str(),
+                  q.value().plan.prog.ToString(true).c_str());
+      continue;
+    }
+
+    StopWatch sw;
+    Result<QueryResult> r = svc.RunSql(line);
+    double ms = sw.ElapsedSeconds() * 1e3;
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s(%.2f ms)\n", r.value().ToString().c_str(), ms);
+  }
+  std::printf("\n");
+  PrintStats(svc);
+  return 0;
+}

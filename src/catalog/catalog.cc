@@ -190,6 +190,29 @@ Result<ColumnId> Catalog::GetIndexId(const std::string& index) const {
                   kIndexColBase + it->second};
 }
 
+Result<std::string> Catalog::FindFkIndex(const std::string& child_table,
+                                         const std::string& child_col,
+                                         const std::string& parent_table,
+                                         const std::string& parent_col) const {
+  const Table* c = FindTable(child_table);
+  const Table* p = FindTable(parent_table);
+  if (c == nullptr || p == nullptr)
+    return Status::NotFound("fk index tables");
+  int cc = c->FindColumn(child_col);
+  int pc = p->FindColumn(parent_col);
+  if (cc < 0 || pc < 0) return Status::NotFound("fk index key columns");
+  for (const FkIndex& idx : indices_) {
+    if (idx.child_table == c->id() && idx.parent_table == p->id() &&
+        idx.child_key == cc && idx.parent_key == pc) {
+      return idx.name;
+    }
+  }
+  return Status::NotFound(StrFormat(
+      "no foreign-key join index registered for %s.%s -> %s.%s",
+      child_table.c_str(), child_col.c_str(), parent_table.c_str(),
+      parent_col.c_str()));
+}
+
 Result<BatPtr> Catalog::BindColumn(const std::string& table,
                                    const std::string& column) {
   const Table* t = FindTable(table);

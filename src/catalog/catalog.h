@@ -119,6 +119,15 @@ class Catalog {
   /// The pseudo column id under which a join index registers.
   Result<ColumnId> GetIndexId(const std::string& index) const;
 
+  /// The registered FK join index implementing the N:1 hop
+  /// `child_table.child_col -> parent_table.parent_col`, by name. The SQL
+  /// binder uses this to lower INNER JOIN ... ON clauses; like the other
+  /// readers it must be externally serialised against DDL.
+  Result<std::string> FindFkIndex(const std::string& child_table,
+                                  const std::string& child_col,
+                                  const std::string& parent_table,
+                                  const std::string& parent_col) const;
+
   // --- DML (delta-based) -----------------------------------------------------
 
   /// Queues row inserts into the table's pending delta.
@@ -146,6 +155,11 @@ class Catalog {
   void SetUpdateListener(std::function<void(const std::vector<ColumnId>&)> fn) {
     listener_ = std::move(fn);
   }
+
+  /// Whether an update listener is currently installed. QueryService uses
+  /// this to reject a second service attaching to the same catalog, which
+  /// would silently disconnect the first one's invalidation hook.
+  bool HasUpdateListener() const { return static_cast<bool>(listener_); }
 
   size_t TotalPersistentBytes() const;
 

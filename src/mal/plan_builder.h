@@ -58,6 +58,18 @@ class PlanBuilder {
   int Mirror(int b);
   int SliceN(int b, int64_t lo, int64_t hi);
 
+  // --- candidate-list idioms (Fig. 1) --------------------------------------
+  // Shared by the SQL planner and the hand-built templates; the recycler's
+  // cross-template pool hits rely on every producer emitting these
+  // byte-identical instruction shapes.
+
+  /// Selection subset [row -> v] => dense candidate list [cand -> row].
+  int Recand(int subset) { return Reverse(MarkT(subset, 0)); }
+
+  /// Renumbers a filtered candidate list [cand -> row] => [cand' -> row]
+  /// with a fresh dense head.
+  int Rebase(int cand) { return Reverse(MarkT(Reverse(cand), 0)); }
+
   // --- distinct / grouping -------------------------------------------------
   int Kunique(int b);
   /// Returns (map, reps).

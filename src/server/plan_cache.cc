@@ -1,0 +1,76 @@
+#include "server/plan_cache.h"
+
+#include <algorithm>
+
+namespace recycledb {
+
+PlanCache::EntryPtr PlanCache::Lookup(const std::string& fingerprint) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = plans_.find(fingerprint);
+  if (it == plans_.end()) return nullptr;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+PlanCache::EntryPtr PlanCache::Insert(const std::string& fingerprint,
+                                      Entry entry) {
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  auto sp = std::make_shared<const Entry>(std::move(entry));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = plans_.emplace(fingerprint, sp);
+  return inserted ? sp : it->second;
+}
+
+void PlanCache::Invalidate(const std::vector<ColumnId>& cols) {
+  if (cols.empty()) return;
+  std::vector<int32_t> tables;
+  tables.reserve(cols.size());
+  for (const ColumnId& c : cols) tables.push_back(c.table);
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    const std::vector<int32_t>& deps = it->second->table_ids;
+    bool affected = std::any_of(deps.begin(), deps.end(), [&](int32_t t) {
+      return std::binary_search(tables.begin(), tables.end(), t);
+    });
+    if (affected) {
+      it = plans_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+void PlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  plans_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return plans_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.compiles = compiles_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PlanCache::ResetStats() {
+  lookups_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  compiles_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace recycledb

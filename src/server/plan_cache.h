@@ -1,0 +1,77 @@
+#ifndef RECYCLEDB_SERVER_PLAN_CACHE_H_
+#define RECYCLEDB_SERVER_PLAN_CACHE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "mal/program.h"
+
+namespace recycledb {
+
+/// Cumulative plan-cache counters (atomically maintained; readable while
+/// the service runs).
+struct PlanCacheStats {
+  uint64_t lookups = 0;        ///< fingerprint probes
+  uint64_t hits = 0;           ///< probes answered by a cached plan
+  uint64_t compiles = 0;       ///< plans compiled and inserted
+  uint64_t invalidations = 0;  ///< cached plans dropped by commits/DDL
+};
+
+/// The shared plan-template cache: maps a normalised query fingerprint to
+/// one compiled, recycler-marked Program shared by every session and worker
+/// (MonetDB's compiled-query cache, which the paper's recycler sits behind —
+/// parameterised plans are what make pool hits across query instances
+/// possible at all).
+///
+/// Entries are immutable once inserted and handed out by shared_ptr, so a
+/// query keeps executing its plan safely even if a concurrent commit drops
+/// the entry. Invalidation is driven by the catalog's update listener with
+/// the same ColumnIds the recycle pool sees; QueryService calls it under the
+/// exclusive update lock, making it atomic w.r.t. in-flight queries.
+class PlanCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const Program> prog;
+    /// Positional parameter types; literal i of a matching statement binds
+    /// parameter i coerced to param_types[i] (sql::BindLiterals).
+    std::vector<TypeTag> param_types;
+    /// Tables the plan reads; any commit touching one drops the entry.
+    std::vector<int32_t> table_ids;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  /// Returns the cached entry or nullptr. Counts a lookup (and a hit).
+  EntryPtr Lookup(const std::string& fingerprint);
+
+  /// Inserts a freshly compiled plan and counts a compile. Under a racing
+  /// double-compile the first insert wins and the loser's entry is
+  /// discarded, so every submitter shares one Program; the returned entry is
+  /// always the winner.
+  EntryPtr Insert(const std::string& fingerprint, Entry entry);
+
+  /// Drops every plan reading a table named in `cols` (ColumnId::table; join
+  /// index pseudo-columns carry their child table, which invalidation
+  /// already covers).
+  void Invalidate(const std::vector<ColumnId>& cols);
+
+  /// Drops everything (stats are kept; see ResetStats).
+  void Clear();
+
+  size_t size() const;
+  PlanCacheStats stats() const;
+  void ResetStats();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, EntryPtr> plans_;
+  std::atomic<uint64_t> lookups_{0}, hits_{0}, compiles_{0}, invalidations_{0};
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_SERVER_PLAN_CACHE_H_

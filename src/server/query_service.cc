@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace recycledb {
@@ -14,19 +17,24 @@ QueryService::QueryService(std::unique_ptr<Catalog> catalog, ServiceConfig cfg)
 QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
     : catalog_(catalog), cfg_(cfg), recycler_(cfg.recycler) {
   if (cfg_.num_workers < 1) cfg_.num_workers = 1;
-  if (cfg_.enable_recycler) {
-    // Commits report their invalidated columns here; ApplyUpdate's exclusive
-    // lock makes the pool maintenance atomic w.r.t. query execution.
+  // At most one service may drive a catalog at a time (see the borrowing
+  // constructor's contract): a second attach would silently disconnect the
+  // first service's invalidation hook, so fail loudly instead.
+  RDB_CHECK(!catalog_->HasUpdateListener());
+  // Commits and DDL report their invalidated columns here; ApplyUpdate's
+  // exclusive lock makes the pool and plan-cache maintenance atomic w.r.t.
+  // query execution. The plan cache is invalidated even with the recycler
+  // off: a cached plan over a dropped/changed table must never be reused
+  // without recompilation.
+  catalog_->SetUpdateListener([this](const std::vector<ColumnId>& cols) {
+    plan_cache_.Invalidate(cols);
+    if (!cfg_.enable_recycler) return;
     if (cfg_.propagate_updates) {
-      catalog_->SetUpdateListener([this](const std::vector<ColumnId>& cols) {
-        recycler_.PropagateUpdate(catalog_, cols);
-      });
+      recycler_.PropagateUpdate(catalog_, cols);
     } else {
-      catalog_->SetUpdateListener([this](const std::vector<ColumnId>& cols) {
-        recycler_.OnCatalogUpdate(cols);
-      });
+      recycler_.OnCatalogUpdate(cols);
     }
-  }
+  });
   workers_.reserve(cfg_.num_workers);
   for (int i = 0; i < cfg_.num_workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -41,7 +49,7 @@ QueryService::~QueryService() {
   }
   queue_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
-  if (cfg_.enable_recycler) catalog_->SetUpdateListener(nullptr);
+  catalog_->SetUpdateListener(nullptr);
 }
 
 std::future<Result<QueryResult>> QueryService::Submit(
@@ -49,6 +57,10 @@ std::future<Result<QueryResult>> QueryService::Submit(
   Task t;
   t.prog = prog;
   t.params = std::move(params);
+  return Enqueue(std::move(t));
+}
+
+std::future<Result<QueryResult>> QueryService::Enqueue(Task t) {
   std::future<Result<QueryResult>> fut = t.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -62,6 +74,66 @@ std::future<Result<QueryResult>> QueryService::Submit(
   }
   queue_cv_.notify_one();
   return fut;
+}
+
+std::future<Result<QueryResult>> QueryService::SubmitSql(
+    const std::string& text) {
+  // Parse/compile/bind rejections count as submitted+failed, so operators
+  // watching ServiceStats see errored SQL, not only worker-side failures.
+  auto fail = [this](Status st) {
+    n_submitted_.fetch_add(1, std::memory_order_relaxed);
+    n_failed_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<Result<QueryResult>> p;
+    std::future<Result<QueryResult>> f = p.get_future();
+    p.set_value(std::move(st));
+    return f;
+  };
+
+  auto parsed = sql::ParseSelect(text);
+  if (!parsed.ok()) return fail(parsed.status());
+  const sql::SelectStmt& stmt = parsed.value();
+  std::string fp = sql::Fingerprint(stmt);
+
+  PlanCache::EntryPtr entry;
+  std::vector<Scalar> params;
+  {
+    // Compilation reads catalog metadata, so it takes the same shared hold
+    // queries execute under; a commit can therefore not change the schema
+    // mid-compile. The hold is released before enqueueing — a plan that a
+    // later commit invalidates stays executable (binds resolve by name at
+    // run time; a dropped table surfaces as a clean NotFound result).
+    WaitForUpdateGate();
+    std::shared_lock<std::shared_mutex> lock(update_mu_);
+    entry = plan_cache_.Lookup(fp);
+    if (entry == nullptr) {
+      std::vector<Scalar> own;
+      auto plan = sql::CompileStmt(catalog_, stmt, &own);
+      if (!plan.ok()) return fail(plan.status());
+      PlanCache::Entry e;
+      e.prog = std::make_shared<const Program>(std::move(plan.value().prog));
+      e.param_types = std::move(plan.value().param_types);
+      e.table_ids = std::move(plan.value().table_ids);
+      // Under a compile race the first insert wins; our parameter vector
+      // still fits the winner (same fingerprint => same canonical literal
+      // order and types).
+      entry = plan_cache_.Insert(fp, std::move(e));
+      params = std::move(own);
+    } else {
+      auto bound = sql::BindLiterals(stmt, entry->param_types);
+      if (!bound.ok()) return fail(bound.status());
+      params = std::move(bound).value();
+    }
+  }
+
+  Task t;
+  t.prog_owner = entry->prog;
+  t.prog = t.prog_owner.get();
+  t.params = std::move(params);
+  return Enqueue(std::move(t));
+}
+
+Result<QueryResult> QueryService::RunSql(const std::string& text) {
+  return SubmitSql(text).get();
 }
 
 std::vector<Result<QueryResult>> QueryService::RunBatch(
@@ -109,7 +181,17 @@ ServiceStats QueryService::stats() const {
   s.monitored = n_monitored_.load(std::memory_order_relaxed);
   s.exec_us = exec_us_.load(std::memory_order_relaxed);
   s.wall_us = wall_us_.load(std::memory_order_relaxed);
+  PlanCacheStats pc = plan_cache_.stats();
+  s.plan_lookups = pc.lookups;
+  s.plan_hits = pc.hits;
+  s.plan_compiles = pc.compiles;
+  s.plan_invalidations = pc.invalidations;
   return s;
+}
+
+void QueryService::WaitForUpdateGate() {
+  std::unique_lock<std::mutex> gate(gate_mu_);
+  gate_cv_.wait(gate, [this] { return updates_waiting_ == 0; });
 }
 
 void QueryService::WorkerLoop(int worker_idx) {
@@ -136,10 +218,7 @@ void QueryService::WorkerLoop(int worker_idx) {
       // Let a waiting commit through first: shared_mutex acquisition is
       // reader-preferring on glibc, so back-to-back queries would starve
       // the exclusive holder without this gate.
-      {
-        std::unique_lock<std::mutex> gate(gate_mu_);
-        gate_cv_.wait(gate, [this] { return updates_waiting_ == 0; });
-      }
+      WaitForUpdateGate();
       // Shared hold: commits (exclusive holders) serialise against us.
       std::shared_lock<std::shared_mutex> qlock(update_mu_);
       auto r = interp.Run(*task.prog, task.params);

@@ -17,6 +17,7 @@
 #include "interp/interpreter.h"
 #include "interp/query_result.h"
 #include "mal/program.h"
+#include "server/plan_cache.h"
 
 namespace recycledb {
 
@@ -41,6 +42,11 @@ struct ServiceStats {
   uint64_t monitored = 0;  ///< instructions wrapped by the recycler
   uint64_t exec_us = 0;    ///< Σ per-query instruction execution time
   uint64_t wall_us = 0;    ///< Σ per-query wall time
+  // Plan-template cache counters (SubmitSql path).
+  uint64_t plan_lookups = 0;        ///< SQL submissions that probed the cache
+  uint64_t plan_hits = 0;           ///< probes answered without compiling
+  uint64_t plan_compiles = 0;       ///< statements compiled to a Program
+  uint64_t plan_invalidations = 0;  ///< cached plans dropped by commits/DDL
 };
 
 /// One query of a synchronous batch.
@@ -75,7 +81,11 @@ class QueryService {
 
   /// Borrows a catalog the caller keeps alive (benchmarks reuse one loaded
   /// database across many service configurations). The update listener is
-  /// still installed, and cleared again on destruction.
+  /// still installed, and cleared again on destruction — which is why at
+  /// most ONE QueryService may be attached to a Catalog at a time: a second
+  /// service would overwrite the first's listener and leave its plan cache
+  /// and recycle pool blind to commits. Sequential services over one
+  /// catalog (create, use, destroy, repeat) are fine.
   explicit QueryService(Catalog* catalog, ServiceConfig cfg = {});
 
   /// Drains outstanding work, then stops the workers.
@@ -88,6 +98,18 @@ class QueryService {
   /// resolves. Never blocks on query execution.
   std::future<Result<QueryResult>> Submit(const Program* prog,
                                           std::vector<Scalar> params);
+
+  /// Compiles-or-reuses and enqueues one SQL statement: parses the text,
+  /// normalises it to a fingerprint, and looks the fingerprint up in the
+  /// shared plan cache. A miss compiles the statement once (under the shared
+  /// update lock, so compilation sees a stable catalog); every later
+  /// same-pattern submission — any session, any literals — shares that
+  /// recycler-optimised Program and only re-binds its parameter values.
+  /// Compile errors resolve the returned future immediately.
+  std::future<Result<QueryResult>> SubmitSql(const std::string& text);
+
+  /// Synchronous convenience wrapper around SubmitSql.
+  Result<QueryResult> RunSql(const std::string& text);
 
   /// Runs a batch to completion, preserving request order in the results.
   /// Queries execute concurrently across the worker pool.
@@ -105,6 +127,8 @@ class QueryService {
   Catalog* catalog() { return catalog_; }
   ConcurrentRecycler& recycler() { return recycler_; }
   const ConcurrentRecycler& recycler() const { return recycler_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
 
   ServiceStats stats() const;
   int num_workers() const { return static_cast<int>(workers_.size()); }
@@ -114,14 +138,23 @@ class QueryService {
     const Program* prog;
     std::vector<Scalar> params;
     std::promise<Result<QueryResult>> promise;
+    /// Keeps a plan-cache Program alive while the task is in flight, so a
+    /// commit may drop the cache entry without invalidating `prog`.
+    std::shared_ptr<const Program> prog_owner;
   };
 
   void WorkerLoop(int worker_idx);
+  std::future<Result<QueryResult>> Enqueue(Task task);
+  /// Blocks while a commit is waiting for the exclusive update lock (the
+  /// shared_mutex is reader-preferring on glibc; without the gate a
+  /// saturated queue would starve ApplyUpdate forever).
+  void WaitForUpdateGate();
 
   std::unique_ptr<Catalog> owned_catalog_;  ///< null when borrowing
   Catalog* catalog_;
   ServiceConfig cfg_;
   ConcurrentRecycler recycler_;
+  PlanCache plan_cache_;
 
   // Task queue.
   std::mutex queue_mu_;

@@ -131,14 +131,14 @@ Program BuildConeSearchTemplate() {
 
   int ra = b.Bind("photoobj", "ra");
   int rsel = b.Select(ra, ra_lo, ra_hi, true, true);
-  int cand = b.Reverse(b.MarkT(rsel, 0));
+  int cand = b.Recand(rsel);
   int dec = b.Join(cand, b.Bind("photoobj", "dec"));
   int dsel = b.Select(dec, dec_lo, dec_hi, true, true);
-  int cand2 = b.Reverse(b.MarkT(b.Reverse(b.Semijoin(cand, dsel)), 0));
+  int cand2 = b.Rebase(b.Semijoin(cand, dsel));
   // PhotoPrimary view: constant mode filter, self-materialised by recycling
   int mode = b.Join(cand2, b.Bind("photoobj", "mode"));
   int msel = b.Uselect(mode, b.ConstInt(1));
-  int cand3 = b.Reverse(b.MarkT(b.Reverse(b.Semijoin(cand2, msel)), 0));
+  int cand3 = b.Rebase(b.Semijoin(cand2, msel));
   // 19 projection joins + objid, then LIMIT 1
   int objid = b.Join(cand3, b.Bind("photoobj", "objid"));
   b.ExportBat(b.SliceN(objid, 0, 1), "objID");
@@ -156,7 +156,7 @@ Program BuildDocQueryTemplate() {
   int a0 = b.Param("A0");
   int names = b.Bind("dbobjects", "name");
   int sel = b.Uselect(names, a0);
-  int cand = b.Reverse(b.MarkT(sel, 0));
+  int cand = b.Recand(sel);
   int text = b.Join(cand, b.Bind("dbobjects", "description"));
   int type = b.Join(cand, b.Bind("dbobjects", "type"));
   b.ExportBat(text, "description");
@@ -171,7 +171,7 @@ Program BuildPointQueryTemplate() {
   int a0 = b.Param("A0");
   int ids = b.Bind("elredshift", "specobjid");
   int sel = b.Uselect(ids, a0);
-  int cand = b.Reverse(b.MarkT(sel, 0));
+  int cand = b.Recand(sel);
   b.ExportBat(b.Join(cand, b.Bind("elredshift", "z")), "z");
   b.ExportBat(b.Join(cand, b.Bind("elredshift", "zerr")), "zerr");
   b.ExportBat(b.Join(cand, b.Bind("elredshift", "zconf")), "zconf");
@@ -187,7 +187,7 @@ Program BuildRaSelectTemplate() {
   int a1 = b.Param("A1");
   int ra = b.Bind("photoobj", "ra");
   int sel = b.Select(ra, a0, a1, true, true);
-  int cand = b.Reverse(b.MarkT(sel, 0));
+  int cand = b.Recand(sel);
   int dec = b.Join(cand, b.Bind("photoobj", "dec"));
   b.ExportValue(b.AggrCount(dec), "n");
   Program prog = b.Build();

@@ -1,0 +1,112 @@
+#ifndef RECYCLEDB_SQL_AST_H_
+#define RECYCLEDB_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/date.h"
+
+namespace recycledb::sql {
+
+/// A literal constant as written in the query text. The SQL front end plays
+/// the role of MonetDB's SQL compiler in the paper (§2.2): literals are
+/// *not* baked into the plan — they become positional template parameters so
+/// that repeated query patterns with different constants share one Program
+/// (and hence one recycler template).
+struct Literal {
+  enum class Kind { kInt, kFloat, kString, kDate };
+  Kind kind = Kind::kInt;
+  int64_t i = 0;
+  double f = 0;
+  std::string s;
+  DateT d = 0;
+
+  std::string ToString() const;
+};
+
+/// A possibly-qualified column reference; `table` is empty when unqualified
+/// and names either a FROM/JOIN alias or a table name.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* AggFuncName(AggFunc f);
+const char* ArithOpName(ArithOp op);  ///< "+", "-", "*", "/"
+const char* CmpOpName(CmpOp op);     ///< "=", "<>", ...
+
+/// Expression tree of a select item (or aggregate argument).
+struct Expr {
+  enum class Kind { kColumn, kLiteral, kArith, kAggregate, kStar };
+  Kind kind = Kind::kColumn;
+
+  ColumnRef col;                  // kColumn
+  Literal lit;                    // kLiteral
+  ArithOp op = ArithOp::kAdd;     // kArith
+  std::unique_ptr<Expr> lhs;      // kArith
+  std::unique_ptr<Expr> rhs;      // kArith
+  AggFunc agg = AggFunc::kCount;  // kAggregate
+  std::unique_ptr<Expr> arg;      // kAggregate; null means COUNT(*)
+};
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  // empty: derive a label from the expression
+};
+
+/// One WHERE conjunct. The subset is deliberately column-vs-literal
+/// (range/equality/LIKE), which is what the paper's workloads use; the
+/// parser normalises `literal CMP column` to column-on-the-left form.
+struct Predicate {
+  enum class Kind { kCompare, kBetween, kLike, kNotLike };
+  Kind kind = Kind::kCompare;
+  ColumnRef col;
+  CmpOp op = CmpOp::kEq;  // kCompare
+  Literal value;          // kCompare value / k(Not)Like pattern
+  Literal lo, hi;         // kBetween bounds
+};
+
+/// `INNER JOIN table [alias] ON left = right`. Lowered through a catalog
+/// foreign-key join index; the joined table must be the FK parent of a table
+/// already in scope (N:1 hop), mirroring how MonetDB's SQL compiler uses
+/// join indices.
+struct JoinClause {
+  std::string table;
+  std::string alias;  // empty: table name
+  ColumnRef left, right;
+};
+
+struct OrderBy {
+  bool present = false;
+  std::string name;  // select-item alias or bare column label
+  bool asc = true;
+};
+
+/// SELECT statement of the supported subset:
+///   SELECT items FROM table [alias] (INNER JOIN ... ON ...)*
+///     [WHERE conjunct (AND conjunct)*]
+///     [GROUP BY col (, col)*] [ORDER BY name [ASC|DESC]] [LIMIT n]
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::string alias;  // empty: table name
+  std::vector<JoinClause> joins;
+  std::vector<Predicate> where;
+  std::vector<ColumnRef> group_by;
+  OrderBy order_by;
+  int64_t limit = -1;  ///< -1: no LIMIT clause
+};
+
+}  // namespace recycledb::sql
+
+#endif  // RECYCLEDB_SQL_AST_H_

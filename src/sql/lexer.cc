@@ -1,0 +1,254 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+
+#include "util/str.h"
+
+namespace recycledb::sql {
+
+namespace {
+
+const std::map<std::string, Tok>& KeywordMap() {
+  static const std::map<std::string, Tok>* kMap = new std::map<std::string, Tok>{
+      {"select", Tok::kSelect}, {"from", Tok::kFrom},   {"where", Tok::kWhere},
+      {"and", Tok::kAnd},       {"between", Tok::kBetween},
+      {"like", Tok::kLike},     {"not", Tok::kNot},     {"inner", Tok::kInner},
+      {"join", Tok::kJoin},     {"on", Tok::kOn},       {"group", Tok::kGroup},
+      {"order", Tok::kOrder},   {"by", Tok::kBy},       {"asc", Tok::kAsc},
+      {"desc", Tok::kDesc},     {"limit", Tok::kLimit}, {"as", Tok::kAs},
+      {"count", Tok::kCount},   {"sum", Tok::kSum},     {"min", Tok::kMin},
+      {"max", Tok::kMax},       {"avg", Tok::kAvg}};
+  return *kMap;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string TokenToString(const Token& t) {
+  switch (t.kind) {
+    case Tok::kEof:
+      return "end of input";
+    case Tok::kString:
+      return "'" + t.text + "'";
+    case Tok::kInt:
+      return StrFormat("%lld", static_cast<long long>(t.ival));
+    case Tok::kFloat:
+      return StrFormat("%g", t.fval);
+    case Tok::kDate:
+      return "date '" + DateToString(t.dval) + "'";
+    default:
+      return "'" + t.text + "'";
+  }
+}
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto make = [&](Tok k, size_t pos, std::string s) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(s);
+    t.pos = pos;
+    return t;
+  };
+
+  // Reads a '...'-quoted string starting at text[i] == '\''.
+  auto read_string = [&](size_t pos, std::string* body) -> Status {
+    ++i;  // opening quote
+    body->clear();
+    while (true) {
+      if (i >= n)
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", pos));
+      char c = text[i];
+      if (c == '\'') {
+        if (i + 1 < n && text[i + 1] == '\'') {  // '' escape
+          body->push_back('\'');
+          i += 2;
+          continue;
+        }
+        ++i;
+        return Status::OK();
+      }
+      body->push_back(c);
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {  // comment to EOL
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    size_t pos = i;
+    if (IsIdentStart(c)) {
+      std::string word;
+      while (i < n && IsIdentChar(text[i]))
+        word.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(text[i++]))));
+      // DATE 'YYYY-MM-DD' is a single literal token.
+      if (word == "date") {
+        size_t j = i;
+        while (j < n && std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+        if (j < n && text[j] == '\'') {
+          i = j;
+          std::string body;
+          RDB_RETURN_NOT_OK(read_string(pos, &body));
+          DateT d = DateFromString(body);
+          if (d == INT32_MIN)
+            return Status::InvalidArgument(StrFormat(
+                "malformed date literal '%s' at offset %zu (want YYYY-MM-DD)",
+                body.c_str(), pos));
+          Token t = make(Tok::kDate, pos, body);
+          t.dval = d;
+          out.push_back(std::move(t));
+          continue;
+        }
+      }
+      auto kw = KeywordMap().find(word);
+      out.push_back(
+          make(kw != KeywordMap().end() ? kw->second : Tok::kIdent, pos, word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i])))
+        num.push_back(text[i++]);
+      if (i + 1 < n && text[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_float = true;
+        num.push_back(text[i++]);
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i])))
+          num.push_back(text[i++]);
+      }
+      if (i < n && IsIdentChar(text[i]))
+        return Status::InvalidArgument(StrFormat(
+            "malformed numeric literal at offset %zu: '%s%c...'", pos,
+            num.c_str(), text[i]));
+      Token t = make(is_float ? Tok::kFloat : Tok::kInt, pos, num);
+      if (is_float) {
+        t.fval = std::strtod(num.c_str(), nullptr);
+      } else {
+        errno = 0;
+        t.ival = std::strtoll(num.c_str(), nullptr, 10);
+        if (errno == ERANGE)
+          return Status::InvalidArgument(StrFormat(
+              "integer literal out of range at offset %zu: '%s'", pos,
+              num.c_str()));
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      std::string body;
+      RDB_RETURN_NOT_OK(read_string(pos, &body));
+      out.push_back(make(Tok::kString, pos, body));
+      continue;
+    }
+    auto two = [&](char next) { return i + 1 < n && text[i + 1] == next; };
+    switch (c) {
+      case ',':
+        out.push_back(make(Tok::kComma, pos, ","));
+        ++i;
+        break;
+      case '.':
+        out.push_back(make(Tok::kDot, pos, "."));
+        ++i;
+        break;
+      case '(':
+        out.push_back(make(Tok::kLParen, pos, "("));
+        ++i;
+        break;
+      case ')':
+        out.push_back(make(Tok::kRParen, pos, ")"));
+        ++i;
+        break;
+      case '*':
+        out.push_back(make(Tok::kStar, pos, "*"));
+        ++i;
+        break;
+      case '+':
+        out.push_back(make(Tok::kPlus, pos, "+"));
+        ++i;
+        break;
+      case '-':
+        out.push_back(make(Tok::kMinus, pos, "-"));
+        ++i;
+        break;
+      case '/':
+        out.push_back(make(Tok::kSlash, pos, "/"));
+        ++i;
+        break;
+      case '=':
+        out.push_back(make(Tok::kEq, pos, "="));
+        ++i;
+        break;
+      case '!':
+        if (!two('='))
+          return Status::InvalidArgument(
+              StrFormat("stray '!' at offset %zu", pos));
+        out.push_back(make(Tok::kNe, pos, "!="));
+        i += 2;
+        break;
+      case '<':
+        if (two('>')) {
+          out.push_back(make(Tok::kNe, pos, "<>"));
+          i += 2;
+        } else if (two('=')) {
+          out.push_back(make(Tok::kLe, pos, "<="));
+          i += 2;
+        } else {
+          out.push_back(make(Tok::kLt, pos, "<"));
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          out.push_back(make(Tok::kGe, pos, ">="));
+          i += 2;
+        } else {
+          out.push_back(make(Tok::kGt, pos, ">"));
+          ++i;
+        }
+        break;
+      case ';':  // optional statement terminator: must be last
+        ++i;
+        while (i < n) {
+          if (std::isspace(static_cast<unsigned char>(text[i]))) {
+            ++i;
+          } else if (text[i] == '-' && i + 1 < n && text[i + 1] == '-') {
+            while (i < n && text[i] != '\n') ++i;
+          } else {
+            return Status::InvalidArgument(StrFormat(
+                "unexpected input after ';' at offset %zu", i));
+          }
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, pos));
+    }
+  }
+  out.push_back(Token{Tok::kEof, "", 0, 0, 0, n});
+  return out;
+}
+
+}  // namespace recycledb::sql

@@ -1,0 +1,20 @@
+#ifndef RECYCLEDB_SQL_LEXER_H_
+#define RECYCLEDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace recycledb::sql {
+
+/// Tokenises one SQL statement. Returns clean InvalidArgument statuses for
+/// malformed input (unterminated strings, bad numbers, bad DATE literals,
+/// stray characters); never crashes. `--` comments run to end of line and a
+/// trailing `;` is consumed. The result always ends with a kEof token.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace recycledb::sql
+
+#endif  // RECYCLEDB_SQL_LEXER_H_

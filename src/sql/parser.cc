@@ -1,0 +1,453 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "sql/lexer.h"
+#include "util/str.h"
+
+namespace recycledb::sql {
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kInt:
+      return StrFormat("%lld", static_cast<long long>(i));
+    case Kind::kFloat:
+      return StrFormat("%g", f);
+    case Kind::kString:
+      return "'" + s + "'";
+    case Kind::kDate:
+      return "date '" + DateToString(d) + "'";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsLiteralTok(Tok k) {
+  return k == Tok::kInt || k == Tok::kFloat || k == Tok::kString ||
+         k == Tok::kDate || k == Tok::kMinus;
+}
+
+bool IsAggTok(Tok k) {
+  return k == Tok::kCount || k == Tok::kSum || k == Tok::kMin ||
+         k == Tok::kMax || k == Tok::kAvg;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<SelectStmt> Parse() {
+    SelectStmt stmt;
+    RDB_RETURN_NOT_OK(Expect(Tok::kSelect, "SELECT"));
+
+    // select list
+    while (true) {
+      SelectItem item;
+      if (Cur().kind == Tok::kStar) {
+        Advance();
+        item.expr = std::make_unique<Expr>();
+        item.expr->kind = Expr::Kind::kStar;
+      } else {
+        RDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Accept(Tok::kAs)) {
+          if (Cur().kind != Tok::kIdent) return Error("alias after AS");
+          item.alias = Cur().text;
+          Advance();
+        } else if (Cur().kind == Tok::kIdent) {
+          item.alias = Cur().text;
+          Advance();
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (!Accept(Tok::kComma)) break;
+    }
+
+    // FROM table [alias] (INNER? JOIN table [alias] ON a = b)*
+    RDB_RETURN_NOT_OK(Expect(Tok::kFrom, "FROM"));
+    RDB_RETURN_NOT_OK(ParseTableRef(&stmt.table, &stmt.alias));
+    while (Cur().kind == Tok::kInner || Cur().kind == Tok::kJoin) {
+      bool had_inner = Accept(Tok::kInner);
+      if (had_inner && Cur().kind != Tok::kJoin) return Error("JOIN");
+      RDB_RETURN_NOT_OK(Expect(Tok::kJoin, "JOIN"));
+      JoinClause j;
+      RDB_RETURN_NOT_OK(ParseTableRef(&j.table, &j.alias));
+      RDB_RETURN_NOT_OK(Expect(Tok::kOn, "ON"));
+      RDB_ASSIGN_OR_RETURN(j.left, ParseColumnRef());
+      RDB_RETURN_NOT_OK(Expect(Tok::kEq, "'=' in join condition"));
+      RDB_ASSIGN_OR_RETURN(j.right, ParseColumnRef());
+      stmt.joins.push_back(std::move(j));
+    }
+    if (Cur().kind == Tok::kComma)
+      return Status::NotImplemented(
+          "comma-separated FROM lists are not supported; use INNER JOIN ... ON "
+          "over a registered foreign-key index");
+
+    // WHERE conjunction
+    if (Accept(Tok::kWhere)) {
+      while (true) {
+        RDB_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+        stmt.where.push_back(std::move(p));
+        if (!Accept(Tok::kAnd)) break;
+      }
+    }
+
+    // GROUP BY
+    if (Accept(Tok::kGroup)) {
+      RDB_RETURN_NOT_OK(Expect(Tok::kBy, "BY after GROUP"));
+      while (true) {
+        RDB_ASSIGN_OR_RETURN(ColumnRef c, ParseColumnRef());
+        stmt.group_by.push_back(std::move(c));
+        if (!Accept(Tok::kComma)) break;
+      }
+    }
+
+    // ORDER BY
+    if (Accept(Tok::kOrder)) {
+      RDB_RETURN_NOT_OK(Expect(Tok::kBy, "BY after ORDER"));
+      RDB_ASSIGN_OR_RETURN(ColumnRef c, ParseColumnRef());
+      if (!c.table.empty())
+        return Status::InvalidArgument(
+            "ORDER BY takes an unqualified select-item label, not '" +
+            c.ToString() + "'");
+      stmt.order_by.present = true;
+      stmt.order_by.name = c.column;  // matched against select-item labels
+      if (Accept(Tok::kDesc))
+        stmt.order_by.asc = false;
+      else
+        Accept(Tok::kAsc);
+    }
+
+    // LIMIT
+    if (Accept(Tok::kLimit)) {
+      if (Cur().kind != Tok::kInt) return Error("integer after LIMIT");
+      stmt.limit = Cur().ival;
+      Advance();
+    }
+
+    if (Cur().kind != Tok::kEof) return Error("end of statement");
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[p_]; }
+  void Advance() {
+    if (p_ + 1 < toks_.size()) ++p_;
+  }
+  bool Accept(Tok k) {
+    if (Cur().kind != k) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(Tok k, const char* what) {
+    if (Cur().kind != k) return Error(what);
+    Advance();
+    return Status::OK();
+  }
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error at offset %zu: expected %s, got %s", Cur().pos,
+                  what, TokenToString(Cur()).c_str()));
+  }
+
+  /// SQL's join modifiers are not lexer keywords; left unreserved they
+  /// would be consumed as implicit table aliases and silently turn e.g.
+  /// LEFT JOIN into an INNER JOIN.
+  static bool IsJoinModifier(const std::string& w) {
+    return w == "left" || w == "right" || w == "full" || w == "outer" ||
+           w == "cross" || w == "natural";
+  }
+
+  Status ParseTableRef(std::string* table, std::string* alias) {
+    if (Cur().kind != Tok::kIdent) return Error("table name");
+    *table = Cur().text;
+    Advance();
+    if (Accept(Tok::kAs)) {
+      if (Cur().kind != Tok::kIdent) return Error("alias after AS");
+      *alias = Cur().text;
+      Advance();
+    } else if (Cur().kind == Tok::kIdent) {
+      if (IsJoinModifier(Cur().text))
+        return Status::NotImplemented(
+            "only INNER JOIN is supported (got '" + Cur().text + "')");
+      *alias = Cur().text;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    if (Cur().kind != Tok::kIdent) return Error("column name");
+    ColumnRef c;
+    c.column = Cur().text;
+    Advance();
+    if (Accept(Tok::kDot)) {
+      if (Cur().kind != Tok::kIdent) return Error("column after '.'");
+      c.table = std::move(c.column);
+      c.column = Cur().text;
+      Advance();
+    }
+    return c;
+  }
+
+  Result<Literal> ParseLiteral() {
+    bool neg = Accept(Tok::kMinus);
+    Literal lit;
+    switch (Cur().kind) {
+      case Tok::kInt:
+        lit.kind = Literal::Kind::kInt;
+        lit.i = neg ? -Cur().ival : Cur().ival;
+        break;
+      case Tok::kFloat:
+        lit.kind = Literal::Kind::kFloat;
+        lit.f = neg ? -Cur().fval : Cur().fval;
+        break;
+      case Tok::kString:
+        if (neg) return Error("numeric literal after '-'");
+        lit.kind = Literal::Kind::kString;
+        lit.s = Cur().text;
+        break;
+      case Tok::kDate:
+        if (neg) return Error("numeric literal after '-'");
+        lit.kind = Literal::Kind::kDate;
+        lit.d = Cur().dval;
+        break;
+      default:
+        return Error("literal");
+    }
+    Advance();
+    return lit;
+  }
+
+  // expr := term (('+'|'-') term)*
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    RDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseTerm());
+    while (Cur().kind == Tok::kPlus || Cur().kind == Tok::kMinus) {
+      ArithOp op =
+          Cur().kind == Tok::kPlus ? ArithOp::kAdd : ArithOp::kSub;
+      Advance();
+      RDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseTerm());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kArith;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  // term := primary (('*'|'/') primary)*
+  Result<std::unique_ptr<Expr>> ParseTerm() {
+    RDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParsePrimary());
+    while (Cur().kind == Tok::kStar || Cur().kind == Tok::kSlash) {
+      ArithOp op =
+          Cur().kind == Tok::kStar ? ArithOp::kMul : ArithOp::kDiv;
+      Advance();
+      RDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParsePrimary());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kArith;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    if (IsAggTok(Cur().kind)) {
+      AggFunc f;
+      switch (Cur().kind) {
+        case Tok::kCount:
+          f = AggFunc::kCount;
+          break;
+        case Tok::kSum:
+          f = AggFunc::kSum;
+          break;
+        case Tok::kMin:
+          f = AggFunc::kMin;
+          break;
+        case Tok::kMax:
+          f = AggFunc::kMax;
+          break;
+        default:
+          f = AggFunc::kAvg;
+          break;
+      }
+      Advance();
+      RDB_RETURN_NOT_OK(Expect(Tok::kLParen, "'(' after aggregate"));
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kAggregate;
+      node->agg = f;
+      if (Cur().kind == Tok::kStar) {
+        if (f != AggFunc::kCount) return Error("expression (only COUNT(*))");
+        Advance();
+      } else {
+        RDB_ASSIGN_OR_RETURN(node->arg, ParseExpr());
+      }
+      RDB_RETURN_NOT_OK(Expect(Tok::kRParen, "')' after aggregate"));
+      return node;
+    }
+    if (IsLiteralTok(Cur().kind)) {
+      RDB_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kLiteral;
+      node->lit = std::move(lit);
+      return node;
+    }
+    if (Cur().kind == Tok::kIdent) {
+      RDB_ASSIGN_OR_RETURN(ColumnRef c, ParseColumnRef());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kColumn;
+      node->col = std::move(c);
+      return node;
+    }
+    if (Accept(Tok::kLParen)) {
+      RDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+      RDB_RETURN_NOT_OK(Expect(Tok::kRParen, "')'"));
+      return e;
+    }
+    return Error("expression");
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    switch (Cur().kind) {
+      case Tok::kEq:
+        Advance();
+        return CmpOp::kEq;
+      case Tok::kNe:
+        Advance();
+        return CmpOp::kNe;
+      case Tok::kLt:
+        Advance();
+        return CmpOp::kLt;
+      case Tok::kLe:
+        Advance();
+        return CmpOp::kLe;
+      case Tok::kGt:
+        Advance();
+        return CmpOp::kGt;
+      case Tok::kGe:
+        Advance();
+        return CmpOp::kGe;
+      default:
+        return Error("comparison operator");
+    }
+  }
+
+  static CmpOp FlipCmp(CmpOp op) {
+    switch (op) {
+      case CmpOp::kLt:
+        return CmpOp::kGt;
+      case CmpOp::kLe:
+        return CmpOp::kGe;
+      case CmpOp::kGt:
+        return CmpOp::kLt;
+      case CmpOp::kGe:
+        return CmpOp::kLe;
+      default:
+        return op;  // = and <> are symmetric
+    }
+  }
+
+  Result<Predicate> ParsePredicate() {
+    Predicate p;
+    if (IsLiteralTok(Cur().kind)) {
+      // literal CMP column: normalise to column-on-the-left.
+      RDB_ASSIGN_OR_RETURN(p.value, ParseLiteral());
+      RDB_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+      if (Cur().kind != Tok::kIdent)
+        return Status::NotImplemented(
+            "predicates must compare a column against a literal");
+      RDB_ASSIGN_OR_RETURN(p.col, ParseColumnRef());
+      p.kind = Predicate::Kind::kCompare;
+      p.op = FlipCmp(op);
+      return p;
+    }
+    RDB_ASSIGN_OR_RETURN(p.col, ParseColumnRef());
+    if (Accept(Tok::kBetween)) {
+      p.kind = Predicate::Kind::kBetween;
+      RDB_ASSIGN_OR_RETURN(p.lo, ParseLiteral());
+      RDB_RETURN_NOT_OK(Expect(Tok::kAnd, "AND in BETWEEN"));
+      RDB_ASSIGN_OR_RETURN(p.hi, ParseLiteral());
+      return p;
+    }
+    bool neg = Accept(Tok::kNot);
+    if (Accept(Tok::kLike)) {
+      p.kind = neg ? Predicate::Kind::kNotLike : Predicate::Kind::kLike;
+      RDB_ASSIGN_OR_RETURN(p.value, ParseLiteral());
+      return p;
+    }
+    if (neg) return Error("LIKE after NOT");
+    RDB_ASSIGN_OR_RETURN(p.op, ParseCmpOp());
+    if (Cur().kind == Tok::kIdent)
+      return Status::NotImplemented(
+          "column-to-column predicates are not supported (joins go through "
+          "INNER JOIN ... ON)");
+    p.kind = Predicate::Kind::kCompare;
+    RDB_ASSIGN_OR_RETURN(p.value, ParseLiteral());
+    return p;
+  }
+
+  std::vector<Token> toks_;
+  size_t p_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& text) {
+  RDB_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
+  Parser parser(std::move(toks));
+  return parser.Parse();
+}
+
+}  // namespace recycledb::sql

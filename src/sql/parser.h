@@ -1,0 +1,19 @@
+#ifndef RECYCLEDB_SQL_PARSER_H_
+#define RECYCLEDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace recycledb::sql {
+
+/// Parses one SELECT statement of the supported subset into an AST.
+/// All failure modes — lexical errors, unsupported syntax, malformed
+/// clauses — come back as InvalidArgument/NotImplemented statuses with the
+/// offending token and byte offset; the parser never crashes on bad input.
+Result<SelectStmt> ParseSelect(const std::string& text);
+
+}  // namespace recycledb::sql
+
+#endif  // RECYCLEDB_SQL_PARSER_H_

@@ -1,0 +1,61 @@
+#ifndef RECYCLEDB_SQL_PLANNER_H_
+#define RECYCLEDB_SQL_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "mal/program.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace recycledb::sql {
+
+/// A compiled SQL statement: the MAL Program (literals factored out into
+/// positional parameters, recycler-marked) plus the metadata the plan cache
+/// needs to share and invalidate it.
+struct CompiledPlan {
+  Program prog;
+  /// Positional parameter types; literal i of the statement (in canonical
+  /// collection order) binds parameter i coerced to param_types[i].
+  std::vector<TypeTag> param_types;
+  /// Tables the plan reads (base + joined); keys commit-time invalidation.
+  std::vector<int32_t> table_ids;
+};
+
+/// Normalised query fingerprint: the statement re-serialised with every
+/// parameterisable literal replaced by a placeholder typed by its literal
+/// kind ('?int', '?flt', '?str', '?date') — values normalise away, kinds do
+/// not, so statements share a plan only when their literals can take the
+/// same parameter types. Two texts with the same fingerprint share one
+/// compiled Program (and recycler template). LIMIT counts stay verbatim —
+/// they are compiled to constants, not parameters.
+std::string Fingerprint(const SelectStmt& stmt);
+
+/// Lowers the statement to a MAL Program through PlanBuilder, resolving
+/// names/types against the catalog. On success `*params_out` holds this
+/// statement's own literal values, coerced to the plan's parameter types.
+/// Callers must serialise against DDL/commits (QueryService compiles under
+/// its shared update lock).
+Result<CompiledPlan> CompileStmt(Catalog* catalog, const SelectStmt& stmt,
+                                 std::vector<Scalar>* params_out);
+
+/// Cache-hit path: extracts the statement's literals in canonical order and
+/// coerces them to a previously compiled plan's parameter types, without
+/// rebuilding the plan. Fails with a clean TypeMismatch when a literal
+/// cannot take the cached parameter's type.
+Result<std::vector<Scalar>> BindLiterals(const SelectStmt& stmt,
+                                         const std::vector<TypeTag>& types);
+
+/// One-shot parse + fingerprint + compile, bypassing any cache. Examples
+/// and tests use this; the service goes through its PlanCache instead.
+struct SqlQuery {
+  CompiledPlan plan;
+  std::vector<Scalar> params;
+  std::string fingerprint;
+};
+Result<SqlQuery> CompileSql(Catalog* catalog, const std::string& text);
+
+}  // namespace recycledb::sql
+
+#endif  // RECYCLEDB_SQL_PLANNER_H_

@@ -1,0 +1,76 @@
+#ifndef RECYCLEDB_SQL_TOKEN_H_
+#define RECYCLEDB_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/date.h"
+
+namespace recycledb::sql {
+
+/// Token kinds of the SQL subset. Keywords are lexed case-insensitively;
+/// identifiers are folded to lower case (quoted identifiers are not
+/// supported, matching the generated schemas which are all lower case).
+enum class Tok : uint8_t {
+  kEof,
+  // literals & names
+  kIdent,
+  kString,  ///< '...' with '' as the embedded-quote escape
+  kInt,     ///< decimal integer
+  kFloat,   ///< decimal with fraction
+  kDate,    ///< DATE 'YYYY-MM-DD'
+  // punctuation
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,  ///< '*': multiplication or SELECT-star / COUNT-star
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,
+  kNe,  ///< '<>' or '!='
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // keywords
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kBetween,
+  kLike,
+  kNot,
+  kInner,
+  kJoin,
+  kOn,
+  kGroup,
+  kOrder,
+  kBy,
+  kAsc,
+  kDesc,
+  kLimit,
+  kAs,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;  ///< identifier (lower-cased) or string literal body
+  int64_t ival = 0;  ///< kInt
+  double fval = 0;   ///< kFloat
+  DateT dval = 0;    ///< kDate
+  size_t pos = 0;    ///< byte offset in the source text, for error messages
+};
+
+/// Human-readable token description for parse errors.
+std::string TokenToString(const Token& t);
+
+}  // namespace recycledb::sql
+
+#endif  // RECYCLEDB_SQL_TOKEN_H_

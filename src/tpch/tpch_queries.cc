@@ -21,11 +21,11 @@ class QB {
   explicit QB(const char* name) : b(name) {}
 
   /// Candidate list from a selection result [row -> v] => [cand -> row].
-  int Recand(int subset) { return b.Reverse(b.MarkT(subset, 0)); }
+  int Recand(int subset) { return b.Recand(subset); }
 
   /// Renumbers a filtered candidate list [cand -> row] => [cand' -> row]
   /// with a fresh dense head.
-  int Rebase(int cand) { return b.Reverse(b.MarkT(b.Reverse(cand), 0)); }
+  int Rebase(int cand) { return b.Rebase(cand); }
 
   /// Column fetch: [cand -> row] x [dense row -> val] => [cand -> val].
   int Fetch(int cand, const std::string& tbl, const std::string& col) {

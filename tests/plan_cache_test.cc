@@ -1,0 +1,212 @@
+// Plan-template cache: unit semantics (lookup/insert/invalidate), commit-
+// and DDL-driven invalidation through the query service (cached plans over
+// a dropped/updated table are recompiled or rejected, never executed
+// stale), and a concurrent SubmitSql/ApplyUpdate stress for the TSan job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "server/plan_cache.h"
+#include "server/query_service.h"
+#include "sql/planner.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace recycledb {
+namespace {
+
+PlanCache::Entry MakeEntry(std::vector<int32_t> tables) {
+  PlanCache::Entry e;
+  e.prog = std::make_shared<const Program>();
+  e.table_ids = std::move(tables);
+  return e;
+}
+
+TEST(PlanCacheUnitTest, LookupInsertAndStats) {
+  PlanCache cache;
+  EXPECT_EQ(cache.Lookup("q1"), nullptr);
+  auto e1 = cache.Insert("q1", MakeEntry({0}));
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(cache.Lookup("q1"), e1);
+  EXPECT_EQ(cache.size(), 1u);
+
+  PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.compiles, 1u);
+  EXPECT_EQ(s.invalidations, 0u);
+}
+
+TEST(PlanCacheUnitTest, FirstInsertWinsUnderRace) {
+  PlanCache cache;
+  auto winner = cache.Insert("q", MakeEntry({0}));
+  auto loser = cache.Insert("q", MakeEntry({0}));
+  EXPECT_EQ(winner, loser);  // the second insert returns the cached winner
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().compiles, 2u);  // both compiles are counted
+}
+
+TEST(PlanCacheUnitTest, InvalidateDropsOnlyAffectedPlans) {
+  PlanCache cache;
+  cache.Insert("a", MakeEntry({0}));
+  cache.Insert("b", MakeEntry({1}));
+  cache.Insert("ab", MakeEntry({0, 1}));
+  cache.Invalidate({{1, 0}, {1, 3}});  // table 1 changed
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_EQ(cache.Lookup("ab"), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level invalidation semantics.
+// ---------------------------------------------------------------------------
+
+class PlanCacheServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cat = std::make_unique<Catalog>();
+    cat->CreateTable("t", {{"k", TypeTag::kOid}, {"v", TypeTag::kInt}});
+    ASSERT_TRUE(cat->LoadColumn<Oid>("t", "k", {0, 1, 2}, true, true).ok());
+    ASSERT_TRUE(cat->LoadColumn<int32_t>("t", "v", {10, 20, 30}).ok());
+    cat->CreateTable("u", {{"k", TypeTag::kOid}, {"w", TypeTag::kInt}});
+    ASSERT_TRUE(cat->LoadColumn<Oid>("u", "k", {0, 1}, true, true).ok());
+    ASSERT_TRUE(cat->LoadColumn<int32_t>("u", "w", {7, 8}).ok());
+    ServiceConfig cfg;
+    cfg.num_workers = 2;
+    svc_ = std::make_unique<QueryService>(std::move(cat), cfg);
+  }
+
+  int64_t CountT() {
+    auto r = svc_->RunSql("select count(*) from t");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value().Find("count")->scalar().ToInt64() : -1;
+  }
+
+  std::unique_ptr<QueryService> svc_;
+};
+
+TEST_F(PlanCacheServiceTest, CommitInvalidatesAndRecompiles) {
+  EXPECT_EQ(CountT(), 3);
+  EXPECT_EQ(CountT(), 3);
+  ServiceStats s = svc_->stats();
+  EXPECT_EQ(s.plan_compiles, 1u);
+  EXPECT_EQ(s.plan_hits, 1u);
+
+  ASSERT_TRUE(svc_->ApplyUpdate([](Catalog* cat) {
+                    RDB_RETURN_NOT_OK(cat->Append(
+                        "t", {{Scalar::OidVal(3), Scalar::Int(40)}}));
+                    return cat->Commit();
+                  })
+                  .ok());
+
+  // The cached plan referenced t; the commit must have dropped it, and the
+  // recompiled plan must see the new row — never the stale count.
+  s = svc_->stats();
+  EXPECT_GE(s.plan_invalidations, 1u);
+  EXPECT_EQ(CountT(), 4);
+  s = svc_->stats();
+  EXPECT_EQ(s.plan_compiles, 2u);
+}
+
+TEST_F(PlanCacheServiceTest, CommitLeavesUnrelatedPlansCached) {
+  EXPECT_EQ(CountT(), 3);
+  auto r = svc_->RunSql("select count(*) from u");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(svc_->plan_cache().size(), 2u);
+
+  ASSERT_TRUE(svc_->ApplyUpdate([](Catalog* cat) {
+                    RDB_RETURN_NOT_OK(cat->Append(
+                        "u", {{Scalar::OidVal(2), Scalar::Int(9)}}));
+                    return cat->Commit();
+                  })
+                  .ok());
+
+  // Only the plan over u was dropped.
+  EXPECT_EQ(svc_->plan_cache().size(), 1u);
+  EXPECT_EQ(CountT(), 3);
+  ServiceStats s = svc_->stats();
+  EXPECT_EQ(s.plan_compiles, 2u);  // no recompile for t
+  EXPECT_EQ(s.plan_invalidations, 1u);
+}
+
+TEST_F(PlanCacheServiceTest, DropTableRejectsCachedPattern) {
+  EXPECT_EQ(CountT(), 3);
+  EXPECT_EQ(svc_->plan_cache().size(), 1u);
+
+  ASSERT_TRUE(
+      svc_->ApplyUpdate([](Catalog* cat) { return cat->DropTable("t"); })
+          .ok());
+
+  // The entry is gone and a resubmission recompiles against the changed
+  // catalog, yielding a clean NotFound — never the stale plan's answer.
+  EXPECT_EQ(svc_->plan_cache().size(), 0u);
+  auto r = svc_->RunSql("select count(*) from t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  ServiceStats s = svc_->stats();
+  EXPECT_GE(s.plan_invalidations, 1u);
+}
+
+TEST_F(PlanCacheServiceTest, SqlErrorsDoNotPoisonTheCache) {
+  auto r = svc_->RunSql("select nosuch from t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(svc_->plan_cache().size(), 0u);
+  // Compile rejections are visible in the service counters.
+  ServiceStats s = svc_->stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(CountT(), 3);  // the table itself is fine
+}
+
+TEST_F(PlanCacheServiceTest, ConcurrentSubmitSqlAndCommits) {
+  // Hammer SubmitSql from several threads while commits invalidate the
+  // cached plans. Every query must come back OK (counts grow monotonically)
+  // and the service must stay consistent — this is the TSan target for the
+  // plan-cache locking protocol.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([this, c, &stop, &failures] {
+      Rng rng(1000 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::string text =
+            rng.Bernoulli(0.5)
+                ? "select count(*) from t"
+                : StrFormat("select count(*) from t where v >= %d",
+                            static_cast<int>(rng.Uniform(50)));
+        auto r = svc_->RunSql(text);
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 8; ++i) {
+    Oid next = 3 + static_cast<Oid>(i);
+    ASSERT_TRUE(svc_->ApplyUpdate([next](Catalog* cat) {
+                      RDB_RETURN_NOT_OK(cat->Append(
+                          "t", {{Scalar::OidVal(next),
+                                 Scalar::Int(static_cast<int32_t>(next))}}));
+                      return cat->Commit();
+                    })
+                    .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(CountT(), 11);
+  ServiceStats s = svc_->stats();
+  EXPECT_GE(s.plan_invalidations, 1u);
+  EXPECT_GT(s.plan_hits, 0u);
+}
+
+}  // namespace
+}  // namespace recycledb
