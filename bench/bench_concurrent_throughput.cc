@@ -9,6 +9,13 @@
 //
 //   ./bench_concurrent_throughput            # SF from RDB_TPCH_SF (0.01)
 //   RDB_MAX_WORKERS=16 ./bench_concurrent_throughput
+//   ./bench_concurrent_throughput --json BENCH_concurrent.json
+//
+// --json writes every sample as machine-readable JSON for the CI
+// benchmark-regression harness (bench/check_regression.py compares it
+// against bench/baseline/BENCH_concurrent.json).
+
+#include <fstream>
 
 #include "bench/bench_common.h"
 #include "server/query_service.h"
@@ -60,10 +67,66 @@ struct Sample {
   uint64_t pool_hits = 0;
 };
 
-Sample RunConfig(Catalog* cat, const Workload& w, int workers) {
+/// One row of the machine-readable output (--json): either a throughput
+/// sample (phase="throughput", load hot/cold) or the SQL plan-cache phase
+/// (phase="sql_plan_cache"). check_regression.py keys rows by
+/// (phase, load, workers).
+struct JsonRow {
+  std::string phase;
+  std::string load;
+  int workers = 0;
+  double qps = 0;
+  double hit_ratio = 0;
+  uint64_t pool_hits = 0;
+  // sql_plan_cache only:
+  uint64_t plan_compiles = 0;
+  uint64_t plan_hits = 0;
+  uint64_t plan_lookups = 0;
+};
+
+void WriteJson(const std::string& path, double sf, int max_workers,
+               size_t stripes, const std::vector<JsonRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  out << "{\n";
+  out << StrFormat(
+      "  \"config\": {\"sf\": %g, \"max_workers\": %d, \"stripes\": %zu, "
+      "\"hw_threads\": %u},\n",
+      sf, max_workers, stripes, std::thread::hardware_concurrency());
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    out << StrFormat(
+        "    {\"phase\": \"%s\", \"load\": \"%s\", \"workers\": %d, "
+        "\"qps\": %.2f, \"hit_ratio\": %.4f, \"pool_hits\": %llu",
+        r.phase.c_str(), r.load.c_str(), r.workers, r.qps, r.hit_ratio,
+        static_cast<unsigned long long>(r.pool_hits));
+    if (r.phase == "sql_plan_cache") {
+      out << StrFormat(
+          ", \"plan_compiles\": %llu, \"plan_hits\": %llu, "
+          "\"plan_lookups\": %llu",
+          static_cast<unsigned long long>(r.plan_compiles),
+          static_cast<unsigned long long>(r.plan_hits),
+          static_cast<unsigned long long>(r.plan_lookups));
+    }
+    out << (i + 1 < rows.size() ? "},\n" : "}\n");
+  }
+  out << "  ]\n}\n";
+}
+
+/// The one service configuration every phase runs with (worker count set
+/// per phase) — also the source of truth for the config block in --json.
+ServiceConfig BenchConfig(int workers) {
   ServiceConfig cfg;
   cfg.num_workers = workers;
-  QueryService svc(cat, cfg);
+  return cfg;
+}
+
+Sample RunConfig(Catalog* cat, const Workload& w, int workers) {
+  QueryService svc(cat, BenchConfig(workers));
 
   // Short runs are noisy, so take the best of a few repetitions. Each rep
   // restores the same starting state: an empty pool re-warmed with the
@@ -116,10 +179,8 @@ int EnvMaxWorkers(int def = 8) {
 /// fingerprints — the compile-once, share-everywhere behaviour the plan
 /// cache exists for (compiles ≪ submissions), feeding the recycler the same
 /// inter-query commonality the hand-built templates have.
-void RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
-  ServiceConfig cfg;
-  cfg.num_workers = workers;
-  QueryService svc(cat, cfg);
+JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
+  QueryService svc(cat, BenchConfig(workers));
   Rng rng(4242);
 
   auto query = [&](int pattern) -> std::string {
@@ -188,11 +249,37 @@ void RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
       static_cast<unsigned long long>(rs.monitored),
       static_cast<unsigned long long>(rs.hits),
       rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0);
+
+  JsonRow row;
+  row.phase = "sql_plan_cache";
+  row.load = "mixed";
+  row.workers = workers;
+  row.qps = n_queries / secs;
+  row.hit_ratio =
+      rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0;
+  row.pool_hits = rs.hits;
+  row.plan_compiles = s.plan_compiles;
+  row.plan_hits = s.plan_hits;
+  row.plan_lookups = s.plan_lookups;
+  return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
   auto cat = MakeTpchDb(EnvSf());
   std::vector<tpch::QueryTemplate> templates;
   for (int qn : {4, 11, 12, 18, 19}) templates.push_back(tpch::BuildQuery(qn));
@@ -208,6 +295,7 @@ int main() {
               "speedup", "hit-ratio", "pool-hits");
   PrintRule(60);
 
+  std::vector<JsonRow> rows;
   double hot_1w = 0, hot_4w = 0;
   for (const Workload& w : workloads) {
     std::printf("%-5s (%zu queries/run)\n", w.name, w.queries.size());
@@ -222,6 +310,14 @@ int main() {
       std::printf("%-5s %8d %10.1f %8.2fx %9.2f %10llu\n", w.name, workers,
                   s.qps, s.qps / base_qps, s.hit_ratio,
                   static_cast<unsigned long long>(s.pool_hits));
+      JsonRow row;
+      row.phase = "throughput";
+      row.load = w.name[0] == 'h' ? "hot" : "cold";
+      row.workers = workers;
+      row.qps = s.qps;
+      row.hit_ratio = s.hit_ratio;
+      row.pool_hits = s.pool_hits;
+      rows.push_back(row);
     }
     PrintRule(60);
   }
@@ -231,7 +327,13 @@ int main() {
                 hot_4w / hot_1w,
                 hot_4w / hot_1w > 1.5 ? "(scales)" : "(NOT scaling)");
   }
-  RunSqlPlanCachePhase(cat.get(), std::min(4, max_workers), 500);
+  rows.push_back(RunSqlPlanCachePhase(cat.get(), std::min(4, max_workers), 500));
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, EnvSf(), max_workers,
+              BenchConfig(1).recycler.pool_stripes, rows);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
 
   if (std::thread::hardware_concurrency() < 4) {
     std::printf(

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for bench_concurrent_throughput --json output.
+
+Compares a fresh run against the checked-in baseline
+(bench/baseline/BENCH_concurrent.json) and fails (exit 1) when any metric
+regresses beyond tolerance:
+
+  qps         relative: fail when current < baseline * (1 - tolerance)
+  hit_ratio   absolute: fail when |current - baseline| > hit tolerance
+  plan_*      relative: fail when outside baseline * (1 +/- counter tolerance)
+
+Rows are keyed by (phase, load, workers); every baseline row must be present
+in the current run. Improvements never fail, but a qps gain beyond the
+tolerance prints a hint to refresh the baseline.
+
+Usage:
+  python3 bench/check_regression.py CURRENT.json bench/baseline/BENCH_concurrent.json
+  python3 bench/check_regression.py CURRENT.json BASELINE.json --tolerance 0.25
+
+Refreshing the baseline (same knobs CI uses):
+  RDB_TPCH_SF=0.005 RDB_MAX_WORKERS=4 \\
+      ./build/bench_concurrent_throughput --json bench/baseline/BENCH_concurrent.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return (row["phase"], row.get("load", ""), row["workers"])
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("config", {}), {row_key(r): r for r in doc["results"]}
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("current", help="JSON written by this run (--json)")
+    p.add_argument("baseline", help="checked-in baseline JSON")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="relative qps tolerance (default 0.25 = +/-25%%)")
+    p.add_argument("--hit-tolerance", type=float, default=0.15,
+                   help="absolute hit-ratio tolerance (default 0.15)")
+    p.add_argument("--counter-tolerance", type=float, default=0.5,
+                   help="relative tolerance for plan-cache counters (default 0.5)")
+    args = p.parse_args()
+
+    cur_cfg, current = load_results(args.current)
+    base_cfg, baseline = load_results(args.baseline)
+
+    # qps is only comparable between like-configured runs on like hardware.
+    # On mismatch (e.g. a baseline captured on a different runner class),
+    # qps checks become advisory; the workload-determined metrics (hit
+    # ratios, plan-cache counters) stay binding either way.
+    qps_binding = True
+    for knob in ("sf", "max_workers", "stripes", "hw_threads"):
+        if cur_cfg.get(knob) != base_cfg.get(knob):
+            print(f"WARNING: config mismatch on '{knob}' "
+                  f"(current={cur_cfg.get(knob)}, baseline={base_cfg.get(knob)}); "
+                  f"qps comparison downgraded to advisory — refresh the "
+                  f"baseline from this environment's artifact.")
+            qps_binding = False
+
+    failures = []
+    notes = []
+
+    for key, base in sorted(baseline.items()):
+        name = f"{key[0]}/{key[1]}/workers={key[2]}"
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{name}: row missing from current run")
+            continue
+
+        # qps: lower bound only (faster is fine, but hint at stale baselines).
+        floor = base["qps"] * (1 - args.tolerance)
+        status = "ok"
+        if cur["qps"] < floor:
+            msg = (f"{name}: qps {cur['qps']:.1f} < {floor:.1f} "
+                   f"(baseline {base['qps']:.1f} - {args.tolerance:.0%})")
+            if qps_binding:
+                failures.append(msg)
+                status = "FAIL"
+            else:
+                notes.append(msg + " [advisory: config mismatch]")
+        elif cur["qps"] > base["qps"] * (1 + args.tolerance):
+            notes.append(
+                f"{name}: qps improved {base['qps']:.1f} -> {cur['qps']:.1f}; "
+                f"consider refreshing the baseline")
+
+        # Hit ratio: workload-determined, should be stable run to run.
+        if abs(cur["hit_ratio"] - base["hit_ratio"]) > args.hit_tolerance:
+            failures.append(
+                f"{name}: hit_ratio {cur['hit_ratio']:.3f} vs baseline "
+                f"{base['hit_ratio']:.3f} (> {args.hit_tolerance} apart)")
+            status = "FAIL"
+
+        # Plan-cache counters (sql_plan_cache rows): compiles exploding means
+        # the fingerprint normalisation or cache sharing broke.
+        for counter in ("plan_compiles", "plan_hits", "plan_lookups"):
+            if counter not in base:
+                continue
+            lo = base[counter] * (1 - args.counter_tolerance)
+            hi = base[counter] * (1 + args.counter_tolerance)
+            if not (lo <= cur.get(counter, -1) <= hi):
+                failures.append(
+                    f"{name}: {counter} {cur.get(counter)} outside "
+                    f"[{lo:.0f}, {hi:.0f}] (baseline {base[counter]})")
+                status = "FAIL"
+
+        print(f"  {status:4s} {name}: qps {cur['qps']:.1f} "
+              f"(baseline {base['qps']:.1f}), hit_ratio {cur['hit_ratio']:.3f} "
+              f"(baseline {base['hit_ratio']:.3f})")
+
+    for n in notes:
+        print(f"  note {n}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions against {args.baseline} "
+          f"(qps tolerance +/-{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

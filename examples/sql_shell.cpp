@@ -61,6 +61,25 @@ void PrintStats(const QueryService& svc) {
       static_cast<unsigned long long>(rs.monitored),
       static_cast<unsigned long long>(rs.hits), svc.recycler().pool_entries(),
       svc.recycler().pool_bytes());
+  // Per-stripe occupancy and contention: a healthy hit-heavy workload shows
+  // shared acquisitions dwarfing exclusive ones, and entries spread across
+  // stripes rather than funnelling into one.
+  std::printf("pool:        stripes=%llu excl-locks=%llu shared-probes=%llu\n",
+              static_cast<unsigned long long>(s.pool_stripes),
+              static_cast<unsigned long long>(s.pool_excl_locks),
+              static_cast<unsigned long long>(s.pool_shared_locks));
+  std::vector<ConcurrentRecycler::StripeStats> stripes =
+      svc.recycler().stripe_stats();
+  for (size_t i = 0; i < stripes.size(); ++i) {
+    const auto& st = stripes[i];
+    if (st.entries == 0 && st.hits == 0 && st.excl_acquisitions == 0) continue;
+    std::printf(
+        "  stripe %2zu: entries=%-5zu bytes=%-9zu hits=%-7llu "
+        "excl=%-6llu shared=%llu\n",
+        i, st.entries, st.bytes, static_cast<unsigned long long>(st.hits),
+        static_cast<unsigned long long>(st.excl_acquisitions),
+        static_cast<unsigned long long>(st.shared_acquisitions));
+  }
 }
 
 void PrintHelp() {

@@ -1,66 +1,114 @@
 #include "core/concurrent_recycler.h"
 
+#include <algorithm>
 #include <mutex>
+#include <sstream>
+
+#include "util/str.h"
+#include "util/timer.h"
 
 namespace recycledb {
 
+ConcurrentRecycler::ConcurrentRecycler(RecyclerConfig cfg)
+    : cfg_(cfg),
+      bounded_(cfg.max_entries != 0 || cfg.max_bytes != 0),
+      shared_(cfg.admission, cfg.credits) {
+  if (cfg_.pool_stripes < 1) cfg_.pool_stripes = 1;
+  stripes_.reserve(cfg_.pool_stripes);
+  for (size_t i = 0; i < cfg_.pool_stripes; ++i) {
+    auto s = std::make_unique<Stripe>();
+    s->core = std::make_unique<Recycler>(cfg_, &shared_);
+    stripes_.push_back(std::move(s));
+  }
+  if (bounded_) {
+    // Global-budget mode: every admission path holds ALL stripe locks (see
+    // SessionOnExit/SessionOnEntry), so the delegate may evict across the
+    // whole group — reproducing the unstriped pool's decisions exactly.
+    shared_.ensure_capacity = [this](Recycler* stripe, size_t bytes_needed) {
+      return EnsureCapacityGlobal(stripe, bytes_needed);
+    };
+  }
+}
+
+size_t ConcurrentRecycler::StripeOf(Opcode op,
+                                    const std::vector<MalValue>& args) const {
+  if (stripes_.size() == 1) return 0;
+  uint64_t h;
+  if (!args.empty() && args[0].is_bat()) {
+    // Key by (subsumption-candidate op, first-arg bat): the probe and every
+    // entry that could answer it — exactly or by subsumption — co-locate.
+    Opcode key_op = Recycler::SubsumptionCandidateOp(op).value_or(op);
+    h = static_cast<uint64_t>(key_op) + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (args[0].bat()->id() * 0xc2b2ae3d27d4eb4fULL)) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+  } else {
+    h = RecyclePool::MatchHash(op, args);
+  }
+  return static_cast<size_t>(h % stripes_.size());
+}
+
 QueryCtx ConcurrentRecycler::SessionBegin(const Program& prog) {
-  // BeginQueryCtx/EndQueryCtx are thread-safe on their own (leaf mutex in
-  // the core), so per-query bookkeeping skips the pool-wide lock entirely.
-  return core_.BeginQueryCtx(prog);
+  // The invocation registry lives in the shared state behind its own leaf
+  // mutex, so per-query bookkeeping skips every pool lock (any stripe core
+  // reaches the same registry).
+  return stripes_[0]->core->BeginQueryCtx(prog);
 }
 
 void ConcurrentRecycler::SessionEnd(const QueryCtx& ctx) {
-  core_.EndQueryCtx(ctx);
+  stripes_[0]->core->EndQueryCtx(ctx);
 }
 
 bool ConcurrentRecycler::SessionOnEntry(const QueryCtx& ctx,
                                         const RecyclerHook::InstrView& instr,
                                         std::vector<MalValue>* results) {
+  size_t si = StripeOf(instr.op, *instr.args);
+  Stripe& s = *stripes_[si];
   {
-    std::shared_lock lock(mu_);
-    if (core_.config().admission == AdmissionKind::kKeepAll) {
-      // Hot path: an exact hit completes entirely under the shared lock
-      // (per-entry reuse stats are atomics; aggregates below are ours).
-      Recycler::SharedHit hit = core_.TryExactHitShared(ctx, instr, results);
-      if (hit.hit) {
-        fast_hits_.fetch_add(1, std::memory_order_relaxed);
-        if (hit.local)
-          fast_local_hits_.fetch_add(1, std::memory_order_relaxed);
-        else
-          fast_global_hits_.fetch_add(1, std::memory_order_relaxed);
-        fast_saved_ns_.fetch_add(static_cast<uint64_t>(hit.saved_ms * 1e6),
-                                 std::memory_order_relaxed);
-        return true;
-      }
-    } else if (core_.pool().FindExact(instr.op, *instr.args) != nullptr) {
-      // Credit regimes mutate the ledger on hits: take the exclusive path.
-      lock.unlock();
-      std::unique_lock wlock(mu_);
-      return core_.OnEntryCtx(ctx, instr, results);
+    std::shared_lock lock(s.mu);
+    s.shared_acq.fetch_add(1, std::memory_order_relaxed);
+    // Hot path: an exact hit completes entirely under the shared lock —
+    // per-entry reuse stats are atomics, the credit ledger is concurrent
+    // (so CREDIT/ADAPT hits stay here too), aggregates below are ours.
+    Recycler::SharedHit hit = s.core->TryExactHitShared(ctx, instr, results);
+    if (hit.hit) {
+      s.fast_hits.fetch_add(1, std::memory_order_relaxed);
+      if (hit.local)
+        s.fast_local_hits.fetch_add(1, std::memory_order_relaxed);
+      else
+        s.fast_global_hits.fetch_add(1, std::memory_order_relaxed);
+      s.fast_saved_ns.fetch_add(static_cast<uint64_t>(hit.saved_ms * 1e6),
+                                std::memory_order_relaxed);
+      return true;
     }
     // Exact match missed: a miss with no subsumption candidates — the
     // common case for cold instructions — finishes under the shared lock.
     bool maybe_subsumes = false;
-    if (core_.config().enable_subsumption && !instr.args->empty() &&
+    if (cfg_.enable_subsumption && !instr.args->empty() &&
         (*instr.args)[0].is_bat()) {
       std::optional<Opcode> cand_op = Recycler::SubsumptionCandidateOp(instr.op);
       maybe_subsumes =
           cand_op.has_value() &&
-          core_.pool().HasEntriesFor(*cand_op, (*instr.args)[0].bat()->id());
+          s.core->pool().HasEntriesFor(*cand_op, (*instr.args)[0].bat()->id());
     }
     if (!maybe_subsumes) {
       // Pure miss: execute outside any lock; OnExit offers the result.
-      fast_misses_.fetch_add(1, std::memory_order_relaxed);
+      s.fast_misses.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
   }
   // Possible subsumption: the DP reads candidate entries and admits the
-  // subsumed result, so it runs under the exclusive lock. It re-probes from
-  // scratch, so a racing invalidation between the two lock scopes degrades
-  // to a miss.
-  std::unique_lock lock(mu_);
-  return core_.OnEntryCtx(ctx, instr, results);
+  // rewritten result, all within this stripe (the stripe key guarantees the
+  // candidate set is local). It re-probes from scratch, so a racing
+  // invalidation between the two lock scopes degrades to a miss. Under a
+  // global budget the admission may need to evict in other stripes, so the
+  // whole group is locked (fixed order) instead.
+  if (bounded_) {
+    auto locks = LockAllExclusive();
+    return s.core->OnEntryCtx(ctx, instr, results);
+  }
+  std::unique_lock lock(s.mu);
+  s.excl_acq.fetch_add(1, std::memory_order_relaxed);
+  return s.core->OnEntryCtx(ctx, instr, results);
 }
 
 void ConcurrentRecycler::SessionOnExit(const QueryCtx& ctx,
@@ -68,63 +116,181 @@ void ConcurrentRecycler::SessionOnExit(const QueryCtx& ctx,
                                        const std::vector<MalValue>& results,
                                        double cpu_ms,
                                        const std::vector<ColumnId>& deps) {
-  std::unique_lock lock(mu_);
-  core_.OnExitCtx(ctx, instr, results, cpu_ms, deps);
+  size_t si = StripeOf(instr.op, *instr.args);
+  Stripe& s = *stripes_[si];
+  if (bounded_) {
+    // Admission under a global byte/entry budget: eviction must see every
+    // stripe, so the whole group is locked in fixed order.
+    auto locks = LockAllExclusive();
+    s.core->OnExitCtx(ctx, instr, results, cpu_ms, deps);
+    return;
+  }
+  std::unique_lock lock(s.mu);
+  s.excl_acq.fetch_add(1, std::memory_order_relaxed);
+  s.core->OnExitCtx(ctx, instr, results, cpu_ms, deps);
+}
+
+std::vector<std::unique_lock<std::shared_mutex>>
+ConcurrentRecycler::LockAllExclusive() {
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (auto& s : stripes_) {
+    locks.emplace_back(s->mu);  // fixed index order: deadlock-free
+    s->excl_acq.fetch_add(1, std::memory_order_relaxed);
+  }
+  return locks;
+}
+
+bool ConcurrentRecycler::EnsureCapacityGlobal(Recycler* admitting,
+                                              size_t bytes_needed) {
+  (void)admitting;  // the budget is global; the admitting stripe is not special
+  uint64_t protected_epoch = cfg_.protect_current_query
+                                 ? stripes_[0]->core->ProtectedEpoch()
+                                 : UINT64_MAX;
+  std::vector<RecyclePool*> pools;
+  pools.reserve(stripes_.size());
+  for (auto& s : stripes_) pools.push_back(&s->core->pool());
+  // Same decision procedure as the unstriped pool, over the union of
+  // stripes; evictions are accounted to the stripe that owned the victim,
+  // so the per-stripe statistics stay meaningful and the roll-up exact.
+  return EnsureCapacityForPools(
+      pools, cfg_.eviction, cfg_.max_entries, cfg_.max_bytes, bytes_needed,
+      protected_epoch, NowMillis(), [this](size_t idx, const PoolEntry& e) {
+        stripes_[idx]->core->NoteEviction(e);
+      });
 }
 
 void ConcurrentRecycler::OnCatalogUpdate(const std::vector<ColumnId>& cols) {
-  std::unique_lock lock(mu_);
-  core_.OnCatalogUpdate(cols);
+  auto locks = LockAllExclusive();
+  for (auto& s : stripes_) s->core->OnCatalogUpdate(cols);
 }
 
 void ConcurrentRecycler::PropagateUpdate(Catalog* catalog,
                                          const std::vector<ColumnId>& cols) {
-  std::unique_lock lock(mu_);
-  core_.PropagateUpdate(catalog, cols);
+  auto locks = LockAllExclusive();
+  // The bind entry that produced a selection's argument may live in another
+  // stripe; the producer registry is shared, so any stripe's pool resolves
+  // it group-wide.
+  auto producer_of = [this](uint64_t bat_id) -> PoolEntry* {
+    return stripes_[0]->core->pool().ProducerOf(bat_id);
+  };
+  std::vector<Recycler::Refresh> refreshes;
+  for (auto& s : stripes_) {
+    auto part = s->core->CollectRefreshes(catalog, cols, producer_of);
+    for (auto& r : part) refreshes.push_back(std::move(r));
+  }
+  for (auto& s : stripes_) s->core->OnCatalogUpdate(cols);
+  // Re-admission is routed by the refreshed instruction's key: the fresh
+  // bind bat may hash the selection into a different stripe than before.
+  for (auto& r : refreshes) {
+    size_t si = StripeOf(r.op, r.args);
+    stripes_[si]->core->AdmitRefresh(std::move(r));
+  }
 }
 
 void ConcurrentRecycler::Clear() {
-  std::unique_lock lock(mu_);
-  core_.Clear();
+  auto locks = LockAllExclusive();
+  for (auto& s : stripes_) s->core->Clear();
 }
 
 void ConcurrentRecycler::ResetStats() {
-  std::unique_lock lock(mu_);
-  core_.ResetStats();
-  fast_misses_.store(0, std::memory_order_relaxed);
-  fast_hits_.store(0, std::memory_order_relaxed);
-  fast_local_hits_.store(0, std::memory_order_relaxed);
-  fast_global_hits_.store(0, std::memory_order_relaxed);
-  fast_saved_ns_.store(0, std::memory_order_relaxed);
+  auto locks = LockAllExclusive();
+  for (auto& s : stripes_) {
+    s->core->ResetStats();
+    s->fast_misses.store(0, std::memory_order_relaxed);
+    s->fast_hits.store(0, std::memory_order_relaxed);
+    s->fast_local_hits.store(0, std::memory_order_relaxed);
+    s->fast_global_hits.store(0, std::memory_order_relaxed);
+    s->fast_saved_ns.store(0, std::memory_order_relaxed);
+    s->excl_acq.store(0, std::memory_order_relaxed);
+    s->shared_acq.store(0, std::memory_order_relaxed);
+  }
 }
 
 RecyclerStats ConcurrentRecycler::stats() const {
-  std::shared_lock lock(mu_);
-  RecyclerStats s = core_.stats();
-  uint64_t fh = fast_hits_.load(std::memory_order_relaxed);
-  s.monitored += fast_misses_.load(std::memory_order_relaxed) + fh;
-  s.hits += fh;
-  s.exact_hits += fh;
-  s.local_hits += fast_local_hits_.load(std::memory_order_relaxed);
-  s.global_hits += fast_global_hits_.load(std::memory_order_relaxed);
-  s.time_saved_ms +=
-      static_cast<double>(fast_saved_ns_.load(std::memory_order_relaxed)) / 1e6;
-  return s;
+  RecyclerStats out;
+  for (auto& s : stripes_) {
+    std::shared_lock lock(s->mu);
+    out += s->core->stats();
+    uint64_t fh = s->fast_hits.load(std::memory_order_relaxed);
+    out.monitored += s->fast_misses.load(std::memory_order_relaxed) + fh;
+    out.hits += fh;
+    out.exact_hits += fh;
+    out.local_hits += s->fast_local_hits.load(std::memory_order_relaxed);
+    out.global_hits += s->fast_global_hits.load(std::memory_order_relaxed);
+    out.time_saved_ms +=
+        static_cast<double>(s->fast_saved_ns.load(std::memory_order_relaxed)) /
+        1e6;
+  }
+  return out;
+}
+
+std::vector<ConcurrentRecycler::StripeStats> ConcurrentRecycler::stripe_stats()
+    const {
+  std::vector<StripeStats> out;
+  out.reserve(stripes_.size());
+  for (auto& s : stripes_) {
+    std::shared_lock lock(s->mu);
+    StripeStats st;
+    st.entries = s->core->pool().num_entries();
+    st.bytes = s->core->pool().total_bytes();
+    st.excl_acquisitions = s->excl_acq.load(std::memory_order_relaxed);
+    st.shared_acquisitions = s->shared_acq.load(std::memory_order_relaxed);
+    st.hits = s->core->stats().hits +
+              s->fast_hits.load(std::memory_order_relaxed);
+    st.admitted = s->core->stats().admitted;
+    st.evicted = s->core->stats().evicted;
+    out.push_back(st);
+  }
+  return out;
+}
+
+std::vector<std::string> ConcurrentRecycler::ContentSignature() const {
+  std::vector<std::string> out;
+  for (auto& s : stripes_) {
+    std::shared_lock lock(s->mu);
+    const RecyclePool& pool = s->core->pool();
+    for (const PoolEntry* e : pool.Entries())
+      out.push_back(RecyclePool::EntrySignature(*e));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 size_t ConcurrentRecycler::pool_entries() const {
-  std::shared_lock lock(mu_);
-  return core_.pool().num_entries();
+  size_t n = 0;
+  for (auto& s : stripes_) {
+    std::shared_lock lock(s->mu);
+    n += s->core->pool().num_entries();
+  }
+  return n;
 }
 
 size_t ConcurrentRecycler::pool_bytes() const {
-  std::shared_lock lock(mu_);
-  return core_.pool().total_bytes();
+  size_t n = 0;
+  for (auto& s : stripes_) {
+    std::shared_lock lock(s->mu);
+    n += s->core->pool().total_bytes();
+  }
+  return n;
 }
 
 std::string ConcurrentRecycler::DumpPool(size_t max_entries) const {
-  std::shared_lock lock(mu_);
-  return core_.DumpPool(max_entries);
+  std::ostringstream os;
+  os << StrFormat("striped recycle pool: %zu stripes, %zu entries, %.2f MB\n",
+                  stripes_.size(), pool_entries(),
+                  static_cast<double>(pool_bytes()) / (1024.0 * 1024.0));
+  size_t budget = max_entries;
+  for (size_t i = 0; i < stripes_.size(); ++i) {
+    std::shared_lock lock(stripes_[i]->mu);
+    const RecyclePool& pool = stripes_[i]->core->pool();
+    if (pool.num_entries() == 0) continue;
+    os << StrFormat("stripe %zu:\n", i);
+    os << pool.Dump(budget);
+    budget -= std::min(budget, pool.num_entries());
+    if (budget == 0) break;
+  }
+  return os.str();
 }
 
 }  // namespace recycledb

@@ -11,46 +11,64 @@
 
 namespace recycledb {
 
-/// Thread-safe shell around one shared Recycler: the single recycle pool
-/// that all workers of a QueryService populate and reuse from.
+/// Thread-safe shell around the shared recycle pool that all workers of a
+/// QueryService populate and reuse from — STRIPED: the pool is partitioned
+/// into `RecyclerConfig::pool_stripes` sub-pools (default 16), each a full
+/// Recycler core with its own shared_mutex, LRU/byte accounting, and
+/// statistics. Admission, eviction, and subsumption in different stripes
+/// proceed in parallel; everything cross-stripe stays exact through shared
+/// state and fixed-order lock acquisition.
 ///
-/// ## Locking protocol (shared_mutex)
+/// ## Stripe selection
 ///
-/// The match indexes and entry payloads are immutable between admissions
-/// and removals, while hit recording only touches per-entry atomics — so
-/// the two dominant operations run under the *shared* lock and the
-/// exclusive lock is reserved for structural changes:
+/// An instruction's stripe is a hash of its identity — but NOT the full
+/// match fingerprint: instructions whose first argument is a bat are keyed
+/// by (SubsumptionCandidateOp(op), first-arg bat id), so an instruction and
+/// every pool entry that could subsume it land in the SAME stripe (e.g. all
+/// kSelect/kUselect over one column fall together, §5.1 candidate sets are
+/// intra-stripe). Everything else (bind, scalar-only args) is keyed by the
+/// full match hash. Exact matching only needs "same key → same stripe",
+/// which both cases guarantee.
 ///
-///  - exact hit under KEEPALL admission (shared lock): the probe reads the
-///    indexes, reuse stats are per-entry atomics, and the aggregate
-///    counters are ConcurrentRecycler-side atomics. Hit-heavy workloads
-///    therefore never serialise on the pool.
-///  - pure miss (shared lock): a failed probe plus a failed
+/// ## Locking protocol (per-stripe shared_mutex)
+///
+///  - exact hit (shared lock on one stripe): probe reads the stripe's
+///    indexes, reuse stats are per-entry atomics, aggregates are per-stripe
+///    atomics on this side. The credit ledger is concurrent (atomic
+///    debit/refund), so CREDIT/ADAPT hits take this path too — the ledger
+///    no longer forces an exclusive upgrade.
+///  - pure miss (shared lock on one stripe): failed probe plus a failed
 ///    subsumption-candidate existence check; the instruction then executes
 ///    OUTSIDE any lock, concurrently with everything.
-///  - subsumption and credit-regime hits (exclusive lock): the DP reads
-///    candidate entries, admits the rewritten result, and the credit ledger
-///    is not concurrent — these re-run the full Algorithm-1 matching under
-///    the exclusive lock. Returned results are shared_ptr copies, so the
-///    lock is released before the caller consumes them.
-///  - recycleExit / admission, eviction, invalidation, Clear, ResetStats
-///    (exclusive).
-///  - stats()/pool introspection (shared): consistent snapshots by value.
+///  - subsumption (exclusive lock on the ONE stripe holding the probe's
+///    candidate set): the DP reads candidates, admits the rewritten result
+///    (same key, same stripe).
+///  - recycleExit / admission (exclusive lock on the target stripe).
+///  - Cross-stripe operations — Clear, ResetStats, catalog invalidation,
+///    update propagation, and ANY admission while a global byte/entry
+///    budget is configured (eviction decisions need the whole pool) —
+///    acquire every stripe's lock in FIXED INDEX ORDER (deadlock-free) and
+///    run the unstriped decision procedure over the union of pools, so a
+///    bounded striped pool evicts exactly what the unstriped pool would.
+///  - stats()/introspection: per-stripe shared locks, taken one at a time.
 ///
-/// Eviction protection is epoch-based: BeginQuery/EndQuery (under the
-/// exclusive lock) maintain the set of in-flight query ids inside the core
-/// Recycler, and eviction spares every entry last touched at or after the
-/// oldest running query — §4.3's protect-current-query rule extended to N
-/// concurrent queries. Entries handed to a running query stay alive via
-/// shared ownership even if evicted or invalidated mid-flight, so the epoch
-/// rule is a reuse-quality policy, not a memory-safety requirement.
+/// Shared across stripes (RecyclerSharedState): the logical use clock, the
+/// invocation registry (so eviction protection reads one global epoch —
+/// each stripe evaluates it independently at its own eviction time, i.e.
+/// per-stripe epochs with a single source of truth), the concurrent credit
+/// ledger, and the subset lattice (selection results admitted in one stripe
+/// must be visible to semijoin-subsumption probes in another).
+///
+/// Entries handed to a running query stay alive via shared ownership even
+/// if evicted or invalidated mid-flight, so the epoch rule is a
+/// reuse-quality policy, not a memory-safety requirement.
 class ConcurrentRecycler {
  public:
-  explicit ConcurrentRecycler(RecyclerConfig cfg = {}) : core_(cfg) {}
+  explicit ConcurrentRecycler(RecyclerConfig cfg = {});
 
   /// Per-worker RecyclerHook facade: holds the worker's current QueryCtx and
-  /// forwards to the shared core under the locking protocol above. One
-  /// Session per interpreter; a Session itself is single-threaded.
+  /// forwards to the shared striped pool under the locking protocol above.
+  /// One Session per interpreter; a Session itself is single-threaded.
   class Session : public RecyclerHook {
    public:
     explicit Session(ConcurrentRecycler* owner) : owner_(owner) {}
@@ -77,7 +95,7 @@ class ConcurrentRecycler {
     return std::make_unique<Session>(this);
   }
 
-  // --- update synchronisation (exclusive) -----------------------------------
+  // --- update synchronisation (all stripes, fixed order) --------------------
   void OnCatalogUpdate(const std::vector<ColumnId>& cols);
   void PropagateUpdate(Catalog* catalog, const std::vector<ColumnId>& cols);
 
@@ -87,15 +105,60 @@ class ConcurrentRecycler {
   void Clear();
   void ResetStats();
 
-  // --- introspection (consistent snapshots) ---------------------------------
+  // --- introspection --------------------------------------------------------
+
+  /// Aggregate statistics: the exact sum of every stripe's core counters
+  /// plus the shared-lock fast-path counters (recorded on this side so the
+  /// fast paths never write a stripe's plain fields).
   RecyclerStats stats() const;
   size_t pool_entries() const;
   size_t pool_bytes() const;
   std::string DumpPool(size_t max_entries = 24) const;
-  const RecyclerConfig& config() const { return core_.config(); }
+  const RecyclerConfig& config() const { return cfg_; }
+
+  /// Per-stripe occupancy and contention counters, for observing the
+  /// striping win without a profiler (surfaced by ServiceStats and the SQL
+  /// shell's `.stats`). `excl_acquisitions` counts exclusive (writer) lock
+  /// takes of the stripe; `shared_acquisitions` counts fast-path probes.
+  struct StripeStats {
+    size_t entries = 0;
+    size_t bytes = 0;
+    uint64_t excl_acquisitions = 0;
+    uint64_t shared_acquisitions = 0;
+    uint64_t hits = 0;      ///< exact + subsumed hits resolved in this stripe
+    uint64_t admitted = 0;
+    uint64_t evicted = 0;
+  };
+  std::vector<StripeStats> stripe_stats() const;
+  size_t num_stripes() const { return stripes_.size(); }
+
+  /// The stripe an instruction with this identity belongs to (exposed for
+  /// tests that pin fingerprints to stripes).
+  size_t StripeOf(Opcode op, const std::vector<MalValue>& args) const;
+
+  /// Sorted multiset of RecyclePool::EntrySignature over every stripe, for
+  /// parity tests against an unstriped Recycler pool.
+  std::vector<std::string> ContentSignature() const;
 
  private:
   friend class Session;
+
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<Recycler> core;
+    // Contention counters.
+    std::atomic<uint64_t> excl_acq{0};
+    std::atomic<uint64_t> shared_acq{0};
+    // Monitored executions resolved entirely on this stripe's shared-lock
+    // fast paths (pure misses and exact hits). Folded into stats() so
+    // aggregates stay exact without the fast paths writing the core's
+    // plain counters.
+    std::atomic<uint64_t> fast_misses{0};
+    std::atomic<uint64_t> fast_hits{0};
+    std::atomic<uint64_t> fast_local_hits{0};
+    std::atomic<uint64_t> fast_global_hits{0};
+    std::atomic<uint64_t> fast_saved_ns{0};
+  };
 
   QueryCtx SessionBegin(const Program& prog);
   void SessionEnd(const QueryCtx& ctx);
@@ -105,16 +168,22 @@ class ConcurrentRecycler {
                      const std::vector<MalValue>& results, double cpu_ms,
                      const std::vector<ColumnId>& deps);
 
-  mutable std::shared_mutex mu_;
-  Recycler core_;
-  /// Monitored executions resolved entirely on the shared-lock fast paths
-  /// (pure misses and exact hits). Folded into stats() so aggregates stay
-  /// exact without the fast paths writing the core's plain counters.
-  std::atomic<uint64_t> fast_misses_{0};
-  std::atomic<uint64_t> fast_hits_{0};
-  std::atomic<uint64_t> fast_local_hits_{0};
-  std::atomic<uint64_t> fast_global_hits_{0};
-  std::atomic<uint64_t> fast_saved_ns_{0};
+  /// Exclusively locks every stripe in index order (the global lock-order
+  /// invariant: stripe i is only ever acquired while holding 0..i-1 or
+  /// nothing). Counts one exclusive acquisition per stripe.
+  std::vector<std::unique_lock<std::shared_mutex>> LockAllExclusive();
+
+  /// The global-budget capacity delegate installed into the shared state
+  /// when max_entries/max_bytes are configured. Requires all stripe locks.
+  bool EnsureCapacityGlobal(Recycler* admitting, size_t bytes_needed);
+
+  RecyclerConfig cfg_;
+  /// True when a byte or entry budget is configured: admissions then take
+  /// every stripe lock so eviction can see (and keep exact) the global
+  /// budget. Hit and miss fast paths stay striped.
+  bool bounded_;
+  RecyclerSharedState shared_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 }  // namespace recycledb

@@ -30,44 +30,58 @@ const char* EvictionName(EvictionKind k) {
 }
 
 CreditLedger::Source& CreditLedger::Lookup(uint64_t tid, int pc) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto it = sources_.find({tid, pc});
   if (it == sources_.end()) {
-    it = sources_.emplace(std::make_pair(tid, pc), Source{initial_}).first;
+    it = sources_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(tid, pc),
+                      std::forward_as_tuple(initial_))
+             .first;
   }
-  return it->second;
+  return it->second;  // map nodes are pointer-stable; counters are atomic
 }
 
 bool CreditLedger::TryAdmit(uint64_t tid, int pc) {
   if (kind_ == AdmissionKind::kKeepAll) return true;
   Source& s = Lookup(tid, pc);
-  ++s.invocations;
-  if (kind_ == AdmissionKind::kAdaptiveCredit && s.invocations > initial_) {
+  int inv = s.invocations.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (kind_ == AdmissionKind::kAdaptiveCredit && inv > initial_) {
     // Graduation point: proven sources get unlimited credits, the rest are
     // cut off (paper §7.2).
-    return s.reused;
+    return s.reused.load(std::memory_order_relaxed);
   }
-  if (s.credits <= 0) return false;
-  --s.credits;
-  return true;
+  // CAS debit: never take the counter below zero under concurrent admits.
+  int c = s.credits.load(std::memory_order_relaxed);
+  while (c > 0) {
+    if (s.credits.compare_exchange_weak(c, c - 1, std::memory_order_relaxed))
+      return true;
+  }
+  return false;
 }
 
 void CreditLedger::NoteReuse(uint64_t tid, int pc, bool local) {
   if (kind_ == AdmissionKind::kKeepAll) return;
   Source& s = Lookup(tid, pc);
-  s.reused = true;
-  if (local) ++s.credits;  // local reuse returns the credit immediately
+  s.reused.store(true, std::memory_order_relaxed);
+  if (local)  // local reuse returns the credit immediately
+    s.credits.fetch_add(1, std::memory_order_relaxed);
 }
 
 void CreditLedger::NoteEviction(uint64_t tid, int pc, bool had_global_reuse) {
   if (kind_ == AdmissionKind::kKeepAll) return;
   if (!had_global_reuse) return;
   Source& s = Lookup(tid, pc);
-  ++s.credits;  // a globally reused instance returns its credit on eviction
+  // A globally reused instance returns its credit on eviction.
+  s.credits.fetch_add(1, std::memory_order_relaxed);
 }
 
 int CreditLedger::CreditsLeft(uint64_t tid, int pc) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto it = sources_.find({tid, pc});
-  return it == sources_.end() ? initial_ : it->second.credits;
+  return it == sources_.end()
+             ? initial_
+             : it->second.credits.load(std::memory_order_relaxed);
 }
 
 double EntryBenefit(const PoolEntry& e, EvictionKind kind, double now_ms) {
@@ -90,63 +104,95 @@ double EntryBenefit(const PoolEntry& e, EvictionKind kind, double now_ms) {
 
 namespace {
 
-/// Victim selection among the current leaves for a single eviction round.
-/// Returns entry ids to evict this round; empty means nothing evictable.
-std::vector<uint64_t> PickRound(RecyclePool* pool, EvictionKind kind,
-                                bool memory_mode, size_t amount_needed,
-                                uint64_t protected_epoch, double now_ms) {
-  std::vector<PoolEntry*> leaves =
-      pool->Leaves(protected_epoch, /*include_protected=*/false);
+/// A prospective victim: the pool that owns it (index into the pool set)
+/// plus the entry. Entry ids are only unique within one pool.
+struct Candidate {
+  size_t pool_idx;
+  PoolEntry* entry;
+};
+
+std::vector<Candidate> GatherLeaves(const std::vector<RecyclePool*>& pools,
+                                    uint64_t protected_epoch,
+                                    bool include_protected) {
+  std::vector<Candidate> out;
+  for (size_t p = 0; p < pools.size(); ++p) {
+    for (PoolEntry* e : pools[p]->Leaves(protected_epoch, include_protected))
+      out.push_back({p, e});
+  }
+  return out;
+}
+
+size_t TotalEntries(const std::vector<RecyclePool*>& pools) {
+  size_t n = 0;
+  for (RecyclePool* p : pools) n += p->num_entries();
+  return n;
+}
+
+size_t TotalBytes(const std::vector<RecyclePool*>& pools) {
+  size_t n = 0;
+  for (RecyclePool* p : pools) n += p->total_bytes();
+  return n;
+}
+
+/// Victim selection among the current leaves (union over all pools) for a
+/// single eviction round. Returns victims to evict this round; empty means
+/// nothing evictable. Decisions depend only on entry statistics — the
+/// logical use clock is shared across a striped group, so a striped pool
+/// picks exactly the victims an unstriped pool would.
+std::vector<Candidate> PickRound(const std::vector<RecyclePool*>& pools,
+                                 EvictionKind kind, bool memory_mode,
+                                 size_t amount_needed,
+                                 uint64_t protected_epoch, double now_ms) {
+  std::vector<Candidate> leaves =
+      GatherLeaves(pools, protected_epoch, /*include_protected=*/false);
   if (leaves.empty()) {
     // Exception of §4.3: a single query may fill the entire pool, in which
     // case its own intermediates become evictable.
-    leaves = pool->Leaves(protected_epoch, /*include_protected=*/true);
+    leaves = GatherLeaves(pools, protected_epoch, /*include_protected=*/true);
   }
   if (leaves.empty()) return {};
 
   if (!memory_mode) {
     // Entry-count limit: evict exactly one entry per round.
-    PoolEntry* victim = nullptr;
+    const Candidate* victim = nullptr;
     if (kind == EvictionKind::kLru) {
-      for (PoolEntry* e : leaves) {
-        if (victim == nullptr || e->last_use_seq < victim->last_use_seq)
-          victim = e;
+      for (const Candidate& c : leaves) {
+        if (victim == nullptr ||
+            c.entry->last_use_seq < victim->entry->last_use_seq)
+          victim = &c;
       }
     } else {
       double best = std::numeric_limits<double>::max();
-      for (PoolEntry* e : leaves) {
-        double b = EntryBenefit(*e, kind, now_ms);
+      for (const Candidate& c : leaves) {
+        double b = EntryBenefit(*c.entry, kind, now_ms);
         if (b < best) {
           best = b;
-          victim = e;
+          victim = &c;
         }
       }
     }
-    return {victim->id};
+    return {*victim};
   }
 
   size_t leaf_bytes = 0;
-  for (PoolEntry* e : leaves) leaf_bytes += e->owned_bytes;
+  for (const Candidate& c : leaves) leaf_bytes += c.entry->owned_bytes;
   if (leaf_bytes <= amount_needed) {
     // Leaves alone cannot free enough: evict them all and let the caller
     // iterate (their parents become leaves).
-    std::vector<uint64_t> all;
-    all.reserve(leaves.size());
-    for (PoolEntry* e : leaves) all.push_back(e->id);
-    return all;
+    return leaves;
   }
 
   if (kind == EvictionKind::kLru) {
     std::sort(leaves.begin(), leaves.end(),
-              [](const PoolEntry* a, const PoolEntry* b) {
-                return a->last_use_seq < b->last_use_seq;
+              [](const Candidate& a, const Candidate& b) {
+                return a.entry->last_use_seq < b.entry->last_use_seq;
               });
-    std::vector<uint64_t> out;
+    std::vector<Candidate> out;
     size_t freed = 0;
-    for (PoolEntry* e : leaves) {
+    for (const Candidate& c : leaves) {
       if (freed >= amount_needed) break;
-      out.push_back(e->id);
-      freed += e->owned_bytes;
+      out.push_back(c);
+      freed += c.entry->owned_bytes;
     }
     return out;
   }
@@ -155,17 +201,17 @@ std::vector<uint64_t> PickRound(RecyclePool* pool, EvictionKind kind,
   // fits in capacity = leaf_bytes - needed (complementary knapsack, greedy
   // 1/2-approximation; §4.3).
   size_t capacity = leaf_bytes - amount_needed;
-  std::vector<PoolEntry*> order = leaves;
+  std::vector<Candidate> order = leaves;
   std::sort(order.begin(), order.end(),
-            [&](const PoolEntry* a, const PoolEntry* b) {
+            [&](const Candidate& a, const Candidate& b) {
               // Zero-byte entries always fit; rank by profit density.
-              double da = a->owned_bytes
-                              ? EntryBenefit(*a, kind, now_ms) /
-                                    static_cast<double>(a->owned_bytes)
+              double da = a.entry->owned_bytes
+                              ? EntryBenefit(*a.entry, kind, now_ms) /
+                                    static_cast<double>(a.entry->owned_bytes)
                               : std::numeric_limits<double>::max();
-              double db = b->owned_bytes
-                              ? EntryBenefit(*b, kind, now_ms) /
-                                    static_cast<double>(b->owned_bytes)
+              double db = b.entry->owned_bytes
+                              ? EntryBenefit(*b.entry, kind, now_ms) /
+                                    static_cast<double>(b.entry->owned_bytes)
                               : std::numeric_limits<double>::max();
               return da > db;
             });
@@ -173,18 +219,18 @@ std::vector<uint64_t> PickRound(RecyclePool* pool, EvictionKind kind,
   size_t used = 0;
   double greedy_profit = 0;
   for (size_t i = 0; i < order.size(); ++i) {
-    if (used + order[i]->owned_bytes <= capacity) {
+    if (used + order[i].entry->owned_bytes <= capacity) {
       keep[i] = true;
-      used += order[i]->owned_bytes;
-      greedy_profit += EntryBenefit(*order[i], kind, now_ms);
+      used += order[i].entry->owned_bytes;
+      greedy_profit += EntryBenefit(*order[i].entry, kind, now_ms);
     }
   }
   // Worst-case guard: compare with keeping only the single best item.
   size_t best_single = SIZE_MAX;
   double best_single_profit = -1;
   for (size_t i = 0; i < order.size(); ++i) {
-    if (order[i]->owned_bytes <= capacity) {
-      double p = EntryBenefit(*order[i], kind, now_ms);
+    if (order[i].entry->owned_bytes <= capacity) {
+      double p = EntryBenefit(*order[i].entry, kind, now_ms);
       if (p > best_single_profit) {
         best_single_profit = p;
         best_single = i;
@@ -195,32 +241,66 @@ std::vector<uint64_t> PickRound(RecyclePool* pool, EvictionKind kind,
     std::fill(keep.begin(), keep.end(), false);
     keep[best_single] = true;
   }
-  std::vector<uint64_t> out;
+  std::vector<Candidate> out;
   for (size_t i = 0; i < order.size(); ++i) {
-    if (!keep[i]) out.push_back(order[i]->id);
+    if (!keep[i]) out.push_back(order[i]);
   }
   return out;
 }
 
+void EvictRound(const std::vector<RecyclePool*>& pools,
+                const std::vector<Candidate>& round, size_t* evicted,
+                const std::function<void(size_t, const PoolEntry&)>& on_evict) {
+  for (const Candidate& c : round) {
+    PoolEntry* e = pools[c.pool_idx]->Get(c.entry->id);
+    if (e == nullptr) continue;
+    on_evict(c.pool_idx, *e);
+    pools[c.pool_idx]->Remove(e->id);
+    ++(*evicted);
+  }
+}
+
 }  // namespace
+
+size_t EvictForEntries(
+    const std::vector<RecyclePool*>& pools, EvictionKind kind,
+    size_t max_entries, size_t need, uint64_t protected_epoch, double now_ms,
+    const std::function<void(size_t, const PoolEntry&)>& on_evict) {
+  size_t evicted = 0;
+  while (TotalEntries(pools) + need > max_entries) {
+    std::vector<Candidate> round = PickRound(
+        pools, kind, /*memory_mode=*/false, 0, protected_epoch, now_ms);
+    if (round.empty()) break;
+    EvictRound(pools, round, &evicted, on_evict);
+  }
+  return evicted;
+}
 
 size_t EvictForEntries(RecyclePool* pool, EvictionKind kind,
                        size_t max_entries, size_t need,
                        uint64_t protected_epoch, double now_ms,
                        const std::function<void(const PoolEntry&)>& on_evict) {
+  return EvictForEntries(
+      std::vector<RecyclePool*>{pool}, kind, max_entries, need,
+      protected_epoch, now_ms,
+      [&on_evict](size_t, const PoolEntry& e) { on_evict(e); });
+}
+
+size_t EvictForMemory(
+    const std::vector<RecyclePool*>& pools, EvictionKind kind,
+    size_t max_bytes, size_t bytes_needed, uint64_t protected_epoch,
+    double now_ms,
+    const std::function<void(size_t, const PoolEntry&)>& on_evict) {
   size_t evicted = 0;
-  while (pool->num_entries() + need > max_entries) {
-    std::vector<uint64_t> round =
-        PickRound(pool, kind, /*memory_mode=*/false, 0, protected_epoch,
-                  now_ms);
+  // Iterate: each round evicts among current leaves; parents surface as new
+  // leaves in the next round.
+  while (TotalBytes(pools) + bytes_needed > max_bytes &&
+         TotalEntries(pools) > 0) {
+    size_t excess = TotalBytes(pools) + bytes_needed - max_bytes;
+    std::vector<Candidate> round = PickRound(
+        pools, kind, /*memory_mode=*/true, excess, protected_epoch, now_ms);
     if (round.empty()) break;
-    for (uint64_t id : round) {
-      PoolEntry* e = pool->Get(id);
-      if (e == nullptr) continue;
-      on_evict(*e);
-      pool->Remove(id);
-      ++evicted;
-    }
+    EvictRound(pools, round, &evicted, on_evict);
   }
   return evicted;
 }
@@ -229,24 +309,31 @@ size_t EvictForMemory(RecyclePool* pool, EvictionKind kind, size_t max_bytes,
                       size_t bytes_needed, uint64_t protected_epoch,
                       double now_ms,
                       const std::function<void(const PoolEntry&)>& on_evict) {
-  size_t evicted = 0;
-  // Iterate: each round evicts among current leaves; parents surface as new
-  // leaves in the next round.
-  while (pool->total_bytes() + bytes_needed > max_bytes &&
-         pool->num_entries() > 0) {
-    size_t excess = pool->total_bytes() + bytes_needed - max_bytes;
-    std::vector<uint64_t> round = PickRound(
-        pool, kind, /*memory_mode=*/true, excess, protected_epoch, now_ms);
-    if (round.empty()) break;
-    for (uint64_t id : round) {
-      PoolEntry* e = pool->Get(id);
-      if (e == nullptr) continue;
-      on_evict(*e);
-      pool->Remove(id);
-      ++evicted;
-    }
+  return EvictForMemory(
+      std::vector<RecyclePool*>{pool}, kind, max_bytes, bytes_needed,
+      protected_epoch, now_ms,
+      [&on_evict](size_t, const PoolEntry& e) { on_evict(e); });
+}
+
+bool EnsureCapacityForPools(
+    const std::vector<RecyclePool*>& pools, EvictionKind kind,
+    size_t max_entries, size_t max_bytes, size_t bytes_needed,
+    uint64_t protected_epoch, double now_ms,
+    const std::function<void(size_t, const PoolEntry&)>& on_evict) {
+  if (max_entries != 0) {
+    EvictForEntries(pools, kind, max_entries, 1, protected_epoch, now_ms,
+                    on_evict);
+    if (TotalEntries(pools) + 1 > max_entries) return false;
   }
-  return evicted;
+  if (max_bytes != 0) {
+    if (bytes_needed > max_bytes) return false;
+    if (TotalBytes(pools) + bytes_needed > max_bytes) {
+      EvictForMemory(pools, kind, max_bytes, bytes_needed, protected_epoch,
+                     now_ms, on_evict);
+    }
+    if (TotalBytes(pools) + bytes_needed > max_bytes) return false;
+  }
+  return true;
 }
 
 }  // namespace recycledb

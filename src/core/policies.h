@@ -1,9 +1,12 @@
 #ifndef RECYCLEDB_CORE_POLICIES_H_
 #define RECYCLEDB_CORE_POLICIES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <vector>
 
 #include "core/recycle_pool.h"
 
@@ -32,6 +35,12 @@ const char* EvictionName(EvictionKind k);
 /// eviction of an instance that had seen global reuse. The adaptive variant
 /// grants unlimited credits to sources with at least one reuse after
 /// `credits` invocations, and cuts off the rest (§7.2).
+///
+/// The ledger is CONCURRENT: per-source credit counters are atomics with a
+/// CAS debit loop, and the source map is guarded by a leaf mutex taken only
+/// to find-or-create the node (std::map nodes are pointer-stable). This is
+/// what lets CREDIT/ADAPT exact hits run under the striped recycler's
+/// *shared* pool lock: NoteReuse on the hit path mutates only atomics.
 class CreditLedger {
  public:
   CreditLedger(AdmissionKind kind, int credits)
@@ -41,7 +50,8 @@ class CreditLedger {
   /// admitting under the credit regimes; KEEPALL always admits.
   bool TryAdmit(uint64_t tid, int pc);
 
-  /// A pool instance of this source was reused.
+  /// A pool instance of this source was reused. Safe under a shared pool
+  /// lock (atomic refund / graduation flag).
   void NoteReuse(uint64_t tid, int pc, bool local);
 
   /// A pool instance of this source was evicted.
@@ -51,14 +61,16 @@ class CreditLedger {
 
  private:
   struct Source {
-    int credits;
-    int invocations = 0;
-    bool reused = false;
+    explicit Source(int c) : credits(c) {}
+    std::atomic<int> credits;
+    std::atomic<int> invocations{0};
+    std::atomic<bool> reused{false};
   };
   Source& Lookup(uint64_t tid, int pc);
 
   AdmissionKind kind_;
   int initial_;
+  mutable std::mutex map_mu_;  ///< guards the map structure, not the counters
   std::map<std::pair<uint64_t, int>, Source> sources_;
 };
 
@@ -69,6 +81,19 @@ class CreditLedger {
 /// concurrent queries — unless the protected entries fill the pool.
 /// `on_evict` fires for every victim before removal.
 /// Returns the number of entries evicted.
+///
+/// The multi-pool overloads treat `pools` as ONE logical pool (the striped
+/// recycler's global byte/entry budget): limits apply to the sum over all
+/// pools, victims are picked among the union of leaves, and the callback
+/// receives the index of the pool that owned the victim. Entry ids are only
+/// unique within one pool, which is why victims are (pool, id) pairs
+/// internally. The single-pool overloads are thin wrappers, so striped and
+/// unstriped eviction share one decision procedure — the parity guarantee.
+size_t EvictForEntries(
+    const std::vector<RecyclePool*>& pools, EvictionKind kind,
+    size_t max_entries, size_t need, uint64_t protected_epoch, double now_ms,
+    const std::function<void(size_t, const PoolEntry&)>& on_evict);
+
 size_t EvictForEntries(RecyclePool* pool, EvictionKind kind,
                        size_t max_entries, size_t need,
                        uint64_t protected_epoch, double now_ms,
@@ -78,10 +103,29 @@ size_t EvictForEntries(RecyclePool* pool, EvictionKind kind,
 /// benefit/history policies this solves the complementary binary-knapsack
 /// problem with the greedy 1/2-approximation of §4.3 (items in decreasing
 /// profit-per-byte order, compared against the best single item).
+size_t EvictForMemory(
+    const std::vector<RecyclePool*>& pools, EvictionKind kind,
+    size_t max_bytes, size_t bytes_needed, uint64_t protected_epoch,
+    double now_ms,
+    const std::function<void(size_t, const PoolEntry&)>& on_evict);
+
 size_t EvictForMemory(RecyclePool* pool, EvictionKind kind, size_t max_bytes,
                       size_t bytes_needed, uint64_t protected_epoch,
                       double now_ms,
                       const std::function<void(const PoolEntry&)>& on_evict);
+
+/// The full budget-enforcement decision for one admission: evict under the
+/// entry budget, reject oversize results, evict under the byte budget, and
+/// re-check; returns false when the admission must be declined. A zero
+/// limit means unlimited. This is THE single decision procedure — the
+/// unstriped recycler calls it with its one pool and the striped group with
+/// every stripe's pool — which is what makes striped and unstriped
+/// admission/eviction decisions provably identical.
+bool EnsureCapacityForPools(
+    const std::vector<RecyclePool*>& pools, EvictionKind kind,
+    size_t max_entries, size_t max_bytes, size_t bytes_needed,
+    uint64_t protected_epoch, double now_ms,
+    const std::function<void(size_t, const PoolEntry&)>& on_evict);
 
 /// B(I) under the given policy (Eqs. 1-3). Exposed for tests and benches.
 double EntryBenefit(const PoolEntry& e, EvictionKind kind, double now_ms);

@@ -26,6 +26,50 @@ void ForEachResultColumn(const PoolEntry& e, Fn&& fn) {
 
 }  // namespace
 
+void SubsetLattice::AddEdge(uint64_t sub_bat, uint64_t super_bat) {
+  if (sub_bat == super_bat) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Bound the relation table; losing edges only loses optional subsumption.
+  if (subset_parents_.size() > 200000) subset_parents_.clear();
+  auto& parents = subset_parents_[sub_bat];
+  if (std::find(parents.begin(), parents.end(), super_bat) == parents.end())
+    parents.push_back(super_bat);
+}
+
+bool SubsetLattice::IsSubsetOf(uint64_t sub_bat, uint64_t super_bat) const {
+  if (sub_bat == super_bat) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  // DFS up the superset edges; the lattice is tiny.
+  std::vector<uint64_t> work{sub_bat};
+  std::vector<uint64_t> seen;
+  while (!work.empty()) {
+    uint64_t cur = work.back();
+    work.pop_back();
+    auto it = subset_parents_.find(cur);
+    if (it == subset_parents_.end()) continue;
+    for (uint64_t p : it->second) {
+      if (p == super_bat) return true;
+      if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+        seen.push_back(p);
+        work.push_back(p);
+      }
+    }
+  }
+  return false;
+}
+
+void SubsetLattice::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  subset_parents_.clear();
+}
+
+RecyclePool::RecyclePool(PoolSharedState* shared) : shared_(shared) {
+  if (shared_ == nullptr) {
+    owned_shared_ = std::make_unique<PoolSharedState>();
+    shared_ = owned_shared_.get();
+  }
+}
+
 size_t RecyclePool::MatchHash(Opcode op, const std::vector<MalValue>& args) {
   size_t h = static_cast<size_t>(op) * 0x9e3779b97f4a7c15ULL + 0x1234567;
   for (const MalValue& a : args) {
@@ -45,36 +89,38 @@ uint64_t RecyclePool::Admit(PoolEntry entry) {
 
 void RecyclePool::IndexEntry(PoolEntry* e) {
   match_index_.emplace(MatchHash(e->op, e->args), e->id);
-  for (const MalValue& v : e->results) {
-    if (v.is_bat()) producer_[v.bat()->id()] = e->id;
-  }
   if (!e->args.empty() && e->args[0].is_bat()) {
     op_arg_index_[{static_cast<int>(e->op), e->args[0].bat()->id()}]
         .push_back(e->id);
   }
-  // Lineage edges: the producers of my bat arguments gain a child.
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  for (const MalValue& v : e->results) {
+    if (v.is_bat()) shared_->producer[v.bat()->id()] = e;
+  }
+  // Lineage edges: the producers of my bat arguments gain a child — the
+  // producer may live in another stripe's pool (atomic counter, see
+  // PoolEntry::children).
   for (const MalValue& a : e->args) {
     if (!a.is_bat()) continue;
-    auto it = producer_.find(a.bat()->id());
-    if (it != producer_.end() && it->second != e->id) {
-      PoolEntry* parent = Get(it->second);
-      if (parent != nullptr) ++parent->children;
+    auto it = shared_->producer.find(a.bat()->id());
+    if (it != shared_->producer.end() && it->second != e) {
+      it->second->children.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // Memory attribution: fresh columns are owned; shared columns add a
   // borrow edge to the owning entry (keeps subsumption sources alive).
   ForEachResultColumn(*e, [&](const Column* c) {
-    auto it = col_track_.find(c);
-    if (it == col_track_.end()) {
+    auto it = shared_->col_track.find(c);
+    if (it == shared_->col_track.end()) {
       size_t bytes = c->MemoryBytes();
-      col_track_.emplace(c, ColTrack{e->id, 1, bytes});
+      shared_->col_track.emplace(c,
+                                 PoolSharedState::ColTrack{e, this, 1, bytes});
       e->owned_bytes += bytes;
-      total_bytes_ += bytes;
+      total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     } else {
       ++it->second.refs;
-      if (it->second.owner_entry != e->id) {
-        PoolEntry* owner = Get(it->second.owner_entry);
-        if (owner != nullptr) ++owner->children;
+      if (it->second.owner != nullptr && it->second.owner != e) {
+        it->second.owner->children.fetch_add(1, std::memory_order_relaxed);
       }
     }
   });
@@ -89,11 +135,6 @@ void RecyclePool::UnindexEntry(PoolEntry* e) {
       break;
     }
   }
-  for (const MalValue& v : e->results) {
-    if (!v.is_bat()) continue;
-    auto it = producer_.find(v.bat()->id());
-    if (it != producer_.end() && it->second == e->id) producer_.erase(it);
-  }
   if (!e->args.empty() && e->args[0].is_bat()) {
     auto key = std::make_pair(static_cast<int>(e->op), e->args[0].bat()->id());
     auto it = op_arg_index_.find(key);
@@ -103,24 +144,41 @@ void RecyclePool::UnindexEntry(PoolEntry* e) {
       if (vec.empty()) op_arg_index_.erase(it);
     }
   }
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  for (const MalValue& v : e->results) {
+    if (!v.is_bat()) continue;
+    auto it = shared_->producer.find(v.bat()->id());
+    if (it != shared_->producer.end() && it->second == e)
+      shared_->producer.erase(it);
+  }
   for (const MalValue& a : e->args) {
     if (!a.is_bat()) continue;
-    auto it = producer_.find(a.bat()->id());
-    if (it != producer_.end() && it->second != e->id) {
-      PoolEntry* parent = Get(it->second);
-      if (parent != nullptr && parent->children > 0) --parent->children;
+    auto it = shared_->producer.find(a.bat()->id());
+    if (it != shared_->producer.end() && it->second != e) {
+      PoolEntry* parent = it->second;
+      if (parent->children.load(std::memory_order_relaxed) > 0)
+        parent->children.fetch_sub(1, std::memory_order_relaxed);
     }
   }
   ForEachResultColumn(*e, [&](const Column* c) {
-    auto it = col_track_.find(c);
-    if (it == col_track_.end()) return;
-    if (it->second.owner_entry != e->id) {
-      PoolEntry* owner = Get(it->second.owner_entry);
-      if (owner != nullptr && owner->children > 0) --owner->children;
+    auto it = shared_->col_track.find(c);
+    if (it == shared_->col_track.end()) return;
+    if (it->second.owner != e) {
+      PoolEntry* owner = it->second.owner;
+      if (owner != nullptr &&
+          owner->children.load(std::memory_order_relaxed) > 0)
+        owner->children.fetch_sub(1, std::memory_order_relaxed);
     }
     if (--it->second.refs == 0) {
-      total_bytes_ -= it->second.bytes;
-      col_track_.erase(it);
+      // The introducing pool carries the bytes until the LAST borrower dies
+      // (the column's data was alive until now), then gives them back.
+      it->second.owner_pool->total_bytes_.fetch_sub(
+          it->second.bytes, std::memory_order_relaxed);
+      shared_->col_track.erase(it);
+    } else if (it->second.owner == e) {
+      // The owner dies while borrowers remain: keep the attribution target
+      // but never dereference the entry again.
+      it->second.owner = nullptr;
     }
   });
 }
@@ -148,6 +206,12 @@ bool RecyclePool::HasEntriesFor(Opcode op, uint64_t bat_id) const {
   return it != op_arg_index_.end() && !it->second.empty();
 }
 
+PoolEntry* RecyclePool::ProducerOf(uint64_t bat_id) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  auto it = shared_->producer.find(bat_id);
+  return it == shared_->producer.end() ? nullptr : it->second;
+}
+
 std::vector<PoolEntry*> RecyclePool::FindByOpAndFirstArg(Opcode op,
                                                          uint64_t bat_id) {
   std::vector<PoolEntry*> out;
@@ -161,45 +225,17 @@ std::vector<PoolEntry*> RecyclePool::FindByOpAndFirstArg(Opcode op,
   return out;
 }
 
-PoolEntry* RecyclePool::ProducerOf(uint64_t bat_id) {
-  auto it = producer_.find(bat_id);
-  if (it == producer_.end()) return nullptr;
-  return Get(it->second);
-}
-
 PoolEntry* RecyclePool::Get(uint64_t id) {
   auto it = entries_.find(id);
   return it == entries_.end() ? nullptr : &it->second;
 }
 
 void RecyclePool::AddSubsetEdge(uint64_t sub_bat, uint64_t super_bat) {
-  if (sub_bat == super_bat) return;
-  // Bound the relation table; losing edges only loses optional subsumption.
-  if (subset_parents_.size() > 200000) subset_parents_.clear();
-  auto& parents = subset_parents_[sub_bat];
-  if (std::find(parents.begin(), parents.end(), super_bat) == parents.end())
-    parents.push_back(super_bat);
+  shared_->lattice.AddEdge(sub_bat, super_bat);
 }
 
 bool RecyclePool::IsSubsetOf(uint64_t sub_bat, uint64_t super_bat) const {
-  if (sub_bat == super_bat) return true;
-  // DFS up the superset edges; the lattice is tiny.
-  std::vector<uint64_t> work{sub_bat};
-  std::vector<uint64_t> seen;
-  while (!work.empty()) {
-    uint64_t cur = work.back();
-    work.pop_back();
-    auto it = subset_parents_.find(cur);
-    if (it == subset_parents_.end()) continue;
-    for (uint64_t p : it->second) {
-      if (p == super_bat) return true;
-      if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
-        seen.push_back(p);
-        work.push_back(p);
-      }
-    }
-  }
-  return false;
+  return shared_->lattice.IsSubsetOf(sub_bat, super_bat);
 }
 
 void RecyclePool::Remove(uint64_t id, bool force) {
@@ -230,13 +266,15 @@ size_t RecyclePool::InvalidateColumns(const std::vector<ColumnId>& cols) {
 }
 
 void RecyclePool::Clear() {
+  // Unwind entry by entry: in a striped group the shared bookkeeping still
+  // carries the OTHER stripes' entries, so a wholesale map clear would
+  // corrupt their accounting. (A standalone pool ends up empty either way;
+  // a full striped Clear visits every stripe.)
+  for (auto& [id, e] : entries_) UnindexEntry(&e);
   entries_.clear();
   match_index_.clear();
-  producer_.clear();
   op_arg_index_.clear();
-  col_track_.clear();
-  subset_parents_.clear();
-  total_bytes_ = 0;
+  shared_->lattice.Clear();
 }
 
 std::vector<PoolEntry*> RecyclePool::Entries() {
@@ -278,6 +316,14 @@ size_t RecyclePool::ReusedEntries() const {
     if (e.reuses > 0 || e.subsumption_uses > 0) ++n;
   }
   return n;
+}
+
+std::string RecyclePool::EntrySignature(const PoolEntry& e) {
+  return StrFormat("%s|rows=%zu|bytes=%zu|reuses=%d|subs=%d|deps=%zu",
+                   OpcodeName(e.op), e.result_rows, e.owned_bytes,
+                   e.reuses.load(std::memory_order_relaxed),
+                   e.subsumption_uses.load(std::memory_order_relaxed),
+                   e.deps.size());
 }
 
 std::string RecyclePool::Dump(size_t max_entries) const {

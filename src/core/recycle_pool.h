@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +14,26 @@
 #include "mal/value.h"
 
 namespace recycledb {
+
+/// Subset relations between intermediates (the W ⊂ V test of semijoin
+/// subsumption, §5.1), keyed by bat id. Kept outside RecyclePool so a
+/// striped recycler can share ONE lattice across all stripe pools — a
+/// selection admitted in one stripe must be visible to a semijoin probe in
+/// another. Internally locked (a leaf mutex): edges are added and queried
+/// under different stripes' pool locks concurrently. The relation is lossy
+/// by design — it is bounded, and dropping edges only loses optional
+/// subsumption opportunities, never correctness.
+class SubsetLattice {
+ public:
+  /// Registers that `sub` (a bat id) is a subset of `super` (a bat id).
+  void AddEdge(uint64_t sub_bat, uint64_t super_bat);
+  bool IsSubsetOf(uint64_t sub_bat, uint64_t super_bat) const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> subset_parents_;
+};
 
 /// One cached instruction instance: the instruction (opcode + resolved
 /// argument values), its materialised results, and the execution / reuse
@@ -49,7 +71,11 @@ struct PoolEntry {
   uint64_t source_tid = 0;    ///< template id of the source instruction
   int source_pc = 0;          ///< pc of the source instruction
   std::vector<ColumnId> deps; ///< persistent columns it derives from
-  int children = 0;           ///< pool entries consuming my results
+  /// Pool entries consuming my results. Atomic because in a STRIPED pool an
+  /// admission in one stripe adds a lineage/borrow edge onto a producer that
+  /// may live in another stripe, without that stripe's lock; readers (leaf
+  /// tests for eviction) always hold every stripe lock.
+  std::atomic<int> children{0};
 
   PoolEntry() = default;
   // Atomics are neither movable nor copyable member-wise; entries transfer
@@ -72,7 +98,7 @@ struct PoolEntry {
     return *this;
   }
 
-  bool IsLeaf() const { return children == 0; }
+  bool IsLeaf() const { return children.load(std::memory_order_relaxed) == 0; }
 
  private:
   void CopyScalars(const PoolEntry& o) {
@@ -98,8 +124,38 @@ struct PoolEntry {
     admit_query = o.admit_query;
     source_tid = o.source_tid;
     source_pc = o.source_pc;
-    children = o.children;
+    children.store(o.children.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
   }
+};
+
+class RecyclePool;
+
+/// Bookkeeping that must span every stripe of a striped pool group (a
+/// standalone RecyclePool owns a private instance, so its semantics are
+/// unchanged): column-level memory attribution and borrow edges, the
+/// bat→producer registry driving lineage (children) counters, and the
+/// subset lattice. An intermediate admitted in one stripe may share columns
+/// with — or be the producer of — an argument of an entry in another
+/// stripe; keeping these maps per-stripe would double-count memory and lose
+/// lineage edges, changing eviction decisions.
+///
+/// Guarded by one leaf mutex, taken inside RecyclePool's index/unindex and
+/// lookup paths (never while calling back out). The PoolEntry pointers
+/// stored here stay valid under concurrent striped use because entry
+/// REMOVAL (eviction, invalidation, Clear) only ever happens with every
+/// stripe lock held, while lock-disjoint concurrent operations only add.
+struct PoolSharedState {
+  struct ColTrack {
+    PoolEntry* owner;         ///< nulled when the owning entry is removed
+    RecyclePool* owner_pool;  ///< byte-attribution target (survives owner)
+    int refs;
+    size_t bytes;
+  };
+  std::mutex mu;
+  std::unordered_map<const Column*, ColTrack> col_track;
+  std::unordered_map<uint64_t, PoolEntry*> producer;  ///< bat id -> entry
+  SubsetLattice lattice;
 };
 
 /// The recycle pool: an instruction cache with lineage (paper §4.1).
@@ -111,7 +167,10 @@ struct PoolEntry {
 /// column-wise invalidation.
 class RecyclePool {
  public:
-  RecyclePool() = default;
+  /// `shared` lets a striped recycler share one cross-stripe bookkeeping
+  /// instance across all stripe pools; by default the pool owns a private
+  /// one (the standalone single-pool case, semantics unchanged).
+  explicit RecyclePool(PoolSharedState* shared = nullptr);
   RecyclePool(const RecyclePool&) = delete;
   RecyclePool& operator=(const RecyclePool&) = delete;
 
@@ -132,7 +191,8 @@ class RecyclePool {
   /// (subsumption candidate enumeration).
   std::vector<PoolEntry*> FindByOpAndFirstArg(Opcode op, uint64_t bat_id);
 
-  /// Entry producing the bat `bat_id`, or nullptr.
+  /// Entry producing the bat `bat_id`, or nullptr. In a striped group the
+  /// producer may belong to a different stripe's pool.
   PoolEntry* ProducerOf(uint64_t bat_id);
 
   PoolEntry* Get(uint64_t id);
@@ -157,7 +217,12 @@ class RecyclePool {
 
   // --- introspection --------------------------------------------------------
   size_t num_entries() const { return entries_.size(); }
-  size_t total_bytes() const { return total_bytes_; }
+  /// Bytes attributed to THIS pool: every tracked column is charged to the
+  /// pool whose entry introduced it, so the per-stripe totals of a striped
+  /// group sum exactly to the unstriped pool's total.
+  size_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Live entries, unordered. Pointers valid until the next mutation.
   std::vector<PoolEntry*> Entries();
@@ -180,25 +245,30 @@ class RecyclePool {
   /// Table I-style rendering of the pool head.
   std::string Dump(size_t max_entries = 24) const;
 
- private:
-  struct ColTrack {
-    uint64_t owner_entry;
-    int refs;
-    size_t bytes;
-  };
-
+  /// The exact-match key hash over (opcode, argument values). Public because
+  /// the striped recycler uses it as (part of) the stripe-selection key.
   static size_t MatchHash(Opcode op, const std::vector<MalValue>& args);
+
+  /// Timing-free identity of one entry (opcode, result rows, owned bytes,
+  /// reuse counters, dependency count). Two pools whose sorted signature
+  /// multisets are equal hold equivalent contents — the parity tests compare
+  /// a striped pool against an unstriped one with this, since bat ids and
+  /// measured costs differ between otherwise identical runs.
+  static std::string EntrySignature(const PoolEntry& e);
+
+ private:
   void IndexEntry(PoolEntry* e);
   void UnindexEntry(PoolEntry* e);
 
   std::unordered_map<uint64_t, PoolEntry> entries_;
   std::unordered_multimap<size_t, uint64_t> match_index_;
-  std::unordered_map<uint64_t, uint64_t> producer_;  // bat id -> entry id
   // (op, first-arg bat id) -> entry ids, for subsumption candidates.
   std::map<std::pair<int, uint64_t>, std::vector<uint64_t>> op_arg_index_;
-  std::unordered_map<const Column*, ColTrack> col_track_;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> subset_parents_;
-  size_t total_bytes_ = 0;
+  std::unique_ptr<PoolSharedState> owned_shared_;  ///< null when sharing
+  PoolSharedState* shared_;
+  /// Mutated only under shared_->mu; atomic so introspection from any
+  /// thread holding this pool's (stripe) lock reads a torn-free value.
+  std::atomic<size_t> total_bytes_{0};
   uint64_t next_id_ = 1;
 };
 

@@ -7,9 +7,16 @@
 
 namespace recycledb {
 
-Recycler::Recycler(RecyclerConfig cfg)
+Recycler::Recycler(RecyclerConfig cfg) : Recycler(cfg, nullptr) {}
+
+Recycler::Recycler(RecyclerConfig cfg, RecyclerSharedState* shared)
     : cfg_(cfg),
-      ledger_(cfg.admission, cfg.credits),
+      owned_shared_(shared == nullptr
+                        ? std::make_unique<RecyclerSharedState>(cfg.admission,
+                                                                cfg.credits)
+                        : nullptr),
+      shared_(shared == nullptr ? owned_shared_.get() : shared),
+      pool_(&shared_->pool_shared),
       subsume_(&pool_, SubsumptionEngine::Options{
                            cfg.enable_combined_subsumption,
                            cfg.combined_max_candidates,
@@ -18,23 +25,24 @@ Recycler::Recycler(RecyclerConfig cfg)
 QueryCtx Recycler::BeginQueryCtx(const Program& prog) {
   (void)prog;
   QueryCtx ctx;
-  ctx.query_id = ++query_seq_;
-  std::lock_guard<std::mutex> lock(active_mu_);
-  active_queries_.push_back(ctx.query_id);
+  ctx.query_id = ++shared_->query_seq;
+  std::lock_guard<std::mutex> lock(shared_->active_mu);
+  shared_->active_queries.push_back(ctx.query_id);
   return ctx;
 }
 
 void Recycler::EndQueryCtx(const QueryCtx& ctx) {
-  std::lock_guard<std::mutex> lock(active_mu_);
-  auto it = std::find(active_queries_.begin(), active_queries_.end(),
-                      ctx.query_id);
-  if (it != active_queries_.end()) active_queries_.erase(it);
+  std::lock_guard<std::mutex> lock(shared_->active_mu);
+  auto it = std::find(shared_->active_queries.begin(),
+                      shared_->active_queries.end(), ctx.query_id);
+  if (it != shared_->active_queries.end()) shared_->active_queries.erase(it);
 }
 
 uint64_t Recycler::ProtectedEpoch() const {
-  std::lock_guard<std::mutex> lock(active_mu_);
-  if (active_queries_.empty()) return UINT64_MAX;
-  return *std::min_element(active_queries_.begin(), active_queries_.end());
+  std::lock_guard<std::mutex> lock(shared_->active_mu);
+  if (shared_->active_queries.empty()) return UINT64_MAX;
+  return *std::min_element(shared_->active_queries.begin(),
+                           shared_->active_queries.end());
 }
 
 void Recycler::BeginQuery(const Program& prog) {
@@ -63,9 +71,9 @@ void Recycler::RecordHit(const QueryCtx& ctx, PoolEntry* e, bool exact) {
     e->local_reuse = true;
   else
     e->global_reuse = true;
-  e->last_use_seq = ++clock_;
+  e->last_use_seq = ++shared_->clock;
   e->last_query = ctx.query_id;
-  ledger_.NoteReuse(e->source_tid, e->source_pc, local);
+  shared_->ledger.NoteReuse(e->source_tid, e->source_pc, local);
   ++stats_.hits;
   if (exact) ++stats_.exact_hits;
   if (local)
@@ -102,9 +110,13 @@ Recycler::SharedHit Recycler::TryExactHitShared(const QueryCtx& ctx,
     e->local_reuse.store(true, std::memory_order_relaxed);
   else
     e->global_reuse.store(true, std::memory_order_relaxed);
-  e->last_use_seq.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-                        std::memory_order_relaxed);
+  e->last_use_seq.store(
+      shared_->clock.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
   e->last_query.store(ctx.query_id, std::memory_order_relaxed);
+  // The concurrent ledger makes the credit-regime hit path shared-lock safe:
+  // the refund is an atomic increment on the source's counter.
+  shared_->ledger.NoteReuse(e->source_tid, e->source_pc, local);
   out.hit = true;
   out.local = local;
   out.saved_ms = e->cost_ms;
@@ -161,7 +173,7 @@ bool Recycler::OnEntryCtx(const QueryCtx& ctx, const InstrView& instr,
   std::vector<ColumnId> deps;
   for (PoolEntry* src : outcome->sources) {
     ++src->subsumption_uses;
-    src->last_use_seq = ++clock_;
+    src->last_use_seq = ++shared_->clock;
     bool local = src->admit_query == ctx.query_id;
     src->last_query = ctx.query_id;
     any_local |= local;
@@ -227,7 +239,7 @@ bool Recycler::AdmitResult(const QueryCtx& ctx, const InstrView& instr,
     ++stats_.rejected;
     return false;
   }
-  if (!ledger_.TryAdmit(instr.prog->template_id, instr.pc)) {
+  if (!shared_->ledger.TryAdmit(instr.prog->template_id, instr.pc)) {
     ++stats_.rejected;
     return false;
   }
@@ -244,7 +256,7 @@ bool Recycler::AdmitResult(const QueryCtx& ctx, const InstrView& instr,
   e.cost_ms = cost_ms;
   e.result_rows =
       (!results.empty() && results[0].is_bat()) ? results[0].bat()->size() : 0;
-  e.admit_seq = ++clock_;
+  e.admit_seq = ++shared_->clock;
   e.last_use_seq = e.admit_seq;
   e.admit_ms = NowMillis();
   e.admit_query = ctx.query_id;
@@ -284,48 +296,32 @@ void Recycler::AddSubsetEdges(Opcode op, const std::vector<MalValue>& args,
 
 void Recycler::NoteEviction(const PoolEntry& e) {
   ++stats_.evicted;
-  ledger_.NoteEviction(e.source_tid, e.source_pc, e.global_reuse);
+  shared_->ledger.NoteEviction(e.source_tid, e.source_pc, e.global_reuse);
 }
 
 bool Recycler::EnsureCapacity(size_t bytes_needed) {
+  // Striped mode with a budget: the owner enforces the GLOBAL limit across
+  // all stripes (and guarantees every stripe lock is held when we get here).
+  if (shared_->ensure_capacity) return shared_->ensure_capacity(this, bytes_needed);
+
   uint64_t protected_epoch =
       cfg_.protect_current_query ? ProtectedEpoch() : UINT64_MAX;
-  auto on_evict = [this](const PoolEntry& e) { NoteEviction(e); };
-
-  if (cfg_.max_entries != 0) {
-    EvictForEntries(&pool_, cfg_.eviction, cfg_.max_entries, 1,
-                    protected_epoch, NowMillis(), on_evict);
-    if (pool_.num_entries() + 1 > cfg_.max_entries) return false;
-  }
-  if (cfg_.max_bytes != 0) {
-    if (bytes_needed > cfg_.max_bytes) return false;
-    if (pool_.total_bytes() + bytes_needed > cfg_.max_bytes) {
-      EvictForMemory(&pool_, cfg_.eviction, cfg_.max_bytes, bytes_needed,
-                     protected_epoch, NowMillis(), on_evict);
-    }
-    if (pool_.total_bytes() + bytes_needed > cfg_.max_bytes) return false;
-  }
-  return true;
+  return EnsureCapacityForPools(
+      {&pool_}, cfg_.eviction, cfg_.max_entries, cfg_.max_bytes, bytes_needed,
+      protected_epoch, NowMillis(),
+      [this](size_t, const PoolEntry& e) { NoteEviction(e); });
 }
 
 void Recycler::OnCatalogUpdate(const std::vector<ColumnId>& cols) {
   stats_.invalidated += pool_.InvalidateColumns(cols);
 }
 
-void Recycler::PropagateUpdate(Catalog* catalog,
-                               const std::vector<ColumnId>& cols) {
+std::vector<Recycler::Refresh> Recycler::CollectRefreshes(
+    Catalog* catalog, const std::vector<ColumnId>& cols,
+    const std::function<PoolEntry*(uint64_t)>& producer_of) {
   // Collect affected entries, separating refreshable select-over-bind
   // entries (single-column dependency, insert-only delta available) from
   // the rest.
-  struct Refresh {
-    Opcode op;
-    std::vector<MalValue> args;  // with arg0 rewritten to the fresh bind
-    std::vector<MalValue> results;
-    double cost_ms;
-    std::vector<ColumnId> deps;
-    uint64_t source_tid;
-    int source_pc;
-  };
   std::vector<Refresh> refreshes;
 
   for (PoolEntry* e : pool_.Entries()) {
@@ -337,9 +333,10 @@ void Recycler::PropagateUpdate(Catalog* catalog,
     }
     if (!affected) continue;
     if (e->op != Opcode::kSelect || e->deps.size() != 1) continue;
-    // Identify the bind instruction that produced arg0.
+    // Identify the bind instruction that produced arg0 (possibly admitted
+    // in a different stripe, hence the indirection).
     if (e->args.empty() || !e->args[0].is_bat()) continue;
-    PoolEntry* bind = pool_.ProducerOf(e->args[0].bat()->id());
+    PoolEntry* bind = producer_of(e->args[0].bat()->id());
     if (bind == nullptr || bind->op != Opcode::kBind) continue;
     const std::string& table = bind->args[1].scalar().AsStr();
     const std::string& column = bind->args[2].scalar().AsStr();
@@ -369,31 +366,40 @@ void Recycler::PropagateUpdate(Catalog* catalog,
     r.source_pc = e->source_pc;
     refreshes.push_back(std::move(r));
   }
+  return refreshes;
+}
+
+void Recycler::AdmitRefresh(Refresh r) {
+  if (!EnsureCapacity(EstimateNewBytes(r.results))) return;
+  PoolEntry e;
+  e.op = r.op;
+  e.args = std::move(r.args);
+  e.results = std::move(r.results);
+  e.cost_ms = r.cost_ms;
+  e.result_rows = e.results[0].bat()->size();
+  e.admit_seq = ++shared_->clock;
+  e.last_use_seq = e.admit_seq;
+  e.admit_ms = NowMillis();
+  e.admit_query = shared_->query_seq.load(std::memory_order_relaxed);
+  e.last_query = e.admit_query;
+  e.source_tid = r.source_tid;
+  e.source_pc = r.source_pc;
+  e.deps = std::move(r.deps);
+  AddSubsetEdges(e.op, e.args, e.results);
+  pool_.Admit(std::move(e));
+  ++stats_.propagated;
+}
+
+void Recycler::PropagateUpdate(Catalog* catalog,
+                               const std::vector<ColumnId>& cols) {
+  std::vector<Refresh> refreshes = CollectRefreshes(
+      catalog, cols, [this](uint64_t bat_id) { return pool_.ProducerOf(bat_id); });
 
   // Drop the affected subtree wholesale, then re-admit the refreshed
   // selections against the new binds.
   stats_.invalidated += pool_.InvalidateColumns(cols);
 
-  for (Refresh& r : refreshes) {
-    if (!EnsureCapacity(EstimateNewBytes(r.results))) continue;
-    PoolEntry e;
-    e.op = r.op;
-    e.args = std::move(r.args);
-    e.results = std::move(r.results);
-    e.cost_ms = r.cost_ms;
-    e.result_rows = e.results[0].bat()->size();
-    e.admit_seq = ++clock_;
-    e.last_use_seq = e.admit_seq;
-    e.admit_ms = NowMillis();
-    e.admit_query = query_seq_.load(std::memory_order_relaxed);
-    e.last_query = e.admit_query;
-    e.source_tid = r.source_tid;
-    e.source_pc = r.source_pc;
-    e.deps = std::move(r.deps);
-    AddSubsetEdges(e.op, e.args, e.results);
-    pool_.Admit(std::move(e));
-    ++stats_.propagated;
-  }
+  for (Refresh& r : refreshes) AdmitRefresh(std::move(r));
 }
 
 void Recycler::Clear() { pool_.Clear(); }

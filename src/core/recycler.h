@@ -2,6 +2,8 @@
 #define RECYCLEDB_CORE_RECYCLER_H_
 
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -13,6 +15,8 @@
 #include "interp/recycler_hook.h"
 
 namespace recycledb {
+
+class Recycler;
 
 /// Knobs of the recycler architecture (paper §3-§6). Defaults correspond to
 /// the paper's baseline micro-benchmark setting: KEEPALL admission, no
@@ -29,6 +33,11 @@ struct RecyclerConfig {
   bool enable_combined_subsumption = true;
   size_t combined_max_candidates = 16;
   size_t combined_overhead_rows = 16;
+
+  /// Lock stripes of the shared pool (ConcurrentRecycler only; a standalone
+  /// Recycler has no locks). Admission/eviction/subsumption in different
+  /// stripes proceed in parallel; 1 reproduces the single-lock protocol.
+  size_t pool_stripes = 16;
 
   /// Protect the running queries' intermediates from eviction (§4.3); the
   /// single-query-fills-pool exception still applies. With N concurrent
@@ -55,6 +64,30 @@ struct RecyclerStats {
   double match_ms = 0;       ///< total time spent in recycleEntry matching
   double subsume_alg_ms = 0; ///< time inside the combined-subsumption DP
   double max_subsume_alg_ms = 0;
+
+  /// Field-wise accumulation (counters/times sum, maxima take the max).
+  /// THE aggregation for rolling per-stripe statistics up — add new fields
+  /// here, not at the call sites.
+  RecyclerStats& operator+=(const RecyclerStats& o) {
+    monitored += o.monitored;
+    hits += o.hits;
+    exact_hits += o.exact_hits;
+    subsumed_hits += o.subsumed_hits;
+    combined_hits += o.combined_hits;
+    local_hits += o.local_hits;
+    global_hits += o.global_hits;
+    admitted += o.admitted;
+    rejected += o.rejected;
+    evicted += o.evicted;
+    invalidated += o.invalidated;
+    propagated += o.propagated;
+    time_saved_ms += o.time_saved_ms;
+    match_ms += o.match_ms;
+    subsume_alg_ms += o.subsume_alg_ms;
+    if (o.max_subsume_alg_ms > max_subsume_alg_ms)
+      max_subsume_alg_ms = o.max_subsume_alg_ms;
+    return *this;
+  }
 };
 
 /// Identifies one query invocation against the shared pool by its globally
@@ -62,6 +95,39 @@ struct RecyclerStats {
 /// and the eviction-protection epoch.
 struct QueryCtx {
   uint64_t query_id = 0;
+};
+
+/// State shared by every stripe of a striped recycler group (see
+/// ConcurrentRecycler): the logical use clock, the invocation counter and
+/// active-query registry (eviction-protection epochs), the credit ledger,
+/// and the subset lattice. A standalone Recycler owns a private instance,
+/// so its semantics are unchanged.
+///
+/// Every member is individually thread-safe: the clocks are atomics, the
+/// registry has a leaf mutex, and CreditLedger / SubsetLattice lock
+/// internally. One query id sequence spanning all stripes is what keeps
+/// cross-stripe LRU ordering and local/global reuse classification
+/// identical to the unstriped pool.
+struct RecyclerSharedState {
+  RecyclerSharedState(AdmissionKind kind, int credits)
+      : ledger(kind, credits) {}
+
+  std::atomic<uint64_t> clock{0};  ///< logical use clock (LRU ordering)
+  /// Invocation counter (local/global classification, protection epoch).
+  std::atomic<uint64_t> query_seq{0};
+  mutable std::mutex active_mu;  ///< guards active_queries (leaf lock)
+  std::vector<uint64_t> active_queries;  ///< ids of in-flight invocations
+  CreditLedger ledger;
+  /// Cross-stripe pool bookkeeping: column memory attribution + borrow
+  /// edges, bat→producer lineage registry, subset lattice.
+  PoolSharedState pool_shared;
+
+  /// Capacity delegate. When set (striped mode with a byte/entry budget),
+  /// admissions call this instead of the stripe-local EnsureCapacity, so
+  /// eviction sees the GLOBAL budget across all stripes. The striped owner
+  /// guarantees every path that can reach an admission holds all stripe
+  /// locks (acquired in fixed index order) whenever this is set.
+  std::function<bool(Recycler* stripe, size_t bytes_needed)> ensure_capacity;
 };
 
 /// The recycler run-time support (paper §3.3, Algorithm 1): implements the
@@ -87,6 +153,11 @@ struct QueryCtx {
 class Recycler : public RecyclerHook {
  public:
   explicit Recycler(RecyclerConfig cfg = {});
+
+  /// Striped-mode constructor: the instance becomes one stripe of a group
+  /// sharing `shared` (clock, query registry, ledger, lattice, capacity
+  /// delegate), which must outlive it. Used by ConcurrentRecycler.
+  Recycler(RecyclerConfig cfg, RecyclerSharedState* shared);
 
   // --- RecyclerHook (Algorithm 1, single-session convenience) ---------------
   // These forward to the multi-session API below using an instance-held
@@ -134,10 +205,11 @@ class Recycler : public RecyclerHook {
 
   /// Exact-match hit path that is safe under a *shared* (read) pool lock:
   /// the match indexes are only read, per-entry reuse statistics are
-  /// atomics, and the logical clock is atomic. Valid only under KEEPALL
-  /// admission (the credit ledger is not concurrent) — callers gate on
-  /// config().admission. Aggregate RecyclerStats are deliberately NOT
-  /// touched; ConcurrentRecycler accounts the hit on its side.
+  /// atomics, the logical clock is atomic, and the credit ledger is
+  /// concurrent — so CREDIT/ADAPT hits take this path too (the ledger
+  /// refund on local reuse is an atomic increment). Aggregate RecyclerStats
+  /// are deliberately NOT touched; ConcurrentRecycler accounts the hit on
+  /// its side.
   SharedHit TryExactHitShared(const QueryCtx& ctx, const InstrView& instr,
                               std::vector<MalValue>* results);
 
@@ -178,6 +250,33 @@ class Recycler : public RecyclerHook {
   }
 
  private:
+  friend class ConcurrentRecycler;  ///< striped owner: cross-stripe ops
+
+  /// One §6.3-refreshable select-over-bind entry, collected before the
+  /// invalidation wave and re-admitted after it. Public to the striped
+  /// owner, which routes each refresh to the stripe of its new key.
+  struct Refresh {
+    Opcode op;
+    std::vector<MalValue> args;  // with arg0 rewritten to the fresh bind
+    std::vector<MalValue> results;
+    double cost_ms;
+    std::vector<ColumnId> deps;
+    uint64_t source_tid;
+    int source_pc;
+  };
+
+  /// The read-side of PropagateUpdate: finds every affected select-over-bind
+  /// entry in THIS pool, re-runs it over the insert delta, and returns the
+  /// refreshed entries. `producer_of` resolves a bat id to its producing
+  /// entry — across all stripes in striped mode (the bind entry that
+  /// produced a selection's argument may live in a different stripe).
+  std::vector<Refresh> CollectRefreshes(
+      Catalog* catalog, const std::vector<ColumnId>& cols,
+      const std::function<PoolEntry*(uint64_t)>& producer_of);
+
+  /// Re-admits one refreshed entry (capacity-checked; counts `propagated`).
+  void AdmitRefresh(Refresh r);
+
   void RecordHit(const QueryCtx& ctx, PoolEntry* e, bool exact);
   /// Admits an executed/subsumed result; returns true if stored.
   bool AdmitResult(const QueryCtx& ctx, const InstrView& instr,
@@ -185,6 +284,7 @@ class Recycler : public RecyclerHook {
                    const std::vector<ColumnId>& deps,
                    const std::vector<PoolEntry*>& extra_sources);
   /// Frees capacity for `bytes_needed`; returns false if impossible.
+  /// Delegates to the shared capacity hook in striped mode.
   bool EnsureCapacity(size_t bytes_needed);
   void NoteEviction(const PoolEntry& e);
   void AddSubsetEdges(Opcode op, const std::vector<MalValue>& args,
@@ -192,15 +292,11 @@ class Recycler : public RecyclerHook {
   size_t EstimateNewBytes(const std::vector<MalValue>& results) const;
 
   RecyclerConfig cfg_;
+  std::unique_ptr<RecyclerSharedState> owned_shared_;  ///< null as a stripe
+  RecyclerSharedState* shared_;
   RecyclePool pool_;
-  CreditLedger ledger_;
   SubsumptionEngine subsume_;
   RecyclerStats stats_;
-  std::atomic<uint64_t> clock_{0};  ///< logical use clock (LRU ordering)
-  /// Invocation counter (local/global classification, protection epoch).
-  std::atomic<uint64_t> query_seq_{0};
-  mutable std::mutex active_mu_;  ///< guards active_queries_ (leaf lock)
-  std::vector<uint64_t> active_queries_;  ///< ids of in-flight invocations
   QueryCtx cur_ctx_;        ///< context of the single-session convenience API
 };
 

@@ -186,6 +186,11 @@ ServiceStats QueryService::stats() const {
   s.plan_hits = pc.hits;
   s.plan_compiles = pc.compiles;
   s.plan_invalidations = pc.invalidations;
+  s.pool_stripes = recycler_.num_stripes();
+  for (const auto& st : recycler_.stripe_stats()) {
+    s.pool_excl_locks += st.excl_acquisitions;
+    s.pool_shared_locks += st.shared_acquisitions;
+  }
   return s;
 }
 

@@ -47,6 +47,13 @@ struct ServiceStats {
   uint64_t plan_hits = 0;           ///< probes answered without compiling
   uint64_t plan_compiles = 0;       ///< statements compiled to a Program
   uint64_t plan_invalidations = 0;  ///< cached plans dropped by commits/DDL
+  // Striped shared-pool contention counters (Σ over stripes; the per-stripe
+  // breakdown is ConcurrentRecycler::stripe_stats()). Exclusive acquisitions
+  // are structural changes (admission/eviction/invalidation/subsumption);
+  // shared acquisitions are fast-path probes (exact hits + pure misses).
+  uint64_t pool_stripes = 0;
+  uint64_t pool_excl_locks = 0;
+  uint64_t pool_shared_locks = 0;
 };
 
 /// One query of a synchronous batch.

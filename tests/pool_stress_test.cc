@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
+#include <thread>
 
+#include "core/concurrent_recycler.h"
 #include "core/policies.h"
 #include "core/recycle_pool.h"
 #include "core/recycler.h"
@@ -129,6 +132,104 @@ TEST_P(PoolStress, AccountingStaysConsistentUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PoolStress,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(StripedPoolStressTest, MixedOpsRespectGlobalBudgetAndRollUp) {
+  // Mixed admission/eviction/invalidation churn from several threads over a
+  // striped pool with a GLOBAL byte budget. Argument bats are pre-selected
+  // to pin work onto several distinct stripes. At every quiescent point:
+  // the budget holds across stripes, and the rolled-up statistics equal the
+  // per-stripe sums exactly.
+  RecyclerConfig cfg;
+  cfg.pool_stripes = 8;
+  cfg.max_bytes = 24 * 1024;
+  cfg.enable_subsumption = false;  // synthetic instructions, no candidates
+  ConcurrentRecycler rec(cfg);
+  ASSERT_EQ(rec.num_stripes(), 8u);
+
+  PlanBuilder pb("stress");
+  pb.ExportValue(pb.ConstInt(1), "x");
+  Program prog = pb.Build();
+
+  ColumnId col_a{0, 0}, col_b{0, 1};
+
+  // Fixed argument bats covering at least half the stripes, so admissions,
+  // hits and evictions demonstrably cross stripe boundaries.
+  std::vector<BatPtr> arg_bats;
+  std::set<size_t> covered;
+  for (int i = 0; i < 64 && (covered.size() < 4 || arg_bats.size() < 8); ++i) {
+    BatPtr b = FreshBat(32);
+    std::vector<MalValue> probe{MalValue(b), MalValue(Scalar::Int(0))};
+    covered.insert(rec.StripeOf(Opcode::kSelectNotNil, probe));
+    arg_bats.push_back(b);
+  }
+  ASSERT_GE(covered.size(), 4u);
+
+  const int kThreads = 4;
+  const int kPhases = 3;
+  const int kIters = 250;
+  for (int phase = 0; phase < kPhases; ++phase) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, phase, t] {
+        auto session = rec.NewSession();
+        Rng rng(1000 * phase + t);
+        session->BeginQuery(prog);
+        for (int i = 0; i < kIters; ++i) {
+          BatPtr arg = arg_bats[rng.Uniform(arg_bats.size())];
+          std::vector<MalValue> args{
+              MalValue(arg),
+              MalValue(Scalar::Int(static_cast<int32_t>(rng.Uniform(48))))};
+          RecyclerHook::InstrView view{&prog, static_cast<int>(rng.Uniform(8)),
+                                       Opcode::kSelectNotNil, &args};
+          std::vector<MalValue> rets;
+          if (!session->OnEntry(view, &rets)) {
+            std::vector<MalValue> results{
+                MalValue(FreshBat(rng.Uniform(96) + 1))};
+            session->OnExit(view, results, 0.01,
+                            {rng.Bernoulli(0.5) ? col_a : col_b});
+          }
+          if (rng.Bernoulli(0.02)) rec.OnCatalogUpdate({col_a});
+          if (i % 100 == 99) {
+            session->EndQuery();
+            session->BeginQuery(prog);
+          }
+        }
+        session->EndQuery();
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    // --- quiescent invariants ----------------------------------------------
+    EXPECT_LE(rec.pool_bytes(), cfg.max_bytes)
+        << "cross-stripe eviction violated the global byte budget";
+    RecyclerStats total = rec.stats();
+    uint64_t sum_hits = 0, sum_admitted = 0, sum_evicted = 0;
+    size_t sum_entries = 0, sum_bytes = 0;
+    for (const auto& st : rec.stripe_stats()) {
+      sum_hits += st.hits;
+      sum_admitted += st.admitted;
+      sum_evicted += st.evicted;
+      sum_entries += st.entries;
+      sum_bytes += st.bytes;
+    }
+    EXPECT_EQ(total.hits, sum_hits);
+    EXPECT_EQ(total.admitted, sum_admitted);
+    EXPECT_EQ(total.evicted, sum_evicted);
+    EXPECT_EQ(rec.pool_entries(), sum_entries);
+    EXPECT_EQ(rec.pool_bytes(), sum_bytes);
+  }
+
+  // The workload must actually have exercised all three op classes, across
+  // more than one stripe.
+  RecyclerStats s = rec.stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.evicted, 0u) << "budget never forced cross-stripe eviction";
+  EXPECT_GT(s.invalidated, 0u);
+  size_t stripes_touched = 0;
+  for (const auto& st : rec.stripe_stats())
+    if (st.admitted > 0) ++stripes_touched;
+  EXPECT_GE(stripes_touched, 2u) << "work never spread across stripes";
+}
 
 TEST(InvalidationClosureTest, RandomWorkloadSurvivesRandomInvalidation) {
   // Interleave query execution with invalidation of random columns and
