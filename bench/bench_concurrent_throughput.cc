@@ -15,6 +15,7 @@
 // benchmark-regression harness (bench/check_regression.py compares it
 // against bench/baseline/BENCH_concurrent.json).
 
+#include <algorithm>
 #include <fstream>
 
 #include "bench/bench_common.h"
@@ -67,10 +68,11 @@ struct Sample {
   uint64_t pool_hits = 0;
 };
 
-/// One row of the machine-readable output (--json): either a throughput
-/// sample (phase="throughput", load hot/cold) or the SQL plan-cache phase
-/// (phase="sql_plan_cache"). check_regression.py keys rows by
-/// (phase, load, workers).
+/// One row of the machine-readable output (--json): a throughput sample
+/// (phase="throughput", load hot/cold), the SQL plan-cache phase
+/// (phase="sql_plan_cache"), or the mixed SELECT+DML phase
+/// (phase="sql_dml_mixed", where hit_ratio is the POST-update hit ratio).
+/// check_regression.py keys rows by (phase, load, workers).
 struct JsonRow {
   std::string phase;
   std::string load;
@@ -82,6 +84,11 @@ struct JsonRow {
   uint64_t plan_compiles = 0;
   uint64_t plan_hits = 0;
   uint64_t plan_lookups = 0;
+  // sql_dml_mixed only: commit-driven pool maintenance (§6.3 split).
+  bool has_dml = false;
+  uint64_t propagated = 0;
+  uint64_t invalidated = 0;
+  uint64_t dml_commits = 0;
 };
 
 void WriteJson(const std::string& path, double sf, int max_workers,
@@ -111,6 +118,14 @@ void WriteJson(const std::string& path, double sf, int max_workers,
           static_cast<unsigned long long>(r.plan_compiles),
           static_cast<unsigned long long>(r.plan_hits),
           static_cast<unsigned long long>(r.plan_lookups));
+    }
+    if (r.has_dml) {
+      out << StrFormat(
+          ", \"propagated\": %llu, \"invalidated\": %llu, "
+          "\"dml_commits\": %llu",
+          static_cast<unsigned long long>(r.propagated),
+          static_cast<unsigned long long>(r.invalidated),
+          static_cast<unsigned long long>(r.dml_commits));
     }
     out << (i + 1 < rows.size() ? "},\n" : "}\n");
   }
@@ -264,6 +279,152 @@ JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
   return row;
 }
 
+/// Mixed SELECT+DML update workload through SubmitSql: drained waves of
+/// cached-plan SELECTs over `orders` interleaved with committed INSERT
+/// batches (insert-only commits, which the recycler must answer with §6.3
+/// delta propagation) and DELETE transactions (which must invalidate). The
+/// phase owns a private TPC-H copy — it mutates the database.
+///
+/// Reported: mixed throughput (selects + DML statements per second), the
+/// commit-driven pool maintenance counters (propagations/invalidations),
+/// and the POST-update hit ratio — a replay wave after the final insert-only
+/// commit, measuring how much of the pool survives an update workload in
+/// usable (refreshed) form.
+JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round) {
+  auto cat = MakeTpchDb(EnvSf());
+  const size_t base_rows = cat->FindTable("orders")->num_rows();
+  QueryService svc(cat.get(), BenchConfig(workers));
+  Rng rng(31337);
+
+  auto select_sql = [&](int i) -> std::string {
+    int y = 1993 + (i % 4);
+    switch (i % 3) {
+      case 0:  // single-dep select-over-bind: the propagation target
+        return StrFormat(
+            "select count(*) from orders where o_orderdate >= date "
+            "'%d-01-01'",
+            y);
+      case 1:
+        return StrFormat(
+            "select o_orderpriority, count(*) from orders where o_orderdate "
+            "between date '%d-01-01' and date '%d-06-01' "
+            "group by o_orderpriority",
+            y, y);
+      default:
+        return StrFormat(
+            "select sum(o_totalprice) from orders where o_orderdate >= "
+            "date '%d-01-01'",
+            y);
+    }
+  };
+
+  auto run_wave = [&](int n, int offset) {
+    std::vector<std::future<Result<QueryResult>>> futs;
+    futs.reserve(n);
+    for (int i = 0; i < n; ++i)
+      futs.push_back(svc.SubmitSql(select_sql(offset + i)));
+    for (auto& f : futs) {
+      auto r = f.get();
+      if (!r.ok()) {
+        std::fprintf(stderr, "mixed select failed: %s\n",
+                     r.status().ToString().c_str());
+        std::abort();
+      }
+    }
+  };
+  auto run_dml = [&](const std::string& stmt) {
+    auto r = svc.RunSql(stmt);
+    if (!r.ok()) {
+      std::fprintf(stderr, "dml failed (%s): %s\n", stmt.c_str(),
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+  };
+
+  // Warm the plan cache and the pool with every pattern.
+  run_wave(24, 0);
+  svc.recycler().ResetStats();
+
+  // Inserted orders take keys strictly above every generated one (derived,
+  // not assumed — generated keys scale with SF), so the periodic DELETE
+  // targets exactly the benchmark's own rows.
+  Oid key_base = 0;
+  for (Oid k : cat->FindTable("orders")->column(0)->Data<Oid>())
+    key_base = std::max(key_base, k);
+  ++key_base;
+  Oid next_key = key_base;
+  StopWatch sw;
+  int n_statements = 0;
+  for (int round = 0; round < n_rounds; ++round) {
+    run_wave(selects_per_round, round * selects_per_round);
+    n_statements += selects_per_round;
+    if (round % 4 == 2) {
+      // Delete everything this phase inserted so far: the commit contains
+      // deletes and must take the invalidation path.
+      run_dml(StrFormat("delete from orders where o_orderkey >= %llu",
+                        static_cast<unsigned long long>(key_base)));
+    } else {
+      // Insert-only transaction: a batch of fresh orders.
+      std::string stmt = "insert into orders values ";
+      for (int i = 0; i < 8; ++i) {
+        if (i) stmt += ", ";
+        stmt += StrFormat(
+            "(%llu, %llu, 'O', %.2f, date '%d-%02d-01', '3-MEDIUM', "
+            "'bench dml row')",
+            static_cast<unsigned long long>(next_key++),
+            static_cast<unsigned long long>(rng.Uniform(100)),
+            1000.0 + static_cast<double>(rng.Uniform(5000)),
+            1993 + static_cast<int>(rng.Uniform(4)),
+            1 + static_cast<int>(rng.Uniform(12)));
+      }
+      run_dml(stmt);
+    }
+    run_dml("commit");
+    n_statements += 2;
+  }
+  double secs = sw.ElapsedSeconds();
+  ServiceStats mixed = svc.stats();
+
+  // Post-update replay: the last commit was insert-only, so refreshed
+  // entries must keep answering the select-over-bind patterns.
+  svc.recycler().ResetStats();
+  run_wave(2 * selects_per_round, 0);
+  RecyclerStats post = svc.recycler().stats();
+  double post_hit_ratio =
+      post.monitored ? static_cast<double>(post.hits) / post.monitored : 0.0;
+
+  std::printf("mixed SELECT+DML (%d workers, %d rounds, %d selects/round)\n",
+              workers, n_rounds, selects_per_round);
+  std::printf(
+      "  qps=%.1f  inserted=%llu deleted=%llu commits=%llu  "
+      "pool: propagated=%llu invalidated=%llu\n",
+      n_statements / secs,
+      static_cast<unsigned long long>(mixed.dml_inserted_rows),
+      static_cast<unsigned long long>(mixed.dml_deleted_rows),
+      static_cast<unsigned long long>(mixed.dml_commits),
+      static_cast<unsigned long long>(mixed.pool_propagated),
+      static_cast<unsigned long long>(mixed.pool_invalidated));
+  std::printf(
+      "  post-update wave: hit ratio %.2f (hits=%llu monitored=%llu), "
+      "orders rows %zu -> %zu\n",
+      post_hit_ratio, static_cast<unsigned long long>(post.hits),
+      static_cast<unsigned long long>(post.monitored), base_rows,
+      cat->FindTable("orders")->num_rows());
+
+  JsonRow row;
+  row.phase = "sql_dml_mixed";
+  row.load = "mixed";
+  row.workers = workers;
+  row.qps = n_statements / secs;
+  row.hit_ratio = post_hit_ratio;
+  row.pool_hits = post.hits;
+  row.has_dml = true;
+  row.propagated = mixed.pool_propagated;
+  row.invalidated = mixed.pool_invalidated;
+  row.dml_commits = mixed.dml_commits;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -328,6 +489,9 @@ int main(int argc, char** argv) {
                 hot_4w / hot_1w > 1.5 ? "(scales)" : "(NOT scaling)");
   }
   rows.push_back(RunSqlPlanCachePhase(cat.get(), std::min(4, max_workers), 500));
+  // 12 rounds x 600 selects keeps the timed window comparable to the other
+  // gated phases (short windows make the qps gate flake-prone).
+  rows.push_back(RunMixedDmlPhase(std::min(4, max_workers), 12, 600));
 
   if (!json_path.empty()) {
     WriteJson(json_path, EnvSf(), max_workers,

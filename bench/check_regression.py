@@ -7,11 +7,17 @@ regresses beyond tolerance:
 
   qps         relative: fail when current < baseline * (1 - tolerance)
   hit_ratio   absolute: fail when |current - baseline| > hit tolerance
-  plan_*      relative: fail when outside baseline * (1 +/- counter tolerance)
+  counters    relative: fail when outside baseline * (1 +/- counter
+              tolerance); applies to the plan-cache counters (plan_*) and
+              the DML pool-maintenance counters (propagated, invalidated,
+              dml_commits)
 
-Rows are keyed by (phase, load, workers); every baseline row must be present
-in the current run. Improvements never fail, but a qps gain beyond the
-tolerance prints a hint to refresh the baseline.
+Rows are keyed by (phase, load, workers) and the key sets must MATCH: a
+baseline row missing from the current run fails (a phase silently stopped
+running), and a current row missing from the baseline also fails (a new
+phase landed without refreshing the baseline — refresh it so the phase is
+actually gated instead of silently skipped). Improvements never fail, but a
+qps gain beyond the tolerance prints a hint to refresh the baseline.
 
 Usage:
   python3 bench/check_regression.py CURRENT.json bench/baseline/BENCH_concurrent.json
@@ -69,6 +75,15 @@ def main():
     failures = []
     notes = []
 
+    # Both directions must match: a phase dropping out of the current run is
+    # a regression, and a phase absent from the baseline would otherwise run
+    # completely ungated.
+    for key in sorted(current.keys() - baseline.keys()):
+        failures.append(
+            f"{key[0]}/{key[1]}/workers={key[2]}: row missing from the "
+            f"baseline — refresh bench/baseline/BENCH_concurrent.json so this "
+            f"phase is gated")
+
     for key, base in sorted(baseline.items()):
         name = f"{key[0]}/{key[1]}/workers={key[2]}"
         cur = current.get(key)
@@ -99,16 +114,31 @@ def main():
                 f"{base['hit_ratio']:.3f} (> {args.hit_tolerance} apart)")
             status = "FAIL"
 
-        # Plan-cache counters (sql_plan_cache rows): compiles exploding means
-        # the fingerprint normalisation or cache sharing broke.
-        for counter in ("plan_compiles", "plan_hits", "plan_lookups"):
-            if counter not in base:
+        # Workload-determined counters. Plan-cache counters (sql_plan_cache
+        # rows): compiles exploding means the fingerprint normalisation or
+        # cache sharing broke. DML counters (sql_dml_mixed rows): propagated
+        # collapsing to zero means insert-only commits stopped taking the
+        # §6.3 propagation path.
+        for counter in ("plan_compiles", "plan_hits", "plan_lookups",
+                        "propagated", "invalidated", "dml_commits"):
+            in_base, in_cur = counter in base, counter in cur
+            if not in_base and not in_cur:
+                continue
+            # Presence must match in both directions, same as the row keys:
+            # a counter the bench now emits but the baseline lacks would
+            # otherwise run completely ungated.
+            if in_base != in_cur:
+                which = ("baseline" if in_cur else "current run")
+                failures.append(
+                    f"{name}: counter '{counter}' missing from the {which} — "
+                    f"refresh the baseline so it is gated")
+                status = "FAIL"
                 continue
             lo = base[counter] * (1 - args.counter_tolerance)
             hi = base[counter] * (1 + args.counter_tolerance)
-            if not (lo <= cur.get(counter, -1) <= hi):
+            if not (lo <= cur[counter] <= hi):
                 failures.append(
-                    f"{name}: {counter} {cur.get(counter)} outside "
+                    f"{name}: {counter} {cur[counter]} outside "
                     f"[{lo:.0f}, {hi:.0f}] (baseline {base[counter]})")
                 status = "FAIL"
 

@@ -12,10 +12,18 @@
 //   .stats           service, plan-cache, and recycle-pool counters
 //   .plan SELECT ... print the compiled MAL listing without running it
 //   .tables          list tables and row counts
+//   .autocommit on|off  toggle per-statement COMMIT after DML (default on)
 //   .quit            exit (EOF works too)
 //
-// The REPL reads one statement per line. Queries to try against the TPC-H
-// database (each is one input line; wrapped here only to fit the comment):
+// The REPL reads one statement per line: SELECT, INSERT, DELETE, or COMMIT.
+// DML runs through the service's exclusive update lock; with autocommit on
+// (the default) every INSERT/DELETE is committed immediately, which makes
+// the recycle pool react per §6.3 — insert-only commits *propagate*
+// (refresh select-over-bind entries from the delta), deletes *invalidate*.
+// With autocommit off, deltas accumulate until an explicit COMMIT.
+//
+// Queries to try against the TPC-H database (each is one input line;
+// wrapped here only to fit the comment):
 //
 //   select l_returnflag, count(*), sum(l_quantity) from lineitem where
 //   l_shipdate <= date '1998-09-02' group by l_returnflag
@@ -25,6 +33,10 @@
 //
 //   select count(*) from lineitem inner join orders on l_orderkey =
 //   o_orderkey where o_orderdate >= date '1995-01-01'
+//
+//   insert into region values (5, 'atlantis')
+//
+//   delete from region where r_name = 'atlantis'
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +45,7 @@
 
 #include "server/query_service.h"
 #include "skyserver/skyserver.h"
+#include "sql/parser.h"
 #include "sql/planner.h"
 #include "tpch/tpch.h"
 #include "util/timer.h"
@@ -48,6 +61,14 @@ void PrintStats(const QueryService& svc) {
               static_cast<unsigned long long>(s.submitted),
               static_cast<unsigned long long>(s.completed),
               static_cast<unsigned long long>(s.failed));
+  std::printf(
+      "dml:         inserted=%llu deleted=%llu commits=%llu "
+      "(pool: propagated=%llu invalidated=%llu)\n",
+      static_cast<unsigned long long>(s.dml_inserted_rows),
+      static_cast<unsigned long long>(s.dml_deleted_rows),
+      static_cast<unsigned long long>(s.dml_commits),
+      static_cast<unsigned long long>(s.pool_propagated),
+      static_cast<unsigned long long>(s.pool_invalidated));
   std::printf(
       "plan cache:  lookups=%llu hits=%llu compiles=%llu invalidations=%llu "
       "cached=%zu\n",
@@ -88,8 +109,12 @@ void PrintHelp() {
       ".stats           service, plan-cache, and recycle-pool counters\n"
       ".plan SELECT ... print the compiled MAL listing without running it\n"
       ".tables          list tables and row counts\n"
+      ".autocommit on|off  per-statement COMMIT after DML; bare .autocommit\n"
+      "                 prints the current setting (default on)\n"
       ".quit            exit\n"
-      "anything else is parsed as SQL and submitted to the service.\n");
+      "anything else is parsed as SQL and submitted to the service:\n"
+      "  SELECT ... | INSERT INTO t [(cols)] VALUES (...), ... |\n"
+      "  DELETE FROM t [WHERE ...] | COMMIT\n");
 }
 
 }  // namespace
@@ -139,6 +164,7 @@ int main(int argc, char** argv) {
   std::printf("ready (%d workers). \".help\" lists shell commands.\n",
               svc.num_workers());
 
+  bool autocommit = true;
   std::string line;
   while (true) {
     std::printf("sql> ");
@@ -168,6 +194,20 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (line.rfind(".autocommit", 0) == 0) {
+      std::string arg = line.substr(11);
+      size_t a = arg.find_first_not_of(" \t");
+      arg = a == std::string::npos ? "" : arg.substr(a);
+      if (arg == "on") {
+        autocommit = true;
+      } else if (arg == "off") {
+        autocommit = false;
+      } else if (!arg.empty()) {
+        std::printf("usage: .autocommit on|off\n");
+      }
+      std::printf("autocommit is %s\n", autocommit ? "on" : "off");
+      continue;
+    }
     if (line.rfind(".plan", 0) == 0) {
       std::string text = line.substr(5);
       auto q = sql::CompileSql(svc.catalog(), text);
@@ -180,6 +220,15 @@ int main(int argc, char** argv) {
       continue;
     }
 
+    // Classify before submitting so autocommit keys off the statement kind
+    // (a SELECT aliased `rows_inserted` must never trigger a commit). A
+    // parse failure just flows through to the service for the error.
+    bool is_dml = false;
+    if (auto parsed = sql::ParseStatement(line); parsed.ok()) {
+      is_dml = parsed.value().kind == sql::Statement::Kind::kInsert ||
+               parsed.value().kind == sql::Statement::Kind::kDelete;
+    }
+
     StopWatch sw;
     Result<QueryResult> r = svc.RunSql(line);
     double ms = sw.ElapsedSeconds() * 1e3;
@@ -188,6 +237,15 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("%s(%.2f ms)\n", r.value().ToString().c_str(), ms);
+    // Autocommit: a successful INSERT/DELETE is committed immediately, so
+    // the pool/plan-cache maintenance fires per statement.
+    if (autocommit && is_dml) {
+      Result<QueryResult> c = svc.RunSql("commit");
+      if (!c.ok())
+        std::printf("autocommit error: %s\n", c.status().ToString().c_str());
+      else
+        std::printf("(autocommitted)\n");
+    }
   }
   std::printf("\n");
   PrintStats(svc);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/check.h"
 #include "util/str.h"
@@ -254,12 +255,28 @@ Status Catalog::Append(const std::string& table,
   return Status::OK();
 }
 
-Status Catalog::Delete(const std::string& table, std::vector<Oid> row_oids) {
+Status Catalog::Delete(const std::string& table, std::vector<Oid> row_oids,
+                       size_t* newly_queued) {
   const Table* t = FindTable(table);
   if (t == nullptr) return Status::NotFound("table " + table);
   auto& delta = pending_[t->id()];
-  for (Oid o : row_oids) delta.deletes.push_back(o);
+  std::unordered_set<Oid> queued(delta.deletes.begin(), delta.deletes.end());
+  size_t added = 0;
+  for (Oid o : row_oids) {
+    if (queued.insert(o).second) {
+      delta.deletes.push_back(o);
+      ++added;
+    }
+  }
+  if (newly_queued != nullptr) *newly_queued = added;
   return Status::OK();
+}
+
+bool Catalog::HasPendingInserts(const std::string& table) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return false;
+  auto it = pending_.find(t->id());
+  return it != pending_.end() && !it->second.inserts.empty();
 }
 
 void Catalog::InvalidateBindCache(int32_t table_id) {

@@ -134,8 +134,18 @@ class Catalog {
   Status Append(const std::string& table,
                 std::vector<std::vector<Scalar>> rows);
 
-  /// Queues row deletions (by current row oid).
-  Status Delete(const std::string& table, std::vector<Oid> row_oids);
+  /// Queues row deletions (by current row oid). Oids already queued in the
+  /// table's pending delta are skipped — Commit deduplicates anyway, so
+  /// queueing them twice would only distort counts; `newly_queued`, when
+  /// non-null, receives how many oids this call actually added.
+  Status Delete(const std::string& table, std::vector<Oid> row_oids,
+                size_t* newly_queued = nullptr);
+
+  /// True iff the table has uncommitted insert rows queued. Part of the DML
+  /// family (externally serialised like Append/Delete/Commit); the SQL
+  /// DELETE path uses it to reject statements that would silently miss
+  /// same-transaction inserts (victim scans see committed state only).
+  bool HasPendingInserts(const std::string& table) const;
 
   /// Applies all pending deltas: merges inserts, compacts deletions,
   /// rebuilds affected join indices, refreshes bind caches, and notifies the

@@ -89,9 +89,26 @@ std::future<Result<QueryResult>> QueryService::SubmitSql(
     return f;
   };
 
-  auto parsed = sql::ParseSelect(text);
+  auto parsed = sql::ParseStatement(text);
   if (!parsed.ok()) return fail(parsed.status());
-  const sql::SelectStmt& stmt = parsed.value();
+
+  if (parsed.value().kind != sql::Statement::Kind::kSelect) {
+    // DML runs on the calling thread under the exclusive update lock; the
+    // future resolves before it is returned. Counted like any submission so
+    // operators see DML in the same submitted/completed/failed totals.
+    n_submitted_.fetch_add(1, std::memory_order_relaxed);
+    Result<QueryResult> r = ExecuteDml(parsed.value());
+    if (r.ok())
+      n_completed_.fetch_add(1, std::memory_order_relaxed);
+    else
+      n_failed_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<Result<QueryResult>> p;
+    std::future<Result<QueryResult>> f = p.get_future();
+    p.set_value(std::move(r));
+    return f;
+  }
+
+  const sql::SelectStmt& stmt = parsed.value().select;
   std::string fp = sql::Fingerprint(stmt);
 
   PlanCache::EntryPtr entry;
@@ -134,6 +151,74 @@ std::future<Result<QueryResult>> QueryService::SubmitSql(
 
 Result<QueryResult> QueryService::RunSql(const std::string& text) {
   return SubmitSql(text).get();
+}
+
+Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt) {
+  QueryResult out;
+  Status st = ApplyUpdate([&](Catalog* cat) -> Status {
+    switch (stmt.kind) {
+      case sql::Statement::Kind::kInsert: {
+        RDB_ASSIGN_OR_RETURN(std::vector<std::vector<Scalar>> rows,
+                             sql::BindInsert(*cat, stmt.insert));
+        const size_t n = rows.size();
+        RDB_RETURN_NOT_OK(cat->Append(stmt.insert.table, std::move(rows)));
+        dml_inserted_.fetch_add(n, std::memory_order_relaxed);
+        out.values.emplace_back("rows_inserted",
+                                Scalar::Lng(static_cast<int64_t>(n)));
+        return Status::OK();
+      }
+      case sql::Statement::Kind::kDelete: {
+        // The victim scan sees COMMITTED state only — it cannot target rows
+        // inserted earlier in the same open transaction. Silently missing
+        // them would be worse than refusing, so refuse.
+        if (cat->HasPendingInserts(stmt.del.table))
+          return Status::InvalidArgument(
+              "DELETE scans committed state and would miss the uncommitted "
+              "inserts pending on '" +
+              stmt.del.table + "'; COMMIT them first");
+        // The scan runs right here, inside the exclusive hold, so the oids
+        // it yields cannot be renumbered by a racing commit before the
+        // deletions are queued. No recycler hook: a scan over to-be-deleted
+        // state must not be admitted to the shared pool.
+        std::vector<Scalar> params;
+        RDB_ASSIGN_OR_RETURN(sql::CompiledPlan plan,
+                             sql::CompileDelete(cat, stmt.del, &params));
+        Interpreter interp(cat);
+        RDB_ASSIGN_OR_RETURN(QueryResult scan, interp.Run(plan.prog, params));
+        const MalValue* v = scan.Find("victims");
+        if (v == nullptr || !v->is_bat())
+          return Status::Internal("victim scan produced no oid list");
+        const BatPtr& b = v->bat();
+        std::vector<Oid> oids;
+        oids.reserve(b->size());
+        for (size_t i = 0; i < b->size(); ++i)
+          oids.push_back(b->TailAt(i).AsOid());
+        // Overlapping DELETEs in one transaction scan the same committed
+        // rows; count only what this statement newly queued so the totals
+        // reconcile with rows actually removed at commit.
+        size_t n = 0;
+        RDB_RETURN_NOT_OK(cat->Delete(stmt.del.table, std::move(oids), &n));
+        dml_deleted_.fetch_add(n, std::memory_order_relaxed);
+        out.values.emplace_back("rows_deleted",
+                                Scalar::Lng(static_cast<int64_t>(n)));
+        return Status::OK();
+      }
+      case sql::Statement::Kind::kCommit: {
+        // Commit fires the catalog listener while we hold the lock
+        // exclusively: plan-cache invalidation and pool propagation/
+        // invalidation land atomically w.r.t. queries.
+        RDB_RETURN_NOT_OK(cat->Commit());
+        dml_commits_.fetch_add(1, std::memory_order_relaxed);
+        out.values.emplace_back("committed", Scalar::Lng(1));
+        return Status::OK();
+      }
+      case sql::Statement::Kind::kSelect:
+        break;
+    }
+    return Status::Internal("non-DML statement reached ExecuteDml");
+  });
+  if (!st.ok()) return st;
+  return out;
 }
 
 std::vector<Result<QueryResult>> QueryService::RunBatch(
@@ -191,6 +276,12 @@ ServiceStats QueryService::stats() const {
     s.pool_excl_locks += st.excl_acquisitions;
     s.pool_shared_locks += st.shared_acquisitions;
   }
+  s.dml_inserted_rows = dml_inserted_.load(std::memory_order_relaxed);
+  s.dml_deleted_rows = dml_deleted_.load(std::memory_order_relaxed);
+  s.dml_commits = dml_commits_.load(std::memory_order_relaxed);
+  RecyclerStats rs = recycler_.stats();
+  s.pool_invalidated = rs.invalidated;
+  s.pool_propagated = rs.propagated;
   return s;
 }
 

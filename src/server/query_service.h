@@ -18,6 +18,7 @@
 #include "interp/query_result.h"
 #include "mal/program.h"
 #include "server/plan_cache.h"
+#include "sql/ast.h"
 
 namespace recycledb {
 
@@ -26,9 +27,13 @@ struct ServiceConfig {
   int num_workers = 4;          ///< fixed-size worker pool
   bool enable_recycler = true;  ///< share one recycle pool across workers
   RecyclerConfig recycler;      ///< knobs of the shared recycler
-  /// When set, insert-only commits refresh matching select-over-bind pool
-  /// entries via delta propagation (§6.3) instead of dropping them.
-  bool propagate_updates = false;
+  /// When set (the default), commits run through the recycler's update
+  /// propagation (§6.3): tables whose last commit was insert-only refresh
+  /// their matching select-over-bind pool entries from the insert delta;
+  /// everything else — and every commit containing deletes — falls back to
+  /// column-wise invalidation. Clear it to force pure invalidation on every
+  /// commit (the paper's baseline behaviour, kept for ablation).
+  bool propagate_updates = true;
 };
 
 /// Cumulative service counters; every field is maintained atomically so the
@@ -54,6 +59,15 @@ struct ServiceStats {
   uint64_t pool_stripes = 0;
   uint64_t pool_excl_locks = 0;
   uint64_t pool_shared_locks = 0;
+  // SQL DML counters (SubmitSql INSERT/DELETE/COMMIT path).
+  uint64_t dml_inserted_rows = 0;  ///< rows queued by INSERT statements
+  uint64_t dml_deleted_rows = 0;   ///< victim rows queued by DELETE statements
+  uint64_t dml_commits = 0;        ///< COMMIT statements applied
+  // Pool maintenance triggered by commits (Σ over stripes; mirrors
+  // RecyclerStats so operators can watch the §6.3 split: insert-only
+  // commits propagate, delete commits invalidate).
+  uint64_t pool_invalidated = 0;  ///< entries dropped by update invalidation
+  uint64_t pool_propagated = 0;   ///< entries refreshed by delta propagation
 };
 
 /// One query of a synchronous batch.
@@ -106,13 +120,27 @@ class QueryService {
   std::future<Result<QueryResult>> Submit(const Program* prog,
                                           std::vector<Scalar> params);
 
-  /// Compiles-or-reuses and enqueues one SQL statement: parses the text,
-  /// normalises it to a fingerprint, and looks the fingerprint up in the
-  /// shared plan cache. A miss compiles the statement once (under the shared
-  /// update lock, so compilation sees a stable catalog); every later
-  /// same-pattern submission — any session, any literals — shares that
-  /// recycler-optimised Program and only re-binds its parameter values.
-  /// Compile errors resolve the returned future immediately.
+  /// Compiles-or-reuses and enqueues one SQL statement.
+  ///
+  /// SELECT: parses the text, normalises it to a fingerprint, and looks the
+  /// fingerprint up in the shared plan cache. A miss compiles the statement
+  /// once (under the shared update lock, so compilation sees a stable
+  /// catalog); every later same-pattern submission — any session, any
+  /// literals — shares that recycler-optimised Program and only re-binds
+  /// its parameter values. Compile errors resolve the returned future
+  /// immediately.
+  ///
+  /// DML (INSERT/DELETE/COMMIT): executes on the calling thread under the
+  /// EXCLUSIVE update lock (the ApplyUpdate path), so the returned future
+  /// is already resolved. INSERT type-checks its rows against the schema
+  /// and queues them (result: `rows_inserted`); DELETE lowers its WHERE
+  /// through the SELECT planner, runs the victim-oid scan atomically, and
+  /// queues the deletions (result: `rows_deleted`); pending deltas stay
+  /// invisible to queries until COMMIT applies them (result:
+  /// `committed`) — at which point the catalog listener refreshes the
+  /// recycle pool (insert-only tables propagate per §6.3, deleted-from
+  /// tables invalidate) and drops affected plan-cache entries, atomically
+  /// with respect to in-flight queries.
   std::future<Result<QueryResult>> SubmitSql(const std::string& text);
 
   /// Synchronous convenience wrapper around SubmitSql.
@@ -152,6 +180,8 @@ class QueryService {
 
   void WorkerLoop(int worker_idx);
   std::future<Result<QueryResult>> Enqueue(Task task);
+  /// Runs one parsed DML statement under the exclusive update lock.
+  Result<QueryResult> ExecuteDml(const sql::Statement& stmt);
   /// Blocks while a commit is waiting for the exclusive update lock (the
   /// shared_mutex is reader-preferring on glibc; without the gate a
   /// saturated queue would starve ApplyUpdate forever).
@@ -184,6 +214,7 @@ class QueryService {
   std::atomic<uint64_t> n_submitted_{0}, n_completed_{0}, n_failed_{0};
   std::atomic<uint64_t> n_instrs_{0}, n_pool_hits_{0}, n_monitored_{0};
   std::atomic<uint64_t> exec_us_{0}, wall_us_{0};
+  std::atomic<uint64_t> dml_inserted_{0}, dml_deleted_{0}, dml_commits_{0};
 
   std::vector<std::thread> workers_;
 };

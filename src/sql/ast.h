@@ -107,6 +107,36 @@ struct SelectStmt {
   int64_t limit = -1;  ///< -1: no LIMIT clause
 };
 
+/// `INSERT INTO t [(col, ...)] VALUES (lit, ...) [, (lit, ...)]*`. Values
+/// are literal rows only (the engine's delta update path is bulk row
+/// append, §6); an explicit column list may reorder but must cover every
+/// column — there are no defaults or NULLs to fill gaps with.
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty: declared column order
+  std::vector<std::vector<Literal>> rows;
+};
+
+/// `DELETE FROM t [alias] [WHERE conjunct (AND conjunct)*]`. The WHERE
+/// subset is exactly the SELECT one (column-vs-literal conjunctions); the
+/// binder lowers it through the same planner to a victim-oid scan.
+struct DeleteStmt {
+  std::string table;
+  std::string alias;  // empty: table name
+  std::vector<Predicate> where;
+};
+
+/// One parsed SQL statement of any supported kind. SELECT flows through the
+/// plan cache and the worker pool; DML (INSERT/DELETE/COMMIT) flows through
+/// the service's exclusive update lock.
+struct Statement {
+  enum class Kind { kSelect, kInsert, kDelete, kCommit };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;  // kSelect
+  InsertStmt insert;  // kInsert
+  DeleteStmt del;     // kDelete
+};
+
 }  // namespace recycledb::sql
 
 #endif  // RECYCLEDB_SQL_AST_H_

@@ -15,6 +15,9 @@ namespace {
 const std::map<std::string, Tok>& KeywordMap() {
   static const std::map<std::string, Tok>* kMap = new std::map<std::string, Tok>{
       {"select", Tok::kSelect}, {"from", Tok::kFrom},   {"where", Tok::kWhere},
+      {"insert", Tok::kInsert}, {"into", Tok::kInto},
+      {"values", Tok::kValues}, {"delete", Tok::kDelete},
+      {"commit", Tok::kCommit},
       {"and", Tok::kAnd},       {"between", Tok::kBetween},
       {"like", Tok::kLike},     {"not", Tok::kNot},     {"inner", Tok::kInner},
       {"join", Tok::kJoin},     {"on", Tok::kOn},       {"group", Tok::kGroup},
@@ -33,6 +36,18 @@ bool IsIdentChar(char c) {
 }
 
 }  // namespace
+
+std::string LineColAt(const std::string& text, size_t pos) {
+  if (pos > text.size()) pos = text.size();
+  size_t line = 1, bol = 0;
+  for (size_t i = 0; i < pos; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      bol = i + 1;
+    }
+  }
+  return StrFormat("%zu:%zu", line, pos - bol + 1);
+}
 
 std::string TokenToString(const Token& t) {
   switch (t.kind) {
@@ -71,7 +86,8 @@ Result<std::vector<Token>> Lex(const std::string& text) {
     while (true) {
       if (i >= n)
         return Status::InvalidArgument(
-            StrFormat("unterminated string literal at offset %zu", pos));
+            StrFormat("unterminated string literal at %s",
+                      LineColAt(text, pos).c_str()));
       char c = text[i];
       if (c == '\'') {
         if (i + 1 < n && text[i + 1] == '\'') {  // '' escape
@@ -114,8 +130,8 @@ Result<std::vector<Token>> Lex(const std::string& text) {
           DateT d = DateFromString(body);
           if (d == INT32_MIN)
             return Status::InvalidArgument(StrFormat(
-                "malformed date literal '%s' at offset %zu (want YYYY-MM-DD)",
-                body.c_str(), pos));
+                "malformed date literal '%s' at %s (want YYYY-MM-DD)",
+                body.c_str(), LineColAt(text, pos).c_str()));
           Token t = make(Tok::kDate, pos, body);
           t.dval = d;
           out.push_back(std::move(t));
@@ -141,8 +157,8 @@ Result<std::vector<Token>> Lex(const std::string& text) {
       }
       if (i < n && IsIdentChar(text[i]))
         return Status::InvalidArgument(StrFormat(
-            "malformed numeric literal at offset %zu: '%s%c...'", pos,
-            num.c_str(), text[i]));
+            "malformed numeric literal at %s: '%s%c...'",
+            LineColAt(text, pos).c_str(), num.c_str(), text[i]));
       Token t = make(is_float ? Tok::kFloat : Tok::kInt, pos, num);
       if (is_float) {
         t.fval = std::strtod(num.c_str(), nullptr);
@@ -151,8 +167,8 @@ Result<std::vector<Token>> Lex(const std::string& text) {
         t.ival = std::strtoll(num.c_str(), nullptr, 10);
         if (errno == ERANGE)
           return Status::InvalidArgument(StrFormat(
-              "integer literal out of range at offset %zu: '%s'", pos,
-              num.c_str()));
+              "integer literal out of range at %s: '%s'",
+              LineColAt(text, pos).c_str(), num.c_str()));
       }
       out.push_back(std::move(t));
       continue;
@@ -204,7 +220,7 @@ Result<std::vector<Token>> Lex(const std::string& text) {
       case '!':
         if (!two('='))
           return Status::InvalidArgument(
-              StrFormat("stray '!' at offset %zu", pos));
+              StrFormat("stray '!' at %s", LineColAt(text, pos).c_str()));
         out.push_back(make(Tok::kNe, pos, "!="));
         i += 2;
         break;
@@ -238,13 +254,15 @@ Result<std::vector<Token>> Lex(const std::string& text) {
             while (i < n && text[i] != '\n') ++i;
           } else {
             return Status::InvalidArgument(StrFormat(
-                "unexpected input after ';' at offset %zu", i));
+                "unexpected input after ';' at %s",
+                LineColAt(text, i).c_str()));
           }
         }
         break;
       default:
         return Status::InvalidArgument(
-            StrFormat("unexpected character '%c' at offset %zu", c, pos));
+            StrFormat("unexpected character '%c' at %s", c,
+                      LineColAt(text, pos).c_str()));
     }
   }
   out.push_back(Token{Tok::kEof, "", 0, 0, 0, n});

@@ -15,6 +15,11 @@ namespace recycledb::sql {
 /// trailing `;` is consumed. The result always ends with a kEof token.
 Result<std::vector<Token>> Lex(const std::string& text);
 
+/// Renders a byte offset of `text` as a 1-based "line:column" position, the
+/// form every lexer/parser/binder error embeds so a multi-line statement in
+/// the shell points at the offending spot rather than a flat byte count.
+std::string LineColAt(const std::string& text, size_t pos);
+
 }  // namespace recycledb::sql
 
 #endif  // RECYCLEDB_SQL_LEXER_H_

@@ -83,7 +83,35 @@ bool IsAggTok(Tok k) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+  Parser(std::vector<Token> toks, const std::string& text)
+      : toks_(std::move(toks)), text_(text) {}
+
+  Result<Statement> ParseAny() {
+    Statement stmt;
+    switch (Cur().kind) {
+      case Tok::kInsert: {
+        stmt.kind = Statement::Kind::kInsert;
+        RDB_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+        return stmt;
+      }
+      case Tok::kDelete: {
+        stmt.kind = Statement::Kind::kDelete;
+        RDB_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
+        return stmt;
+      }
+      case Tok::kCommit: {
+        Advance();
+        if (Cur().kind != Tok::kEof) return Error("end of statement");
+        stmt.kind = Statement::Kind::kCommit;
+        return stmt;
+      }
+      default: {
+        stmt.kind = Statement::Kind::kSelect;
+        RDB_ASSIGN_OR_RETURN(stmt.select, Parse());
+        return stmt;
+      }
+    }
+  }
 
   Result<SelectStmt> Parse() {
     SelectStmt stmt;
@@ -194,8 +222,60 @@ class Parser {
   }
   Status Error(const char* what) const {
     return Status::InvalidArgument(
-        StrFormat("parse error at offset %zu: expected %s, got %s", Cur().pos,
-                  what, TokenToString(Cur()).c_str()));
+        StrFormat("parse error at %s: expected %s, got %s",
+                  LineColAt(text_, Cur().pos).c_str(), what,
+                  TokenToString(Cur()).c_str()));
+  }
+
+  // INSERT INTO t [(col, ...)] VALUES (lit, ...) [, (lit, ...)]*
+  Result<InsertStmt> ParseInsert() {
+    InsertStmt stmt;
+    RDB_RETURN_NOT_OK(Expect(Tok::kInsert, "INSERT"));
+    RDB_RETURN_NOT_OK(Expect(Tok::kInto, "INTO after INSERT"));
+    if (Cur().kind != Tok::kIdent) return Error("table name");
+    stmt.table = Cur().text;
+    Advance();
+    if (Accept(Tok::kLParen)) {
+      while (true) {
+        if (Cur().kind != Tok::kIdent) return Error("column name");
+        stmt.columns.push_back(Cur().text);
+        Advance();
+        if (!Accept(Tok::kComma)) break;
+      }
+      RDB_RETURN_NOT_OK(Expect(Tok::kRParen, "')' after column list"));
+    }
+    RDB_RETURN_NOT_OK(Expect(Tok::kValues, "VALUES"));
+    while (true) {
+      RDB_RETURN_NOT_OK(Expect(Tok::kLParen, "'(' before a VALUES row"));
+      std::vector<Literal> row;
+      while (true) {
+        RDB_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+        row.push_back(std::move(lit));
+        if (!Accept(Tok::kComma)) break;
+      }
+      RDB_RETURN_NOT_OK(Expect(Tok::kRParen, "')' after a VALUES row"));
+      stmt.rows.push_back(std::move(row));
+      if (!Accept(Tok::kComma)) break;
+    }
+    if (Cur().kind != Tok::kEof) return Error("end of statement");
+    return stmt;
+  }
+
+  // DELETE FROM t [alias] [WHERE conjunct (AND conjunct)*]
+  Result<DeleteStmt> ParseDelete() {
+    DeleteStmt stmt;
+    RDB_RETURN_NOT_OK(Expect(Tok::kDelete, "DELETE"));
+    RDB_RETURN_NOT_OK(Expect(Tok::kFrom, "FROM after DELETE"));
+    RDB_RETURN_NOT_OK(ParseTableRef(&stmt.table, &stmt.alias));
+    if (Accept(Tok::kWhere)) {
+      while (true) {
+        RDB_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+        stmt.where.push_back(std::move(p));
+        if (!Accept(Tok::kAnd)) break;
+      }
+    }
+    if (Cur().kind != Tok::kEof) return Error("end of statement");
+    return stmt;
   }
 
   /// SQL's join modifiers are not lexer keywords; left unreserved they
@@ -439,14 +519,21 @@ class Parser {
   }
 
   std::vector<Token> toks_;
+  const std::string& text_;
   size_t p_ = 0;
 };
 
 }  // namespace
 
+Result<Statement> ParseStatement(const std::string& text) {
+  RDB_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
+  Parser parser(std::move(toks), text);
+  return parser.ParseAny();
+}
+
 Result<SelectStmt> ParseSelect(const std::string& text) {
   RDB_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
-  Parser parser(std::move(toks));
+  Parser parser(std::move(toks), text);
   return parser.Parse();
 }
 

@@ -8,10 +8,15 @@
 
 namespace recycledb::sql {
 
-/// Parses one SELECT statement of the supported subset into an AST.
-/// All failure modes — lexical errors, unsupported syntax, malformed
-/// clauses — come back as InvalidArgument/NotImplemented statuses with the
-/// offending token and byte offset; the parser never crashes on bad input.
+/// Parses one statement of the supported subset — SELECT, INSERT, DELETE,
+/// or COMMIT — into an AST. All failure modes — lexical errors, unsupported
+/// syntax, malformed clauses — come back as InvalidArgument/NotImplemented
+/// statuses carrying the offending token and its line:column position; the
+/// parser never crashes on bad input.
+Result<Statement> ParseStatement(const std::string& text);
+
+/// Parses one SELECT statement; any other statement kind is a parse error.
+/// The read-only entry point of CompileSql and the shell's `.plan`.
 Result<SelectStmt> ParseSelect(const std::string& text);
 
 }  // namespace recycledb::sql

@@ -163,15 +163,7 @@ class StmtPlanner {
       : cat_(catalog), stmt_(stmt), b_("sql_" + stmt.table) {}
 
   Status Plan() {
-    // Parameters must be declared before the first constant/instruction.
-    literals_ = CollectLiterals(stmt_);
-    for (size_t i = 0; i < literals_.size(); ++i) {
-      b_.Param(StrFormat("A%zu", i));
-      lit_index_[literals_[i]] = static_cast<int>(i);
-    }
-    param_types_.assign(literals_.size(), TypeTag::kVoid);
-    params_.resize(literals_.size());
-
+    DeclareParams();
     RDB_RETURN_NOT_OK(SetupScopes());
     // INNER JOIN is filtering even when no parent column is ever fetched:
     // restrict the candidates to rows whose FK hop resolves (deletions
@@ -230,11 +222,29 @@ class StmtPlanner {
         b_.ExportValue(o.var, o.label);
     }
 
-    for (size_t i = 0; i < param_types_.size(); ++i) {
-      if (param_types_[i] == TypeTag::kVoid)
-        return Status::Internal("literal was never parameterised");
+    return CheckParamsBound();
+  }
+
+  /// DELETE lowering: the WHERE conjunction runs through the exact same
+  /// predicate machinery as a SELECT, but instead of projecting columns the
+  /// plan exports the final candidate list — whose tail values ARE the
+  /// victim row oids (candidate lists are [dense -> base row], Fig. 1).
+  Status PlanDelete() {
+    DeclareParams();
+    RDB_RETURN_NOT_OK(SetupScopes());
+    for (const Predicate& p : stmt_.where) RDB_RETURN_NOT_OK(LowerPredicate(p));
+
+    int victims;
+    if (cand_ >= 0) {
+      victims = cand_;
+    } else {
+      // No WHERE: every current row is a victim. Mirror of any bound column
+      // is [row -> row], so the tail enumerates all row oids.
+      victims = b_.Mirror(b_.Bind(scopes_[0].table->name(),
+                                  scopes_[0].table->column_name(0)));
     }
-    return Status::OK();
+    b_.ExportBat(victims, "victims");
+    return CheckParamsBound();
   }
 
   CompiledPlan Take() {
@@ -261,6 +271,26 @@ class StmtPlanner {
     int var = -1;
     bool is_bat = true;
   };
+
+  /// Parameters must be declared before the first constant/instruction;
+  /// both entry points (Plan, PlanDelete) start here.
+  void DeclareParams() {
+    literals_ = CollectLiterals(stmt_);
+    for (size_t i = 0; i < literals_.size(); ++i) {
+      b_.Param(StrFormat("A%zu", i));
+      lit_index_[literals_[i]] = static_cast<int>(i);
+    }
+    param_types_.assign(literals_.size(), TypeTag::kVoid);
+    params_.resize(literals_.size());
+  }
+
+  Status CheckParamsBound() const {
+    for (size_t i = 0; i < param_types_.size(); ++i) {
+      if (param_types_[i] == TypeTag::kVoid)
+        return Status::Internal("literal was never parameterised");
+    }
+    return Status::OK();
+  }
 
   Status SetupScopes() {
     const Table* base = cat_->FindTable(stmt_.table);
@@ -846,6 +876,93 @@ Result<std::vector<Scalar>> BindLiterals(const SelectStmt& stmt,
     RDB_ASSIGN_OR_RETURN(Scalar s, CoerceLiteral(*lits[i], types[i]));
     out.push_back(std::move(s));
   }
+  return out;
+}
+
+namespace {
+
+/// Re-wraps a coercion error with "which row/column" context, keeping the
+/// original status code (TypeMismatch vs OutOfRange matters to callers).
+Status WithInsertContext(const Status& st, const std::string& table,
+                         const std::string& column, size_t row) {
+  std::string msg = StrFormat("INSERT row %zu, column '%s.%s': %s", row + 1,
+                              table.c_str(), column.c_str(),
+                              st.message().c_str());
+  switch (st.code()) {
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    default:
+      return Status::TypeMismatch(std::move(msg));
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<Scalar>>> BindInsert(const Catalog& catalog,
+                                                    const InsertStmt& stmt) {
+  const Table* t = catalog.FindTable(stmt.table);
+  if (t == nullptr)
+    return Status::NotFound("unknown table '" + stmt.table + "'");
+  const size_t ncols = t->num_columns();
+
+  // slot[i]: position in the written row holding declared column i's value.
+  std::vector<int> slot(ncols, -1);
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < ncols; ++i) slot[i] = static_cast<int>(i);
+  } else {
+    for (size_t w = 0; w < stmt.columns.size(); ++w) {
+      int ci = t->FindColumn(stmt.columns[w]);
+      if (ci < 0)
+        return Status::NotFound("unknown column '" + stmt.table + "." +
+                                stmt.columns[w] + "'");
+      if (slot[ci] >= 0)
+        return Status::InvalidArgument("column '" + stmt.columns[w] +
+                                       "' listed twice in INSERT");
+      slot[ci] = static_cast<int>(w);
+    }
+    for (size_t i = 0; i < ncols; ++i) {
+      if (slot[i] < 0)
+        return Status::InvalidArgument(StrFormat(
+            "INSERT into '%s' must provide column '%s' (the engine has no "
+            "defaults or NULLs)",
+            stmt.table.c_str(), t->column_name(static_cast<int>(i)).c_str()));
+    }
+  }
+
+  std::vector<std::vector<Scalar>> out;
+  out.reserve(stmt.rows.size());
+  for (size_t ri = 0; ri < stmt.rows.size(); ++ri) {
+    const std::vector<Literal>& row = stmt.rows[ri];
+    if (row.size() != ncols)
+      return Status::InvalidArgument(StrFormat(
+          "VALUES row %zu has %zu value(s); INSERT into '%s' needs %zu",
+          ri + 1, row.size(), stmt.table.c_str(), ncols));
+    std::vector<Scalar> bound(ncols);
+    for (size_t i = 0; i < ncols; ++i) {
+      int ci = static_cast<int>(i);
+      Result<Scalar> s = CoerceLiteral(row[slot[i]], t->column_type(ci));
+      if (!s.ok())
+        return WithInsertContext(s.status(), stmt.table, t->column_name(ci),
+                                 ri);
+      bound[i] = std::move(s).value();
+    }
+    out.push_back(std::move(bound));
+  }
+  return out;
+}
+
+Result<CompiledPlan> CompileDelete(Catalog* catalog, const DeleteStmt& stmt,
+                                   std::vector<Scalar>* params_out) {
+  // A DELETE's FROM/WHERE is a degenerate SELECT; reuse the planner's scope
+  // and predicate machinery on a synthetic statement.
+  SelectStmt synth;
+  synth.table = stmt.table;
+  synth.alias = stmt.alias;
+  synth.where = stmt.where;
+  StmtPlanner planner(catalog, synth);
+  RDB_RETURN_NOT_OK(planner.PlanDelete());
+  CompiledPlan out = planner.Take();
+  if (params_out != nullptr) *params_out = planner.TakeParams();
   return out;
 }
 

@@ -47,6 +47,24 @@ Result<CompiledPlan> CompileStmt(Catalog* catalog, const SelectStmt& stmt,
 Result<std::vector<Scalar>> BindLiterals(const SelectStmt& stmt,
                                          const std::vector<TypeTag>& types);
 
+/// Type-checks an INSERT's literal rows against the catalog schema and
+/// coerces them to the column types (Scalar rows in declared column order,
+/// ready for Catalog::Append). An explicit column list may reorder the
+/// values but must cover every column — the engine has no defaults or NULLs
+/// to fill gaps with. Callers must serialise against DDL/commits;
+/// QueryService binds under its exclusive update lock.
+Result<std::vector<std::vector<Scalar>>> BindInsert(const Catalog& catalog,
+                                                    const InsertStmt& stmt);
+
+/// Lowers a DELETE's WHERE clause through the SELECT planner's predicate
+/// machinery into a Program whose single export, labelled "victims", is the
+/// bat of row oids the conjunction selects (all rows when WHERE is absent).
+/// The caller runs it and applies the oids via Catalog::Delete; the program
+/// is NOT recycler-marked — victim scans execute under the exclusive update
+/// lock and must not populate the shared pool.
+Result<CompiledPlan> CompileDelete(Catalog* catalog, const DeleteStmt& stmt,
+                                   std::vector<Scalar>* params_out);
+
 /// One-shot parse + fingerprint + compile, bypassing any cache. Examples
 /// and tests use this; the service goes through its PlanCache instead.
 struct SqlQuery {

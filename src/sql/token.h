@@ -38,6 +38,11 @@ enum class Tok : uint8_t {
   kSelect,
   kFrom,
   kWhere,
+  kInsert,
+  kInto,
+  kValues,
+  kDelete,
+  kCommit,
   kAnd,
   kBetween,
   kLike,
