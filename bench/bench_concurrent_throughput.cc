@@ -89,6 +89,11 @@ struct JsonRow {
   uint64_t propagated = 0;
   uint64_t invalidated = 0;
   uint64_t dml_commits = 0;
+  // bounded_memory only: governed-budget behaviour (evictions forced by the
+  // byte budget, lease borrows beyond the stripe fair share).
+  bool has_budget = false;
+  uint64_t evicted = 0;
+  uint64_t borrows = 0;
 };
 
 void WriteJson(const std::string& path, double sf, int max_workers,
@@ -126,6 +131,11 @@ void WriteJson(const std::string& path, double sf, int max_workers,
           static_cast<unsigned long long>(r.propagated),
           static_cast<unsigned long long>(r.invalidated),
           static_cast<unsigned long long>(r.dml_commits));
+    }
+    if (r.has_budget) {
+      out << StrFormat(", \"evicted\": %llu, \"borrows\": %llu",
+                       static_cast<unsigned long long>(r.evicted),
+                       static_cast<unsigned long long>(r.borrows));
     }
     out << (i + 1 < rows.size() ? "},\n" : "}\n");
   }
@@ -425,6 +435,79 @@ JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round) {
   return row;
 }
 
+/// Bounded-memory serving: the same hot workload under a FIXED recycle-pool
+/// byte budget in the default kPerStripe governance mode — per-stripe
+/// leases, stripe-local eviction, borrowing through the governor's atomic
+/// ledger. Reported (and gated by check_regression.py): throughput, the
+/// steady-state hit ratio under eviction pressure, and the governance
+/// counters — budget-forced evictions and lease borrows. An admission-path
+/// regression back to the all-stripe lock shows up as a qps collapse; a
+/// governance regression shows up in the counters.
+JsonRow RunBoundedMemoryPhase(Catalog* cat,
+                              const std::vector<tpch::QueryTemplate>& templates,
+                              int workers, int n_queries) {
+  ServiceConfig cfg = BenchConfig(workers);
+  cfg.recycler.max_bytes = 1024 * 1024;  // fixed budget, deliberately tight
+  cfg.recycler.eviction = EvictionKind::kLru;
+  QueryService svc(cat, cfg);
+
+  // More distinct parameter vectors than the hot phase: enough working set
+  // to keep the budget under continuous pressure, enough repetition that
+  // surviving entries still hit.
+  Workload w = MakeWorkload("bound", templates, 12, n_queries, 9003);
+  for (auto& r : svc.RunBatch(w.warmup)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "bounded warmup failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  svc.recycler().ResetStats();
+  StopWatch sw;
+  std::vector<Result<QueryResult>> results = svc.RunBatch(w.queries);
+  double secs = sw.ElapsedSeconds();
+  for (auto& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "bounded query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+  }
+
+  RecyclerStats rs = svc.recycler().stats();
+  ServiceStats s = svc.stats();
+  if (svc.recycler().pool_bytes() > cfg.recycler.max_bytes) {
+    std::fprintf(stderr, "BUDGET VIOLATED: pool %zu > %zu\n",
+                 svc.recycler().pool_bytes(), cfg.recycler.max_bytes);
+    std::abort();
+  }
+  std::printf(
+      "bounded memory (%d workers, %zu KB budget, %d queries)\n"
+      "  qps=%.1f hit-ratio=%.2f evicted=%llu borrows=%llu rebalances=%llu "
+      "all-stripe-ops=%llu pool=%zu/%zu KB\n",
+      workers, cfg.recycler.max_bytes / 1024, n_queries,
+      n_queries / secs,
+      rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0,
+      static_cast<unsigned long long>(rs.evicted),
+      static_cast<unsigned long long>(s.pool_borrows),
+      static_cast<unsigned long long>(s.pool_rebalances),
+      static_cast<unsigned long long>(s.pool_all_stripe_ops),
+      svc.recycler().pool_bytes() / 1024, cfg.recycler.max_bytes / 1024);
+
+  JsonRow row;
+  row.phase = "bounded_memory";
+  row.load = "hot";
+  row.workers = workers;
+  row.qps = n_queries / secs;
+  row.hit_ratio =
+      rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0;
+  row.pool_hits = rs.hits;
+  row.has_budget = true;
+  row.evicted = rs.evicted;
+  row.borrows = s.pool_borrows;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -492,6 +575,8 @@ int main(int argc, char** argv) {
   // 12 rounds x 600 selects keeps the timed window comparable to the other
   // gated phases (short windows make the qps gate flake-prone).
   rows.push_back(RunMixedDmlPhase(std::min(4, max_workers), 12, 600));
+  rows.push_back(RunBoundedMemoryPhase(cat.get(), templates,
+                                       std::min(4, max_workers), 1500));
 
   if (!json_path.empty()) {
     WriteJson(json_path, EnvSf(), max_workers,

@@ -118,9 +118,14 @@ def main():
         # rows): compiles exploding means the fingerprint normalisation or
         # cache sharing broke. DML counters (sql_dml_mixed rows): propagated
         # collapsing to zero means insert-only commits stopped taking the
-        # §6.3 propagation path.
+        # §6.3 propagation path. Budget counter (bounded_memory rows):
+        # evicted collapsing means the byte budget stopped binding. The
+        # phase's `borrows` figure is reported in the JSON but NOT gated —
+        # which stripe crosses its fair share first is scheduling-dependent,
+        # unlike the workload-determined counters here.
         for counter in ("plan_compiles", "plan_hits", "plan_lookups",
-                        "propagated", "invalidated", "dml_commits"):
+                        "propagated", "invalidated", "dml_commits",
+                        "evicted"):
             in_base, in_cur = counter in base, counter in cur
             if not in_base and not in_cur:
                 continue

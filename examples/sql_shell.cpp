@@ -10,6 +10,8 @@
 // Shell commands:
 //   .help            this text
 //   .stats           service, plan-cache, and recycle-pool counters
+//   .gov             memory governance: budget domains, leases, borrows
+//   .pool [N]        dump the recycle pool head (bytes + last-touch ticks)
 //   .plan SELECT ... print the compiled MAL listing without running it
 //   .tables          list tables and row counts
 //   .autocommit on|off  toggle per-statement COMMIT after DML (default on)
@@ -39,6 +41,7 @@
 //   delete from region where r_name = 'atlantis'
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -71,12 +74,13 @@ void PrintStats(const QueryService& svc) {
       static_cast<unsigned long long>(s.pool_invalidated));
   std::printf(
       "plan cache:  lookups=%llu hits=%llu compiles=%llu invalidations=%llu "
-      "cached=%zu\n",
+      "evictions=%llu cached=%zu (%zu B)\n",
       static_cast<unsigned long long>(s.plan_lookups),
       static_cast<unsigned long long>(s.plan_hits),
       static_cast<unsigned long long>(s.plan_compiles),
       static_cast<unsigned long long>(s.plan_invalidations),
-      svc.plan_cache().size());
+      static_cast<unsigned long long>(s.plan_evictions),
+      svc.plan_cache().size(), svc.plan_cache().bytes());
   std::printf(
       "recycler:    monitored=%llu pool-hits=%llu entries=%zu bytes=%zu\n",
       static_cast<unsigned long long>(rs.monitored),
@@ -85,10 +89,18 @@ void PrintStats(const QueryService& svc) {
   // Per-stripe occupancy and contention: a healthy hit-heavy workload shows
   // shared acquisitions dwarfing exclusive ones, and entries spread across
   // stripes rather than funnelling into one.
-  std::printf("pool:        stripes=%llu excl-locks=%llu shared-probes=%llu\n",
+  std::printf("pool:        stripes=%llu excl-locks=%llu shared-probes=%llu "
+              "all-stripe-ops=%llu\n",
               static_cast<unsigned long long>(s.pool_stripes),
               static_cast<unsigned long long>(s.pool_excl_locks),
-              static_cast<unsigned long long>(s.pool_shared_locks));
+              static_cast<unsigned long long>(s.pool_shared_locks),
+              static_cast<unsigned long long>(s.pool_all_stripe_ops));
+  if (s.pool_borrows + s.pool_borrow_denied + s.pool_rebalances > 0) {
+    std::printf("governance:  borrows=%llu denied=%llu rebalances=%llu\n",
+                static_cast<unsigned long long>(s.pool_borrows),
+                static_cast<unsigned long long>(s.pool_borrow_denied),
+                static_cast<unsigned long long>(s.pool_rebalances));
+  }
   std::vector<ConcurrentRecycler::StripeStats> stripes =
       svc.recycler().stripe_stats();
   for (size_t i = 0; i < stripes.size(); ++i) {
@@ -96,10 +108,49 @@ void PrintStats(const QueryService& svc) {
     if (st.entries == 0 && st.hits == 0 && st.excl_acquisitions == 0) continue;
     std::printf(
         "  stripe %2zu: entries=%-5zu bytes=%-9zu hits=%-7llu "
-        "excl=%-6llu shared=%llu\n",
+        "excl=%-6llu shared=%llu",
         i, st.entries, st.bytes, static_cast<unsigned long long>(st.hits),
         static_cast<unsigned long long>(st.excl_acquisitions),
         static_cast<unsigned long long>(st.shared_acquisitions));
+    if (st.lease_base_bytes != 0 || st.lease_held_bytes != 0) {
+      std::printf(" lease=%zu/%zuB borrows=%llu rebal=%llu",
+                  st.lease_held_bytes, st.lease_base_bytes,
+                  static_cast<unsigned long long>(st.borrows),
+                  static_cast<unsigned long long>(st.rebalances));
+    }
+    std::printf("\n");
+  }
+}
+
+/// `.gov`: the unified memory-governance picture — every budget domain of
+/// the service's ResourceGovernor with its free ledger and leases (pool
+/// stripes, the plan cache), i.e. where every governed byte currently sits.
+void PrintGovernor(const QueryService& svc) {
+  std::vector<ResourceGovernor::DomainStats> domains = svc.governor().stats();
+  if (domains.empty()) {
+    std::printf(
+        "no budget domains (recycler unbounded or in GLOBAL-EXACT mode, "
+        "plan cache uncapped)\n");
+    return;
+  }
+  for (const auto& d : domains) {
+    std::printf("domain %-12s max=%zuB/%zu entries, free=%zuB/%zu, "
+                "pressure-epoch=%llu\n",
+                d.name.c_str(), d.max_bytes, d.max_entries, d.free_bytes,
+                d.free_entries,
+                static_cast<unsigned long long>(d.pressure_epoch));
+    for (const auto& l : d.leases) {
+      if (l.held_bytes == 0 && l.held_entries == 0 && l.borrows == 0 &&
+          l.denied == 0 && l.rebalances == 0)
+        continue;
+      std::printf(
+          "  lease %-10s held=%zuB/%zu base=%zuB/%zu borrows=%llu "
+          "denied=%llu rebalances=%llu\n",
+          l.name.c_str(), l.held_bytes, l.held_entries, l.base_bytes,
+          l.base_entries, static_cast<unsigned long long>(l.borrows),
+          static_cast<unsigned long long>(l.denied),
+          static_cast<unsigned long long>(l.rebalances));
+    }
   }
 }
 
@@ -107,6 +158,9 @@ void PrintHelp() {
   std::printf(
       ".help            this text\n"
       ".stats           service, plan-cache, and recycle-pool counters\n"
+      ".gov             memory governance: budget domains, leases, borrows\n"
+      ".pool [N]        dump the recycle pool head (per-entry bytes and\n"
+      "                 last-touch tick — what eviction decides on)\n"
       ".plan SELECT ... print the compiled MAL listing without running it\n"
       ".tables          list tables and row counts\n"
       ".autocommit on|off  per-statement COMMIT after DML; bare .autocommit\n"
@@ -181,6 +235,26 @@ int main(int argc, char** argv) {
     }
     if (line == ".stats") {
       PrintStats(svc);
+      continue;
+    }
+    if (line == ".gov") {
+      PrintGovernor(svc);
+      continue;
+    }
+    if (line == ".pool" || line.rfind(".pool ", 0) == 0 ||
+        line.rfind(".pool\t", 0) == 0) {
+      long n = 24;
+      std::string arg = line.size() > 5 ? line.substr(5) : "";
+      size_t a = arg.find_first_not_of(" \t");
+      if (a != std::string::npos) {
+        char* end = nullptr;
+        n = std::strtol(arg.c_str() + a, &end, 10);
+        if (n <= 0 || (end != nullptr && *end != '\0')) {
+          std::printf("usage: .pool [max_entries]\n");
+          continue;
+        }
+      }
+      std::printf("%s", svc.recycler().DumpPool(static_cast<size_t>(n)).c_str());
       continue;
     }
     if (line == ".tables") {

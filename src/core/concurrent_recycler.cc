@@ -9,23 +9,47 @@
 
 namespace recycledb {
 
-ConcurrentRecycler::ConcurrentRecycler(RecyclerConfig cfg)
+ConcurrentRecycler::ConcurrentRecycler(RecyclerConfig cfg,
+                                       ResourceGovernor* governor)
     : cfg_(cfg),
       bounded_(cfg.max_entries != 0 || cfg.max_bytes != 0),
+      global_budget_(bounded_ &&
+                     cfg.budget_mode == BudgetMode::kGlobalExact),
       shared_(cfg.admission, cfg.credits) {
   if (cfg_.pool_stripes < 1) cfg_.pool_stripes = 1;
   stripes_.reserve(cfg_.pool_stripes);
   for (size_t i = 0; i < cfg_.pool_stripes; ++i) {
     auto s = std::make_unique<Stripe>();
     s->core = std::make_unique<Recycler>(cfg_, &shared_);
+    stripe_index_.emplace(s->core.get(), i);
     stripes_.push_back(std::move(s));
   }
-  if (bounded_) {
-    // Global-budget mode: every admission path holds ALL stripe locks (see
+  if (global_budget_) {
+    // kGlobalExact: every admission path holds ALL stripe locks (see
     // SessionOnExit/SessionOnEntry), so the delegate may evict across the
     // whole group — reproducing the unstriped pool's decisions exactly.
     shared_.ensure_capacity = [this](Recycler* stripe, size_t bytes_needed) {
       return EnsureCapacityGlobal(stripe, bytes_needed);
+    };
+  } else if (bounded_) {
+    // kPerStripe: the budget lives in a governor domain and each stripe
+    // leases its max/N fair share, so budgeted admission stays on the one
+    // stripe lock and borrows idle capacity through the atomic ledger.
+    if (governor == nullptr) {
+      owned_governor_ = std::make_unique<ResourceGovernor>();
+      governor = owned_governor_.get();
+    }
+    governor_ = governor;
+    pool_domain_ = governor_->AddDomain(
+        "recycle_pool", {cfg_.max_bytes, cfg_.max_entries});
+    const size_t n = stripes_.size();
+    for (size_t i = 0; i < n; ++i) {
+      stripes_[i]->lease = pool_domain_->CreateLease(
+          "stripe" + std::to_string(i), cfg_.max_bytes / n,
+          cfg_.max_entries / n, cfg_.stripe_borrow);
+    }
+    shared_.ensure_capacity = [this](Recycler* stripe, size_t bytes_needed) {
+      return EnsureCapacityStriped(stripe_index_.at(stripe), bytes_needed);
     };
   }
 }
@@ -63,6 +87,8 @@ bool ConcurrentRecycler::SessionOnEntry(const QueryCtx& ctx,
                                         std::vector<MalValue>* results) {
   size_t si = StripeOf(instr.op, *instr.args);
   Stripe& s = *stripes_[si];
+  // -1: fall through to the subsumption path; 0: pure miss; 1: exact hit.
+  int fast_outcome = -1;
   {
     std::shared_lock lock(s.mu);
     s.shared_acq.fetch_add(1, std::memory_order_relaxed);
@@ -78,31 +104,42 @@ bool ConcurrentRecycler::SessionOnEntry(const QueryCtx& ctx,
         s.fast_global_hits.fetch_add(1, std::memory_order_relaxed);
       s.fast_saved_ns.fetch_add(static_cast<uint64_t>(hit.saved_ms * 1e6),
                                 std::memory_order_relaxed);
-      return true;
+      fast_outcome = 1;
+    } else {
+      // Exact match missed: a miss with no subsumption candidates — the
+      // common case for cold instructions — finishes under the shared lock.
+      bool maybe_subsumes = false;
+      if (cfg_.enable_subsumption && !instr.args->empty() &&
+          (*instr.args)[0].is_bat()) {
+        std::optional<Opcode> cand_op =
+            Recycler::SubsumptionCandidateOp(instr.op);
+        maybe_subsumes =
+            cand_op.has_value() &&
+            s.core->pool().HasEntriesFor(*cand_op,
+                                         (*instr.args)[0].bat()->id());
+      }
+      if (!maybe_subsumes) {
+        // Pure miss: execute outside any lock; OnExit offers the result.
+        s.fast_misses.fetch_add(1, std::memory_order_relaxed);
+        fast_outcome = 0;
+      }
     }
-    // Exact match missed: a miss with no subsumption candidates — the
-    // common case for cold instructions — finishes under the shared lock.
-    bool maybe_subsumes = false;
-    if (cfg_.enable_subsumption && !instr.args->empty() &&
-        (*instr.args)[0].is_bat()) {
-      std::optional<Opcode> cand_op = Recycler::SubsumptionCandidateOp(instr.op);
-      maybe_subsumes =
-          cand_op.has_value() &&
-          s.core->pool().HasEntriesFor(*cand_op, (*instr.args)[0].bat()->id());
-    }
-    if (!maybe_subsumes) {
-      // Pure miss: execute outside any lock; OnExit offers the result.
-      s.fast_misses.fetch_add(1, std::memory_order_relaxed);
-      return false;
-    }
+  }
+  if (fast_outcome >= 0) {
+    // Fast paths still answer the governor: a stripe serving only hits (or
+    // misses that never admit) must not trap budget other stripes starve
+    // for. No-op without a kPerStripe budget or pending signal.
+    MaybeServicePressure(si);
+    return fast_outcome == 1;
   }
   // Possible subsumption: the DP reads candidate entries and admits the
   // rewritten result, all within this stripe (the stripe key guarantees the
   // candidate set is local). It re-probes from scratch, so a racing
   // invalidation between the two lock scopes degrades to a miss. Under a
-  // global budget the admission may need to evict in other stripes, so the
-  // whole group is locked (fixed order) instead.
-  if (bounded_) {
+  // kGlobalExact budget the admission may need to evict in other stripes,
+  // so the whole group is locked (fixed order) instead; a kPerStripe budget
+  // charges this stripe's lease and stays local.
+  if (global_budget_) {
     auto locks = LockAllExclusive();
     return s.core->OnEntryCtx(ctx, instr, results);
   }
@@ -118,9 +155,9 @@ void ConcurrentRecycler::SessionOnExit(const QueryCtx& ctx,
                                        const std::vector<ColumnId>& deps) {
   size_t si = StripeOf(instr.op, *instr.args);
   Stripe& s = *stripes_[si];
-  if (bounded_) {
-    // Admission under a global byte/entry budget: eviction must see every
-    // stripe, so the whole group is locked in fixed order.
+  if (global_budget_) {
+    // Admission under a kGlobalExact byte/entry budget: eviction must see
+    // every stripe, so the whole group is locked in fixed order.
     auto locks = LockAllExclusive();
     s.core->OnExitCtx(ctx, instr, results, cpu_ms, deps);
     return;
@@ -132,6 +169,7 @@ void ConcurrentRecycler::SessionOnExit(const QueryCtx& ctx,
 
 std::vector<std::unique_lock<std::shared_mutex>>
 ConcurrentRecycler::LockAllExclusive() {
+  all_stripe_ops_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(stripes_.size());
   for (auto& s : stripes_) {
@@ -139,6 +177,130 @@ ConcurrentRecycler::LockAllExclusive() {
     s->excl_acq.fetch_add(1, std::memory_order_relaxed);
   }
   return locks;
+}
+
+void ConcurrentRecycler::SyncLease(Stripe& s) {
+  if (s.lease == nullptr) return;
+  // Usage can only DROP concurrently (cross-stripe column releases under the
+  // shared bookkeeping mutex); admissions raising it need this stripe's
+  // exclusive lock, which the caller holds. A stale read is therefore
+  // conservative: we release no more than the true slack.
+  size_t use_bytes = s.core->pool().total_bytes();
+  size_t use_entries = s.core->pool().num_entries();
+  size_t held_bytes = s.lease->held_bytes();
+  size_t held_entries = s.lease->held_entries();
+  s.lease->Release(held_bytes > use_bytes ? held_bytes - use_bytes : 0,
+                   held_entries > use_entries ? held_entries - use_entries : 0);
+}
+
+void ConcurrentRecycler::ServicePressureLocked(Stripe& s) {
+  ResourceGovernor::Lease* lease = s.lease;
+  if (lease == nullptr) return;
+  // A slack request (any starved acquisition in the domain) asks only for
+  // held-above-usage capacity — returning it costs this stripe nothing.
+  if (lease->SeesSlackRequest()) SyncLease(s);
+  // Pressure (an UNDER-share stripe starved) additionally makes an
+  // over-share stripe shed down to its base by stripe-local eviction, once
+  // per pressure epoch.
+  if (lease->SeesPressure()) {
+    RecyclePool& pool = s.core->pool();
+    const double now_ms = NowMillis();
+    const uint64_t protected_epoch = cfg_.protect_current_query
+                                         ? s.core->ProtectedEpoch()
+                                         : UINT64_MAX;
+    auto on_evict = [&s](const PoolEntry& e) { s.core->NoteEviction(e); };
+    if (cfg_.max_bytes != 0 && pool.total_bytes() > lease->base_bytes()) {
+      EvictForMemory(&pool, cfg_.eviction, lease->base_bytes(),
+                     /*bytes_needed=*/0, protected_epoch, now_ms, on_evict);
+    }
+    if (cfg_.max_entries != 0 &&
+        pool.num_entries() > lease->base_entries()) {
+      EvictForEntries(&pool, cfg_.eviction, lease->base_entries(),
+                      /*need=*/0, protected_epoch, now_ms, on_evict);
+    }
+    SyncLease(s);
+    lease->NoteRebalance();
+  }
+}
+
+void ConcurrentRecycler::MaybeServicePressure(size_t stripe_idx) {
+  Stripe& s = *stripes_[stripe_idx];
+  ResourceGovernor::Lease* lease = s.lease;
+  if (lease == nullptr) return;
+  // Cheap relaxed peeks only; the epochs are consumed under the exclusive
+  // lock. The slack peek also requires visible byte slack so hit-heavy
+  // stripes with nothing to give never pay the lock upgrade.
+  bool want_slack = lease->PeekSlackRequest() &&
+                    lease->held_bytes() > s.core->pool().total_bytes();
+  if (!want_slack && !lease->PeekPressure()) return;
+  std::unique_lock lock(s.mu);
+  s.excl_acq.fetch_add(1, std::memory_order_relaxed);
+  ServicePressureLocked(s);
+}
+
+bool ConcurrentRecycler::EnsureCapacityStriped(size_t stripe_idx,
+                                               size_t bytes_needed) {
+  Stripe& s = *stripes_[stripe_idx];
+  RecyclePool& pool = s.core->pool();
+  ResourceGovernor::Lease* lease = s.lease;
+  const double now_ms = NowMillis();
+  const uint64_t protected_epoch = cfg_.protect_current_query
+                                       ? s.core->ProtectedEpoch()
+                                       : UINT64_MAX;
+  auto on_evict = [&s](size_t, const PoolEntry& e) {
+    s.core->NoteEviction(e);
+  };
+
+  // Held-above-usage slack (cross-stripe byte releases, admission
+  // over-estimates, earlier evictions) is deliberately RETAINED: it covers
+  // future admissions of this stripe without touching the domain ledger, so
+  // the steady admit/evict cycle performs no acquisitions at all (and the
+  // borrow counters only record actual growth beyond the fair share).
+  // Slack returns to the ledger when the governor signals that someone is
+  // starving — serviced here and on the probe path — or when an admission
+  // is declined.
+  ServicePressureLocked(s);
+
+  // Entry budget: one slot. Acquire from the ledger; on a dry ledger evict
+  // one of our own entries — usage drops below held, so the slot is covered
+  // without a ledger round-trip.
+  if (cfg_.max_entries != 0 &&
+      pool.num_entries() + 1 > lease->held_entries()) {
+    if (!lease->TryAcquire(0, 1)) {
+      EvictForEntries(&pool, cfg_.eviction, pool.num_entries(), /*need=*/1,
+                      protected_epoch, now_ms,
+                      [&on_evict](const PoolEntry& e) { on_evict(0, e); });
+      if (pool.num_entries() + 1 > lease->held_entries()) {
+        SyncLease(s);  // admission declined: keep nothing we don't use
+        return false;
+      }
+    }
+  }
+
+  // Byte budget: acquire the shortfall, then evict stripe-locally for
+  // whatever the ledger could not grant (freed usage stays covered by the
+  // held capacity, exactly like the entry slot above).
+  if (cfg_.max_bytes != 0) {
+    if (bytes_needed > cfg_.max_bytes) {
+      SyncLease(s);  // return the entry slot acquired above
+      return false;  // oversize result can never fit
+    }
+    size_t usage = pool.total_bytes();
+    size_t held = lease->held_bytes();
+    if (usage + bytes_needed > held) {
+      size_t granted = lease->AcquireBytesUpTo(usage + bytes_needed - held);
+      if (usage + bytes_needed > held + granted) {
+        EvictForMemory(&pool, cfg_.eviction, lease->held_bytes(), bytes_needed,
+                       protected_epoch, now_ms,
+                       [&on_evict](const PoolEntry& e) { on_evict(0, e); });
+        if (pool.total_bytes() + bytes_needed > lease->held_bytes()) {
+          SyncLease(s);  // admission declined: keep nothing we don't use
+          return false;
+        }
+      }
+    }
+  }
+  return true;
 }
 
 bool ConcurrentRecycler::EnsureCapacityGlobal(Recycler* admitting,
@@ -162,7 +324,10 @@ bool ConcurrentRecycler::EnsureCapacityGlobal(Recycler* admitting,
 
 void ConcurrentRecycler::OnCatalogUpdate(const std::vector<ColumnId>& cols) {
   auto locks = LockAllExclusive();
-  for (auto& s : stripes_) s->core->OnCatalogUpdate(cols);
+  for (auto& s : stripes_) {
+    s->core->OnCatalogUpdate(cols);
+    SyncLease(*s);  // invalidated bytes go back to the free ledger now
+  }
 }
 
 void ConcurrentRecycler::PropagateUpdate(Catalog* catalog,
@@ -186,11 +351,15 @@ void ConcurrentRecycler::PropagateUpdate(Catalog* catalog,
     size_t si = StripeOf(r.op, r.args);
     stripes_[si]->core->AdmitRefresh(std::move(r));
   }
+  for (auto& s : stripes_) SyncLease(*s);
 }
 
 void ConcurrentRecycler::Clear() {
   auto locks = LockAllExclusive();
-  for (auto& s : stripes_) s->core->Clear();
+  for (auto& s : stripes_) {
+    s->core->Clear();
+    SyncLease(*s);
+  }
 }
 
 void ConcurrentRecycler::ResetStats() {
@@ -204,7 +373,9 @@ void ConcurrentRecycler::ResetStats() {
     s->fast_saved_ns.store(0, std::memory_order_relaxed);
     s->excl_acq.store(0, std::memory_order_relaxed);
     s->shared_acq.store(0, std::memory_order_relaxed);
+    if (s->lease != nullptr) s->lease->ResetCounters();
   }
+  all_stripe_ops_.store(0, std::memory_order_relaxed);
 }
 
 RecyclerStats ConcurrentRecycler::stats() const {
@@ -240,6 +411,13 @@ std::vector<ConcurrentRecycler::StripeStats> ConcurrentRecycler::stripe_stats()
               s->fast_hits.load(std::memory_order_relaxed);
     st.admitted = s->core->stats().admitted;
     st.evicted = s->core->stats().evicted;
+    if (s->lease != nullptr) {
+      st.lease_base_bytes = s->lease->base_bytes();
+      st.lease_held_bytes = s->lease->held_bytes();
+      st.borrows = s->lease->borrows();
+      st.borrow_denied = s->lease->denied();
+      st.rebalances = s->lease->rebalances();
+    }
     out.push_back(st);
   }
   return out;

@@ -5,9 +5,11 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/recycler.h"
+#include "core/resource_governor.h"
 
 namespace recycledb {
 
@@ -43,14 +45,37 @@ namespace recycledb {
 ///  - subsumption (exclusive lock on the ONE stripe holding the probe's
 ///    candidate set): the DP reads candidates, admits the rewritten result
 ///    (same key, same stripe).
-///  - recycleExit / admission (exclusive lock on the target stripe).
+///  - recycleExit / admission (exclusive lock on the target stripe). Under
+///    a byte/entry budget in the default kPerStripe mode this INCLUDES the
+///    budget enforcement: the stripe charges its governor lease (max/N fair
+///    share, borrowing idle capacity through the atomic ledger) and evicts
+///    within itself only — budgeted admission never leaves the stripe lock.
 ///  - Cross-stripe operations — Clear, ResetStats, catalog invalidation,
-///    update propagation, and ANY admission while a global byte/entry
-///    budget is configured (eviction decisions need the whole pool) —
-///    acquire every stripe's lock in FIXED INDEX ORDER (deadlock-free) and
-///    run the unstriped decision procedure over the union of pools, so a
-///    bounded striped pool evicts exactly what the unstriped pool would.
+///    update propagation, and (in budget_mode = kGlobalExact only) ANY
+///    admission while a byte/entry budget is configured (exact-parity
+///    eviction decisions need the whole pool) — acquire every stripe's lock
+///    in FIXED INDEX ORDER (deadlock-free) and run the unstriped decision
+///    procedure over the union of pools, so a kGlobalExact bounded striped
+///    pool evicts exactly what the unstriped pool would.
 ///  - stats()/introspection: per-stripe shared locks, taken one at a time.
+///
+/// ## Budget governance (kPerStripe)
+///
+/// The byte/entry budget lives in a ResourceGovernor domain ("recycle_pool")
+/// — either a domain of the governor injected at construction (QueryService
+/// shares one governor between this pool and the plan cache) or of a
+/// privately owned one. Each stripe holds a Lease whose held capacity always
+/// covers the stripe's live bytes/entries; admission acquires the shortfall
+/// from the domain's free ledger first and falls back to stripe-local
+/// eviction (§4.3 policies over this stripe's leaves only). Held capacity
+/// freed by cross-stripe releases, over-estimation, or eviction is retained
+/// as slack that covers later admissions ledger-free (the steady
+/// admit/evict cycle performs no ledger traffic); it returns to the free
+/// ledger when an admission is declined or when the governor signals
+/// pressure (a starved under-share stripe), at which point a stripe holding
+/// beyond its fair share also sheds down to it by local eviction — the
+/// borrow/rebalance protocol that keeps Σ stripe bytes ≤ budget without
+/// any all-stripe lock.
 ///
 /// Shared across stripes (RecyclerSharedState): the logical use clock, the
 /// invocation registry (so eviction protection reads one global epoch —
@@ -64,7 +89,13 @@ namespace recycledb {
 /// reuse-quality policy, not a memory-safety requirement.
 class ConcurrentRecycler {
  public:
-  explicit ConcurrentRecycler(RecyclerConfig cfg = {});
+  /// `governor`, when given, hosts the pool's budget domain (so one
+  /// process-wide governor can account the recycle pool and the plan cache
+  /// together — QueryService does this); it must outlive the recycler. When
+  /// null and a budget is configured in kPerStripe mode, the recycler owns a
+  /// private governor.
+  explicit ConcurrentRecycler(RecyclerConfig cfg = {},
+                              ResourceGovernor* governor = nullptr);
 
   /// Per-worker RecyclerHook facade: holds the worker's current QueryCtx and
   /// forwards to the shared striped pool under the locking protocol above.
@@ -128,9 +159,29 @@ class ConcurrentRecycler {
     uint64_t hits = 0;      ///< exact + subsumed hits resolved in this stripe
     uint64_t admitted = 0;
     uint64_t evicted = 0;
+    // Budget-lease state (kPerStripe budget mode; zero otherwise): the
+    // stripe's fair share, what it currently holds from the governor, and
+    // how often it borrowed beyond the share / shed back down.
+    size_t lease_base_bytes = 0;
+    size_t lease_held_bytes = 0;
+    uint64_t borrows = 0;
+    uint64_t borrow_denied = 0;
+    uint64_t rebalances = 0;
   };
   std::vector<StripeStats> stripe_stats() const;
   size_t num_stripes() const { return stripes_.size(); }
+
+  /// Times any operation locked EVERY stripe (Clear/ResetStats, catalog
+  /// invalidation, propagation, and kGlobalExact budgeted admissions). The
+  /// kPerStripe acceptance property is that a budgeted admission-only
+  /// workload leaves this flat.
+  uint64_t all_stripe_ops() const {
+    return all_stripe_ops_.load(std::memory_order_relaxed);
+  }
+
+  /// The governor hosting this pool's budget domain: the injected one, the
+  /// privately owned one, or null when no kPerStripe budget is configured.
+  const ResourceGovernor* governor() const { return governor_; }
 
   /// The stripe an instruction with this identity belongs to (exposed for
   /// tests that pin fingerprints to stripes).
@@ -146,6 +197,10 @@ class ConcurrentRecycler {
   struct Stripe {
     mutable std::shared_mutex mu;
     std::unique_ptr<Recycler> core;
+    /// This stripe's slice of the pool budget (kPerStripe mode; null
+    /// otherwise). Held capacity always covers the stripe's live
+    /// bytes/entries; mutated only under this stripe's exclusive lock.
+    ResourceGovernor::Lease* lease = nullptr;
     // Contention counters.
     std::atomic<uint64_t> excl_acq{0};
     std::atomic<uint64_t> shared_acq{0};
@@ -173,17 +228,52 @@ class ConcurrentRecycler {
   /// nothing). Counts one exclusive acquisition per stripe.
   std::vector<std::unique_lock<std::shared_mutex>> LockAllExclusive();
 
-  /// The global-budget capacity delegate installed into the shared state
+  /// The kGlobalExact capacity delegate installed into the shared state
   /// when max_entries/max_bytes are configured. Requires all stripe locks.
   bool EnsureCapacityGlobal(Recycler* admitting, size_t bytes_needed);
 
+  /// The kPerStripe capacity delegate: charges the stripe's lease, evicts
+  /// stripe-locally on shortfall, honours governor pressure. Requires only
+  /// THIS stripe's exclusive lock.
+  bool EnsureCapacityStriped(size_t stripe_idx, size_t bytes_needed);
+
+  /// Returns held-above-usage lease capacity (left by cross-stripe byte
+  /// releases, admission over-estimates, or failed admissions) to the
+  /// domain's free ledger. Requires the stripe's exclusive lock.
+  void SyncLease(Stripe& s);
+
+  /// Consumes the governor's signals for this stripe: a slack request
+  /// returns held-above-usage capacity (no eviction); pressure additionally
+  /// sheds an over-share stripe down to its base by stripe-local eviction.
+  /// Requires the stripe's exclusive lock.
+  void ServicePressureLocked(Stripe& s);
+
+  /// Probe-path service point: if the governor signalled since this
+  /// stripe's last look AND the stripe has something to give, upgrade to
+  /// the stripe's exclusive lock and respond. This is what lets hit-heavy
+  /// or admission-idle stripes release trapped capacity; a stripe that is
+  /// never probed at all only returns capacity at the next cross-stripe
+  /// maintenance op (commit invalidation/propagation, Clear).
+  void MaybeServicePressure(size_t stripe_idx);
+
   RecyclerConfig cfg_;
-  /// True when a byte or entry budget is configured: admissions then take
-  /// every stripe lock so eviction can see (and keep exact) the global
-  /// budget. Hit and miss fast paths stay striped.
+  /// True when a byte or entry budget is configured. In kGlobalExact mode
+  /// admissions then take every stripe lock so eviction can see (and keep
+  /// exact) the global budget; in kPerStripe mode they stay on the single
+  /// stripe lock and charge the stripe's governor lease instead. Hit and
+  /// miss fast paths stay striped either way.
   bool bounded_;
+  /// bounded_ && budget_mode == kGlobalExact: the all-stripe admission path.
+  bool global_budget_;
   RecyclerSharedState shared_;
+  std::unique_ptr<ResourceGovernor> owned_governor_;  ///< null when injected
+  ResourceGovernor* governor_ = nullptr;  ///< null without a kPerStripe budget
+  ResourceGovernor::Domain* pool_domain_ = nullptr;
   std::vector<std::unique_ptr<Stripe>> stripes_;
+  /// Stripe index by core pointer: resolves the shared capacity delegate's
+  /// `Recycler*` back to its stripe. Immutable after construction.
+  std::unordered_map<const Recycler*, size_t> stripe_index_;
+  std::atomic<uint64_t> all_stripe_ops_{0};
 };
 
 }  // namespace recycledb

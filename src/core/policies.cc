@@ -17,6 +17,16 @@ const char* AdmissionName(AdmissionKind k) {
   return "?";
 }
 
+const char* BudgetModeName(BudgetMode m) {
+  switch (m) {
+    case BudgetMode::kPerStripe:
+      return "PER-STRIPE";
+    case BudgetMode::kGlobalExact:
+      return "GLOBAL-EXACT";
+  }
+  return "?";
+}
+
 const char* EvictionName(EvictionKind k) {
   switch (k) {
     case EvictionKind::kLru:
@@ -254,8 +264,16 @@ void EvictRound(const std::vector<RecyclePool*>& pools,
   for (const Candidate& c : round) {
     PoolEntry* e = pools[c.pool_idx]->Get(c.entry->id);
     if (e == nullptr) continue;
+    // Stripe-local eviction runs without the other stripes' locks, so a
+    // concurrent admission elsewhere may have re-parented this victim (the
+    // cross-stripe lineage counters are updated lock-free). Honour the
+    // leaves-only policy when we can see the new child; the remaining
+    // race window is closed by Remove(force), for which removing a
+    // just-re-parented entry is benign — results live by shared_ptr and
+    // every dependent-bookkeeping decrement is defensive.
+    if (!e->IsLeaf()) continue;
     on_evict(c.pool_idx, *e);
-    pools[c.pool_idx]->Remove(e->id);
+    pools[c.pool_idx]->Remove(e->id, /*force=*/true);
     ++(*evicted);
   }
 }

@@ -26,8 +26,24 @@ enum class EvictionKind {
   kHistory,  ///< benefit aged by lifetime                     (Eq. 3)
 };
 
+/// How a striped pool enforces its byte/entry budget (ConcurrentRecycler;
+/// a standalone Recycler has one pool and the distinction collapses).
+enum class BudgetMode {
+  /// Stripe-local admission: each stripe charges a governor lease (its
+  /// max/N fair share, borrowing idle stripes' capacity through the atomic
+  /// ledger) and evicts only within itself. Admission under a budget takes
+  /// ONE stripe lock — the scalable default. Decisions may differ from the
+  /// unstriped pool (victims are chosen stripe-locally).
+  kPerStripe,
+  /// Every budgeted admission locks all stripes in fixed order and runs the
+  /// unstriped decision procedure over the union of pools: exact decision
+  /// parity with a single pool, at the cost of serialising admissions.
+  kGlobalExact,
+};
+
 const char* AdmissionName(AdmissionKind k);
 const char* EvictionName(EvictionKind k);
+const char* BudgetModeName(BudgetMode m);
 
 /// Per-source-instruction credit ledger. A "source instruction" is a static
 /// instruction of a query template, keyed by (template id, pc). Credits are

@@ -348,10 +348,17 @@ std::string RecyclePool::Dump(size_t max_entries) const {
       else
         os << e->args[i].scalar().ToString();
     }
-    os << StrFormat(") rows=%zu cost=%.3fms mem=%zuB reuses=%d%s%s",
-                    e->result_rows, e->cost_ms, e->owned_bytes,
-                    e->reuses.load(), e->global_reuse.load() ? " G" : "",
-                    e->local_reuse.load() ? " L" : "");
+    // mem is the entry's owned bytes and last the logical-clock tick of its
+    // most recent use (admit tick in parentheses): together with the reuse
+    // flags this is everything LRU/benefit eviction decides on, so a REPL
+    // user can predict the next victim from this dump alone.
+    os << StrFormat(
+        ") rows=%zu cost=%.3fms mem=%zuB last=%llu(admit=%llu) reuses=%d%s%s",
+        e->result_rows, e->cost_ms, e->owned_bytes,
+        static_cast<unsigned long long>(
+            e->last_use_seq.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(e->admit_seq), e->reuses.load(),
+        e->global_reuse.load() ? " G" : "", e->local_reuse.load() ? " L" : "");
     os << "\n";
   }
   return os.str();

@@ -73,8 +73,11 @@ struct PoolEntry {
   std::vector<ColumnId> deps; ///< persistent columns it derives from
   /// Pool entries consuming my results. Atomic because in a STRIPED pool an
   /// admission in one stripe adds a lineage/borrow edge onto a producer that
-  /// may live in another stripe, without that stripe's lock; readers (leaf
-  /// tests for eviction) always hold every stripe lock.
+  /// may live in another stripe, without that stripe's lock. Leaf tests for
+  /// eviction read it under all stripe locks (kGlobalExact) or under just
+  /// their own stripe's lock (kPerStripe) — in the latter case the count is
+  /// advisory: a concurrent re-parenting can land after the test, which the
+  /// eviction path tolerates (see EvictRound in policies.cc).
   std::atomic<int> children{0};
 
   PoolEntry() = default;
@@ -142,9 +145,13 @@ class RecyclePool;
 ///
 /// Guarded by one leaf mutex, taken inside RecyclePool's index/unindex and
 /// lookup paths (never while calling back out). The PoolEntry pointers
-/// stored here stay valid under concurrent striped use because entry
-/// REMOVAL (eviction, invalidation, Clear) only ever happens with every
-/// stripe lock held, while lock-disjoint concurrent operations only add.
+/// stored here stay valid under concurrent striped use: every pointer to an
+/// entry is scrubbed from these maps (UnindexEntry, under the mutex) BEFORE
+/// the entry is freed, so a holder of the mutex either finds the entry
+/// while it is still alive or does not find it at all. Invalidation, Clear
+/// and kGlobalExact eviction additionally hold every stripe lock;
+/// kPerStripe eviction removes entries under just the owning stripe's lock,
+/// which the scrub-before-free protocol makes safe.
 struct PoolSharedState {
   struct ColTrack {
     PoolEntry* owner;         ///< nulled when the owning entry is removed
@@ -203,7 +210,11 @@ class RecyclePool {
   bool IsSubsetOf(uint64_t sub_bat, uint64_t super_bat) const;
 
   /// Removes one entry. The caller must ensure it is a leaf (children == 0)
-  /// unless `force` is set (bulk invalidation recomputes dependents).
+  /// unless `force` is set — bulk invalidation drops whole dependency
+  /// subtrees, and stripe-local eviction tolerates a victim re-parented by
+  /// a racing cross-stripe admission (removing such an entry is benign: the
+  /// dependants' results stay alive via shared ownership and every
+  /// dependent-bookkeeping decrement in UnindexEntry is guarded).
   void Remove(uint64_t id, bool force = false);
 
   /// Removes every entry whose dependency set intersects `cols`; returns

@@ -300,8 +300,10 @@ void Recycler::NoteEviction(const PoolEntry& e) {
 }
 
 bool Recycler::EnsureCapacity(size_t bytes_needed) {
-  // Striped mode with a budget: the owner enforces the GLOBAL limit across
-  // all stripes (and guarantees every stripe lock is held when we get here).
+  // Striped mode with a budget: the owner enforces the limit — either
+  // globally across all stripes (kGlobalExact, every stripe lock held) or
+  // against this stripe's governor lease (kPerStripe, only this stripe's
+  // lock held).
   if (shared_->ensure_capacity) return shared_->ensure_capacity(this, bytes_needed);
 
   uint64_t protected_epoch =
@@ -332,7 +334,15 @@ std::vector<Recycler::Refresh> Recycler::CollectRefreshes(
       }
     }
     if (!affected) continue;
-    if (e->op != Opcode::kSelect || e->deps.size() != 1) continue;
+    // The whole selection family over a bind is refreshable: range selects
+    // (kSelect), equality selects (kUselect), and LIKE selects — each is a
+    // pure per-row predicate, so running it over the insert delta and
+    // appending reproduces a run over the grown column. Anything else (or a
+    // multi-column dependency) is invalidated.
+    if (e->deps.size() != 1) continue;
+    if (e->op != Opcode::kSelect && e->op != Opcode::kUselect &&
+        e->op != Opcode::kLikeSelect)
+      continue;
     // Identify the bind instruction that produced arg0 (possibly admitted
     // in a different stripe, hence the indirection).
     if (e->args.empty() || !e->args[0].is_bat()) continue;
@@ -344,10 +354,23 @@ std::vector<Recycler::Refresh> Recycler::CollectRefreshes(
     if (!delta.ok()) continue;  // deletes or no insert delta: invalidate
     if (!catalog->LastCommitInsertOnly(table)) continue;
 
-    // Execute the select over the delta only and append (§6.3).
-    auto piece =
-        engine::Select(delta.value(), e->args[1].scalar(), e->args[2].scalar(),
-                       e->args[3].scalar().AsBit(), e->args[4].scalar().AsBit());
+    // Execute the selection over the delta only and append (§6.3).
+    Result<BatPtr> piece = Status::Internal("unreachable");
+    switch (e->op) {
+      case Opcode::kSelect:
+        piece = engine::Select(delta.value(), e->args[1].scalar(),
+                               e->args[2].scalar(), e->args[3].scalar().AsBit(),
+                               e->args[4].scalar().AsBit());
+        break;
+      case Opcode::kUselect:
+        piece = engine::Uselect(delta.value(), e->args[1].scalar());
+        break;
+      case Opcode::kLikeSelect:
+        piece = engine::LikeSelect(delta.value(), e->args[1].scalar().AsStr());
+        break;
+      default:
+        continue;
+    }
     if (!piece.ok()) continue;
     auto merged =
         engine::Concat({e->results[0].bat(), std::move(piece).value()});

@@ -29,6 +29,18 @@ struct RecyclerConfig {
   size_t max_entries = 0;  ///< recycle-pool entry limit; 0 = unlimited
   size_t max_bytes = 0;    ///< recycle-pool memory limit; 0 = unlimited
 
+  /// How a STRIPED pool enforces the budget above. kPerStripe (default)
+  /// leases each stripe max/N through the resource governor and admits with
+  /// stripe-local eviction — no all-stripe lock on the admission path, with
+  /// borrow/rebalance through the governor's atomic ledger when one stripe
+  /// runs hot. kGlobalExact reproduces the unstriped pool's decisions
+  /// exactly by locking every stripe for each budgeted admission (the
+  /// parity-test mode). Ignored by a standalone Recycler.
+  BudgetMode budget_mode = BudgetMode::kPerStripe;
+  /// kPerStripe only: let a hot stripe borrow idle stripes' unused budget
+  /// share. Clearing it hard-caps every stripe at max/N (ablation knob).
+  bool stripe_borrow = true;
+
   bool enable_subsumption = true;
   bool enable_combined_subsumption = true;
   size_t combined_max_candidates = 16;
@@ -123,10 +135,11 @@ struct RecyclerSharedState {
   PoolSharedState pool_shared;
 
   /// Capacity delegate. When set (striped mode with a byte/entry budget),
-  /// admissions call this instead of the stripe-local EnsureCapacity, so
-  /// eviction sees the GLOBAL budget across all stripes. The striped owner
-  /// guarantees every path that can reach an admission holds all stripe
-  /// locks (acquired in fixed index order) whenever this is set.
+  /// admissions call this instead of the private-pool EnsureCapacity. In
+  /// kGlobalExact mode it evicts against the GLOBAL budget and the owner
+  /// guarantees every admission path holds all stripe locks (fixed index
+  /// order); in kPerStripe mode it charges the admitting stripe's governor
+  /// lease and only that stripe's lock is held.
   std::function<bool(Recycler* stripe, size_t bytes_needed)> ensure_capacity;
 };
 
@@ -219,10 +232,11 @@ class Recycler : public RecyclerHook {
   /// from any of `cols`. This is the listener the catalog should call.
   void OnCatalogUpdate(const std::vector<ColumnId>& cols);
 
-  /// §6.3 extension: for insert-only commits, refreshes select-over-bind
-  /// entries by running them over the insert delta and appending, instead of
-  /// dropping them; everything else is invalidated. Requires the catalog
-  /// that produced the update.
+  /// §6.3 extension: for insert-only commits, refreshes selection-over-bind
+  /// entries (range kSelect, equality kUselect, and kLikeSelect) by running
+  /// them over the insert delta and appending, instead of dropping them;
+  /// everything else is invalidated. Requires the catalog that produced the
+  /// update.
   void PropagateUpdate(Catalog* catalog, const std::vector<ColumnId>& cols);
 
   /// Empties the pool (benchmark preparation; "empty the recycle pool").
@@ -252,9 +266,10 @@ class Recycler : public RecyclerHook {
  private:
   friend class ConcurrentRecycler;  ///< striped owner: cross-stripe ops
 
-  /// One §6.3-refreshable select-over-bind entry, collected before the
-  /// invalidation wave and re-admitted after it. Public to the striped
-  /// owner, which routes each refresh to the stripe of its new key.
+  /// One §6.3-refreshable selection-over-bind entry (kSelect, kUselect, or
+  /// kLikeSelect), collected before the invalidation wave and re-admitted
+  /// after it. Public to the striped owner, which routes each refresh to
+  /// the stripe of its new key.
   struct Refresh {
     Opcode op;
     std::vector<MalValue> args;  // with arg0 rewritten to the fresh bind

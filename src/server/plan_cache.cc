@@ -1,8 +1,42 @@
 #include "server/plan_cache.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace recycledb {
+
+size_t PlanCache::EstimateEntryBytes(const Entry& e) {
+  size_t n = sizeof(Entry);
+  n += e.param_types.size() * sizeof(TypeTag);
+  n += e.table_ids.size() * sizeof(int32_t);
+  if (e.prog != nullptr) {
+    const Program& p = *e.prog;
+    n += sizeof(Program) + p.name.size();
+    for (const VarDecl& v : p.vars) {
+      n += sizeof(VarDecl) + v.name.size();
+      // Interned string constants (bind table/column names, LIKE patterns)
+      // carry an out-of-line payload the sizeof above does not see.
+      if (v.is_const && v.const_val.tag() == TypeTag::kStr)
+        n += v.const_val.AsStr().size();
+    }
+    for (const Instruction& i : p.instrs) {
+      n += sizeof(Instruction);
+      n += (i.args.size() + i.rets.size()) * sizeof(uint16_t);
+    }
+  }
+  return n;
+}
+
+void PlanCache::EnableCapacity(ResourceGovernor* governor, size_t max_plans,
+                               size_t max_bytes) {
+  if (governor == nullptr || (max_plans == 0 && max_bytes == 0)) return;
+  ResourceGovernor::Domain* domain =
+      governor->AddDomain("plan_cache", {max_bytes, max_plans});
+  // One consumer: the lease's base IS the whole domain budget, so borrow
+  // semantics never trigger — the governor's value here is the unified
+  // ledger/stats surface, not arbitration.
+  lease_ = domain->CreateLease("plans", max_bytes, max_plans);
+}
 
 PlanCache::EntryPtr PlanCache::Lookup(const std::string& fingerprint) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
@@ -10,16 +44,73 @@ PlanCache::EntryPtr PlanCache::Lookup(const std::string& fingerprint) {
   auto it = plans_.find(fingerprint);
   if (it == plans_.end()) return nullptr;
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  // Touch recency under the shared lock: ticks are per-slot atomics fed by
+  // one atomic clock, exactly the recycle pool's logical-clock idiom.
+  it->second.last_use->store(
+      use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  return it->second.entry;
+}
+
+bool PlanCache::EvictLruLocked() {
+  auto victim = plans_.end();
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+    uint64_t tick = it->second.last_use->load(std::memory_order_relaxed);
+    if (tick < oldest) {
+      oldest = tick;
+      victim = it;
+    }
+  }
+  if (victim == plans_.end()) return false;
+  if (lease_ != nullptr) lease_->Release(victim->second.est_bytes, 1);
+  bytes_ -= victim->second.est_bytes;
+  plans_.erase(victim);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 PlanCache::EntryPtr PlanCache::Insert(const std::string& fingerprint,
                                       Entry entry) {
   compiles_.fetch_add(1, std::memory_order_relaxed);
   auto sp = std::make_shared<const Entry>(std::move(entry));
+  size_t est = EstimateEntryBytes(*sp);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  auto [it, inserted] = plans_.emplace(fingerprint, sp);
-  return inserted ? sp : it->second;
+  auto it = plans_.find(fingerprint);
+  if (it != plans_.end()) {
+    // Racing double-compile: the incumbent wins, the loser's plan is
+    // discarded without ever charging capacity.
+    it->second.last_use->store(
+        use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    return it->second.entry;
+  }
+  if (lease_ != nullptr) {
+    // A plan that alone exceeds the whole byte budget can never be cached:
+    // bail before the eviction loop (which would otherwise wipe every
+    // cached plan and still fail). The caller's shared_ptr keeps the
+    // returned plan runnable, it just isn't shared.
+    const size_t max_bytes = lease_->base_bytes();      // 0 = unlimited
+    const size_t max_plans = lease_->base_entries();    // 0 = unlimited
+    if (max_bytes != 0 && est > max_bytes) return sp;
+    // Make room with local capacity math FIRST, then charge the lease once
+    // — probing TryAcquire per eviction round would count one insert as N
+    // denials in the governance stats. (Single consumer: held mirrors
+    // bytes_/size(), so the local math is exact.)
+    while ((max_plans != 0 && plans_.size() + 1 > max_plans) ||
+           (max_bytes != 0 && bytes_ + est > max_bytes)) {
+      if (!EvictLruLocked()) return sp;
+    }
+    if (!lease_->TryAcquire(est, 1)) return sp;
+  }
+  Slot slot;
+  slot.entry = sp;
+  slot.est_bytes = est;
+  slot.last_use = std::make_unique<std::atomic<uint64_t>>(
+      use_clock_.fetch_add(1, std::memory_order_relaxed) + 1);
+  bytes_ += est;
+  plans_.emplace(fingerprint, std::move(slot));
+  return sp;
 }
 
 void PlanCache::Invalidate(const std::vector<ColumnId>& cols) {
@@ -33,11 +124,13 @@ void PlanCache::Invalidate(const std::vector<ColumnId>& cols) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   uint64_t dropped = 0;
   for (auto it = plans_.begin(); it != plans_.end();) {
-    const std::vector<int32_t>& deps = it->second->table_ids;
+    const std::vector<int32_t>& deps = it->second.entry->table_ids;
     bool affected = std::any_of(deps.begin(), deps.end(), [&](int32_t t) {
       return std::binary_search(tables.begin(), tables.end(), t);
     });
     if (affected) {
+      if (lease_ != nullptr) lease_->Release(it->second.est_bytes, 1);
+      bytes_ -= it->second.est_bytes;
       it = plans_.erase(it);
       ++dropped;
     } else {
@@ -49,6 +142,8 @@ void PlanCache::Invalidate(const std::vector<ColumnId>& cols) {
 
 void PlanCache::Clear() {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (lease_ != nullptr) lease_->Release(bytes_, plans_.size());
+  bytes_ = 0;
   plans_.clear();
 }
 
@@ -57,12 +152,18 @@ size_t PlanCache::size() const {
   return plans_.size();
 }
 
+size_t PlanCache::bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return bytes_;
+}
+
 PlanCacheStats PlanCache::stats() const {
   PlanCacheStats s;
   s.lookups = lookups_.load(std::memory_order_relaxed);
   s.hits = hits_.load(std::memory_order_relaxed);
   s.compiles = compiles_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -71,6 +172,7 @@ void PlanCache::ResetStats() {
   hits_.store(0, std::memory_order_relaxed);
   compiles_.store(0, std::memory_order_relaxed);
   invalidations_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace recycledb

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "core/resource_governor.h"
 #include "mal/program.h"
 
 namespace recycledb {
@@ -20,6 +21,7 @@ struct PlanCacheStats {
   uint64_t hits = 0;           ///< probes answered by a cached plan
   uint64_t compiles = 0;       ///< plans compiled and inserted
   uint64_t invalidations = 0;  ///< cached plans dropped by commits/DDL
+  uint64_t evictions = 0;      ///< cached plans dropped by LRU capacity
 };
 
 /// The shared plan-template cache: maps a normalised query fingerprint to
@@ -29,10 +31,23 @@ struct PlanCacheStats {
 /// possible at all).
 ///
 /// Entries are immutable once inserted and handed out by shared_ptr, so a
-/// query keeps executing its plan safely even if a concurrent commit drops
-/// the entry. Invalidation is driven by the catalog's update listener with
-/// the same ColumnIds the recycle pool sees; QueryService calls it under the
-/// exclusive update lock, making it atomic w.r.t. in-flight queries.
+/// query keeps executing its plan safely even if a concurrent commit — or an
+/// LRU eviction — drops the entry. Invalidation is driven by the catalog's
+/// update listener with the same ColumnIds the recycle pool sees;
+/// QueryService calls it under the exclusive update lock, making it atomic
+/// w.r.t. in-flight queries.
+///
+/// ## Capacity (LRU)
+///
+/// EnableCapacity bounds the cache by fingerprint count and estimated
+/// Program bytes, leased from a ResourceGovernor domain so the plan cache
+/// participates in the same process-wide memory governance as the recycle
+/// pool. Inserting past capacity evicts least-recently-used entries
+/// (recency is touched by Lookup under the shared lock via per-entry atomic
+/// ticks); a plan too large for the whole budget is returned to the caller
+/// uncached — it still executes, it just isn't shared. Ad-hoc workloads
+/// with unbounded distinct patterns therefore cannot grow the map without
+/// bound any more.
 class PlanCache {
  public:
   struct Entry {
@@ -45,13 +60,23 @@ class PlanCache {
   };
   using EntryPtr = std::shared_ptr<const Entry>;
 
-  /// Returns the cached entry or nullptr. Counts a lookup (and a hit).
+  /// Bounds the cache at `max_plans` fingerprints / `max_bytes` estimated
+  /// bytes (0 = unlimited on that axis), leasing the capacity from a
+  /// "plan_cache" domain added to `governor`. Call once, before the cache
+  /// serves concurrent traffic; with both limits zero the cache stays
+  /// unbounded and no domain is registered.
+  void EnableCapacity(ResourceGovernor* governor, size_t max_plans,
+                      size_t max_bytes);
+
+  /// Returns the cached entry or nullptr. Counts a lookup (and a hit), and
+  /// touches the entry's LRU recency.
   EntryPtr Lookup(const std::string& fingerprint);
 
-  /// Inserts a freshly compiled plan and counts a compile. Under a racing
-  /// double-compile the first insert wins and the loser's entry is
-  /// discarded, so every submitter shares one Program; the returned entry is
-  /// always the winner.
+  /// Inserts a freshly compiled plan and counts a compile, evicting LRU
+  /// entries if capacity demands. Under a racing double-compile the first
+  /// insert wins and the loser's entry is discarded, so every submitter
+  /// shares one Program; the returned entry is always the winner. A plan
+  /// exceeding the whole budget is returned uncached (still runnable).
   EntryPtr Insert(const std::string& fingerprint, Entry entry);
 
   /// Drops every plan reading a table named in `cols` (ColumnId::table; join
@@ -63,13 +88,37 @@ class PlanCache {
   void Clear();
 
   size_t size() const;
+  /// Estimated bytes of the cached Programs (the figure charged against the
+  /// governor lease).
+  size_t bytes() const;
   PlanCacheStats stats() const;
   void ResetStats();
 
+  /// Rough footprint of one compiled plan: variable table, instruction
+  /// stream, interned constants. Exposed for tests sizing capacity budgets.
+  static size_t EstimateEntryBytes(const Entry& e);
+
  private:
+  struct Slot {
+    EntryPtr entry;
+    size_t est_bytes = 0;
+    /// Last-touch tick of the LRU clock. A pointer because Lookup stores to
+    /// it under the SHARED lock (atomic), while the map may rehash slots on
+    /// insert (atomics are not movable).
+    std::unique_ptr<std::atomic<uint64_t>> last_use;
+  };
+
+  /// Drops the least-recently-used slot; returns false when the map is
+  /// empty. Requires the exclusive lock.
+  bool EvictLruLocked();
+
   mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, EntryPtr> plans_;
-  std::atomic<uint64_t> lookups_{0}, hits_{0}, compiles_{0}, invalidations_{0};
+  std::unordered_map<std::string, Slot> plans_;
+  size_t bytes_ = 0;  ///< Σ est_bytes (guarded by mu_)
+  std::atomic<uint64_t> use_clock_{0};
+  ResourceGovernor::Lease* lease_ = nullptr;  ///< null = unbounded
+  std::atomic<uint64_t> lookups_{0}, hits_{0}, compiles_{0}, invalidations_{0},
+      evictions_{0};
 };
 
 }  // namespace recycledb

@@ -15,8 +15,13 @@ QueryService::QueryService(std::unique_ptr<Catalog> catalog, ServiceConfig cfg)
 }
 
 QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
-    : catalog_(catalog), cfg_(cfg), recycler_(cfg.recycler) {
+    : catalog_(catalog), cfg_(cfg), recycler_(cfg.recycler, &governor_) {
   if (cfg_.num_workers < 1) cfg_.num_workers = 1;
+  // The plan cache leases its capacity from the same governor the recycle
+  // pool budgets live in: one place owns every byte the serving stack may
+  // cache (see `.gov` in the SQL shell).
+  plan_cache_.EnableCapacity(&governor_, cfg_.plan_cache_capacity,
+                             cfg_.plan_cache_max_bytes);
   // At most one service may drive a catalog at a time (see the borrowing
   // constructor's contract): a second attach would silently disconnect the
   // first service's invalidation hook, so fail loudly instead.
@@ -271,11 +276,16 @@ ServiceStats QueryService::stats() const {
   s.plan_hits = pc.hits;
   s.plan_compiles = pc.compiles;
   s.plan_invalidations = pc.invalidations;
+  s.plan_evictions = pc.evictions;
   s.pool_stripes = recycler_.num_stripes();
   for (const auto& st : recycler_.stripe_stats()) {
     s.pool_excl_locks += st.excl_acquisitions;
     s.pool_shared_locks += st.shared_acquisitions;
+    s.pool_borrows += st.borrows;
+    s.pool_borrow_denied += st.borrow_denied;
+    s.pool_rebalances += st.rebalances;
   }
+  s.pool_all_stripe_ops = recycler_.all_stripe_ops();
   s.dml_inserted_rows = dml_inserted_.load(std::memory_order_relaxed);
   s.dml_deleted_rows = dml_deleted_.load(std::memory_order_relaxed);
   s.dml_commits = dml_commits_.load(std::memory_order_relaxed);

@@ -34,6 +34,14 @@ struct ServiceConfig {
   /// column-wise invalidation. Clear it to force pure invalidation on every
   /// commit (the paper's baseline behaviour, kept for ablation).
   bool propagate_updates = true;
+  /// Plan-cache capacity, leased from the service's resource governor: at
+  /// most this many cached fingerprints, LRU-evicted beyond it (0 =
+  /// unlimited). In-flight queries are unaffected by evictions — they hold
+  /// their Program by shared_ptr.
+  size_t plan_cache_capacity = 256;
+  /// Byte companion to the above: estimated Program bytes the cache may
+  /// hold (0 = unlimited).
+  size_t plan_cache_max_bytes = 0;
 };
 
 /// Cumulative service counters; every field is maintained atomically so the
@@ -52,6 +60,7 @@ struct ServiceStats {
   uint64_t plan_hits = 0;           ///< probes answered without compiling
   uint64_t plan_compiles = 0;       ///< statements compiled to a Program
   uint64_t plan_invalidations = 0;  ///< cached plans dropped by commits/DDL
+  uint64_t plan_evictions = 0;      ///< cached plans dropped by LRU capacity
   // Striped shared-pool contention counters (Σ over stripes; the per-stripe
   // breakdown is ConcurrentRecycler::stripe_stats()). Exclusive acquisitions
   // are structural changes (admission/eviction/invalidation/subsumption);
@@ -59,6 +68,15 @@ struct ServiceStats {
   uint64_t pool_stripes = 0;
   uint64_t pool_excl_locks = 0;
   uint64_t pool_shared_locks = 0;
+  // Memory-governance counters (kPerStripe budget mode; zero without a
+  // budget): lease borrows beyond the stripe fair share, denied/partial
+  // acquisitions, pressure rebalances, and how often anything locked every
+  // stripe at once (kGlobalExact admissions + maintenance; the per-stripe
+  // admission path never adds to it).
+  uint64_t pool_borrows = 0;
+  uint64_t pool_borrow_denied = 0;
+  uint64_t pool_rebalances = 0;
+  uint64_t pool_all_stripe_ops = 0;
   // SQL DML counters (SubmitSql INSERT/DELETE/COMMIT path).
   uint64_t dml_inserted_rows = 0;  ///< rows queued by INSERT statements
   uint64_t dml_deleted_rows = 0;   ///< victim rows queued by DELETE statements
@@ -164,6 +182,9 @@ class QueryService {
   const ConcurrentRecycler& recycler() const { return recycler_; }
   PlanCache& plan_cache() { return plan_cache_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
+  /// The process-wide memory governor: hosts the recycle pool's budget
+  /// domain (kPerStripe budget mode) and the plan cache's capacity domain.
+  const ResourceGovernor& governor() const { return governor_; }
 
   ServiceStats stats() const;
   int num_workers() const { return static_cast<int>(workers_.size()); }
@@ -190,6 +211,9 @@ class QueryService {
   std::unique_ptr<Catalog> owned_catalog_;  ///< null when borrowing
   Catalog* catalog_;
   ServiceConfig cfg_;
+  /// Declared before its consumers: the recycler and plan cache register
+  /// their budget domains into it at construction.
+  ResourceGovernor governor_;
   ConcurrentRecycler recycler_;
   PlanCache plan_cache_;
 

@@ -66,6 +66,91 @@ TEST(PlanCacheUnitTest, InvalidateDropsOnlyAffectedPlans) {
 }
 
 // ---------------------------------------------------------------------------
+// Capacity: LRU eviction under a governor lease.
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheCapacityTest, DistinctFingerprintsStayAtCapacityInLruOrder) {
+  ResourceGovernor gov;
+  PlanCache cache;
+  cache.EnableCapacity(&gov, /*max_plans=*/3, /*max_bytes=*/0);
+
+  auto a = cache.Insert("a", MakeEntry({0}));
+  cache.Insert("b", MakeEntry({0}));
+  cache.Insert("c", MakeEntry({0}));
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // touch: b becomes the LRU entry
+
+  cache.Insert("d", MakeEntry({0}));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.Lookup("b"), nullptr) << "LRU order ignored";
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_NE(cache.Lookup("d"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // A flood of distinct fingerprints can never exceed the capacity.
+  for (int i = 0; i < 40; ++i) {
+    cache.Insert("flood" + std::to_string(i), MakeEntry({0}));
+    EXPECT_LE(cache.size(), 3u);
+  }
+  // The evicted entry a client still holds stays usable (shared_ptr).
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a->prog, nullptr);
+}
+
+TEST(PlanCacheCapacityTest, ByteBudgetEvictsAndOversizePlanStaysUncached) {
+  PlanCache::Entry probe = MakeEntry({0});
+  const size_t est = PlanCache::EstimateEntryBytes(probe);
+  ASSERT_GT(est, 0u);
+
+  ResourceGovernor gov;
+  PlanCache cache;
+  cache.EnableCapacity(&gov, 0, 2 * est + est / 2);  // room for two plans
+  cache.Insert("a", MakeEntry({0}));
+  cache.Insert("b", MakeEntry({0}));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.Insert("c", MakeEntry({0}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);  // LRU victim
+  EXPECT_LE(cache.bytes(), 2 * est + est / 2);
+
+  // A plan bigger than the whole budget is returned runnable but uncached —
+  // and it must NOT flush the plans already cached on its way out.
+  PlanCache::Entry big = MakeEntry({0});
+  auto big_prog = std::make_shared<Program>();
+  big_prog->instrs.resize(4096);
+  big.prog = big_prog;
+  ASSERT_GT(PlanCache::EstimateEntryBytes(big), 2 * est + est / 2);
+  auto bp = cache.Insert("big", std::move(big));
+  ASSERT_NE(bp, nullptr);
+  EXPECT_NE(bp->prog, nullptr);
+  EXPECT_EQ(cache.size(), 2u) << "oversize insert wiped the cached plans";
+  EXPECT_EQ(cache.Lookup("big"), nullptr);
+
+  ResourceGovernor gov2;
+  PlanCache tiny;
+  tiny.EnableCapacity(&gov2, 0, est / 2);
+  auto p = tiny.Insert("x", MakeEntry({0}));
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(p->prog, nullptr);
+  EXPECT_EQ(tiny.size(), 0u);
+  EXPECT_EQ(tiny.Lookup("x"), nullptr);
+}
+
+TEST(PlanCacheCapacityTest, InvalidationReturnsLeasedCapacity) {
+  ResourceGovernor gov;
+  PlanCache cache;
+  cache.EnableCapacity(&gov, 2, 0);
+  cache.Insert("t0", MakeEntry({0}));
+  cache.Insert("t1", MakeEntry({1}));
+  cache.Invalidate({{0, 0}});  // drops t0, frees its slot
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Insert("t2", MakeEntry({2}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u)
+      << "insert after invalidation must reuse the freed slot, not evict";
+}
+
+// ---------------------------------------------------------------------------
 // Service-level invalidation semantics.
 // ---------------------------------------------------------------------------
 
@@ -206,6 +291,105 @@ TEST_F(PlanCacheServiceTest, ConcurrentSubmitSqlAndCommits) {
   ServiceStats s = svc_->stats();
   EXPECT_GE(s.plan_invalidations, 1u);
   EXPECT_GT(s.plan_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Eviction racing replay (regression): a Program held by shared_ptr must
+// survive both an LRU eviction and a commit invalidation of its cache entry
+// — deterministically first, then under concurrent churn for the TSan job.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Catalog> MakeTinyDb() {
+  auto cat = std::make_unique<Catalog>();
+  cat->CreateTable("t", {{"k", TypeTag::kOid}, {"v", TypeTag::kInt}});
+  EXPECT_TRUE(cat->LoadColumn<Oid>("t", "k", {0, 1, 2}, true, true).ok());
+  EXPECT_TRUE(cat->LoadColumn<int32_t>("t", "v", {10, 20, 30}).ok());
+  return cat;
+}
+
+TEST(PlanCacheEvictionRaceTest, HeldProgramSurvivesEvictionAndInvalidation) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.plan_cache_capacity = 2;
+  QueryService svc(MakeTinyDb(), cfg);
+
+  const char* q = "select count(*) from t";
+  ASSERT_TRUE(svc.RunSql(q).ok());
+  auto compiled = sql::CompileSql(svc.catalog(), q);
+  ASSERT_TRUE(compiled.ok());
+  PlanCache::EntryPtr held = svc.plan_cache().Lookup(compiled.value().fingerprint);
+  ASSERT_NE(held, nullptr);
+
+  // Flood with structurally distinct patterns: capacity 2 forces the held
+  // entry out of the cache...
+  ASSERT_TRUE(svc.RunSql("select v from t").ok());
+  ASSERT_TRUE(svc.RunSql("select k from t").ok());
+  ASSERT_TRUE(svc.RunSql("select count(*) from t where v >= 5").ok());
+  EXPECT_GT(svc.stats().plan_evictions, 0u);
+  EXPECT_EQ(svc.plan_cache().Lookup(compiled.value().fingerprint), nullptr)
+      << "the held entry should have been LRU-evicted";
+
+  // ...and a commit invalidates whatever else references t.
+  ASSERT_TRUE(svc.ApplyUpdate([](Catalog* cat) {
+                   RDB_RETURN_NOT_OK(
+                       cat->Append("t", {{Scalar::OidVal(3), Scalar::Int(40)}}));
+                   return cat->Commit();
+                 })
+                  .ok());
+
+  // The held Program executes regardless — binds resolve by name at run
+  // time, so it even sees the committed row.
+  auto r = svc.Submit(held->prog.get(), {}).get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Find("count")->scalar().ToInt64(), 4);
+}
+
+TEST(PlanCacheEvictionRaceTest, ConcurrentChurnOverTinyCapacityIsSafe) {
+  // Three clients cycle four distinct patterns through a capacity-2 cache
+  // (every submission may race an eviction of the plan another worker is
+  // replaying) while a writer commits — the TSan target for LRU eviction
+  // vs. in-flight execution.
+  ServiceConfig cfg;
+  cfg.num_workers = 3;
+  cfg.plan_cache_capacity = 2;
+  QueryService svc(MakeTinyDb(), cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  const char* patterns[] = {
+      "select count(*) from t",
+      "select v from t",
+      "select k, v from t",
+      "select count(*) from t where v >= 15",
+  };
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&svc, c, &stop, &failures, &patterns] {
+      int i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = svc.RunSql(patterns[i++ % 4]);
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 6; ++i) {
+    Oid next = 3 + static_cast<Oid>(i);
+    ASSERT_TRUE(svc.ApplyUpdate([next](Catalog* cat) {
+                     RDB_RETURN_NOT_OK(cat->Append(
+                         "t", {{Scalar::OidVal(next),
+                                Scalar::Int(static_cast<int32_t>(next))}}));
+                     return cat->Commit();
+                   })
+                    .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ServiceStats s = svc.stats();
+  EXPECT_GT(s.plan_evictions, 0u) << "capacity churn never evicted";
+  EXPECT_LE(svc.plan_cache().size(), 2u);
 }
 
 }  // namespace

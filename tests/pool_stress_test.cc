@@ -133,15 +133,20 @@ TEST_P(PoolStress, AccountingStaysConsistentUnderRandomOps) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PoolStress,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
-TEST(StripedPoolStressTest, MixedOpsRespectGlobalBudgetAndRollUp) {
+class StripedPoolStressTest : public ::testing::TestWithParam<BudgetMode> {};
+
+TEST_P(StripedPoolStressTest, MixedOpsRespectBudgetAndRollUp) {
   // Mixed admission/eviction/invalidation churn from several threads over a
-  // striped pool with a GLOBAL byte budget. Argument bats are pre-selected
-  // to pin work onto several distinct stripes. At every quiescent point:
-  // the budget holds across stripes, and the rolled-up statistics equal the
-  // per-stripe sums exactly.
+  // striped pool with a byte budget, in BOTH budget modes: kGlobalExact
+  // (all-stripe-locked admissions) and kPerStripe (governor leases,
+  // stripe-local eviction, borrow/rebalance through the atomic ledger).
+  // Argument bats are pre-selected to pin work onto several distinct
+  // stripes. At every quiescent point: the budget holds across stripes, and
+  // the rolled-up statistics equal the per-stripe sums exactly.
   RecyclerConfig cfg;
   cfg.pool_stripes = 8;
   cfg.max_bytes = 24 * 1024;
+  cfg.budget_mode = GetParam();
   cfg.enable_subsumption = false;  // synthetic instructions, no candidates
   ConcurrentRecycler rec(cfg);
   ASSERT_EQ(rec.num_stripes(), 8u);
@@ -201,7 +206,8 @@ TEST(StripedPoolStressTest, MixedOpsRespectGlobalBudgetAndRollUp) {
 
     // --- quiescent invariants ----------------------------------------------
     EXPECT_LE(rec.pool_bytes(), cfg.max_bytes)
-        << "cross-stripe eviction violated the global byte budget";
+        << "eviction (" << BudgetModeName(cfg.budget_mode)
+        << ") violated the byte budget";
     RecyclerStats total = rec.stats();
     uint64_t sum_hits = 0, sum_admitted = 0, sum_evicted = 0;
     size_t sum_entries = 0, sum_bytes = 0;
@@ -223,13 +229,17 @@ TEST(StripedPoolStressTest, MixedOpsRespectGlobalBudgetAndRollUp) {
   // more than one stripe.
   RecyclerStats s = rec.stats();
   EXPECT_GT(s.hits, 0u);
-  EXPECT_GT(s.evicted, 0u) << "budget never forced cross-stripe eviction";
+  EXPECT_GT(s.evicted, 0u) << "budget never forced an eviction";
   EXPECT_GT(s.invalidated, 0u);
   size_t stripes_touched = 0;
   for (const auto& st : rec.stripe_stats())
     if (st.admitted > 0) ++stripes_touched;
   EXPECT_GE(stripes_touched, 2u) << "work never spread across stripes";
 }
+
+INSTANTIATE_TEST_SUITE_P(BudgetModes, StripedPoolStressTest,
+                         ::testing::Values(BudgetMode::kGlobalExact,
+                                           BudgetMode::kPerStripe));
 
 TEST(InvalidationClosureTest, RandomWorkloadSurvivesRandomInvalidation) {
   // Interleave query execution with invalidation of random columns and

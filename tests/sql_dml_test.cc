@@ -391,25 +391,90 @@ TEST_F(SqlDmlServiceTest, InsertOnlyCommitPropagatesDeleteInvalidates) {
   EXPECT_GT(s.pool_invalidated, 0u);
 }
 
-// With propagation disabled the same workload must fall back to pure
-// invalidation (the ablation baseline stays reachable).
+// §6.3 propagation now covers the whole selection family over a bind:
+// equality predicates (kUselect) and LIKE predicates (kLikeSelect) survive
+// insert-only commits refreshed, exactly like range selects.
+TEST_F(SqlDmlServiceTest, EqualitySelectSurvivesInsertOnlyCommit) {
+  const char* q = "select i_name from item where i_qty = 20";
+  ASSERT_TRUE(svc_->RunSql(q).ok());
+  ASSERT_TRUE(svc_->RunSql(q).ok());
+  RecyclerStats before = svc_->recycler().stats();
+  EXPECT_GT(before.hits, 0u);
+
+  // Insert a second qty=20 row; the commit is insert-only.
+  ASSERT_TRUE(svc_->RunSql("insert into item values (7, 20, 9.5, 'elk')").ok());
+  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  RecyclerStats after = svc_->recycler().stats();
+  EXPECT_GT(after.propagated, 0u)
+      << "the kUselect-over-bind entry was not refreshed";
+
+  uint64_t hits_before_replay = after.hits;
+  auto r = svc_->RunSql(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const MalValue* v = r.value().Find("i_name");
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->bat()->size(), 2u);  // bee and the fresh elk
+  EXPECT_EQ(v->bat()->TailAt(0).AsStr(), "bee");
+  EXPECT_EQ(v->bat()->TailAt(1).AsStr(), "elk");
+  EXPECT_GT(svc_->recycler().stats().hits, hits_before_replay)
+      << "the refreshed equality entry was never reused";
+}
+
+TEST_F(SqlDmlServiceTest, LikeSelectSurvivesInsertOnlyCommit) {
+  const char* q = "select i_qty from item where i_name like 'a%'";
+  ASSERT_TRUE(svc_->RunSql(q).ok());
+  ASSERT_TRUE(svc_->RunSql(q).ok());
+  EXPECT_GT(svc_->recycler().stats().hits, 0u);
+
+  ASSERT_TRUE(
+      svc_->RunSql("insert into item values (7, 70, 9.5, 'auk')").ok());
+  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  RecyclerStats after = svc_->recycler().stats();
+  EXPECT_GT(after.propagated, 0u)
+      << "the kLikeSelect-over-bind entry was not refreshed";
+
+  uint64_t hits_before_replay = after.hits;
+  auto r = svc_->RunSql(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const MalValue* v = r.value().Find("i_qty");
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->bat()->size(), 2u);  // ant (10) and auk (70)
+  EXPECT_EQ(v->bat()->TailAt(0).AsInt(), 10);
+  EXPECT_EQ(v->bat()->TailAt(1).AsInt(), 70);
+  EXPECT_GT(svc_->recycler().stats().hits, hits_before_replay);
+}
+
+// With propagation disabled the same workloads must fall back to pure
+// invalidation (the ablation baseline stays reachable) — for the whole
+// refreshable selection family, with identical query results.
 TEST(SqlDmlServiceConfigTest, PropagationCanBeDisabled) {
   ServiceConfig cfg;
   cfg.num_workers = 2;
   cfg.propagate_updates = false;
   QueryService svc(MakeItemDb(), cfg);
 
-  const char* q = "select i_qty from item where i_qty >= 15";
-  ASSERT_TRUE(svc.RunSql(q).ok());
-  ASSERT_TRUE(svc.RunSql("insert into item values (7, 50, 5.5, 'elk')").ok());
+  const char* range_q = "select i_qty from item where i_qty >= 15";
+  const char* eq_q = "select i_name from item where i_qty = 20";
+  const char* like_q = "select i_qty from item where i_name like 'a%'";
+  ASSERT_TRUE(svc.RunSql(range_q).ok());
+  ASSERT_TRUE(svc.RunSql(eq_q).ok());
+  ASSERT_TRUE(svc.RunSql(like_q).ok());
+  ASSERT_TRUE(
+      svc.RunSql("insert into item values (7, 50, 5.5, 'ape')").ok());
   ASSERT_TRUE(svc.RunSql("commit").ok());
   RecyclerStats rs = svc.recycler().stats();
   EXPECT_EQ(rs.propagated, 0u);
   EXPECT_GT(rs.invalidated, 0u);
 
-  auto r = svc.RunSql(q);
+  auto r = svc.RunSql(range_q);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Find("i_qty")->bat()->size(), 4u);
+  r = svc.RunSql(eq_q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Find("i_name")->bat()->size(), 1u);
+  r = svc.RunSql(like_q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Find("i_qty")->bat()->size(), 2u);  // ant, ape
 }
 
 // ---------------------------------------------------------------------------

@@ -132,11 +132,15 @@ TEST(StripedParityTest, Fig4StyleUnlimitedSubsumption) {
 
 TEST(StripedParityTest, Fig10StyleBoundedEntriesLru) {
   // Entry-budget eviction (the fig10 setting, LRU policy — deterministic
-  // victim order via the shared logical clock).
+  // victim order via the shared logical clock). kGlobalExact is the mode
+  // that PROMISES decision parity with the unstriped pool; the default
+  // kPerStripe trades that for stripe-local admission (covered by
+  // resource_governor_test).
   Batch b = MakeBatch({4, 12, 19}, 8, 7);
   RecyclerConfig cfg;
   cfg.max_entries = 24;
   cfg.eviction = EvictionKind::kLru;
+  cfg.budget_mode = BudgetMode::kGlobalExact;
   cfg.pool_stripes = 16;
   RunOutcome u = RunUnstriped(b, cfg);
   RunOutcome s = RunStriped(b, cfg);
@@ -154,6 +158,7 @@ TEST(StripedParityTest, BoundedBytesAndCreditLedger) {
   cfg.credits = 3;
   cfg.max_bytes = 96 * 1024;
   cfg.eviction = EvictionKind::kLru;
+  cfg.budget_mode = BudgetMode::kGlobalExact;
   cfg.pool_stripes = 16;
   RunOutcome u = RunUnstriped(b, cfg);
   RunOutcome s = RunStriped(b, cfg);
