@@ -9,16 +9,23 @@
 //
 //   ./bench_concurrent_throughput            # SF from RDB_TPCH_SF (0.01)
 //   RDB_MAX_WORKERS=16 ./bench_concurrent_throughput
-//   ./bench_concurrent_throughput --json BENCH_concurrent.json
+//   ./bench_concurrent_throughput --json BENCH_concurrent.json \
+//                                 --metrics BENCH_metrics.json
 //
 // --json writes every sample as machine-readable JSON for the CI
 // benchmark-regression harness (bench/check_regression.py compares it
-// against bench/baseline/BENCH_concurrent.json).
+// against bench/baseline/BENCH_concurrent.json); every phase row carries
+// query wall-latency percentiles (p50_us/p99_us) from the service's
+// query_wall_us histogram, and the trace_ablation phase reports tracing
+// overhead as a gated within-run qps ratio. --metrics additionally dumps
+// the DML-phase service's full metrics registry (DumpMetricsJson: counters,
+// gauges, histograms, governance events) as a CI artifact.
 
 #include <algorithm>
 #include <fstream>
 
 #include "bench/bench_common.h"
+#include "obs/metrics.h"
 #include "server/query_service.h"
 #include "util/str.h"
 
@@ -66,6 +73,8 @@ struct Sample {
   double qps = 0;
   double hit_ratio = 0;
   uint64_t pool_hits = 0;
+  uint64_t p50_us = 0;  ///< query wall-latency percentiles of the best rep
+  uint64_t p99_us = 0;
 };
 
 /// One row of the machine-readable output (--json): a throughput sample
@@ -94,6 +103,16 @@ struct JsonRow {
   bool has_budget = false;
   uint64_t evicted = 0;
   uint64_t borrows = 0;
+  // Per-phase query wall-latency percentiles from the service's
+  // query_wall_us histogram (reset per timed window; best rep reported).
+  bool has_latency = false;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  // trace_ablation only: throughput relative to the same phase's untraced
+  // run — machine-independent, so it gates tracing overhead even where
+  // absolute qps is advisory.
+  bool has_rel = false;
+  double rel_qps = 0;
 };
 
 void WriteJson(const std::string& path, double sf, int max_workers,
@@ -137,6 +156,12 @@ void WriteJson(const std::string& path, double sf, int max_workers,
                        static_cast<unsigned long long>(r.evicted),
                        static_cast<unsigned long long>(r.borrows));
     }
+    if (r.has_latency) {
+      out << StrFormat(", \"p50_us\": %llu, \"p99_us\": %llu",
+                       static_cast<unsigned long long>(r.p50_us),
+                       static_cast<unsigned long long>(r.p99_us));
+    }
+    if (r.has_rel) out << StrFormat(", \"rel_qps\": %.4f", r.rel_qps);
     out << (i + 1 < rows.size() ? "},\n" : "}\n");
   }
   out << "  ]\n}\n";
@@ -150,8 +175,12 @@ ServiceConfig BenchConfig(int workers) {
   return cfg;
 }
 
-Sample RunConfig(Catalog* cat, const Workload& w, int workers) {
-  QueryService svc(cat, BenchConfig(workers));
+Sample RunConfig(Catalog* cat, const Workload& w, int workers,
+                 uint32_t trace_sample_n = 0) {
+  ServiceConfig cfg = BenchConfig(workers);
+  cfg.trace_sample_n = trace_sample_n;
+  QueryService svc(cat, cfg);
+  obs::LatencyHistogram* wall = svc.metrics().FindHistogram("query_wall_us");
 
   // Short runs are noisy, so take the best of a few repetitions. Each rep
   // restores the same starting state: an empty pool re-warmed with the
@@ -169,6 +198,9 @@ Sample RunConfig(Catalog* cat, const Workload& w, int workers) {
       }
     }
     svc.recycler().ResetStats();
+    // Per-rep latency window: reset after warmup so the percentiles cover
+    // only the timed queries of this repetition.
+    wall->Reset();
     StopWatch sw;
     std::vector<Result<QueryResult>> results = svc.RunBatch(w.queries);
     double secs = sw.ElapsedSeconds();
@@ -186,6 +218,9 @@ Sample RunConfig(Catalog* cat, const Workload& w, int workers) {
       s.hit_ratio =
           rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0;
       s.pool_hits = rs.hits;
+      obs::LatencyHistogram::Snapshot hist = wall->snapshot();
+      s.p50_us = hist.Percentile(50);
+      s.p99_us = hist.Percentile(99);
     }
   }
   return s;
@@ -206,6 +241,7 @@ int EnvMaxWorkers(int def = 8) {
 /// inter-query commonality the hand-built templates have.
 JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
   QueryService svc(cat, BenchConfig(workers));
+  obs::LatencyHistogram* wall = svc.metrics().FindHistogram("query_wall_us");
   Rng rng(4242);
 
   auto query = [&](int pattern) -> std::string {
@@ -243,6 +279,7 @@ JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
     }
   };
 
+  wall->Reset();
   StopWatch sw;
   std::vector<std::future<Result<QueryResult>>> futs;
   futs.reserve(n_queries);
@@ -286,6 +323,10 @@ JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
   row.plan_compiles = s.plan_compiles;
   row.plan_hits = s.plan_hits;
   row.plan_lookups = s.plan_lookups;
+  obs::LatencyHistogram::Snapshot hist = wall->snapshot();
+  row.has_latency = true;
+  row.p50_us = hist.Percentile(50);
+  row.p99_us = hist.Percentile(99);
   return row;
 }
 
@@ -300,10 +341,12 @@ JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
 /// and the POST-update hit ratio — a replay wave after the final insert-only
 /// commit, measuring how much of the pool survives an update workload in
 /// usable (refreshed) form.
-JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round) {
+JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round,
+                         const std::string& metrics_path) {
   auto cat = MakeTpchDb(EnvSf());
   const size_t base_rows = cat->FindTable("orders")->num_rows();
   QueryService svc(cat.get(), BenchConfig(workers));
+  obs::LatencyHistogram* wall = svc.metrics().FindHistogram("query_wall_us");
   Rng rng(31337);
 
   auto select_sql = [&](int i) -> std::string {
@@ -354,6 +397,7 @@ JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round) {
   // Warm the plan cache and the pool with every pattern.
   run_wave(24, 0);
   svc.recycler().ResetStats();
+  wall->Reset();
 
   // Inserted orders take keys strictly above every generated one (derived,
   // not assumed — generated keys scale with SF), so the periodic DELETE
@@ -394,6 +438,7 @@ JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round) {
   }
   double secs = sw.ElapsedSeconds();
   ServiceStats mixed = svc.stats();
+  obs::LatencyHistogram::Snapshot hist = wall->snapshot();
 
   // Post-update replay: the last commit was insert-only, so refreshed
   // entries must keep answering the select-over-bind patterns.
@@ -432,6 +477,21 @@ JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round) {
   row.propagated = mixed.pool_propagated;
   row.invalidated = mixed.pool_invalidated;
   row.dml_commits = mixed.dml_commits;
+  row.has_latency = true;
+  row.p50_us = hist.Percentile(50);
+  row.p99_us = hist.Percentile(99);
+
+  // The richest service of the run (DML events, every counter family): its
+  // metrics dump is what CI uploads as the machine-readable artifact.
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      std::abort();
+    }
+    out << svc.DumpMetricsJson() << "\n";
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   return row;
 }
 
@@ -450,6 +510,7 @@ JsonRow RunBoundedMemoryPhase(Catalog* cat,
   cfg.recycler.max_bytes = 1024 * 1024;  // fixed budget, deliberately tight
   cfg.recycler.eviction = EvictionKind::kLru;
   QueryService svc(cat, cfg);
+  obs::LatencyHistogram* wall = svc.metrics().FindHistogram("query_wall_us");
 
   // More distinct parameter vectors than the hot phase: enough working set
   // to keep the budget under continuous pressure, enough repetition that
@@ -463,6 +524,7 @@ JsonRow RunBoundedMemoryPhase(Catalog* cat,
     }
   }
   svc.recycler().ResetStats();
+  wall->Reset();
   StopWatch sw;
   std::vector<Result<QueryResult>> results = svc.RunBatch(w.queries);
   double secs = sw.ElapsedSeconds();
@@ -505,21 +567,78 @@ JsonRow RunBoundedMemoryPhase(Catalog* cat,
   row.has_budget = true;
   row.evicted = rs.evicted;
   row.borrows = s.pool_borrows;
+  obs::LatencyHistogram::Snapshot hist = wall->snapshot();
+  row.has_latency = true;
+  row.p50_us = hist.Percentile(50);
+  row.p99_us = hist.Percentile(99);
   return row;
+}
+
+/// Tracing-overhead ablation: the hot workload at three trace settings —
+/// off (the default), 1-in-64 sampling, and always-on — reported as
+/// throughput RELATIVE to the untraced run of this same phase. The ratio is
+/// machine-independent, so check_regression.py gates it even where absolute
+/// qps is advisory: traced-off must stay at parity (the untraced hot path
+/// pays one branch), sampling must stay near parity; always-on is reported
+/// but not gated (its cost is proportional to monitored instructions by
+/// design).
+std::vector<JsonRow> RunTraceAblationPhase(
+    Catalog* cat, const std::vector<tpch::QueryTemplate>& templates,
+    int workers, int n_queries) {
+  struct Setting {
+    const char* load;
+    uint32_t sample_n;
+  };
+  const Setting settings[] = {{"none", 0}, {"sampled64", 64}, {"always", 1}};
+
+  Workload w = MakeWorkload("trace", templates, 2, n_queries, 6007);
+  std::printf("trace ablation (%d workers, %d queries, hot)\n", workers,
+              n_queries);
+  std::vector<JsonRow> rows;
+  double base_qps = 0;
+  for (const Setting& set : settings) {
+    Sample s = RunConfig(cat, w, workers, set.sample_n);
+    if (set.sample_n == 0) base_qps = s.qps;
+    double rel = base_qps > 0 ? s.qps / base_qps : 0;
+    std::printf(
+        "  %-9s qps=%-8.1f rel=%.3f p50=%lluus p99=%lluus hit-ratio=%.2f\n",
+        set.load, s.qps, rel, static_cast<unsigned long long>(s.p50_us),
+        static_cast<unsigned long long>(s.p99_us), s.hit_ratio);
+    JsonRow row;
+    row.phase = "trace_ablation";
+    row.load = set.load;
+    row.workers = workers;
+    row.qps = s.qps;
+    row.hit_ratio = s.hit_ratio;
+    row.pool_hits = s.pool_hits;
+    row.has_latency = true;
+    row.p50_us = s.p50_us;
+    row.p99_us = s.p99_us;
+    row.has_rel = true;
+    row.rel_qps = rel;
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (a.rfind("--json=", 0) == 0) {
       json_path = a.substr(7);
+    } else if (a == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      metrics_path = a.substr(10);
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json <path>] [--metrics <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -561,6 +680,9 @@ int main(int argc, char** argv) {
       row.qps = s.qps;
       row.hit_ratio = s.hit_ratio;
       row.pool_hits = s.pool_hits;
+      row.has_latency = true;
+      row.p50_us = s.p50_us;
+      row.p99_us = s.p99_us;
       rows.push_back(row);
     }
     PrintRule(60);
@@ -574,9 +696,13 @@ int main(int argc, char** argv) {
   rows.push_back(RunSqlPlanCachePhase(cat.get(), std::min(4, max_workers), 500));
   // 12 rounds x 600 selects keeps the timed window comparable to the other
   // gated phases (short windows make the qps gate flake-prone).
-  rows.push_back(RunMixedDmlPhase(std::min(4, max_workers), 12, 600));
+  rows.push_back(
+      RunMixedDmlPhase(std::min(4, max_workers), 12, 600, metrics_path));
   rows.push_back(RunBoundedMemoryPhase(cat.get(), templates,
                                        std::min(4, max_workers), 1500));
+  for (JsonRow& r : RunTraceAblationPhase(cat.get(), templates,
+                                          std::min(4, max_workers), 1500))
+    rows.push_back(std::move(r));
 
   if (!json_path.empty()) {
     WriteJson(json_path, EnvSf(), max_workers,

@@ -5,9 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "util/check.h"
+#include "core/concurrent_recycler.h"
 #include "core/recycler_optimizer.h"
 #include "mal/plan_builder.h"
+#include "obs/trace.h"
+#include "util/check.h"
 
 namespace {
 
@@ -90,6 +92,36 @@ void BM_NoRecycler(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NoRecycler);
+
+/// Tracing ablation at the ConcurrentRecycler::Session level, on the
+/// warm-hit fast path — the case the trace branch must not slow down.
+/// `sample_n` = 0 runs untraced (one null-pointer branch per monitored
+/// instruction), 64 attaches a trace to every 64th run, 1 to every run.
+/// BM_SessionTrace/0 vs /1 is the per-hit cost of decision capture;
+/// /0 vs BM_MatchHit is the striping overhead, tracing aside.
+void BM_SessionTrace(benchmark::State& state) {
+  const int sample_n = static_cast<int>(state.range(0));
+  auto cat = MicroDb();
+  ConcurrentRecycler rec(RecyclerConfig{});
+  auto session = rec.NewSession();
+  Interpreter interp(cat.get(), session.get());
+  Program p = MicroTemplate();
+  std::vector<Scalar> params{Scalar::Int(10), Scalar::Int(500)};
+  MustRun(&interp, p, params);  // fill the pool
+  int i = 0;
+  for (auto _ : state) {
+    std::unique_ptr<obs::QueryTrace> trace;
+    if (sample_n > 0 && i % sample_n == 0) {
+      trace = std::make_unique<obs::QueryTrace>("micro", sample_n > 1);
+      session->set_trace(trace.get());
+    }
+    MustRun(&interp, p, params);
+    if (trace != nullptr) session->set_trace(nullptr);
+    ++i;
+  }
+  state.counters["hits"] = static_cast<double>(rec.stats().hits);
+}
+BENCHMARK(BM_SessionTrace)->Arg(0)->Arg(64)->Arg(1);
 
 }  // namespace
 

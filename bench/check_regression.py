@@ -11,6 +11,14 @@ regresses beyond tolerance:
               tolerance); applies to the plan-cache counters (plan_*) and
               the DML pool-maintenance counters (propagated, invalidated,
               dml_commits)
+  p99_us      relative upper bound: fail when current > baseline * (1 +
+              latency tolerance); advisory on config mismatch, like qps
+              (p50_us is reported but not gated — log2 bucket edges make
+              the median jumpy at microsecond scale)
+  rel_qps     absolute: throughput relative to the same run's untraced
+              phase (trace_ablation rows); machine-independent, so it
+              stays binding even when absolute qps is advisory. The
+              "always" row is report-only.
 
 Rows are keyed by (phase, load, workers) and the key sets must MATCH: a
 baseline row missing from the current run fails (a phase silently stopped
@@ -54,6 +62,12 @@ def main():
                    help="absolute hit-ratio tolerance (default 0.15)")
     p.add_argument("--counter-tolerance", type=float, default=0.5,
                    help="relative tolerance for plan-cache counters (default 0.5)")
+    p.add_argument("--latency-tolerance", type=float, default=3.0,
+                   help="relative p99_us upper-bound tolerance (default 3.0 "
+                        "= 4x: log2 buckets quantise in exact 2x steps, so "
+                        "the ceiling must clear two bucket steps of noise)")
+    p.add_argument("--rel-tolerance", type=float, default=0.15,
+                   help="absolute rel_qps tolerance (default 0.15)")
     args = p.parse_args()
 
     cur_cfg, current = load_results(args.current)
@@ -145,6 +159,45 @@ def main():
                 failures.append(
                     f"{name}: {counter} {cur[counter]} outside "
                     f"[{lo:.0f}, {hi:.0f}] (baseline {base[counter]})")
+                status = "FAIL"
+
+        # p99 latency: upper bound only, hardware-dependent like qps. The
+        # log2 buckets quantise to powers of two, so the default tolerance
+        # is a full bucket step.
+        in_base, in_cur = "p99_us" in base, "p99_us" in cur
+        if in_base != in_cur:
+            which = "baseline" if in_cur else "current run"
+            failures.append(
+                f"{name}: 'p99_us' missing from the {which} — refresh the "
+                f"baseline so latency is gated")
+            status = "FAIL"
+        elif in_base:
+            ceil = base["p99_us"] * (1 + args.latency_tolerance)
+            if cur["p99_us"] > ceil:
+                msg = (f"{name}: p99_us {cur['p99_us']} > {ceil:.0f} "
+                       f"(baseline {base['p99_us']} + "
+                       f"{args.latency_tolerance:.0%})")
+                if qps_binding:
+                    failures.append(msg)
+                    status = "FAIL"
+                else:
+                    notes.append(msg + " [advisory: config mismatch]")
+
+        # rel_qps (trace_ablation): a within-run ratio, binding regardless
+        # of hardware. Always-on tracing is report-only by design.
+        in_base, in_cur = "rel_qps" in base, "rel_qps" in cur
+        if in_base != in_cur:
+            which = "baseline" if in_cur else "current run"
+            failures.append(
+                f"{name}: 'rel_qps' missing from the {which} — refresh the "
+                f"baseline so tracing overhead is gated")
+            status = "FAIL"
+        elif in_base and key[1] != "always":
+            if cur["rel_qps"] < base["rel_qps"] - args.rel_tolerance:
+                failures.append(
+                    f"{name}: rel_qps {cur['rel_qps']:.3f} < baseline "
+                    f"{base['rel_qps']:.3f} - {args.rel_tolerance} "
+                    f"(tracing overhead regressed)")
                 status = "FAIL"
 
         print(f"  {status:4s} {name}: qps {cur['qps']:.1f} "

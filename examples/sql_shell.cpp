@@ -15,6 +15,9 @@
 //   .plan SELECT ... print the compiled MAL listing without running it
 //   .tables          list tables and row counts
 //   .autocommit on|off  toggle per-statement COMMIT after DML (default on)
+//   .trace on|off    trace every following SELECT (span tree + recycler
+//                    decisions); `TRACE SELECT ...` traces one statement
+//   .metrics [json|prom]  machine-readable metrics export
 //   .quit            exit (EOF works too)
 //
 // The REPL reads one statement per line: SELECT, INSERT, DELETE, or COMMIT.
@@ -165,9 +168,14 @@ void PrintHelp() {
       ".tables          list tables and row counts\n"
       ".autocommit on|off  per-statement COMMIT after DML; bare .autocommit\n"
       "                 prints the current setting (default on)\n"
+      ".trace on|off    trace every following SELECT: span tree (parse,\n"
+      "                 plan, queue, execute) plus per-instruction recycler\n"
+      "                 decisions. One statement: TRACE SELECT ...\n"
+      ".metrics [json|prom]  metrics export — JSON (with recent governance\n"
+      "                 events) or Prometheus text (default json)\n"
       ".quit            exit\n"
       "anything else is parsed as SQL and submitted to the service:\n"
-      "  SELECT ... | INSERT INTO t [(cols)] VALUES (...), ... |\n"
+      "  [TRACE] SELECT ... | INSERT INTO t [(cols)] VALUES (...), ... |\n"
       "  DELETE FROM t [WHERE ...] | COMMIT\n");
 }
 
@@ -219,6 +227,7 @@ int main(int argc, char** argv) {
               svc.num_workers());
 
   bool autocommit = true;
+  bool trace_all = false;
   std::string line;
   while (true) {
     std::printf("sql> ");
@@ -282,6 +291,33 @@ int main(int argc, char** argv) {
       std::printf("autocommit is %s\n", autocommit ? "on" : "off");
       continue;
     }
+    if (line.rfind(".trace", 0) == 0) {
+      std::string arg = line.substr(6);
+      size_t a = arg.find_first_not_of(" \t");
+      arg = a == std::string::npos ? "" : arg.substr(a);
+      if (arg == "on") {
+        trace_all = true;
+      } else if (arg == "off") {
+        trace_all = false;
+      } else if (!arg.empty()) {
+        std::printf("usage: .trace on|off\n");
+      }
+      std::printf("trace is %s\n", trace_all ? "on" : "off");
+      continue;
+    }
+    if (line.rfind(".metrics", 0) == 0) {
+      std::string arg = line.substr(8);
+      size_t a = arg.find_first_not_of(" \t");
+      arg = a == std::string::npos ? "" : arg.substr(a);
+      if (arg.empty() || arg == "json") {
+        std::printf("%s\n", svc.DumpMetricsJson().c_str());
+      } else if (arg == "prom") {
+        std::printf("%s", svc.DumpMetricsPrometheus().c_str());
+      } else {
+        std::printf("usage: .metrics [json|prom]\n");
+      }
+      continue;
+    }
     if (line.rfind(".plan", 0) == 0) {
       std::string text = line.substr(5);
       auto q = sql::CompileSql(svc.catalog(), text);
@@ -296,11 +332,15 @@ int main(int argc, char** argv) {
 
     // Classify before submitting so autocommit keys off the statement kind
     // (a SELECT aliased `rows_inserted` must never trigger a commit). A
-    // parse failure just flows through to the service for the error.
+    // parse failure just flows through to the service for the error. With
+    // `.trace on`, SELECTs not already under TRACE get the prefix here.
     bool is_dml = false;
     if (auto parsed = sql::ParseStatement(line); parsed.ok()) {
       is_dml = parsed.value().kind == sql::Statement::Kind::kInsert ||
                parsed.value().kind == sql::Statement::Kind::kDelete;
+      if (trace_all && parsed.value().kind == sql::Statement::Kind::kSelect &&
+          !parsed.value().traced)
+        line = "trace " + line;
     }
 
     StopWatch sw;
@@ -311,6 +351,8 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("%s(%.2f ms)\n", r.value().ToString().c_str(), ms);
+    if (r.value().trace != nullptr)
+      std::printf("%s", r.value().trace->ToString().c_str());
     // Autocommit: a successful INSERT/DELETE is committed immediately, so
     // the pool/plan-cache maintenance fires per statement.
     if (autocommit && is_dml) {

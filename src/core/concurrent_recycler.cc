@@ -9,6 +9,19 @@
 
 namespace recycledb {
 
+namespace {
+
+/// Bytes a hit or admission hands to (or takes from) the query: the bat
+/// results' column memory. Only computed on traced paths.
+uint64_t TraceResultBytes(const std::vector<MalValue>& results) {
+  uint64_t n = 0;
+  for (const MalValue& v : results)
+    if (v.is_bat() && v.bat() != nullptr) n += v.bat()->MemoryBytes();
+  return n;
+}
+
+}  // namespace
+
 ConcurrentRecycler::ConcurrentRecycler(RecyclerConfig cfg,
                                        ResourceGovernor* governor)
     : cfg_(cfg),
@@ -84,11 +97,13 @@ void ConcurrentRecycler::SessionEnd(const QueryCtx& ctx) {
 
 bool ConcurrentRecycler::SessionOnEntry(const QueryCtx& ctx,
                                         const RecyclerHook::InstrView& instr,
-                                        std::vector<MalValue>* results) {
+                                        std::vector<MalValue>* results,
+                                        obs::QueryTrace* trace) {
   size_t si = StripeOf(instr.op, *instr.args);
   Stripe& s = *stripes_[si];
   // -1: fall through to the subsumption path; 0: pure miss; 1: exact hit.
   int fast_outcome = -1;
+  double fast_saved_ms = 0;
   {
     std::shared_lock lock(s.mu);
     s.shared_acq.fetch_add(1, std::memory_order_relaxed);
@@ -105,6 +120,7 @@ bool ConcurrentRecycler::SessionOnEntry(const QueryCtx& ctx,
       s.fast_saved_ns.fetch_add(static_cast<uint64_t>(hit.saved_ms * 1e6),
                                 std::memory_order_relaxed);
       fast_outcome = 1;
+      fast_saved_ms = hit.saved_ms;
     } else {
       // Exact match missed: a miss with no subsumption candidates — the
       // common case for cold instructions — finishes under the shared lock.
@@ -126,6 +142,20 @@ bool ConcurrentRecycler::SessionOnEntry(const QueryCtx& ctx,
     }
   }
   if (fast_outcome >= 0) {
+    if (trace != nullptr) {
+      obs::RecyclerDecision d;
+      d.pc = instr.pc;
+      d.op = instr.op;
+      d.kind = fast_outcome == 1 ? obs::RecyclerDecision::Kind::kExactHit
+                                 : obs::RecyclerDecision::Kind::kMiss;
+      d.stripe = static_cast<uint32_t>(si);
+      if (fast_outcome == 1) d.bytes = TraceResultBytes(*results);
+      if (cfg_.admission != AdmissionKind::kKeepAll)
+        d.credits =
+            shared_.ledger.CreditsLeft(instr.prog->template_id, instr.pc);
+      d.saved_ms = fast_saved_ms;
+      trace->AddDecision(d);
+    }
     // Fast paths still answer the governor: a stripe serving only hits (or
     // misses that never admit) must not trap budget other stripes starve
     // for. No-op without a kPerStripe budget or pending signal.
@@ -141,30 +171,130 @@ bool ConcurrentRecycler::SessionOnEntry(const QueryCtx& ctx,
   // charges this stripe's lease and stays local.
   if (global_budget_) {
     auto locks = LockAllExclusive();
-    return s.core->OnEntryCtx(ctx, instr, results);
+    if (trace == nullptr) return s.core->OnEntryCtx(ctx, instr, results);
+    RecyclerStats before = LockedStatsUnsafe(si);
+    size_t bytes_before = LockedBytesUnsafe(si);
+    bool hit = s.core->OnEntryCtx(ctx, instr, results);
+    AppendTraceDelta(trace, instr, si, before, bytes_before,
+                     /*emit_probe=*/true, hit,
+                     hit ? TraceResultBytes(*results) : 0);
+    return hit;
   }
   std::unique_lock lock(s.mu);
   s.excl_acq.fetch_add(1, std::memory_order_relaxed);
-  return s.core->OnEntryCtx(ctx, instr, results);
+  if (trace == nullptr) return s.core->OnEntryCtx(ctx, instr, results);
+  RecyclerStats before = LockedStatsUnsafe(si);
+  size_t bytes_before = LockedBytesUnsafe(si);
+  bool hit = s.core->OnEntryCtx(ctx, instr, results);
+  AppendTraceDelta(trace, instr, si, before, bytes_before,
+                   /*emit_probe=*/true, hit,
+                   hit ? TraceResultBytes(*results) : 0);
+  return hit;
 }
 
 void ConcurrentRecycler::SessionOnExit(const QueryCtx& ctx,
                                        const RecyclerHook::InstrView& instr,
                                        const std::vector<MalValue>& results,
                                        double cpu_ms,
-                                       const std::vector<ColumnId>& deps) {
+                                       const std::vector<ColumnId>& deps,
+                                       obs::QueryTrace* trace) {
   size_t si = StripeOf(instr.op, *instr.args);
   Stripe& s = *stripes_[si];
   if (global_budget_) {
     // Admission under a kGlobalExact byte/entry budget: eviction must see
     // every stripe, so the whole group is locked in fixed order.
     auto locks = LockAllExclusive();
+    if (trace == nullptr) {
+      s.core->OnExitCtx(ctx, instr, results, cpu_ms, deps);
+      return;
+    }
+    RecyclerStats before = LockedStatsUnsafe(si);
+    size_t bytes_before = LockedBytesUnsafe(si);
     s.core->OnExitCtx(ctx, instr, results, cpu_ms, deps);
+    AppendTraceDelta(trace, instr, si, before, bytes_before,
+                     /*emit_probe=*/false, /*hit=*/false,
+                     TraceResultBytes(results));
     return;
   }
   std::unique_lock lock(s.mu);
   s.excl_acq.fetch_add(1, std::memory_order_relaxed);
+  if (trace == nullptr) {
+    s.core->OnExitCtx(ctx, instr, results, cpu_ms, deps);
+    return;
+  }
+  RecyclerStats before = LockedStatsUnsafe(si);
+  size_t bytes_before = LockedBytesUnsafe(si);
   s.core->OnExitCtx(ctx, instr, results, cpu_ms, deps);
+  AppendTraceDelta(trace, instr, si, before, bytes_before,
+                   /*emit_probe=*/false, /*hit=*/false,
+                   TraceResultBytes(results));
+}
+
+RecyclerStats ConcurrentRecycler::LockedStatsUnsafe(size_t stripe_idx) const {
+  // Lock-free reads, safe because the caller holds the exclusive lock of
+  // every stripe the in-flight call can mutate: the single stripe in
+  // kPerStripe mode (admission and eviction stay stripe-local there), the
+  // whole group in kGlobalExact mode.
+  if (!global_budget_) return stripes_[stripe_idx]->core->stats();
+  RecyclerStats out;
+  for (const auto& s : stripes_) out += s->core->stats();
+  return out;
+}
+
+size_t ConcurrentRecycler::LockedBytesUnsafe(size_t stripe_idx) const {
+  if (!global_budget_)
+    return stripes_[stripe_idx]->core->pool().total_bytes();
+  size_t n = 0;
+  for (const auto& s : stripes_) n += s->core->pool().total_bytes();
+  return n;
+}
+
+void ConcurrentRecycler::AppendTraceDelta(
+    obs::QueryTrace* trace, const RecyclerHook::InstrView& instr,
+    size_t stripe_idx, const RecyclerStats& before, size_t bytes_before,
+    bool emit_probe, bool hit, uint64_t hit_bytes) {
+  RecyclerStats after = LockedStatsUnsafe(stripe_idx);
+  size_t bytes_after = LockedBytesUnsafe(stripe_idx);
+  int credits = -1;
+  if (cfg_.admission != AdmissionKind::kKeepAll)
+    credits = shared_.ledger.CreditsLeft(instr.prog->template_id, instr.pc);
+
+  auto base = [&](obs::RecyclerDecision::Kind kind) {
+    obs::RecyclerDecision d;
+    d.pc = instr.pc;
+    d.op = instr.op;
+    d.kind = kind;
+    d.stripe = static_cast<uint32_t>(stripe_idx);
+    d.credits = credits;
+    return d;
+  };
+
+  if (emit_probe) {
+    // Entry side: exactly one probe-outcome record per monitored execution.
+    obs::RecyclerDecision d =
+        base(hit ? (after.exact_hits > before.exact_hits
+                        ? obs::RecyclerDecision::Kind::kExactHit
+                        : obs::RecyclerDecision::Kind::kSubsumedHit)
+                 : obs::RecyclerDecision::Kind::kMiss);
+    d.bytes = hit_bytes;
+    d.saved_ms = after.time_saved_ms - before.time_saved_ms;
+    trace->AddDecision(d);
+  }
+  // Admission outcome (subsumption admits its rewritten result on the entry
+  // side; recycleExit admits the executed result).
+  if (after.admitted > before.admitted) {
+    obs::RecyclerDecision d = base(obs::RecyclerDecision::Kind::kAdmit);
+    d.bytes = hit_bytes;
+    trace->AddDecision(d);
+  } else if (after.rejected > before.rejected) {
+    trace->AddDecision(base(obs::RecyclerDecision::Kind::kDecline));
+  }
+  if (after.evicted > before.evicted) {
+    obs::RecyclerDecision d = base(obs::RecyclerDecision::Kind::kEvictVictim);
+    d.count = after.evicted - before.evicted;
+    d.bytes = bytes_before > bytes_after ? bytes_before - bytes_after : 0;
+    trace->AddDecision(d);
+  }
 }
 
 std::vector<std::unique_lock<std::shared_mutex>>
@@ -193,17 +323,26 @@ void ConcurrentRecycler::SyncLease(Stripe& s) {
                    held_entries > use_entries ? held_entries - use_entries : 0);
 }
 
-void ConcurrentRecycler::ServicePressureLocked(Stripe& s) {
+void ConcurrentRecycler::ServicePressureLocked(size_t stripe_idx) {
+  Stripe& s = *stripes_[stripe_idx];
   ResourceGovernor::Lease* lease = s.lease;
   if (lease == nullptr) return;
   // A slack request (any starved acquisition in the domain) asks only for
   // held-above-usage capacity — returning it costs this stripe nothing.
-  if (lease->SeesSlackRequest()) SyncLease(s);
+  if (lease->SeesSlackRequest()) {
+    size_t held_before = lease->held_bytes();
+    SyncLease(s);
+    if (events_ != nullptr && lease->held_bytes() < held_before)
+      events_->Record(obs::EventKind::kSlack,
+                      static_cast<uint32_t>(stripe_idx),
+                      held_before - lease->held_bytes());
+  }
   // Pressure (an UNDER-share stripe starved) additionally makes an
   // over-share stripe shed down to its base by stripe-local eviction, once
   // per pressure epoch.
   if (lease->SeesPressure()) {
     RecyclePool& pool = s.core->pool();
+    const size_t bytes_before = pool.total_bytes();
     const double now_ms = NowMillis();
     const uint64_t protected_epoch = cfg_.protect_current_query
                                          ? s.core->ProtectedEpoch()
@@ -220,6 +359,9 @@ void ConcurrentRecycler::ServicePressureLocked(Stripe& s) {
     }
     SyncLease(s);
     lease->NoteRebalance();
+    if (events_ != nullptr)
+      events_->Record(obs::EventKind::kShed, static_cast<uint32_t>(stripe_idx),
+                      bytes_before - pool.total_bytes());
   }
 }
 
@@ -235,7 +377,7 @@ void ConcurrentRecycler::MaybeServicePressure(size_t stripe_idx) {
   if (!want_slack && !lease->PeekPressure()) return;
   std::unique_lock lock(s.mu);
   s.excl_acq.fetch_add(1, std::memory_order_relaxed);
-  ServicePressureLocked(s);
+  ServicePressureLocked(stripe_idx);
 }
 
 bool ConcurrentRecycler::EnsureCapacityStriped(size_t stripe_idx,
@@ -243,6 +385,8 @@ bool ConcurrentRecycler::EnsureCapacityStriped(size_t stripe_idx,
   Stripe& s = *stripes_[stripe_idx];
   RecyclePool& pool = s.core->pool();
   ResourceGovernor::Lease* lease = s.lease;
+  const uint64_t borrows_before =
+      events_ != nullptr ? lease->borrows() : 0;
   const double now_ms = NowMillis();
   const uint64_t protected_epoch = cfg_.protect_current_query
                                        ? s.core->ProtectedEpoch()
@@ -259,7 +403,7 @@ bool ConcurrentRecycler::EnsureCapacityStriped(size_t stripe_idx,
   // Slack returns to the ledger when the governor signals that someone is
   // starving — serviced here and on the probe path — or when an admission
   // is declined.
-  ServicePressureLocked(s);
+  ServicePressureLocked(stripe_idx);
 
   // Entry budget: one slot. Acquire from the ledger; on a dry ledger evict
   // one of our own entries — usage drops below held, so the slot is covered
@@ -300,6 +444,9 @@ bool ConcurrentRecycler::EnsureCapacityStriped(size_t stripe_idx,
       }
     }
   }
+  if (events_ != nullptr && lease->borrows() > borrows_before)
+    events_->Record(obs::EventKind::kBorrow, static_cast<uint32_t>(stripe_idx),
+                    lease->held_bytes(), lease->base_bytes());
   return true;
 }
 

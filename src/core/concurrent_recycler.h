@@ -10,6 +10,8 @@
 
 #include "core/recycler.h"
 #include "core/resource_governor.h"
+#include "obs/event_ring.h"
+#include "obs/trace.h"
 
 namespace recycledb {
 
@@ -110,16 +112,23 @@ class ConcurrentRecycler {
     void EndQuery() override { owner_->SessionEnd(ctx_); }
     bool OnEntry(const InstrView& instr,
                  std::vector<MalValue>* results) override {
-      return owner_->SessionOnEntry(ctx_, instr, results);
+      return owner_->SessionOnEntry(ctx_, instr, results, trace_);
     }
     void OnExit(const InstrView& instr, const std::vector<MalValue>& results,
                 double cpu_ms, const std::vector<ColumnId>& deps) override {
-      owner_->SessionOnExit(ctx_, instr, results, cpu_ms, deps);
+      owner_->SessionOnExit(ctx_, instr, results, cpu_ms, deps, trace_);
     }
+
+    /// Attaches a per-query decision-record sink for the NEXT invocations
+    /// on this session (null detaches). The untraced hot paths pay exactly
+    /// one null check; the observer owns the trace's lifetime and must keep
+    /// it alive until it detaches.
+    void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
 
    private:
     ConcurrentRecycler* owner_;
     QueryCtx ctx_;
+    obs::QueryTrace* trace_ = nullptr;
   };
 
   std::unique_ptr<Session> NewSession() {
@@ -183,6 +192,11 @@ class ConcurrentRecycler {
   /// privately owned one, or null when no kPerStripe budget is configured.
   const ResourceGovernor* governor() const { return governor_; }
 
+  /// Attaches a sink for governance events (borrows, pressure sheds, slack
+  /// returns). Call before concurrent traffic; the ring must outlive the
+  /// recycler. Null (the default) records nothing.
+  void set_event_ring(obs::EventRing* events) { events_ = events; }
+
   /// The stripe an instruction with this identity belongs to (exposed for
   /// tests that pin fingerprints to stripes).
   size_t StripeOf(Opcode op, const std::vector<MalValue>& args) const;
@@ -218,10 +232,31 @@ class ConcurrentRecycler {
   QueryCtx SessionBegin(const Program& prog);
   void SessionEnd(const QueryCtx& ctx);
   bool SessionOnEntry(const QueryCtx& ctx, const RecyclerHook::InstrView& instr,
-                      std::vector<MalValue>* results);
+                      std::vector<MalValue>* results, obs::QueryTrace* trace);
   void SessionOnExit(const QueryCtx& ctx, const RecyclerHook::InstrView& instr,
                      const std::vector<MalValue>& results, double cpu_ms,
-                     const std::vector<ColumnId>& deps);
+                     const std::vector<ColumnId>& deps,
+                     obs::QueryTrace* trace);
+
+  /// Slow-path trace capture: both run `fn` (the stripe's OnEntryCtx /
+  /// OnExitCtx call) under the already-held exclusive lock(s) and, when
+  /// `trace` is set, diff the reachable core statistics around it to emit
+  /// decision records — the stats deltas are exact because every mutation
+  /// of the call is confined to the locked stripe (kPerStripe) or the
+  /// whole locked group (kGlobalExact).
+  ///
+  /// Returns the summed stats of every stripe the caller holds locked.
+  RecyclerStats LockedStatsUnsafe(size_t stripe_idx) const;
+  /// Same scope as LockedStatsUnsafe, for pool bytes.
+  size_t LockedBytesUnsafe(size_t stripe_idx) const;
+  /// Emits decision records for one traced slow-path call from the stats
+  /// delta it left behind. `hit`/`hit_bytes` describe the entry-side
+  /// outcome; pass hit=false, emit_probe=false for the exit side (which
+  /// has no probe outcome of its own).
+  void AppendTraceDelta(obs::QueryTrace* trace,
+                        const RecyclerHook::InstrView& instr, size_t stripe_idx,
+                        const RecyclerStats& before, size_t bytes_before,
+                        bool emit_probe, bool hit, uint64_t hit_bytes);
 
   /// Exclusively locks every stripe in index order (the global lock-order
   /// invariant: stripe i is only ever acquired while holding 0..i-1 or
@@ -246,7 +281,7 @@ class ConcurrentRecycler {
   /// returns held-above-usage capacity (no eviction); pressure additionally
   /// sheds an over-share stripe down to its base by stripe-local eviction.
   /// Requires the stripe's exclusive lock.
-  void ServicePressureLocked(Stripe& s);
+  void ServicePressureLocked(size_t stripe_idx);
 
   /// Probe-path service point: if the governor signalled since this
   /// stripe's last look AND the stripe has something to give, upgrade to
@@ -274,6 +309,7 @@ class ConcurrentRecycler {
   /// `Recycler*` back to its stripe. Immutable after construction.
   std::unordered_map<const Recycler*, size_t> stripe_index_;
   std::atomic<uint64_t> all_stripe_ops_{0};
+  obs::EventRing* events_ = nullptr;  ///< optional governance-event sink
 };
 
 }  // namespace recycledb

@@ -1,16 +1,22 @@
 #ifndef RECYCLEDB_INTERP_QUERY_RESULT_H_
 #define RECYCLEDB_INTERP_QUERY_RESULT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mal/value.h"
+#include "obs/trace.h"
 
 namespace recycledb {
 
 /// Result set assembled by sql.exportValue / sql.exportResult instructions.
 struct QueryResult {
   std::vector<std::pair<std::string, MalValue>> values;
+
+  /// The query's trace when it ran traced (explicit TRACE SELECT or 1-in-N
+  /// sampling); null otherwise. Immutable once the result is handed out.
+  std::shared_ptr<const obs::QueryTrace> trace;
 
   const MalValue* Find(const std::string& label) const {
     for (const auto& [l, v] : values) {

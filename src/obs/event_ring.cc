@@ -1,0 +1,82 @@
+#include "obs/event_ring.h"
+
+#include "util/str.h"
+#include "util/timer.h"
+
+namespace recycledb::obs {
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kBorrow:
+      return "borrow";
+    case EventKind::kShed:
+      return "shed";
+    case EventKind::kSlack:
+      return "slack";
+    case EventKind::kPlanEvict:
+      return "plan_evict";
+    case EventKind::kInvalidate:
+      return "invalidate";
+    case EventKind::kPropagate:
+      return "propagate";
+  }
+  return "?";
+}
+
+void EventRing::Record(EventKind kind, uint32_t actor, uint64_t a,
+                       uint64_t b) {
+  Event e;
+  e.ts_ms = NowMillis();
+  e.kind = kind;
+  e.actor = actor;
+  e.a = a;
+  e.b = b;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[next_ % capacity_] = e;
+  }
+  ++next_;
+}
+
+std::vector<Event> EventRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < capacity_; ++i)
+      out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t EventRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+void EventRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+std::string EventsToJsonArray(const std::vector<Event>& events) {
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    out += StrFormat(
+        "%s\n    {\"ts_ms\": %.3f, \"kind\": \"%s\", \"actor\": %u, "
+        "\"a\": %llu, \"b\": %llu}",
+        i == 0 ? "" : ",", e.ts_ms, EventKindName(e.kind), e.actor,
+        static_cast<unsigned long long>(e.a),
+        static_cast<unsigned long long>(e.b));
+  }
+  out += events.empty() ? "]" : "\n  ]";
+  return out;
+}
+
+}  // namespace recycledb::obs

@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/str.h"
+
+namespace recycledb::obs {
+
+uint64_t LatencyHistogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Nearest-rank: the 1-based rank of the sample the percentile falls on.
+  auto rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return BucketUpper(b);
+  }
+  return BucketUpper(kBuckets - 1);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < kBuckets; ++b)
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  return s;
+}
+
+void LatencyHistogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void RegistrySnapshot::AddCounter(std::string name, uint64_t value) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.kind = MetricValue::Kind::kCounter;
+  m.value = value;
+  metrics.push_back(std::move(m));
+}
+
+void RegistrySnapshot::AddGauge(std::string name, uint64_t value) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.kind = MetricValue::Kind::kGauge;
+  m.value = value;
+  metrics.push_back(std::move(m));
+}
+
+void RegistrySnapshot::AddHistogram(std::string name,
+                                    LatencyHistogram::Snapshot hist) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.kind = MetricValue::Kind::kHistogram;
+  m.hist = hist;
+  metrics.push_back(std::move(m));
+}
+
+const MetricValue* RegistrySnapshot::Find(const std::string& name) const {
+  for (const MetricValue& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::string RegistrySnapshot::ToJson(const std::string& events_json) const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (m.kind != MetricValue::Kind::kCounter) continue;
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",", m.name.c_str(),
+                     static_cast<unsigned long long>(m.value));
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const MetricValue& m : metrics) {
+    if (m.kind != MetricValue::Kind::kGauge) continue;
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",", m.name.c_str(),
+                     static_cast<unsigned long long>(m.value));
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const MetricValue& m : metrics) {
+    if (m.kind != MetricValue::Kind::kHistogram) continue;
+    out += StrFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"p50\": %llu, "
+        "\"p90\": %llu, \"p99\": %llu, \"buckets\": [",
+        first ? "" : ",", m.name.c_str(),
+        static_cast<unsigned long long>(m.hist.count),
+        static_cast<unsigned long long>(m.hist.sum),
+        static_cast<unsigned long long>(m.hist.Percentile(50)),
+        static_cast<unsigned long long>(m.hist.Percentile(90)),
+        static_cast<unsigned long long>(m.hist.Percentile(99)));
+    bool first_bucket = true;
+    for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (m.hist.buckets[b] == 0) continue;
+      out += StrFormat(
+          "%s[%llu, %llu]", first_bucket ? "" : ", ",
+          static_cast<unsigned long long>(LatencyHistogram::BucketUpper(b)),
+          static_cast<unsigned long long>(m.hist.buckets[b]));
+      first_bucket = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "\n  }";
+  if (!events_json.empty()) out += ",\n  \"events\": " + events_json;
+  out += "\n}\n";
+  return out;
+}
+
+std::string RegistrySnapshot::ToPrometheus(const std::string& prefix) const {
+  std::string out;
+  for (const MetricValue& m : metrics) {
+    const std::string full = prefix + m.name;
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        out += StrFormat("# TYPE %s counter\n%s %llu\n", full.c_str(),
+                         full.c_str(),
+                         static_cast<unsigned long long>(m.value));
+        break;
+      case MetricValue::Kind::kGauge:
+        out += StrFormat("# TYPE %s gauge\n%s %llu\n", full.c_str(),
+                         full.c_str(),
+                         static_cast<unsigned long long>(m.value));
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += StrFormat("# TYPE %s histogram\n", full.c_str());
+        uint64_t cum = 0;
+        for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+          if (m.hist.buckets[b] == 0) continue;
+          cum += m.hist.buckets[b];
+          out += StrFormat(
+              "%s_bucket{le=\"%llu\"} %llu\n", full.c_str(),
+              static_cast<unsigned long long>(
+                  LatencyHistogram::BucketUpper(b)),
+              static_cast<unsigned long long>(cum));
+        }
+        out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", full.c_str(),
+                         static_cast<unsigned long long>(m.hist.count));
+        out += StrFormat("%s_sum %llu\n%s_count %llu\n", full.c_str(),
+                         static_cast<unsigned long long>(m.hist.sum),
+                         full.c_str(),
+                         static_cast<unsigned long long>(m.hist.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::AddCounter(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Item item;
+  item.name = std::move(name);
+  item.kind = MetricValue::Kind::kCounter;
+  item.counter = std::make_unique<Counter>();
+  Counter* out = item.counter.get();
+  items_.push_back(std::move(item));
+  return out;
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Item item;
+  item.name = std::move(name);
+  item.kind = MetricValue::Kind::kGauge;
+  item.gauge = std::make_unique<Gauge>();
+  Gauge* out = item.gauge.get();
+  items_.push_back(std::move(item));
+  return out;
+}
+
+LatencyHistogram* MetricsRegistry::AddHistogram(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Item item;
+  item.name = std::move(name);
+  item.kind = MetricValue::Kind::kHistogram;
+  item.hist = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* out = item.hist.get();
+  items_.push_back(std::move(item));
+  return out;
+}
+
+void MetricsRegistry::AddGaugeFn(std::string name,
+                                 std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Item item;
+  item.name = std::move(name);
+  item.kind = MetricValue::Kind::kGauge;
+  item.fn = std::move(fn);
+  items_.push_back(std::move(item));
+}
+
+LatencyHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Item& item : items_)
+    if (item.hist != nullptr && item.name == name) return item.hist.get();
+  return nullptr;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot out;
+  out.metrics.reserve(items_.size());
+  for (const Item& item : items_) {
+    switch (item.kind) {
+      case MetricValue::Kind::kCounter:
+        out.AddCounter(item.name, item.counter->value());
+        break;
+      case MetricValue::Kind::kGauge:
+        out.AddGauge(item.name, item.fn ? item.fn() : item.gauge->value());
+        break;
+      case MetricValue::Kind::kHistogram:
+        out.AddHistogram(item.name, item.hist->snapshot());
+        break;
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Item& item : items_) {
+    if (item.counter != nullptr) item.counter->Reset();
+    if (item.hist != nullptr) item.hist->Reset();
+  }
+}
+
+}  // namespace recycledb::obs

@@ -1,0 +1,169 @@
+#ifndef RECYCLEDB_OBS_METRICS_H_
+#define RECYCLEDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace recycledb::obs {
+
+/// Lock-free monotonic counter. Increments are relaxed atomics: readers get
+/// a consistent-enough value for operational metrics without imposing any
+/// ordering on the hot paths that bump them.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time gauge (set, not accumulated).
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket log2 histogram for latency-style values, lock-free on the
+/// record path (one relaxed fetch_add per sample).
+///
+/// Bucket 0 holds only the value 0; bucket k (1 <= k < kBuckets-1) holds
+/// [2^(k-1), 2^k - 1]; the last bucket additionally absorbs everything
+/// larger. Percentiles report the inclusive upper bound of the bucket the
+/// nearest-rank sample falls in — deterministic, exact at bucket edges, and
+/// never more than 2x above the true sample.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  static size_t BucketOf(uint64_t value) {
+    if (value == 0) return 0;
+    size_t width = 64 - static_cast<size_t>(__builtin_clzll(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of a bucket (what percentiles report).
+  static uint64_t BucketUpper(size_t bucket) {
+    if (bucket == 0) return 0;
+    if (bucket >= kBuckets - 1) return UINT64_MAX;
+    return (uint64_t{1} << bucket) - 1;
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Consistent-enough copy of the bucket array (individual loads are
+  /// relaxed; a snapshot taken while recorders run may be mid-sample, which
+  /// is fine for operational percentiles).
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    /// Nearest-rank percentile, reported as the sample's bucket upper
+    /// bound. `p` in [0, 100]; an empty histogram reports 0.
+    uint64_t Percentile(double p) const;
+    double Mean() const {
+      return count == 0
+                 ? 0.0
+                 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+  Snapshot snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// One metric in a registry snapshot.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t value = 0;               ///< counter / gauge
+  LatencyHistogram::Snapshot hist;  ///< kHistogram only
+};
+
+/// Plain-data result of MetricsRegistry::Snapshot(). Callers may append
+/// further values (QueryService merges plan-cache and recycler counters it
+/// does not own into the same export) before serialising.
+struct RegistrySnapshot {
+  std::vector<MetricValue> metrics;
+
+  void AddCounter(std::string name, uint64_t value);
+  void AddGauge(std::string name, uint64_t value);
+  void AddHistogram(std::string name, LatencyHistogram::Snapshot hist);
+  const MetricValue* Find(const std::string& name) const;
+
+  /// Machine-readable JSON object: counters/gauges as name->value maps,
+  /// histograms with count/sum/p50/p90/p99 and the non-empty buckets as
+  /// [upper_bound, count] pairs. When `events_json` is non-empty it must be
+  /// a serialised JSON array and is embedded as an "events" field (see
+  /// EventsToJsonArray in event_ring.h).
+  std::string ToJson(const std::string& events_json = "") const;
+
+  /// Prometheus text exposition (counters, gauges, cumulative histogram
+  /// buckets with an +Inf terminator). Metric names get `prefix` prepended.
+  std::string ToPrometheus(const std::string& prefix = "recycledb_") const;
+};
+
+/// Named registry of counters, gauges, and histograms. Registration (and
+/// snapshotting) takes a mutex; the returned metric objects are stable
+/// pointers whose hot-path operations are lock-free. Gauges may instead be
+/// registered as callbacks evaluated at snapshot time (pool occupancy and
+/// similar live values).
+class MetricsRegistry {
+ public:
+  Counter* AddCounter(std::string name);
+  Gauge* AddGauge(std::string name);
+  LatencyHistogram* AddHistogram(std::string name);
+  void AddGaugeFn(std::string name, std::function<uint64_t()> fn);
+
+  /// Histogram lookup by name (benchmarks reset/read specific latency
+  /// histograms between phases); null when absent.
+  LatencyHistogram* FindHistogram(const std::string& name) const;
+
+  /// One pass over every registered metric, in registration order.
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes counters and histograms. Gauges and callbacks represent live
+  /// state and are left alone.
+  void Reset();
+
+ private:
+  struct Item {
+    std::string name;
+    MetricValue::Kind kind = MetricValue::Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> hist;
+    std::function<uint64_t()> fn;  ///< callback gauge when set
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Item> items_;
+};
+
+}  // namespace recycledb::obs
+
+#endif  // RECYCLEDB_OBS_METRICS_H_

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include "util/str.h"
+
+namespace recycledb::obs {
+
+namespace {
+
+void PrintSpan(const QueryTrace::Span& s, int depth, std::string* out) {
+  *out += StrFormat("%*s%-12s %9.3f ms", depth * 2, "", s.name.c_str(),
+                    s.dur_ms);
+  if (!s.note.empty()) *out += StrFormat("  (%s)", s.note.c_str());
+  *out += "\n";
+  for (const QueryTrace::Span& c : s.children) PrintSpan(c, depth + 1, out);
+}
+
+void SpanToJson(const QueryTrace::Span& s, std::string* out) {
+  *out += StrFormat("{\"name\": \"%s\", \"dur_ms\": %.3f", s.name.c_str(),
+                    s.dur_ms);
+  if (!s.note.empty()) *out += StrFormat(", \"note\": \"%s\"", s.note.c_str());
+  if (!s.children.empty()) {
+    *out += ", \"children\": [";
+    for (size_t i = 0; i < s.children.size(); ++i) {
+      if (i != 0) *out += ", ";
+      SpanToJson(s.children[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+const char* DecisionKindName(RecyclerDecision::Kind k) {
+  switch (k) {
+    case RecyclerDecision::Kind::kExactHit:
+      return "exact-hit";
+    case RecyclerDecision::Kind::kSubsumedHit:
+      return "subsumed-hit";
+    case RecyclerDecision::Kind::kMiss:
+      return "miss";
+    case RecyclerDecision::Kind::kAdmit:
+      return "admit";
+    case RecyclerDecision::Kind::kDecline:
+      return "decline";
+    case RecyclerDecision::Kind::kEvictVictim:
+      return "evict-victim";
+  }
+  return "?";
+}
+
+QueryTrace::Totals QueryTrace::totals() const {
+  Totals t;
+  for (const RecyclerDecision& d : decisions_) {
+    switch (d.kind) {
+      case RecyclerDecision::Kind::kExactHit:
+        ++t.exact_hits;
+        t.hit_bytes += d.bytes;
+        t.saved_ms += d.saved_ms;
+        break;
+      case RecyclerDecision::Kind::kSubsumedHit:
+        ++t.subsumed_hits;
+        t.hit_bytes += d.bytes;
+        break;
+      case RecyclerDecision::Kind::kMiss:
+        ++t.misses;
+        break;
+      case RecyclerDecision::Kind::kAdmit:
+        ++t.admitted;
+        break;
+      case RecyclerDecision::Kind::kDecline:
+        ++t.declined;
+        break;
+      case RecyclerDecision::Kind::kEvictVictim:
+        t.evicted += d.count;
+        break;
+    }
+  }
+  return t;
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out =
+      StrFormat("trace%s: %s\n", sampled_ ? " (sampled)" : "",
+                statement_.c_str());
+  PrintSpan(root_, 0, &out);
+  if (!decisions_.empty()) {
+    out += StrFormat("recycler decisions (%zu):\n", decisions_.size());
+    out += StrFormat("  %-4s %-12s %-12s %-6s %-10s %-7s %-8s %s\n", "pc",
+                     "op", "decision", "stripe", "bytes", "count", "credits",
+                     "saved_ms");
+    for (const RecyclerDecision& d : decisions_) {
+      out += StrFormat("  %-4d %-12s %-12s %-6u %-10llu %-7llu ", d.pc,
+                       OpcodeName(d.op), DecisionKindName(d.kind), d.stripe,
+                       static_cast<unsigned long long>(d.bytes),
+                       static_cast<unsigned long long>(d.count));
+      if (d.credits >= 0)
+        out += StrFormat("%-8d ", d.credits);
+      else
+        out += StrFormat("%-8s ", "-");
+      out += StrFormat("%.3f\n", d.saved_ms);
+    }
+    Totals t = totals();
+    out += StrFormat(
+        "  totals: exact=%llu subsumed=%llu miss=%llu admit=%llu "
+        "decline=%llu evict=%llu hit-bytes=%llu saved=%.3f ms\n",
+        static_cast<unsigned long long>(t.exact_hits),
+        static_cast<unsigned long long>(t.subsumed_hits),
+        static_cast<unsigned long long>(t.misses),
+        static_cast<unsigned long long>(t.admitted),
+        static_cast<unsigned long long>(t.declined),
+        static_cast<unsigned long long>(t.evicted),
+        static_cast<unsigned long long>(t.hit_bytes), t.saved_ms);
+  }
+  return out;
+}
+
+std::string QueryTrace::ToJson() const {
+  // The statement text is the only free-form string; escape the quotes and
+  // backslashes SQL can contain.
+  std::string stmt;
+  for (char c : statement_) {
+    if (c == '"' || c == '\\') stmt += '\\';
+    if (c == '\n') {
+      stmt += "\\n";
+      continue;
+    }
+    stmt += c;
+  }
+  std::string out = StrFormat("{\"statement\": \"%s\", \"sampled\": %s, ",
+                              stmt.c_str(), sampled_ ? "true" : "false");
+  out += "\"spans\": ";
+  SpanToJson(root_, &out);
+  out += ", \"decisions\": [";
+  for (size_t i = 0; i < decisions_.size(); ++i) {
+    const RecyclerDecision& d = decisions_[i];
+    if (i != 0) out += ", ";
+    out += StrFormat(
+        "{\"pc\": %d, \"op\": \"%s\", \"decision\": \"%s\", \"stripe\": %u, "
+        "\"bytes\": %llu, \"count\": %llu, \"credits\": %d, "
+        "\"saved_ms\": %.3f}",
+        d.pc, OpcodeName(d.op), DecisionKindName(d.kind), d.stripe,
+        static_cast<unsigned long long>(d.bytes),
+        static_cast<unsigned long long>(d.count), d.credits, d.saved_ms);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace recycledb::obs

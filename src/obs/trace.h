@@ -1,0 +1,111 @@
+#ifndef RECYCLEDB_OBS_TRACE_H_
+#define RECYCLEDB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mal/opcode.h"
+
+namespace recycledb::obs {
+
+/// One recycler decision taken for one monitored MAL instruction of a
+/// traced query: what recycleEntry resolved it to (exact hit / subsumed hit
+/// / miss), and what recycleExit (or a subsumption-side admission) did with
+/// the produced result (admit / decline), plus any eviction the admission
+/// forced. A single instruction therefore yields one entry-side record and
+/// zero or more exit-side records.
+struct RecyclerDecision {
+  enum class Kind : uint8_t {
+    kExactHit,     ///< answered verbatim from the pool
+    kSubsumedHit,  ///< answered by rewriting over covering entries (§5)
+    kMiss,         ///< executed; recycleExit decides admission
+    kAdmit,        ///< result stored in the pool
+    kDecline,      ///< admission rejected (duplicate / credits / capacity)
+    kEvictVictim,  ///< entries evicted to make room for this admission
+  };
+
+  int pc = -1;     ///< instruction index in the traced Program
+  Opcode op{};     ///< the monitored instruction's opcode
+  Kind kind = Kind::kMiss;
+  uint32_t stripe = 0;  ///< pool stripe that resolved the decision
+  /// Result bytes (hits and admissions) or net pool bytes freed
+  /// (kEvictVictim; an admission in the same step may offset it).
+  uint64_t bytes = 0;
+  uint64_t count = 1;   ///< victims evicted for kEvictVictim, else 1
+  /// Credits left in the ledger for this (template, pc) source after the
+  /// decision; -1 when the admission policy keeps no credits.
+  int credits = -1;
+  double saved_ms = 0;  ///< exact hits: the admitted cost now avoided
+};
+
+const char* DecisionKindName(RecyclerDecision::Kind k);
+
+/// The trace of one query: a span tree over the statement's lifecycle
+/// (parse -> plan [cache probe, compile or bind] -> queue -> execute) plus
+/// the per-instruction recycler decision records collected during execute.
+///
+/// Ownership/threading: a trace is built by exactly one thread at a time —
+/// the submitting thread fills the parse/plan spans, then hands the trace
+/// to a worker through the task queue (the queue mutex orders the two), and
+/// the worker appends decisions and the execute span. Once the query's
+/// future resolves the trace is immutable and may be read freely.
+class QueryTrace {
+ public:
+  struct Span {
+    std::string name;
+    double dur_ms = 0;
+    std::string note;  ///< free-form annotation ("cache hit", counts, ...)
+    std::vector<Span> children;
+  };
+
+  QueryTrace(std::string statement, bool sampled)
+      : statement_(std::move(statement)), sampled_(sampled) {
+    root_.name = "statement";
+  }
+
+  Span& root() { return root_; }
+  const Span& root() const { return root_; }
+  const std::string& statement() const { return statement_; }
+  /// True when 1-in-N sampling picked the query (vs an explicit TRACE).
+  bool sampled() const { return sampled_; }
+
+  void AddDecision(const RecyclerDecision& d) { decisions_.push_back(d); }
+  const std::vector<RecyclerDecision>& decisions() const {
+    return decisions_;
+  }
+
+  /// Roll-up of the decision records. The acceptance identity: for a query
+  /// run in isolation, exact_hits/subsumed_hits/misses/admitted/declined/
+  /// evicted equal the deltas the same query leaves in the global
+  /// RecyclerStats (and exact_hits + subsumed_hits equals the interpreter's
+  /// pool_hits for the run).
+  struct Totals {
+    uint64_t exact_hits = 0;
+    uint64_t subsumed_hits = 0;
+    uint64_t misses = 0;
+    uint64_t admitted = 0;
+    uint64_t declined = 0;
+    uint64_t evicted = 0;     ///< victims (sum of kEvictVictim counts)
+    uint64_t hit_bytes = 0;   ///< bytes answered from the pool
+    double saved_ms = 0;
+  };
+  Totals totals() const;
+
+  /// Human-readable span tree plus a decision table and totals line.
+  std::string ToString() const;
+
+  /// Machine-readable form of the same.
+  std::string ToJson() const;
+
+ private:
+  std::string statement_;
+  bool sampled_;
+  Span root_;
+  std::vector<RecyclerDecision> decisions_;
+};
+
+}  // namespace recycledb::obs
+
+#endif  // RECYCLEDB_OBS_TRACE_H_

@@ -65,6 +65,8 @@ bool PlanCache::EvictLruLocked() {
   if (victim == plans_.end()) return false;
   if (lease_ != nullptr) lease_->Release(victim->second.est_bytes, 1);
   bytes_ -= victim->second.est_bytes;
+  if (events_ != nullptr)
+    events_->Record(obs::EventKind::kPlanEvict, 0, victim->second.est_bytes);
   plans_.erase(victim);
   evictions_.fetch_add(1, std::memory_order_relaxed);
   return true;

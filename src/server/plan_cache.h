@@ -11,6 +11,7 @@
 #include "catalog/catalog.h"
 #include "core/resource_governor.h"
 #include "mal/program.h"
+#include "obs/event_ring.h"
 
 namespace recycledb {
 
@@ -68,6 +69,11 @@ class PlanCache {
   void EnableCapacity(ResourceGovernor* governor, size_t max_plans,
                       size_t max_bytes);
 
+  /// Attaches a sink for LRU-eviction events (kind kPlanEvict, `a` = the
+  /// evicted plan's estimated bytes). Call before concurrent traffic; the
+  /// ring must outlive the cache. Null (the default) records nothing.
+  void set_event_ring(obs::EventRing* events) { events_ = events; }
+
   /// Returns the cached entry or nullptr. Counts a lookup (and a hit), and
   /// touches the entry's LRU recency.
   EntryPtr Lookup(const std::string& fingerprint);
@@ -117,6 +123,7 @@ class PlanCache {
   size_t bytes_ = 0;  ///< Σ est_bytes (guarded by mu_)
   std::atomic<uint64_t> use_clock_{0};
   ResourceGovernor::Lease* lease_ = nullptr;  ///< null = unbounded
+  obs::EventRing* events_ = nullptr;          ///< optional eviction-event sink
   std::atomic<uint64_t> lookups_{0}, hits_{0}, compiles_{0}, invalidations_{0},
       evictions_{0};
 };

@@ -5,9 +5,20 @@
 #include "sql/parser.h"
 #include "sql/planner.h"
 #include "util/check.h"
+#include "util/str.h"
 #include "util/timer.h"
 
 namespace recycledb {
+
+namespace {
+
+/// Milliseconds (the interpreter's native unit) to whole microseconds (the
+/// metric unit: histograms bucket by log2 of integer values).
+uint64_t MsToUs(double ms) {
+  return ms <= 0 ? 0 : static_cast<uint64_t>(ms * 1e3);
+}
+
+}  // namespace
 
 QueryService::QueryService(std::unique_ptr<Catalog> catalog, ServiceConfig cfg)
     : QueryService(catalog.get(), cfg) {
@@ -17,6 +28,33 @@ QueryService::QueryService(std::unique_ptr<Catalog> catalog, ServiceConfig cfg)
 QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
     : catalog_(catalog), cfg_(cfg), recycler_(cfg.recycler, &governor_) {
   if (cfg_.num_workers < 1) cfg_.num_workers = 1;
+  // Metric registration happens before the workers start, so the hot paths
+  // only ever touch stable pointers.
+  c_submitted_ = metrics_.AddCounter("queries_submitted");
+  c_completed_ = metrics_.AddCounter("queries_completed");
+  c_failed_ = metrics_.AddCounter("queries_failed");
+  c_traced_ = metrics_.AddCounter("queries_traced");
+  c_instrs_ = metrics_.AddCounter("instrs_executed");
+  c_pool_hits_ = metrics_.AddCounter("instrs_pool_hits");
+  c_monitored_ = metrics_.AddCounter("instrs_monitored");
+  c_exec_us_ = metrics_.AddCounter("query_exec_us_total");
+  c_wall_us_ = metrics_.AddCounter("query_wall_us_total");
+  c_dml_inserted_ = metrics_.AddCounter("dml_rows_inserted");
+  c_dml_deleted_ = metrics_.AddCounter("dml_rows_deleted");
+  c_dml_commits_ = metrics_.AddCounter("dml_commits");
+  h_query_wall_us_ = metrics_.AddHistogram("query_wall_us");
+  h_query_exec_us_ = metrics_.AddHistogram("query_exec_us");
+  h_sql_parse_us_ = metrics_.AddHistogram("sql_parse_us");
+  h_sql_compile_us_ = metrics_.AddHistogram("sql_compile_us");
+  metrics_.AddGaugeFn("pool_entries",
+                      [this] { return recycler_.pool_entries(); });
+  metrics_.AddGaugeFn("pool_bytes", [this] { return recycler_.pool_bytes(); });
+  metrics_.AddGaugeFn("plan_cache_plans",
+                      [this] { return plan_cache_.size(); });
+  metrics_.AddGaugeFn("plan_cache_bytes",
+                      [this] { return plan_cache_.bytes(); });
+  recycler_.set_event_ring(&events_);
+  plan_cache_.set_event_ring(&events_);
   // The plan cache leases its capacity from the same governor the recycle
   // pool budgets live in: one place owns every byte the serving stack may
   // cache (see `.gov` in the SQL shell).
@@ -33,12 +71,29 @@ QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
   // without recompilation.
   catalog_->SetUpdateListener([this](const std::vector<ColumnId>& cols) {
     plan_cache_.Invalidate(cols);
-    if (!cfg_.enable_recycler) return;
+    if (!cfg_.enable_recycler) {
+      events_.Record(obs::EventKind::kInvalidate, 0, 0, cols.size());
+      return;
+    }
+    // Events report the path maintenance ACTUALLY took, not the configured
+    // preference: PropagateUpdate falls back to invalidation for delete
+    // commits, so the split is read off the recycler's counters. `a` = pool
+    // entries affected, `b` = columns in the commit; a commit that touched
+    // no pool entries still records an invalidate event (a=0) so every
+    // commit is visible in the ring.
+    RecyclerStats before = recycler_.stats();
     if (cfg_.propagate_updates) {
       recycler_.PropagateUpdate(catalog_, cols);
     } else {
       recycler_.OnCatalogUpdate(cols);
     }
+    RecyclerStats after = recycler_.stats();
+    const uint64_t prop = after.propagated - before.propagated;
+    const uint64_t inv = after.invalidated - before.invalidated;
+    if (prop > 0)
+      events_.Record(obs::EventKind::kPropagate, 0, prop, cols.size());
+    if (inv > 0 || prop == 0)
+      events_.Record(obs::EventKind::kInvalidate, 0, inv, cols.size());
   });
   workers_.reserve(cfg_.num_workers);
   for (int i = 0; i < cfg_.num_workers; ++i) {
@@ -62,7 +117,19 @@ std::future<Result<QueryResult>> QueryService::Submit(
   Task t;
   t.prog = prog;
   t.params = std::move(params);
+  t.trace = MaybeTrace(prog->name, /*forced=*/false);
   return Enqueue(std::move(t));
+}
+
+std::shared_ptr<obs::QueryTrace> QueryService::MaybeTrace(
+    const std::string& statement, bool forced) {
+  if (!forced) {
+    const uint32_t n = cfg_.trace_sample_n;
+    if (n == 0) return nullptr;
+    if (trace_seq_.fetch_add(1, std::memory_order_relaxed) % n != 0)
+      return nullptr;
+  }
+  return std::make_shared<obs::QueryTrace>(statement, /*sampled=*/!forced);
 }
 
 std::future<Result<QueryResult>> QueryService::Enqueue(Task t) {
@@ -73,7 +140,8 @@ std::future<Result<QueryResult>> QueryService::Enqueue(Task t) {
       t.promise.set_value(Status::Internal("query service is shut down"));
       return fut;
     }
-    n_submitted_.fetch_add(1, std::memory_order_relaxed);
+    c_submitted_->Add(1);
+    if (t.trace != nullptr) t.enqueue_ms = NowMillis();
     queue_.push_back(std::move(t));
     ++outstanding_;
   }
@@ -86,27 +154,30 @@ std::future<Result<QueryResult>> QueryService::SubmitSql(
   // Parse/compile/bind rejections count as submitted+failed, so operators
   // watching ServiceStats see errored SQL, not only worker-side failures.
   auto fail = [this](Status st) {
-    n_submitted_.fetch_add(1, std::memory_order_relaxed);
-    n_failed_.fetch_add(1, std::memory_order_relaxed);
+    c_submitted_->Add(1);
+    c_failed_->Add(1);
     std::promise<Result<QueryResult>> p;
     std::future<Result<QueryResult>> f = p.get_future();
     p.set_value(std::move(st));
     return f;
   };
 
+  StopWatch parse_sw;
   auto parsed = sql::ParseStatement(text);
+  const double parse_ms = parse_sw.ElapsedMillis();
+  h_sql_parse_us_->Record(MsToUs(parse_ms));
   if (!parsed.ok()) return fail(parsed.status());
 
   if (parsed.value().kind != sql::Statement::Kind::kSelect) {
     // DML runs on the calling thread under the exclusive update lock; the
     // future resolves before it is returned. Counted like any submission so
     // operators see DML in the same submitted/completed/failed totals.
-    n_submitted_.fetch_add(1, std::memory_order_relaxed);
+    c_submitted_->Add(1);
     Result<QueryResult> r = ExecuteDml(parsed.value());
     if (r.ok())
-      n_completed_.fetch_add(1, std::memory_order_relaxed);
+      c_completed_->Add(1);
     else
-      n_failed_.fetch_add(1, std::memory_order_relaxed);
+      c_failed_->Add(1);
     std::promise<Result<QueryResult>> p;
     std::future<Result<QueryResult>> f = p.get_future();
     p.set_value(std::move(r));
@@ -115,9 +186,22 @@ std::future<Result<QueryResult>> QueryService::SubmitSql(
 
   const sql::SelectStmt& stmt = parsed.value().select;
   std::string fp = sql::Fingerprint(stmt);
+  // Tracing: explicit TRACE always wins; otherwise 1-in-N sampling. The
+  // fingerprint is computed from the SelectStmt alone, so a traced instance
+  // shares the untraced instances' plan.
+  std::shared_ptr<obs::QueryTrace> trace =
+      MaybeTrace(text, parsed.value().traced);
+  if (trace != nullptr) {
+    obs::QueryTrace::Span parse_span;
+    parse_span.name = "parse";
+    parse_span.dur_ms = parse_ms;
+    trace->root().children.push_back(std::move(parse_span));
+  }
 
   PlanCache::EntryPtr entry;
   std::vector<Scalar> params;
+  obs::QueryTrace::Span plan_span;
+  plan_span.name = "plan";
   {
     // Compilation reads catalog metadata, so it takes the same shared hold
     // queries execute under; a commit can therefore not change the schema
@@ -126,10 +210,21 @@ std::future<Result<QueryResult>> QueryService::SubmitSql(
     // run time; a dropped table surfaces as a clean NotFound result).
     WaitForUpdateGate();
     std::shared_lock<std::shared_mutex> lock(update_mu_);
+    StopWatch plan_sw;
+    StopWatch probe_sw;
     entry = plan_cache_.Lookup(fp);
+    if (trace != nullptr) {
+      obs::QueryTrace::Span probe;
+      probe.name = "cache_probe";
+      probe.dur_ms = probe_sw.ElapsedMillis();
+      probe.note = entry == nullptr ? "miss" : "hit";
+      plan_span.children.push_back(std::move(probe));
+    }
     if (entry == nullptr) {
       std::vector<Scalar> own;
+      StopWatch compile_sw;
       auto plan = sql::CompileStmt(catalog_, stmt, &own);
+      h_sql_compile_us_->Record(MsToUs(compile_sw.ElapsedMillis()));
       if (!plan.ok()) return fail(plan.status());
       PlanCache::Entry e;
       e.prog = std::make_shared<const Program>(std::move(plan.value().prog));
@@ -140,17 +235,33 @@ std::future<Result<QueryResult>> QueryService::SubmitSql(
       // order and types).
       entry = plan_cache_.Insert(fp, std::move(e));
       params = std::move(own);
+      if (trace != nullptr) {
+        obs::QueryTrace::Span compile;
+        compile.name = "compile";
+        compile.dur_ms = compile_sw.ElapsedMillis();
+        plan_span.children.push_back(std::move(compile));
+      }
     } else {
+      StopWatch bind_sw;
       auto bound = sql::BindLiterals(stmt, entry->param_types);
       if (!bound.ok()) return fail(bound.status());
       params = std::move(bound).value();
+      if (trace != nullptr) {
+        obs::QueryTrace::Span bind;
+        bind.name = "bind_params";
+        bind.dur_ms = bind_sw.ElapsedMillis();
+        plan_span.children.push_back(std::move(bind));
+      }
     }
+    plan_span.dur_ms = plan_sw.ElapsedMillis();
   }
+  if (trace != nullptr) trace->root().children.push_back(std::move(plan_span));
 
   Task t;
   t.prog_owner = entry->prog;
   t.prog = t.prog_owner.get();
   t.params = std::move(params);
+  t.trace = std::move(trace);
   return Enqueue(std::move(t));
 }
 
@@ -167,7 +278,7 @@ Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt) {
                              sql::BindInsert(*cat, stmt.insert));
         const size_t n = rows.size();
         RDB_RETURN_NOT_OK(cat->Append(stmt.insert.table, std::move(rows)));
-        dml_inserted_.fetch_add(n, std::memory_order_relaxed);
+        c_dml_inserted_->Add(n);
         out.values.emplace_back("rows_inserted",
                                 Scalar::Lng(static_cast<int64_t>(n)));
         return Status::OK();
@@ -203,7 +314,7 @@ Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt) {
         // reconcile with rows actually removed at commit.
         size_t n = 0;
         RDB_RETURN_NOT_OK(cat->Delete(stmt.del.table, std::move(oids), &n));
-        dml_deleted_.fetch_add(n, std::memory_order_relaxed);
+        c_dml_deleted_->Add(n);
         out.values.emplace_back("rows_deleted",
                                 Scalar::Lng(static_cast<int64_t>(n)));
         return Status::OK();
@@ -213,7 +324,7 @@ Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt) {
         // exclusively: plan-cache invalidation and pool propagation/
         // invalidation land atomically w.r.t. queries.
         RDB_RETURN_NOT_OK(cat->Commit());
-        dml_commits_.fetch_add(1, std::memory_order_relaxed);
+        c_dml_commits_->Add(1);
         out.values.emplace_back("committed", Scalar::Lng(1));
         return Status::OK();
       }
@@ -261,16 +372,17 @@ void QueryService::Drain() {
   drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
-ServiceStats QueryService::stats() const {
+ServiceStats QueryService::SnapshotStats() const {
   ServiceStats s;
-  s.submitted = n_submitted_.load(std::memory_order_relaxed);
-  s.completed = n_completed_.load(std::memory_order_relaxed);
-  s.failed = n_failed_.load(std::memory_order_relaxed);
-  s.instrs = n_instrs_.load(std::memory_order_relaxed);
-  s.pool_hits = n_pool_hits_.load(std::memory_order_relaxed);
-  s.monitored = n_monitored_.load(std::memory_order_relaxed);
-  s.exec_us = exec_us_.load(std::memory_order_relaxed);
-  s.wall_us = wall_us_.load(std::memory_order_relaxed);
+  s.submitted = c_submitted_->value();
+  s.completed = c_completed_->value();
+  s.failed = c_failed_->value();
+  s.instrs = c_instrs_->value();
+  s.pool_hits = c_pool_hits_->value();
+  s.monitored = c_monitored_->value();
+  s.exec_us = c_exec_us_->value();
+  s.wall_us = c_wall_us_->value();
+  s.queries_traced = c_traced_->value();
   PlanCacheStats pc = plan_cache_.stats();
   s.plan_lookups = pc.lookups;
   s.plan_hits = pc.hits;
@@ -286,13 +398,59 @@ ServiceStats QueryService::stats() const {
     s.pool_rebalances += st.rebalances;
   }
   s.pool_all_stripe_ops = recycler_.all_stripe_ops();
-  s.dml_inserted_rows = dml_inserted_.load(std::memory_order_relaxed);
-  s.dml_deleted_rows = dml_deleted_.load(std::memory_order_relaxed);
-  s.dml_commits = dml_commits_.load(std::memory_order_relaxed);
+  s.dml_inserted_rows = c_dml_inserted_->value();
+  s.dml_deleted_rows = c_dml_deleted_->value();
+  s.dml_commits = c_dml_commits_->value();
   RecyclerStats rs = recycler_.stats();
   s.pool_invalidated = rs.invalidated;
   s.pool_propagated = rs.propagated;
   return s;
+}
+
+obs::RegistrySnapshot QueryService::MetricsSnapshot() const {
+  obs::RegistrySnapshot snap = metrics_.Snapshot();
+  // Merge in counters owned by the plan cache, the recycler, and the
+  // governor, so one export carries the whole serving stack.
+  ServiceStats s = SnapshotStats();
+  snap.AddCounter("plan_cache_lookups", s.plan_lookups);
+  snap.AddCounter("plan_cache_hits", s.plan_hits);
+  snap.AddCounter("plan_cache_compiles", s.plan_compiles);
+  snap.AddCounter("plan_cache_invalidations", s.plan_invalidations);
+  snap.AddCounter("plan_cache_evictions", s.plan_evictions);
+  RecyclerStats rs = recycler_.stats();
+  snap.AddCounter("pool_monitored", rs.monitored);
+  snap.AddCounter("pool_hits", rs.hits);
+  snap.AddCounter("pool_exact_hits", rs.exact_hits);
+  snap.AddCounter("pool_subsumed_hits", rs.subsumed_hits);
+  snap.AddCounter("pool_admitted", rs.admitted);
+  snap.AddCounter("pool_rejected", rs.rejected);
+  snap.AddCounter("pool_evicted", rs.evicted);
+  snap.AddCounter("pool_invalidated", rs.invalidated);
+  snap.AddCounter("pool_propagated", rs.propagated);
+  snap.AddCounter("pool_time_saved_us",
+                  static_cast<uint64_t>(rs.time_saved_ms * 1e3));
+  snap.AddCounter("pool_borrows", s.pool_borrows);
+  snap.AddCounter("pool_borrow_denied", s.pool_borrow_denied);
+  snap.AddCounter("pool_rebalances", s.pool_rebalances);
+  snap.AddCounter("pool_excl_locks", s.pool_excl_locks);
+  snap.AddCounter("pool_shared_locks", s.pool_shared_locks);
+  snap.AddCounter("pool_all_stripe_ops", s.pool_all_stripe_ops);
+  snap.AddGauge("pool_stripes", s.pool_stripes);
+  return snap;
+}
+
+std::string QueryService::DumpMetricsJson() const {
+  return MetricsSnapshot().ToJson(obs::EventsToJsonArray(events_.Snapshot()));
+}
+
+std::string QueryService::DumpMetricsPrometheus() const {
+  return MetricsSnapshot().ToPrometheus();
+}
+
+std::vector<std::shared_ptr<const obs::QueryTrace>> QueryService::RecentTraces()
+    const {
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  return {recent_traces_.begin(), recent_traces_.end()};
 }
 
 void QueryService::WaitForUpdateGate() {
@@ -327,19 +485,51 @@ void QueryService::WorkerLoop(int worker_idx) {
       WaitForUpdateGate();
       // Shared hold: commits (exclusive holders) serialise against us.
       std::shared_lock<std::shared_mutex> qlock(update_mu_);
+      const double dequeue_ms = task.trace != nullptr ? NowMillis() : 0;
+      // The session records per-instruction decisions into the task's trace
+      // for this run only; the pointer is cleared before the future resolves
+      // so the trace is immutable once handed out.
+      if (task.trace != nullptr && session != nullptr)
+        session->set_trace(task.trace.get());
       auto r = interp.Run(*task.prog, task.params);
+      if (session != nullptr) session->set_trace(nullptr);
       const RunStats& rs = interp.last_run();
-      n_instrs_.fetch_add(rs.instrs, std::memory_order_relaxed);
-      n_pool_hits_.fetch_add(rs.pool_hits, std::memory_order_relaxed);
-      n_monitored_.fetch_add(rs.monitored, std::memory_order_relaxed);
-      exec_us_.fetch_add(static_cast<uint64_t>(rs.exec_ms * 1e3),
-                         std::memory_order_relaxed);
-      wall_us_.fetch_add(static_cast<uint64_t>(rs.wall_ms * 1e3),
-                         std::memory_order_relaxed);
+      c_instrs_->Add(rs.instrs);
+      c_pool_hits_->Add(rs.pool_hits);
+      c_monitored_->Add(rs.monitored);
+      c_exec_us_->Add(MsToUs(rs.exec_ms));
+      c_wall_us_->Add(MsToUs(rs.wall_ms));
+      h_query_exec_us_->Record(MsToUs(rs.exec_ms));
+      h_query_wall_us_->Record(MsToUs(rs.wall_ms));
       if (r.ok())
-        n_completed_.fetch_add(1, std::memory_order_relaxed);
+        c_completed_->Add(1);
       else
-        n_failed_.fetch_add(1, std::memory_order_relaxed);
+        c_failed_->Add(1);
+      if (task.trace != nullptr) {
+        c_traced_->Add(1);
+        obs::QueryTrace::Span queue;
+        queue.name = "queue";
+        queue.dur_ms = task.enqueue_ms > 0 ? dequeue_ms - task.enqueue_ms : 0;
+        obs::QueryTrace::Span exec;
+        exec.name = "execute";
+        exec.dur_ms = rs.wall_ms;
+        exec.note = StrFormat("%d instrs, %d monitored, %d pool hits",
+                              rs.instrs, rs.monitored, rs.pool_hits);
+        if (!r.ok()) exec.note += " [failed: " + r.status().message() + "]";
+        obs::QueryTrace::Span& root = task.trace->root();
+        root.children.push_back(std::move(queue));
+        root.children.push_back(std::move(exec));
+        root.dur_ms = 0;
+        for (const obs::QueryTrace::Span& c : root.children)
+          root.dur_ms += c.dur_ms;
+        if (r.ok()) r.value().trace = task.trace;
+        {
+          std::lock_guard<std::mutex> tlock(traces_mu_);
+          recent_traces_.push_back(task.trace);
+          if (recent_traces_.size() > kRecentTraceCap)
+            recent_traces_.pop_front();
+        }
+      }
       task.promise.set_value(std::move(r));
     }
 

@@ -17,6 +17,9 @@
 #include "interp/interpreter.h"
 #include "interp/query_result.h"
 #include "mal/program.h"
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/plan_cache.h"
 #include "sql/ast.h"
 
@@ -42,6 +45,11 @@ struct ServiceConfig {
   /// Byte companion to the above: estimated Program bytes the cache may
   /// hold (0 = unlimited).
   size_t plan_cache_max_bytes = 0;
+  /// Trace 1 of every N queries (SELECT submissions and Program Submits)
+  /// with a full span tree + per-instruction recycler decision records;
+  /// 0 (the default) samples nothing. Explicit `TRACE SELECT ...`
+  /// statements are always traced regardless of this knob.
+  uint32_t trace_sample_n = 0;
 };
 
 /// Cumulative service counters; every field is maintained atomically so the
@@ -86,6 +94,8 @@ struct ServiceStats {
   // commits propagate, delete commits invalidate).
   uint64_t pool_invalidated = 0;  ///< entries dropped by update invalidation
   uint64_t pool_propagated = 0;   ///< entries refreshed by delta propagation
+  // Observability.
+  uint64_t queries_traced = 0;  ///< queries that carried a QueryTrace
 };
 
 /// One query of a synchronous batch.
@@ -186,8 +196,41 @@ class QueryService {
   /// domain (kPerStripe budget mode) and the plan cache's capacity domain.
   const ResourceGovernor& governor() const { return governor_; }
 
-  ServiceStats stats() const;
+  /// One consistent read of every service counter (each counter is read
+  /// exactly once, into one plain struct — field-by-field reads at call
+  /// sites could tear across related counters mid-commit). THE accessor all
+  /// presentation paths (`.stats`, benches, tests) go through.
+  ServiceStats SnapshotStats() const;
+  ServiceStats stats() const { return SnapshotStats(); }
   int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // --- observability --------------------------------------------------------
+
+  /// The service's metric registry (counters, gauges, latency histograms:
+  /// query_wall_us, query_exec_us, sql_parse_us, sql_compile_us, ...).
+  /// Benchmarks reset/read specific histograms between phases through this.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Recent governance/maintenance events (pool borrows and sheds, plan
+  /// evictions, commit invalidation/propagation).
+  const obs::EventRing& events() const { return events_; }
+
+  /// Registry snapshot extended with the plan-cache, recycler, and
+  /// governance counters the registry does not own — the single source for
+  /// both export formats below.
+  obs::RegistrySnapshot MetricsSnapshot() const;
+
+  /// Machine-readable metrics dump: JSON (with the event ring embedded) or
+  /// Prometheus text exposition.
+  std::string DumpMetricsJson() const;
+  std::string DumpMetricsPrometheus() const;
+
+  /// The most recent completed query traces, oldest first (bounded ring of
+  /// kRecentTraceCap). Covers sampled and explicit traces.
+  std::vector<std::shared_ptr<const obs::QueryTrace>> RecentTraces() const;
+
+  static constexpr size_t kRecentTraceCap = 32;
 
  private:
   struct Task {
@@ -197,10 +240,19 @@ class QueryService {
     /// Keeps a plan-cache Program alive while the task is in flight, so a
     /// commit may drop the cache entry without invalidating `prog`.
     std::shared_ptr<const Program> prog_owner;
+    /// Non-null when this query is traced. The submitting thread fills the
+    /// parse/plan spans before enqueueing; the worker appends the rest (the
+    /// queue mutex orders the handoff).
+    std::shared_ptr<obs::QueryTrace> trace;
+    double enqueue_ms = 0;  ///< NowMillis() at enqueue (traced tasks only)
   };
 
   void WorkerLoop(int worker_idx);
   std::future<Result<QueryResult>> Enqueue(Task task);
+  /// A fresh trace when this query should be traced: always for explicit
+  /// TRACE statements (`forced`), else by 1-in-trace_sample_n sampling.
+  std::shared_ptr<obs::QueryTrace> MaybeTrace(const std::string& statement,
+                                              bool forced);
   /// Runs one parsed DML statement under the exclusive update lock.
   Result<QueryResult> ExecuteDml(const sql::Statement& stmt);
   /// Blocks while a commit is waiting for the exclusive update lock (the
@@ -211,6 +263,10 @@ class QueryService {
   std::unique_ptr<Catalog> owned_catalog_;  ///< null when borrowing
   Catalog* catalog_;
   ServiceConfig cfg_;
+  /// Declared before the recycler and plan cache: both hold a pointer into
+  /// the event ring, and metric registration happens before workers start.
+  obs::MetricsRegistry metrics_;
+  obs::EventRing events_;
   /// Declared before its consumers: the recycler and plan cache register
   /// their budget domains into it at construction.
   ResourceGovernor governor_;
@@ -234,11 +290,29 @@ class QueryService {
   std::condition_variable gate_cv_;
   int updates_waiting_ = 0;  ///< guarded by gate_mu_
 
-  // Atomic counters (see ServiceStats).
-  std::atomic<uint64_t> n_submitted_{0}, n_completed_{0}, n_failed_{0};
-  std::atomic<uint64_t> n_instrs_{0}, n_pool_hits_{0}, n_monitored_{0};
-  std::atomic<uint64_t> exec_us_{0}, wall_us_{0};
-  std::atomic<uint64_t> dml_inserted_{0}, dml_deleted_{0}, dml_commits_{0};
+  // Registry-owned counters and histograms (see ServiceStats /
+  // MetricsSnapshot); the pointers are stable for the service's lifetime.
+  obs::Counter* c_submitted_;
+  obs::Counter* c_completed_;
+  obs::Counter* c_failed_;
+  obs::Counter* c_instrs_;
+  obs::Counter* c_pool_hits_;
+  obs::Counter* c_monitored_;
+  obs::Counter* c_exec_us_;
+  obs::Counter* c_wall_us_;
+  obs::Counter* c_dml_inserted_;
+  obs::Counter* c_dml_deleted_;
+  obs::Counter* c_dml_commits_;
+  obs::Counter* c_traced_;
+  obs::LatencyHistogram* h_query_wall_us_;
+  obs::LatencyHistogram* h_query_exec_us_;
+  obs::LatencyHistogram* h_sql_parse_us_;
+  obs::LatencyHistogram* h_sql_compile_us_;
+
+  // Trace sampling and the recent-trace ring.
+  std::atomic<uint64_t> trace_seq_{0};
+  mutable std::mutex traces_mu_;
+  std::deque<std::shared_ptr<const obs::QueryTrace>> recent_traces_;
 
   std::vector<std::thread> workers_;
 };

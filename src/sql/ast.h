@@ -132,6 +132,11 @@ struct DeleteStmt {
 struct Statement {
   enum class Kind { kSelect, kInsert, kDelete, kCommit };
   Kind kind = Kind::kSelect;
+  /// `TRACE SELECT ...`: run with a full query trace (span tree + per-
+  /// instruction recycler decisions). Only SELECT can be traced. The flag
+  /// deliberately lives OUTSIDE SelectStmt: fingerprints are computed from
+  /// the SelectStmt alone, so traced and untraced instances share one plan.
+  bool traced = false;
   SelectStmt select;  // kSelect
   InsertStmt insert;  // kInsert
   DeleteStmt del;     // kDelete

@@ -24,7 +24,8 @@ const std::map<std::string, Tok>& KeywordMap() {
       {"order", Tok::kOrder},   {"by", Tok::kBy},       {"asc", Tok::kAsc},
       {"desc", Tok::kDesc},     {"limit", Tok::kLimit}, {"as", Tok::kAs},
       {"count", Tok::kCount},   {"sum", Tok::kSum},     {"min", Tok::kMin},
-      {"max", Tok::kMax},       {"avg", Tok::kAvg}};
+      {"max", Tok::kMax},       {"avg", Tok::kAvg},
+      {"trace", Tok::kTrace}};
   return *kMap;
 }
 

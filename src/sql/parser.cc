@@ -105,6 +105,17 @@ class Parser {
         stmt.kind = Statement::Kind::kCommit;
         return stmt;
       }
+      case Tok::kTrace: {
+        // TRACE prefixes a SELECT only: DML runs under the exclusive update
+        // lock where the per-instruction recycler hook never fires.
+        Advance();
+        if (Cur().kind != Tok::kSelect)
+          return Error("SELECT after TRACE (only SELECT can be traced)");
+        stmt.kind = Statement::Kind::kSelect;
+        stmt.traced = true;
+        RDB_ASSIGN_OR_RETURN(stmt.select, Parse());
+        return stmt;
+      }
       default: {
         stmt.kind = Statement::Kind::kSelect;
         RDB_ASSIGN_OR_RETURN(stmt.select, Parse());

@@ -62,6 +62,7 @@ enum class Tok : uint8_t {
   kMin,
   kMax,
   kAvg,
+  kTrace,  ///< TRACE prefix: run the statement with a full query trace
 };
 
 struct Token {

@@ -1,0 +1,259 @@
+// Observability primitives: log2 latency-histogram bucket boundaries and
+// nearest-rank percentiles (exact at bucket edges), concurrent recording,
+// the metrics registry (counters, gauges, callback gauges, reset,
+// snapshot), both export formats, and the governance event ring.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+
+namespace recycledb::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Bucket 0 holds only 0; bucket k holds [2^(k-1), 2^k - 1].
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(2), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(3), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(4), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(7), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(8), 4u);
+  for (size_t k = 1; k < 63; ++k) {
+    const uint64_t lo = uint64_t{1} << (k - 1);
+    const uint64_t hi = (uint64_t{1} << k) - 1;
+    EXPECT_EQ(LatencyHistogram::BucketOf(lo), k) << "2^" << (k - 1);
+    EXPECT_EQ(LatencyHistogram::BucketOf(hi), k) << "2^" << k << "-1";
+  }
+  // The last bucket absorbs everything the fixed array cannot split.
+  EXPECT_EQ(LatencyHistogram::BucketOf(UINT64_MAX),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::BucketOf(uint64_t{1} << 63),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, BucketUppers) {
+  EXPECT_EQ(LatencyHistogram::BucketUpper(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(2), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(10), 1023u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(LatencyHistogram::kBuckets - 1),
+            UINT64_MAX);
+  // Every representable value is <= the upper bound of its bucket.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{5}, uint64_t{1000},
+                     uint64_t{1} << 40, UINT64_MAX}) {
+    EXPECT_LE(v, LatencyHistogram::BucketUpper(LatencyHistogram::BucketOf(v)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles.
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyAndSingleSample) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().Percentile(50), 0u);
+  EXPECT_EQ(h.snapshot().Mean(), 0.0);
+
+  h.Record(100);
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, 100u);
+  // One sample: every percentile reports its bucket's upper bound
+  // (100 lives in [64, 127]).
+  EXPECT_EQ(s.Percentile(0), 127u);
+  EXPECT_EQ(s.Percentile(50), 127u);
+  EXPECT_EQ(s.Percentile(99), 127u);
+  EXPECT_EQ(s.Percentile(100), 127u);
+}
+
+TEST(LatencyHistogramTest, PercentilesOfUniformFill) {
+  // 1..1000 uniformly: the nearest-rank p50 sample is 500 (bucket
+  // [256, 511]), the p99 sample is 990 (bucket [512, 1023]).
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.Percentile(50), 511u);
+  EXPECT_EQ(s.Percentile(90), 1023u);
+  EXPECT_EQ(s.Percentile(99), 1023u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 500.5);
+}
+
+TEST(LatencyHistogramTest, PercentileExactAtBucketEdges) {
+  // All mass in single-value buckets: percentiles are exact.
+  LatencyHistogram h;
+  for (int i = 0; i < 50; ++i) h.Record(0);
+  for (int i = 0; i < 50; ++i) h.Record(1);
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.Percentile(50), 0u);   // rank 50 is the last 0
+  EXPECT_EQ(s.Percentile(51), 1u);   // rank 51 is the first 1
+  EXPECT_EQ(s.Percentile(100), 1u);
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Record(50);
+  h.Reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().sum, 0u);
+  h.Record(7);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecording) {
+  // 8 threads x 10k samples; TSan checks the lock-free record path, the
+  // total must be exact (relaxed atomics lose no increments).
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.Record(static_cast<uint64_t>(t * kPerThread + i) % 2048);
+    });
+  }
+  for (auto& th : threads) th.join();
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : s.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, s.count);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersGaugesCallbacksAndReset) {
+  MetricsRegistry reg;
+  Counter* c = reg.AddCounter("requests");
+  Gauge* g = reg.AddGauge("occupancy");
+  LatencyHistogram* h = reg.AddHistogram("latency_us");
+  uint64_t live = 17;
+  reg.AddGaugeFn("live_value", [&live] { return live; });
+
+  c->Add(3);
+  g->Set(42);
+  h->Record(9);
+
+  RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 4u);
+  const MetricValue* mc = snap.Find("requests");
+  ASSERT_NE(mc, nullptr);
+  EXPECT_EQ(mc->kind, MetricValue::Kind::kCounter);
+  EXPECT_EQ(mc->value, 3u);
+  EXPECT_EQ(snap.Find("occupancy")->value, 42u);
+  EXPECT_EQ(snap.Find("live_value")->value, 17u);
+  EXPECT_EQ(snap.Find("latency_us")->hist.count, 1u);
+  EXPECT_EQ(snap.Find("nope"), nullptr);
+
+  live = 99;  // callback gauges read live state at snapshot time
+  EXPECT_EQ(reg.Snapshot().Find("live_value")->value, 99u);
+
+  EXPECT_EQ(reg.FindHistogram("latency_us"), h);
+  EXPECT_EQ(reg.FindHistogram("requests"), nullptr);
+
+  // Reset zeroes counters and histograms but not gauges.
+  reg.Reset();
+  snap = reg.Snapshot();
+  EXPECT_EQ(snap.Find("requests")->value, 0u);
+  EXPECT_EQ(snap.Find("latency_us")->hist.count, 0u);
+  EXPECT_EQ(snap.Find("occupancy")->value, 42u);
+  EXPECT_EQ(snap.Find("live_value")->value, 99u);
+}
+
+TEST(MetricsRegistryTest, JsonExport) {
+  MetricsRegistry reg;
+  reg.AddCounter("hits")->Add(5);
+  reg.AddGauge("size")->Set(7);
+  reg.AddHistogram("lat")->Record(100);
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hits\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"size\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"events\""), std::string::npos) << json;
+
+  std::string with_events = reg.Snapshot().ToJson("[]");
+  EXPECT_NE(with_events.find("\"events\": []"), std::string::npos)
+      << with_events;
+}
+
+TEST(MetricsRegistryTest, PrometheusExport) {
+  MetricsRegistry reg;
+  reg.AddCounter("hits")->Add(5);
+  LatencyHistogram* h = reg.AddHistogram("lat");
+  h->Record(1);
+  h->Record(100);
+  std::string prom = reg.Snapshot().ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE recycledb_hits counter"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("recycledb_hits 5"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("recycledb_lat_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("recycledb_lat_count 2"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("recycledb_lat_sum 101"), std::string::npos) << prom;
+}
+
+// ---------------------------------------------------------------------------
+// Event ring.
+// ---------------------------------------------------------------------------
+
+TEST(EventRingTest, RecordsAndWrapsOldestFirst) {
+  EventRing ring(4);
+  for (uint64_t i = 0; i < 6; ++i)
+    ring.Record(EventKind::kBorrow, static_cast<uint32_t>(i), i * 10);
+  EXPECT_EQ(ring.total_recorded(), 6u);
+  std::vector<Event> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);  // capacity bounds retention
+  // Oldest surviving first: 2, 3, 4, 5.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].actor, i + 2);
+    EXPECT_EQ(events[i].a, (i + 2) * 10);
+  }
+  ring.Clear();
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST(EventRingTest, JsonArray) {
+  EventRing ring(8);
+  ring.Record(EventKind::kShed, 3, 4096, 1024);
+  std::string json = EventsToJsonArray(ring.Snapshot());
+  EXPECT_NE(json.find("\"shed\""), std::string::npos) << json;
+  EXPECT_NE(json.find("4096"), std::string::npos) << json;
+  EXPECT_EQ(EventsToJsonArray({}), "[]");
+}
+
+TEST(EventRingTest, ConcurrentRecording) {
+  EventRing ring(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ring] {
+      for (int i = 0; i < 1000; ++i)
+        ring.Record(EventKind::kSlack, 0, static_cast<uint64_t>(i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ring.total_recorded(), 4000u);
+  EXPECT_EQ(ring.Snapshot().size(), 64u);
+}
+
+}  // namespace
+}  // namespace recycledb::obs
