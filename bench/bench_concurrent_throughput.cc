@@ -22,9 +22,13 @@
 // gauges, histograms, governance events) as a CI artifact.
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
+#include <thread>
 
 #include "bench/bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "server/query_service.h"
 #include "util/str.h"
@@ -79,8 +83,10 @@ struct Sample {
 
 /// One row of the machine-readable output (--json): a throughput sample
 /// (phase="throughput", load hot/cold), the SQL plan-cache phase
-/// (phase="sql_plan_cache"), or the mixed SELECT+DML phase
-/// (phase="sql_dml_mixed", where hit_ratio is the POST-update hit ratio).
+/// (phase="sql_plan_cache"), the mixed SELECT+DML phase
+/// (phase="sql_dml_mixed", where hit_ratio is the POST-update hit ratio), or
+/// the wire-protocol loopback phase (phase="net_loopback", where p50/p99
+/// come from the server's net_request_us histogram).
 /// check_regression.py keys rows by (phase, load, workers).
 struct JsonRow {
   std::string phase;
@@ -621,6 +627,133 @@ std::vector<JsonRow> RunTraceAblationPhase(
   return rows;
 }
 
+/// Network loopback phase: the mixed SELECT workload of the plan-cache
+/// phase, but submitted by real wire-protocol clients over 127.0.0.1 —
+/// N blocking connections multiplexed onto the shared worker pool by the
+/// poll-driven server. Every query crosses encode → TCP → decode → admission
+/// → service → result-set encode → client decode, so the reported qps is
+/// end-to-end protocol throughput and the latency percentiles come from the
+/// server's net_request_us histogram (receive-to-flush per request).
+/// Clients share one recycler pool, so the hit ratio measures
+/// cross-connection intermediate reuse — the paper's multi-user scenario
+/// over an actual socket.
+JsonRow RunNetLoopbackPhase(Catalog* cat, int workers, int n_clients,
+                            int queries_per_client) {
+  QueryService svc(cat, BenchConfig(workers));
+  net::NetConfig ncfg;
+  ncfg.port = 0;  // ephemeral
+  net::RecycleServer server(&svc, ncfg);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "net server start failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+
+  // Deterministic literal pools (no shared RNG across client threads): 12
+  // distinct query texts over 3 fingerprints, so both the plan cache and
+  // the recycle pool see heavy inter-connection commonality.
+  auto sql_for = [](int i) -> std::string {
+    int y = 1993 + (i % 4);
+    switch (i % 3) {
+      case 0:
+        return StrFormat(
+            "select count(*) from orders where o_orderdate >= date "
+            "'%d-01-01'",
+            y);
+      case 1:
+        return StrFormat(
+            "select o_orderpriority, count(*) from orders where o_orderdate "
+            "between date '%d-01-01' and date '%d-06-01' "
+            "group by o_orderpriority",
+            y, y);
+      default:
+        return StrFormat(
+            "select sum(o_totalprice) from orders where o_orderdate >= "
+            "date '%d-01-01'",
+            y);
+    }
+  };
+
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+
+  // Warm one connection through every distinct text, then measure from a
+  // clean window: the timed clients should hit the shared pool, not pay
+  // first-compile and first-execute costs.
+  {
+    net::Client warm;
+    st = warm.Connect(ccfg);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warm connect failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    for (int i = 0; i < 12; ++i) {
+      auto r = warm.Query(sql_for(i));
+      if (!r.ok()) {
+        std::fprintf(stderr, "warm query failed: %s\n",
+                     r.status().ToString().c_str());
+        std::abort();
+      }
+    }
+    warm.Close();
+  }
+  svc.recycler().ResetStats();
+  obs::LatencyHistogram* req = svc.metrics().FindHistogram("net_request_us");
+  req->Reset();
+
+  std::atomic<int> failed{0};
+  StopWatch sw;
+  std::vector<std::thread> clients;
+  clients.reserve(n_clients);
+  for (int t = 0; t < n_clients; ++t) {
+    clients.emplace_back([&, t] {
+      net::Client c;
+      if (!c.Connect(ccfg).ok()) {
+        failed.fetch_add(queries_per_client);
+        return;
+      }
+      for (int i = 0; i < queries_per_client; ++i) {
+        auto r = c.Query(sql_for(t + i));
+        if (!r.ok()) failed.fetch_add(1);
+      }
+      c.Close();
+    });
+  }
+  for (auto& th : clients) th.join();
+  double secs = sw.ElapsedSeconds();
+  server.Stop();
+  if (failed.load() != 0) {
+    std::fprintf(stderr, "net loopback: %d request(s) failed\n", failed.load());
+    std::abort();
+  }
+
+  int total = n_clients * queries_per_client;
+  RecyclerStats rs = svc.recycler().stats();
+  obs::LatencyHistogram::Snapshot hist = req->snapshot();
+  std::printf("net loopback (%d workers, %d clients x %d queries)\n", workers,
+              n_clients, queries_per_client);
+  std::printf(
+      "  qps=%.1f  p50=%lluus p99=%lluus  hit-ratio=%.2f pool-hits=%llu\n",
+      total / secs, static_cast<unsigned long long>(hist.Percentile(50)),
+      static_cast<unsigned long long>(hist.Percentile(99)),
+      rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0,
+      static_cast<unsigned long long>(rs.hits));
+
+  JsonRow row;
+  row.phase = "net_loopback";
+  row.load = "mixed";
+  row.workers = workers;
+  row.qps = total / secs;
+  row.hit_ratio =
+      rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0;
+  row.pool_hits = rs.hits;
+  row.has_latency = true;
+  row.p50_us = hist.Percentile(50);
+  row.p99_us = hist.Percentile(99);
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -703,6 +836,8 @@ int main(int argc, char** argv) {
   for (JsonRow& r : RunTraceAblationPhase(cat.get(), templates,
                                           std::min(4, max_workers), 1500))
     rows.push_back(std::move(r));
+  rows.push_back(
+      RunNetLoopbackPhase(cat.get(), std::min(4, max_workers), 4, 150));
 
   if (!json_path.empty()) {
     WriteJson(json_path, EnvSf(), max_workers,

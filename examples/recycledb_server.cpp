@@ -1,0 +1,107 @@
+// Standalone network server: loads TPC-H or SkyServer data, starts a
+// QueryService, and serves the RecycleDB wire protocol (docs/PROTOCOL.md)
+// on a TCP port. Remote clients share one plan-template cache and one
+// recycle pool, so intermediates recycle *across* connections — the
+// paper's multi-user scenario over a real socket.
+//
+//   ./recycledb_server                     # TPC-H, ephemeral port
+//   ./recycledb_server --port=5433
+//   ./recycledb_server --db=sky --workers=8
+//
+// Prints "listening on HOST:PORT" once ready (tests and scripts parse
+// this line to find an ephemeral port). Reads stdin; EOF or a "quit"
+// line shuts the server down gracefully (in-flight queries drain).
+//
+// Connect with the bundled shell:  ./sql_shell --connect=127.0.0.1:PORT
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "net/server.h"
+#include "server/query_service.h"
+#include "skyserver/skyserver.h"
+#include "tpch/tpch.h"
+
+using namespace recycledb;  // NOLINT
+
+int main(int argc, char** argv) {
+  std::string db = "tpch";
+  std::string host = "127.0.0.1";
+  double sf = 0.01;
+  if (const char* v = std::getenv("RDB_TPCH_SF")) sf = std::atof(v);
+  size_t objects = 50000;
+  int workers = 4;
+  int port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--db=", 5) == 0) db = a + 5;
+    else if (std::strncmp(a, "--sf=", 5) == 0) sf = std::atof(a + 5);
+    else if (std::strncmp(a, "--objects=", 10) == 0)
+      objects = static_cast<size_t>(std::atoll(a + 10));
+    else if (std::strncmp(a, "--workers=", 10) == 0)
+      workers = std::atoi(a + 10);
+    else if (std::strncmp(a, "--port=", 7) == 0) port = std::atoi(a + 7);
+    else if (std::strncmp(a, "--host=", 7) == 0) host = a + 7;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--db=tpch|sky] [--sf=N] [--objects=N] "
+                   "[--workers=N] [--host=H] [--port=P]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "bad --port=%d\n", port);
+    return 2;
+  }
+
+  auto cat = std::make_unique<Catalog>();
+  std::printf("loading %s...\n", db.c_str());
+  Status st;
+  if (db == "sky") {
+    skyserver::SkyConfig scfg;
+    scfg.n_objects = objects;
+    st = skyserver::LoadSkyServer(cat.get(), scfg);
+  } else {
+    tpch::TpchConfig tcfg;
+    tcfg.scale_factor = sf;
+    st = tpch::LoadTpch(cat.get(), tcfg);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  ServiceConfig cfg;
+  cfg.num_workers = workers;
+  QueryService svc(std::move(cat), cfg);
+
+  net::NetConfig ncfg;
+  ncfg.host = host;
+  ncfg.port = static_cast<uint16_t>(port);
+  net::RecycleServer server(&svc, ncfg);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u (%d workers)\n", host.c_str(),
+              server.port(), svc.num_workers());
+  std::printf("type \"quit\" (or EOF) to stop\n");
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    if (!line.empty())
+      std::printf("unknown command %s (try \"quit\")\n", line.c_str());
+  }
+
+  std::printf("draining %zu connection(s)...\n", server.connection_count());
+  server.Stop();
+  std::printf("bye\n");
+  return 0;
+}

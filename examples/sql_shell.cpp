@@ -6,6 +6,7 @@
 //   ./sql_shell                    # TPC-H at RDB_TPCH_SF (default 0.01)
 //   ./sql_shell --db=sky           # SkyServer photoobj/elredshift/dbobjects
 //   ./sql_shell --workers=8
+//   ./sql_shell --connect=HOST:PORT  # remote mode against recycledb_server
 //
 // Shell commands:
 //   .help            this text
@@ -49,6 +50,7 @@
 #include <iostream>
 #include <string>
 
+#include "net/client.h"
 #include "server/query_service.h"
 #include "skyserver/skyserver.h"
 #include "sql/parser.h"
@@ -179,6 +181,122 @@ void PrintHelp() {
       "  DELETE FROM t [WHERE ...] | COMMIT\n");
 }
 
+/// Remote mode: the same REPL surface served over the wire protocol.
+/// Session state (autocommit, trace) lives on the server via SET_OPTION;
+/// results come back as typed result sets, so output matches local mode.
+int RunRemote(const std::string& host, int port) {
+  net::ClientConfig ccfg;
+  ccfg.host = host;
+  ccfg.port = static_cast<uint16_t>(port);
+  net::Client client;
+  Status st = client.Connect(ccfg);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "connected to %s:%d (protocol v%u, window %u). \".help\" lists "
+      "commands.\n",
+      host.c_str(), port, client.negotiated_version(),
+      client.server_max_inflight());
+
+  std::string line;
+  while (true) {
+    std::printf("sql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    line = line.substr(b);
+
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".help") {
+      std::printf(
+          ".autocommit on|off  per-statement COMMIT after DML (server side)\n"
+          ".trace on|off    trace every following SELECT on the server\n"
+          ".metrics [json|prom]  the server's metrics export\n"
+          ".ping            round-trip liveness probe\n"
+          ".quit            exit\n"
+          "anything else is sent to the server as SQL\n");
+      continue;
+    }
+    if (line == ".ping") {
+      StopWatch sw;
+      st = client.Ping();
+      if (st.ok())
+        std::printf("pong (%.2f ms)\n", sw.ElapsedSeconds() * 1e3);
+      else
+        std::printf("error: %s\n", st.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".autocommit", 0) == 0 || line.rfind(".trace", 0) == 0) {
+      bool is_ac = line[1] == 'a';
+      std::string arg = line.substr(is_ac ? 11 : 6);
+      size_t a = arg.find_first_not_of(" \t");
+      arg = a == std::string::npos ? "" : arg.substr(a);
+      if (arg != "on" && arg != "off") {
+        std::printf("usage: .%s on|off\n", is_ac ? "autocommit" : "trace");
+        continue;
+      }
+      st = client.SetOption(is_ac ? "autocommit" : "trace", arg == "on");
+      if (st.ok())
+        std::printf("%s is %s\n", is_ac ? "autocommit" : "trace",
+                    arg.c_str());
+      else
+        std::printf("error: %s\n", st.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".metrics", 0) == 0) {
+      std::string arg = line.substr(8);
+      size_t a = arg.find_first_not_of(" \t");
+      arg = a == std::string::npos ? "" : arg.substr(a);
+      if (!arg.empty() && arg != "json" && arg != "prom") {
+        std::printf("usage: .metrics [json|prom]\n");
+        continue;
+      }
+      auto m = client.Metrics(/*prometheus=*/arg == "prom");
+      if (m.ok())
+        std::printf("%s\n", m.value().c_str());
+      else
+        std::printf("error: %s\n", m.status().ToString().c_str());
+      continue;
+    }
+    if (line[0] == '.') {
+      std::printf("%s is not available in remote mode\n",
+                  line.substr(0, line.find_first_of(" \t")).c_str());
+      continue;
+    }
+
+    // SELECT/TRACE goes through Query (decoded result set + optional
+    // trace); everything else is DML through Execute, with autocommit
+    // applied server-side per the session option.
+    bool is_select = true;
+    if (auto parsed = sql::ParseStatement(line); parsed.ok())
+      is_select = parsed.value().kind == sql::Statement::Kind::kSelect;
+    StopWatch sw;
+    if (is_select) {
+      auto r = client.Query(line);
+      double ms = sw.ElapsedSeconds() * 1e3;
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s(%.2f ms)\n", r.value().result.ToString().c_str(), ms);
+      if (!r.value().trace.empty()) std::printf("%s", r.value().trace.c_str());
+    } else {
+      auto r = client.Execute(line);
+      double ms = sw.ElapsedSeconds() * 1e3;
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s(%.2f ms)\n", r.value().ToString().c_str(), ms);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,6 +305,7 @@ int main(int argc, char** argv) {
   if (const char* v = std::getenv("RDB_TPCH_SF")) sf = std::atof(v);
   size_t objects = 50000;
   int workers = 4;
+  std::string connect;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--db=", 5) == 0) db = a + 5;
@@ -194,13 +313,26 @@ int main(int argc, char** argv) {
     else if (std::strncmp(a, "--objects=", 10) == 0)
       objects = static_cast<size_t>(std::atoll(a + 10));
     else if (std::strncmp(a, "--workers=", 10) == 0) workers = std::atoi(a + 10);
+    else if (std::strncmp(a, "--connect=", 10) == 0) connect = a + 10;
     else {
       std::fprintf(stderr,
                    "usage: %s [--db=tpch|sky] [--sf=N] [--objects=N] "
-                   "[--workers=N]\n",
+                   "[--workers=N] [--connect=HOST:PORT]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!connect.empty()) {
+    size_t colon = connect.rfind(':');
+    int port = colon == std::string::npos
+                   ? 0
+                   : std::atoi(connect.c_str() + colon + 1);
+    if (colon == std::string::npos || port <= 0 || port > 65535) {
+      std::fprintf(stderr, "--connect wants HOST:PORT, got '%s'\n",
+                   connect.c_str());
+      return 2;
+    }
+    return RunRemote(connect.substr(0, colon), port);
   }
 
   auto cat = std::make_unique<Catalog>();

@@ -197,4 +197,11 @@ std::vector<ResourceGovernor::DomainStats> ResourceGovernor::stats() const {
   return out;
 }
 
+uint64_t ResourceGovernor::TotalPressureEpoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t sum = 0;
+  for (const auto& d : domains_) sum += d->pressure_epoch();
+  return sum;
+}
+
 }  // namespace recycledb

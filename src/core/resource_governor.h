@@ -245,6 +245,12 @@ class ResourceGovernor {
   /// `.gov` command.
   std::vector<DomainStats> stats() const;
 
+  /// Sum of every domain's pressure epoch: a cheap monotone signal that
+  /// advances whenever an entitled consumer anywhere was starved. Admission
+  /// control (the network server) watches it to decide when to shed load —
+  /// cheaper than stats(), which copies every lease.
+  uint64_t TotalPressureEpoch() const;
+
  private:
   mutable std::mutex mu_;  ///< guards domain creation only
   std::vector<std::unique_ptr<Domain>> domains_;

@@ -128,6 +128,10 @@ Result<BatPtr> CalcYear(const BatPtr& b);
 /// sorted property (making later range selects over it zero-copy views).
 Result<BatPtr> SortTail(const BatPtr& b);
 
+/// Stable descending sort by tail (ORDER BY ... DESC). The result does NOT
+/// carry the sorted property — that property means ascending everywhere.
+Result<BatPtr> SortTailRev(const BatPtr& b);
+
 /// Concatenates bats with identical logical types, in argument order.
 Result<BatPtr> Concat(const std::vector<BatPtr>& bats);
 

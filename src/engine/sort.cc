@@ -33,6 +33,25 @@ Result<BatPtr> SortTail(const BatPtr& b) {
   });
 }
 
+Result<BatPtr> SortTailRev(const BatPtr& b) {
+  const BatSide& tail = b->tail();
+  size_t n = b->size();
+  TypeTag t = tail.LogicalType();
+  return VisitPhysical(t, [&](auto tag) -> Result<BatPtr> {
+    using T = typename decltype(tag)::type;
+    AnySideReader<T> reader(tail);
+    SelVector sel(n);
+    std::iota(sel.begin(), sel.end(), 0u);
+    // Stable on the ORIGINAL order (like SortTail): ties keep their input
+    // order rather than being reversed, which is what SQL implementations
+    // conventionally produce for ORDER BY ... DESC.
+    std::stable_sort(sel.begin(), sel.end(), [&](uint32_t a, uint32_t c) {
+      return reader[c] < reader[a];
+    });
+    return Bat::Make(TakeSide(b->head(), n, sel), TakeSide(tail, n, sel), n);
+  });
+}
+
 Result<BatPtr> Concat(const std::vector<BatPtr>& bats) {
   if (bats.empty()) return Status::InvalidArgument("concat of zero bats");
   if (bats.size() == 1) return bats[0];

@@ -231,6 +231,11 @@ Result<std::vector<MalValue>> Interpreter::ExecInstr(
       out.emplace_back(std::move(b));
       break;
     }
+    case Opcode::kSortTailRev: {
+      RDB_ASSIGN_OR_RETURN(BatPtr b, SortTailRev(a[0].bat()));
+      out.emplace_back(std::move(b));
+      break;
+    }
     case Opcode::kScalarMul:
       out.emplace_back(
           Scalar::Dbl(a[0].scalar().ToDouble() * a[1].scalar().ToDouble()));

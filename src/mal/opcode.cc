@@ -82,6 +82,8 @@ const char* OpcodeName(Opcode op) {
       return "batcalc.ge";
     case Opcode::kSortTail:
       return "algebra.sortTail";
+    case Opcode::kSortTailRev:
+      return "algebra.sortReverseTail";
     case Opcode::kScalarMul:
       return "calc.mul";
     case Opcode::kAddMonths:

@@ -68,7 +68,8 @@ enum class Opcode : uint8_t {
   kCmpGe,
 
   // ordering
-  kSortTail,  // (b) -> bat sorted by tail
+  kSortTail,     // (b) -> bat sorted ascending by tail
+  kSortTailRev,  // (b) -> bat sorted descending by tail
 
   // scalar arithmetic (deterministic, never monitored)
   kScalarMul,  // (a, b) -> dbl scalar product

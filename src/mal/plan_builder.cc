@@ -205,6 +205,10 @@ int PlanBuilder::CmpGe(int l, int r) {
 
 int PlanBuilder::SortTail(int b) { return Emit(Opcode::kSortTail, {U16(b)}); }
 
+int PlanBuilder::SortTailRev(int b) {
+  return Emit(Opcode::kSortTailRev, {U16(b)});
+}
+
 int PlanBuilder::ScalarMul(int l, int r) {
   return Emit(Opcode::kScalarMul, {U16(l), U16(r)});
 }

@@ -103,6 +103,7 @@ class PlanBuilder {
 
   // --- ordering ------------------------------------------------------------
   int SortTail(int b);
+  int SortTailRev(int b);
 
   // --- scalar arithmetic -----------------------------------------------------
   int ScalarMul(int l, int r);

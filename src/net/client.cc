@@ -1,0 +1,347 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/str.h"
+
+namespace recycledb::net {
+
+namespace {
+
+constexpr const char kBusyPrefix[] = "BUSY: ";
+
+timeval MsToTimeval(double ms) {
+  timeval tv{};
+  if (ms > 0) {
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (ms - static_cast<double>(tv.tv_sec) * 1000) * 1000);
+  }
+  return tv;
+}
+
+/// One non-blocking connect attempt bounded by `timeout_ms`. Returns the
+/// connected fd, -1 on refusal (worth retrying), or -2 on hard failure.
+int TryConnect(const sockaddr_in& addr, double timeout_ms,
+               std::string* error) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = StrFormat("socket: %s", std::strerror(errno));
+    return -2;
+  }
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc <= 0) {
+      *error = rc == 0 ? "connect timed out"
+                       : StrFormat("poll: %s", std::strerror(errno));
+      close(fd);
+      return -2;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    rc = err == 0 ? 0 : -1;
+    errno = err;
+  }
+  if (rc != 0) {
+    *error = StrFormat("connect: %s", std::strerror(errno));
+    close(fd);
+    return errno == ECONNREFUSED ? -1 : -2;
+  }
+  fcntl(fd, F_SETFL, flags);  // back to blocking
+  return fd;
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder(kDefaultMaxFrameBytes);
+  version_ = 0;
+  server_max_inflight_ = 0;
+}
+
+bool Client::IsBusy(const Status& st) {
+  return !st.ok() &&
+         st.message().compare(0, sizeof(kBusyPrefix) - 1, kBusyPrefix) == 0;
+}
+
+Status Client::Connect(const ClientConfig& cfg) {
+  Close();
+  cfg_ = cfg;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg.port);
+  if (inet_pton(AF_INET, cfg.host.c_str(), &addr.sin_addr) != 1)
+    return Status::InvalidArgument("bad host '" + cfg.host + "'");
+
+  std::string error;
+  int fd = -1;
+  for (int attempt = 0;; ++attempt) {
+    fd = TryConnect(addr, cfg.connect_timeout_ms, &error);
+    if (fd >= 0) break;
+    // ECONNREFUSED usually means the server is not up *yet* — retry.
+    if (fd == -1 && attempt < cfg.connect_retries) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(cfg.retry_delay_ms));
+      continue;
+    }
+    return Status::Internal(StrFormat("%s:%u: %s", cfg.host.c_str(),
+                                      cfg.port, error.c_str()));
+  }
+
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv = MsToTimeval(cfg.io_timeout_ms);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  fd_ = fd;
+
+  const uint64_t rid = next_rid_++;
+  HelloPayload hello;
+  Status st = SendRequest(FrameKind::kHello, rid, EncodeHello(hello));
+  Frame f;
+  if (st.ok()) st = ReadResponse(rid, &f);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  if (f.kind == FrameKind::kError) {
+    auto err = DecodeError(f.payload);
+    Close();
+    return Status::Internal(
+        "handshake rejected: " +
+        (err.ok() ? err.value().message : err.status().message()));
+  }
+  if (f.kind != FrameKind::kWelcome) {
+    Close();
+    return Status::Internal(StrFormat("handshake: unexpected %s frame",
+                                      FrameKindName(f.kind)));
+  }
+  auto welcome = DecodeWelcome(f.payload);
+  if (!welcome.ok()) {
+    Close();
+    return welcome.status();
+  }
+  version_ = welcome.value().version;
+  server_max_inflight_ = welcome.value().max_inflight;
+  return Status::OK();
+}
+
+Status Client::SendRequest(FrameKind kind, uint64_t rid,
+                           const std::string& payload) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  Frame f;
+  f.kind = kind;
+  f.request_id = rid;
+  f.payload = payload;
+  std::string bytes = EncodeFrame(f);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = send(fd_, bytes.data() + off, bytes.size() - off,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Status st = Status::Internal(
+        errno == EAGAIN || errno == EWOULDBLOCK
+            ? "send timed out"
+            : StrFormat("send: %s", std::strerror(errno)));
+    Close();
+    return st;
+  }
+  return Status::OK();
+}
+
+Status Client::FillDecoder() {
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) {
+      Close();
+      return Status::Internal("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    Status st = Status::Internal(
+        errno == EAGAIN || errno == EWOULDBLOCK
+            ? "receive timed out"
+            : StrFormat("recv: %s", std::strerror(errno)));
+    Close();
+    return st;
+  }
+}
+
+Status Client::ReadResponse(uint64_t rid, Frame* out) {
+  while (true) {
+    Frame f;
+    FrameDecoder::Outcome o = decoder_.Next(&f);
+    if (o == FrameDecoder::Outcome::kError) {
+      Status st =
+          Status::Internal("protocol error from server: " + decoder_.error());
+      Close();
+      return st;
+    }
+    if (o == FrameDecoder::Outcome::kNeedMore) {
+      RDB_RETURN_NOT_OK(FillDecoder());
+      continue;
+    }
+    if (f.request_id == rid || f.kind == FrameKind::kError) {
+      *out = std::move(f);
+      return Status::OK();
+    }
+    // A response to some other id (e.g. a late CANCELLED): drop it.
+  }
+}
+
+namespace {
+
+/// Maps a non-RESULT response frame to a Status; RESULT returns OK and
+/// leaves decoding to the caller.
+Status FrameToStatus(const Frame& f) {
+  switch (f.kind) {
+    case FrameKind::kResult:
+    case FrameKind::kOk:
+    case FrameKind::kPong:
+    case FrameKind::kMetricsResult:
+      return Status::OK();
+    case FrameKind::kBusy: {
+      Cursor c{&f.payload};
+      std::string reason;
+      if (!GetString(&c, &reason).ok()) reason = "server busy";
+      return Status::OutOfRange(std::string(kBusyPrefix) + reason);
+    }
+    case FrameKind::kCancelled:
+      return Status::Internal("request was cancelled");
+    case FrameKind::kError: {
+      auto err = DecodeError(f.payload);
+      if (!err.ok()) return err.status();
+      return MakeStatus(err.value().code, err.value().message);
+    }
+    default:
+      return Status::Internal(StrFormat("unexpected %s response frame",
+                                        FrameKindName(f.kind)));
+  }
+}
+
+}  // namespace
+
+Result<Client::Response> Client::Query(const std::string& sql) {
+  const uint64_t rid = next_rid_++;
+  std::string payload;
+  PutString(&payload, sql);
+  RDB_RETURN_NOT_OK(SendRequest(FrameKind::kQuery, rid, payload));
+  Frame f;
+  RDB_RETURN_NOT_OK(ReadResponse(rid, &f));
+  RDB_RETURN_NOT_OK(FrameToStatus(f));
+  if (f.kind != FrameKind::kResult)
+    return Status::Internal(StrFormat("expected RESULT, got %s",
+                                      FrameKindName(f.kind)));
+  Cursor c{&f.payload};
+  std::string rs_bytes;
+  RDB_RETURN_NOT_OK(GetString(&c, &rs_bytes));
+  Response resp;
+  RDB_ASSIGN_OR_RETURN(resp.result, DecodeResultSet(rs_bytes));
+  if (f.flags & kFlagHasTrace) RDB_RETURN_NOT_OK(GetString(&c, &resp.trace));
+  return resp;
+}
+
+Result<QueryResult> Client::Execute(const std::string& sql) {
+  const uint64_t rid = next_rid_++;
+  std::string payload;
+  PutString(&payload, sql);
+  RDB_RETURN_NOT_OK(SendRequest(FrameKind::kDml, rid, payload));
+  Frame f;
+  RDB_RETURN_NOT_OK(ReadResponse(rid, &f));
+  RDB_RETURN_NOT_OK(FrameToStatus(f));
+  if (f.kind != FrameKind::kResult)
+    return Status::Internal(StrFormat("expected RESULT, got %s",
+                                      FrameKindName(f.kind)));
+  Cursor c{&f.payload};
+  std::string rs_bytes;
+  RDB_RETURN_NOT_OK(GetString(&c, &rs_bytes));
+  return DecodeResultSet(rs_bytes);
+}
+
+Status Client::Ping() {
+  const uint64_t rid = next_rid_++;
+  RDB_RETURN_NOT_OK(SendRequest(FrameKind::kPing, rid, ""));
+  Frame f;
+  RDB_RETURN_NOT_OK(ReadResponse(rid, &f));
+  RDB_RETURN_NOT_OK(FrameToStatus(f));
+  return f.kind == FrameKind::kPong
+             ? Status::OK()
+             : Status::Internal(StrFormat("expected PONG, got %s",
+                                          FrameKindName(f.kind)));
+}
+
+Result<std::string> Client::Metrics(bool prometheus) {
+  const uint64_t rid = next_rid_++;
+  std::string payload;
+  PutU8(&payload, prometheus ? 1 : 0);
+  RDB_RETURN_NOT_OK(SendRequest(FrameKind::kMetrics, rid, payload));
+  Frame f;
+  RDB_RETURN_NOT_OK(ReadResponse(rid, &f));
+  RDB_RETURN_NOT_OK(FrameToStatus(f));
+  if (f.kind != FrameKind::kMetricsResult)
+    return Status::Internal(StrFormat("expected METRICS_RESULT, got %s",
+                                      FrameKindName(f.kind)));
+  Cursor c{&f.payload};
+  std::string text;
+  RDB_RETURN_NOT_OK(GetString(&c, &text));
+  return text;
+}
+
+Status Client::SetOption(const std::string& name, bool on) {
+  const uint64_t rid = next_rid_++;
+  std::string payload;
+  PutString(&payload, name);
+  PutString(&payload, on ? "on" : "off");
+  RDB_RETURN_NOT_OK(SendRequest(FrameKind::kSetOption, rid, payload));
+  Frame f;
+  RDB_RETURN_NOT_OK(ReadResponse(rid, &f));
+  RDB_RETURN_NOT_OK(FrameToStatus(f));
+  return f.kind == FrameKind::kOk
+             ? Status::OK()
+             : Status::Internal(StrFormat("expected OK, got %s",
+                                          FrameKindName(f.kind)));
+}
+
+Status Client::Cancel(uint64_t target_request_id) {
+  const uint64_t rid = next_rid_++;
+  std::string payload;
+  PutU64(&payload, target_request_id);
+  RDB_RETURN_NOT_OK(SendRequest(FrameKind::kCancel, rid, payload));
+  Frame f;
+  RDB_RETURN_NOT_OK(ReadResponse(rid, &f));
+  return FrameToStatus(f);
+}
+
+}  // namespace recycledb::net

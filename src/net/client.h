@@ -1,0 +1,99 @@
+#ifndef RECYCLEDB_NET_CLIENT_H_
+#define RECYCLEDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace recycledb::net {
+
+/// Client connection settings.
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Per-attempt connect timeout.
+  double connect_timeout_ms = 5000;
+  /// Send/receive timeout for each blocking call.
+  double io_timeout_ms = 30000;
+  /// Extra connect attempts while the server refuses the connection (it
+  /// may still be binding); waits retry_delay_ms between attempts.
+  int connect_retries = 40;
+  double retry_delay_ms = 50;
+};
+
+/// Blocking client for the RecycleDB wire protocol: one TCP connection,
+/// one request at a time. Connect() performs the HELLO/WELCOME handshake;
+/// each call sends a request frame and blocks for its response. Results
+/// arrive as real QueryResult objects (typed columns, dense sides), so
+/// client-side rendering matches the in-process result byte for byte.
+///
+/// Not thread-safe: callers serialise access externally.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const ClientConfig& cfg);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  uint8_t negotiated_version() const { return version_; }
+  /// The server's advertised per-connection admission window.
+  uint32_t server_max_inflight() const { return server_max_inflight_; }
+
+  struct Response {
+    QueryResult result;
+    /// Trace text when the server traced the query (TRACE SELECT or the
+    /// session trace option); empty otherwise.
+    std::string trace;
+  };
+
+  /// Runs a SELECT / TRACE SELECT and decodes the typed result set.
+  Result<Response> Query(const std::string& sql);
+
+  /// Runs a DML statement (INSERT / DELETE / COMMIT).
+  Result<QueryResult> Execute(const std::string& sql);
+
+  Status Ping();
+
+  /// Fetches the server's metrics dump (JSON or Prometheus text).
+  Result<std::string> Metrics(bool prometheus);
+
+  /// Sets a session option ("autocommit" or "trace") on or off.
+  Status SetOption(const std::string& name, bool on);
+
+  /// Requests cancellation of an earlier request id. With this blocking
+  /// client every call completes before the next starts, so this is mostly
+  /// useful against ids issued on other connections' behalf in tests.
+  Status Cancel(uint64_t target_request_id);
+
+  /// The request id the next request will use (ids are per-connection).
+  uint64_t next_request_id() const { return next_rid_; }
+
+  /// True for the server's admission-control rejection: back off and
+  /// retry.
+  static bool IsBusy(const Status& st);
+
+ private:
+  Status SendRequest(FrameKind kind, uint64_t rid, const std::string& payload);
+  /// Reads frames until one answers `rid`; responses for other request ids
+  /// are discarded (this client never has two requests outstanding).
+  Status ReadResponse(uint64_t rid, Frame* out);
+  Status ReadBytes(char* buf, size_t n);
+  Status FillDecoder();
+
+  int fd_ = -1;
+  ClientConfig cfg_;
+  uint8_t version_ = 0;
+  uint32_t server_max_inflight_ = 0;
+  uint64_t next_rid_ = 1;
+  FrameDecoder decoder_{kDefaultMaxFrameBytes};
+};
+
+}  // namespace recycledb::net
+
+#endif  // RECYCLEDB_NET_CLIENT_H_

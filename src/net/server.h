@@ -1,0 +1,221 @@
+#ifndef RECYCLEDB_NET_SERVER_H_
+#define RECYCLEDB_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.h"
+#include "server/query_service.h"
+
+namespace recycledb::net {
+
+/// Network front-end configuration.
+struct NetConfig {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  int max_connections = 64;
+  /// Per-connection admission window: how many requests may be submitted
+  /// into the QueryService at once. Advertised in WELCOME.
+  uint32_t max_inflight_per_conn = 8;
+  /// Requests parked per connection beyond the window before BUSY.
+  uint32_t max_pending_per_conn = 32;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Admission control under governor pressure: while any budget domain's
+  /// pressure epoch advanced within the last `pressure_window_ms`, the
+  /// submit window shrinks to `pressure_inflight` and pending parking is
+  /// disabled — overload turns into prompt BUSY responses instead of a
+  /// growing queue.
+  uint32_t pressure_inflight = 1;
+  double pressure_window_ms = 250;
+  /// Test seam: overrides the governor pressure-epoch source.
+  std::function<uint64_t()> pressure_epoch_fn;
+};
+
+/// The wire front end of a QueryService: one listener plus one poll-driven
+/// I/O loop multiplexes every connection onto the service's worker pool —
+/// no thread per connection.
+///
+/// ## Threading model
+///
+///  - The I/O thread owns every socket and all per-connection state:
+///    non-blocking accept/read/write, frame decode, admission control, and
+///    response encoding all happen there.
+///  - SELECT-path requests go through QueryService::SubmitSqlAsync; the
+///    completion callback (on a service worker) posts into a completion
+///    queue and wakes the I/O loop through a self-pipe.
+///  - DML requests run on ONE dedicated executor thread (they block on the
+///    exclusive update lock, which must never stall the I/O loop), with
+///    per-session autocommit applied there.
+///  - Stop() closes the listener, fails requests still parked in pending
+///    queues, then drains: every submitted request's completion is awaited,
+///    encoded, and flushed before the I/O thread exits. The wait is purely
+///    event-driven (completions wake the loop); no sleeps.
+///
+/// The server registers its metrics (connection gauge/counters, decode /
+/// queue / request latency histograms, queries_cancelled) into the
+/// service's MetricsRegistry, so `.metrics` and the Prometheus export cover
+/// the network layer. The QueryService must outlive the server.
+class RecycleServer {
+ public:
+  explicit RecycleServer(QueryService* svc, NetConfig cfg = {});
+  ~RecycleServer();
+
+  RecycleServer(const RecycleServer&) = delete;
+  RecycleServer& operator=(const RecycleServer&) = delete;
+
+  /// Binds, listens, and starts the I/O + DML threads. Fails cleanly on
+  /// bind errors (port in use, bad host).
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, fails parked requests, drains
+  /// in-flight ones (responses are flushed), joins both threads.
+  /// Deterministic and idempotent.
+  void Stop();
+
+  /// The bound TCP port (after a successful Start).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Live connection count (also exported as net_connections_active).
+  size_t connection_count() const {
+    return conn_gauge_value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ReqState {
+    bool cancelled = false;
+    double recv_ms = 0;
+  };
+  struct PendingReq {
+    uint64_t rid = 0;
+    bool is_dml = false;
+    std::string sql;
+    double recv_ms = 0;
+  };
+  struct Conn {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    std::string wbuf;  ///< encoded-but-unsent bytes
+    size_t woff = 0;   ///< sent prefix of wbuf
+    bool hello_done = false;
+    bool autocommit = true;
+    bool trace_all = false;
+    bool stop_reading = false;
+    bool close_after_flush = false;
+    uint32_t inflight = 0;              ///< submitted, response not yet sent
+    std::deque<PendingReq> pending;     ///< admitted, awaiting a window slot
+    std::unordered_map<uint64_t, ReqState> submitted;
+
+    explicit Conn(size_t max_frame) : decoder(max_frame) {}
+  };
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t rid = 0;
+    Result<QueryResult> result;
+  };
+  struct DmlJob {
+    uint64_t conn_id = 0;
+    uint64_t rid = 0;
+    std::string sql;
+    bool autocommit = true;
+  };
+
+  void IoLoop();
+  void DmlLoop();
+
+  void AcceptNew();
+  void ReadConn(Conn* conn);
+  void HandleFrame(Conn* conn, Frame frame);
+  void HandleRequest(Conn* conn, uint64_t rid, bool is_dml, std::string sql);
+  void HandleCancel(Conn* conn, const Frame& frame);
+  void SubmitWhileOpen(Conn* conn);
+  void Submit(Conn* conn, PendingReq req);
+  void ProcessCompletions();
+  void CompleteOne(Completion c);
+  void SendFrame(Conn* conn, FrameKind kind, uint64_t rid,
+                 std::string payload, uint8_t flags = 0);
+  void SendError(Conn* conn, uint64_t rid, const Status& st);
+  void FlushConn(Conn* conn);
+  void CloseConn(uint64_t conn_id);
+  void BeginDrain();
+  bool DrainComplete() const;
+  void SetConnGauge(size_t n);
+
+  /// Posts a finished request's result and wakes the I/O loop. Safe from
+  /// any thread; the wake write happens under the completion mutex so the
+  /// I/O loop cannot observe the completion before the poster is done
+  /// touching server state (shutdown safety).
+  void PostCompletion(uint64_t conn_id, uint64_t rid, Result<QueryResult> r);
+  void WakeLocked();
+
+  /// True while the governor reported pressure within the last
+  /// pressure_window_ms (see NetConfig). I/O-thread only.
+  bool PressureActive();
+  uint32_t EffectiveWindow();
+  size_t EffectivePendingCap();
+
+  QueryService* svc_;
+  NetConfig cfg_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool stopped_ = false;  ///< Stop() ran to completion (caller thread)
+
+  // I/O-thread-owned state.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+  bool draining_ = false;
+  uint64_t last_pressure_epoch_ = 0;
+  double pressure_until_ms_ = 0;
+
+  /// Submitted-but-unanswered requests across all connections (including
+  /// ones whose connection died); drain waits for it to reach zero.
+  std::atomic<size_t> total_inflight_{0};
+
+  std::mutex comp_mu_;
+  std::deque<Completion> completions_;
+
+  std::mutex dml_mu_;
+  std::condition_variable dml_cv_;
+  std::deque<DmlJob> dml_queue_;
+  bool dml_stop_ = false;
+
+  std::atomic<size_t> conn_gauge_value_{0};
+
+  // Registry-owned metrics (registered into the service's registry).
+  obs::Gauge* g_connections_ = nullptr;
+  obs::Counter* c_conn_opened_ = nullptr;
+  obs::Counter* c_conn_closed_ = nullptr;
+  obs::Counter* c_requests_ = nullptr;
+  obs::Counter* c_busy_ = nullptr;
+  obs::Counter* c_proto_errors_ = nullptr;
+  obs::Counter* c_cancelled_ = nullptr;
+  obs::Counter* c_bytes_read_ = nullptr;
+  obs::Counter* c_bytes_written_ = nullptr;
+  obs::LatencyHistogram* h_decode_us_ = nullptr;
+  obs::LatencyHistogram* h_queue_us_ = nullptr;
+  obs::LatencyHistogram* h_request_us_ = nullptr;
+
+  std::thread io_thread_;
+  std::thread dml_thread_;
+};
+
+}  // namespace recycledb::net
+
+#endif  // RECYCLEDB_NET_SERVER_H_

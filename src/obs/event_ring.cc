@@ -19,6 +19,8 @@ const char* EventKindName(EventKind k) {
       return "invalidate";
     case EventKind::kPropagate:
       return "propagate";
+    case EventKind::kCancel:
+      return "cancel";
   }
   return "?";
 }

@@ -20,6 +20,7 @@ enum class EventKind : uint8_t {
   kPlanEvict,   ///< plan cache dropped an LRU entry for capacity
   kInvalidate,  ///< commit/DDL invalidated pool + plan-cache state
   kPropagate,   ///< insert-only commit refreshed pool entries (§6.3)
+  kCancel,      ///< a client cancelled an in-flight or queued request
 };
 
 const char* EventKindName(EventKind k);

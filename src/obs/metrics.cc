@@ -159,6 +159,13 @@ std::string RegistrySnapshot::ToPrometheus(const std::string& prefix) const {
 
 Counter* MetricsRegistry::AddCounter(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Registration is idempotent per name: a consumer re-attached to a
+  // long-lived registry (e.g. a restarted network server over one service)
+  // keeps appending to the metric it registered before instead of creating
+  // a same-named duplicate in every export.
+  for (const Item& item : items_)
+    if (item.counter != nullptr && item.name == name)
+      return item.counter.get();
   Item item;
   item.name = std::move(name);
   item.kind = MetricValue::Kind::kCounter;
@@ -170,6 +177,8 @@ Counter* MetricsRegistry::AddCounter(std::string name) {
 
 Gauge* MetricsRegistry::AddGauge(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
+  for (const Item& item : items_)
+    if (item.gauge != nullptr && item.name == name) return item.gauge.get();
   Item item;
   item.name = std::move(name);
   item.kind = MetricValue::Kind::kGauge;
@@ -181,6 +190,8 @@ Gauge* MetricsRegistry::AddGauge(std::string name) {
 
 LatencyHistogram* MetricsRegistry::AddHistogram(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
+  for (const Item& item : items_)
+    if (item.hist != nullptr && item.name == name) return item.hist.get();
   Item item;
   item.name = std::move(name);
   item.kind = MetricValue::Kind::kHistogram;

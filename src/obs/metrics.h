@@ -131,7 +131,10 @@ struct RegistrySnapshot {
 /// snapshotting) takes a mutex; the returned metric objects are stable
 /// pointers whose hot-path operations are lock-free. Gauges may instead be
 /// registered as callbacks evaluated at snapshot time (pool occupancy and
-/// similar live values).
+/// similar live values). Registering a name twice with the same kind
+/// returns the existing metric (consumers that detach and re-attach — a
+/// restarted network server over one service — resume their counters
+/// instead of duplicating export lines).
 class MetricsRegistry {
  public:
   Counter* AddCounter(std::string name);

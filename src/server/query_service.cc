@@ -132,12 +132,21 @@ std::shared_ptr<obs::QueryTrace> QueryService::MaybeTrace(
   return std::make_shared<obs::QueryTrace>(statement, /*sampled=*/!forced);
 }
 
+void QueryService::ResolveTask(Task* task, Result<QueryResult> r) {
+  if (task->done) {
+    task->done(std::move(r));
+  } else {
+    task->promise.set_value(std::move(r));
+  }
+}
+
 std::future<Result<QueryResult>> QueryService::Enqueue(Task t) {
-  std::future<Result<QueryResult>> fut = t.promise.get_future();
+  std::future<Result<QueryResult>> fut =
+      t.done ? std::future<Result<QueryResult>>() : t.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
-      t.promise.set_value(Status::Internal("query service is shut down"));
+      ResolveTask(&t, Status::Internal("query service is shut down"));
       return fut;
     }
     c_submitted_->Add(1);
@@ -151,15 +160,21 @@ std::future<Result<QueryResult>> QueryService::Enqueue(Task t) {
 
 std::future<Result<QueryResult>> QueryService::SubmitSql(
     const std::string& text) {
+  // std::function must be copyable, so the promise rides in a shared_ptr.
+  auto p = std::make_shared<std::promise<Result<QueryResult>>>();
+  std::future<Result<QueryResult>> f = p->get_future();
+  SubmitSqlAsync(text,
+                 [p](Result<QueryResult> r) { p->set_value(std::move(r)); });
+  return f;
+}
+
+void QueryService::SubmitSqlAsync(const std::string& text, SqlCallback done) {
   // Parse/compile/bind rejections count as submitted+failed, so operators
   // watching ServiceStats see errored SQL, not only worker-side failures.
-  auto fail = [this](Status st) {
+  auto fail = [this, &done](Status st) {
     c_submitted_->Add(1);
     c_failed_->Add(1);
-    std::promise<Result<QueryResult>> p;
-    std::future<Result<QueryResult>> f = p.get_future();
-    p.set_value(std::move(st));
-    return f;
+    done(std::move(st));
   };
 
   StopWatch parse_sw;
@@ -170,18 +185,17 @@ std::future<Result<QueryResult>> QueryService::SubmitSql(
 
   if (parsed.value().kind != sql::Statement::Kind::kSelect) {
     // DML runs on the calling thread under the exclusive update lock; the
-    // future resolves before it is returned. Counted like any submission so
-    // operators see DML in the same submitted/completed/failed totals.
+    // callback fires before SubmitSqlAsync returns. Counted like any
+    // submission so operators see DML in the same submitted/completed/failed
+    // totals.
     c_submitted_->Add(1);
     Result<QueryResult> r = ExecuteDml(parsed.value());
     if (r.ok())
       c_completed_->Add(1);
     else
       c_failed_->Add(1);
-    std::promise<Result<QueryResult>> p;
-    std::future<Result<QueryResult>> f = p.get_future();
-    p.set_value(std::move(r));
-    return f;
+    done(std::move(r));
+    return;
   }
 
   const sql::SelectStmt& stmt = parsed.value().select;
@@ -262,7 +276,8 @@ std::future<Result<QueryResult>> QueryService::SubmitSql(
   t.prog = t.prog_owner.get();
   t.params = std::move(params);
   t.trace = std::move(trace);
-  return Enqueue(std::move(t));
+  t.done = std::move(done);
+  Enqueue(std::move(t));
 }
 
 Result<QueryResult> QueryService::RunSql(const std::string& text) {
@@ -530,7 +545,7 @@ void QueryService::WorkerLoop(int worker_idx) {
             recent_traces_.pop_front();
         }
       }
-      task.promise.set_value(std::move(r));
+      ResolveTask(&task, std::move(r));
     }
 
     {

@@ -171,6 +171,15 @@ class QueryService {
   /// with respect to in-flight queries.
   std::future<Result<QueryResult>> SubmitSql(const std::string& text);
 
+  /// Callback flavour of SubmitSql, for callers that multiplex many
+  /// in-flight queries without parking a thread per future (the network
+  /// server's I/O loop). Exactly the same pipeline; `done` is invoked
+  /// exactly once — on the worker thread that ran the query, or on the
+  /// calling thread for immediate outcomes (parse/compile errors, DML,
+  /// shutdown). `done` must not block.
+  using SqlCallback = std::function<void(Result<QueryResult>)>;
+  void SubmitSqlAsync(const std::string& text, SqlCallback done);
+
   /// Synchronous convenience wrapper around SubmitSql.
   Result<QueryResult> RunSql(const std::string& text);
 
@@ -213,8 +222,9 @@ class QueryService {
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Recent governance/maintenance events (pool borrows and sheds, plan
-  /// evictions, commit invalidation/propagation).
+  /// evictions, commit invalidation/propagation, request cancellations).
   const obs::EventRing& events() const { return events_; }
+  obs::EventRing& events() { return events_; }
 
   /// Registry snapshot extended with the plan-cache, recycler, and
   /// governance counters the registry does not own — the single source for
@@ -237,6 +247,9 @@ class QueryService {
     const Program* prog;
     std::vector<Scalar> params;
     std::promise<Result<QueryResult>> promise;
+    /// When set, the task resolves through this callback and the promise is
+    /// never touched (the SubmitSqlAsync path).
+    SqlCallback done;
     /// Keeps a plan-cache Program alive while the task is in flight, so a
     /// commit may drop the cache entry without invalidating `prog`.
     std::shared_ptr<const Program> prog_owner;
@@ -249,6 +262,9 @@ class QueryService {
 
   void WorkerLoop(int worker_idx);
   std::future<Result<QueryResult>> Enqueue(Task task);
+  /// Resolves a task through whichever channel it carries (callback or
+  /// promise).
+  static void ResolveTask(Task* task, Result<QueryResult> r);
   /// A fresh trace when this query should be traced: always for explicit
   /// TRACE statements (`forced`), else by 1-in-trace_sample_n sampling.
   std::shared_ptr<obs::QueryTrace> MaybeTrace(const std::string& statement,

@@ -181,9 +181,6 @@ class StmtPlanner {
     RDB_RETURN_NOT_OK(PlanItems(&outs));
 
     if (stmt_.order_by.present) {
-      if (!stmt_.order_by.asc)
-        return Status::NotImplemented(
-            "ORDER BY ... DESC is not supported (ascending only)");
       Out* target = nullptr;
       int matches = 0;
       for (Out& o : outs) {
@@ -206,8 +203,12 @@ class StmtPlanner {
       // sort.tail keeps head/tail pairs together, so the sorted bat's heads
       // are the sort permutation; route every output column through it so
       // row i of one column still corresponds to row i of the others (and a
-      // LIMIT slices the same rows everywhere).
-      int perm = b_.Recand(b_.SortTail(target->var));
+      // LIMIT slices the same rows everywhere). ASC and DESC are distinct
+      // opcodes, and the fingerprint carries the direction, so the two
+      // directions never share a cached plan.
+      int sorted = stmt_.order_by.asc ? b_.SortTail(target->var)
+                                      : b_.SortTailRev(target->var);
+      int perm = b_.Recand(sorted);
       for (Out& o : outs)
         if (o.is_bat) o.var = b_.Join(perm, o.var);
     }
