@@ -68,6 +68,34 @@ int TryConnect(const sockaddr_in& addr, double timeout_ms,
   return fd;
 }
 
+/// Maps a non-RESULT response frame to a Status; RESULT returns OK and
+/// leaves decoding to the caller.
+Status FrameToStatus(const Frame& f) {
+  switch (f.kind) {
+    case FrameKind::kResult:
+    case FrameKind::kOk:
+    case FrameKind::kPong:
+    case FrameKind::kMetricsResult:
+      return Status::OK();
+    case FrameKind::kBusy: {
+      Cursor c{&f.payload};
+      std::string reason;
+      if (!GetString(&c, &reason).ok()) reason = "server busy";
+      return Status::OutOfRange(std::string(kBusyPrefix) + reason);
+    }
+    case FrameKind::kCancelled:
+      return Status::Internal("request was cancelled");
+    case FrameKind::kError: {
+      auto err = DecodeError(f.payload);
+      if (!err.ok()) return err.status();
+      return MakeStatus(err.value().code, err.value().message);
+    }
+    default:
+      return Status::Internal(StrFormat("unexpected %s response frame",
+                                        FrameKindName(f.kind)));
+  }
+}
+
 }  // namespace
 
 Client::~Client() { Close(); }
@@ -127,6 +155,14 @@ Status Client::Connect(const ClientConfig& cfg) {
   if (!st.ok()) {
     Close();
     return st;
+  }
+  if (f.kind == FrameKind::kBusy) {
+    // Over the connection cap: the server answers BUSY before any
+    // handshake. Surface it as a retryable IsBusy() status, not a
+    // generic connection failure.
+    Status busy = FrameToStatus(f);
+    Close();
+    return busy;
   }
   if (f.kind == FrameKind::kError) {
     auto err = DecodeError(f.payload);
@@ -213,45 +249,22 @@ Status Client::ReadResponse(uint64_t rid, Frame* out) {
       RDB_RETURN_NOT_OK(FillDecoder());
       continue;
     }
-    if (f.request_id == rid || f.kind == FrameKind::kError) {
+    // Accept the answer to this request, plus connection-level frames the
+    // server sends with request_id 0: protocol ERRORs and the pre-handshake
+    // BUSY when the connection cap rejects us. An ERROR carrying some
+    // *other* request's id (e.g. a late failure racing a CANCEL) is
+    // dropped like any other stale response — it must not be
+    // misattributed to this call.
+    const bool conn_level = f.request_id == 0 &&
+                            (f.kind == FrameKind::kError ||
+                             f.kind == FrameKind::kBusy);
+    if (f.request_id == rid || conn_level) {
       *out = std::move(f);
       return Status::OK();
     }
     // A response to some other id (e.g. a late CANCELLED): drop it.
   }
 }
-
-namespace {
-
-/// Maps a non-RESULT response frame to a Status; RESULT returns OK and
-/// leaves decoding to the caller.
-Status FrameToStatus(const Frame& f) {
-  switch (f.kind) {
-    case FrameKind::kResult:
-    case FrameKind::kOk:
-    case FrameKind::kPong:
-    case FrameKind::kMetricsResult:
-      return Status::OK();
-    case FrameKind::kBusy: {
-      Cursor c{&f.payload};
-      std::string reason;
-      if (!GetString(&c, &reason).ok()) reason = "server busy";
-      return Status::OutOfRange(std::string(kBusyPrefix) + reason);
-    }
-    case FrameKind::kCancelled:
-      return Status::Internal("request was cancelled");
-    case FrameKind::kError: {
-      auto err = DecodeError(f.payload);
-      if (!err.ok()) return err.status();
-      return MakeStatus(err.value().code, err.value().message);
-    }
-    default:
-      return Status::Internal(StrFormat("unexpected %s response frame",
-                                        FrameKindName(f.kind)));
-  }
-}
-
-}  // namespace
 
 Result<Client::Response> Client::Query(const std::string& sql) {
   const uint64_t rid = next_rid_++;

@@ -432,11 +432,14 @@ Result<BatSide> DecodeSide(Cursor* c, size_t count) {
   return VisitPhysical(tag, [&](auto t) -> Result<BatSide> {
     using T = typename decltype(t)::type;
     if constexpr (!std::is_same_v<T, std::string>) {
-      // Reject a corrupt count before allocating for it.
+      // Reject a corrupt count before allocating for it. Divide rather
+      // than multiply: count * elem can wrap for an adversarial count
+      // (e.g. 0x2000000000000001 * 8 == 8) and sail past the check into
+      // a throwing reserve().
       const size_t elem = std::is_same_v<T, int8_t> ? 1
                           : std::is_same_v<T, int32_t> ? 4
                                                        : 8;
-      if (c->Remaining() < count * elem)
+      if (count > c->Remaining() / elem)
         return Truncated("column values");
       std::vector<T> vals;
       vals.reserve(count);
@@ -512,6 +515,16 @@ Result<QueryResult> DecodeResultSet(const std::string& payload) {
     if (is_bat != 0) {
       uint64_t count = 0;
       RDB_RETURN_NOT_OK(GetU64(&c, &count));
+      // A materialized side costs >= 1 byte per row, so its count is
+      // checked against the remaining payload inside DecodeSide. A
+      // dense/dense bat encodes in 19 bytes regardless of count, so an
+      // adversarial row count there is bounded by kMaxWireRows instead —
+      // downstream consumers iterate `count` rows and must not be handed
+      // a 2^61-row loop by a corrupt server.
+      if (count > kMaxWireRows)
+        return Status::InvalidArgument(
+            StrFormat("result set row count %llu exceeds the wire cap",
+                      static_cast<unsigned long long>(count)));
       RDB_ASSIGN_OR_RETURN(BatSide head, DecodeSide(&c, count));
       RDB_ASSIGN_OR_RETURN(BatSide tail, DecodeSide(&c, count));
       r.values.emplace_back(std::move(label),

@@ -36,6 +36,13 @@ inline constexpr size_t kHeaderBytes = 16;
 /// memory. Both sides enforce it; oversized frames are a protocol error.
 inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
 
+/// Upper bound on a result-set Bat's row count. Materialized sides are
+/// additionally bounded by the payload (>= 1 byte per row), but a
+/// dense/dense Bat encodes in O(1) bytes for any count, so the decoder
+/// needs an explicit cap to keep a corrupt peer from handing consumers an
+/// effectively unbounded row loop.
+inline constexpr uint64_t kMaxWireRows = 1ull << 32;
+
 /// Frame kinds. Requests (client -> server) and responses (server ->
 /// client) share one namespace; responses start at 32.
 enum class FrameKind : uint8_t {

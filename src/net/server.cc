@@ -198,6 +198,9 @@ void RecycleServer::IoLoop() {
   std::vector<uint64_t> pfd_conn;  ///< conn id per pollfd (0 = not a conn)
 
   while (true) {
+    // Reap conns closed during the previous round: only now is it certain
+    // that no stack frame still holds a pointer into them.
+    graveyard_.clear();
     if (stop_requested_.load(std::memory_order_acquire) && !draining_)
       BeginDrain();
     if (draining_) {
@@ -265,6 +268,7 @@ void RecycleServer::IoLoop() {
   std::vector<uint64_t> left;
   for (auto& [id, conn] : conns_) left.push_back(id);
   for (uint64_t id : left) CloseConn(id);
+  graveyard_.clear();
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
@@ -278,10 +282,17 @@ void RecycleServer::BeginDrain() {
     listen_fd_ = -1;
   }
   const Status shutdown = Status::Internal("server shutting down");
-  for (auto& [id, conn] : conns_) {
+  // SendError can close the conn it writes to (send failure), which erases
+  // from conns_ — iterate over an id snapshot, never the live map.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn* conn = it->second.get();
     conn->stop_reading = true;
-    for (PendingReq& req : conn->pending) SendError(conn.get(), req.rid,
-                                                    shutdown);
+    for (PendingReq& req : conn->pending) SendError(conn, req.rid, shutdown);
     conn->pending.clear();
     conn->close_after_flush = true;
   }
@@ -312,6 +323,12 @@ void RecycleServer::AcceptNew() {
       std::string bytes = EncodeFrame(f);
       ssize_t ignored = send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
       (void)ignored;
+      // Drain whatever the client already pipelined (typically its HELLO):
+      // closing with unread data pending makes the kernel RST, which can
+      // discard the BUSY frame out of the peer's receive queue.
+      char drain[1024];
+      while (recv(fd, drain, sizeof(drain), 0) > 0) {
+      }
       close(fd);
       c_busy_->Add(1);
       continue;
@@ -616,11 +633,14 @@ void RecycleServer::CompleteOne(Completion c) {
     SendFrame(conn, FrameKind::kError, c.rid, EncodeError(c.result.status()));
   }
   if (recv_ms > 0) h_request_us_->Record(MsToUs(NowMillis() - recv_ms));
-  if (!draining_) SubmitWhileOpen(conn);
+  // The flush above may have closed the conn (send failure, or
+  // close_after_flush with nothing left in flight) — don't submit for it.
+  if (!draining_ && !conn->dead) SubmitWhileOpen(conn);
 }
 
 void RecycleServer::SendFrame(Conn* conn, FrameKind kind, uint64_t rid,
                               std::string payload, uint8_t flags) {
+  if (conn->dead) return;
   Frame f;
   f.kind = kind;
   f.flags = flags;
@@ -636,6 +656,7 @@ void RecycleServer::SendError(Conn* conn, uint64_t rid, const Status& st) {
 }
 
 void RecycleServer::FlushConn(Conn* conn) {
+  if (conn->dead) return;
   while (conn->woff < conn->wbuf.size()) {
     ssize_t n = send(conn->fd, conn->wbuf.data() + conn->woff,
                      conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
@@ -659,10 +680,16 @@ void RecycleServer::FlushConn(Conn* conn) {
 void RecycleServer::CloseConn(uint64_t conn_id) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;
-  close(it->second->fd);
+  Conn* conn = it->second.get();
+  conn->dead = true;
+  close(conn->fd);
+  conn->fd = -1;
   // In-flight requests of this connection keep total_inflight_ raised
   // until their completions arrive (and are then discarded), so drain
-  // still waits for them.
+  // still waits for them. The object itself outlives this call in the
+  // graveyard: callers up the stack (SendFrame → FlushConn → here) may
+  // still hold the pointer, and every write path no-ops on `dead`.
+  graveyard_.push_back(std::move(it->second));
   conns_.erase(it);
   c_conn_closed_->Add(1);
   SetConnGauge(conns_.size());

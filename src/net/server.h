@@ -113,6 +113,11 @@ class RecycleServer {
     bool trace_all = false;
     bool stop_reading = false;
     bool close_after_flush = false;
+    /// Closed but not yet reaped: the fd is gone and the conn left conns_,
+    /// but the object stays alive in graveyard_ so callers up the stack
+    /// (SendFrame → FlushConn → CloseConn) still hold a valid pointer.
+    /// Every write/submit path no-ops on a dead conn.
+    bool dead = false;
     uint32_t inflight = 0;              ///< submitted, response not yet sent
     std::deque<PendingReq> pending;     ///< admitted, awaiting a window slot
     std::unordered_map<uint64_t, ReqState> submitted;
@@ -179,6 +184,9 @@ class RecycleServer {
 
   // I/O-thread-owned state.
   std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  /// Conns closed mid-iteration; destruction is deferred to the top of the
+  /// next IoLoop round so no stack frame can dangle (see Conn::dead).
+  std::vector<std::unique_ptr<Conn>> graveyard_;
   uint64_t next_conn_id_ = 1;
   bool draining_ = false;
   uint64_t last_pressure_epoch_ = 0;

@@ -383,5 +383,49 @@ TEST(NetResultSetTest, TruncatedAndCorruptPayloadsFailClean) {
   EXPECT_FALSE(DecodeResultSet(badtag).ok());
 }
 
+TEST(NetResultSetTest, OverflowingRowCountFailsCleanNotThrow) {
+  // count * elem wraps 64-bit arithmetic: 0x2000000000000001 * 8 == 8,
+  // which would sail past a multiplying size check and turn the
+  // subsequent reserve() into an uncaught length_error. The decoder must
+  // reject it with a Status (cap first, division check second).
+  std::string wrap;
+  PutU32(&wrap, 1);
+  PutString(&wrap, "rows");
+  PutU8(&wrap, 1);                       // is_bat
+  PutU64(&wrap, 0x2000000000000001ull);  // count: wraps to 8 when *8
+  PutU8(&wrap, 0);                       // head: materialised
+  PutU8(&wrap, static_cast<uint8_t>(TypeTag::kLng));
+  wrap += std::string(64, '\0');
+  EXPECT_FALSE(DecodeResultSet(wrap).ok());
+
+  // A dense/dense bat encodes no per-row bytes, so its count cannot be
+  // validated against the payload — the explicit kMaxWireRows cap stops a
+  // corrupt server from handing consumers a 2^61-row iteration.
+  std::string dense;
+  PutU32(&dense, 1);
+  PutString(&dense, "rows");
+  PutU8(&dense, 1);  // is_bat
+  PutU64(&dense, kMaxWireRows + 1);
+  PutU8(&dense, 1);  // head: dense
+  PutU64(&dense, 0);
+  PutU8(&dense, 1);  // tail: dense
+  PutU64(&dense, 0);
+  auto bad = DecodeResultSet(dense);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("wire cap"), std::string::npos);
+
+  // At the cap itself the dense/dense form still decodes.
+  std::string at_cap;
+  PutU32(&at_cap, 1);
+  PutString(&at_cap, "rows");
+  PutU8(&at_cap, 1);  // is_bat
+  PutU64(&at_cap, kMaxWireRows);
+  PutU8(&at_cap, 1);  // head: dense
+  PutU64(&at_cap, 0);
+  PutU8(&at_cap, 1);  // tail: dense
+  PutU64(&at_cap, 0);
+  EXPECT_TRUE(DecodeResultSet(at_cap).ok());
+}
+
 }  // namespace
 }  // namespace recycledb::net

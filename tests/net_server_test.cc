@@ -425,6 +425,110 @@ TEST(NetServerTest, GarbageBytesGetErrorThenClose) {
   server.Stop();
 }
 
+TEST(NetServerTest, ResultAfterMalformedFrameFlushesThenCloses) {
+  auto svc = MakeService();
+  net::RecycleServer server(svc.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  ASSERT_TRUE(conn.Handshake());
+
+  // One write: a valid query followed by garbage bytes. The server submits
+  // the query, then hits the protocol error and flags the connection to
+  // close once everything in flight has flushed. The completion must still
+  // deliver the RESULT and only then close — this sequence used to free
+  // the connection from inside the completion's flush and keep using it.
+  // A full header's worth of zero bytes: the decoder sees the bad magic
+  // as soon as 16 bytes are buffered.
+  conn.SendBytes(RawConn::QueryBytes(30, "select count(*) from t") +
+                 std::string(net::kHeaderBytes, '\0'));
+
+  bool got_error = false, got_result = false;
+  Frame f;
+  while (conn.ReadFrame(&f)) {
+    if (f.kind == FrameKind::kError && f.request_id == 0) got_error = true;
+    if (f.kind == FrameKind::kResult && f.request_id == 30) got_result = true;
+  }
+  EXPECT_TRUE(got_error);
+  EXPECT_TRUE(got_result);
+  EXPECT_TRUE(conn.ReadEof());
+
+  // The server survives and keeps serving.
+  net::Client client;
+  ASSERT_TRUE(client.Connect(ClientFor(server)).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  server.Stop();
+}
+
+TEST(NetServerTest, ConnectionCapAnswersBusyThenCloses) {
+  auto svc = MakeService();
+  net::NetConfig cfg;
+  cfg.max_connections = 1;
+  net::RecycleServer server(svc.get(), cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  net::Client first;
+  ASSERT_TRUE(first.Connect(ClientFor(server)).ok());
+
+  // The over-cap connection gets one pre-handshake BUSY (request_id 0)
+  // and a close; the admitted connection is unaffected.
+  RawConn over;
+  ASSERT_TRUE(over.Connect(server.port()));
+  Frame f;
+  ASSERT_TRUE(over.ReadFrame(&f));
+  EXPECT_EQ(f.kind, FrameKind::kBusy);
+  EXPECT_EQ(f.request_id, 0u);
+  EXPECT_TRUE(over.ReadEof());
+  EXPECT_TRUE(first.Ping().ok());
+  server.Stop();
+}
+
+TEST(NetServerTest, ClientSurfacesPreHandshakeBusy) {
+  // A minimal fake server: accept, drain the client's HELLO, answer the
+  // pre-handshake BUSY the way the connection-cap rejection does, close.
+  // (The real server races its close against the client's HELLO write, so
+  // driving Client::Connect against it would be nondeterministic.)
+  // Connect must report a retryable IsBusy() status, not a generic
+  // connection failure.
+  int lfd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(listen(lfd, 1), 0);
+  socklen_t alen = sizeof(addr);
+  getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  std::thread fake([lfd] {
+    int fd = accept(lfd, nullptr, nullptr);
+    if (fd < 0) return;
+    char buf[256];
+    ssize_t ignored = recv(fd, buf, sizeof(buf), 0);
+    (void)ignored;
+    Frame busy;
+    busy.kind = FrameKind::kBusy;
+    net::PutString(&busy.payload, "connection limit reached");
+    std::string bytes = EncodeFrame(busy);
+    ignored = send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    (void)ignored;
+    close(fd);
+  });
+
+  net::Client client;
+  net::ClientConfig cfg;
+  cfg.port = port;
+  cfg.connect_retries = 0;
+  Status st = client.Connect(cfg);
+  fake.join();
+  close(lfd);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(net::Client::IsBusy(st)) << st.ToString();
+}
+
 TEST(NetServerTest, OversizedFrameIsRejected) {
   auto svc = MakeService();
   net::NetConfig cfg;
