@@ -80,7 +80,8 @@ void AblateUpdateHandling(double sf) {
     Catalog* cat_raw = cat.get();
     Recycler* rec_raw = &rec;
     cat->SetUpdateListener(
-        [cat_raw, rec_raw, propagate](const std::vector<ColumnId>& cols) {
+        [cat_raw, rec_raw, propagate](const std::vector<ColumnId>& cols,
+                                      Catalog::UpdateKind) {
           if (propagate)
             rec_raw->PropagateUpdate(cat_raw, cols);
           else

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <thread>
 
@@ -119,6 +120,11 @@ struct JsonRow {
   // absolute qps is advisory.
   bool has_rel = false;
   double rel_qps = 0;
+  // mvcc_mixed only (snapshot row): exclusive-lock reader p99 divided by
+  // snapshot-read reader p99 under identical writer churn. > 1 means MVCC
+  // improves tail latency; a within-run ratio, binding like rel_qps.
+  bool has_rel_p99 = false;
+  double rel_p99 = 0;
 };
 
 void WriteJson(const std::string& path, double sf, int max_workers,
@@ -168,6 +174,7 @@ void WriteJson(const std::string& path, double sf, int max_workers,
                        static_cast<unsigned long long>(r.p99_us));
     }
     if (r.has_rel) out << StrFormat(", \"rel_qps\": %.4f", r.rel_qps);
+    if (r.has_rel_p99) out << StrFormat(", \"rel_p99\": %.4f", r.rel_p99);
     out << (i + 1 < rows.size() ? "},\n" : "}\n");
   }
   out << "  ]\n}\n";
@@ -300,7 +307,7 @@ JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
   }
   double secs = sw.ElapsedSeconds();
 
-  ServiceStats s = svc.stats();
+  ServiceStats s = svc.SnapshotStats();
   RecyclerStats rs = svc.recycler().stats();
   std::printf("SQL plan cache (%d workers, 5 patterns, %d submissions)\n",
               workers, n_queries);
@@ -443,7 +450,7 @@ JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round,
     n_statements += 2;
   }
   double secs = sw.ElapsedSeconds();
-  ServiceStats mixed = svc.stats();
+  ServiceStats mixed = svc.SnapshotStats();
   obs::LatencyHistogram::Snapshot hist = wall->snapshot();
 
   // Post-update replay: the last commit was insert-only, so refreshed
@@ -501,6 +508,229 @@ JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round,
   return row;
 }
 
+/// MVCC ablation: reader latency DURING an in-flight commit, snapshot
+/// reads vs the exclusive-lock baseline. Two sub-runs over identical
+/// private TPC-H copies and identical workloads, differing only in
+/// ServiceConfig::snapshot_reads:
+///
+///   load="snapshot"  — MVCC reads: SELECTs run against the submission-time
+///                      epoch with no update-lock hold, so in-flight commits
+///                      never stall them.
+///   load="exclusive" — the PR 1 baseline: every SELECT registers at the
+///                      update gate and takes a shared hold of the update
+///                      lock, so it queues behind the commit for the rest of
+///                      the hold.
+///
+/// Each timed SELECT is issued while a commit window is HELD OPEN on
+/// another thread (ApplyUpdate with a fixed-length mutator — the stand-in
+/// for a production commit applying a fat delta plus its §6.3 pool
+/// maintenance; at bench scale factors real commits finish in microseconds
+/// and the comparison would drown in scheduler noise). Between iterations a
+/// real autocommit INSERT/DELETE transaction runs, so snapshot epochs bump
+/// and pool entries take the propagate/refresh path exactly as in
+/// production — only the measured window is synthetic, not the churn.
+///
+/// The deliberate consequence: in exclusive mode EVERY sample pays the
+/// remaining hold (a structural floor), while snapshot samples complete in
+/// pool-hit time. The snapshot row carries rel_p99 = exclusive reader p99 /
+/// snapshot reader p99 — a within-run, machine-independent ratio (> 1
+/// means MVCC improves the tail) that check_regression.py gates with a
+/// hard floor of 1.0. Reported qps is reader submissions per second of
+/// phase time; both modes pace on the hold length, so it is a sanity
+/// number, not the headline.
+std::vector<JsonRow> RunMvccMixedPhase(int workers, int n_iters,
+                                       int hold_us) {
+  struct ModeResult {
+    double qps = 0;
+    double hit_ratio = 0;
+    uint64_t pool_hits = 0;
+    uint64_t p50_us = 0;
+    uint64_t p99_us = 0;
+  };
+
+  auto run_mode = [&](bool snapshot_reads) -> ModeResult {
+    auto cat = MakeTpchDb(EnvSf());
+    ServiceConfig cfg = BenchConfig(workers);
+    cfg.snapshot_reads = snapshot_reads;
+    QueryService svc(cat.get(), cfg);
+    Rng rng(snapshot_reads ? 7001 : 7002);
+
+    auto select_sql = [](int i) -> std::string {
+      int y = 1993 + (i % 4);
+      if (i % 2 == 0)
+        return StrFormat(
+            "select count(*) from orders where o_orderdate >= date "
+            "'%d-01-01'",
+            y);
+      return StrFormat(
+          "select sum(o_totalprice) from orders where o_orderdate >= "
+          "date '%d-01-01'",
+          y);
+    };
+
+    // Warm every pattern so the timed window measures steady-state serving,
+    // not compiles or cold pool admissions.
+    for (int i = 0; i < 8; ++i) {
+      auto r = svc.SubmitSql(select_sql(i)).get();
+      if (!r.ok()) {
+        std::fprintf(stderr, "mvcc warmup failed: %s\n",
+                     r.status().ToString().c_str());
+        std::abort();
+      }
+    }
+    svc.recycler().ResetStats();
+
+    // Real DML churn between measured iterations: autocommit INSERT batches
+    // (insert-only commits -> §6.3 propagation) with a periodic DELETE
+    // sweep (-> invalidation), each bumping the snapshot epoch.
+    Oid key_base = 0;
+    for (Oid k : cat->FindTable("orders")->column(0)->Data<Oid>())
+      key_base = std::max(key_base, k);
+    ++key_base;
+    Oid next_key = key_base;
+    Session writer_session;  // autocommit defaults on
+    int txn = 0;
+    auto churn_once = [&] {
+      std::string stmt;
+      if (++txn % 5 == 0) {
+        stmt = StrFormat("delete from orders where o_orderkey >= %llu",
+                         static_cast<unsigned long long>(key_base));
+      } else {
+        stmt = "insert into orders values ";
+        for (int i = 0; i < 8; ++i) {
+          if (i) stmt += ", ";
+          stmt += StrFormat(
+              "(%llu, %llu, 'O', %.2f, date '%d-%02d-01', '3-MEDIUM', "
+              "'bench dml row')",
+              static_cast<unsigned long long>(next_key++),
+              static_cast<unsigned long long>(rng.Uniform(100)),
+              1000.0 + static_cast<double>(rng.Uniform(5000)),
+              1993 + static_cast<int>(rng.Uniform(4)),
+              1 + static_cast<int>(rng.Uniform(12)));
+        }
+      }
+      Request dreq;
+      dreq.sql = std::move(stmt);
+      dreq.session = &writer_session;
+      auto r = svc.Submit(std::move(dreq)).future.get();
+      if (!r.ok()) {
+        std::fprintf(stderr, "mvcc writer dml failed: %s\n",
+                     r.status().ToString().c_str());
+        std::abort();
+      }
+    };
+
+    // Per-mode repetitions with the MEDIAN-p99 rep kept: the median dodges
+    // a throttled outlier rep without letting a lucky rep (one where
+    // scheduling hid the lock waits) stand in for the mode.
+    std::vector<ModeResult> reps;
+    for (int rep = 0; rep < 3; ++rep) {
+      std::vector<double> lat_us;
+      lat_us.reserve(n_iters);
+      StopWatch sw;
+      for (int k = 0; k < n_iters; ++k) {
+        if (k % 4 == 0) churn_once();
+        // Open a commit window and keep it open; `held` flips once the
+        // mutator is inside the exclusive section, so the SELECT below is
+        // provably issued mid-commit.
+        std::atomic<bool> held{false};
+        std::thread holder([&] {
+          Status st = svc.ApplyUpdate([&](Catalog*) {
+            held.store(true, std::memory_order_release);
+            std::this_thread::sleep_for(std::chrono::microseconds(hold_us));
+            return Status::OK();
+          });
+          if (!st.ok()) {
+            std::fprintf(stderr, "mvcc hold failed: %s\n",
+                         st.ToString().c_str());
+            std::abort();
+          }
+        });
+        while (!held.load(std::memory_order_acquire))
+          std::this_thread::yield();
+        StopWatch one;
+        auto r = svc.SubmitSql(select_sql(k)).get();
+        lat_us.push_back(one.ElapsedSeconds() * 1e6);
+        holder.join();
+        if (!r.ok()) {
+          std::fprintf(stderr, "mvcc reader select failed: %s\n",
+                       r.status().ToString().c_str());
+          std::abort();
+        }
+      }
+      double secs = sw.ElapsedSeconds();
+
+      std::sort(lat_us.begin(), lat_us.end());
+      auto pct = [&](double p) -> uint64_t {
+        if (lat_us.empty()) return 0;
+        size_t idx = static_cast<size_t>(
+            p / 100.0 * static_cast<double>(lat_us.size() - 1));
+        return static_cast<uint64_t>(lat_us[idx]);
+      };
+      ModeResult m;
+      m.qps = static_cast<double>(n_iters) / secs;
+      RecyclerStats rs = svc.recycler().stats();
+      m.hit_ratio =
+          rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0;
+      m.pool_hits = rs.hits;
+      m.p50_us = pct(50);
+      m.p99_us = pct(99);
+      reps.push_back(m);
+      svc.recycler().ResetStats();
+    }
+    std::sort(reps.begin(), reps.end(),
+              [](const ModeResult& a, const ModeResult& b) {
+                return a.p99_us < b.p99_us;
+              });
+    return reps[reps.size() / 2];
+  };
+
+  ModeResult snap = run_mode(true);
+  ModeResult excl = run_mode(false);
+  double rel_p99 = snap.p99_us > 0
+                       ? static_cast<double>(excl.p99_us) /
+                             static_cast<double>(snap.p99_us)
+                       : 0.0;
+
+  std::printf(
+      "mvcc mixed (%d workers, %d reads mid-commit, %dus commit hold)\n",
+      workers, n_iters, hold_us);
+  std::printf("  snapshot : qps=%.1f p50=%lluus p99=%lluus hit=%.2f\n",
+              snap.qps, static_cast<unsigned long long>(snap.p50_us),
+              static_cast<unsigned long long>(snap.p99_us), snap.hit_ratio);
+  std::printf("  exclusive: qps=%.1f p50=%lluus p99=%lluus hit=%.2f\n",
+              excl.qps, static_cast<unsigned long long>(excl.p50_us),
+              static_cast<unsigned long long>(excl.p99_us), excl.hit_ratio);
+  std::printf("  reader p99 advantage (exclusive/snapshot): %.2fx\n", rel_p99);
+
+  std::vector<JsonRow> rows;
+  JsonRow s;
+  s.phase = "mvcc_mixed";
+  s.load = "snapshot";
+  s.workers = workers;
+  s.qps = snap.qps;
+  s.hit_ratio = snap.hit_ratio;
+  s.pool_hits = snap.pool_hits;
+  s.has_latency = true;
+  s.p50_us = snap.p50_us;
+  s.p99_us = snap.p99_us;
+  s.has_rel_p99 = true;
+  s.rel_p99 = rel_p99;
+  rows.push_back(s);
+  JsonRow e;
+  e.phase = "mvcc_mixed";
+  e.load = "exclusive";
+  e.workers = workers;
+  e.qps = excl.qps;
+  e.hit_ratio = excl.hit_ratio;
+  e.pool_hits = excl.pool_hits;
+  e.has_latency = true;
+  e.p50_us = excl.p50_us;
+  e.p99_us = excl.p99_us;
+  rows.push_back(e);
+  return rows;
+}
+
 /// Bounded-memory serving: the same hot workload under a FIXED recycle-pool
 /// byte budget in the default kPerStripe governance mode — per-stripe
 /// leases, stripe-local eviction, borrowing through the governor's atomic
@@ -543,7 +773,7 @@ JsonRow RunBoundedMemoryPhase(Catalog* cat,
   }
 
   RecyclerStats rs = svc.recycler().stats();
-  ServiceStats s = svc.stats();
+  ServiceStats s = svc.SnapshotStats();
   if (svc.recycler().pool_bytes() > cfg.recycler.max_bytes) {
     std::fprintf(stderr, "BUDGET VIOLATED: pool %zu > %zu\n",
                  svc.recycler().pool_bytes(), cfg.recycler.max_bytes);
@@ -838,6 +1068,8 @@ int main(int argc, char** argv) {
     rows.push_back(std::move(r));
   rows.push_back(
       RunNetLoopbackPhase(cat.get(), std::min(4, max_workers), 4, 150));
+  for (JsonRow& r : RunMvccMixedPhase(std::min(4, max_workers), 150, 4000))
+    rows.push_back(std::move(r));
 
   if (!json_path.empty()) {
     WriteJson(json_path, EnvSf(), max_workers,

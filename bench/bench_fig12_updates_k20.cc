@@ -25,7 +25,8 @@ Track RunWithUpdates(double sf, const MixedBatch& batch, int k_queries,
   RecyclerConfig cfg;
   cfg.max_bytes = max_bytes;
   Recycler rec(cfg);
-  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+  cat->SetUpdateListener(
+      [&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) {
     rec.OnCatalogUpdate(cols);
   });
   Interpreter interp(cat.get(), &rec);

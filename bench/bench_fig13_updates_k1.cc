@@ -39,7 +39,8 @@ int main() {
     RecyclerConfig cfg;
     cfg.max_bytes = s.max_bytes_pct ? footprint * s.max_bytes_pct / 100 : 0;
     Recycler rec(cfg);
-    cat->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+    cat->SetUpdateListener(
+        [&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) {
       rec.OnCatalogUpdate(cols);
     });
     Interpreter interp(cat.get(), &rec);

@@ -63,7 +63,7 @@ using namespace recycledb;  // NOLINT
 namespace {
 
 void PrintStats(const QueryService& svc) {
-  ServiceStats s = svc.stats();
+  ServiceStats s = svc.SnapshotStats();
   RecyclerStats rs = svc.recycler().stats();
   std::printf("service:     submitted=%llu completed=%llu failed=%llu\n",
               static_cast<unsigned long long>(s.submitted),

@@ -48,7 +48,8 @@ void Demo(bool propagate) {
   Catalog cat;
   Load(&cat);
   Recycler rec;
-  cat.SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+  cat.SetUpdateListener([&](const std::vector<ColumnId>& cols,
+                           Catalog::UpdateKind) {
     if (propagate)
       rec.PropagateUpdate(&cat, cols);
     else

@@ -9,6 +9,70 @@
 
 namespace recycledb {
 
+Result<BatPtr> CatalogSnapshot::BindColumn(const std::string& table,
+                                           const std::string& column) const {
+  auto it = cols_.find({table, column});
+  if (it == cols_.end())
+    return Status::NotFound("column " + table + "." + column +
+                            " (snapshot epoch " + std::to_string(epoch_) +
+                            ")");
+  return it->second.bat;
+}
+
+Result<BatPtr> CatalogSnapshot::BindIndex(const std::string& index) const {
+  auto it = indices_.find(index);
+  if (it == indices_.end())
+    return Status::NotFound("index " + index + " (snapshot epoch " +
+                            std::to_string(epoch_) + ")");
+  return it->second.bat;
+}
+
+Result<ColumnId> CatalogSnapshot::GetColumnId(const std::string& table,
+                                              const std::string& column) const {
+  auto it = cols_.find({table, column});
+  if (it == cols_.end())
+    return Status::NotFound("column " + table + "." + column);
+  return it->second.id;
+}
+
+Result<ColumnId> CatalogSnapshot::GetIndexId(const std::string& index) const {
+  auto it = indices_.find(index);
+  if (it == indices_.end()) return Status::NotFound("index " + index);
+  return it->second.id;
+}
+
+Catalog::Catalog() : snapshot_(std::make_shared<CatalogSnapshot>()) {}
+
+CatalogSnapshotPtr Catalog::Snapshot() const {
+  return std::atomic_load(&snapshot_);
+}
+
+void Catalog::PublishSnapshot() {
+  const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  auto snap = std::make_shared<CatalogSnapshot>();
+  snap->epoch_ = epoch;
+  for (const auto& t : tables_) {
+    if (!t) continue;
+    for (size_t ci = 0; ci < t->num_columns(); ++ci) {
+      if (t->column(ci) == nullptr) continue;  // mid-bulk-load
+      auto bound = BindColumn(t->name(), t->column_name(static_cast<int>(ci)));
+      if (!bound.ok()) continue;
+      snap->cols_[{t->name(), t->column_name(static_cast<int>(ci))}] =
+          CatalogSnapshot::View{{t->id(), static_cast<int32_t>(ci)},
+                                std::move(bound).value()};
+    }
+  }
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    auto bound = BindIndex(indices_[k].name);
+    if (!bound.ok()) continue;
+    snap->indices_[indices_[k].name] = CatalogSnapshot::View{
+        {indices_[k].child_table, kIndexColBase + static_cast<int32_t>(k)},
+        std::move(bound).value()};
+  }
+  std::atomic_store(&snapshot_,
+                    std::shared_ptr<const CatalogSnapshot>(std::move(snap)));
+}
+
 int Table::FindColumn(const std::string& name) const {
   for (size_t i = 0; i < defs_.size(); ++i) {
     if (defs_[i].name == name) return static_cast<int>(i);
@@ -28,6 +92,7 @@ int32_t Catalog::CreateTable(
   }
   tables_.push_back(std::move(t));
   table_by_name_[name] = id;
+  PublishSnapshot();
   return id;
 }
 
@@ -60,6 +125,7 @@ Status Catalog::LoadColumn(const std::string& table, const std::string& column,
     std::lock_guard<std::mutex> lock(bind_mu_);
     bind_cache_.erase({t->id(), ci});
   }
+  PublishSnapshot();
   return Status::OK();
 }
 
@@ -102,6 +168,7 @@ Status Catalog::RegisterFkIndex(const std::string& name,
   RDB_RETURN_NOT_OK(RebuildIndex(&idx));
   index_by_name_[name] = static_cast<int>(indices_.size());
   indices_.push_back(std::move(idx));
+  PublishSnapshot();
   return Status::OK();
 }
 
@@ -165,7 +232,10 @@ Status Catalog::DropTable(const std::string& name) {
   InvalidateBindCache(id);
   tables_[id].reset();
   table_by_name_.erase(it);
-  if (listener_) listener_(invalidated);
+  // Listener first (pool/plan maintenance, stale-epoch stamping), THEN the
+  // new epoch becomes visible — same ordering contract as Commit.
+  if (listener_) listener_(invalidated, UpdateKind::kSchema);
+  PublishSnapshot();
   return Status::OK();
 }
 
@@ -366,7 +436,15 @@ Status Catalog::Commit() {
   }
 
   pending_.clear();
-  if (listener_ && !invalidated.empty()) listener_(invalidated);
+  if (invalidated.empty()) return Status::OK();  // all deltas were empty
+  // Commit = merge deltas, let the listener reconcile the recycler pool and
+  // plan cache against the columns that changed, and only THEN publish the
+  // new snapshot and bump the epoch. Submissions that capture a snapshot
+  // before the publish keep reading the previous version; submissions after
+  // it see a fully reconciled pool — no reader ever observes a half-applied
+  // commit.
+  if (listener_) listener_(invalidated, UpdateKind::kData);
+  PublishSnapshot();
   return Status::OK();
 }
 

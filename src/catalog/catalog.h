@@ -1,11 +1,13 @@
 #ifndef RECYCLEDB_CATALOG_CATALOG_H_
 #define RECYCLEDB_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bat/bat.h"
@@ -59,6 +61,44 @@ class Table {
   size_t rows_ = 0;
 };
 
+/// An immutable view of the committed catalog at one snapshot epoch: every
+/// loaded column and join index resolved to the BAT it had when the
+/// snapshot was published. Snapshots are built through the catalog's bind
+/// caches, so a column untouched between two epochs resolves to the *same*
+/// BAT object in both snapshots — cross-epoch identity is what lets
+/// epoch-tagged recycler entries keep matching for readers on older
+/// snapshots.
+///
+/// A query that captured a snapshot resolves every bind and dependency id
+/// through it and never touches the mutable catalog again: commits may
+/// install new versions concurrently without the reader taking any lock.
+class CatalogSnapshot {
+ public:
+  /// The monotonically increasing commit epoch this snapshot was published
+  /// at (0 = the empty initial catalog).
+  uint64_t epoch() const { return epoch_; }
+
+  Result<BatPtr> BindColumn(const std::string& table,
+                            const std::string& column) const;
+  Result<BatPtr> BindIndex(const std::string& index) const;
+  Result<ColumnId> GetColumnId(const std::string& table,
+                               const std::string& column) const;
+  Result<ColumnId> GetIndexId(const std::string& index) const;
+
+ private:
+  friend class Catalog;
+  struct View {
+    ColumnId id;
+    BatPtr bat;
+  };
+
+  uint64_t epoch_ = 0;
+  std::map<std::pair<std::string, std::string>, View> cols_;
+  std::map<std::string, View> indices_;
+};
+
+using CatalogSnapshotPtr = std::shared_ptr<const CatalogSnapshot>;
+
 /// Pending DML against one table: MonetDB-style insert/delete deltas that
 /// are applied at commit (paper §6: delta-based update processing).
 struct PendingDelta {
@@ -80,7 +120,7 @@ struct PendingDelta {
 /// QueryService enforces this with its update read-write lock.
 class Catalog {
  public:
-  Catalog() = default;
+  Catalog();
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
@@ -112,6 +152,16 @@ class Catalog {
   Result<BatPtr> BindColumn(const std::string& table,
                             const std::string& column);
   Result<BatPtr> BindIndex(const std::string& index);
+
+  /// The newest published snapshot. Lock-free (atomic shared_ptr load) and
+  /// safe to call concurrently with any mutator: mutators publish a fresh
+  /// immutable snapshot as their last step, so a reader either sees the
+  /// whole mutation or none of it. Never null.
+  CatalogSnapshotPtr Snapshot() const;
+
+  /// The current snapshot epoch: bumped once per published mutation
+  /// (commit, DDL, bulk load). Exported as the `snapshot_epoch` gauge.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   const Table* FindTable(const std::string& name) const;
   Result<ColumnId> GetColumnId(const std::string& table,
@@ -161,8 +211,17 @@ class Catalog {
   /// deletions), which is the precondition for sound insert propagation.
   bool LastCommitInsertOnly(const std::string& table) const;
 
-  /// Registered listener receives the ColumnIds invalidated by a commit.
-  void SetUpdateListener(std::function<void(const std::vector<ColumnId>&)> fn) {
+  /// What kind of mutation the update listener is being told about. Data
+  /// commits change column contents but never plan shape (binds resolve by
+  /// name at run time), so epoch-tagged caches can refresh instead of
+  /// evict; schema changes (DropTable) make compiled artifacts over the
+  /// touched tables structurally stale and force eviction.
+  enum class UpdateKind { kData, kSchema };
+
+  /// Registered listener receives the ColumnIds invalidated by a commit,
+  /// plus whether the mutation was data-only or a schema change.
+  void SetUpdateListener(
+      std::function<void(const std::vector<ColumnId>&, UpdateKind)> fn) {
     listener_ = std::move(fn);
   }
 
@@ -183,6 +242,14 @@ class Catalog {
 
   Status RebuildIndex(FkIndex* idx);
   void InvalidateBindCache(int32_t table_id);
+  /// Bumps the epoch and atomically installs a fresh immutable snapshot of
+  /// every loaded column/index (resolved through the bind caches, so
+  /// untouched data keeps its BAT identity across epochs). Called as the
+  /// last step of every mutator, under the caller's external serialisation
+  /// — in particular AFTER Commit fires the update listener, so pool and
+  /// plan-cache maintenance is already done when the new epoch becomes
+  /// visible to submissions.
+  void PublishSnapshot();
 
   std::vector<std::unique_ptr<Table>> tables_;
   std::map<std::string, int32_t> table_by_name_;
@@ -194,11 +261,16 @@ class Catalog {
   mutable std::mutex bind_mu_;
   std::map<std::pair<int32_t, int>, BatPtr> bind_cache_;
   std::map<int, BatPtr> index_bind_cache_;
-  std::function<void(const std::vector<ColumnId>&)> listener_;
+  std::function<void(const std::vector<ColumnId>&, UpdateKind)> listener_;
   // Last committed insert deltas: (table, col) -> delta bat with head oids
   // continuing the pre-commit row numbering.
   std::map<std::pair<int32_t, int>, BatPtr> last_insert_delta_;
   std::map<int32_t, bool> last_commit_insert_only_;
+  /// MVCC state: the published-snapshot counter and the newest snapshot,
+  /// accessed with the C++17 atomic shared_ptr free functions (readers are
+  /// lock-free; writers are externally serialised like all mutators).
+  std::atomic<uint64_t> epoch_{0};
+  std::shared_ptr<const CatalogSnapshot> snapshot_;
 };
 
 /// Pseudo column id space for join indices: col = kIndexColBase + index slot.

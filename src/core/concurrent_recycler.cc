@@ -469,8 +469,12 @@ bool ConcurrentRecycler::EnsureCapacityGlobal(Recycler* admitting,
       });
 }
 
-void ConcurrentRecycler::OnCatalogUpdate(const std::vector<ColumnId>& cols) {
+void ConcurrentRecycler::OnCatalogUpdate(const std::vector<ColumnId>& cols,
+                                         uint64_t epoch) {
   auto locks = LockAllExclusive();
+  // col_epochs is shared across the group: stamp once, then run the
+  // per-stripe invalidation waves without re-stamping.
+  stripes_[0]->core->StampColumnEpochs(cols, epoch);
   for (auto& s : stripes_) {
     s->core->OnCatalogUpdate(cols);
     SyncLease(*s);  // invalidated bytes go back to the free ledger now
@@ -478,8 +482,14 @@ void ConcurrentRecycler::OnCatalogUpdate(const std::vector<ColumnId>& cols) {
 }
 
 void ConcurrentRecycler::PropagateUpdate(Catalog* catalog,
-                                         const std::vector<ColumnId>& cols) {
+                                         const std::vector<ColumnId>& cols,
+                                         uint64_t epoch) {
   auto locks = LockAllExclusive();
+  // Stamp before collecting refreshes: AdmitRefresh below computes each
+  // re-admitted entry's valid_from from col_epochs, and the refreshed
+  // results include the fresh delta, which readers on older snapshots must
+  // not see.
+  stripes_[0]->core->StampColumnEpochs(cols, epoch);
   // The bind entry that produced a selection's argument may live in another
   // stripe; the producer registry is shared, so any stripe's pool resolves
   // it group-wide.

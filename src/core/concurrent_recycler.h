@@ -108,6 +108,7 @@ class ConcurrentRecycler {
 
     void BeginQuery(const Program& prog) override {
       ctx_ = owner_->SessionBegin(prog);
+      ctx_.epoch = epoch_;
     }
     void EndQuery() override { owner_->SessionEnd(ctx_); }
     bool OnEntry(const InstrView& instr,
@@ -125,10 +126,17 @@ class ConcurrentRecycler {
     /// it alive until it detaches.
     void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
 
+    /// Pins the snapshot epoch the NEXT invocations on this session run
+    /// against (kEpochLatest, the default, reproduces pre-MVCC behaviour:
+    /// see the whole pool, admit unconditionally). QueryService sets this
+    /// per query from the task's captured catalog snapshot.
+    void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
    private:
     ConcurrentRecycler* owner_;
     QueryCtx ctx_;
     obs::QueryTrace* trace_ = nullptr;
+    uint64_t epoch_ = kEpochLatest;
   };
 
   std::unique_ptr<Session> NewSession() {
@@ -136,8 +144,12 @@ class ConcurrentRecycler {
   }
 
   // --- update synchronisation (all stripes, fixed order) --------------------
-  void OnCatalogUpdate(const std::vector<ColumnId>& cols);
-  void PropagateUpdate(Catalog* catalog, const std::vector<ColumnId>& cols);
+  // `epoch`, when non-zero, is the snapshot epoch the triggering commit is
+  // about to publish (stamped into the shared col_epochs map before the
+  // invalidation/refresh wave; 0 = legacy caller, no stamping).
+  void OnCatalogUpdate(const std::vector<ColumnId>& cols, uint64_t epoch = 0);
+  void PropagateUpdate(Catalog* catalog, const std::vector<ColumnId>& cols,
+                       uint64_t epoch = 0);
 
   /// Empties the pool. Safe at any time, including while queries run: their
   /// already-fetched results stay alive via shared ownership and later

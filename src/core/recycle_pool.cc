@@ -183,12 +183,13 @@ void RecyclePool::UnindexEntry(PoolEntry* e) {
   });
 }
 
-PoolEntry* RecyclePool::FindExact(Opcode op,
-                                  const std::vector<MalValue>& args) {
+PoolEntry* RecyclePool::FindExact(Opcode op, const std::vector<MalValue>& args,
+                                  uint64_t visible_epoch) {
   auto range = match_index_.equal_range(MatchHash(op, args));
   for (auto it = range.first; it != range.second; ++it) {
     PoolEntry* e = Get(it->second);
     if (e == nullptr || e->op != op || e->args.size() != args.size()) continue;
+    if (e->valid_from > visible_epoch) continue;  // newer than the snapshot
     bool eq = true;
     for (size_t i = 0; i < args.size(); ++i) {
       if (!e->args[i].MatchEq(args[i])) {
@@ -212,15 +213,15 @@ PoolEntry* RecyclePool::ProducerOf(uint64_t bat_id) {
   return it == shared_->producer.end() ? nullptr : it->second;
 }
 
-std::vector<PoolEntry*> RecyclePool::FindByOpAndFirstArg(Opcode op,
-                                                         uint64_t bat_id) {
+std::vector<PoolEntry*> RecyclePool::FindByOpAndFirstArg(
+    Opcode op, uint64_t bat_id, uint64_t visible_epoch) {
   std::vector<PoolEntry*> out;
   auto it = op_arg_index_.find({static_cast<int>(op), bat_id});
   if (it == op_arg_index_.end()) return out;
   out.reserve(it->second.size());
   for (uint64_t id : it->second) {
     PoolEntry* e = Get(id);
-    if (e != nullptr) out.push_back(e);
+    if (e != nullptr && e->valid_from <= visible_epoch) out.push_back(e);
   }
   return out;
 }

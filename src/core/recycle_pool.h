@@ -15,6 +15,13 @@
 
 namespace recycledb {
 
+/// Sentinel snapshot epoch meaning "the newest committed state": the
+/// default for contexts that never captured a snapshot (legacy shared-lock
+/// execution, standalone recyclers, tests). Every epoch filter is vacuous
+/// at this value, so non-MVCC behaviour is bit-identical to the pre-epoch
+/// pool.
+inline constexpr uint64_t kEpochLatest = ~0ull;
+
 /// Subset relations between intermediates (the W ⊂ V test of semijoin
 /// subsumption, §5.1), keyed by bat id. Kept outside RecyclePool so a
 /// striped recycler can share ONE lattice across all stripe pools — a
@@ -70,6 +77,13 @@ struct PoolEntry {
   uint64_t admit_query = 0;   ///< invocation id that admitted it
   uint64_t source_tid = 0;    ///< template id of the source instruction
   int source_pc = 0;          ///< pc of the source instruction
+  /// Snapshot-epoch validity tag (§6.3 under MVCC): the newest epoch at
+  /// which any dependency column last changed, i.e. the first epoch whose
+  /// readers may reuse this entry. A query running at snapshot epoch e only
+  /// matches entries with valid_from <= e; entries over columns untouched
+  /// since epoch 0 stay reusable by every reader regardless of commits
+  /// elsewhere.
+  uint64_t valid_from = 0;
   std::vector<ColumnId> deps; ///< persistent columns it derives from
   /// Pool entries consuming my results. Atomic because in a STRIPED pool an
   /// admission in one stripe adds a lineage/borrow edge onto a producer that
@@ -127,6 +141,7 @@ struct PoolEntry {
     admit_query = o.admit_query;
     source_tid = o.source_tid;
     source_pc = o.source_pc;
+    valid_from = o.valid_from;
     children.store(o.children.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
   }
@@ -187,16 +202,22 @@ class RecyclePool {
   /// Exact match: same opcode, all argument values equal (bats by identity).
   /// Only reads the indexes, so it is safe under ConcurrentRecycler's shared
   /// lock (hit recording on the returned entry uses its atomic fields).
-  PoolEntry* FindExact(Opcode op, const std::vector<MalValue>& args);
+  /// Entries tagged valid_from > `visible_epoch` are skipped: they were
+  /// produced from a catalog version newer than the probing query's
+  /// snapshot. The default sees everything (legacy behaviour).
+  PoolEntry* FindExact(Opcode op, const std::vector<MalValue>& args,
+                       uint64_t visible_epoch = kEpochLatest);
 
   /// True when at least one live entry has `op` over first-argument bat
   /// `bat_id` (cheap subsumption-candidate existence probe; const for the
-  /// shared-lock fast path).
+  /// shared-lock fast path). Deliberately NOT epoch-filtered — a false
+  /// positive only sends the probe down the slow path, which filters.
   bool HasEntriesFor(Opcode op, uint64_t bat_id) const;
 
   /// All live entries with `op` whose first argument is the bat `bat_id`
-  /// (subsumption candidate enumeration).
-  std::vector<PoolEntry*> FindByOpAndFirstArg(Opcode op, uint64_t bat_id);
+  /// (subsumption candidate enumeration), epoch-filtered like FindExact.
+  std::vector<PoolEntry*> FindByOpAndFirstArg(
+      Opcode op, uint64_t bat_id, uint64_t visible_epoch = kEpochLatest);
 
   /// Entry producing the bat `bat_id`, or nullptr. In a striped group the
   /// producer may belong to a different stripe's pool.

@@ -101,7 +101,7 @@ Recycler::SharedHit Recycler::TryExactHitShared(const QueryCtx& ctx,
                                                 const InstrView& instr,
                                                 std::vector<MalValue>* results) {
   SharedHit out;
-  PoolEntry* e = pool_.FindExact(instr.op, *instr.args);
+  PoolEntry* e = pool_.FindExact(instr.op, *instr.args, ctx.epoch);
   if (e == nullptr) return out;
   *results = e->results;  // shared_ptr copies: safe against later eviction
   bool local = e->admit_query == ctx.query_id;
@@ -128,7 +128,7 @@ bool Recycler::OnEntryCtx(const QueryCtx& ctx, const InstrView& instr,
   ++stats_.monitored;
   StopWatch match_watch;
 
-  PoolEntry* e = pool_.FindExact(instr.op, *instr.args);
+  PoolEntry* e = pool_.FindExact(instr.op, *instr.args, ctx.epoch);
   if (e != nullptr) {
     *results = e->results;
     RecordHit(ctx, e, /*exact=*/true);
@@ -144,13 +144,13 @@ bool Recycler::OnEntryCtx(const QueryCtx& ctx, const InstrView& instr,
   switch (instr.op) {
     case Opcode::kSelect:
     case Opcode::kUselect:
-      outcome = subsume_.TrySelect(instr.op, *instr.args);
+      outcome = subsume_.TrySelect(instr.op, *instr.args, ctx.epoch);
       break;
     case Opcode::kLikeSelect:
-      outcome = subsume_.TryLike(*instr.args);
+      outcome = subsume_.TryLike(*instr.args, ctx.epoch);
       break;
     case Opcode::kSemijoin:
-      outcome = subsume_.TrySemijoin(*instr.args);
+      outcome = subsume_.TrySemijoin(*instr.args, ctx.epoch);
       break;
     default:
       break;
@@ -234,9 +234,20 @@ bool Recycler::AdmitResult(const QueryCtx& ctx, const InstrView& instr,
   // A racing invocation may have admitted the same instruction while this
   // one executed it (both missed, both ran). Keep the incumbent: its entry
   // may already have reuse statistics, and duplicate keys would make exact
-  // matching ambiguous.
+  // matching ambiguous. Deliberately unfiltered by epoch: even an entry the
+  // probing snapshot cannot see blocks admission — the pool must never hold
+  // two entries under one key with divergent results.
   if (pool_.FindExact(instr.op, *instr.args) != nullptr) {
     ++stats_.rejected;
+    return false;
+  }
+  // MVCC staleness gate: a snapshot reader whose dependencies were touched
+  // by a later commit computed a result that may miss committed rows; it
+  // must not enter the pool where a newer query could match it.
+  const uint64_t valid_from = ValidFromFor(deps);
+  if (ctx.epoch != kEpochLatest && ctx.epoch < valid_from) {
+    ++stats_.rejected;
+    ++stats_.stale_declines;
     return false;
   }
   if (!shared_->ledger.TryAdmit(instr.prog->template_id, instr.pc)) {
@@ -263,6 +274,7 @@ bool Recycler::AdmitResult(const QueryCtx& ctx, const InstrView& instr,
   e.last_query = ctx.query_id;
   e.source_tid = instr.prog->template_id;
   e.source_pc = instr.pc;
+  e.valid_from = valid_from;
   e.deps = deps;
   pool_.Admit(std::move(e));
   ++stats_.admitted;
@@ -314,7 +326,30 @@ bool Recycler::EnsureCapacity(size_t bytes_needed) {
       [this](size_t, const PoolEntry& e) { NoteEviction(e); });
 }
 
-void Recycler::OnCatalogUpdate(const std::vector<ColumnId>& cols) {
+uint64_t Recycler::ValidFromFor(const std::vector<ColumnId>& deps) const {
+  std::lock_guard<std::mutex> lock(shared_->epoch_mu);
+  uint64_t floor = 0;
+  for (const ColumnId& d : deps) {
+    auto it = shared_->col_epochs.find(d);
+    if (it != shared_->col_epochs.end() && it->second > floor)
+      floor = it->second;
+  }
+  return floor;
+}
+
+void Recycler::StampColumnEpochs(const std::vector<ColumnId>& cols,
+                                 uint64_t epoch) {
+  if (epoch == 0) return;
+  std::lock_guard<std::mutex> lock(shared_->epoch_mu);
+  for (const ColumnId& c : cols) {
+    uint64_t& slot = shared_->col_epochs[c];
+    if (epoch > slot) slot = epoch;
+  }
+}
+
+void Recycler::OnCatalogUpdate(const std::vector<ColumnId>& cols,
+                               uint64_t epoch) {
+  StampColumnEpochs(cols, epoch);
   stats_.invalidated += pool_.InvalidateColumns(cols);
 }
 
@@ -407,6 +442,7 @@ void Recycler::AdmitRefresh(Refresh r) {
   e.last_query = e.admit_query;
   e.source_tid = r.source_tid;
   e.source_pc = r.source_pc;
+  e.valid_from = ValidFromFor(r.deps);
   e.deps = std::move(r.deps);
   AddSubsetEdges(e.op, e.args, e.results);
   pool_.Admit(std::move(e));
@@ -414,7 +450,12 @@ void Recycler::AdmitRefresh(Refresh r) {
 }
 
 void Recycler::PropagateUpdate(Catalog* catalog,
-                               const std::vector<ColumnId>& cols) {
+                               const std::vector<ColumnId>& cols,
+                               uint64_t epoch) {
+  // Stamp first: the refreshed entries are re-admitted below and must carry
+  // the new validity floor (their merged results include the fresh delta,
+  // which readers on older snapshots must not see).
+  StampColumnEpochs(cols, epoch);
   std::vector<Refresh> refreshes = CollectRefreshes(
       catalog, cols, [this](uint64_t bat_id) { return pool_.ProducerOf(bat_id); });
 

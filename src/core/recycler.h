@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -72,6 +73,10 @@ struct RecyclerStats {
   uint64_t evicted = 0;
   uint64_t invalidated = 0;  ///< entries dropped by update invalidation
   uint64_t propagated = 0;   ///< entries refreshed by delta propagation
+  /// Admissions declined because the producing query ran against a snapshot
+  /// older than a dependency's current epoch (the result may miss committed
+  /// rows, so it must not enter the pool).
+  uint64_t stale_declines = 0;
   double time_saved_ms = 0;  ///< Σ original cost of entries reused exactly
   double match_ms = 0;       ///< total time spent in recycleEntry matching
   double subsume_alg_ms = 0; ///< time inside the combined-subsumption DP
@@ -93,6 +98,7 @@ struct RecyclerStats {
     evicted += o.evicted;
     invalidated += o.invalidated;
     propagated += o.propagated;
+    stale_declines += o.stale_declines;
     time_saved_ms += o.time_saved_ms;
     match_ms += o.match_ms;
     subsume_alg_ms += o.subsume_alg_ms;
@@ -107,6 +113,13 @@ struct RecyclerStats {
 /// and the eviction-protection epoch.
 struct QueryCtx {
   uint64_t query_id = 0;
+  /// The catalog snapshot epoch the invocation runs against. kEpochLatest
+  /// (the default, used by the single-session convenience API and every
+  /// pre-MVCC caller) sees the whole pool and admits unconditionally; a
+  /// pinned epoch filters hit/subsumption candidates to entries with
+  /// valid_from <= epoch and declines admissions whose dependencies have
+  /// moved past it (stale_declines).
+  uint64_t epoch = kEpochLatest;
 };
 
 /// State shared by every stripe of a striped recycler group (see
@@ -133,6 +146,14 @@ struct RecyclerSharedState {
   /// Cross-stripe pool bookkeeping: column memory attribution + borrow
   /// edges, bat→producer lineage registry, subset lattice.
   PoolSharedState pool_shared;
+
+  /// MVCC: the snapshot epoch at which each column was last touched by a
+  /// published mutation (absent = never touched = epoch 0). Stamped by
+  /// OnCatalogUpdate/PropagateUpdate *before* invalidation so re-admitted
+  /// and refreshed entries pick up the new validity floor; read by
+  /// admissions to compute valid_from = max over deps. Leaf mutex.
+  mutable std::mutex epoch_mu;
+  std::map<ColumnId, uint64_t> col_epochs;
 
   /// Capacity delegate. When set (striped mode with a byte/entry budget),
   /// admissions call this instead of the private-pool EnsureCapacity. In
@@ -230,14 +251,19 @@ class Recycler : public RecyclerHook {
 
   /// Immediate column-wise invalidation (§6.4): drops every entry derived
   /// from any of `cols`. This is the listener the catalog should call.
-  void OnCatalogUpdate(const std::vector<ColumnId>& cols);
+  /// `epoch`, when non-zero, is the snapshot epoch the triggering commit is
+  /// about to publish; it is stamped into the shared col_epochs map first so
+  /// subsequent admissions over these columns carry the right validity floor
+  /// (0 = legacy caller without an MVCC catalog; no stamping).
+  void OnCatalogUpdate(const std::vector<ColumnId>& cols, uint64_t epoch = 0);
 
   /// §6.3 extension: for insert-only commits, refreshes selection-over-bind
   /// entries (range kSelect, equality kUselect, and kLikeSelect) by running
   /// them over the insert delta and appending, instead of dropping them;
   /// everything else is invalidated. Requires the catalog that produced the
-  /// update.
-  void PropagateUpdate(Catalog* catalog, const std::vector<ColumnId>& cols);
+  /// update. `epoch` as in OnCatalogUpdate.
+  void PropagateUpdate(Catalog* catalog, const std::vector<ColumnId>& cols,
+                       uint64_t epoch = 0);
 
   /// Empties the pool (benchmark preparation; "empty the recycle pool").
   /// Safe between invocations, and — under external synchronisation — while
@@ -301,6 +327,14 @@ class Recycler : public RecyclerHook {
   /// Frees capacity for `bytes_needed`; returns false if impossible.
   /// Delegates to the shared capacity hook in striped mode.
   bool EnsureCapacity(size_t bytes_needed);
+  /// The validity floor of an entry with dependency set `deps`: the newest
+  /// col_epochs stamp over any dep (0 when none was ever touched). NOT the
+  /// current epoch — an entry over untouched tables stays reusable by
+  /// readers on older snapshots.
+  uint64_t ValidFromFor(const std::vector<ColumnId>& deps) const;
+  /// Records `epoch` as the touch epoch of every column in `cols` (no-op
+  /// when epoch == 0, the legacy non-MVCC caller convention).
+  void StampColumnEpochs(const std::vector<ColumnId>& cols, uint64_t epoch);
   void NoteEviction(const PoolEntry& e);
   void AddSubsetEdges(Opcode op, const std::vector<MalValue>& args,
                       const std::vector<MalValue>& results);

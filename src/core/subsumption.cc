@@ -138,7 +138,7 @@ bool RangeOverlaps(const ValRange& a, const ValRange& b) {
 }
 
 std::optional<SubsumeOutcome> SubsumptionEngine::TrySelect(
-    Opcode op, const std::vector<MalValue>& args) {
+    Opcode op, const std::vector<MalValue>& args, uint64_t visible_epoch) {
   if (!args[0].is_bat()) return std::nullopt;
   uint64_t src_bat = args[0].bat()->id();
 
@@ -155,7 +155,7 @@ std::optional<SubsumeOutcome> SubsumptionEngine::TrySelect(
   if (target.lo.unbounded && target.hi.unbounded) return std::nullopt;
 
   std::vector<PoolEntry*> cands =
-      pool_->FindByOpAndFirstArg(Opcode::kSelect, src_bat);
+      pool_->FindByOpAndFirstArg(Opcode::kSelect, src_bat, visible_epoch);
   if (cands.empty()) return std::nullopt;
 
   // --- singleton subsumption (§5.1): cheapest covering intermediate -------
@@ -316,14 +316,14 @@ std::optional<SubsumeOutcome> SubsumptionEngine::TryCombined(
 }
 
 std::optional<SubsumeOutcome> SubsumptionEngine::TryLike(
-    const std::vector<MalValue>& args) {
+    const std::vector<MalValue>& args, uint64_t visible_epoch) {
   if (!args[0].is_bat()) return std::nullopt;
   uint64_t src_bat = args[0].bat()->id();
   const std::string& pattern = args[1].scalar().AsStr();
   std::vector<std::string> segments = LikeSegments(pattern);
 
   std::vector<PoolEntry*> cands =
-      pool_->FindByOpAndFirstArg(Opcode::kLikeSelect, src_bat);
+      pool_->FindByOpAndFirstArg(Opcode::kLikeSelect, src_bat, visible_epoch);
   PoolEntry* best = nullptr;
   for (PoolEntry* c : cands) {
     const std::string& cp = c->args[1].scalar().AsStr();
@@ -355,13 +355,13 @@ std::optional<SubsumeOutcome> SubsumptionEngine::TryLike(
 }
 
 std::optional<SubsumeOutcome> SubsumptionEngine::TrySemijoin(
-    const std::vector<MalValue>& args) {
+    const std::vector<MalValue>& args, uint64_t visible_epoch) {
   if (!args[0].is_bat() || !args[1].is_bat()) return std::nullopt;
   uint64_t src_bat = args[0].bat()->id();
   uint64_t w_bat = args[1].bat()->id();
 
   std::vector<PoolEntry*> cands =
-      pool_->FindByOpAndFirstArg(Opcode::kSemijoin, src_bat);
+      pool_->FindByOpAndFirstArg(Opcode::kSemijoin, src_bat, visible_epoch);
   PoolEntry* best = nullptr;
   for (PoolEntry* c : cands) {
     if (!c->args[1].is_bat()) continue;

@@ -58,17 +58,21 @@ class SubsumptionEngine {
 
   /// Range-select subsumption: singleton (§5.1) first, then combined
   /// (Algorithm 2). `op` may be kSelect or kUselect (an equality select is
-  /// the degenerate range [v, v]).
+  /// the degenerate range [v, v]). `visible_epoch` restricts candidates to
+  /// pool entries visible to the probing query's snapshot.
   std::optional<SubsumeOutcome> TrySelect(Opcode op,
-                                          const std::vector<MalValue>& args);
+                                          const std::vector<MalValue>& args,
+                                          uint64_t visible_epoch = kEpochLatest);
 
   /// LIKE-pattern subsumption: a cached `%s%` scan covers any pattern whose
   /// guaranteed literal content contains `s`.
-  std::optional<SubsumeOutcome> TryLike(const std::vector<MalValue>& args);
+  std::optional<SubsumeOutcome> TryLike(const std::vector<MalValue>& args,
+                                        uint64_t visible_epoch = kEpochLatest);
 
   /// Semijoin subsumption: semijoin(X, W) from a cached semijoin(X, V) with
   /// W ⊂ V, established via the pool's subset lattice.
-  std::optional<SubsumeOutcome> TrySemijoin(const std::vector<MalValue>& args);
+  std::optional<SubsumeOutcome> TrySemijoin(const std::vector<MalValue>& args,
+                                            uint64_t visible_epoch = kEpochLatest);
 
  private:
   std::optional<SubsumeOutcome> TryCombined(const ValRange& target,

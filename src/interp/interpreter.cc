@@ -85,15 +85,22 @@ Result<std::vector<MalValue>> Interpreter::ExecInstr(
   std::vector<MalValue> out;
   switch (ins.op) {
     case Opcode::kBind: {
+      // With a snapshot pinned, binds resolve against the immutable epoch
+      // view and never touch the mutable catalog (lock-free MVCC reads).
       RDB_ASSIGN_OR_RETURN(
-          BatPtr b, catalog_->BindColumn(a[1].scalar().AsStr(),
-                                         a[2].scalar().AsStr()));
+          BatPtr b, snapshot_ != nullptr
+                        ? snapshot_->BindColumn(a[1].scalar().AsStr(),
+                                                a[2].scalar().AsStr())
+                        : catalog_->BindColumn(a[1].scalar().AsStr(),
+                                               a[2].scalar().AsStr()));
       out.emplace_back(std::move(b));
       break;
     }
     case Opcode::kBindIdx: {
-      RDB_ASSIGN_OR_RETURN(BatPtr b,
-                           catalog_->BindIndex(a[2].scalar().AsStr()));
+      RDB_ASSIGN_OR_RETURN(
+          BatPtr b, snapshot_ != nullptr
+                        ? snapshot_->BindIndex(a[2].scalar().AsStr())
+                        : catalog_->BindIndex(a[2].scalar().AsStr()));
       out.emplace_back(std::move(b));
       break;
     }
@@ -286,11 +293,16 @@ Result<QueryResult> Interpreter::Run(const Program& prog,
     std::vector<ColumnId> instr_deps;
     for (uint16_t ai : ins.args) MergeDeps(&instr_deps, deps[ai]);
     if (ins.op == Opcode::kBind) {
-      auto cid = catalog_->GetColumnId(args[1].scalar().AsStr(),
-                                       args[2].scalar().AsStr());
+      auto cid = snapshot_ != nullptr
+                     ? snapshot_->GetColumnId(args[1].scalar().AsStr(),
+                                              args[2].scalar().AsStr())
+                     : catalog_->GetColumnId(args[1].scalar().AsStr(),
+                                             args[2].scalar().AsStr());
       if (cid.ok()) instr_deps.push_back(cid.value());
     } else if (ins.op == Opcode::kBindIdx) {
-      auto cid = catalog_->GetIndexId(args[2].scalar().AsStr());
+      auto cid = snapshot_ != nullptr
+                     ? snapshot_->GetIndexId(args[2].scalar().AsStr())
+                     : catalog_->GetIndexId(args[2].scalar().AsStr());
       if (cid.ok()) instr_deps.push_back(cid.value());
     }
     std::sort(instr_deps.begin(), instr_deps.end());

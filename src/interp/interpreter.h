@@ -34,6 +34,14 @@ class Interpreter {
   Result<QueryResult> Run(const Program& prog,
                           const std::vector<Scalar>& params);
 
+  /// Pins the catalog snapshot the NEXT Run() calls resolve binds and
+  /// dependency ids against (null, the default, reads the live catalog —
+  /// pre-MVCC behaviour, requiring external serialisation against commits).
+  /// With a snapshot pinned, Run() never touches the mutable catalog: it is
+  /// safe concurrently with commits without any lock. The caller keeps the
+  /// snapshot alive across the run.
+  void set_snapshot(const CatalogSnapshot* snapshot) { snapshot_ = snapshot; }
+
   const RunStats& last_run() const { return last_run_; }
 
  private:
@@ -43,6 +51,7 @@ class Interpreter {
 
   Catalog* catalog_;
   RecyclerHook* recycler_;
+  const CatalogSnapshot* snapshot_ = nullptr;
   RunStats last_run_;
 };
 

@@ -108,6 +108,7 @@ void Client::Close() {
   decoder_ = FrameDecoder(kDefaultMaxFrameBytes);
   version_ = 0;
   server_max_inflight_ = 0;
+  server_snapshot_reads_ = false;
 }
 
 bool Client::IsBusy(const Status& st) {
@@ -183,6 +184,7 @@ Status Client::Connect(const ClientConfig& cfg) {
   }
   version_ = welcome.value().version;
   server_max_inflight_ = welcome.value().max_inflight;
+  server_snapshot_reads_ = (f.flags & kWelcomeFlagSnapshotReads) != 0;
   return Status::OK();
 }
 

@@ -44,6 +44,9 @@ class Client {
   uint8_t negotiated_version() const { return version_; }
   /// The server's advertised per-connection admission window.
   uint32_t server_max_inflight() const { return server_max_inflight_; }
+  /// True when WELCOME advertised MVCC snapshot reads (SELECTs never block
+  /// on, nor observe, commits that land while they run).
+  bool server_snapshot_reads() const { return server_snapshot_reads_; }
 
   struct Response {
     QueryResult result;
@@ -90,6 +93,7 @@ class Client {
   ClientConfig cfg_;
   uint8_t version_ = 0;
   uint32_t server_max_inflight_ = 0;
+  bool server_snapshot_reads_ = false;
   uint64_t next_rid_ = 1;
   FrameDecoder decoder_{kDefaultMaxFrameBytes};
 };

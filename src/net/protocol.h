@@ -72,6 +72,12 @@ bool IsKnownFrameKind(uint8_t k);
 /// RESULT flag: a trace text payload trails the result set.
 inline constexpr uint8_t kFlagHasTrace = 0x1;
 
+/// WELCOME flag: the server executes SELECTs as MVCC snapshot reads — a
+/// query captures the catalog epoch at submission and never blocks on (nor
+/// observes) commits that land while it runs. Clients may surface this to
+/// decide read-your-writes expectations.
+inline constexpr uint8_t kWelcomeFlagSnapshotReads = 0x1;
+
 /// One decoded frame.
 struct Frame {
   uint8_t version = kProtocolVersion;

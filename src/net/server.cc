@@ -13,7 +13,6 @@
 #include <cstring>
 #include <utility>
 
-#include "sql/parser.h"
 #include "util/str.h"
 #include "util/timer.h"
 
@@ -418,7 +417,12 @@ void RecycleServer::HandleFrame(Conn* conn, Frame frame) {
                     ? kProtocolVersion
                     : hello.value().max_version;
     w.max_inflight = cfg_.max_inflight_per_conn;
-    SendFrame(conn, FrameKind::kWelcome, frame.request_id, EncodeWelcome(w));
+    // Advertise MVCC snapshot reads so clients know SELECTs never serialise
+    // against (or observe) concurrent commits.
+    const uint8_t wflags =
+        svc_->config().snapshot_reads ? kWelcomeFlagSnapshotReads : 0;
+    SendFrame(conn, FrameKind::kWelcome, frame.request_id, EncodeWelcome(w),
+              wflags);
     return;
   }
 
@@ -454,9 +458,9 @@ void RecycleServer::HandleFrame(Conn* conn, Frame frame) {
         return;
       }
       if (name == "autocommit") {
-        conn->autocommit = value == "on";
+        conn->session->set_autocommit(value == "on");
       } else if (name == "trace") {
-        conn->trace_all = value == "on";
+        conn->session->set_trace_all(value == "on");
       } else {
         SendError(conn, frame.request_id,
                   Status::InvalidArgument("unknown option '" + name + "'"));
@@ -580,19 +584,23 @@ void RecycleServer::Submit(Conn* conn, PendingReq req) {
     {
       std::lock_guard<std::mutex> lock(dml_mu_);
       dml_queue_.push_back(
-          DmlJob{cid, rid, std::move(req.sql), conn->autocommit});
+          DmlJob{cid, rid, std::move(req.sql), conn->session});
     }
     dml_cv_.notify_one();
     return;
   }
-  std::string sql = std::move(req.sql);
-  // The session-level trace flag mirrors the shell's `.trace on`: wrap
-  // bare SELECTs; explicit TRACE SELECT stays as-is.
-  if (conn->trace_all && FirstWordLower(sql) == "select")
-    sql = "trace " + sql;
-  svc_->SubmitSqlAsync(sql, [this, cid, rid](Result<QueryResult> r) {
-    PostCompletion(cid, rid, std::move(r));
-  });
+  // The connection's session carries trace-all/autocommit, so no SQL-text
+  // rewriting is needed; the service applies them per submission.
+  Request qreq;
+  qreq.sql = std::move(req.sql);
+  qreq.session = conn->session.get();
+  // The callback owns a session reference: the Session must outlive the
+  // run even if the connection dies while the query executes.
+  auto sess = conn->session;
+  svc_->SubmitAsync(std::move(qreq),
+                    [this, cid, rid, sess](Result<QueryResult> r) {
+                      PostCompletion(cid, rid, std::move(r));
+                    });
 }
 
 void RecycleServer::ProcessCompletions() {
@@ -710,19 +718,15 @@ void RecycleServer::DmlLoop() {
       job = std::move(dml_queue_.front());
       dml_queue_.pop_front();
     }
-    Result<QueryResult> r = svc_->RunSql(job.sql);
-    if (r.ok() && job.autocommit) {
-      // Mirror the shell's autocommit: INSERT/DELETE are committed right
-      // away; a bare COMMIT (or any failure) is left alone.
-      auto parsed = sql::ParseStatement(job.sql);
-      if (parsed.ok() &&
-          (parsed.value().kind == sql::Statement::Kind::kInsert ||
-           parsed.value().kind == sql::Statement::Kind::kDelete)) {
-        Result<QueryResult> cr = svc_->RunSql("commit");
-        if (!cr.ok()) r = cr.status();
-      }
-    }
-    PostCompletion(job.conn_id, job.rid, std::move(r));
+    // Submit under the connection's session: the service folds the
+    // session's autocommit into the statement's exclusive update hold, so
+    // the INSERT/DELETE and its commit are atomic w.r.t. other sessions
+    // (the pre-PR8 two-statement sequence could interleave).
+    Request dreq;
+    dreq.sql = std::move(job.sql);
+    dreq.session = job.session.get();
+    QueryHandle h = svc_->Submit(std::move(dreq));
+    PostCompletion(job.conn_id, job.rid, h.future.get());
   }
 }
 

@@ -50,12 +50,14 @@ struct NetConfig {
 ///  - The I/O thread owns every socket and all per-connection state:
 ///    non-blocking accept/read/write, frame decode, admission control, and
 ///    response encoding all happen there.
-///  - SELECT-path requests go through QueryService::SubmitSqlAsync; the
+///  - SELECT-path requests go through QueryService::SubmitAsync as Requests
+///    under the connection's Session (MVCC snapshot reads by default); the
 ///    completion callback (on a service worker) posts into a completion
 ///    queue and wakes the I/O loop through a self-pipe.
 ///  - DML requests run on ONE dedicated executor thread (they block on the
-///    exclusive update lock, which must never stall the I/O loop), with
-///    per-session autocommit applied there.
+///    exclusive update lock, which must never stall the I/O loop); the
+///    session's autocommit is applied by QueryService::Submit itself,
+///    atomically with the statement.
 ///  - Stop() closes the listener, fails requests still parked in pending
 ///    queues, then drains: every submitted request's completion is awaited,
 ///    encoded, and flushed before the I/O thread exits. The wait is purely
@@ -109,8 +111,10 @@ class RecycleServer {
     std::string wbuf;  ///< encoded-but-unsent bytes
     size_t woff = 0;   ///< sent prefix of wbuf
     bool hello_done = false;
-    bool autocommit = true;
-    bool trace_all = false;
+    /// The QueryService session every request on this connection executes
+    /// under: owns autocommit (SET_OPTION), trace-all, and snapshot pinning.
+    /// Shared so an in-flight DML job keeps it alive past CloseConn.
+    std::shared_ptr<Session> session = std::make_shared<Session>();
     bool stop_reading = false;
     bool close_after_flush = false;
     /// Closed but not yet reaped: the fd is gone and the conn left conns_,
@@ -133,7 +137,9 @@ class RecycleServer {
     uint64_t conn_id = 0;
     uint64_t rid = 0;
     std::string sql;
-    bool autocommit = true;
+    /// Keeps the connection's session (and its autocommit flag) alive even
+    /// if the connection closes while the job waits for the update lock.
+    std::shared_ptr<Session> session;
   };
 
   void IoLoop();

@@ -21,6 +21,8 @@ const char* EventKindName(EventKind k) {
       return "propagate";
     case EventKind::kCancel:
       return "cancel";
+    case EventKind::kEpochBump:
+      return "epoch_bump";
   }
   return "?";
 }

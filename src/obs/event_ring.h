@@ -21,6 +21,7 @@ enum class EventKind : uint8_t {
   kInvalidate,  ///< commit/DDL invalidated pool + plan-cache state
   kPropagate,   ///< insert-only commit refreshed pool entries (§6.3)
   kCancel,      ///< a client cancelled an in-flight or queued request
+  kEpochBump,   ///< a commit/DDL published a new catalog snapshot epoch
 };
 
 const char* EventKindName(EventKind k);

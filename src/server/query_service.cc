@@ -28,6 +28,9 @@ QueryService::QueryService(std::unique_ptr<Catalog> catalog, ServiceConfig cfg)
 QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
     : catalog_(catalog), cfg_(cfg), recycler_(cfg.recycler, &governor_) {
   if (cfg_.num_workers < 1) cfg_.num_workers = 1;
+  // The legacy SubmitSql/RunSql wrappers route through the default session;
+  // they predate autocommit, so deltas stay pending until an explicit COMMIT.
+  default_session_.set_autocommit(false);
   // Metric registration happens before the workers start, so the hot paths
   // only ever touch stable pointers.
   c_submitted_ = metrics_.AddCounter("queries_submitted");
@@ -42,6 +45,8 @@ QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
   c_dml_inserted_ = metrics_.AddCounter("dml_rows_inserted");
   c_dml_deleted_ = metrics_.AddCounter("dml_rows_deleted");
   c_dml_commits_ = metrics_.AddCounter("dml_commits");
+  c_epoch_pins_ = metrics_.AddCounter("epoch_pins");
+  c_stale_refreshes_ = metrics_.AddCounter("stale_entry_refreshes");
   h_query_wall_us_ = metrics_.AddHistogram("query_wall_us");
   h_query_exec_us_ = metrics_.AddHistogram("query_exec_us");
   h_sql_parse_us_ = metrics_.AddHistogram("sql_parse_us");
@@ -53,6 +58,7 @@ QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
                       [this] { return plan_cache_.size(); });
   metrics_.AddGaugeFn("plan_cache_bytes",
                       [this] { return plan_cache_.bytes(); });
+  metrics_.AddGaugeFn("snapshot_epoch", [this] { return catalog_->epoch(); });
   recycler_.set_event_ring(&events_);
   plan_cache_.set_event_ring(&events_);
   // The plan cache leases its capacity from the same governor the recycle
@@ -66,11 +72,24 @@ QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
   RDB_CHECK(!catalog_->HasUpdateListener());
   // Commits and DDL report their invalidated columns here; ApplyUpdate's
   // exclusive lock makes the pool and plan-cache maintenance atomic w.r.t.
-  // query execution. The plan cache is invalidated even with the recycler
-  // off: a cached plan over a dropped/changed table must never be reused
-  // without recompilation.
-  catalog_->SetUpdateListener([this](const std::vector<ColumnId>& cols) {
-    plan_cache_.Invalidate(cols);
+  // query execution.
+  catalog_->SetUpdateListener([this](const std::vector<ColumnId>& cols,
+                                     Catalog::UpdateKind kind) {
+    // The listener fires BEFORE the catalog publishes the mutation's
+    // snapshot (PublishSnapshot bumps the epoch by exactly one, after us),
+    // so the epoch the touched columns move to is current + 1. Stamping it
+    // into the recycler's col_epochs map here — before any re-admission —
+    // is what epoch-tags refreshed pool entries correctly.
+    const uint64_t new_epoch = catalog_->epoch() + 1;
+    events_.Record(obs::EventKind::kEpochBump, 0, new_epoch, cols.size());
+    // Plans survive data commits: a compiled statement binds tables by name
+    // at run time, so new rows only move the epoch its next execution reads
+    // under — eviction (and the recompile stall behind the update gate it
+    // forces on every later submission) is reserved for schema changes,
+    // where the cached Program is structurally stale. This is the
+    // plan-cache half of epoch tagging; even with the recycler off, schema
+    // changes must still evict.
+    if (kind == Catalog::UpdateKind::kSchema) plan_cache_.Invalidate(cols);
     if (!cfg_.enable_recycler) {
       events_.Record(obs::EventKind::kInvalidate, 0, 0, cols.size());
       return;
@@ -83,13 +102,16 @@ QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
     // commit is visible in the ring.
     RecyclerStats before = recycler_.stats();
     if (cfg_.propagate_updates) {
-      recycler_.PropagateUpdate(catalog_, cols);
+      recycler_.PropagateUpdate(catalog_, cols, new_epoch);
     } else {
-      recycler_.OnCatalogUpdate(cols);
+      recycler_.OnCatalogUpdate(cols, new_epoch);
     }
     RecyclerStats after = recycler_.stats();
     const uint64_t prop = after.propagated - before.propagated;
     const uint64_t inv = after.invalidated - before.invalidated;
+    // Every propagated entry was refreshed BECAUSE the commit moved its
+    // dependencies' epoch past its valid_from: the §6.3 lazy-refresh path.
+    c_stale_refreshes_->Add(prop);
     if (prop > 0)
       events_.Record(obs::EventKind::kPropagate, 0, prop, cols.size());
     if (inv > 0 || prop == 0)
@@ -158,17 +180,38 @@ std::future<Result<QueryResult>> QueryService::Enqueue(Task t) {
   return fut;
 }
 
-std::future<Result<QueryResult>> QueryService::SubmitSql(
-    const std::string& text) {
+QueryHandle QueryService::Submit(Request req) {
+  QueryHandle h;
   // std::function must be copyable, so the promise rides in a shared_ptr.
   auto p = std::make_shared<std::promise<Result<QueryResult>>>();
-  std::future<Result<QueryResult>> f = p->get_future();
-  SubmitSqlAsync(text,
-                 [p](Result<QueryResult> r) { p->set_value(std::move(r)); });
-  return f;
+  h.future = p->get_future();
+  RouteStatement(req.sql, req.session, req.options,
+                 [p](Result<QueryResult> r) { p->set_value(std::move(r)); },
+                 &h);
+  return h;
+}
+
+void QueryService::SubmitAsync(Request req, SqlCallback done) {
+  RouteStatement(req.sql, req.session, req.options, std::move(done), nullptr);
+}
+
+std::future<Result<QueryResult>> QueryService::SubmitSql(
+    const std::string& text) {
+  return Submit(Request{text, &default_session_, {}}).future;
 }
 
 void QueryService::SubmitSqlAsync(const std::string& text, SqlCallback done) {
+  SubmitAsync(Request{text, &default_session_, {}}, std::move(done));
+}
+
+Result<QueryResult> QueryService::RunSql(const std::string& text) {
+  return SubmitSql(text).get();
+}
+
+void QueryService::RouteStatement(const std::string& text, Session* session,
+                                  const SubmitOptions& options,
+                                  SqlCallback done, QueryHandle* handle_out) {
+  if (session == nullptr) session = &default_session_;
   // Parse/compile/bind rejections count as submitted+failed, so operators
   // watching ServiceStats see errored SQL, not only worker-side failures.
   auto fail = [this, &done](Status st) {
@@ -185,11 +228,15 @@ void QueryService::SubmitSqlAsync(const std::string& text, SqlCallback done) {
 
   if (parsed.value().kind != sql::Statement::Kind::kSelect) {
     // DML runs on the calling thread under the exclusive update lock; the
-    // callback fires before SubmitSqlAsync returns. Counted like any
+    // callback fires before RouteStatement returns. Counted like any
     // submission so operators see DML in the same submitted/completed/failed
     // totals.
+    if (handle_out != nullptr) {
+      handle_out->is_dml = true;
+      handle_out->snapshot_epoch = catalog_->epoch();
+    }
     c_submitted_->Add(1);
-    Result<QueryResult> r = ExecuteDml(parsed.value());
+    Result<QueryResult> r = ExecuteDml(parsed.value(), session);
     if (r.ok())
       c_completed_->Add(1);
     else
@@ -198,13 +245,28 @@ void QueryService::SubmitSqlAsync(const std::string& text, SqlCallback done) {
     return;
   }
 
+  // Snapshot capture (MVCC): the session's pinned snapshot wins (repeatable
+  // reads), else the newest published epoch. kLatest consistency — or the
+  // service-wide ablation knob — keeps the legacy shared-lock path.
+  CatalogSnapshotPtr snapshot;
+  if (cfg_.snapshot_reads && options.consistency == Consistency::kSnapshot) {
+    snapshot = session->pinned();
+    if (snapshot == nullptr) snapshot = catalog_->Snapshot();
+    c_epoch_pins_->Add(1);
+  }
+  if (handle_out != nullptr) {
+    handle_out->snapshot_epoch =
+        snapshot != nullptr ? snapshot->epoch() : catalog_->epoch();
+  }
+
   const sql::SelectStmt& stmt = parsed.value().select;
   std::string fp = sql::Fingerprint(stmt);
-  // Tracing: explicit TRACE always wins; otherwise 1-in-N sampling. The
-  // fingerprint is computed from the SelectStmt alone, so a traced instance
-  // shares the untraced instances' plan.
-  std::shared_ptr<obs::QueryTrace> trace =
-      MaybeTrace(text, parsed.value().traced);
+  // Tracing: explicit TRACE always wins; otherwise the submission/session
+  // flags, then 1-in-N sampling. The fingerprint is computed from the
+  // SelectStmt alone, so a traced instance shares the untraced instances'
+  // plan.
+  std::shared_ptr<obs::QueryTrace> trace = MaybeTrace(
+      text, parsed.value().traced || options.trace || session->trace_all());
   if (trace != nullptr) {
     obs::QueryTrace::Span parse_span;
     parse_span.name = "parse";
@@ -216,15 +278,11 @@ void QueryService::SubmitSqlAsync(const std::string& text, SqlCallback done) {
   std::vector<Scalar> params;
   obs::QueryTrace::Span plan_span;
   plan_span.name = "plan";
+  StopWatch plan_sw;
   {
-    // Compilation reads catalog metadata, so it takes the same shared hold
-    // queries execute under; a commit can therefore not change the schema
-    // mid-compile. The hold is released before enqueueing — a plan that a
-    // later commit invalidates stays executable (binds resolve by name at
-    // run time; a dropped table surfaces as a clean NotFound result).
-    WaitForUpdateGate();
-    std::shared_lock<std::shared_mutex> lock(update_mu_);
-    StopWatch plan_sw;
+    // The plan cache is internally synchronised, so the probe needs no
+    // update-lock hold: a plan-cache hit on the snapshot path touches no
+    // lock a commit contends on at all.
     StopWatch probe_sw;
     entry = plan_cache_.Lookup(fp);
     if (trace != nullptr) {
@@ -234,41 +292,50 @@ void QueryService::SubmitSqlAsync(const std::string& text, SqlCallback done) {
       probe.note = entry == nullptr ? "miss" : "hit";
       plan_span.children.push_back(std::move(probe));
     }
-    if (entry == nullptr) {
-      std::vector<Scalar> own;
-      StopWatch compile_sw;
-      auto plan = sql::CompileStmt(catalog_, stmt, &own);
-      h_sql_compile_us_->Record(MsToUs(compile_sw.ElapsedMillis()));
-      if (!plan.ok()) return fail(plan.status());
-      PlanCache::Entry e;
-      e.prog = std::make_shared<const Program>(std::move(plan.value().prog));
-      e.param_types = std::move(plan.value().param_types);
-      e.table_ids = std::move(plan.value().table_ids);
-      // Under a compile race the first insert wins; our parameter vector
-      // still fits the winner (same fingerprint => same canonical literal
-      // order and types).
-      entry = plan_cache_.Insert(fp, std::move(e));
-      params = std::move(own);
-      if (trace != nullptr) {
-        obs::QueryTrace::Span compile;
-        compile.name = "compile";
-        compile.dur_ms = compile_sw.ElapsedMillis();
-        plan_span.children.push_back(std::move(compile));
-      }
-    } else {
-      StopWatch bind_sw;
-      auto bound = sql::BindLiterals(stmt, entry->param_types);
-      if (!bound.ok()) return fail(bound.status());
-      params = std::move(bound).value();
-      if (trace != nullptr) {
-        obs::QueryTrace::Span bind;
-        bind.name = "bind_params";
-        bind.dur_ms = bind_sw.ElapsedMillis();
-        plan_span.children.push_back(std::move(bind));
-      }
-    }
-    plan_span.dur_ms = plan_sw.ElapsedMillis();
   }
+  if (entry == nullptr) {
+    // Compilation reads catalog metadata, so it takes the same shared hold
+    // legacy queries execute under; a commit can therefore not change the
+    // schema mid-compile. The hold is released before enqueueing — a plan
+    // that a later commit invalidates stays executable (binds resolve by
+    // name at run time; a dropped table surfaces as a clean NotFound).
+    WaitForUpdateGate();
+    std::shared_lock<std::shared_mutex> lock(update_mu_);
+    std::vector<Scalar> own;
+    StopWatch compile_sw;
+    auto plan = sql::CompileStmt(catalog_, stmt, &own);
+    h_sql_compile_us_->Record(MsToUs(compile_sw.ElapsedMillis()));
+    if (!plan.ok()) return fail(plan.status());
+    PlanCache::Entry e;
+    e.prog = std::make_shared<const Program>(std::move(plan.value().prog));
+    e.param_types = std::move(plan.value().param_types);
+    e.table_ids = std::move(plan.value().table_ids);
+    // Under a compile race the first insert wins; our parameter vector
+    // still fits the winner (same fingerprint => same canonical literal
+    // order and types).
+    entry = plan_cache_.Insert(fp, std::move(e));
+    params = std::move(own);
+    if (trace != nullptr) {
+      obs::QueryTrace::Span compile;
+      compile.name = "compile";
+      compile.dur_ms = compile_sw.ElapsedMillis();
+      plan_span.children.push_back(std::move(compile));
+    }
+  } else {
+    // BindLiterals is pure over the parsed statement — catalog-free, so the
+    // whole hit path stays lock-free.
+    StopWatch bind_sw;
+    auto bound = sql::BindLiterals(stmt, entry->param_types);
+    if (!bound.ok()) return fail(bound.status());
+    params = std::move(bound).value();
+    if (trace != nullptr) {
+      obs::QueryTrace::Span bind;
+      bind.name = "bind_params";
+      bind.dur_ms = bind_sw.ElapsedMillis();
+      plan_span.children.push_back(std::move(bind));
+    }
+  }
+  plan_span.dur_ms = plan_sw.ElapsedMillis();
   if (trace != nullptr) trace->root().children.push_back(std::move(plan_span));
 
   Task t;
@@ -277,16 +344,24 @@ void QueryService::SubmitSqlAsync(const std::string& text, SqlCallback done) {
   t.params = std::move(params);
   t.trace = std::move(trace);
   t.done = std::move(done);
+  t.snapshot = std::move(snapshot);
+  if (options.deadline_ms > 0)
+    t.deadline_at_ms = NowMillis() + options.deadline_ms;
   Enqueue(std::move(t));
 }
 
-Result<QueryResult> QueryService::RunSql(const std::string& text) {
-  return SubmitSql(text).get();
-}
-
-Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt) {
+Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt,
+                                             Session* session) {
+  if (session == nullptr) session = &default_session_;
   QueryResult out;
+  // Autocommit folds the statement and its commit into ONE exclusive hold:
+  // no other session can interleave a statement between them, and the
+  // commit's pool/plan maintenance + epoch publish land atomically with the
+  // mutation.
+  const bool autocommit = session->autocommit() &&
+                          stmt.kind != sql::Statement::Kind::kCommit;
   Status st = ApplyUpdate([&](Catalog* cat) -> Status {
+    auto run_stmt = [&]() -> Status {
     switch (stmt.kind) {
       case sql::Statement::Kind::kInsert: {
         RDB_ASSIGN_OR_RETURN(std::vector<std::vector<Scalar>> rows,
@@ -299,14 +374,11 @@ Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt) {
         return Status::OK();
       }
       case sql::Statement::Kind::kDelete: {
-        // The victim scan sees COMMITTED state only — it cannot target rows
-        // inserted earlier in the same open transaction. Silently missing
-        // them would be worse than refusing, so refuse.
-        if (cat->HasPendingInserts(stmt.del.table))
-          return Status::InvalidArgument(
-              "DELETE scans committed state and would miss the uncommitted "
-              "inserts pending on '" +
-              stmt.del.table + "'; COMMIT them first");
+        // The victim scan sees COMMITTED state only: under the versioned
+        // catalog that IS the statement's snapshot, so targeting committed
+        // rows while same-transaction pending inserts survive the commit is
+        // the correct MVCC semantics (the PR 4 refuse-on-pending-inserts
+        // guard is gone).
         // The scan runs right here, inside the exclusive hold, so the oids
         // it yields cannot be renumbered by a racing commit before the
         // deletions are queued. No recycler hook: a scan over to-be-deleted
@@ -336,8 +408,10 @@ Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt) {
       }
       case sql::Statement::Kind::kCommit: {
         // Commit fires the catalog listener while we hold the lock
-        // exclusively: plan-cache invalidation and pool propagation/
-        // invalidation land atomically w.r.t. queries.
+        // exclusively — plan-cache invalidation and pool propagation/
+        // invalidation land first, then the catalog publishes the next
+        // snapshot epoch, so a submission that captures the new epoch
+        // always sees a reconciled pool.
         RDB_RETURN_NOT_OK(cat->Commit());
         c_dml_commits_->Add(1);
         out.values.emplace_back("committed", Scalar::Lng(1));
@@ -347,6 +421,14 @@ Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt) {
         break;
     }
     return Status::Internal("non-DML statement reached ExecuteDml");
+    };
+    RDB_RETURN_NOT_OK(run_stmt());
+    if (autocommit) {
+      RDB_RETURN_NOT_OK(cat->Commit());
+      c_dml_commits_->Add(1);
+      out.values.emplace_back("committed", Scalar::Lng(1));
+    }
+    return Status::OK();
   });
   if (!st.ok()) return st;
   return out;
@@ -419,6 +501,10 @@ ServiceStats QueryService::SnapshotStats() const {
   RecyclerStats rs = recycler_.stats();
   s.pool_invalidated = rs.invalidated;
   s.pool_propagated = rs.propagated;
+  s.pool_stale_declines = rs.stale_declines;
+  s.snapshot_epoch = catalog_->epoch();
+  s.epoch_pins = c_epoch_pins_->value();
+  s.stale_entry_refreshes = c_stale_refreshes_->value();
   return s;
 }
 
@@ -442,6 +528,7 @@ obs::RegistrySnapshot QueryService::MetricsSnapshot() const {
   snap.AddCounter("pool_evicted", rs.evicted);
   snap.AddCounter("pool_invalidated", rs.invalidated);
   snap.AddCounter("pool_propagated", rs.propagated);
+  snap.AddCounter("pool_stale_declines", rs.stale_declines);
   snap.AddCounter("pool_time_saved_us",
                   static_cast<uint64_t>(rs.time_saved_ms * 1e3));
   snap.AddCounter("pool_borrows", s.pool_borrows);
@@ -493,20 +580,41 @@ void QueryService::WorkerLoop(int worker_idx) {
       queue_.pop_front();
     }
 
-    {
-      // Let a waiting commit through first: shared_mutex acquisition is
-      // reader-preferring on glibc, so back-to-back queries would starve
-      // the exclusive holder without this gate.
-      WaitForUpdateGate();
-      // Shared hold: commits (exclusive holders) serialise against us.
-      std::shared_lock<std::shared_mutex> qlock(update_mu_);
+    if (task.deadline_at_ms > 0 && NowMillis() > task.deadline_at_ms) {
+      // Expired while queued: resolve without running (the submit already
+      // counted it, so only the failure side is recorded here).
+      c_failed_->Add(1);
+      ResolveTask(&task, Status::DeadlineExceeded(
+                             "query exceeded its deadline while queued"));
+    } else {
+      // MVCC read: the task carries its snapshot, so the run touches
+      // neither the update gate nor the lock — commits proceed concurrently
+      // and this query keeps reading its epoch.
+      const bool mvcc = task.snapshot != nullptr;
+      std::shared_lock<std::shared_mutex> qlock(update_mu_, std::defer_lock);
+      if (!mvcc) {
+        // Legacy path. Let a waiting commit through first: shared_mutex
+        // acquisition is reader-preferring on glibc, so back-to-back
+        // queries would starve the exclusive holder without this gate.
+        WaitForUpdateGate();
+        // Shared hold: commits (exclusive holders) serialise against us.
+        qlock.lock();
+      }
       const double dequeue_ms = task.trace != nullptr ? NowMillis() : 0;
       // The session records per-instruction decisions into the task's trace
       // for this run only; the pointer is cleared before the future resolves
       // so the trace is immutable once handed out.
       if (task.trace != nullptr && session != nullptr)
         session->set_trace(task.trace.get());
+      if (mvcc) {
+        interp.set_snapshot(task.snapshot.get());
+        if (session != nullptr) session->set_epoch(task.snapshot->epoch());
+      }
       auto r = interp.Run(*task.prog, task.params);
+      if (mvcc) {
+        interp.set_snapshot(nullptr);
+        if (session != nullptr) session->set_epoch(kEpochLatest);
+      }
       if (session != nullptr) session->set_trace(nullptr);
       const RunStats& rs = interp.last_run();
       c_instrs_->Add(rs.instrs);

@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/plan_cache.h"
+#include "server/session.h"
 #include "sql/ast.h"
 
 namespace recycledb {
@@ -50,6 +51,13 @@ struct ServiceConfig {
   /// 0 (the default) samples nothing. Explicit `TRACE SELECT ...`
   /// statements are always traced regardless of this knob.
   uint32_t trace_sample_n = 0;
+  /// MVCC snapshot reads (the default): SELECTs capture the catalog
+  /// snapshot epoch at submission and execute against that immutable view
+  /// WITHOUT the update lock, so commits install new versions concurrently
+  /// with running readers. Clear to restore the PR 1 behaviour — every
+  /// query takes a shared hold of the update lock and serialises against
+  /// commits (the `mvcc_mixed` bench's exclusive-lock baseline).
+  bool snapshot_reads = true;
 };
 
 /// Cumulative service counters; every field is maintained atomically so the
@@ -96,12 +104,35 @@ struct ServiceStats {
   uint64_t pool_propagated = 0;   ///< entries refreshed by delta propagation
   // Observability.
   uint64_t queries_traced = 0;  ///< queries that carried a QueryTrace
+  // MVCC snapshot counters.
+  uint64_t snapshot_epoch = 0;  ///< newest published catalog epoch (gauge)
+  uint64_t epoch_pins = 0;      ///< SELECTs that ran against a pinned epoch
+  /// Pool entries refreshed by §6.3 propagation after a commit moved their
+  /// dependencies' epoch forward (the lazy stale-entry refresh path).
+  uint64_t stale_entry_refreshes = 0;
+  /// Admissions declined because the producing query's snapshot was older
+  /// than a dependency's current epoch (RecyclerStats::stale_declines).
+  uint64_t pool_stale_declines = 0;
 };
 
 /// One query of a synchronous batch.
 struct QueryRequest {
   const Program* prog = nullptr;  ///< must outlive the request
   std::vector<Scalar> params;
+};
+
+/// Typed handle returned by QueryService::Submit: the result future plus
+/// what the submission resolved to — which snapshot epoch the query reads
+/// (meaningful for SELECTs under snapshot consistency) and whether the
+/// statement took the DML path (in which case the future is already
+/// resolved when Submit returns).
+struct QueryHandle {
+  std::future<Result<QueryResult>> future;
+  /// The catalog snapshot epoch captured at submission. For kLatest
+  /// consistency and DML this is the epoch current when the statement was
+  /// routed (DML observes and advances the live catalog, not a snapshot).
+  uint64_t snapshot_epoch = 0;
+  bool is_dml = false;
 };
 
 /// The concurrent query service: owns the catalog and a single shared
@@ -112,11 +143,18 @@ struct QueryRequest {
 /// ## Threading model
 ///
 ///  - Submissions enqueue into one mutex-guarded queue; workers pop and run.
-///  - Every query executes under a *shared* hold of the update lock; DML
-///    applied through ApplyUpdate runs under the *exclusive* hold. A commit
-///    therefore waits for in-flight queries, and queries never observe a
-///    half-applied commit — the recycle-pool invalidation the commit
-///    triggers is atomic with respect to query execution.
+///  - MVCC reads (snapshot_reads, the default): a SELECT captures the
+///    catalog snapshot epoch at submission and the worker executes it
+///    against that immutable view with NO update-lock hold — commits
+///    install new versions concurrently; a reader sees the whole commit or
+///    none of it (the snapshot is published atomically after pool/plan
+///    maintenance). DML still runs under the *exclusive* hold of the update
+///    lock, serialising writers against each other and against the
+///    compile/kLatest paths.
+///  - Legacy path (snapshot_reads off, or kLatest consistency): every query
+///    executes under a *shared* hold of the update lock; a commit therefore
+///    waits for in-flight queries and queries never observe a half-applied
+///    commit.
 ///  - Workers share one ConcurrentRecycler (see its header for the pool
 ///    locking protocol); each worker talks to it through its own Session.
 ///  - Results are immutable snapshots (shared_ptr columns), so a result
@@ -148,39 +186,50 @@ class QueryService {
   std::future<Result<QueryResult>> Submit(const Program* prog,
                                           std::vector<Scalar> params);
 
-  /// Compiles-or-reuses and enqueues one SQL statement.
+  using SqlCallback = std::function<void(Result<QueryResult>)>;
+
+  /// THE SQL entry point: routes one statement under a session and options.
   ///
   /// SELECT: parses the text, normalises it to a fingerprint, and looks the
-  /// fingerprint up in the shared plan cache. A miss compiles the statement
-  /// once (under the shared update lock, so compilation sees a stable
+  /// fingerprint up in the shared plan cache (a miss compiles the statement
+  /// once under the shared update lock, so compilation sees a stable
   /// catalog); every later same-pattern submission — any session, any
   /// literals — shares that recycler-optimised Program and only re-binds
-  /// its parameter values. Compile errors resolve the returned future
-  /// immediately.
+  /// its parameter values. Under kSnapshot consistency (the default, with
+  /// ServiceConfig::snapshot_reads set) the submission captures the
+  /// session's snapshot — the pinned one, else the newest published epoch —
+  /// and the worker executes the whole query against that immutable view
+  /// WITHOUT the update lock, concurrently with commits. Compile errors
+  /// resolve the returned future immediately.
   ///
   /// DML (INSERT/DELETE/COMMIT): executes on the calling thread under the
   /// EXCLUSIVE update lock (the ApplyUpdate path), so the returned future
   /// is already resolved. INSERT type-checks its rows against the schema
   /// and queues them (result: `rows_inserted`); DELETE lowers its WHERE
-  /// through the SELECT planner, runs the victim-oid scan atomically, and
-  /// queues the deletions (result: `rows_deleted`); pending deltas stay
-  /// invisible to queries until COMMIT applies them (result:
-  /// `committed`) — at which point the catalog listener refreshes the
-  /// recycle pool (insert-only tables propagate per §6.3, deleted-from
-  /// tables invalidate) and drops affected plan-cache entries, atomically
-  /// with respect to in-flight queries.
+  /// through the SELECT planner, runs the victim-oid scan atomically over
+  /// committed state, and queues the deletions (result: `rows_deleted`);
+  /// pending deltas stay invisible to queries until COMMIT applies them
+  /// (result: `committed`) — at which point the catalog listener refreshes
+  /// the recycle pool (insert-only tables propagate per §6.3, deleted-from
+  /// tables invalidate) and publishes the next snapshot epoch. Cached
+  /// plans survive data commits (they bind by name at run time); only
+  /// schema changes evict them. A session with autocommit set commits each
+  /// INSERT/DELETE inside the same exclusive hold.
+  QueryHandle Submit(Request req);
+
+  /// Callback flavour of Submit, for callers that multiplex many in-flight
+  /// queries without parking a thread per future (the network server's I/O
+  /// loop). Exactly the same pipeline; `done` is invoked exactly once — on
+  /// the worker thread that ran the query, or on the calling thread for
+  /// immediate outcomes (parse/compile errors, DML, shutdown). `done` must
+  /// not block.
+  void SubmitAsync(Request req, SqlCallback done);
+
+  // Thin forwarders onto Submit/SubmitAsync, running under the service's
+  // internal default session (autocommit OFF: deltas stay pending until an
+  // explicit COMMIT statement, the historical single-user semantics).
   std::future<Result<QueryResult>> SubmitSql(const std::string& text);
-
-  /// Callback flavour of SubmitSql, for callers that multiplex many
-  /// in-flight queries without parking a thread per future (the network
-  /// server's I/O loop). Exactly the same pipeline; `done` is invoked
-  /// exactly once — on the worker thread that ran the query, or on the
-  /// calling thread for immediate outcomes (parse/compile errors, DML,
-  /// shutdown). `done` must not block.
-  using SqlCallback = std::function<void(Result<QueryResult>)>;
   void SubmitSqlAsync(const std::string& text, SqlCallback done);
-
-  /// Synchronous convenience wrapper around SubmitSql.
   Result<QueryResult> RunSql(const std::string& text);
 
   /// Runs a batch to completion, preserving request order in the results.
@@ -197,6 +246,12 @@ class QueryService {
   void Drain();
 
   Catalog* catalog() { return catalog_; }
+  /// The newest published catalog snapshot (lock-free; what an unpinned
+  /// kSnapshot submission captures).
+  CatalogSnapshotPtr CurrentSnapshot() const { return catalog_->Snapshot(); }
+  /// The session legacy SubmitSql/RunSql forwarders execute under.
+  Session& default_session() { return default_session_; }
+  const ServiceConfig& config() const { return cfg_; }
   ConcurrentRecycler& recycler() { return recycler_; }
   const ConcurrentRecycler& recycler() const { return recycler_; }
   PlanCache& plan_cache() { return plan_cache_; }
@@ -210,7 +265,6 @@ class QueryService {
   /// sites could tear across related counters mid-commit). THE accessor all
   /// presentation paths (`.stats`, benches, tests) go through.
   ServiceStats SnapshotStats() const;
-  ServiceStats stats() const { return SnapshotStats(); }
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   // --- observability --------------------------------------------------------
@@ -258,6 +312,13 @@ class QueryService {
     /// queue mutex orders the handoff).
     std::shared_ptr<obs::QueryTrace> trace;
     double enqueue_ms = 0;  ///< NowMillis() at enqueue (traced tasks only)
+    /// The snapshot captured at submission. Non-null = MVCC read: the
+    /// worker pins the interpreter and recycler session to this epoch and
+    /// runs WITHOUT the update lock. Null = legacy path (shared hold).
+    CatalogSnapshotPtr snapshot;
+    /// Absolute NowMillis() deadline; a task dequeued past it resolves with
+    /// DeadlineExceeded instead of running. 0 = none.
+    double deadline_at_ms = 0;
   };
 
   void WorkerLoop(int worker_idx);
@@ -269,8 +330,18 @@ class QueryService {
   /// TRACE statements (`forced`), else by 1-in-trace_sample_n sampling.
   std::shared_ptr<obs::QueryTrace> MaybeTrace(const std::string& statement,
                                               bool forced);
-  /// Runs one parsed DML statement under the exclusive update lock.
-  Result<QueryResult> ExecuteDml(const sql::Statement& stmt);
+  /// The one parse/classify/route prologue behind every SQL entry point:
+  /// parses `text`, executes DML inline (under `session`), and otherwise
+  /// plans + enqueues the SELECT according to the session/options. When
+  /// non-null, `handle_out`'s snapshot_epoch/is_dml are filled in (the
+  /// future is the caller's). `done` fires exactly once.
+  void RouteStatement(const std::string& text, Session* session,
+                      const SubmitOptions& options, SqlCallback done,
+                      QueryHandle* handle_out);
+  /// Runs one parsed DML statement under the exclusive update lock; with
+  /// `session->autocommit()`, a successful INSERT/DELETE commits inside the
+  /// same hold.
+  Result<QueryResult> ExecuteDml(const sql::Statement& stmt, Session* session);
   /// Blocks while a commit is waiting for the exclusive update lock (the
   /// shared_mutex is reader-preferring on glibc; without the gate a
   /// saturated queue would starve ApplyUpdate forever).
@@ -320,6 +391,8 @@ class QueryService {
   obs::Counter* c_dml_deleted_;
   obs::Counter* c_dml_commits_;
   obs::Counter* c_traced_;
+  obs::Counter* c_epoch_pins_;
+  obs::Counter* c_stale_refreshes_;
   obs::LatencyHistogram* h_query_wall_us_;
   obs::LatencyHistogram* h_query_exec_us_;
   obs::LatencyHistogram* h_sql_parse_us_;
@@ -329,6 +402,10 @@ class QueryService {
   std::atomic<uint64_t> trace_seq_{0};
   mutable std::mutex traces_mu_;
   std::deque<std::shared_ptr<const obs::QueryTrace>> recent_traces_;
+
+  /// Session behind the legacy SubmitSql/RunSql wrappers. Autocommit OFF:
+  /// those callers historically staged deltas until an explicit COMMIT.
+  Session default_session_;
 
   std::vector<std::thread> workers_;
 };

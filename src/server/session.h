@@ -1,0 +1,101 @@
+#ifndef RECYCLEDB_SERVER_SESSION_H_
+#define RECYCLEDB_SERVER_SESSION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "catalog/catalog.h"
+
+namespace recycledb {
+
+/// Read-consistency modes of a submission (SubmitOptions::consistency).
+enum class Consistency {
+  /// Capture the catalog snapshot epoch at submission and execute the whole
+  /// query against it, without the update lock: commits may land while the
+  /// query runs and the query never observes them (MVCC snapshot read).
+  kSnapshot,
+  /// Execute under a shared hold of the update lock against the live
+  /// catalog: the query serialises against commits and always sees the
+  /// newest committed state (the pre-MVCC behaviour; ablation/compat mode).
+  kLatest,
+};
+
+/// Per-submission options of QueryService::Submit.
+struct SubmitOptions {
+  /// Force a full QueryTrace for this query (span tree + per-instruction
+  /// recycler decision records), regardless of sampling. Equivalent to the
+  /// `TRACE SELECT ...` statement prefix.
+  bool trace = false;
+  Consistency consistency = Consistency::kSnapshot;
+  /// Wall-clock budget in milliseconds from submission; a query still queued
+  /// past its deadline resolves with Status::DeadlineExceeded instead of
+  /// running. 0 (the default) = no deadline.
+  double deadline_ms = 0;
+};
+
+/// The per-client execution context the Submit API runs requests under: owns
+/// autocommit, the trace-everything flag, and snapshot pinning. One Session
+/// per client connection (the network server keeps one per Conn); the
+/// service's internal default session serves the legacy SubmitSql/RunSql
+/// wrappers. All methods are thread-safe — a session may be shared between a
+/// connection's reader thread and the service's DML executor.
+class Session {
+ public:
+  /// When set, every successful INSERT/DELETE executed through this session
+  /// commits immediately (inside the same exclusive update hold, so the
+  /// statement and its commit are atomic w.r.t. other sessions). When
+  /// cleared, deltas stay pending until an explicit COMMIT.
+  bool autocommit() const {
+    return autocommit_.load(std::memory_order_acquire);
+  }
+  void set_autocommit(bool on) {
+    autocommit_.store(on, std::memory_order_release);
+  }
+
+  /// When set, every SELECT submitted through this session is traced (as if
+  /// SubmitOptions::trace were set on each).
+  bool trace_all() const { return trace_all_.load(std::memory_order_acquire); }
+  void set_trace_all(bool on) {
+    trace_all_.store(on, std::memory_order_release);
+  }
+
+  /// Pins `snap` as the snapshot every subsequent kSnapshot submission on
+  /// this session reads from, until Unpin() — repeatable reads across
+  /// statements. Unpinned sessions capture the newest published snapshot
+  /// per statement.
+  void Pin(CatalogSnapshotPtr snap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned_ = std::move(snap);
+  }
+  void Unpin() {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned_.reset();
+  }
+  /// The pinned snapshot, or null when unpinned.
+  CatalogSnapshotPtr pinned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pinned_;
+  }
+
+ private:
+  std::atomic<bool> autocommit_{true};
+  std::atomic<bool> trace_all_{false};
+  mutable std::mutex mu_;
+  CatalogSnapshotPtr pinned_;
+};
+
+/// One unit of work for QueryService::Submit: a SQL statement, the session
+/// it executes under (null = the service's default session), and the
+/// per-submission options.
+struct Request {
+  std::string sql;
+  Session* session = nullptr;
+  SubmitOptions options;
+};
+
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_SERVER_SESSION_H_

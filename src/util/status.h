@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kNotImplemented,
+  kDeadlineExceeded,
 };
 
 /// Arrow/RocksDB-style status object. The engine does not use exceptions;
@@ -44,6 +45,9 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -70,6 +74,8 @@ class Status {
         return "Internal";
       case StatusCode::kNotImplemented:
         return "NotImplemented";
+      case StatusCode::kDeadlineExceeded:
+        return "DeadlineExceeded";
     }
     return "Unknown";
   }

@@ -124,7 +124,7 @@ TEST(CatalogUpdateTest, ListenerReceivesAffectedColumns) {
   auto cat = SmallDb();
   std::vector<ColumnId> seen;
   cat->SetUpdateListener(
-      [&](const std::vector<ColumnId>& cols) { seen = cols; });
+      [&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) { seen = cols; });
   ASSERT_TRUE(cat->Append("lineitem",
                           {{Scalar::OidVal(100), Scalar::Int(9)}})
                   .ok());
@@ -155,7 +155,7 @@ TEST(CatalogUpdateTest, DropTableNotifies) {
   auto cat = SmallDb();
   std::vector<ColumnId> seen;
   cat->SetUpdateListener(
-      [&](const std::vector<ColumnId>& cols) { seen = cols; });
+      [&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) { seen = cols; });
   ASSERT_TRUE(cat->DropTable("lineitem").ok());
   EXPECT_GE(seen.size(), 2u);
   EXPECT_EQ(cat->FindTable("lineitem"), nullptr);

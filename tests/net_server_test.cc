@@ -199,7 +199,12 @@ TEST(NetServerTest, MixedWorkloadParityWithInProcess) {
     ASSERT_TRUE(lr.ok()) << step.sql << ": " << lr.status().ToString();
     local_text = lr.value().ToString();
     // The server autocommits DML per session default; mirror it locally.
-    if (step.is_dml) ASSERT_TRUE(local_svc->RunSql("commit").ok());
+    // The service folds the commit into the statement and reports it in
+    // the result, so the local mirror appends the same marker.
+    if (step.is_dml) {
+      ASSERT_TRUE(local_svc->RunSql("commit").ok());
+      local_text += "committed = 1\n";
+    }
     EXPECT_EQ(remote_text, local_text) << step.sql;
   }
 
@@ -270,6 +275,56 @@ TEST(NetServerTest, SessionOptionsTraceAndAutocommit) {
   EXPECT_FALSE(client.SetOption("no_such_option", true).ok());
   EXPECT_TRUE(client.Ping().ok());
 
+  server.Stop();
+}
+
+// MVCC over the wire: WELCOME advertises snapshot reads, and a remote
+// SELECT issued while a commit holds the exclusive update lock completes
+// without waiting for it (the PR 8 acceptance property, network edition).
+TEST(NetServerTest, RemoteSelectCompletesDuringInflightCommit) {
+  auto svc = MakeService();
+  net::RecycleServer server(svc.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  net::Client client;
+  ASSERT_TRUE(client.Connect(ClientFor(server)).ok());
+  EXPECT_TRUE(client.server_snapshot_reads())
+      << "WELCOME must advertise MVCC snapshot reads";
+
+  const char* q = "select count(*), sum(b) from t where a between 100 and 300";
+  auto primed = client.Query(q);  // plan cached: the submit path is lock-free
+  ASSERT_TRUE(primed.ok()) << primed.status().ToString();
+  const std::string expected = primed.value().result.ToString();
+
+  // Hold the exclusive update lock, as an in-flight commit would.
+  std::promise<void> locked, release;
+  std::thread holder([&] {
+    Status st = svc->ApplyUpdate([&](Catalog*) {
+      locked.set_value();
+      release.get_future().wait();
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok());
+  });
+  locked.get_future().wait();
+
+  // The blocking client would hang here pre-MVCC; bound the whole exchange
+  // with a watchdog so a regression fails instead of wedging the suite.
+  std::promise<Result<net::Client::Response>> answered;
+  std::thread asker([&] { answered.set_value(client.Query(q)); });
+  auto fut = answered.get_future();
+  const bool done_during_commit =
+      fut.wait_for(std::chrono::seconds(10)) == std::future_status::ready;
+  EXPECT_TRUE(done_during_commit)
+      << "remote SELECT must not wait out an in-flight commit";
+  release.set_value();
+  holder.join();
+  asker.join();
+  auto r = fut.get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().result.ToString(), expected);
+
+  client.Close();
   server.Stop();
 }
 

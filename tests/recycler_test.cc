@@ -276,7 +276,7 @@ TEST(RecyclerTest, CombinedSubsumptionDisabledByConfig) {
 TEST(RecyclerTest, InvalidationDropsAffectedLineageOnly) {
   auto cat = Db();
   Recycler rec;
-  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) {
     rec.OnCatalogUpdate(cols);
   });
   Interpreter interp(cat.get(), &rec);
@@ -328,7 +328,7 @@ TEST(RecyclerTest, PropagationRefreshesSelects) {
   auto cat = Db();
   RecyclerConfig cfg;
   Recycler rec(cfg);
-  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) {
     rec.PropagateUpdate(cat.get(), cols);
   });
   Interpreter interp(cat.get(), &rec);

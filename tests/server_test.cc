@@ -129,7 +129,7 @@ TEST(QueryServiceTest, ConcurrentMatchesSerialAndSharesPool) {
   RecyclerStats rs = svc.recycler().stats();
   EXPECT_GT(rs.hits, 0u) << "shared pool produced no reuse";
   EXPECT_GT(rs.global_hits, 0u) << "no reuse across invocations";
-  ServiceStats ss = svc.stats();
+  ServiceStats ss = svc.SnapshotStats();
   EXPECT_EQ(ss.completed, workload.size());
   EXPECT_EQ(ss.failed, 0u);
   EXPECT_GT(ss.pool_hits, 0u);

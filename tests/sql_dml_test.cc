@@ -271,7 +271,7 @@ TEST_F(SqlDmlServiceTest, InsertDeleteCommitRoundTrip) {
   EXPECT_EQ(v->bat()->TailAt(1).AsStr(), "dog");
   EXPECT_EQ(v->bat()->TailAt(2).AsStr(), "elk");
 
-  ServiceStats s = svc_->stats();
+  ServiceStats s = svc_->SnapshotStats();
   EXPECT_EQ(s.dml_inserted_rows, 1u);
   EXPECT_EQ(s.dml_deleted_rows, 2u);
   EXPECT_EQ(s.dml_commits, 2u);
@@ -294,24 +294,40 @@ TEST_F(SqlDmlServiceTest, DeleteEverythingAndRepopulate) {
   EXPECT_TRUE(svc_->RunSql("commit").ok());
 }
 
-// DELETE's victim scan sees committed state only; rather than silently
-// missing rows inserted earlier in the same open transaction, the
-// statement is refused until those inserts commit.
-TEST_F(SqlDmlServiceTest, DeleteAfterUncommittedInsertIsRefused) {
+// Snapshot semantics (MVCC, PR 8): DELETE's victim scan covers the committed
+// state only, which is exactly what a snapshot-consistent statement should
+// see. A DELETE issued while the same transaction holds uncommitted inserts
+// is therefore legal — it removes committed matches, never the pending rows,
+// and the pending inserts survive the commit intact. (Pre-MVCC this case was
+// refused with "COMMIT first".)
+TEST_F(SqlDmlServiceTest, DeleteWithPendingInsertsIsSnapshotScoped) {
   ASSERT_TRUE(svc_->RunSql("insert into item values (7, 50, 5.5, 'elk')").ok());
-  auto r = svc_->RunSql("delete from item where i_qty = 50");
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(r.status().message().find("COMMIT"), std::string::npos)
-      << r.status().ToString();
 
-  // After the commit the same DELETE targets the now-visible row.
+  // The pending insert matches the predicate but is invisible to the
+  // committed-state victim scan: zero rows deleted, no error.
+  auto r = svc_->RunSql("delete from item where i_qty = 50");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 0);
+
+  // A committed row IS a victim, with the insert still pending.
+  r = svc_->RunSql("delete from item where i_qty = 20");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 1);
+
+  // Commit applies both deltas: 'bee' gone, pending 'elk' now visible.
   ASSERT_TRUE(svc_->RunSql("commit").ok());
+  EXPECT_EQ(Count(), 4);
+  r = svc_->RunSql("select count(*) from item where i_qty = 50");
+  EXPECT_EQ(CountOf(r), 1) << "pending insert must survive the delete";
+  r = svc_->RunSql("select count(*) from item where i_qty = 20");
+  EXPECT_EQ(CountOf(r), 0);
+
+  // And the now-committed row is deletable as usual.
   r = svc_->RunSql("delete from item where i_qty = 50");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 1);
   ASSERT_TRUE(svc_->RunSql("commit").ok());
-  EXPECT_EQ(Count(), 4);
+  EXPECT_EQ(Count(), 3);
 }
 
 // Overlapping DELETEs in one transaction scan the same committed rows;
@@ -329,13 +345,13 @@ TEST_F(SqlDmlServiceTest, OverlappingDeletesDoNotDoubleCount) {
 
   ASSERT_TRUE(svc_->RunSql("commit").ok());
   EXPECT_EQ(Count(), 0);
-  EXPECT_EQ(svc_->stats().dml_deleted_rows, 4u);
+  EXPECT_EQ(svc_->SnapshotStats().dml_deleted_rows, 4u);
 }
 
 TEST_F(SqlDmlServiceTest, DmlErrorsCountAsFailedSubmissions) {
   EXPECT_FALSE(svc_->RunSql("insert into item values (1)").ok());
   EXPECT_FALSE(svc_->RunSql("delete from nosuch").ok());
-  ServiceStats s = svc_->stats();
+  ServiceStats s = svc_->SnapshotStats();
   EXPECT_EQ(s.failed, 2u);
   EXPECT_EQ(s.dml_inserted_rows, 0u);
 }
@@ -386,7 +402,7 @@ TEST_F(SqlDmlServiceTest, InsertOnlyCommitPropagatesDeleteInvalidates) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Find("i_qty")->bat()->size(), 3u);
 
-  ServiceStats s = svc_->stats();
+  ServiceStats s = svc_->SnapshotStats();
   EXPECT_GT(s.pool_propagated, 0u);
   EXPECT_GT(s.pool_invalidated, 0u);
 }
@@ -561,7 +577,7 @@ TEST(SqlDmlRaceTest, ConcurrentDmlVsCachedSelects) {
   int64_t sb = final_probe.value().Find("sb")->scalar().AsLng();
   EXPECT_EQ(sb - sa, 10 * expected_rows);
 
-  ServiceStats s = svc.stats();
+  ServiceStats s = svc.SnapshotStats();
   EXPECT_EQ(s.dml_commits, static_cast<uint64_t>(kCommits));
   EXPECT_GT(s.plan_hits, 0u) << "the cached plan was never replayed";
 }

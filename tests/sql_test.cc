@@ -378,7 +378,7 @@ TEST_F(SqlTest, FingerprintKeepsLiteralKind) {
   ASSERT_TRUE(svc.RunSql("select e_name from emp where e_salary > 150").ok());
   auto r = svc.RunSql("select e_name from emp where e_salary > 150.5");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(svc.stats().plan_compiles, 2u);
+  EXPECT_EQ(svc.SnapshotStats().plan_compiles, 2u);
   // ... while a statement that cannot take the column's type still fails
   // cleanly rather than poisoning or borrowing a cached entry.
   auto bad = svc.RunSql("select e_name from emp where e_salary > 'rich'");
@@ -630,13 +630,13 @@ TEST_F(SqlSkyTest, RepeatedConePatternHitsThePool) {
   // Exact re-execution: the pool answers (nearly) every monitored
   // instruction of the second run, as it does for the hand-built template.
   EXPECT_GT(after.hits, before.hits);
-  ServiceStats s = svc.stats();
+  ServiceStats s = svc.SnapshotStats();
   EXPECT_EQ(s.plan_compiles, 1u);
   EXPECT_EQ(s.plan_hits, 1u);
 
   // Same pattern, different literals: still one compiled plan.
   ASSERT_TRUE(svc.RunSql(ConeSql(100.0, 102.0, -5.0, 5.0)).ok());
-  s = svc.stats();
+  s = svc.SnapshotStats();
   EXPECT_EQ(s.plan_compiles, 1u);
   EXPECT_EQ(s.plan_hits, 2u);
 }
@@ -771,7 +771,7 @@ TEST_F(SqlTpchTest, MixedWorkloadCompilesMuchLessThanSubmissions) {
     auto r = f.get();
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
-  ServiceStats s = svc.stats();
+  ServiceStats s = svc.SnapshotStats();
   EXPECT_EQ(s.plan_lookups, 60u);
   EXPECT_EQ(s.plan_compiles, 3u);  // one per pattern
   EXPECT_EQ(s.plan_hits, 57u);

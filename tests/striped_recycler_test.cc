@@ -288,7 +288,7 @@ TEST(StripedRecyclerTest, PropagateUpdateRefreshesAcrossStripes) {
   MarkForRecycling(&prog);
 
   ConcurrentRecycler rec(RecyclerConfig{});
-  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) {
     rec.PropagateUpdate(cat.get(), cols);
   });
   auto session = rec.NewSession();

@@ -190,7 +190,7 @@ TEST(TpchUpdateTest, UpdateBlockKeepsQueriesCorrect) {
   ASSERT_TRUE(tpch::RunUpdateBlock(cat_b.get(), &rb).ok());
 
   Recycler rec;
-  cat_a->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+  cat_a->SetUpdateListener([&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) {
     rec.OnCatalogUpdate(cols);
   });
   Interpreter with_rec(cat_a.get(), &rec);
@@ -210,7 +210,7 @@ TEST(TpchUpdateTest, UpdateBlockKeepsQueriesCorrect) {
 TEST(TpchUpdateTest, InvalidationScopedToUpdatedTables) {
   auto cat = SmallDb();
   Recycler rec;
-  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols) {
+  cat->SetUpdateListener([&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) {
     rec.OnCatalogUpdate(cols);
   });
   Interpreter interp(cat.get(), &rec);
