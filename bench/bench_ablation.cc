@@ -99,14 +99,16 @@ void AblateUpdateHandling(double sf) {
       MustRun(&interp, q1.prog, params);
       if (i % 3 == 2) {
         // insert-only micro-commit into lineitem/orders
+        TxnWriteSet ws = cat->BeginWrite();
         Status st = cat->Append(
+            &ws,
             "orders", {{Scalar::OidVal(1000000 + i), Scalar::OidVal(0),
                         Scalar::Str("O"), Scalar::Dbl(1.0),
                         Scalar::DateVal(DateFromYmd(1996, 1, 1)),
                         Scalar::Str("3-MEDIUM"), Scalar::Str("x")}});
         RDB_CHECK(st.ok());
         st = cat->Append(
-            "lineitem",
+            &ws, "lineitem",
             {{Scalar::OidVal(1000000 + i), Scalar::OidVal(0), Scalar::OidVal(0),
               Scalar::Int(1), Scalar::Int(5), Scalar::Dbl(10.0),
               Scalar::Dbl(0.05), Scalar::Dbl(0.02), Scalar::Str("N"),
@@ -115,7 +117,7 @@ void AblateUpdateHandling(double sf) {
               Scalar::DateVal(DateFromYmd(1996, 2, 20)), Scalar::Str("NONE"),
               Scalar::Str("MAIL")}});
         RDB_CHECK(st.ok());
-        RDB_CHECK(cat->Commit().ok());
+        RDB_CHECK(cat->CommitWrite(&ws).ok());
       }
     }
     std::printf(

@@ -125,6 +125,12 @@ struct JsonRow {
   // improves tail latency; a within-run ratio, binding like rel_qps.
   bool has_rel_p99 = false;
   double rel_p99 = 0;
+  // txn_mixed only: multi-statement transaction outcomes under contention
+  // (first-writer-wins — conflicts are expected, not failures).
+  bool has_txn = false;
+  uint64_t txn_committed = 0;
+  uint64_t txn_conflicts = 0;
+  uint64_t txn_rolled_back = 0;
 };
 
 void WriteJson(const std::string& path, double sf, int max_workers,
@@ -175,6 +181,14 @@ void WriteJson(const std::string& path, double sf, int max_workers,
     }
     if (r.has_rel) out << StrFormat(", \"rel_qps\": %.4f", r.rel_qps);
     if (r.has_rel_p99) out << StrFormat(", \"rel_p99\": %.4f", r.rel_p99);
+    if (r.has_txn) {
+      out << StrFormat(
+          ", \"txn_committed\": %llu, \"txn_conflicts\": %llu, "
+          "\"txn_rolled_back\": %llu",
+          static_cast<unsigned long long>(r.txn_committed),
+          static_cast<unsigned long long>(r.txn_conflicts),
+          static_cast<unsigned long long>(r.txn_rolled_back));
+    }
     out << (i + 1 < rows.size() ? "},\n" : "}\n");
   }
   out << "  ]\n}\n";
@@ -246,15 +260,16 @@ int EnvMaxWorkers(int def = 8) {
   return n < 1 ? def : n;  // unparsable/zero: fall back to the default
 }
 
-/// Mixed ad-hoc SQL workload through SubmitSql: a handful of TPC-H-style
+/// Mixed ad-hoc SQL workload through Submit(Request): a handful of TPC-H-style
 /// query patterns, each instantiated with literals drawn from small pools.
 /// Every line is distinct text, but normalisation maps it onto one of a few
 /// fingerprints — the compile-once, share-everywhere behaviour the plan
 /// cache exists for (compiles ≪ submissions), feeding the recycler the same
 /// inter-query commonality the hand-built templates have.
-JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
+JsonRow RunPlanCachePhase(Catalog* cat, int workers, int n_queries) {
   QueryService svc(cat, BenchConfig(workers));
   obs::LatencyHistogram* wall = svc.metrics().FindHistogram("query_wall_us");
+  Session sess;
   Rng rng(4242);
 
   auto query = [&](int pattern) -> std::string {
@@ -296,7 +311,8 @@ JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
   StopWatch sw;
   std::vector<std::future<Result<QueryResult>>> futs;
   futs.reserve(n_queries);
-  for (int i = 0; i < n_queries; ++i) futs.push_back(svc.SubmitSql(query(i % 5)));
+  for (int i = 0; i < n_queries; ++i)
+    futs.push_back(svc.Submit(Request{query(i % 5), &sess, {}}).future);
   for (auto& f : futs) {
     auto r = f.get();
     if (!r.ok()) {
@@ -343,7 +359,7 @@ JsonRow RunSqlPlanCachePhase(Catalog* cat, int workers, int n_queries) {
   return row;
 }
 
-/// Mixed SELECT+DML update workload through SubmitSql: drained waves of
+/// Mixed SELECT+DML update workload through Submit(Request): drained waves of
 /// cached-plan SELECTs over `orders` interleaved with committed INSERT
 /// batches (insert-only commits, which the recycler must answer with §6.3
 /// delta propagation) and DELETE transactions (which must invalidate). The
@@ -360,6 +376,13 @@ JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round,
   const size_t base_rows = cat->FindTable("orders")->num_rows();
   QueryService svc(cat.get(), BenchConfig(workers));
   obs::LatencyHistogram* wall = svc.metrics().FindHistogram("query_wall_us");
+  // Readers and the writer run under separate sessions; the writer keeps
+  // autocommit OFF so statements stage into its write set until the
+  // explicit COMMIT — the legacy staged-delta behaviour, expressed
+  // through a session transaction.
+  Session select_sess;
+  Session dml_sess;
+  dml_sess.set_autocommit(false);
   Rng rng(31337);
 
   auto select_sql = [&](int i) -> std::string {
@@ -388,7 +411,8 @@ JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round,
     std::vector<std::future<Result<QueryResult>>> futs;
     futs.reserve(n);
     for (int i = 0; i < n; ++i)
-      futs.push_back(svc.SubmitSql(select_sql(offset + i)));
+      futs.push_back(
+          svc.Submit(Request{select_sql(offset + i), &select_sess, {}}).future);
     for (auto& f : futs) {
       auto r = f.get();
       if (!r.ok()) {
@@ -399,7 +423,7 @@ JsonRow RunMixedDmlPhase(int workers, int n_rounds, int selects_per_round,
     }
   };
   auto run_dml = [&](const std::string& stmt) {
-    auto r = svc.RunSql(stmt);
+    auto r = svc.Submit(Request{stmt, &dml_sess, {}}).future.get();
     if (!r.ok()) {
       std::fprintf(stderr, "dml failed (%s): %s\n", stmt.c_str(),
                    r.status().ToString().c_str());
@@ -570,8 +594,10 @@ std::vector<JsonRow> RunMvccMixedPhase(int workers, int n_iters,
 
     // Warm every pattern so the timed window measures steady-state serving,
     // not compiles or cold pool admissions.
+    Session reader_session;
     for (int i = 0; i < 8; ++i) {
-      auto r = svc.SubmitSql(select_sql(i)).get();
+      auto r = svc.Submit(Request{select_sql(i), &reader_session, {}})
+                   .future.get();
       if (!r.ok()) {
         std::fprintf(stderr, "mvcc warmup failed: %s\n",
                      r.status().ToString().c_str());
@@ -649,7 +675,8 @@ std::vector<JsonRow> RunMvccMixedPhase(int workers, int n_iters,
         while (!held.load(std::memory_order_acquire))
           std::this_thread::yield();
         StopWatch one;
-        auto r = svc.SubmitSql(select_sql(k)).get();
+        auto r = svc.Submit(Request{select_sql(k), &reader_session, {}})
+                     .future.get();
         lat_us.push_back(one.ElapsedSeconds() * 1e6);
         holder.join();
         if (!r.ok()) {
@@ -729,6 +756,149 @@ std::vector<JsonRow> RunMvccMixedPhase(int workers, int n_iters,
   e.p99_us = excl.p99_us;
   rows.push_back(e);
   return rows;
+}
+
+/// Transaction-mixed phase: concurrent multi-statement UPDATE transactions
+/// racing over overlapping key bands (BEGIN; UPDATE ...; COMMIT, with a
+/// periodic ROLLBACK) while snapshot SELECT waves read beside them. Under
+/// first-writer-wins, WriteConflict commits are EXPECTED outcomes — a loser
+/// simply lost the race — so only non-conflict errors abort the phase.
+/// Reported (and written to --json as phase="txn_mixed"): mixed throughput
+/// (reader + writer statements per second), the service's transaction
+/// counters (committed / conflicts / rolled back), and the post-churn pool
+/// hit ratio — a replay wave after the writers finish, measuring how much
+/// of the pool an update-transaction workload leaves in usable form.
+JsonRow RunTxnMixedPhase(int workers, int n_writers, int rounds,
+                         int selects_per_round) {
+  auto cat = MakeTpchDb(EnvSf());
+  QueryService svc(cat.get(), BenchConfig(workers));
+  obs::LatencyHistogram* wall = svc.metrics().FindHistogram("query_wall_us");
+  Session select_sess;
+
+  auto select_sql = [](int i) -> std::string {
+    int y = 1993 + (i % 4);
+    if (i % 2 == 0)
+      return StrFormat(
+          "select count(*) from orders where o_orderdate >= date '%d-01-01'",
+          y);
+    return StrFormat(
+        "select sum(o_totalprice) from orders where o_orderdate >= "
+        "date '%d-01-01'",
+        y);
+  };
+  auto run_wave = [&](int n, int offset) {
+    std::vector<std::future<Result<QueryResult>>> futs;
+    futs.reserve(n);
+    for (int i = 0; i < n; ++i)
+      futs.push_back(
+          svc.Submit(Request{select_sql(offset + i), &select_sess, {}})
+              .future);
+    for (auto& f : futs) {
+      auto r = f.get();
+      if (!r.ok()) {
+        std::fprintf(stderr, "txn-mixed select failed: %s\n",
+                     r.status().ToString().c_str());
+        std::abort();
+      }
+    }
+  };
+
+  run_wave(16, 0);  // warm plans + pool
+  svc.recycler().ResetStats();
+  wall->Reset();
+
+  std::atomic<uint64_t> writer_statements{0};
+  std::atomic<int> writers_finished{0};
+  StopWatch sw;
+  std::vector<std::thread> writers;
+  writers.reserve(n_writers);
+  for (int t = 0; t < n_writers; ++t) {
+    writers.emplace_back([&, t] {
+      Session sess;
+      Rng wrng(9100 + static_cast<uint64_t>(t));
+      auto exec = [&](const std::string& stmt) -> Status {
+        auto r = svc.Submit(Request{stmt, &sess, {}}).future.get();
+        writer_statements.fetch_add(1, std::memory_order_relaxed);
+        return r.ok() ? Status::OK() : r.status();
+      };
+      for (int r = 0; r < rounds; ++r) {
+        Status st = exec("begin");
+        if (!st.ok()) std::abort();
+        // Half the transactions target one shared low band — guaranteed
+        // overlap across writers (conflicts); the rest stay in a private
+        // per-writer band (clean commits).
+        const unsigned long long lo =
+            wrng.Uniform(2) == 0
+                ? 0
+                : 32ull + static_cast<unsigned long long>(t) * 24;
+        st = exec(StrFormat(
+            "update orders set o_totalprice = o_totalprice + 1 "
+            "where o_orderkey >= %llu and o_orderkey < %llu",
+            lo, lo + 24));
+        if (!st.ok()) std::abort();  // in-txn UPDATE itself cannot conflict
+        if (r % 7 == 3) {
+          if (!exec("rollback").ok()) std::abort();
+          continue;
+        }
+        st = exec("commit");
+        if (!st.ok() && st.code() != StatusCode::kWriteConflict)
+          std::abort();  // conflicts are expected; anything else is a bug
+      }
+      writers_finished.fetch_add(1, std::memory_order_release);
+    });
+  }
+  // Reader waves run for as long as the writers do — snapshot reads beside
+  // committing transactions, the paper's multi-user mix.
+  int n_selects = 0;
+  for (int r = 0; writers_finished.load(std::memory_order_acquire) < n_writers;
+       ++r) {
+    run_wave(selects_per_round, r * selects_per_round);
+    n_selects += selects_per_round;
+  }
+  for (auto& th : writers) th.join();
+  double secs = sw.ElapsedSeconds();
+  ServiceStats s = svc.SnapshotStats();
+  obs::LatencyHistogram::Snapshot hist = wall->snapshot();
+
+  // Post-churn replay: what the transaction workload left in the pool.
+  svc.recycler().ResetStats();
+  run_wave(2 * selects_per_round, 0);
+  RecyclerStats post = svc.recycler().stats();
+  double post_hit_ratio =
+      post.monitored ? static_cast<double>(post.hits) / post.monitored : 0.0;
+
+  const double n_statements =
+      static_cast<double>(n_selects) +
+      static_cast<double>(writer_statements.load(std::memory_order_relaxed));
+  std::printf(
+      "txn mixed (%d workers, %d writer sessions x %d txns, %d selects/wave)\n",
+      workers, n_writers, rounds, selects_per_round);
+  std::printf(
+      "  qps=%.1f  committed=%llu conflicts=%llu rolled-back=%llu "
+      "updated-rows=%llu\n",
+      n_statements / secs, static_cast<unsigned long long>(s.txn_committed),
+      static_cast<unsigned long long>(s.txn_conflicts),
+      static_cast<unsigned long long>(s.txn_rolled_back),
+      static_cast<unsigned long long>(s.dml_updated_rows));
+  std::printf("  post-churn wave: hit ratio %.2f (hits=%llu monitored=%llu)\n",
+              post_hit_ratio, static_cast<unsigned long long>(post.hits),
+              static_cast<unsigned long long>(post.monitored));
+
+  JsonRow row;
+  row.phase = "txn_mixed";
+  row.load = "mixed";
+  row.workers = workers;
+  row.qps = n_statements / secs;
+  row.hit_ratio = post_hit_ratio;
+  row.pool_hits = post.hits;
+  row.has_txn = true;
+  row.txn_committed = s.txn_committed;
+  row.txn_conflicts = s.txn_conflicts;
+  row.txn_rolled_back = s.txn_rolled_back;
+  row.has_latency = true;
+  row.p50_us = hist.Percentile(50);
+  row.p99_us = hist.Percentile(99);
+  return row;
 }
 
 /// Bounded-memory serving: the same hot workload under a FIXED recycle-pool
@@ -1056,7 +1226,7 @@ int main(int argc, char** argv) {
                 hot_4w / hot_1w,
                 hot_4w / hot_1w > 1.5 ? "(scales)" : "(NOT scaling)");
   }
-  rows.push_back(RunSqlPlanCachePhase(cat.get(), std::min(4, max_workers), 500));
+  rows.push_back(RunPlanCachePhase(cat.get(), std::min(4, max_workers), 500));
   // 12 rounds x 600 selects keeps the timed window comparable to the other
   // gated phases (short windows make the qps gate flake-prone).
   rows.push_back(
@@ -1070,6 +1240,9 @@ int main(int argc, char** argv) {
       RunNetLoopbackPhase(cat.get(), std::min(4, max_workers), 4, 150));
   for (JsonRow& r : RunMvccMixedPhase(std::min(4, max_workers), 150, 4000))
     rows.push_back(std::move(r));
+  rows.push_back(
+      RunTxnMixedPhase(std::min(4, max_workers), /*n_writers=*/3,
+                       /*rounds=*/40, /*selects_per_round=*/60));
 
   if (!json_path.empty()) {
     WriteJson(json_path, EnvSf(), max_workers,

@@ -1,7 +1,7 @@
 // Interactive SQL shell over the concurrent query service: loads TPC-H or
-// SkyServer data, runs each line through QueryService::SubmitSql (shared
-// plan-template cache + shared recycle pool), and prints results with
-// per-query timing and recycler statistics.
+// SkyServer data, runs each line through QueryService::Submit under the
+// shell's own Session (shared plan-template cache + shared recycle pool),
+// and prints results with per-query timing and recycler statistics.
 //
 //   ./sql_shell                    # TPC-H at RDB_TPCH_SF (default 0.01)
 //   ./sql_shell --db=sky           # SkyServer photoobj/elredshift/dbobjects
@@ -21,12 +21,16 @@
 //   .metrics [json|prom]  machine-readable metrics export
 //   .quit            exit (EOF works too)
 //
-// The REPL reads one statement per line: SELECT, INSERT, DELETE, or COMMIT.
-// DML runs through the service's exclusive update lock; with autocommit on
-// (the default) every INSERT/DELETE is committed immediately, which makes
-// the recycle pool react per §6.3 — insert-only commits *propagate*
-// (refresh select-over-bind entries from the delta), deletes *invalidate*.
-// With autocommit off, deltas accumulate until an explicit COMMIT.
+// The REPL reads one statement per line: SELECT, INSERT, UPDATE, DELETE, or
+// transaction control (BEGIN / COMMIT / ROLLBACK). With autocommit on (the
+// default) every DML statement runs as an implicit single-statement
+// transaction and commits immediately, which makes the recycle pool react
+// per §6.3 — insert-only commits *propagate* (refresh select-over-bind
+// entries from the delta), deletes *invalidate*. Inside a transaction
+// (explicit BEGIN, or the first DML with autocommit off) statements
+// accumulate in the session's private write set — your own SELECTs see them,
+// other sessions don't — until COMMIT installs them (or ROLLBACK, including
+// the implicit one on quit, discards them).
 //
 // Queries to try against the TPC-H database (each is one input line;
 // wrapped here only to fit the comment):
@@ -42,7 +46,9 @@
 //
 //   insert into region values (5, 'atlantis')
 //
-//   delete from region where r_name = 'atlantis'
+//   update region set r_name = 'lemuria' where r_regionkey = 5
+//
+//   delete from region where r_name = 'lemuria'
 
 #include <cstdio>
 #include <cstdlib>
@@ -70,13 +76,21 @@ void PrintStats(const QueryService& svc) {
               static_cast<unsigned long long>(s.completed),
               static_cast<unsigned long long>(s.failed));
   std::printf(
-      "dml:         inserted=%llu deleted=%llu commits=%llu "
+      "dml:         inserted=%llu updated=%llu deleted=%llu commits=%llu "
       "(pool: propagated=%llu invalidated=%llu)\n",
       static_cast<unsigned long long>(s.dml_inserted_rows),
+      static_cast<unsigned long long>(s.dml_updated_rows),
       static_cast<unsigned long long>(s.dml_deleted_rows),
       static_cast<unsigned long long>(s.dml_commits),
       static_cast<unsigned long long>(s.pool_propagated),
       static_cast<unsigned long long>(s.pool_invalidated));
+  std::printf(
+      "txn:         begun=%llu committed=%llu rolled-back=%llu "
+      "conflicts=%llu\n",
+      static_cast<unsigned long long>(s.txn_begun),
+      static_cast<unsigned long long>(s.txn_committed),
+      static_cast<unsigned long long>(s.txn_rolled_back),
+      static_cast<unsigned long long>(s.txn_conflicts));
   std::printf(
       "plan cache:  lookups=%llu hits=%llu compiles=%llu invalidations=%llu "
       "evictions=%llu cached=%zu (%zu B)\n",
@@ -175,10 +189,11 @@ void PrintHelp() {
       "                 decisions. One statement: TRACE SELECT ...\n"
       ".metrics [json|prom]  metrics export — JSON (with recent governance\n"
       "                 events) or Prometheus text (default json)\n"
-      ".quit            exit\n"
+      ".quit            exit (an open transaction is rolled back)\n"
       "anything else is parsed as SQL and submitted to the service:\n"
       "  [TRACE] SELECT ... | INSERT INTO t [(cols)] VALUES (...), ... |\n"
-      "  DELETE FROM t [WHERE ...] | COMMIT\n");
+      "  UPDATE t SET c = expr, ... [WHERE ...] | DELETE FROM t [WHERE ...]\n"
+      "  | BEGIN | COMMIT | ROLLBACK\n");
 }
 
 /// Remote mode: the same REPL surface served over the wire protocol.
@@ -358,8 +373,9 @@ int main(int argc, char** argv) {
   std::printf("ready (%d workers). \".help\" lists shell commands.\n",
               svc.num_workers());
 
-  bool autocommit = true;
-  bool trace_all = false;
+  // The shell's own Session: autocommit, trace-all, and the open
+  // transaction live here — exactly what a network connection gets.
+  Session session;
   std::string line;
   while (true) {
     std::printf("sql> ");
@@ -414,13 +430,13 @@ int main(int argc, char** argv) {
       size_t a = arg.find_first_not_of(" \t");
       arg = a == std::string::npos ? "" : arg.substr(a);
       if (arg == "on") {
-        autocommit = true;
+        session.set_autocommit(true);
       } else if (arg == "off") {
-        autocommit = false;
+        session.set_autocommit(false);
       } else if (!arg.empty()) {
         std::printf("usage: .autocommit on|off\n");
       }
-      std::printf("autocommit is %s\n", autocommit ? "on" : "off");
+      std::printf("autocommit is %s\n", session.autocommit() ? "on" : "off");
       continue;
     }
     if (line.rfind(".trace", 0) == 0) {
@@ -428,13 +444,13 @@ int main(int argc, char** argv) {
       size_t a = arg.find_first_not_of(" \t");
       arg = a == std::string::npos ? "" : arg.substr(a);
       if (arg == "on") {
-        trace_all = true;
+        session.set_trace_all(true);
       } else if (arg == "off") {
-        trace_all = false;
+        session.set_trace_all(false);
       } else if (!arg.empty()) {
         std::printf("usage: .trace on|off\n");
       }
-      std::printf("trace is %s\n", trace_all ? "on" : "off");
+      std::printf("trace is %s\n", session.trace_all() ? "on" : "off");
       continue;
     }
     if (line.rfind(".metrics", 0) == 0) {
@@ -462,21 +478,12 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    // Classify before submitting so autocommit keys off the statement kind
-    // (a SELECT aliased `rows_inserted` must never trigger a commit). A
-    // parse failure just flows through to the service for the error. With
-    // `.trace on`, SELECTs not already under TRACE get the prefix here.
-    bool is_dml = false;
-    if (auto parsed = sql::ParseStatement(line); parsed.ok()) {
-      is_dml = parsed.value().kind == sql::Statement::Kind::kInsert ||
-               parsed.value().kind == sql::Statement::Kind::kDelete;
-      if (trace_all && parsed.value().kind == sql::Statement::Kind::kSelect &&
-          !parsed.value().traced)
-        line = "trace " + line;
-    }
-
+    // The service applies the session's autocommit and trace-all itself:
+    // with autocommit on, DML runs as an implicit single-statement
+    // transaction (the result carries `committed`); inside a transaction
+    // statements stage into the session write set until COMMIT/ROLLBACK.
     StopWatch sw;
-    Result<QueryResult> r = svc.RunSql(line);
+    Result<QueryResult> r = svc.Submit(Request{line, &session, {}}).future.get();
     double ms = sw.ElapsedSeconds() * 1e3;
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
@@ -485,15 +492,14 @@ int main(int argc, char** argv) {
     std::printf("%s(%.2f ms)\n", r.value().ToString().c_str(), ms);
     if (r.value().trace != nullptr)
       std::printf("%s", r.value().trace->ToString().c_str());
-    // Autocommit: a successful INSERT/DELETE is committed immediately, so
-    // the pool/plan-cache maintenance fires per statement.
-    if (autocommit && is_dml) {
-      Result<QueryResult> c = svc.RunSql("commit");
-      if (!c.ok())
-        std::printf("autocommit error: %s\n", c.status().ToString().c_str());
-      else
-        std::printf("(autocommitted)\n");
-    }
+  }
+  // EOF or .quit with a transaction still open: roll it back explicitly —
+  // the write set must not be silently abandoned half-staged, and the user
+  // should hear that their uncommitted statements are gone.
+  if (session.in_txn()) {
+    svc.Submit(Request{"rollback", &session, {}}).future.get();
+    std::printf("rolled back the open transaction (uncommitted statements "
+                "were discarded)\n");
   }
   std::printf("\n");
   PrintStats(svc);

@@ -66,11 +66,12 @@ void Demo(bool propagate) {
   std::printf("after query 1: pool=%zu entries\n", rec.pool().num_entries());
 
   // Insert rows, two of which fall inside the cached range.
-  RDB_CHECK(cat.Append("t", {{Scalar::Int(150), Scalar::Lng(1000000)},
-                             {Scalar::Int(180), Scalar::Lng(2000000)},
-                             {Scalar::Int(999), Scalar::Lng(3000000)}})
+  TxnWriteSet ws = cat.BeginWrite();
+  RDB_CHECK(cat.Append(&ws, "t", {{Scalar::Int(150), Scalar::Lng(1000000)},
+                                  {Scalar::Int(180), Scalar::Lng(2000000)},
+                                  {Scalar::Int(999), Scalar::Lng(3000000)}})
                 .ok());
-  RDB_CHECK(cat.Commit().ok());
+  RDB_CHECK(cat.CommitWrite(&ws).ok());
   std::printf("after insert commit: pool=%zu entries, invalidated=%llu, "
               "propagated=%llu\n",
               rec.pool().num_entries(),

@@ -125,6 +125,11 @@ Status Catalog::LoadColumn(const std::string& table, const std::string& column,
     std::lock_guard<std::mutex> lock(bind_mu_);
     bind_cache_.erase({t->id(), ci});
   }
+  // A bulk load renumbers the table wholesale; transactions that began
+  // before it cannot be remapped, so raise the conflict floor past the
+  // epoch this publish is about to install.
+  commit_history_.erase(t->id());
+  history_floor_[t->id()] = epoch() + 1;
   PublishSnapshot();
   return Status::OK();
 }
@@ -172,17 +177,10 @@ Status Catalog::RegisterFkIndex(const std::string& name,
   return Status::OK();
 }
 
-Status Catalog::RebuildIndex(FkIndex* idx) {
-  const Table* c = tables_[idx->child_table].get();
-  const Table* p = tables_[idx->parent_table].get();
-  const ColumnPtr& ckey = c->column(idx->child_key);
-  const ColumnPtr& pkey = p->column(idx->parent_key);
-  if (ckey == nullptr || pkey == nullptr)
-    return Status::Internal("fk index over unloaded columns");
-  if (ckey->type() != TypeTag::kOid || pkey->type() != TypeTag::kOid)
-    return Status::InvalidArgument("fk keys must be oid-typed");
-  const auto& cvals = ckey->Data<Oid>();
-  const auto& pvals = pkey->Data<Oid>();
+ColumnPtr Catalog::BuildFkMap(const ColumnPtr& child_key,
+                              const ColumnPtr& parent_key) {
+  const auto& cvals = child_key->Data<Oid>();
+  const auto& pvals = parent_key->Data<Oid>();
   std::unordered_map<Oid, Oid> ppos;
   ppos.reserve(pvals.size());
   for (size_t j = 0; j < pvals.size(); ++j) ppos.emplace(pvals[j], j);
@@ -193,7 +191,19 @@ Status Catalog::RebuildIndex(FkIndex* idx) {
   }
   auto col = Column::Make(TypeTag::kOid, std::move(map));
   col->set_persistent(true);
-  idx->map = std::move(col);
+  return col;
+}
+
+Status Catalog::RebuildIndex(FkIndex* idx) {
+  const Table* c = tables_[idx->child_table].get();
+  const Table* p = tables_[idx->parent_table].get();
+  const ColumnPtr& ckey = c->column(idx->child_key);
+  const ColumnPtr& pkey = p->column(idx->parent_key);
+  if (ckey == nullptr || pkey == nullptr)
+    return Status::Internal("fk index over unloaded columns");
+  if (ckey->type() != TypeTag::kOid || pkey->type() != TypeTag::kOid)
+    return Status::InvalidArgument("fk keys must be oid-typed");
+  idx->map = BuildFkMap(ckey, pkey);
   return Status::OK();
 }
 
@@ -232,6 +242,8 @@ Status Catalog::DropTable(const std::string& name) {
   InvalidateBindCache(id);
   tables_[id].reset();
   table_by_name_.erase(it);
+  commit_history_.erase(id);
+  history_floor_.erase(id);
   // Listener first (pool/plan maintenance, stale-epoch stamping), THEN the
   // new epoch becomes visible — same ordering contract as Commit.
   if (listener_) listener_(invalidated, UpdateKind::kSchema);
@@ -312,7 +324,13 @@ Result<BatPtr> Catalog::BindIndex(const std::string& index) {
   return b;
 }
 
-Status Catalog::Append(const std::string& table,
+TxnWriteSet Catalog::BeginWrite() const {
+  TxnWriteSet ws;
+  ws.begin_epoch = epoch();
+  return ws;
+}
+
+Status Catalog::Append(TxnWriteSet* ws, const std::string& table,
                        std::vector<std::vector<Scalar>> rows) {
   const Table* t = FindTable(table);
   if (t == nullptr) return Status::NotFound("table " + table);
@@ -320,33 +338,79 @@ Status Catalog::Append(const std::string& table,
     if (r.size() != t->num_columns())
       return Status::InvalidArgument("row arity mismatch");
   }
-  auto& delta = pending_[t->id()];
+  auto& delta = ws->deltas[t->id()];
   for (auto& r : rows) delta.inserts.push_back(std::move(r));
+  ++ws->version;
   return Status::OK();
 }
 
-Status Catalog::Delete(const std::string& table, std::vector<Oid> row_oids,
-                       size_t* newly_queued) {
+Status Catalog::Delete(TxnWriteSet* ws, const std::string& table,
+                       std::vector<Oid> overlay_oids,
+                       const CatalogSnapshot* base_snap, size_t* newly_queued) {
   const Table* t = FindTable(table);
   if (t == nullptr) return Status::NotFound("table " + table);
-  auto& delta = pending_[t->id()];
-  std::unordered_set<Oid> queued(delta.deletes.begin(), delta.deletes.end());
+  // The kept-row boundary is the BEGIN snapshot's row count: the victim
+  // scan that produced these oids ran against that snapshot (plus this
+  // write set), so commits landed since must not move the boundary.
+  size_t base = t->num_rows();
+  if (base_snap != nullptr) {
+    if (t->num_columns() == 0)
+      return Status::Internal("delete from a column-less table");
+    RDB_ASSIGN_OR_RETURN(BatPtr b,
+                         base_snap->BindColumn(table, t->column_name(0)));
+    base = b->size();
+  }
+  auto& delta = ws->deltas[t->id()];
+  const size_t kept = base - delta.deletes.size();
+
+  // Sorted copy of the already-queued begin-coordinate deletes: the inverse
+  // of the overlay's compaction walks it ascending to restore each kept
+  // overlay oid to its begin coordinate.
+  std::vector<Oid> queued_sorted(delta.deletes.begin(), delta.deletes.end());
+  std::sort(queued_sorted.begin(), queued_sorted.end());
+
+  std::vector<Oid> base_victims;
+  std::vector<size_t> insert_victims;  // indices into delta.inserts
+  for (Oid v : overlay_oids) {
+    if (v < kept) {
+      Oid b = v;
+      for (Oid d : queued_sorted) {
+        if (d <= b)
+          ++b;
+        else
+          break;
+      }
+      base_victims.push_back(b);
+    } else {
+      size_t idx = v - kept;
+      if (idx >= delta.inserts.size())
+        return Status::Internal("victim oid beyond the overlay row space");
+      insert_victims.push_back(idx);
+    }
+  }
+
   size_t added = 0;
-  for (Oid o : row_oids) {
-    if (queued.insert(o).second) {
-      delta.deletes.push_back(o);
+  // Un-queue the transaction's own pending inserts, highest index first so
+  // earlier removals do not shift later ones.
+  std::sort(insert_victims.begin(), insert_victims.end());
+  insert_victims.erase(
+      std::unique(insert_victims.begin(), insert_victims.end()),
+      insert_victims.end());
+  for (auto it = insert_victims.rbegin(); it != insert_victims.rend(); ++it) {
+    delta.inserts.erase(delta.inserts.begin() +
+                        static_cast<ptrdiff_t>(*it));
+    ++added;
+  }
+  std::unordered_set<Oid> dedup(delta.deletes.begin(), delta.deletes.end());
+  for (Oid b : base_victims) {
+    if (dedup.insert(b).second) {
+      delta.deletes.push_back(b);
       ++added;
     }
   }
   if (newly_queued != nullptr) *newly_queued = added;
+  if (added > 0) ++ws->version;
   return Status::OK();
-}
-
-bool Catalog::HasPendingInserts(const std::string& table) const {
-  const Table* t = FindTable(table);
-  if (t == nullptr) return false;
-  auto it = pending_.find(t->id());
-  return it != pending_.end() && !it->second.inserts.empty();
 }
 
 void Catalog::InvalidateBindCache(int32_t table_id) {
@@ -359,22 +423,77 @@ void Catalog::InvalidateBindCache(int32_t table_id) {
   }
 }
 
-Status Catalog::Commit() {
-  if (pending_.empty()) return Status::OK();
+Status Catalog::CommitWrite(TxnWriteSet* ws) {
+  if (ws->Empty()) {
+    ws->deltas.clear();
+    return Status::OK();
+  }
+
+  // --- Phase 1: first-writer-wins conflict check + coordinate remap. Pure
+  // over the catalog — a WriteConflict return leaves every table, cache,
+  // and epoch untouched; the caller discards the write set (abort).
+  //
+  // ws delete oids are in begin-snapshot coordinates. Every delete-carrying
+  // commit published since renumbered the table's rows (its compaction
+  // shifts subsequent oids down); replaying the retained commit records in
+  // epoch order either proves a conflict (some commit deleted the same row
+  // this transaction targets) or yields the rows' CURRENT coordinates.
+  // Insert-only commits neither move nor remove rows, so they are absent
+  // from the history and two insert-only transactions never conflict.
+  std::map<int32_t, std::vector<Oid>> remapped;
+  for (auto& [tid, delta] : ws->deltas) {
+    if (delta.Empty()) continue;
+    if (tid < 0 || static_cast<size_t>(tid) >= tables_.size() ||
+        tables_[tid] == nullptr)
+      return Status::NotFound("table dropped since the transaction began");
+    if (delta.deletes.empty()) continue;
+    const std::string& tname = tables_[tid]->name();
+    auto fit = history_floor_.find(tid);
+    if (fit != history_floor_.end() && ws->begin_epoch < fit->second)
+      return Status::WriteConflict(
+          "transaction over '" + tname +
+          "' began before the retained commit history (epoch " +
+          std::to_string(ws->begin_epoch) + " < floor " +
+          std::to_string(fit->second) + ")");
+    std::vector<Oid> oids = delta.deletes;
+    auto hit = commit_history_.find(tid);
+    if (hit != commit_history_.end()) {
+      for (const CommitRecord& rec : hit->second) {  // ascending epoch
+        if (rec.epoch <= ws->begin_epoch) continue;
+        for (Oid& o : oids) {
+          auto lb = std::lower_bound(rec.deleted_sorted.begin(),
+                                     rec.deleted_sorted.end(), o);
+          if (lb != rec.deleted_sorted.end() && *lb == o)
+            return Status::WriteConflict(
+                "row of '" + tname +
+                "' was deleted or updated by a transaction that committed at "
+                "epoch " +
+                std::to_string(rec.epoch));
+          o -= static_cast<Oid>(lb - rec.deleted_sorted.begin());
+        }
+      }
+    }
+    remapped[tid] = std::move(oids);
+  }
+
+  // --- Phase 2: the delta merge (the pre-transaction Commit body), reading
+  // deletes in their remapped current coordinates.
   std::vector<ColumnId> invalidated;
   last_insert_delta_.clear();
   last_commit_insert_only_.clear();
   std::vector<int32_t> updated_tables;
 
-  for (auto& [tid, delta] : pending_) {
+  for (auto& [tid, delta] : ws->deltas) {
     if (delta.Empty()) continue;
     Table* t = tables_[tid].get();
     updated_tables.push_back(tid);
     last_commit_insert_only_[tid] = delta.deletes.empty();
+    const std::vector<Oid>& cur_deletes =
+        remapped.count(tid) ? remapped[tid] : delta.deletes;
 
     std::vector<bool> deleted(t->rows_, false);
     size_t del_count = 0;
-    for (Oid o : delta.deletes) {
+    for (Oid o : cur_deletes) {
       if (o < t->rows_ && !deleted[o]) {
         deleted[o] = true;
         ++del_count;
@@ -435,7 +554,26 @@ Status Catalog::Commit() {
                            kIndexColBase + static_cast<int32_t>(k)});
   }
 
-  pending_.clear();
+  // Record this commit's deletes (in the pre-commit coordinates computed by
+  // phase 1) so later-committing transactions that began before it can be
+  // remapped or refused. Insert-only tables are deliberately NOT recorded:
+  // they never renumber rows, so they can neither cause nor lose a conflict.
+  const uint64_t commit_epoch = epoch() + 1;  // PublishSnapshot's epoch
+  for (auto& [tid, oids] : remapped) {
+    if (oids.empty()) continue;
+    std::sort(oids.begin(), oids.end());
+    oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
+    auto& hist = commit_history_[tid];
+    hist.push_back(CommitRecord{commit_epoch, std::move(oids)});
+    while (hist.size() > kCommitHistoryCap) {
+      // Pruned records raise the floor: transactions older than the newest
+      // pruned epoch can no longer be remapped and conflict conservatively.
+      history_floor_[tid] = std::max(history_floor_[tid], hist.front().epoch);
+      hist.erase(hist.begin());
+    }
+  }
+
+  ws->deltas.clear();
   if (invalidated.empty()) return Status::OK();  // all deltas were empty
   // Commit = merge deltas, let the listener reconcile the recycler pool and
   // plan cache against the columns that changed, and only THEN publish the
@@ -446,6 +584,100 @@ Status Catalog::Commit() {
   if (listener_) listener_(invalidated, UpdateKind::kData);
   PublishSnapshot();
   return Status::OK();
+}
+
+Result<CatalogSnapshotPtr> Catalog::OverlaySnapshot(
+    const CatalogSnapshotPtr& base, const TxnWriteSet& ws) {
+  auto snap = std::make_shared<CatalogSnapshot>();
+  snap->epoch_ = base->epoch_;
+  snap->cols_ = base->cols_;
+  snap->indices_ = base->indices_;
+
+  // Merged key columns per touched table, for FK-index rebuilds below.
+  std::map<int32_t, std::map<int, ColumnPtr>> fresh_cols;
+
+  for (const auto& [tid, delta] : ws.deltas) {
+    if (delta.Empty()) continue;
+    if (tid < 0 || static_cast<size_t>(tid) >= tables_.size() ||
+        tables_[tid] == nullptr)
+      return Status::NotFound("table dropped since the transaction began");
+    const Table* t = tables_[tid].get();
+    const std::string& tname = t->name();
+
+    // Base row count and per-column source data come from the BEGIN
+    // snapshot — the write set's delete oids are in its coordinates.
+    RDB_ASSIGN_OR_RETURN(BatPtr probe,
+                         base->BindColumn(tname, t->column_name(0)));
+    const size_t base_rows = probe->size();
+    std::vector<bool> deleted(base_rows, false);
+    for (Oid o : delta.deletes) {
+      if (o < base_rows) deleted[o] = true;
+    }
+    size_t kept = base_rows;
+    for (Oid o : delta.deletes) {
+      if (o < base_rows) --kept;
+    }
+
+    for (size_t ci = 0; ci < t->num_columns(); ++ci) {
+      const std::string& cname = t->column_name(static_cast<int>(ci));
+      RDB_ASSIGN_OR_RETURN(BatPtr bound, base->BindColumn(tname, cname));
+      const ColumnPtr& old = bound->tail().col;
+      if (old == nullptr)
+        return Status::Internal("overlay over non-materialized base column");
+      TypeTag ctype = t->defs_[ci].type;
+      ColumnPtr merged;
+      VisitPhysical(ctype, [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        const auto& src = old->Data<T>();
+        std::vector<T> fresh;
+        fresh.reserve(kept + delta.inserts.size());
+        for (size_t i = 0; i < src.size() && i < base_rows; ++i) {
+          if (!deleted[i]) fresh.push_back(src[i]);
+        }
+        for (const auto& row : delta.inserts) {
+          fresh.push_back(row[ci].Get<T>());
+        }
+        auto col = Column::Make(ctype, std::move(fresh));
+        col->set_persistent(true);
+        col->ComputeSorted();
+        merged = std::move(col);
+      });
+      fresh_cols[tid][static_cast<int>(ci)] = merged;
+      snap->cols_[{tname, cname}] = CatalogSnapshot::View{
+          {tid, static_cast<int32_t>(ci)}, Bat::DenseHead(merged)};
+    }
+  }
+
+  // Rebuild FK indices whose child or parent table the write set touched,
+  // over the overlay's merged key columns.
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    const FkIndex& idx = indices_[k];
+    const bool touched = fresh_cols.count(idx.child_table) ||
+                         fresh_cols.count(idx.parent_table);
+    if (!touched) continue;
+    auto key_col = [&](int32_t tid, int ci) -> Result<ColumnPtr> {
+      auto fit = fresh_cols.find(tid);
+      if (fit != fresh_cols.end()) {
+        auto cit = fit->second.find(ci);
+        if (cit != fit->second.end()) return cit->second;
+      }
+      const Table* t = tables_[tid].get();
+      RDB_ASSIGN_OR_RETURN(
+          BatPtr bound, base->BindColumn(t->name(), t->column_name(ci)));
+      if (bound->tail().col == nullptr)
+        return Status::Internal("overlay index over non-materialized column");
+      return bound->tail().col;
+    };
+    RDB_ASSIGN_OR_RETURN(ColumnPtr ckey, key_col(idx.child_table, idx.child_key));
+    RDB_ASSIGN_OR_RETURN(ColumnPtr pkey,
+                         key_col(idx.parent_table, idx.parent_key));
+    if (ckey->type() != TypeTag::kOid || pkey->type() != TypeTag::kOid)
+      return Status::InvalidArgument("fk keys must be oid-typed");
+    snap->indices_[idx.name] = CatalogSnapshot::View{
+        {idx.child_table, kIndexColBase + static_cast<int32_t>(k)},
+        Bat::DenseHead(BuildFkMap(ckey, pkey))};
+  }
+  return CatalogSnapshotPtr(std::move(snap));
 }
 
 Result<BatPtr> Catalog::LastInsertDelta(const std::string& table,

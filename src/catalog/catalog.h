@@ -107,6 +107,33 @@ struct PendingDelta {
   bool Empty() const { return inserts.empty() && deletes.empty(); }
 };
 
+/// A transaction's private write set: per-table pending deltas accumulated
+/// by INSERT/DELETE/UPDATE statements, invisible to every other session
+/// until Catalog::CommitWrite installs them atomically. Delete oids are in
+/// the row coordinates of the transaction's BEGIN snapshot; CommitWrite
+/// remaps them through the commits that landed since (or fails with
+/// WriteConflict when one of those commits touched the same row —
+/// first-writer-wins). Discarding the object IS rollback: nothing in the
+/// catalog ever saw it.
+struct TxnWriteSet {
+  /// The catalog epoch current when the transaction began; conflict
+  /// detection considers exactly the commits published after it.
+  uint64_t begin_epoch = 0;
+  /// Per-table deltas, keyed by table id. Delete oids are begin-snapshot
+  /// row coordinates, deduplicated and kept in queue order.
+  std::map<int32_t, PendingDelta> deltas;
+  /// Bumped on every mutation of the write set; sessions use it to cache
+  /// the derived overlay snapshot across statements.
+  uint64_t version = 0;
+
+  bool Empty() const {
+    for (const auto& [tid, d] : deltas) {
+      if (!d.Empty()) return false;
+    }
+    return true;
+  }
+};
+
 /// The database catalog: tables, persistent columns, foreign-key join
 /// indices, and the update path. Bind results are cached so repeated binds
 /// of an unchanged column return the *same* BAT object — persistent bats
@@ -178,29 +205,53 @@ class Catalog {
                                   const std::string& parent_table,
                                   const std::string& parent_col) const;
 
-  // --- DML (delta-based) -----------------------------------------------------
+  // --- DML (transaction write sets) ----------------------------------------
 
-  /// Queues row inserts into the table's pending delta.
-  Status Append(const std::string& table,
+  /// Opens a write set at the current epoch. The single mutator entry point:
+  /// every INSERT/DELETE/UPDATE accumulates in a write set and only
+  /// CommitWrite touches the catalog. Lock-free (atomic epoch load).
+  TxnWriteSet BeginWrite() const;
+
+  /// Queues row inserts into the write set's delta for `table`. Only reads
+  /// catalog schema — safe under a shared hold of the service's update lock,
+  /// concurrently with other sessions' statements.
+  Status Append(TxnWriteSet* ws, const std::string& table,
                 std::vector<std::vector<Scalar>> rows);
 
-  /// Queues row deletions (by current row oid). Oids already queued in the
-  /// table's pending delta are skipped — Commit deduplicates anyway, so
-  /// queueing them twice would only distort counts; `newly_queued`, when
-  /// non-null, receives how many oids this call actually added.
-  Status Delete(const std::string& table, std::vector<Oid> row_oids,
+  /// Queues row deletions by oid in the coordinates of the transaction's
+  /// OVERLAY view (its begin snapshot with the write set's own deltas
+  /// applied — what an in-transaction victim scan yields). `base` is the
+  /// transaction's begin snapshot, which fixes the kept-row boundary (null:
+  /// the live committed state is the base — the autocommit path, under the
+  /// exclusive lock). Oids below the surviving-base-row count map back
+  /// through the write set's queued deletes to begin-snapshot coordinates;
+  /// oids beyond it un-queue the transaction's own pending inserts.
+  /// `newly_queued`, when non-null, receives how many rows this call
+  /// actually removed or queued.
+  Status Delete(TxnWriteSet* ws, const std::string& table,
+                std::vector<Oid> overlay_oids,
+                const CatalogSnapshot* base = nullptr,
                 size_t* newly_queued = nullptr);
 
-  /// True iff the table has uncommitted insert rows queued. Part of the DML
-  /// family (externally serialised like Append/Delete/Commit); the SQL
-  /// DELETE path uses it to reject statements that would silently miss
-  /// same-transaction inserts (victim scans see committed state only).
-  bool HasPendingInserts(const std::string& table) const;
+  /// Installs the write set atomically: first-writer-wins conflict check
+  /// (Status::WriteConflict when a commit after ws->begin_epoch deleted or
+  /// updated one of ws's victim rows; the catalog is untouched on failure),
+  /// then the delta merge — inserts appended, deletions compacted, join
+  /// indices rebuilt, bind caches refreshed, the update listener notified
+  /// ONCE with every invalidated ColumnId, and the next snapshot epoch
+  /// published. The write set is cleared on success. Must be externally
+  /// serialised like every mutator (the service's exclusive update lock).
+  Status CommitWrite(TxnWriteSet* ws);
 
-  /// Applies all pending deltas: merges inserts, compacts deletions,
-  /// rebuilds affected join indices, refreshes bind caches, and notifies the
-  /// update listener with every invalidated ColumnId.
-  Status Commit();
+  /// The transaction's read view: `base` (its begin snapshot) with the
+  /// write set's deltas merged in — fresh columns for every touched table
+  /// (deleted rows compacted out, pending inserts appended) and join
+  /// indices over touched tables rebuilt. Untouched tables keep the base
+  /// snapshot's BATs (and their identities). Reads schema metadata, so the
+  /// caller must hold the update lock shared; the returned snapshot carries
+  /// the base epoch and is immutable like any other.
+  Result<CatalogSnapshotPtr> OverlaySnapshot(const CatalogSnapshotPtr& base,
+                                             const TxnWriteSet& ws);
 
   /// Insert deltas of the last committed transaction, per table/column —
   /// consumed by the recycler's update-propagation extension (§6.3).
@@ -240,7 +291,22 @@ class Catalog {
     ColumnPtr map;  // oid positions into parent, aligned with child rows
   };
 
+  /// One committed transaction's effect on a table's row coordinates, kept
+  /// for first-writer-wins conflict detection: a later CommitWrite whose
+  /// write set began before `epoch` must remap its begin-coordinate victim
+  /// oids through `deleted_sorted` (conflict when one matches; otherwise
+  /// shift down by the deletions ordered before it). Insert-only commits
+  /// never renumber or remove rows, so they are not recorded.
+  struct CommitRecord {
+    uint64_t epoch = 0;               ///< epoch the commit published
+    std::vector<Oid> deleted_sorted;  ///< oids deleted, pre-commit coords
+  };
+
   Status RebuildIndex(FkIndex* idx);
+  /// Builds the [child row -> parent row] FK map by key matching; the
+  /// overlay path reuses it over merged transaction-local columns.
+  static ColumnPtr BuildFkMap(const ColumnPtr& child_key,
+                              const ColumnPtr& parent_key);
   void InvalidateBindCache(int32_t table_id);
   /// Bumps the epoch and atomically installs a fresh immutable snapshot of
   /// every loaded column/index (resolved through the bind caches, so
@@ -255,7 +321,13 @@ class Catalog {
   std::map<std::string, int32_t> table_by_name_;
   std::vector<FkIndex> indices_;
   std::map<std::string, int> index_by_name_;
-  std::map<int32_t, PendingDelta> pending_;
+  /// Per-table history of delete-carrying commits (bounded to
+  /// kCommitHistoryCap entries, oldest pruned), plus the epoch floor below
+  /// which history is no longer retained — a write set with deletes that
+  /// began before the floor conflicts conservatively. Bulk loads reset the
+  /// floor: they renumber rows without a commit record.
+  std::map<int32_t, std::vector<CommitRecord>> commit_history_;
+  std::map<int32_t, uint64_t> history_floor_;
   // Bind caches: stable BAT identities for persistent data. Guarded by
   // bind_mu_ so concurrent readers can populate them safely.
   mutable std::mutex bind_mu_;
@@ -275,6 +347,10 @@ class Catalog {
 
 /// Pseudo column id space for join indices: col = kIndexColBase + index slot.
 inline constexpr int32_t kIndexColBase = 1 << 20;
+
+/// Delete-carrying commits retained per table for conflict remapping; a
+/// transaction older than the retained window conflicts conservatively.
+inline constexpr size_t kCommitHistoryCap = 128;
 
 }  // namespace recycledb
 

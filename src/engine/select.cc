@@ -12,6 +12,14 @@ using detail::PhysCompatible;
 
 namespace {
 
+/// True when the in-band nil marker of T sorts AFTER every real value
+/// (the Oid nil is the max sentinel); every other physical nil is the
+/// numeric minimum / empty string and sorts first.
+template <typename T>
+constexpr bool NilSortsHigh() {
+  return std::is_same_v<T, Oid>;
+}
+
 /// Binary-search range selection over a sorted materialised tail. Returns
 /// a zero-copy view of the qualifying run.
 template <typename T>
@@ -24,6 +32,8 @@ BatPtr SortedRangeSelect(const BatPtr& b, bool has_lo, const T& lov,
   if (has_lo) {
     begin = lo_inc ? std::lower_bound(data, data + n, lov)
                    : std::upper_bound(data, data + n, lov);
+  } else if (NilSortsHigh<T>()) {
+    begin = data;  // nils sort last here; the end side clips them
   } else {
     // Unbounded from below still excludes nils, which sort lowest.
     begin = std::upper_bound(data, data + n, NilOf<T>());
@@ -32,6 +42,11 @@ BatPtr SortedRangeSelect(const BatPtr& b, bool has_lo, const T& lov,
   if (has_hi) {
     end = hi_inc ? std::upper_bound(data, data + n, hiv)
                  : std::lower_bound(data, data + n, hiv);
+    if (NilSortsHigh<T>() && hiv == NilOf<T>())
+      end = std::lower_bound(data, data + n, hiv);  // never admit nils
+  } else if (NilSortsHigh<T>()) {
+    // Unbounded from above: the max-sentinel nils are the tail of the run.
+    end = std::lower_bound(data, data + n, NilOf<T>());
   } else {
     end = data + n;
   }

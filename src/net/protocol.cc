@@ -22,6 +22,8 @@ Status MakeStatus(StatusCode code, std::string msg) {
       return Status::NotImplemented(std::move(msg));
     case StatusCode::kDeadlineExceeded:
       return Status::DeadlineExceeded(std::move(msg));
+    case StatusCode::kWriteConflict:
+      return Status::WriteConflict(std::move(msg));
     case StatusCode::kInternal:
     case StatusCode::kOk:
       break;
@@ -276,7 +278,7 @@ Result<ErrorPayload> DecodeError(const std::string& payload) {
   ErrorPayload e;
   uint8_t code = 0;
   RDB_RETURN_NOT_OK(GetU8(&c, &code));
-  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded))
+  if (code > static_cast<uint8_t>(StatusCode::kWriteConflict))
     return Status::InvalidArgument("ERROR frame with unknown status code");
   e.code = static_cast<StatusCode>(code);
   RDB_RETURN_NOT_OK(GetU32(&c, &e.line));

@@ -23,6 +23,8 @@ const char* EventKindName(EventKind k) {
       return "cancel";
     case EventKind::kEpochBump:
       return "epoch_bump";
+    case EventKind::kTxnConflict:
+      return "txn_conflict";
   }
   return "?";
 }

@@ -22,6 +22,7 @@ enum class EventKind : uint8_t {
   kPropagate,   ///< insert-only commit refreshed pool entries (§6.3)
   kCancel,      ///< a client cancelled an in-flight or queued request
   kEpochBump,   ///< a commit/DDL published a new catalog snapshot epoch
+  kTxnConflict,  ///< first-writer-wins refused a COMMIT (a = begin epoch)
 };
 
 const char* EventKindName(EventKind k);

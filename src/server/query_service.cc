@@ -1,5 +1,7 @@
 #include "server/query_service.h"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "sql/parser.h"
@@ -18,6 +20,47 @@ uint64_t MsToUs(double ms) {
   return ms <= 0 ? 0 : static_cast<uint64_t>(ms * 1e3);
 }
 
+/// Coerces one exported UPDATE cell to its column's declared type. SET
+/// arithmetic runs in the plan's numeric domain (often kDbl), so the rebuilt
+/// row must narrow back to the declared type — with range checks, because a
+/// silently wrapped int32 would corrupt the table. Carried-over columns and
+/// same-type values pass through untouched; only numeric targets are ever
+/// computed (the planner rejects expressions over str/date columns).
+Result<Scalar> CoerceCell(const Scalar& v, TypeTag want) {
+  if (v.tag() == want) return v;
+  switch (v.tag()) {
+    case TypeTag::kInt:
+    case TypeTag::kLng:
+    case TypeTag::kDbl:
+    case TypeTag::kOid:
+      break;
+    default:
+      return Status::TypeMismatch("UPDATE produced a non-numeric value for a "
+                                  "differently typed column");
+  }
+  const double d = v.ToDouble();
+  switch (want) {
+    case TypeTag::kDbl:
+      return Scalar::Dbl(d);
+    case TypeTag::kLng:
+      return Scalar::Lng(static_cast<int64_t>(std::llround(d)));
+    case TypeTag::kInt: {
+      const long long r = std::llround(d);
+      if (r < std::numeric_limits<int32_t>::min() ||
+          r > std::numeric_limits<int32_t>::max())
+        return Status::InvalidArgument("UPDATE value overflows int column");
+      return Scalar::Int(static_cast<int32_t>(r));
+    }
+    case TypeTag::kOid: {
+      const long long r = std::llround(d);
+      if (r < 0) return Status::InvalidArgument("UPDATE value for oid column is negative");
+      return Scalar::OidVal(static_cast<Oid>(r));
+    }
+    default:
+      return Status::TypeMismatch("UPDATE cannot compute a value of this column type");
+  }
+}
+
 }  // namespace
 
 QueryService::QueryService(std::unique_ptr<Catalog> catalog, ServiceConfig cfg)
@@ -28,9 +71,6 @@ QueryService::QueryService(std::unique_ptr<Catalog> catalog, ServiceConfig cfg)
 QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
     : catalog_(catalog), cfg_(cfg), recycler_(cfg.recycler, &governor_) {
   if (cfg_.num_workers < 1) cfg_.num_workers = 1;
-  // The legacy SubmitSql/RunSql wrappers route through the default session;
-  // they predate autocommit, so deltas stay pending until an explicit COMMIT.
-  default_session_.set_autocommit(false);
   // Metric registration happens before the workers start, so the hot paths
   // only ever touch stable pointers.
   c_submitted_ = metrics_.AddCounter("queries_submitted");
@@ -44,7 +84,12 @@ QueryService::QueryService(Catalog* catalog, ServiceConfig cfg)
   c_wall_us_ = metrics_.AddCounter("query_wall_us_total");
   c_dml_inserted_ = metrics_.AddCounter("dml_rows_inserted");
   c_dml_deleted_ = metrics_.AddCounter("dml_rows_deleted");
+  c_dml_updated_ = metrics_.AddCounter("dml_rows_updated");
   c_dml_commits_ = metrics_.AddCounter("dml_commits");
+  c_txn_begun_ = metrics_.AddCounter("txn_begun");
+  c_txn_committed_ = metrics_.AddCounter("txn_committed");
+  c_txn_rolled_back_ = metrics_.AddCounter("txn_rolled_back");
+  c_txn_conflicts_ = metrics_.AddCounter("txn_conflicts");
   c_epoch_pins_ = metrics_.AddCounter("epoch_pins");
   c_stale_refreshes_ = metrics_.AddCounter("stale_entry_refreshes");
   h_query_wall_us_ = metrics_.AddHistogram("query_wall_us");
@@ -195,23 +240,9 @@ void QueryService::SubmitAsync(Request req, SqlCallback done) {
   RouteStatement(req.sql, req.session, req.options, std::move(done), nullptr);
 }
 
-std::future<Result<QueryResult>> QueryService::SubmitSql(
-    const std::string& text) {
-  return Submit(Request{text, &default_session_, {}}).future;
-}
-
-void QueryService::SubmitSqlAsync(const std::string& text, SqlCallback done) {
-  SubmitAsync(Request{text, &default_session_, {}}, std::move(done));
-}
-
-Result<QueryResult> QueryService::RunSql(const std::string& text) {
-  return SubmitSql(text).get();
-}
-
 void QueryService::RouteStatement(const std::string& text, Session* session,
                                   const SubmitOptions& options,
                                   SqlCallback done, QueryHandle* handle_out) {
-  if (session == nullptr) session = &default_session_;
   // Parse/compile/bind rejections count as submitted+failed, so operators
   // watching ServiceStats see errored SQL, not only worker-side failures.
   auto fail = [this, &done](Status st) {
@@ -219,6 +250,11 @@ void QueryService::RouteStatement(const std::string& text, Session* session,
     c_failed_->Add(1);
     done(std::move(st));
   };
+  // The session is the only home of autocommit, pinning, and transaction
+  // state — there is deliberately no service-owned fallback session a null
+  // could silently share across callers.
+  if (session == nullptr)
+    return fail(Status::InvalidArgument("Request.session is required"));
 
   StopWatch parse_sw;
   auto parsed = sql::ParseStatement(text);
@@ -245,13 +281,29 @@ void QueryService::RouteStatement(const std::string& text, Session* session,
     return;
   }
 
-  // Snapshot capture (MVCC): the session's pinned snapshot wins (repeatable
-  // reads), else the newest published epoch. kLatest consistency — or the
+  // Snapshot capture (MVCC): inside an open transaction the transaction's
+  // own view wins — the begin snapshot, overlaid with the private write set
+  // once it is non-empty (read-your-own-writes, invisible to every other
+  // session). Otherwise the session's pinned snapshot (repeatable reads),
+  // else the newest published epoch. kLatest consistency — or the
   // service-wide ablation knob — keeps the legacy shared-lock path.
   CatalogSnapshotPtr snapshot;
+  bool no_recycle = false;
   if (cfg_.snapshot_reads && options.consistency == Consistency::kSnapshot) {
-    snapshot = session->pinned();
-    if (snapshot == nullptr) snapshot = catalog_->Snapshot();
+    if (session->in_txn()) {
+      // Overlay construction reads catalog metadata, so take the same
+      // shared hold compilation uses; the hold is released before the
+      // query runs (the overlay is immutable once built).
+      WaitForUpdateGate();
+      std::shared_lock<std::shared_mutex> lock(update_mu_);
+      auto snap = TxnSnapshot(session, &no_recycle);
+      if (!snap.ok()) return fail(snap.status());
+      snapshot = std::move(snap).value();
+    }
+    if (snapshot == nullptr) {
+      snapshot = session->pinned();
+      if (snapshot == nullptr) snapshot = catalog_->Snapshot();
+    }
     c_epoch_pins_->Add(1);
   }
   if (handle_out != nullptr) {
@@ -345,6 +397,7 @@ void QueryService::RouteStatement(const std::string& text, Session* session,
   t.trace = std::move(trace);
   t.done = std::move(done);
   t.snapshot = std::move(snapshot);
+  t.no_recycle = no_recycle;
   if (options.deadline_ms > 0)
     t.deadline_at_ms = NowMillis() + options.deadline_ms;
   Enqueue(std::move(t));
@@ -352,86 +405,272 @@ void QueryService::RouteStatement(const std::string& text, Session* session,
 
 Result<QueryResult> QueryService::ExecuteDml(const sql::Statement& stmt,
                                              Session* session) {
-  if (session == nullptr) session = &default_session_;
   QueryResult out;
-  // Autocommit folds the statement and its commit into ONE exclusive hold:
-  // no other session can interleave a statement between them, and the
-  // commit's pool/plan maintenance + epoch publish land atomically with the
-  // mutation.
-  const bool autocommit = session->autocommit() &&
-                          stmt.kind != sql::Statement::Kind::kCommit;
-  Status st = ApplyUpdate([&](Catalog* cat) -> Status {
-    auto run_stmt = [&]() -> Status {
-    switch (stmt.kind) {
-      case sql::Statement::Kind::kInsert: {
-        RDB_ASSIGN_OR_RETURN(std::vector<std::vector<Scalar>> rows,
-                             sql::BindInsert(*cat, stmt.insert));
-        const size_t n = rows.size();
-        RDB_RETURN_NOT_OK(cat->Append(stmt.insert.table, std::move(rows)));
-        c_dml_inserted_->Add(n);
-        out.values.emplace_back("rows_inserted",
-                                Scalar::Lng(static_cast<int64_t>(n)));
-        return Status::OK();
+  using K = sql::Statement::Kind;
+
+  switch (stmt.kind) {
+    case K::kBegin: {
+      // Lock-free: the snapshot is captured FIRST and the write set's begin
+      // epoch copied from it, so the pair can never straddle a concurrent
+      // commit (Catalog::BeginWrite() + a separate Snapshot() call could).
+      CatalogSnapshotPtr snap = catalog_->Snapshot();
+      TxnWriteSet ws;
+      ws.begin_epoch = snap->epoch();
+      if (!session->BeginTxn(std::move(ws), std::move(snap)))
+        return Status::InvalidArgument("BEGIN inside an open transaction");
+      c_txn_begun_->Add(1);
+      out.values.emplace_back("txn_begun", Scalar::Lng(1));
+      return out;
+    }
+    case K::kRollback: {
+      // Dropping the Txn IS rollback: the write set never touched the
+      // catalog, so there is nothing to undo — no lock, no epoch bump, no
+      // pool or plan-cache maintenance. ROLLBACK with nothing open is a
+      // no-op, not an error (every client quit path can issue it blindly).
+      std::unique_ptr<Session::Txn> txn = session->TakeTxn();
+      if (txn != nullptr) c_txn_rolled_back_->Add(1);
+      out.values.emplace_back("rolled_back",
+                              Scalar::Lng(txn != nullptr ? 1 : 0));
+      return out;
+    }
+    case K::kCommit: {
+      if (!session->in_txn()) {
+        // Nothing staged: report 0 installed rather than erroring, so
+        // autocommit scripts ending in a defensive COMMIT stay valid.
+        out.values.emplace_back("committed", Scalar::Lng(0));
+        return out;
       }
-      case sql::Statement::Kind::kDelete: {
-        // The victim scan sees COMMITTED state only: under the versioned
-        // catalog that IS the statement's snapshot, so targeting committed
-        // rows while same-transaction pending inserts survive the commit is
-        // the correct MVCC semantics (the PR 4 refuse-on-pending-inserts
-        // guard is gone).
-        // The scan runs right here, inside the exclusive hold, so the oids
-        // it yields cannot be renumbered by a racing commit before the
-        // deletions are queued. No recycler hook: a scan over to-be-deleted
-        // state must not be admitted to the shared pool.
-        std::vector<Scalar> params;
-        RDB_ASSIGN_OR_RETURN(sql::CompiledPlan plan,
-                             sql::CompileDelete(cat, stmt.del, &params));
-        Interpreter interp(cat);
-        RDB_ASSIGN_OR_RETURN(QueryResult scan, interp.Run(plan.prog, params));
-        const MalValue* v = scan.Find("victims");
-        if (v == nullptr || !v->is_bat())
-          return Status::Internal("victim scan produced no oid list");
-        const BatPtr& b = v->bat();
-        std::vector<Oid> oids;
-        oids.reserve(b->size());
-        for (size_t i = 0; i < b->size(); ++i)
-          oids.push_back(b->TailAt(i).AsOid());
-        // Overlapping DELETEs in one transaction scan the same committed
-        // rows; count only what this statement newly queued so the totals
-        // reconcile with rows actually removed at commit.
-        size_t n = 0;
-        RDB_RETURN_NOT_OK(cat->Delete(stmt.del.table, std::move(oids), &n));
-        c_dml_deleted_->Add(n);
-        out.values.emplace_back("rows_deleted",
-                                Scalar::Lng(static_cast<int64_t>(n)));
-        return Status::OK();
-      }
-      case sql::Statement::Kind::kCommit: {
-        // Commit fires the catalog listener while we hold the lock
-        // exclusively — plan-cache invalidation and pool propagation/
-        // invalidation land first, then the catalog publishes the next
-        // snapshot epoch, so a submission that captures the new epoch
-        // always sees a reconciled pool.
-        RDB_RETURN_NOT_OK(cat->Commit());
+      Status st = ApplyUpdate([&](Catalog* cat) -> Status {
+        std::unique_ptr<Session::Txn> txn = session->TakeTxn();
+        if (txn == nullptr) return Status::OK();
+        // CommitWrite's conflict phase is pure: on WriteConflict the
+        // catalog is untouched and the write set dies with `txn` —
+        // first-writer-wins, the loser retries from a fresh BEGIN. On
+        // success the listener fires (pool/plan maintenance) and the next
+        // snapshot publishes, ONCE for the whole transaction, while we
+        // hold the update lock exclusively.
+        Status cs = cat->CommitWrite(&txn->ws);
+        if (!cs.ok()) {
+          if (cs.code() == StatusCode::kWriteConflict) {
+            c_txn_conflicts_->Add(1);
+            events_.Record(obs::EventKind::kTxnConflict, 0,
+                           txn->ws.begin_epoch, 0);
+          }
+          return cs;
+        }
+        c_txn_committed_->Add(1);
         c_dml_commits_->Add(1);
-        out.values.emplace_back("committed", Scalar::Lng(1));
         return Status::OK();
-      }
-      case sql::Statement::Kind::kSelect:
-        break;
-    }
-    return Status::Internal("non-DML statement reached ExecuteDml");
-    };
-    RDB_RETURN_NOT_OK(run_stmt());
-    if (autocommit) {
-      RDB_RETURN_NOT_OK(cat->Commit());
-      c_dml_commits_->Add(1);
+      });
+      if (!st.ok()) return st;
       out.values.emplace_back("committed", Scalar::Lng(1));
+      return out;
     }
+    default:
+      break;
+  }
+
+  // INSERT / DELETE / UPDATE. With autocommit off and no transaction open,
+  // the statement implicitly opens one — the legacy staged-delta behaviour
+  // (statements accumulate until an explicit COMMIT) expressed as a session
+  // transaction.
+  if (!session->in_txn() && !session->autocommit()) {
+    CatalogSnapshotPtr snap = catalog_->Snapshot();
+    TxnWriteSet ws;
+    ws.begin_epoch = snap->epoch();
+    session->BeginTxn(std::move(ws), std::move(snap));
+    c_txn_begun_->Add(1);
+  }
+
+  if (session->in_txn()) {
+    // In-transaction statement: only a SHARED hold — the write set is
+    // session-private, so the statement needs schema stability, not mutual
+    // exclusion. Victim scans read the transaction's overlay (begin
+    // snapshot + write set) so repeated statements see their own effects;
+    // an untouched write set short-circuits to the begin snapshot itself.
+    WaitForUpdateGate();
+    std::shared_lock<std::shared_mutex> lock(update_mu_);
+    Status st = Status::OK();
+    session->WithTxn([&](Session::Txn* t) {
+      const CatalogSnapshot* exec = nullptr;
+      if (stmt.kind != K::kInsert) {
+        if (t->ws.Empty()) {
+          exec = t->begin_snapshot.get();
+        } else {
+          if (t->overlay == nullptr || t->overlay_version != t->ws.version) {
+            auto ov = catalog_->OverlaySnapshot(t->begin_snapshot, t->ws);
+            if (!ov.ok()) {
+              st = ov.status();
+              return;
+            }
+            t->overlay = std::move(ov).value();
+            t->overlay_version = t->ws.version;
+          }
+          exec = t->overlay.get();
+        }
+      }
+      st = RunDmlStatement(catalog_, stmt, &t->ws, t->begin_snapshot.get(),
+                           exec, &out);
+    });
+    if (!st.ok()) return st;
+    return out;
+  }
+
+  // Autocommit: an implicit single-statement transaction folded into ONE
+  // exclusive hold — begin, execute, and commit with no interleaving
+  // possible, so first-writer-wins can never fire here. Scans read the live
+  // committed state (null exec snapshot), which under the exclusive lock IS
+  // the statement's snapshot.
+  Status st = ApplyUpdate([&](Catalog* cat) -> Status {
+    TxnWriteSet ws = cat->BeginWrite();
+    RDB_RETURN_NOT_OK(
+        RunDmlStatement(cat, stmt, &ws, nullptr, nullptr, &out));
+    RDB_RETURN_NOT_OK(cat->CommitWrite(&ws));
+    c_dml_commits_->Add(1);
+    out.values.emplace_back("committed", Scalar::Lng(1));
     return Status::OK();
   });
   if (!st.ok()) return st;
   return out;
+}
+
+Status QueryService::RunDmlStatement(Catalog* cat, const sql::Statement& stmt,
+                                     TxnWriteSet* ws,
+                                     const CatalogSnapshot* base_snap,
+                                     const CatalogSnapshot* exec_snap,
+                                     QueryResult* out) {
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kInsert: {
+      RDB_ASSIGN_OR_RETURN(std::vector<std::vector<Scalar>> rows,
+                           sql::BindInsert(*cat, stmt.insert));
+      const size_t n = rows.size();
+      RDB_RETURN_NOT_OK(cat->Append(ws, stmt.insert.table, std::move(rows)));
+      c_dml_inserted_->Add(n);
+      out->values.emplace_back("rows_inserted",
+                               Scalar::Lng(static_cast<int64_t>(n)));
+      return Status::OK();
+    }
+    case sql::Statement::Kind::kDelete: {
+      // The victim scan reads `exec_snap` — the transaction's overlay (its
+      // own inserts are deletable, rows it already deleted are gone) or the
+      // live committed state under autocommit's exclusive hold. Either way
+      // the coordinates Catalog::Delete receives are overlay coordinates,
+      // which it maps back to the begin snapshot's. No recycler hook: a
+      // scan over to-be-deleted state must not be admitted to the shared
+      // pool.
+      std::vector<Scalar> params;
+      RDB_ASSIGN_OR_RETURN(sql::CompiledPlan plan,
+                           sql::CompileDelete(cat, stmt.del, &params));
+      Interpreter interp(cat);
+      if (exec_snap != nullptr) interp.set_snapshot(exec_snap);
+      RDB_ASSIGN_OR_RETURN(QueryResult scan, interp.Run(plan.prog, params));
+      const MalValue* v = scan.Find("victims");
+      if (v == nullptr || !v->is_bat())
+        return Status::Internal("victim scan produced no oid list");
+      const BatPtr& b = v->bat();
+      std::vector<Oid> oids;
+      oids.reserve(b->size());
+      for (size_t i = 0; i < b->size(); ++i)
+        oids.push_back(b->TailAt(i).AsOid());
+      // Overlapping DELETEs in one transaction can re-select rows already
+      // queued; count only what this statement newly queued so the totals
+      // reconcile with rows actually removed at commit.
+      size_t n = 0;
+      RDB_RETURN_NOT_OK(
+          cat->Delete(ws, stmt.del.table, std::move(oids), base_snap, &n));
+      c_dml_deleted_->Add(n);
+      out->values.emplace_back("rows_deleted",
+                               Scalar::Lng(static_cast<int64_t>(n)));
+      return Status::OK();
+    }
+    case sql::Statement::Kind::kUpdate: {
+      // UPDATE is delete + reinsert over the same write-set machinery: run
+      // the victim scan plus the per-column value exports, rebuild each
+      // victim row (constants from the statement, computed cells coerced to
+      // the declared column type), queue the victims as deletes and the
+      // rebuilt rows as inserts. At commit the row therefore moves to the
+      // table's tail with a new oid — exactly how the delta design applies
+      // in-place mutation.
+      RDB_ASSIGN_OR_RETURN(sql::CompiledUpdate cu,
+                           sql::CompileUpdate(cat, stmt.update));
+      Interpreter interp(cat);
+      if (exec_snap != nullptr) interp.set_snapshot(exec_snap);
+      RDB_ASSIGN_OR_RETURN(QueryResult scan,
+                           interp.Run(cu.plan.prog, cu.params));
+      const MalValue* v = scan.Find("victims");
+      if (v == nullptr || !v->is_bat())
+        return Status::Internal("victim scan produced no oid list");
+      const BatPtr& vb = v->bat();
+      const size_t n = vb->size();
+      const size_t ncols = cu.column_types.size();
+      std::vector<const Bat*> value_bats(ncols, nullptr);
+      for (size_t ci = 0; ci < ncols; ++ci) {
+        if (cu.is_constant[ci]) continue;
+        const MalValue* col = scan.Find(StrFormat("v%d", static_cast<int>(ci)));
+        if (col == nullptr || !col->is_bat() || col->bat()->size() != n)
+          return Status::Internal(StrFormat(
+              "UPDATE value export v%d is missing or misaligned",
+              static_cast<int>(ci)));
+        value_bats[ci] = col->bat().get();
+      }
+      std::vector<Oid> oids;
+      oids.reserve(n);
+      std::vector<std::vector<Scalar>> rows(n);
+      for (size_t i = 0; i < n; ++i) {
+        oids.push_back(vb->TailAt(i).AsOid());
+        rows[i].reserve(ncols);
+        for (size_t ci = 0; ci < ncols; ++ci) {
+          if (cu.is_constant[ci]) {
+            rows[i].push_back(cu.constants[ci]);
+          } else {
+            RDB_ASSIGN_OR_RETURN(
+                Scalar cell,
+                CoerceCell(value_bats[ci]->TailAt(i), cu.column_types[ci]));
+            rows[i].push_back(std::move(cell));
+          }
+        }
+      }
+      RDB_RETURN_NOT_OK(
+          cat->Delete(ws, cu.table, std::move(oids), base_snap, nullptr));
+      RDB_RETURN_NOT_OK(cat->Append(ws, cu.table, std::move(rows)));
+      c_dml_updated_->Add(n);
+      out->values.emplace_back("rows_updated",
+                               Scalar::Lng(static_cast<int64_t>(n)));
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("non-DML statement reached RunDmlStatement");
+  }
+}
+
+Result<CatalogSnapshotPtr> QueryService::TxnSnapshot(Session* session,
+                                                     bool* fresh_bats) {
+  CatalogSnapshotPtr snap;
+  Status st = Status::OK();
+  bool fresh = false;
+  session->WithTxn([&](Session::Txn* t) {
+    if (t->ws.Empty()) {
+      // Nothing written yet: read the begin snapshot itself. Its BATs are
+      // the published catalog versions, so recycling (and cross-statement
+      // repeatable reads) keep working.
+      snap = t->begin_snapshot;
+      return;
+    }
+    if (t->overlay == nullptr || t->overlay_version != t->ws.version) {
+      auto ov = catalog_->OverlaySnapshot(t->begin_snapshot, t->ws);
+      if (!ov.ok()) {
+        st = ov.status();
+        return;
+      }
+      t->overlay = std::move(ov).value();
+      t->overlay_version = t->ws.version;
+    }
+    snap = t->overlay;
+    fresh = true;
+  });
+  RDB_RETURN_NOT_OK(st);
+  if (fresh_bats != nullptr) *fresh_bats = fresh;
+  return snap;
 }
 
 std::vector<Result<QueryResult>> QueryService::RunBatch(
@@ -497,7 +736,12 @@ ServiceStats QueryService::SnapshotStats() const {
   s.pool_all_stripe_ops = recycler_.all_stripe_ops();
   s.dml_inserted_rows = c_dml_inserted_->value();
   s.dml_deleted_rows = c_dml_deleted_->value();
+  s.dml_updated_rows = c_dml_updated_->value();
   s.dml_commits = c_dml_commits_->value();
+  s.txn_begun = c_txn_begun_->value();
+  s.txn_committed = c_txn_committed_->value();
+  s.txn_rolled_back = c_txn_rolled_back_->value();
+  s.txn_conflicts = c_txn_conflicts_->value();
   RecyclerStats rs = recycler_.stats();
   s.pool_invalidated = rs.invalidated;
   s.pool_propagated = rs.propagated;
@@ -562,10 +806,14 @@ void QueryService::WaitForUpdateGate() {
 
 void QueryService::WorkerLoop(int worker_idx) {
   (void)worker_idx;
-  // One interpreter per worker; all sessions share the one recycler.
+  // One interpreter per worker; all sessions share the one recycler. The
+  // plain interpreter runs no_recycle tasks (in-transaction overlay reads):
+  // overlay BATs are transaction-local fresh objects, so monitoring them
+  // would pollute the shared pool with unmatchable identities.
   std::unique_ptr<ConcurrentRecycler::Session> session;
   if (cfg_.enable_recycler) session = recycler_.NewSession();
   Interpreter interp(catalog_, session.get());
+  Interpreter plain_interp(catalog_);
 
   while (true) {
     Task task;
@@ -601,22 +849,26 @@ void QueryService::WorkerLoop(int worker_idx) {
         qlock.lock();
       }
       const double dequeue_ms = task.trace != nullptr ? NowMillis() : 0;
+      Interpreter& run_interp = task.no_recycle ? plain_interp : interp;
+      ConcurrentRecycler::Session* run_session =
+          task.no_recycle ? nullptr : session.get();
       // The session records per-instruction decisions into the task's trace
       // for this run only; the pointer is cleared before the future resolves
       // so the trace is immutable once handed out.
-      if (task.trace != nullptr && session != nullptr)
-        session->set_trace(task.trace.get());
+      if (task.trace != nullptr && run_session != nullptr)
+        run_session->set_trace(task.trace.get());
       if (mvcc) {
-        interp.set_snapshot(task.snapshot.get());
-        if (session != nullptr) session->set_epoch(task.snapshot->epoch());
+        run_interp.set_snapshot(task.snapshot.get());
+        if (run_session != nullptr)
+          run_session->set_epoch(task.snapshot->epoch());
       }
-      auto r = interp.Run(*task.prog, task.params);
+      auto r = run_interp.Run(*task.prog, task.params);
       if (mvcc) {
-        interp.set_snapshot(nullptr);
-        if (session != nullptr) session->set_epoch(kEpochLatest);
+        run_interp.set_snapshot(nullptr);
+        if (run_session != nullptr) run_session->set_epoch(kEpochLatest);
       }
-      if (session != nullptr) session->set_trace(nullptr);
-      const RunStats& rs = interp.last_run();
+      if (run_session != nullptr) run_session->set_trace(nullptr);
+      const RunStats& rs = run_interp.last_run();
       c_instrs_->Add(rs.instrs);
       c_pool_hits_->Add(rs.pool_hits);
       c_monitored_->Add(rs.monitored);

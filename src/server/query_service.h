@@ -71,7 +71,7 @@ struct ServiceStats {
   uint64_t monitored = 0;  ///< instructions wrapped by the recycler
   uint64_t exec_us = 0;    ///< Σ per-query instruction execution time
   uint64_t wall_us = 0;    ///< Σ per-query wall time
-  // Plan-template cache counters (SubmitSql path).
+  // Plan-template cache counters (the SQL Submit path).
   uint64_t plan_lookups = 0;        ///< SQL submissions that probed the cache
   uint64_t plan_hits = 0;           ///< probes answered without compiling
   uint64_t plan_compiles = 0;       ///< statements compiled to a Program
@@ -93,10 +93,18 @@ struct ServiceStats {
   uint64_t pool_borrow_denied = 0;
   uint64_t pool_rebalances = 0;
   uint64_t pool_all_stripe_ops = 0;
-  // SQL DML counters (SubmitSql INSERT/DELETE/COMMIT path).
+  // SQL DML counters (the Submit INSERT/DELETE/UPDATE/COMMIT path).
   uint64_t dml_inserted_rows = 0;  ///< rows queued by INSERT statements
   uint64_t dml_deleted_rows = 0;   ///< victim rows queued by DELETE statements
-  uint64_t dml_commits = 0;        ///< COMMIT statements applied
+  uint64_t dml_updated_rows = 0;   ///< victim rows rewritten by UPDATEs
+  uint64_t dml_commits = 0;        ///< write sets installed by CommitWrite
+  // Transaction counters (multi-statement session transactions; autocommit's
+  // implicit single-statement transactions are counted under dml_commits
+  // only).
+  uint64_t txn_begun = 0;        ///< transactions opened (BEGIN or implicit)
+  uint64_t txn_committed = 0;    ///< COMMITs that installed a write set
+  uint64_t txn_rolled_back = 0;  ///< ROLLBACKs that discarded one
+  uint64_t txn_conflicts = 0;    ///< commits refused by first-writer-wins
   // Pool maintenance triggered by commits (Σ over stripes; mirrors
   // RecyclerStats so operators can watch the §6.3 split: insert-only
   // commits propagate, delete commits invalidate).
@@ -202,19 +210,26 @@ class QueryService {
   /// WITHOUT the update lock, concurrently with commits. Compile errors
   /// resolve the returned future immediately.
   ///
-  /// DML (INSERT/DELETE/COMMIT): executes on the calling thread under the
-  /// EXCLUSIVE update lock (the ApplyUpdate path), so the returned future
-  /// is already resolved. INSERT type-checks its rows against the schema
-  /// and queues them (result: `rows_inserted`); DELETE lowers its WHERE
-  /// through the SELECT planner, runs the victim-oid scan atomically over
-  /// committed state, and queues the deletions (result: `rows_deleted`);
-  /// pending deltas stay invisible to queries until COMMIT applies them
-  /// (result: `committed`) — at which point the catalog listener refreshes
-  /// the recycle pool (insert-only tables propagate per §6.3, deleted-from
-  /// tables invalidate) and publishes the next snapshot epoch. Cached
+  /// DML and transaction control (INSERT/DELETE/UPDATE and
+  /// BEGIN/COMMIT/ROLLBACK): executes on the calling thread, so the
+  /// returned future is already resolved. Every mutation accumulates in the
+  /// session's private write set — with autocommit, an implicit
+  /// single-statement transaction opened, executed, and committed inside
+  /// ONE exclusive update-lock hold; inside an open transaction (explicit
+  /// BEGIN, or implicitly opened by the first statement with autocommit
+  /// off), statements take only a SHARED hold (schema stability), their
+  /// victim scans and the session's own SELECTs read the transaction's
+  /// overlay snapshot (begin snapshot + write set: read-your-own-writes,
+  /// invisible to every other session), and only COMMIT takes the
+  /// exclusive lock. COMMIT installs the write set atomically via
+  /// Catalog::CommitWrite with first-writer-wins conflict detection — it
+  /// fails with Status::WriteConflict (discarding the write set) when
+  /// another session committed an overlapping row change since this
+  /// transaction began; ROLLBACK discards the write set without touching
+  /// the catalog. Commit-time recycler maintenance (§6.3 propagate vs
+  /// invalidate) and the epoch publish fire ONCE per transaction. Cached
   /// plans survive data commits (they bind by name at run time); only
-  /// schema changes evict them. A session with autocommit set commits each
-  /// INSERT/DELETE inside the same exclusive hold.
+  /// schema changes evict them.
   QueryHandle Submit(Request req);
 
   /// Callback flavour of Submit, for callers that multiplex many in-flight
@@ -224,13 +239,6 @@ class QueryService {
   /// immediate outcomes (parse/compile errors, DML, shutdown). `done` must
   /// not block.
   void SubmitAsync(Request req, SqlCallback done);
-
-  // Thin forwarders onto Submit/SubmitAsync, running under the service's
-  // internal default session (autocommit OFF: deltas stay pending until an
-  // explicit COMMIT statement, the historical single-user semantics).
-  std::future<Result<QueryResult>> SubmitSql(const std::string& text);
-  void SubmitSqlAsync(const std::string& text, SqlCallback done);
-  Result<QueryResult> RunSql(const std::string& text);
 
   /// Runs a batch to completion, preserving request order in the results.
   /// Queries execute concurrently across the worker pool.
@@ -249,8 +257,6 @@ class QueryService {
   /// The newest published catalog snapshot (lock-free; what an unpinned
   /// kSnapshot submission captures).
   CatalogSnapshotPtr CurrentSnapshot() const { return catalog_->Snapshot(); }
-  /// The session legacy SubmitSql/RunSql forwarders execute under.
-  Session& default_session() { return default_session_; }
   const ServiceConfig& config() const { return cfg_; }
   ConcurrentRecycler& recycler() { return recycler_; }
   const ConcurrentRecycler& recycler() const { return recycler_; }
@@ -302,7 +308,7 @@ class QueryService {
     std::vector<Scalar> params;
     std::promise<Result<QueryResult>> promise;
     /// When set, the task resolves through this callback and the promise is
-    /// never touched (the SubmitSqlAsync path).
+    /// never touched (the SubmitAsync path).
     SqlCallback done;
     /// Keeps a plan-cache Program alive while the task is in flight, so a
     /// commit may drop the cache entry without invalidating `prog`.
@@ -319,6 +325,11 @@ class QueryService {
     /// Absolute NowMillis() deadline; a task dequeued past it resolves with
     /// DeadlineExceeded instead of running. 0 = none.
     double deadline_at_ms = 0;
+    /// Execute WITHOUT the shared recycler (a plain per-worker Interpreter).
+    /// Set for in-transaction SELECTs over an overlay snapshot: overlay BATs
+    /// are transaction-local fresh objects, so monitoring them would admit
+    /// pool entries keyed to identities no other session can ever match.
+    bool no_recycle = false;
   };
 
   void WorkerLoop(int worker_idx);
@@ -338,10 +349,25 @@ class QueryService {
   void RouteStatement(const std::string& text, Session* session,
                       const SubmitOptions& options, SqlCallback done,
                       QueryHandle* handle_out);
-  /// Runs one parsed DML statement under the exclusive update lock; with
-  /// `session->autocommit()`, a successful INSERT/DELETE commits inside the
-  /// same hold.
+  /// Routes one parsed DML / transaction-control statement: autocommit
+  /// statements run as implicit single-statement transactions under the
+  /// exclusive update lock; in-transaction statements accumulate in the
+  /// session's write set under a shared hold; COMMIT installs the write set
+  /// exclusively (WriteConflict discards it — first-writer-wins).
   Result<QueryResult> ExecuteDml(const sql::Statement& stmt, Session* session);
+  /// Executes one INSERT/DELETE/UPDATE into `ws`. `base_snap` fixes the
+  /// delete-oid coordinate space (null = live committed state, the
+  /// autocommit path); `exec_snap` is what victim scans read (null = live).
+  /// Locking is the caller's job.
+  Status RunDmlStatement(Catalog* cat, const sql::Statement& stmt,
+                         TxnWriteSet* ws, const CatalogSnapshot* base_snap,
+                         const CatalogSnapshot* exec_snap, QueryResult* out);
+  /// Returns the session's transaction overlay snapshot, rebuilding the
+  /// cached one if the write set moved (empty write sets short-circuit to
+  /// the begin snapshot, which keeps BAT identities and recycling intact).
+  /// Caller must hold the update lock shared. Null + ok when no transaction
+  /// is open.
+  Result<CatalogSnapshotPtr> TxnSnapshot(Session* session, bool* fresh_bats);
   /// Blocks while a commit is waiting for the exclusive update lock (the
   /// shared_mutex is reader-preferring on glibc; without the gate a
   /// saturated queue would starve ApplyUpdate forever).
@@ -389,7 +415,12 @@ class QueryService {
   obs::Counter* c_wall_us_;
   obs::Counter* c_dml_inserted_;
   obs::Counter* c_dml_deleted_;
+  obs::Counter* c_dml_updated_;
   obs::Counter* c_dml_commits_;
+  obs::Counter* c_txn_begun_;
+  obs::Counter* c_txn_committed_;
+  obs::Counter* c_txn_rolled_back_;
+  obs::Counter* c_txn_conflicts_;
   obs::Counter* c_traced_;
   obs::Counter* c_epoch_pins_;
   obs::Counter* c_stale_refreshes_;
@@ -402,10 +433,6 @@ class QueryService {
   std::atomic<uint64_t> trace_seq_{0};
   mutable std::mutex traces_mu_;
   std::deque<std::shared_ptr<const obs::QueryTrace>> recent_traces_;
-
-  /// Session behind the legacy SubmitSql/RunSql wrappers. Autocommit OFF:
-  /// those callers historically staged deltas until an explicit COMMIT.
-  Session default_session_;
 
   std::vector<std::thread> workers_;
 };

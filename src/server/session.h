@@ -37,13 +37,28 @@ struct SubmitOptions {
 };
 
 /// The per-client execution context the Submit API runs requests under: owns
-/// autocommit, the trace-everything flag, and snapshot pinning. One Session
-/// per client connection (the network server keeps one per Conn); the
-/// service's internal default session serves the legacy SubmitSql/RunSql
-/// wrappers. All methods are thread-safe — a session may be shared between a
-/// connection's reader thread and the service's DML executor.
+/// autocommit, the trace-everything flag, snapshot pinning, and — since the
+/// transaction redesign — the open transaction itself (begin snapshot +
+/// private write set + cached overlay). One Session per client connection
+/// (the network server keeps one per Conn). All methods are thread-safe — a
+/// session may be shared between a connection's reader thread and the
+/// service's DML executor.
 class Session {
  public:
+  /// The state of an open multi-statement transaction. Owned by the session
+  /// and only ever manipulated by QueryService under the service's update
+  /// lock discipline; `ws` is invisible to every other session until commit.
+  struct Txn {
+    TxnWriteSet ws;
+    /// The immutable snapshot the transaction reads from (and whose row
+    /// coordinates the write set's delete oids are in).
+    CatalogSnapshotPtr begin_snapshot;
+    /// Overlay of begin_snapshot + ws, rebuilt lazily when `overlay_version`
+    /// falls behind ws.version; what in-transaction SELECTs execute against.
+    CatalogSnapshotPtr overlay;
+    uint64_t overlay_version = 0;
+  };
+
   /// When set, every successful INSERT/DELETE executed through this session
   /// commits immediately (inside the same exclusive update hold, so the
   /// statement and its commit are atomic w.r.t. other sessions). When
@@ -80,16 +95,55 @@ class Session {
     return pinned_;
   }
 
+  /// True while a BEGIN is open on this session.
+  bool in_txn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return txn_ != nullptr;
+  }
+
+  /// Opens a transaction on this session; the caller provides the begin
+  /// state. Returns false (and changes nothing) if one is already open.
+  bool BeginTxn(TxnWriteSet ws, CatalogSnapshotPtr begin_snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (txn_ != nullptr) return false;
+    txn_ = std::make_unique<Txn>();
+    txn_->ws = std::move(ws);
+    txn_->begin_snapshot = std::move(begin_snapshot);
+    return true;
+  }
+
+  /// Closes the open transaction and returns its state (null when none is
+  /// open). Dropping the returned object IS rollback: the write set never
+  /// touched the catalog. Commit hands ws to Catalog::CommitWrite first.
+  std::unique_ptr<Txn> TakeTxn() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(txn_);
+  }
+
+  /// Runs `fn` on the open transaction under the session lock (no-op and
+  /// false when none is open). QueryService uses this to accumulate deltas
+  /// and to refresh the cached overlay without exposing the Txn pointer.
+  template <typename Fn>
+  bool WithTxn(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (txn_ == nullptr) return false;
+    fn(txn_.get());
+    return true;
+  }
+
  private:
   std::atomic<bool> autocommit_{true};
   std::atomic<bool> trace_all_{false};
   mutable std::mutex mu_;
   CatalogSnapshotPtr pinned_;
+  std::unique_ptr<Txn> txn_;
 };
 
 /// One unit of work for QueryService::Submit: a SQL statement, the session
-/// it executes under (null = the service's default session), and the
-/// per-submission options.
+/// it executes under, and the per-submission options. `session` is
+/// REQUIRED — autocommit, pinning, and transaction state have exactly one
+/// home — and must outlive the request; Submit rejects a null session with
+/// InvalidArgument.
 struct Request {
   std::string sql;
   Session* session = nullptr;

@@ -126,11 +126,37 @@ struct DeleteStmt {
   std::vector<Predicate> where;
 };
 
+/// `UPDATE t [alias] SET col = expr (, col = expr)* [WHERE ...]`. Lowered as
+/// delete+reinsert over the delta machinery (§6): the WHERE subset selects
+/// victim rows exactly like DELETE, each victim is removed, and a fresh row
+/// — SET columns evaluated, others carried over — is appended. SET
+/// expressions are the arithmetic SELECT-item subset without aggregates.
+struct UpdateStmt {
+  struct SetClause {
+    std::string column;
+    std::unique_ptr<Expr> value;
+  };
+  std::string table;
+  std::string alias;  // empty: table name
+  std::vector<SetClause> sets;
+  std::vector<Predicate> where;
+};
+
 /// One parsed SQL statement of any supported kind. SELECT flows through the
-/// plan cache and the worker pool; DML (INSERT/DELETE/COMMIT) flows through
-/// the service's exclusive update lock.
+/// plan cache and the worker pool; DML and transaction control
+/// (INSERT/DELETE/UPDATE/BEGIN/COMMIT/ROLLBACK) flow through the service's
+/// update lock — shared while a transaction accumulates its write set,
+/// exclusive only at COMMIT.
 struct Statement {
-  enum class Kind { kSelect, kInsert, kDelete, kCommit };
+  enum class Kind {
+    kSelect,
+    kInsert,
+    kDelete,
+    kUpdate,
+    kBegin,
+    kCommit,
+    kRollback,
+  };
   Kind kind = Kind::kSelect;
   /// `TRACE SELECT ...`: run with a full query trace (span tree + per-
   /// instruction recycler decisions). Only SELECT can be traced. The flag
@@ -140,6 +166,7 @@ struct Statement {
   SelectStmt select;  // kSelect
   InsertStmt insert;  // kInsert
   DeleteStmt del;     // kDelete
+  UpdateStmt update;  // kUpdate
 };
 
 }  // namespace recycledb::sql

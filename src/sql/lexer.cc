@@ -17,7 +17,9 @@ const std::map<std::string, Tok>& KeywordMap() {
       {"select", Tok::kSelect}, {"from", Tok::kFrom},   {"where", Tok::kWhere},
       {"insert", Tok::kInsert}, {"into", Tok::kInto},
       {"values", Tok::kValues}, {"delete", Tok::kDelete},
-      {"commit", Tok::kCommit},
+      {"update", Tok::kUpdate}, {"set", Tok::kSet},
+      {"begin", Tok::kBegin},   {"commit", Tok::kCommit},
+      {"rollback", Tok::kRollback},
       {"and", Tok::kAnd},       {"between", Tok::kBetween},
       {"like", Tok::kLike},     {"not", Tok::kNot},     {"inner", Tok::kInner},
       {"join", Tok::kJoin},     {"on", Tok::kOn},       {"group", Tok::kGroup},

@@ -99,10 +99,27 @@ class Parser {
         RDB_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
         return stmt;
       }
+      case Tok::kUpdate: {
+        stmt.kind = Statement::Kind::kUpdate;
+        RDB_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+        return stmt;
+      }
+      case Tok::kBegin: {
+        Advance();
+        if (Cur().kind != Tok::kEof) return Error("end of statement");
+        stmt.kind = Statement::Kind::kBegin;
+        return stmt;
+      }
       case Tok::kCommit: {
         Advance();
         if (Cur().kind != Tok::kEof) return Error("end of statement");
         stmt.kind = Statement::Kind::kCommit;
+        return stmt;
+      }
+      case Tok::kRollback: {
+        Advance();
+        if (Cur().kind != Tok::kEof) return Error("end of statement");
+        stmt.kind = Statement::Kind::kRollback;
         return stmt;
       }
       case Tok::kTrace: {
@@ -278,6 +295,37 @@ class Parser {
     RDB_RETURN_NOT_OK(Expect(Tok::kDelete, "DELETE"));
     RDB_RETURN_NOT_OK(Expect(Tok::kFrom, "FROM after DELETE"));
     RDB_RETURN_NOT_OK(ParseTableRef(&stmt.table, &stmt.alias));
+    if (Accept(Tok::kWhere)) {
+      while (true) {
+        RDB_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+        stmt.where.push_back(std::move(p));
+        if (!Accept(Tok::kAnd)) break;
+      }
+    }
+    if (Cur().kind != Tok::kEof) return Error("end of statement");
+    return stmt;
+  }
+
+  // UPDATE t [alias] SET col = expr (, col = expr)* [WHERE ...]
+  Result<UpdateStmt> ParseUpdate() {
+    UpdateStmt stmt;
+    RDB_RETURN_NOT_OK(Expect(Tok::kUpdate, "UPDATE"));
+    RDB_RETURN_NOT_OK(ParseTableRef(&stmt.table, &stmt.alias));
+    RDB_RETURN_NOT_OK(Expect(Tok::kSet, "SET after UPDATE table"));
+    while (true) {
+      UpdateStmt::SetClause sc;
+      if (Cur().kind != Tok::kIdent) return Error("column name in SET");
+      sc.column = Cur().text;
+      Advance();
+      RDB_RETURN_NOT_OK(Expect(Tok::kEq, "'=' in SET clause"));
+      RDB_ASSIGN_OR_RETURN(sc.value, ParseExpr());
+      if (sc.value->kind == Expr::Kind::kAggregate ||
+          sc.value->kind == Expr::Kind::kStar)
+        return Status::NotImplemented(
+            "SET expressions are column/literal arithmetic only");
+      stmt.sets.push_back(std::move(sc));
+      if (!Accept(Tok::kComma)) break;
+    }
     if (Accept(Tok::kWhere)) {
       while (true) {
         RDB_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());

@@ -248,6 +248,31 @@ class StmtPlanner {
     return CheckParamsBound();
   }
 
+  /// UPDATE lowering: exports "victims" exactly like PlanDelete, plus one
+  /// value bat "v<ci>" per non-constant column, row-aligned with the
+  /// victims — SET expressions via ValBat over the synthetic select items
+  /// (`expr_cols` maps item index -> column index), carried-over columns
+  /// via FetchCol.
+  Status PlanUpdate(const std::vector<std::pair<size_t, int>>& expr_cols,
+                    const std::vector<int>& carry_cols) {
+    DeclareParams();
+    RDB_RETURN_NOT_OK(SetupScopes());
+    for (const Predicate& p : stmt_.where) RDB_RETURN_NOT_OK(LowerPredicate(p));
+
+    int victims =
+        cand_ >= 0 ? cand_
+                   : b_.Mirror(b_.Bind(scopes_[0].table->name(),
+                                       scopes_[0].table->column_name(0)));
+    b_.ExportBat(victims, "victims");
+    for (const auto& [item, ci] : expr_cols) {
+      RDB_ASSIGN_OR_RETURN(int v, ValBat(stmt_.items[item].expr.get()));
+      b_.ExportBat(v, StrFormat("v%d", ci));
+    }
+    for (int ci : carry_cols)
+      b_.ExportBat(FetchCol(0, ci), StrFormat("v%d", ci));
+    return CheckParamsBound();
+  }
+
   CompiledPlan Take() {
     CompiledPlan out;
     out.prog = b_.Build();
@@ -964,6 +989,102 @@ Result<CompiledPlan> CompileDelete(Catalog* catalog, const DeleteStmt& stmt,
   RDB_RETURN_NOT_OK(planner.PlanDelete());
   CompiledPlan out = planner.Take();
   if (params_out != nullptr) *params_out = planner.TakeParams();
+  return out;
+}
+
+namespace {
+
+std::unique_ptr<Expr> CloneExpr(const Expr* e) {
+  if (e == nullptr) return nullptr;
+  auto out = std::make_unique<Expr>();
+  out->kind = e->kind;
+  out->col = e->col;
+  out->lit = e->lit;
+  out->op = e->op;
+  out->lhs = CloneExpr(e->lhs.get());
+  out->rhs = CloneExpr(e->rhs.get());
+  out->agg = e->agg;
+  out->arg = CloneExpr(e->arg.get());
+  return out;
+}
+
+}  // namespace
+
+Result<CompiledUpdate> CompileUpdate(Catalog* catalog,
+                                     const UpdateStmt& stmt) {
+  const Table* t = catalog->FindTable(stmt.table);
+  if (t == nullptr)
+    return Status::NotFound("unknown table '" + stmt.table + "'");
+  const size_t ncols = t->num_columns();
+
+  CompiledUpdate out;
+  out.table = stmt.table;
+  out.table_id = t->id();
+  out.is_constant.assign(ncols, false);
+  out.constants.resize(ncols);
+  out.column_types.resize(ncols);
+  for (size_t ci = 0; ci < ncols; ++ci)
+    out.column_types[ci] = t->column_type(static_cast<int>(ci));
+
+  std::vector<int> set_of(ncols, -1);  // ci -> index into stmt.sets
+  for (size_t s = 0; s < stmt.sets.size(); ++s) {
+    int ci = t->FindColumn(stmt.sets[s].column);
+    if (ci < 0)
+      return Status::NotFound("unknown column '" + stmt.table + "." +
+                              stmt.sets[s].column + "'");
+    if (set_of[ci] >= 0)
+      return Status::InvalidArgument("column '" + stmt.sets[s].column +
+                                     "' set twice in UPDATE");
+    set_of[ci] = static_cast<int>(s);
+  }
+
+  // Victim scan + SET expressions ride the SELECT planner on a synthetic
+  // statement: the column-containing SET values become its select items (so
+  // their literals join the canonical parameter order), bare-literal SETs
+  // become constants applied client-side, everything else is carried over.
+  SelectStmt synth;
+  synth.table = stmt.table;
+  synth.alias = stmt.alias;
+  synth.where = stmt.where;
+  std::vector<std::pair<size_t, int>> expr_cols;
+  std::vector<int> carry_cols;
+  for (size_t ci = 0; ci < ncols; ++ci) {
+    int s = set_of[ci];
+    if (s < 0) {
+      carry_cols.push_back(static_cast<int>(ci));
+      continue;
+    }
+    const Expr* e = stmt.sets[s].value.get();
+    const TypeTag ct = t->column_type(static_cast<int>(ci));
+    if (e->kind == Expr::Kind::kLiteral) {
+      Result<Scalar> c = CoerceLiteral(e->lit, ct);
+      if (!c.ok())
+        return Status::TypeMismatch(StrFormat(
+            "SET %s.%s: %s", stmt.table.c_str(),
+            stmt.sets[s].column.c_str(), c.status().message().c_str()));
+      out.is_constant[ci] = true;
+      out.constants[ci] = std::move(c).value();
+      continue;
+    }
+    if (!ContainsColumn(e))
+      return Status::InvalidArgument(
+          "constant SET expressions must be a single literal; fold the "
+          "arithmetic in the query text");
+    if (!IsNumericTag(ct))
+      return Status::TypeMismatch(StrFormat(
+          "SET %s.%s = <expression>: computed SET values need a numeric "
+          "column, not %s",
+          stmt.table.c_str(), stmt.sets[s].column.c_str(), TypeName(ct)));
+    SelectItem item;
+    item.expr = CloneExpr(e);
+    expr_cols.emplace_back(synth.items.size(), static_cast<int>(ci));
+    synth.items.push_back(std::move(item));
+  }
+
+  StmtPlanner planner(catalog, synth);
+  RDB_RETURN_NOT_OK(planner.PlanUpdate(expr_cols, carry_cols));
+  out.plan = planner.Take();
+  out.params = planner.TakeParams();
   return out;
 }
 

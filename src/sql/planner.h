@@ -65,6 +65,29 @@ Result<std::vector<std::vector<Scalar>>> BindInsert(const Catalog& catalog,
 Result<CompiledPlan> CompileDelete(Catalog* catalog, const DeleteStmt& stmt,
                                    std::vector<Scalar>* params_out);
 
+/// A compiled UPDATE: the victim scan plus, for every declared column, the
+/// new value of each victim row — either exported by the plan as the bat
+/// labelled "v<ci>" (SET expressions and carried-over columns, row-aligned
+/// with "victims"), or a single constant applied to all victims (bare
+/// literal SETs, already coerced to the column type). The caller deletes
+/// the victims and re-appends the rebuilt rows via the write-set API; like
+/// DELETE plans it is NOT recycler-marked.
+struct CompiledUpdate {
+  CompiledPlan plan;  ///< exports "victims" + "v<ci>" value bats
+  std::vector<Scalar> params;
+  int32_t table_id = -1;
+  std::string table;
+  std::vector<TypeTag> column_types;  ///< declared column types
+  std::vector<bool> is_constant;      ///< per column: constant vs exported
+  std::vector<Scalar> constants;      ///< valid where is_constant[ci]
+};
+
+/// Lowers `UPDATE t SET col = expr [WHERE ...]` as delete+reinsert: the
+/// WHERE clause goes through the same victim-scan machinery as DELETE, SET
+/// expressions through the SELECT planner's arithmetic lowering (numeric
+/// columns only; bare literals may set any type and become constants).
+Result<CompiledUpdate> CompileUpdate(Catalog* catalog, const UpdateStmt& stmt);
+
 /// One-shot parse + fingerprint + compile, bypassing any cache. Examples
 /// and tests use this; the service goes through its PlanCache instead.
 struct SqlQuery {

@@ -42,7 +42,11 @@ enum class Tok : uint8_t {
   kInto,
   kValues,
   kDelete,
+  kUpdate,
+  kSet,
+  kBegin,
   kCommit,
+  kRollback,
   kAnd,
   kBetween,
   kLike,

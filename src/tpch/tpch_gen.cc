@@ -443,8 +443,11 @@ Status RunUpdateBlock(Catalog* cat, Rng* rng, int orders_per_block) {
                           Scalar::DateVal(odate), Scalar::Str("3-MEDIUM"),
                           Scalar::Str("recycled order")});
   }
-  RDB_RETURN_NOT_OK(cat->Append("orders", std::move(new_orders)));
-  RDB_RETURN_NOT_OK(cat->Append("lineitem", std::move(new_lines)));
+  // One write set per refresh block: the inserts and deletes install as a
+  // single commit (one epoch bump, one round of pool maintenance).
+  TxnWriteSet ws = cat->BeginWrite();
+  RDB_RETURN_NOT_OK(cat->Append(&ws, "orders", std::move(new_orders)));
+  RDB_RETURN_NOT_OK(cat->Append(&ws, "lineitem", std::move(new_lines)));
 
   // Delete a matching set of old orders and their lineitems (RF2).
   size_t n_ord = orders->num_rows();
@@ -466,9 +469,9 @@ Status RunUpdateBlock(Catalog* cat, Rng* rng, int orders_per_block) {
       }
     }
   }
-  RDB_RETURN_NOT_OK(cat->Delete("orders", std::move(del_orders)));
-  RDB_RETURN_NOT_OK(cat->Delete("lineitem", std::move(del_lines)));
-  return cat->Commit();
+  RDB_RETURN_NOT_OK(cat->Delete(&ws, "orders", std::move(del_orders)));
+  RDB_RETURN_NOT_OK(cat->Delete(&ws, "lineitem", std::move(del_lines)));
+  return cat->CommitWrite(&ws);
 }
 
 }  // namespace recycledb::tpch

@@ -18,6 +18,7 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kDeadlineExceeded,
+  kWriteConflict,
 };
 
 /// Arrow/RocksDB-style status object. The engine does not use exceptions;
@@ -48,6 +49,12 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  /// First-writer-wins: another transaction committed an overlapping change
+  /// after this transaction's begin epoch; the losing commit is rejected and
+  /// its write set discarded.
+  static Status WriteConflict(std::string msg) {
+    return Status(StatusCode::kWriteConflict, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -76,6 +83,8 @@ class Status {
         return "NotImplemented";
       case StatusCode::kDeadlineExceeded:
         return "DeadlineExceeded";
+      case StatusCode::kWriteConflict:
+        return "WriteConflict";
     }
     return "Unknown";
   }

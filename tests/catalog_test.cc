@@ -79,9 +79,11 @@ TEST(CatalogTest, ColumnIds) {
 
 TEST(CatalogUpdateTest, AppendCommit) {
   auto cat = SmallDb();
-  ASSERT_TRUE(cat->Append("orders", {{Scalar::OidVal(103), Scalar::Dbl(40.0)}})
-                  .ok());
-  ASSERT_TRUE(cat->Commit().ok());
+  TxnWriteSet ws = cat->BeginWrite();
+  ASSERT_TRUE(
+      cat->Append(&ws, "orders", {{Scalar::OidVal(103), Scalar::Dbl(40.0)}})
+          .ok());
+  ASSERT_TRUE(cat->CommitWrite(&ws).ok());
   auto b = cat->BindColumn("orders", "o_totalprice").ValueOrDie();
   ASSERT_EQ(b->size(), 4u);
   EXPECT_EQ(b->TailAt(3), Scalar::Dbl(40.0));
@@ -90,8 +92,9 @@ TEST(CatalogUpdateTest, AppendCommit) {
 
 TEST(CatalogUpdateTest, DeleteCompacts) {
   auto cat = SmallDb();
-  ASSERT_TRUE(cat->Delete("orders", {1}).ok());
-  ASSERT_TRUE(cat->Commit().ok());
+  TxnWriteSet ws = cat->BeginWrite();
+  ASSERT_TRUE(cat->Delete(&ws, "orders", {1}).ok());
+  ASSERT_TRUE(cat->CommitWrite(&ws).ok());
   auto b = cat->BindColumn("orders", "o_orderkey").ValueOrDie();
   ASSERT_EQ(b->size(), 2u);
   EXPECT_EQ(b->TailAt(0), Scalar::OidVal(100));
@@ -102,9 +105,11 @@ TEST(CatalogUpdateTest, DeleteCompacts) {
 TEST(CatalogUpdateTest, CommitRefreshesBindIdentity) {
   auto cat = SmallDb();
   auto before = cat->BindColumn("orders", "o_totalprice").ValueOrDie();
-  ASSERT_TRUE(cat->Append("orders", {{Scalar::OidVal(104), Scalar::Dbl(1.0)}})
-                  .ok());
-  ASSERT_TRUE(cat->Commit().ok());
+  TxnWriteSet ws = cat->BeginWrite();
+  ASSERT_TRUE(
+      cat->Append(&ws, "orders", {{Scalar::OidVal(104), Scalar::Dbl(1.0)}})
+          .ok());
+  ASSERT_TRUE(cat->CommitWrite(&ws).ok());
   auto after = cat->BindColumn("orders", "o_totalprice").ValueOrDie();
   EXPECT_NE(before->id(), after->id());
 }
@@ -113,8 +118,9 @@ TEST(CatalogUpdateTest, IndexRebuiltOnParentUpdate) {
   auto cat = SmallDb();
   // Delete order row 0 (key 100): lineitem rows pointing at 100 become nil;
   // others shift.
-  ASSERT_TRUE(cat->Delete("orders", {0}).ok());
-  ASSERT_TRUE(cat->Commit().ok());
+  TxnWriteSet ws = cat->BeginWrite();
+  ASSERT_TRUE(cat->Delete(&ws, "orders", {0}).ok());
+  ASSERT_TRUE(cat->CommitWrite(&ws).ok());
   auto idx = cat->BindIndex("li_fkey").ValueOrDie();
   EXPECT_EQ(idx->TailAt(0), Scalar::OidVal(0));  // 101 now at row 0
   EXPECT_EQ(idx->TailAt(1), Scalar::OidVal(kNilOid));
@@ -125,10 +131,11 @@ TEST(CatalogUpdateTest, ListenerReceivesAffectedColumns) {
   std::vector<ColumnId> seen;
   cat->SetUpdateListener(
       [&](const std::vector<ColumnId>& cols, Catalog::UpdateKind) { seen = cols; });
-  ASSERT_TRUE(cat->Append("lineitem",
-                          {{Scalar::OidVal(100), Scalar::Int(9)}})
-                  .ok());
-  ASSERT_TRUE(cat->Commit().ok());
+  TxnWriteSet ws = cat->BeginWrite();
+  ASSERT_TRUE(
+      cat->Append(&ws, "lineitem", {{Scalar::OidVal(100), Scalar::Int(9)}})
+          .ok());
+  ASSERT_TRUE(cat->CommitWrite(&ws).ok());
   // Both lineitem columns + the join index must be reported.
   auto lq = cat->GetColumnId("lineitem", "l_quantity").ValueOrDie();
   auto li = cat->GetIndexId("li_fkey").ValueOrDie();
@@ -141,10 +148,12 @@ TEST(CatalogUpdateTest, ListenerReceivesAffectedColumns) {
 
 TEST(CatalogUpdateTest, InsertDeltaExposed) {
   auto cat = SmallDb();
-  ASSERT_TRUE(cat->Append("orders", {{Scalar::OidVal(103), Scalar::Dbl(40.0)},
-                                     {Scalar::OidVal(104), Scalar::Dbl(50.0)}})
+  TxnWriteSet ws = cat->BeginWrite();
+  ASSERT_TRUE(cat->Append(&ws, "orders",
+                          {{Scalar::OidVal(103), Scalar::Dbl(40.0)},
+                           {Scalar::OidVal(104), Scalar::Dbl(50.0)}})
                   .ok());
-  ASSERT_TRUE(cat->Commit().ok());
+  ASSERT_TRUE(cat->CommitWrite(&ws).ok());
   auto d = cat->LastInsertDelta("orders", "o_totalprice").ValueOrDie();
   ASSERT_EQ(d->size(), 2u);
   EXPECT_EQ(d->HeadAt(0), Scalar::OidVal(3));  // rows continue numbering

@@ -89,6 +89,36 @@ TEST(SelectTest, SortedViewExcludesLeadingNils) {
   EXPECT_EQ(TailInts(r), (std::vector<int32_t>{1, 3}));
 }
 
+// The Oid nil is the MAX sentinel, so on a sorted oid column nils sort
+// LAST, not first — an unbounded-below range must not skip the whole run
+// (this is `where key_col < X` on a sorted key column), and an
+// unbounded-above range must clip the trailing nils.
+TEST(SelectTest, SortedOidColumnHonoursMaxSentinelNil) {
+  auto col = Column::Make(TypeTag::kOid,
+                          std::vector<Oid>{2, 5, 9, NilOf<Oid>()});
+  col->set_sorted(true);
+  auto b = Bat::DenseHead(col);
+
+  auto below = Select(b, Scalar::Nil(TypeTag::kOid), Scalar::OidVal(9),
+                      true, false)
+                   .ValueOrDie();
+  EXPECT_EQ(below->size(), 2u) << "col < 9 must see the 2 and the 5";
+  EXPECT_EQ(below->TailAt(0).AsOid(), 2u);
+  EXPECT_EQ(below->TailAt(1).AsOid(), 5u);
+
+  auto above = Select(b, Scalar::OidVal(5), Scalar::Nil(TypeTag::kOid),
+                      true, true)
+                   .ValueOrDie();
+  EXPECT_EQ(above->size(), 2u) << "col >= 5 must not admit the nil";
+  EXPECT_EQ(above->TailAt(0).AsOid(), 5u);
+  EXPECT_EQ(above->TailAt(1).AsOid(), 9u);
+
+  auto all = Select(b, Scalar::Nil(TypeTag::kOid), Scalar::Nil(TypeTag::kOid),
+                    true, true)
+                 .ValueOrDie();
+  EXPECT_EQ(all->size(), 3u) << "unbounded select keeps every non-nil value";
+}
+
 TEST(SelectTest, EmptyRange) {
   auto b = IntBat({1, 2, 3});
   auto r = Select(b, Scalar::Int(9), Scalar::Int(4), true, true).ValueOrDie();

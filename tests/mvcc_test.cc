@@ -47,7 +47,11 @@ std::unique_ptr<Catalog> MakeAcctDb(int rows) {
 
 Result<QueryResult> RunStmt(QueryService* svc, const std::string& sql,
                         Session* session = nullptr) {
-  return svc->Submit(Request{sql, session, {}}).future.get();
+  // Submit requires a session; a scratch one (autocommit on, no state)
+  // stands in for "anonymous one-shot statement" probes.
+  Session scratch;
+  return svc->Submit(Request{sql, session != nullptr ? session : &scratch, {}})
+      .future.get();
 }
 
 int64_t CountOf(const Result<QueryResult>& r) {
@@ -167,7 +171,8 @@ TEST_F(MvccLockTest, SnapshotSelectCompletesDuringInflightCommit) {
   ASSERT_TRUE(RunStmt(&svc, q).ok());
 
   Hold(&svc);
-  QueryHandle h = svc.Submit(Request{q, nullptr, {}});
+  Session sess;
+  QueryHandle h = svc.Submit(Request{q, &sess, {}});
   ASSERT_EQ(h.future.wait_for(std::chrono::seconds(10)),
             std::future_status::ready)
       << "snapshot SELECT must not wait for the exclusive update lock";
@@ -179,7 +184,7 @@ TEST_F(MvccLockTest, SnapshotSelectCompletesDuringInflightCommit) {
   // commit. The future must still be pending while the lock is held.
   SubmitOptions latest;
   latest.consistency = Consistency::kLatest;
-  QueryHandle hl = svc.Submit(Request{q, nullptr, latest});
+  QueryHandle hl = svc.Submit(Request{q, &sess, latest});
   EXPECT_EQ(hl.future.wait_for(std::chrono::milliseconds(200)),
             std::future_status::timeout)
       << "kLatest must wait for the in-flight commit";
@@ -200,7 +205,8 @@ TEST_F(MvccLockTest, ExclusiveLockBaselineBlocksSelects) {
   ASSERT_TRUE(RunStmt(&svc, q).ok());
 
   Hold(&svc);
-  QueryHandle h = svc.Submit(Request{q, nullptr, {}});
+  Session sess;
+  QueryHandle h = svc.Submit(Request{q, &sess, {}});
   EXPECT_EQ(h.future.wait_for(std::chrono::milliseconds(200)),
             std::future_status::timeout)
       << "with snapshot_reads off, SELECT must serialise against commits";
@@ -244,8 +250,9 @@ TEST(MvccSessionTest, HandleReportsSnapshotEpoch) {
   cfg.num_workers = 1;
   QueryService svc(MakeAcctDb(4), cfg);
 
+  Session reader;
   QueryHandle h1 =
-      svc.Submit(Request{"select count(*) from acct", nullptr, {}});
+      svc.Submit(Request{"select count(*) from acct", &reader, {}});
   EXPECT_TRUE(h1.future.get().ok());
   EXPECT_FALSE(h1.is_dml);
   const uint64_t e1 = h1.snapshot_epoch;
@@ -257,7 +264,7 @@ TEST(MvccSessionTest, HandleReportsSnapshotEpoch) {
   EXPECT_TRUE(hd.is_dml);
 
   QueryHandle h2 =
-      svc.Submit(Request{"select count(*) from acct", nullptr, {}});
+      svc.Submit(Request{"select count(*) from acct", &reader, {}});
   EXPECT_TRUE(h2.future.get().ok());
   EXPECT_EQ(h2.snapshot_epoch, e1 + 1)
       << "a committed insert must advance the captured epoch by one";
@@ -274,7 +281,8 @@ TEST(MvccSessionTest, ExpiredDeadlineResolvesWithoutRunning) {
 
   SubmitOptions opt;
   opt.deadline_ms = 1e-6;  // lapses before any worker can dequeue it
-  auto r = svc.Submit(Request{"select count(*) from acct", nullptr, opt})
+  Session sess;
+  auto r = svc.Submit(Request{"select count(*) from acct", &sess, opt})
                .future.get();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)

@@ -1,5 +1,5 @@
 // End-to-end tests for the network service: a full mixed workload over
-// loopback with results byte-identical to in-process RunSql, session
+// loopback with results byte-identical to an in-process Submit, session
 // options, BUSY admission control under injected governor pressure,
 // CANCEL semantics (counter + event-ring visibility), protocol-error
 // handling for garbage bytes, graceful Stop() draining, and a
@@ -21,6 +21,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "server/query_service.h"
+#include "sql_test_util.h"
 #include "util/rng.h"
 
 namespace recycledb {
@@ -164,6 +165,7 @@ TEST(NetServerTest, MixedWorkloadParityWithInProcess) {
   net::RecycleServer server(remote_svc.get());
   ASSERT_TRUE(server.Start().ok());
   auto local_svc = MakeService();  // identical shadow database
+  Session local_sess;
 
   net::Client client;
   ASSERT_TRUE(client.Connect(ClientFor(server)).ok());
@@ -195,16 +197,11 @@ TEST(NetServerTest, MixedWorkloadParityWithInProcess) {
       ASSERT_TRUE(rr.ok()) << step.sql << ": " << rr.status().ToString();
       remote_text = rr.value().result.ToString();
     }
-    auto lr = local_svc->RunSql(step.sql);
+    auto lr = testutil::RunSql(local_svc.get(), &local_sess, step.sql);
     ASSERT_TRUE(lr.ok()) << step.sql << ": " << lr.status().ToString();
     local_text = lr.value().ToString();
-    // The server autocommits DML per session default; mirror it locally.
-    // The service folds the commit into the statement and reports it in
-    // the result, so the local mirror appends the same marker.
-    if (step.is_dml) {
-      ASSERT_TRUE(local_svc->RunSql("commit").ok());
-      local_text += "committed = 1\n";
-    }
+    // Both sessions autocommit (the Session default), so DML results carry
+    // the same folded-commit marker on both sides — byte-identical text.
     EXPECT_EQ(remote_text, local_text) << step.sql;
   }
 
@@ -212,8 +209,9 @@ TEST(NetServerTest, MixedWorkloadParityWithInProcess) {
   auto tr = client.Query("trace select count(*) from t where a between 100"
                          " and 300");
   ASSERT_TRUE(tr.ok()) << tr.status().ToString();
-  auto lt = local_svc->RunSql("trace select count(*) from t where a between"
-                              " 100 and 300");
+  auto lt = testutil::RunSql(local_svc.get(), &local_sess,
+                             "trace select count(*) from t where a between"
+                             " 100 and 300");
   ASSERT_TRUE(lt.ok());
   EXPECT_EQ(tr.value().result.ToString(), lt.value().ToString());
   EXPECT_NE(tr.value().trace.find("statement"), std::string::npos)
@@ -260,16 +258,24 @@ TEST(NetServerTest, SessionOptionsTraceAndAutocommit) {
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.value().trace.empty());
 
-  // autocommit off: the delete is invisible until an explicit COMMIT.
+  // autocommit off: the staged insert is visible to this connection's own
+  // session (read-your-own-writes) but invisible to every other connection
+  // until the explicit COMMIT publishes it.
+  net::Client other;
+  ASSERT_TRUE(other.Connect(ClientFor(server)).ok());
   ASSERT_TRUE(client.SetOption("autocommit", false).ok());
   ASSERT_TRUE(client.Execute("insert into t values (7777, 1)").ok());
-  auto before = client.Query("select count(*) from t where a = 7777");
-  ASSERT_TRUE(before.ok());
-  EXPECT_EQ(before.value().result.ToString(), "count = 0\n");
+  auto mine = client.Query("select count(*) from t where a = 7777");
+  ASSERT_TRUE(mine.ok());
+  EXPECT_EQ(mine.value().result.ToString(), "count = 1\n");
+  auto theirs = other.Query("select count(*) from t where a = 7777");
+  ASSERT_TRUE(theirs.ok());
+  EXPECT_EQ(theirs.value().result.ToString(), "count = 0\n");
   ASSERT_TRUE(client.Execute("commit").ok());
-  auto after = client.Query("select count(*) from t where a = 7777");
-  ASSERT_TRUE(after.ok());
-  EXPECT_EQ(after.value().result.ToString(), "count = 1\n");
+  theirs = other.Query("select count(*) from t where a = 7777");
+  ASSERT_TRUE(theirs.ok());
+  EXPECT_EQ(theirs.value().result.ToString(), "count = 1\n");
+  other.Close();
 
   // Unknown options and bad values are errors, not closures.
   EXPECT_FALSE(client.SetOption("no_such_option", true).ok());

@@ -2,7 +2,7 @@
 // semantics of data commits (cached plans survive and see the new rows)
 // versus DDL-driven invalidation through the query service (plans over
 // a dropped/updated table are recompiled or rejected, never executed
-// stale), and a concurrent SubmitSql/ApplyUpdate stress for the TSan job.
+// stale), and a concurrent Submit/ApplyUpdate stress for the TSan job.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +13,7 @@
 #include "server/plan_cache.h"
 #include "server/query_service.h"
 #include "sql/planner.h"
+#include "sql_test_util.h"
 #include "util/rng.h"
 #include "util/str.h"
 
@@ -170,13 +171,18 @@ class PlanCacheServiceTest : public ::testing::Test {
     svc_ = std::make_unique<QueryService>(std::move(cat), cfg);
   }
 
+  Result<QueryResult> RunSql(const std::string& text) {
+    return testutil::RunSql(svc_.get(), &session_, text);
+  }
+
   int64_t CountT() {
-    auto r = svc_->RunSql("select count(*) from t");
+    auto r = RunSql("select count(*) from t");
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     return r.ok() ? r.value().Find("count")->scalar().ToInt64() : -1;
   }
 
   std::unique_ptr<QueryService> svc_;
+  Session session_;
 };
 
 TEST_F(PlanCacheServiceTest, DataCommitKeepsPlanAndSeesNewRows) {
@@ -187,9 +193,10 @@ TEST_F(PlanCacheServiceTest, DataCommitKeepsPlanAndSeesNewRows) {
   EXPECT_EQ(s.plan_hits, 1u);
 
   ASSERT_TRUE(svc_->ApplyUpdate([](Catalog* cat) {
+                    TxnWriteSet ws = cat->BeginWrite();
                     RDB_RETURN_NOT_OK(cat->Append(
-                        "t", {{Scalar::OidVal(3), Scalar::Int(40)}}));
-                    return cat->Commit();
+                        &ws, "t", {{Scalar::OidVal(3), Scalar::Int(40)}}));
+                    return cat->CommitWrite(&ws);
                   })
                   .ok());
 
@@ -206,14 +213,15 @@ TEST_F(PlanCacheServiceTest, DataCommitKeepsPlanAndSeesNewRows) {
 
 TEST_F(PlanCacheServiceTest, DataCommitLeavesEveryPlanCached) {
   EXPECT_EQ(CountT(), 3);
-  auto r = svc_->RunSql("select count(*) from u");
+  auto r = RunSql("select count(*) from u");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(svc_->plan_cache().size(), 2u);
 
   ASSERT_TRUE(svc_->ApplyUpdate([](Catalog* cat) {
+                    TxnWriteSet ws = cat->BeginWrite();
                     RDB_RETURN_NOT_OK(cat->Append(
-                        "u", {{Scalar::OidVal(2), Scalar::Int(9)}}));
-                    return cat->Commit();
+                        &ws, "u", {{Scalar::OidVal(2), Scalar::Int(9)}}));
+                    return cat->CommitWrite(&ws);
                   })
                   .ok());
 
@@ -221,7 +229,7 @@ TEST_F(PlanCacheServiceTest, DataCommitLeavesEveryPlanCached) {
   // next run sees the committed row without a recompile.
   EXPECT_EQ(svc_->plan_cache().size(), 2u);
   EXPECT_EQ(CountT(), 3);
-  r = svc_->RunSql("select count(*) from u");
+  r = RunSql("select count(*) from u");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Find("count")->scalar().ToInt64(), 3);
   ServiceStats s = svc_->SnapshotStats();
@@ -240,7 +248,7 @@ TEST_F(PlanCacheServiceTest, DropTableRejectsCachedPattern) {
   // The entry is gone and a resubmission recompiles against the changed
   // catalog, yielding a clean NotFound — never the stale plan's answer.
   EXPECT_EQ(svc_->plan_cache().size(), 0u);
-  auto r = svc_->RunSql("select count(*) from t");
+  auto r = RunSql("select count(*) from t");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
   ServiceStats s = svc_->SnapshotStats();
@@ -248,7 +256,7 @@ TEST_F(PlanCacheServiceTest, DropTableRejectsCachedPattern) {
 }
 
 TEST_F(PlanCacheServiceTest, SqlErrorsDoNotPoisonTheCache) {
-  auto r = svc_->RunSql("select nosuch from t");
+  auto r = RunSql("select nosuch from t");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(svc_->plan_cache().size(), 0u);
   // Compile rejections are visible in the service counters.
@@ -275,7 +283,7 @@ TEST_F(PlanCacheServiceTest, ConcurrentSubmitSqlAndCommits) {
                 ? "select count(*) from t"
                 : StrFormat("select count(*) from t where v >= %d",
                             static_cast<int>(rng.Uniform(50)));
-        auto r = svc_->RunSql(text);
+        auto r = RunSql(text);
         if (!r.ok()) failures.fetch_add(1);
       }
     });
@@ -283,10 +291,12 @@ TEST_F(PlanCacheServiceTest, ConcurrentSubmitSqlAndCommits) {
   for (int i = 0; i < 8; ++i) {
     Oid next = 3 + static_cast<Oid>(i);
     ASSERT_TRUE(svc_->ApplyUpdate([next](Catalog* cat) {
+                      TxnWriteSet ws = cat->BeginWrite();
                       RDB_RETURN_NOT_OK(cat->Append(
-                          "t", {{Scalar::OidVal(next),
-                                 Scalar::Int(static_cast<int32_t>(next))}}));
-                      return cat->Commit();
+                          &ws, "t",
+                          {{Scalar::OidVal(next),
+                            Scalar::Int(static_cast<int32_t>(next))}}));
+                      return cat->CommitWrite(&ws);
                     })
                     .ok());
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -319,9 +329,10 @@ TEST(PlanCacheEvictionRaceTest, HeldProgramSurvivesEvictionAndInvalidation) {
   cfg.num_workers = 2;
   cfg.plan_cache_capacity = 2;
   QueryService svc(MakeTinyDb(), cfg);
+  Session sess;
 
   const char* q = "select count(*) from t";
-  ASSERT_TRUE(svc.RunSql(q).ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, q).ok());
   auto compiled = sql::CompileSql(svc.catalog(), q);
   ASSERT_TRUE(compiled.ok());
   PlanCache::EntryPtr held = svc.plan_cache().Lookup(compiled.value().fingerprint);
@@ -329,18 +340,21 @@ TEST(PlanCacheEvictionRaceTest, HeldProgramSurvivesEvictionAndInvalidation) {
 
   // Flood with structurally distinct patterns: capacity 2 forces the held
   // entry out of the cache...
-  ASSERT_TRUE(svc.RunSql("select v from t").ok());
-  ASSERT_TRUE(svc.RunSql("select k from t").ok());
-  ASSERT_TRUE(svc.RunSql("select count(*) from t where v >= 5").ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "select v from t").ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "select k from t").ok());
+  ASSERT_TRUE(
+      testutil::RunSql(&svc, &sess, "select count(*) from t where v >= 5")
+          .ok());
   EXPECT_GT(svc.SnapshotStats().plan_evictions, 0u);
   EXPECT_EQ(svc.plan_cache().Lookup(compiled.value().fingerprint), nullptr)
       << "the held entry should have been LRU-evicted";
 
   // ...and a data commit lands under it (which must not disturb it).
   ASSERT_TRUE(svc.ApplyUpdate([](Catalog* cat) {
-                   RDB_RETURN_NOT_OK(
-                       cat->Append("t", {{Scalar::OidVal(3), Scalar::Int(40)}}));
-                   return cat->Commit();
+                   TxnWriteSet ws = cat->BeginWrite();
+                   RDB_RETURN_NOT_OK(cat->Append(
+                       &ws, "t", {{Scalar::OidVal(3), Scalar::Int(40)}}));
+                   return cat->CommitWrite(&ws);
                  })
                   .ok());
 
@@ -372,9 +386,10 @@ TEST(PlanCacheEvictionRaceTest, ConcurrentChurnOverTinyCapacityIsSafe) {
   };
   for (int c = 0; c < 3; ++c) {
     clients.emplace_back([&svc, c, &stop, &failures, &patterns] {
+      Session sess;  // one session per client, like a real connection
       int i = c;
       while (!stop.load(std::memory_order_relaxed)) {
-        auto r = svc.RunSql(patterns[i++ % 4]);
+        auto r = testutil::RunSql(&svc, &sess, patterns[i++ % 4]);
         if (!r.ok()) failures.fetch_add(1);
       }
     });
@@ -382,10 +397,12 @@ TEST(PlanCacheEvictionRaceTest, ConcurrentChurnOverTinyCapacityIsSafe) {
   for (int i = 0; i < 6; ++i) {
     Oid next = 3 + static_cast<Oid>(i);
     ASSERT_TRUE(svc.ApplyUpdate([next](Catalog* cat) {
+                     TxnWriteSet ws = cat->BeginWrite();
                      RDB_RETURN_NOT_OK(cat->Append(
-                         "t", {{Scalar::OidVal(next),
-                                Scalar::Int(static_cast<int32_t>(next))}}));
-                     return cat->Commit();
+                         &ws, "t",
+                         {{Scalar::OidVal(next),
+                           Scalar::Int(static_cast<int32_t>(next))}}));
+                     return cat->CommitWrite(&ws);
                    })
                     .ok());
     std::this_thread::sleep_for(std::chrono::milliseconds(3));

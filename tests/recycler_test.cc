@@ -293,11 +293,12 @@ TEST(RecyclerTest, InvalidationDropsAffectedLineageOnly) {
   ASSERT_TRUE(interp.Run(cust_q, {}).ok());
   size_t before = rec.pool().num_entries();
 
+  TxnWriteSet ws = cat->BeginWrite();
   ASSERT_TRUE(
-      cat->Append("orders", {{Scalar::OidVal(99999), Scalar::DateVal(5),
-                              Scalar::Dbl(1.0)}})
+      cat->Append(&ws, "orders", {{Scalar::OidVal(99999), Scalar::DateVal(5),
+                                   Scalar::Dbl(1.0)}})
           .ok());
-  ASSERT_TRUE(cat->Commit().ok());
+  ASSERT_TRUE(cat->CommitWrite(&ws).ok());
 
   EXPECT_LT(rec.pool().num_entries(), before);
   EXPECT_GT(rec.stats().invalidated, 0u);
@@ -313,11 +314,12 @@ TEST(RecyclerTest, InvalidationDropsAffectedLineageOnly) {
 
   // And the queries still compute correct results afterwards.
   auto cat2 = Db();
+  TxnWriteSet ws2 = cat2->BeginWrite();
   ASSERT_TRUE(
-      cat2->Append("orders", {{Scalar::OidVal(99999), Scalar::DateVal(5),
-                               Scalar::Dbl(1.0)}})
+      cat2->Append(&ws2, "orders", {{Scalar::OidVal(99999), Scalar::DateVal(5),
+                                     Scalar::Dbl(1.0)}})
           .ok());
-  ASSERT_TRUE(cat2->Commit().ok());
+  ASSERT_TRUE(cat2->CommitWrite(&ws2).ok());
   Interpreter plain(cat2.get());
   auto a = interp.Run(orders_q, DateParams(0, 500)).ValueOrDie();
   auto e = plain.Run(orders_q, DateParams(0, 500)).ValueOrDie();
@@ -336,19 +338,23 @@ TEST(RecyclerTest, PropagationRefreshesSelects) {
 
   ASSERT_TRUE(interp.Run(p, DateParams(0, 1000)).ok());
   // Insert one row inside the cached range.
-  ASSERT_TRUE(cat->Append("orders", {{Scalar::OidVal(77777),
-                                      Scalar::DateVal(500), Scalar::Dbl(3.0)}})
+  TxnWriteSet ws = cat->BeginWrite();
+  ASSERT_TRUE(cat->Append(&ws, "orders",
+                          {{Scalar::OidVal(77777), Scalar::DateVal(500),
+                            Scalar::Dbl(3.0)}})
                   .ok());
-  ASSERT_TRUE(cat->Commit().ok());
+  ASSERT_TRUE(cat->CommitWrite(&ws).ok());
   EXPECT_GT(rec.stats().propagated, 0u);
 
   // The refreshed intermediate answers the re-run correctly.
   auto got = interp.Run(p, DateParams(0, 1000)).ValueOrDie();
   auto cat2 = Db();
-  ASSERT_TRUE(cat2->Append("orders", {{Scalar::OidVal(77777),
-                                       Scalar::DateVal(500), Scalar::Dbl(3.0)}})
+  TxnWriteSet ws2 = cat2->BeginWrite();
+  ASSERT_TRUE(cat2->Append(&ws2, "orders",
+                           {{Scalar::OidVal(77777), Scalar::DateVal(500),
+                             Scalar::Dbl(3.0)}})
                   .ok());
-  ASSERT_TRUE(cat2->Commit().ok());
+  ASSERT_TRUE(cat2->CommitWrite(&ws2).ok());
   Interpreter plain(cat2.get());
   auto expect = plain.Run(p, DateParams(0, 1000)).ValueOrDie();
   EXPECT_EQ(got.Find("cnt")->scalar(), expect.Find("cnt")->scalar());

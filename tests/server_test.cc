@@ -233,8 +233,9 @@ TEST(QueryServiceTest, UpdatesInterleavedWithQueriesNeverStale) {
 
   for (int c = 1; c <= kCommits; ++c) {
     Status st = svc.ApplyUpdate([&](Catalog* cat) {
-      RDB_RETURN_NOT_OK(cat->Append("t", rows_for(c)));
-      return cat->Commit();
+      TxnWriteSet ws = cat->BeginWrite();
+      RDB_RETURN_NOT_OK(cat->Append(&ws, "t", rows_for(c)));
+      return cat->CommitWrite(&ws);
     });
     ASSERT_TRUE(st.ok()) << st.ToString();
     std::this_thread::sleep_for(std::chrono::milliseconds(2));

@@ -1,8 +1,9 @@
 // SQL DML (INSERT/DELETE/COMMIT): grammar and binder error paths with
-// line:column positions, end-to-end update workloads through
-// QueryService::SubmitSql, the §6.3 maintenance split (insert-only commits
-// propagate the recycle pool, deletes invalidate it), and a TSan-stressed
-// DML-vs-SELECT race over cached plans.
+// line:column positions, end-to-end update workloads through the
+// Submit/Session API (a staging session with autocommit off plus a separate
+// reader session for the other-session view), the §6.3 maintenance split
+// (insert-only commits propagate the recycle pool, deletes invalidate it),
+// and a TSan-stressed DML-vs-SELECT race over cached plans.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +16,7 @@
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
+#include "sql_test_util.h"
 #include "util/str.h"
 
 namespace recycledb {
@@ -232,37 +234,53 @@ class SqlDmlServiceTest : public ::testing::Test {
     ServiceConfig cfg;
     cfg.num_workers = 2;
     svc_ = std::make_unique<QueryService>(MakeItemDb(), cfg);
+    writer_.set_autocommit(false);  // stage DML until an explicit COMMIT
   }
 
-  int64_t Count() {
-    return CountOf(svc_->RunSql("select count(*) from item"));
+  /// Runs on the staging session (sees its own pending writes).
+  Result<QueryResult> Sql(const std::string& text) {
+    return testutil::RunSql(svc_.get(), &writer_, text);
   }
+
+  /// Committed-state row count as ANOTHER session observes it.
+  int64_t Count() {
+    return CountOf(
+        testutil::RunSql(svc_.get(), &reader_, "select count(*) from item"));
+  }
+
+  /// Row count through the staging session's own transaction overlay.
+  int64_t CountMine() { return CountOf(Sql("select count(*) from item")); }
 
   std::unique_ptr<QueryService> svc_;
+  Session writer_;
+  Session reader_;
 };
 
 TEST_F(SqlDmlServiceTest, InsertDeleteCommitRoundTrip) {
   EXPECT_EQ(Count(), 4);
 
-  auto r = svc_->RunSql("insert into item values (7, 50, 5.5, 'elk')");
+  auto r = Sql("insert into item values (7, 50, 5.5, 'elk')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().Find("rows_inserted")->scalar().AsLng(), 1);
-  // Pending deltas are invisible until COMMIT.
+  // Pending deltas are invisible to OTHER sessions until COMMIT, but the
+  // writing session reads its own transaction overlay.
   EXPECT_EQ(Count(), 4);
+  EXPECT_EQ(CountMine(), 5);
 
-  r = svc_->RunSql("commit");
+  r = Sql("commit");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(Count(), 5);
 
-  r = svc_->RunSql("delete from item where i_qty <= 20");
+  r = Sql("delete from item where i_qty <= 20");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 2);
   EXPECT_EQ(Count(), 5);
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  EXPECT_EQ(CountMine(), 3);
+  ASSERT_TRUE(Sql("commit").ok());
   EXPECT_EQ(Count(), 3);
 
   // The surviving values are exactly the ones the predicate spared.
-  auto names = svc_->RunSql("select i_name from item");
+  auto names = Sql("select i_name from item");
   ASSERT_TRUE(names.ok());
   const MalValue* v = names.value().Find("i_name");
   ASSERT_NE(v, nullptr);
@@ -279,78 +297,75 @@ TEST_F(SqlDmlServiceTest, InsertDeleteCommitRoundTrip) {
 }
 
 TEST_F(SqlDmlServiceTest, DeleteEverythingAndRepopulate) {
-  ASSERT_TRUE(svc_->RunSql("delete from item").ok());
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  ASSERT_TRUE(Sql("delete from item").ok());
+  ASSERT_TRUE(Sql("commit").ok());
   EXPECT_EQ(Count(), 0);
 
   ASSERT_TRUE(
-      svc_->RunSql("insert into item values (0, 1, 0.5, 'ox'), "
+      Sql("insert into item values (0, 1, 0.5, 'ox'), "
                    "(1, 2, 1.5, 'ram')")
           .ok());
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  ASSERT_TRUE(Sql("commit").ok());
   EXPECT_EQ(Count(), 2);
 
   // COMMIT with nothing pending is a no-op, not an error.
-  EXPECT_TRUE(svc_->RunSql("commit").ok());
+  EXPECT_TRUE(Sql("commit").ok());
 }
 
-// Snapshot semantics (MVCC, PR 8): DELETE's victim scan covers the committed
-// state only, which is exactly what a snapshot-consistent statement should
-// see. A DELETE issued while the same transaction holds uncommitted inserts
-// is therefore legal — it removes committed matches, never the pending rows,
-// and the pending inserts survive the commit intact. (Pre-MVCC this case was
-// refused with "COMMIT first".)
-TEST_F(SqlDmlServiceTest, DeleteWithPendingInsertsIsSnapshotScoped) {
-  ASSERT_TRUE(svc_->RunSql("insert into item values (7, 50, 5.5, 'elk')").ok());
+// Transaction semantics (PR 9): every statement in an open transaction —
+// DELETE's victim scan included — runs against the session's overlay (its
+// begin snapshot plus its own write set). A DELETE whose predicate matches
+// a pending insert therefore removes the pending row before it was ever
+// committed; other sessions never observe any of it. (The pre-transaction
+// MVCC build scanned the committed state only and spared pending inserts.)
+TEST_F(SqlDmlServiceTest, DeleteSeesOwnPendingInserts) {
+  ASSERT_TRUE(Sql("insert into item values (7, 50, 5.5, 'elk')").ok());
+  EXPECT_EQ(CountMine(), 5);
 
-  // The pending insert matches the predicate but is invisible to the
-  // committed-state victim scan: zero rows deleted, no error.
-  auto r = svc_->RunSql("delete from item where i_qty = 50");
+  // Read-your-own-writes: the pending insert matches the predicate and is
+  // un-queued — it will never reach the catalog.
+  auto r = Sql("delete from item where i_qty = 50");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 0);
+  EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 1);
+  EXPECT_EQ(CountMine(), 4);
 
-  // A committed row IS a victim, with the insert still pending.
-  r = svc_->RunSql("delete from item where i_qty = 20");
+  // A committed row is a victim like before.
+  r = Sql("delete from item where i_qty = 20");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 1);
 
-  // Commit applies both deltas: 'bee' gone, pending 'elk' now visible.
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  // Other sessions saw none of the above until the commit lands.
   EXPECT_EQ(Count(), 4);
-  r = svc_->RunSql("select count(*) from item where i_qty = 50");
-  EXPECT_EQ(CountOf(r), 1) << "pending insert must survive the delete";
-  r = svc_->RunSql("select count(*) from item where i_qty = 20");
-  EXPECT_EQ(CountOf(r), 0);
-
-  // And the now-committed row is deletable as usual.
-  r = svc_->RunSql("delete from item where i_qty = 50");
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 1);
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  ASSERT_TRUE(Sql("commit").ok());
   EXPECT_EQ(Count(), 3);
+  r = Sql("select count(*) from item where i_qty = 50");
+  EXPECT_EQ(CountOf(r), 0) << "the un-queued insert must not be committed";
+  r = Sql("select count(*) from item where i_qty = 20");
+  EXPECT_EQ(CountOf(r), 0);
 }
 
-// Overlapping DELETEs in one transaction scan the same committed rows;
-// each statement reports (and the stats count) only what it newly queued,
-// so the totals reconcile with the rows actually removed at commit.
+// Overlapping DELETEs in one transaction: the second statement scans the
+// overlay, where the first statement's victims are already gone — it reports
+// only what it newly queued, so the totals reconcile with the rows actually
+// removed at commit.
 TEST_F(SqlDmlServiceTest, OverlappingDeletesDoNotDoubleCount) {
-  auto r = svc_->RunSql("delete from item where i_qty >= 30");
+  auto r = Sql("delete from item where i_qty >= 30");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 2);
 
-  r = svc_->RunSql("delete from item");  // re-selects the two queued rows
+  r = Sql("delete from item");  // overlay scan: only the two survivors match
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Find("rows_deleted")->scalar().AsLng(), 2)
       << "already-queued victims must not be counted again";
 
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  ASSERT_TRUE(Sql("commit").ok());
   EXPECT_EQ(Count(), 0);
   EXPECT_EQ(svc_->SnapshotStats().dml_deleted_rows, 4u);
 }
 
 TEST_F(SqlDmlServiceTest, DmlErrorsCountAsFailedSubmissions) {
-  EXPECT_FALSE(svc_->RunSql("insert into item values (1)").ok());
-  EXPECT_FALSE(svc_->RunSql("delete from nosuch").ok());
+  EXPECT_FALSE(Sql("insert into item values (1)").ok());
+  EXPECT_FALSE(Sql("delete from nosuch").ok());
   ServiceStats s = svc_->SnapshotStats();
   EXPECT_EQ(s.failed, 2u);
   EXPECT_EQ(s.dml_inserted_rows, 0u);
@@ -363,22 +378,22 @@ TEST_F(SqlDmlServiceTest, InsertOnlyCommitPropagatesDeleteInvalidates) {
   const char* q = "select i_qty from item where i_qty >= 15";
 
   // Admit (miss) then hit the pool.
-  ASSERT_TRUE(svc_->RunSql(q).ok());
-  ASSERT_TRUE(svc_->RunSql(q).ok());
+  ASSERT_TRUE(Sql(q).ok());
+  ASSERT_TRUE(Sql(q).ok());
   RecyclerStats before = svc_->recycler().stats();
   EXPECT_GT(before.hits, 0u);
   EXPECT_EQ(before.propagated, 0u);
 
   // Insert-only commit: the pool must refresh, not merely drop.
-  ASSERT_TRUE(svc_->RunSql("insert into item values (7, 50, 5.5, 'elk')").ok());
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  ASSERT_TRUE(Sql("insert into item values (7, 50, 5.5, 'elk')").ok());
+  ASSERT_TRUE(Sql("commit").ok());
   RecyclerStats after_insert = svc_->recycler().stats();
   EXPECT_GT(after_insert.propagated, 0u)
       << "insert-only commit did not take the propagation path";
 
   // The same SELECT is answered from the refreshed entry — with the new row.
   uint64_t hits_before_replay = after_insert.hits;
-  auto r = svc_->RunSql(q);
+  auto r = Sql(q);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   const MalValue* v = r.value().Find("i_qty");
   ASSERT_NE(v, nullptr);
@@ -390,15 +405,15 @@ TEST_F(SqlDmlServiceTest, InsertOnlyCommitPropagatesDeleteInvalidates) {
   // A commit containing deletes must invalidate instead.
   uint64_t propagated_before_delete = svc_->recycler().stats().propagated;
   uint64_t invalidated_before_delete = svc_->recycler().stats().invalidated;
-  ASSERT_TRUE(svc_->RunSql("delete from item where i_qty = 50").ok());
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  ASSERT_TRUE(Sql("delete from item where i_qty = 50").ok());
+  ASSERT_TRUE(Sql("commit").ok());
   RecyclerStats after_delete = svc_->recycler().stats();
   EXPECT_EQ(after_delete.propagated, propagated_before_delete)
       << "a delete commit must not propagate";
   EXPECT_GT(after_delete.invalidated, invalidated_before_delete);
 
   // Correctness after invalidation: recompute sees the deletion.
-  r = svc_->RunSql(q);
+  r = Sql(q);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Find("i_qty")->bat()->size(), 3u);
 
@@ -412,20 +427,20 @@ TEST_F(SqlDmlServiceTest, InsertOnlyCommitPropagatesDeleteInvalidates) {
 // insert-only commits refreshed, exactly like range selects.
 TEST_F(SqlDmlServiceTest, EqualitySelectSurvivesInsertOnlyCommit) {
   const char* q = "select i_name from item where i_qty = 20";
-  ASSERT_TRUE(svc_->RunSql(q).ok());
-  ASSERT_TRUE(svc_->RunSql(q).ok());
+  ASSERT_TRUE(Sql(q).ok());
+  ASSERT_TRUE(Sql(q).ok());
   RecyclerStats before = svc_->recycler().stats();
   EXPECT_GT(before.hits, 0u);
 
   // Insert a second qty=20 row; the commit is insert-only.
-  ASSERT_TRUE(svc_->RunSql("insert into item values (7, 20, 9.5, 'elk')").ok());
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+  ASSERT_TRUE(Sql("insert into item values (7, 20, 9.5, 'elk')").ok());
+  ASSERT_TRUE(Sql("commit").ok());
   RecyclerStats after = svc_->recycler().stats();
   EXPECT_GT(after.propagated, 0u)
       << "the kUselect-over-bind entry was not refreshed";
 
   uint64_t hits_before_replay = after.hits;
-  auto r = svc_->RunSql(q);
+  auto r = Sql(q);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   const MalValue* v = r.value().Find("i_name");
   ASSERT_NE(v, nullptr);
@@ -438,19 +453,19 @@ TEST_F(SqlDmlServiceTest, EqualitySelectSurvivesInsertOnlyCommit) {
 
 TEST_F(SqlDmlServiceTest, LikeSelectSurvivesInsertOnlyCommit) {
   const char* q = "select i_qty from item where i_name like 'a%'";
-  ASSERT_TRUE(svc_->RunSql(q).ok());
-  ASSERT_TRUE(svc_->RunSql(q).ok());
+  ASSERT_TRUE(Sql(q).ok());
+  ASSERT_TRUE(Sql(q).ok());
   EXPECT_GT(svc_->recycler().stats().hits, 0u);
 
   ASSERT_TRUE(
-      svc_->RunSql("insert into item values (7, 70, 9.5, 'auk')").ok());
-  ASSERT_TRUE(svc_->RunSql("commit").ok());
+      Sql("insert into item values (7, 70, 9.5, 'auk')").ok());
+  ASSERT_TRUE(Sql("commit").ok());
   RecyclerStats after = svc_->recycler().stats();
   EXPECT_GT(after.propagated, 0u)
       << "the kLikeSelect-over-bind entry was not refreshed";
 
   uint64_t hits_before_replay = after.hits;
-  auto r = svc_->RunSql(q);
+  auto r = Sql(q);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   const MalValue* v = r.value().Find("i_qty");
   ASSERT_NE(v, nullptr);
@@ -468,27 +483,29 @@ TEST(SqlDmlServiceConfigTest, PropagationCanBeDisabled) {
   cfg.num_workers = 2;
   cfg.propagate_updates = false;
   QueryService svc(MakeItemDb(), cfg);
+  Session sess;
+  sess.set_autocommit(false);
 
   const char* range_q = "select i_qty from item where i_qty >= 15";
   const char* eq_q = "select i_name from item where i_qty = 20";
   const char* like_q = "select i_qty from item where i_name like 'a%'";
-  ASSERT_TRUE(svc.RunSql(range_q).ok());
-  ASSERT_TRUE(svc.RunSql(eq_q).ok());
-  ASSERT_TRUE(svc.RunSql(like_q).ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, range_q).ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, eq_q).ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, like_q).ok());
   ASSERT_TRUE(
-      svc.RunSql("insert into item values (7, 50, 5.5, 'ape')").ok());
-  ASSERT_TRUE(svc.RunSql("commit").ok());
+      testutil::RunSql(&svc, &sess, "insert into item values (7, 50, 5.5, 'ape')").ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "commit").ok());
   RecyclerStats rs = svc.recycler().stats();
   EXPECT_EQ(rs.propagated, 0u);
   EXPECT_GT(rs.invalidated, 0u);
 
-  auto r = svc.RunSql(range_q);
+  auto r = testutil::RunSql(&svc, &sess, range_q);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Find("i_qty")->bat()->size(), 4u);
-  r = svc.RunSql(eq_q);
+  r = testutil::RunSql(&svc, &sess, eq_q);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Find("i_name")->bat()->size(), 1u);
-  r = svc.RunSql(like_q);
+  r = testutil::RunSql(&svc, &sess, like_q);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Find("i_qty")->bat()->size(), 2u);  // ant, ape
 }
@@ -517,13 +534,16 @@ TEST(SqlDmlRaceTest, ConcurrentDmlVsCachedSelects) {
   const char* kProbe =
       "select sum(a) as sa, sum(b) as sb, count(*) as c from t where a >= 0";
 
+  Session writer;
+  writer.set_autocommit(false);  // stage each batch until its COMMIT
   std::atomic<bool> stop{false};
   std::atomic<int> bad{0};
   std::vector<std::thread> readers;
   for (int i = 0; i < 3; ++i) {
     readers.emplace_back([&] {
+      Session reader;  // snapshot reads, never inside the writer's txn
       while (!stop.load(std::memory_order_relaxed)) {
-        auto r = svc.SubmitSql(kProbe).get();
+        auto r = testutil::SubmitSql(&svc, &reader, kProbe).get();
         if (!r.ok()) {
           ++bad;
           continue;
@@ -544,7 +564,8 @@ TEST(SqlDmlRaceTest, ConcurrentDmlVsCachedSelects) {
   for (int cmt = 0; cmt < kCommits; ++cmt) {
     if (cmt % 3 == 2) {
       int cutoff = next - 6;
-      auto r = svc.RunSql(
+      auto r = testutil::RunSql(
+          &svc, &writer,
           StrFormat("delete from t where a < %d and a >= %d", cutoff,
                     cutoff - 3));
       ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -555,9 +576,9 @@ TEST(SqlDmlRaceTest, ConcurrentDmlVsCachedSelects) {
           next + 10, next + 1, next + 11, next + 2, next + 12);
       next += 3;
       expected_rows += 3;
-      ASSERT_TRUE(svc.RunSql(stmt).ok());
+      ASSERT_TRUE(testutil::RunSql(&svc, &writer, stmt).ok());
     }
-    ASSERT_TRUE(svc.RunSql("commit").ok());
+    ASSERT_TRUE(testutil::RunSql(&svc, &writer, "commit").ok());
     // Let readers interleave with the committed state before the next one.
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
@@ -569,8 +590,8 @@ TEST(SqlDmlRaceTest, ConcurrentDmlVsCachedSelects) {
   // Quiesced: the final state must be exact, and replaying the pattern must
   // reuse the cached plan (each commit dropped it; the post-commit compile
   // is shared by every subsequent probe).
-  ASSERT_TRUE(svc.RunSql(kProbe).ok());
-  auto final_probe = svc.RunSql(kProbe);
+  ASSERT_TRUE(testutil::RunSql(&svc, &writer, kProbe).ok());
+  auto final_probe = testutil::RunSql(&svc, &writer, kProbe);
   ASSERT_TRUE(final_probe.ok()) << final_probe.status().ToString();
   EXPECT_EQ(final_probe.value().Find("c")->scalar().AsLng(), expected_rows);
   int64_t sa = final_probe.value().Find("sa")->scalar().AsLng();

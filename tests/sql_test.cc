@@ -10,6 +10,7 @@
 #include "skyserver/skyserver.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
+#include "sql_test_util.h"
 #include "tpch/tpch.h"
 #include "util/str.h"
 
@@ -373,15 +374,16 @@ TEST_F(SqlTest, FingerprintKeepsLiteralKind) {
   ServiceConfig cfg;
   cfg.num_workers = 1;
   QueryService svc(cat_.get(), cfg);
+  Session sess;
   // int and float literals coerce differently but both are valid against a
   // dbl column; the kind-typed fingerprints keep them in separate entries.
-  ASSERT_TRUE(svc.RunSql("select e_name from emp where e_salary > 150").ok());
-  auto r = svc.RunSql("select e_name from emp where e_salary > 150.5");
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "select e_name from emp where e_salary > 150").ok());
+  auto r = testutil::RunSql(&svc, &sess, "select e_name from emp where e_salary > 150.5");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(svc.SnapshotStats().plan_compiles, 2u);
   // ... while a statement that cannot take the column's type still fails
   // cleanly rather than poisoning or borrowing a cached entry.
-  auto bad = svc.RunSql("select e_name from emp where e_salary > 'rich'");
+  auto bad = testutil::RunSql(&svc, &sess, "select e_name from emp where e_salary > 'rich'");
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kTypeMismatch);
 }
@@ -622,10 +624,11 @@ TEST_F(SqlSkyTest, RepeatedConePatternHitsThePool) {
   ServiceConfig cfg;
   cfg.num_workers = 1;
   QueryService svc(cat_.get(), cfg);
+  Session sess;
   std::string text = ConeSql(42.0, 44.0, -3.0, 3.0);
-  ASSERT_TRUE(svc.RunSql(text).ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, text).ok());
   RecyclerStats before = svc.recycler().stats();
-  ASSERT_TRUE(svc.RunSql(text).ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, text).ok());
   RecyclerStats after = svc.recycler().stats();
   // Exact re-execution: the pool answers (nearly) every monitored
   // instruction of the second run, as it does for the hand-built template.
@@ -635,7 +638,7 @@ TEST_F(SqlSkyTest, RepeatedConePatternHitsThePool) {
   EXPECT_EQ(s.plan_hits, 1u);
 
   // Same pattern, different literals: still one compiled plan.
-  ASSERT_TRUE(svc.RunSql(ConeSql(100.0, 102.0, -5.0, 5.0)).ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, ConeSql(100.0, 102.0, -5.0, 5.0)).ok());
   s = svc.SnapshotStats();
   EXPECT_EQ(s.plan_compiles, 1u);
   EXPECT_EQ(s.plan_hits, 2u);
@@ -720,12 +723,13 @@ TEST_F(SqlTpchTest, ParamIndependentPrefixReusesAcrossLiterals) {
   ServiceConfig cfg;
   cfg.num_workers = 1;
   QueryService svc(cat_.get(), cfg);
-  ASSERT_TRUE(svc.RunSql(
+  Session sess;
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, 
                      "select l_orderkey, sum(l_quantity) from lineitem where "
                      "l_orderkey < 100 group by l_orderkey")
                   .ok());
   RecyclerStats before = svc.recycler().stats();
-  auto r = svc.RunSql(
+  auto r = testutil::RunSql(&svc, &sess, 
       "select l_orderkey, sum(l_quantity) from lineitem where "
       "l_orderkey < 220 group by l_orderkey");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -739,6 +743,7 @@ TEST_F(SqlTpchTest, MixedWorkloadCompilesMuchLessThanSubmissions) {
   ServiceConfig cfg;
   cfg.num_workers = 2;
   QueryService svc(cat_.get(), cfg);
+  Session sess;
   Rng rng(99);
   std::vector<std::future<Result<QueryResult>>> futs;
   for (int i = 0; i < 60; ++i) {
@@ -765,7 +770,7 @@ TEST_F(SqlTpchTest, MixedWorkloadCompilesMuchLessThanSubmissions) {
             20 + static_cast<int>(rng.Uniform(10)));
         break;
     }
-    futs.push_back(svc.SubmitSql(text));
+    futs.push_back(testutil::SubmitSql(&svc, &sess, text));
   }
   for (auto& f : futs) {
     auto r = f.get();

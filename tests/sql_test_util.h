@@ -1,0 +1,38 @@
+// Test-side shims for the Submit/Session API: the old RunSql/SubmitSql
+// convenience forwarders are gone from QueryService (every submission now
+// names the Session it runs under), so tests thread an explicit Session
+// through these helpers instead.
+//
+// NOTE on semantics: the forwarders ran every statement under one implicit
+// service-global session with autocommit OFF (DML staged until an explicit
+// COMMIT). A fresh Session defaults to autocommit ON; tests that exercise
+// the staged-until-commit path must set_autocommit(false) on their session
+// first — and, since the transaction redesign, the staging session SEES its
+// own pending writes (read-your-own-writes) while other sessions do not.
+
+#ifndef RECYCLEDB_TESTS_SQL_TEST_UTIL_H_
+#define RECYCLEDB_TESTS_SQL_TEST_UTIL_H_
+
+#include <future>
+#include <string>
+
+#include "server/query_service.h"
+
+namespace recycledb {
+namespace testutil {
+
+inline std::future<Result<QueryResult>> SubmitSql(QueryService* svc,
+                                                  Session* session,
+                                                  const std::string& text) {
+  return svc->Submit(Request{text, session, {}}).future;
+}
+
+inline Result<QueryResult> RunSql(QueryService* svc, Session* session,
+                                  const std::string& text) {
+  return SubmitSql(svc, session, text).get();
+}
+
+}  // namespace testutil
+}  // namespace recycledb
+
+#endif  // RECYCLEDB_TESTS_SQL_TEST_UTIL_H_

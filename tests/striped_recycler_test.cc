@@ -299,10 +299,12 @@ TEST(StripedRecyclerTest, PropagateUpdateRefreshesAcrossStripes) {
   ASSERT_TRUE(before.ok()) << before.status().ToString();
 
   // Insert one row inside the cached range.
-  ASSERT_TRUE(cat->Append("orders", {{Scalar::OidVal(77777),
-                                      Scalar::DateVal(500), Scalar::Dbl(3.0)}})
+  TxnWriteSet ws = cat->BeginWrite();
+  ASSERT_TRUE(cat->Append(&ws, "orders",
+                          {{Scalar::OidVal(77777), Scalar::DateVal(500),
+                            Scalar::Dbl(3.0)}})
                   .ok());
-  ASSERT_TRUE(cat->Commit().ok());
+  ASSERT_TRUE(cat->CommitWrite(&ws).ok());
   EXPECT_GT(rec.stats().propagated, 0u) << "no select entry was refreshed";
 
   uint64_t hits_before_rerun = rec.stats().hits;

@@ -15,6 +15,7 @@
 #include "server/query_service.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
+#include "sql_test_util.h"
 #include "util/str.h"
 
 namespace recycledb {
@@ -88,7 +89,8 @@ TEST(TraceParseTest, TraceNonSelectIsAnError) {
 
 TEST(TraceServiceTest, SpanTreeCoversTheLifecycle) {
   QueryService svc(MakeDb(), OneWorker());
-  auto r = svc.RunSql("trace select count(*) from item where i_qty < 50");
+  Session sess;
+  auto r = testutil::RunSql(&svc, &sess, "trace select count(*) from item where i_qty < 50");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   ASSERT_NE(r.value().trace, nullptr);
   const obs::QueryTrace& t = *r.value().trace;
@@ -106,7 +108,7 @@ TEST(TraceServiceTest, SpanTreeCoversTheLifecycle) {
   ASSERT_NE(FindSpan(root, "execute"), nullptr);
 
   // Second run: plan-cache hit binds parameters instead of compiling.
-  auto r2 = svc.RunSql("trace select count(*) from item where i_qty < 50");
+  auto r2 = testutil::RunSql(&svc, &sess, "trace select count(*) from item where i_qty < 50");
   ASSERT_TRUE(r2.ok());
   const obs::QueryTrace::Span* plan2 = FindSpan(r2.value().trace->root(), "plan");
   ASSERT_NE(plan2, nullptr);
@@ -125,11 +127,11 @@ TEST(TraceServiceTest, SpanTreeCoversTheLifecycle) {
 // Runs one statement in isolation and checks the acceptance identity: the
 // trace's decision records sum exactly to the deltas the query left in the
 // global ServiceStats/RecyclerStats.
-void CheckDeltas(QueryService& svc, const std::string& sql) {
+void CheckDeltas(QueryService& svc, Session& sess, const std::string& sql) {
   svc.Drain();
   ServiceStats before = svc.SnapshotStats();
   RecyclerStats rbefore = svc.recycler().stats();
-  auto r = svc.RunSql(sql);
+  auto r = testutil::RunSql(&svc, &sess, sql);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   svc.Drain();
   ServiceStats after = svc.SnapshotStats();
@@ -163,17 +165,18 @@ void CheckDeltas(QueryService& svc, const std::string& sql) {
 
 TEST(TraceServiceTest, DecisionsSumToStatsDeltas) {
   QueryService svc(MakeDb(), OneWorker());
+  Session sess;
   const std::string q1 =
       "trace select count(*), sum(i_price) from item where i_qty "
       "between 10 and 90";
   const std::string q2 =
       "trace select count(*), sum(i_price) from item where i_qty "
       "between 20 and 80";
-  CheckDeltas(svc, q1);  // cold: misses + admissions
-  CheckDeltas(svc, q1);  // warm: exact hits
-  CheckDeltas(svc, q2);  // narrower range: subsumption candidates
+  CheckDeltas(svc, sess, q1);  // cold: misses + admissions
+  CheckDeltas(svc, sess, q1);  // warm: exact hits
+  CheckDeltas(svc, sess, q2);  // narrower range: subsumption candidates
   obs::QueryTrace::Totals warm =
-      svc.RunSql(q1).value().trace->totals();
+      testutil::RunSql(&svc, &sess, q1).value().trace->totals();
   EXPECT_GT(warm.exact_hits, 0u);
   EXPECT_EQ(warm.misses, 0u);
   EXPECT_GT(warm.hit_bytes + warm.saved_ms, 0.0);
@@ -187,13 +190,14 @@ TEST(TraceServiceTest, DecisionDeltasUnderCreditAdmissionAndBudget) {
   cfg.recycler.credits = 2;
   cfg.recycler.max_bytes = 64 * 1024;
   QueryService svc(MakeDb(), cfg);
+  Session sess;
   for (int i = 0; i < 8; ++i) {
-    CheckDeltas(svc, StrFormat("trace select count(*), sum(i_price) from item "
+    CheckDeltas(svc, sess, StrFormat("trace select count(*), sum(i_price) from item "
                                "where i_qty between %d and %d",
                                i, 30 + 7 * i));
   }
   // Credits were reported on at least one decision (policy != kKeepAll).
-  auto r = svc.RunSql("trace select count(*) from item where i_qty < 3");
+  auto r = testutil::RunSql(&svc, &sess, "trace select count(*) from item where i_qty < 3");
   ASSERT_TRUE(r.ok());
   bool saw_credits = false;
   for (const obs::RecyclerDecision& d : r.value().trace->decisions())
@@ -209,9 +213,10 @@ TEST(TraceServiceTest, SamplingTracesOneInN) {
   ServiceConfig cfg = OneWorker();
   cfg.trace_sample_n = 4;
   QueryService svc(MakeDb(), cfg);
+  Session sess;
   int traced = 0;
   for (int i = 0; i < 8; ++i) {
-    auto r = svc.RunSql("select count(*) from item");
+    auto r = testutil::RunSql(&svc, &sess, "select count(*) from item");
     ASSERT_TRUE(r.ok());
     if (r.value().trace != nullptr) {
       EXPECT_TRUE(r.value().trace->sampled());
@@ -224,7 +229,8 @@ TEST(TraceServiceTest, SamplingTracesOneInN) {
 
 TEST(TraceServiceTest, NoTracingByDefault) {
   QueryService svc(MakeDb(), OneWorker());
-  auto r = svc.RunSql("select count(*) from item");
+  Session sess;
+  auto r = testutil::RunSql(&svc, &sess, "select count(*) from item");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().trace, nullptr);
   EXPECT_EQ(svc.SnapshotStats().queries_traced, 0u);
@@ -233,10 +239,11 @@ TEST(TraceServiceTest, NoTracingByDefault) {
 
 TEST(TraceServiceTest, RecentTracesKeepsABoundedRing) {
   QueryService svc(MakeDb(), OneWorker());
+  Session sess;
   const size_t n = QueryService::kRecentTraceCap + 5;
   for (size_t i = 0; i < n; ++i) {
     ASSERT_TRUE(
-        svc.RunSql(StrFormat("trace select count(*) from item where i_qty < %d",
+        testutil::RunSql(&svc, &sess, StrFormat("trace select count(*) from item where i_qty < %d",
                              static_cast<int>(i)))
             .ok());
   }
@@ -255,8 +262,9 @@ TEST(TraceServiceTest, RecentTracesKeepsABoundedRing) {
 
 TEST(TraceServiceTest, MetricsExportCarriesTheServingStack) {
   QueryService svc(MakeDb(), OneWorker());
-  ASSERT_TRUE(svc.RunSql("select count(*) from item").ok());
-  ASSERT_TRUE(svc.RunSql("select count(*) from item").ok());
+  Session sess;
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "select count(*) from item").ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "select count(*) from item").ok());
 
   std::string json = svc.DumpMetricsJson();
   for (const char* name :
@@ -278,12 +286,14 @@ TEST(TraceServiceTest, MetricsExportCarriesTheServingStack) {
 
 TEST(TraceServiceTest, DmlCommitRecordsMaintenanceEvents) {
   QueryService svc(MakeDb(), OneWorker());
+  Session sess;
+  sess.set_autocommit(false);  // stage each DML until the explicit COMMIT
   // Warm a pool entry so commit maintenance has something to act on.
-  ASSERT_TRUE(svc.RunSql("select count(*) from item where i_qty < 50").ok());
-  ASSERT_TRUE(svc.RunSql("insert into item values (900, 5, 9.5)").ok());
-  ASSERT_TRUE(svc.RunSql("commit").ok());
-  ASSERT_TRUE(svc.RunSql("delete from item where i_id = 900").ok());
-  ASSERT_TRUE(svc.RunSql("commit").ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "select count(*) from item where i_qty < 50").ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "insert into item values (900, 5, 9.5)").ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "commit").ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "delete from item where i_id = 900").ok());
+  ASSERT_TRUE(testutil::RunSql(&svc, &sess, "commit").ok());
 
   bool saw_propagate_or_invalidate = false;
   bool saw_invalidate = false;
@@ -307,11 +317,12 @@ TEST(TraceServiceTest, ConcurrentTracedAndUntracedQueries) {
   cfg.num_workers = 4;
   cfg.trace_sample_n = 8;
   QueryService svc(MakeDb(), cfg);
+  Session sess;
   std::vector<std::future<Result<QueryResult>>> futs;
   for (int i = 0; i < 200; ++i) {
     std::string sql = StrFormat("select count(*) from item where i_qty < %d",
                                 i % 16);
-    futs.push_back(svc.SubmitSql(i % 5 == 0 ? "trace " + sql : sql));
+    futs.push_back(testutil::SubmitSql(&svc, &sess, i % 5 == 0 ? "trace " + sql : sql));
   }
   uint64_t traced = 0;
   for (auto& f : futs) {
