@@ -27,7 +27,11 @@
 #include <fstream>
 #include <thread>
 
+#include "bat/hash_index.h"
 #include "bench/bench_common.h"
+#include "engine/operators.h"
+#include "engine/scalar_ref.h"
+#include "engine/vec/hashprobe.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/metrics.h"
@@ -131,6 +135,15 @@ struct JsonRow {
   uint64_t txn_committed = 0;
   uint64_t txn_conflicts = 0;
   uint64_t txn_rolled_back = 0;
+  // bounded_memory load="encoded" only: the same budgeted phase with column
+  // encodings built and encoded intermediates enabled. raw_hit_ratio is the
+  // same workload on the same catalog WITHOUT encodings; charging entries at
+  // encoded size must fit more working set under the identical budget, so
+  // check_regression.py requires hit_ratio > raw_hit_ratio within-run.
+  bool has_enc = false;
+  double raw_hit_ratio = 0;
+  uint64_t pool_encoded_bytes = 0;
+  uint64_t encoding_savings_bytes = 0;
 };
 
 void WriteJson(const std::string& path, double sf, int max_workers,
@@ -188,6 +201,14 @@ void WriteJson(const std::string& path, double sf, int max_workers,
           static_cast<unsigned long long>(r.txn_committed),
           static_cast<unsigned long long>(r.txn_conflicts),
           static_cast<unsigned long long>(r.txn_rolled_back));
+    }
+    if (r.has_enc) {
+      out << StrFormat(
+          ", \"raw_hit_ratio\": %.4f, \"pool_encoded_bytes\": %llu, "
+          "\"encoding_savings_bytes\": %llu",
+          r.raw_hit_ratio,
+          static_cast<unsigned long long>(r.pool_encoded_bytes),
+          static_cast<unsigned long long>(r.encoding_savings_bytes));
     }
     out << (i + 1 < rows.size() ? "},\n" : "}\n");
   }
@@ -980,6 +1001,321 @@ JsonRow RunBoundedMemoryPhase(Catalog* cat,
   return row;
 }
 
+/// Encoded-intermediates bounded-memory ablation: the bounded_memory
+/// workload twice on a private TPC-H copy — once raw, once after
+/// Catalog::BuildEncodings() with SetEncodedIntermediates(true) — under the
+/// IDENTICAL 1 MB budget. Recycled entries are charged at encoded size, so
+/// the encoded run fits more of the working set and must post a strictly
+/// higher steady-state hit ratio (gated within-run by check_regression.py,
+/// like rel_qps: machine-independent). The row also carries the end-of-run
+/// pool gauges pool_encoded_bytes / encoding_savings_bytes; the latter must
+/// be positive or the encoding layer silently stopped producing.
+JsonRow RunBoundedMemoryEncodedPhase(
+    const std::vector<tpch::QueryTemplate>& templates, int workers,
+    int n_queries) {
+  // Private catalog: BuildEncodings attaches sidecars to catalog columns,
+  // which must not leak into the other phases' (raw) measurements.
+  auto cat = MakeTpchDb(EnvSf());
+  Workload w = MakeWorkload("bound", templates, 12, n_queries, 9003);
+
+  struct SubRun {
+    double qps = 0;
+    double hit_ratio = 0;
+    uint64_t hits = 0;
+    uint64_t evicted = 0;
+    uint64_t borrows = 0;
+    size_t enc_bytes = 0;
+    size_t save_bytes = 0;
+  };
+  auto run = [&](const char* tag) {
+    ServiceConfig cfg = BenchConfig(workers);
+    cfg.recycler.max_bytes = 1024 * 1024;
+    cfg.recycler.eviction = EvictionKind::kLru;
+    QueryService svc(cat.get(), cfg);
+    for (auto& r : svc.RunBatch(w.warmup)) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "bounded/%s warmup failed: %s\n", tag,
+                     r.status().ToString().c_str());
+        std::abort();
+      }
+    }
+    svc.recycler().ResetStats();
+    StopWatch sw;
+    std::vector<Result<QueryResult>> results = svc.RunBatch(w.queries);
+    double secs = sw.ElapsedSeconds();
+    for (auto& r : results) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "bounded/%s query failed: %s\n", tag,
+                     r.status().ToString().c_str());
+        std::abort();
+      }
+    }
+    if (svc.recycler().pool_bytes() > cfg.recycler.max_bytes) {
+      std::fprintf(stderr, "BUDGET VIOLATED (%s): pool %zu > %zu\n", tag,
+                   svc.recycler().pool_bytes(), cfg.recycler.max_bytes);
+      std::abort();
+    }
+    RecyclerStats rs = svc.recycler().stats();
+    ServiceStats s = svc.SnapshotStats();
+    SubRun out;
+    out.qps = n_queries / secs;
+    out.hit_ratio =
+        rs.monitored ? static_cast<double>(rs.hits) / rs.monitored : 0.0;
+    out.hits = rs.hits;
+    out.evicted = rs.evicted;
+    out.borrows = s.pool_borrows;
+    out.enc_bytes = svc.recycler().pool_encoded_bytes();
+    out.save_bytes = svc.recycler().encoding_savings_bytes();
+    return out;
+  };
+
+  SubRun raw = run("raw");
+  size_t ncols = cat->BuildEncodings();
+  SetEncodedIntermediates(true);
+  SubRun enc = run("encoded");
+  SetEncodedIntermediates(false);
+
+  std::printf(
+      "bounded memory, encoded intermediates (%d workers, 1024 KB budget, "
+      "%d queries, %zu cols encoded)\n"
+      "  raw:     qps=%.1f hit-ratio=%.2f evicted=%llu\n"
+      "  encoded: qps=%.1f hit-ratio=%.2f evicted=%llu pool-encoded=%zu KB "
+      "savings=%zu KB\n",
+      workers, n_queries, ncols, raw.qps, raw.hit_ratio,
+      static_cast<unsigned long long>(raw.evicted), enc.qps, enc.hit_ratio,
+      static_cast<unsigned long long>(enc.evicted), enc.enc_bytes / 1024,
+      enc.save_bytes / 1024);
+
+  JsonRow row;
+  row.phase = "bounded_memory";
+  row.load = "encoded";
+  row.workers = workers;
+  row.qps = enc.qps;
+  row.hit_ratio = enc.hit_ratio;
+  row.pool_hits = enc.hits;
+  row.has_budget = true;
+  row.evicted = enc.evicted;
+  row.borrows = enc.borrows;
+  row.has_enc = true;
+  row.raw_hit_ratio = raw.hit_ratio;
+  row.pool_encoded_bytes = enc.enc_bytes;
+  row.encoding_savings_bytes = enc.save_bytes;
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorised-kernel ablation: the rewritten engine entry points against the
+// retained element-at-a-time reference loops (engine/scalar_ref.h — the
+// former production code, kept verbatim) on scalar-adverse shapes: random
+// unsorted data so branches don't predict, working sets past L2 so the
+// probe's prefetch pipeline matters. Reported as within-run rel_qps
+// (vectorised ÷ scalar), machine-independent and gated with a hard floor by
+// check_regression.py. Outputs are cross-checked before timing — a kernel
+// that got fast by getting wrong aborts the bench.
+// ---------------------------------------------------------------------------
+
+struct KernelTiming {
+  double vec_secs = 0;  ///< best per-call seconds of the vectorised kernel
+  double rel = 0;       ///< median of per-rep (scalar / vec) ratios
+};
+
+/// Times the vectorised and scalar implementations back to back within each
+/// repetition and reports the MEDIAN per-rep ratio: adjacent windows share
+/// whatever load the host is under, so common-mode jitter cancels out of
+/// the ratio, and the median discards a repetition that caught a spike —
+/// the ratio is the gated number, so its stability matters more than the
+/// absolute throughput's.
+template <typename FV, typename FS>
+KernelTiming TimeKernelPair(int reps, int iters, FV&& vec_fn, FS&& scalar_fn) {
+  KernelTiming t;
+  t.vec_secs = 1e100;
+  std::vector<double> ratios;
+  for (int r = 0; r < reps; ++r) {
+    StopWatch swv;
+    for (int i = 0; i < iters; ++i) vec_fn();
+    double vs = swv.ElapsedSeconds() / iters;
+    StopWatch sws;
+    for (int i = 0; i < iters; ++i) scalar_fn();
+    double ss = sws.ElapsedSeconds() / iters;
+    t.vec_secs = std::min(t.vec_secs, vs);
+    ratios.push_back(ss / vs);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  t.rel = ratios[ratios.size() / 2];
+  return t;
+}
+
+/// Order-sensitive FNV over one side; dense sides hash the virtual oids.
+template <typename T>
+uint64_t SideChecksum(const BatSide& s, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull ^ n;
+  if (s.dense()) {
+    for (size_t i = 0; i < n; ++i)
+      h = (h ^ (s.seq + i)) * 0x100000001b3ull;
+    return h;
+  }
+  SideReader<T> r(s, n);
+  for (size_t i = 0; i < n; ++i)
+    h = (h ^ static_cast<uint64_t>(r[i])) * 0x100000001b3ull;
+  return h;
+}
+
+/// Checksum over both sides of an output bat (H/T = physical side types):
+/// distinguishes any membership, value, or ordering difference.
+template <typename H, typename T>
+uint64_t KernelChecksum(const BatPtr& b) {
+  return SideChecksum<H>(b->head(), b->size()) * 31 +
+         SideChecksum<T>(b->tail(), b->size());
+}
+
+JsonRow MakeKernelRow(const char* phase, const KernelTiming& t) {
+  JsonRow row;
+  row.phase = phase;
+  row.load = "vec";
+  row.workers = 1;
+  row.qps = 1.0 / t.vec_secs;  // kernel invocations per second
+  row.has_rel = true;
+  row.rel_qps = t.rel;
+  std::printf("  %-18s %9.1f /s %8.2fx\n", phase, row.qps, row.rel_qps);
+  return row;
+}
+
+std::vector<JsonRow> RunKernelPhases() {
+  using engine::AggFn;
+  constexpr int kReps = 5;
+  std::vector<JsonRow> rows;
+  std::printf("vectorised kernels vs scalar reference (single-threaded)\n");
+  std::printf("  %-18s %12s %9s\n", "kernel", "vec", "rel");
+
+  // Range select: 1M random unsorted int32 (~1.5% nils), ~20% selectivity —
+  // the scalar loop's bound branches mispredict, the bitmap pass doesn't.
+  {
+    const size_t n = 1u << 20;
+    Rng rng(11001);
+    std::vector<int32_t> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = rng.Uniform(64) == 0 ? NilOf<int32_t>()
+                                     : static_cast<int32_t>(rng.Uniform(1000));
+    }
+    BatPtr b =
+        Bat::DenseHead(Column::Make<int32_t>(TypeTag::kInt, std::move(vals)));
+    const Scalar lo = Scalar::Int(100), hi = Scalar::Int(299);
+    BatPtr vr = engine::Select(b, lo, hi, true, true).ValueOrDie();
+    BatPtr sr =
+        engine::scalar_ref::ScanRangeSelect(b, lo, hi, true, true).ValueOrDie();
+    if ((KernelChecksum<Oid, int32_t>(vr)) !=
+        (KernelChecksum<Oid, int32_t>(sr))) {
+      std::fprintf(stderr, "kernel_select output mismatch\n");
+      std::abort();
+    }
+    KernelTiming t = TimeKernelPair(
+        kReps, 8,
+        [&] { engine::Select(b, lo, hi, true, true).ValueOrDie(); },
+        [&] {
+          engine::scalar_ref::ScanRangeSelect(b, lo, hi, true, true)
+              .ValueOrDie();
+        });
+    rows.push_back(MakeKernelRow("kernel_select", t));
+  }
+
+  // Hash-join probe: a prebuilt 256K-unique-key index probed by 1M random
+  // keys at ~25% match rate — a selective FK join shape where the scalar
+  // loop's empty-bucket and match branches mispredict constantly. The
+  // branch-free unique-inner probe (BatchProbeUnique: cmov'd chain head,
+  // unconditional compare, store-and-advance compaction) replaces every
+  // data-dependent branch with arithmetic. Index build and output
+  // materialisation are identical in both implementations and excluded, so
+  // the ratio isolates the probe kernel CI gates on.
+  {
+    const size_t rn = 1u << 18;
+    const size_t ln = 1u << 20;
+    Rng rng(11002);
+    std::vector<int64_t> rkeys(rn);
+    for (size_t i = 0; i < rn; ++i) rkeys[i] = static_cast<int64_t>(i);
+    for (size_t i = rn - 1; i > 0; --i) {
+      std::swap(rkeys[i], rkeys[rng.Uniform(i + 1)]);
+    }
+    std::vector<int64_t> probes(ln);
+    for (size_t i = 0; i < ln; ++i) {
+      probes[i] = static_cast<int64_t>(rng.Uniform(4 * rn));
+    }
+    HashIndexT<int64_t> index(rkeys.data(), rn);
+    std::vector<uint32_t> sel, pos;
+    auto vec_probe = [&] {
+      sel.resize(ln);
+      pos.resize(ln);
+      size_t o = engine::vec::BatchProbeUnique(index, probes.data(), ln,
+                                               sel.data(), pos.data());
+      sel.resize(o);
+      pos.resize(o);
+    };
+    auto scalar_probe = [&] {
+      sel.clear();
+      pos.clear();
+      for (size_t i = 0; i < ln; ++i) {
+        index.ForEachMatch(probes[i], [&](uint32_t p) {
+          sel.push_back(static_cast<uint32_t>(i));
+          pos.push_back(p);
+        });
+      }
+    };
+    auto outputs_hash = [&] {
+      uint64_t h = 0xcbf29ce484222325ull ^ sel.size();
+      for (size_t i = 0; i < sel.size(); ++i) {
+        h = (h ^ sel[i]) * 0x100000001b3ull;
+        h = (h ^ pos[i]) * 0x100000001b3ull;
+      }
+      return h;
+    };
+    vec_probe();
+    uint64_t vh = outputs_hash();
+    scalar_probe();
+    if (vh != outputs_hash()) {
+      std::fprintf(stderr, "kernel_join_probe output mismatch\n");
+      std::abort();
+    }
+    KernelTiming t = TimeKernelPair(kReps, 4, vec_probe, scalar_probe);
+    rows.push_back(MakeKernelRow("kernel_join_probe", t));
+  }
+
+  // Grouped sum: 1M int64 values with 30% random nils into 64 groups — the
+  // scalar loop's nil branch is unpredictable at that density; the
+  // vectorised accumulator multiplies by the validity mask instead.
+  {
+    const size_t n = 1u << 20;
+    const size_t ngroups = 64;
+    Rng rng(11003);
+    std::vector<int64_t> vals(n);
+    std::vector<Oid> gids(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = rng.Uniform(10) < 3 ? NilOf<int64_t>()
+                                    : static_cast<int64_t>(rng.Uniform(1000));
+      gids[i] = rng.Uniform(ngroups);
+    }
+    BatPtr vb =
+        Bat::DenseHead(Column::Make<int64_t>(TypeTag::kLng, std::move(vals)));
+    BatPtr mb = Bat::DenseHead(Column::Make<Oid>(TypeTag::kOid, std::move(gids)));
+    BatPtr vr =
+        engine::GroupedAggr(AggFn::kSum, vb, mb, ngroups).ValueOrDie();
+    BatPtr sr = engine::scalar_ref::GroupedAggr(AggFn::kSum, vb, mb, ngroups)
+                    .ValueOrDie();
+    if ((KernelChecksum<Oid, int64_t>(vr)) !=
+        (KernelChecksum<Oid, int64_t>(sr))) {
+      std::fprintf(stderr, "kernel_groupagg output mismatch\n");
+      std::abort();
+    }
+    KernelTiming t = TimeKernelPair(
+        kReps, 8,
+        [&] { engine::GroupedAggr(AggFn::kSum, vb, mb, ngroups).ValueOrDie(); },
+        [&] {
+          engine::scalar_ref::GroupedAggr(AggFn::kSum, vb, mb, ngroups)
+              .ValueOrDie();
+        });
+    rows.push_back(MakeKernelRow("kernel_groupagg", t));
+  }
+  return rows;
+}
+
 /// Tracing-overhead ablation: the hot workload at three trace settings —
 /// off (the default), 1-in-64 sampling, and always-on — reported as
 /// throughput RELATIVE to the untraced run of this same phase. The ratio is
@@ -1233,6 +1569,9 @@ int main(int argc, char** argv) {
       RunMixedDmlPhase(std::min(4, max_workers), 12, 600, metrics_path));
   rows.push_back(RunBoundedMemoryPhase(cat.get(), templates,
                                        std::min(4, max_workers), 1500));
+  rows.push_back(RunBoundedMemoryEncodedPhase(templates,
+                                              std::min(4, max_workers), 1500));
+  for (JsonRow& r : RunKernelPhases()) rows.push_back(std::move(r));
   for (JsonRow& r : RunTraceAblationPhase(cat.get(), templates,
                                           std::min(4, max_workers), 1500))
     rows.push_back(std::move(r));

@@ -4,9 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bat/hash_index.h"
 #include "bench/bench_common.h"
 #include "core/concurrent_recycler.h"
 #include "core/recycler_optimizer.h"
+#include "engine/operators.h"
+#include "engine/scalar_ref.h"
+#include "engine/vec/hashprobe.h"
 #include "mal/plan_builder.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -122,6 +126,138 @@ void BM_SessionTrace(benchmark::State& state) {
   state.counters["hits"] = static_cast<double>(rec.stats().hits);
 }
 BENCHMARK(BM_SessionTrace)->Arg(0)->Arg(64)->Arg(1);
+
+// ---------------------------------------------------------------------------
+// Vectorised kernels against the retained scalar reference loops
+// (engine/scalar_ref.h), on the same scalar-adverse shapes the
+// bench_concurrent_throughput kernel_* phases gate: random unsorted data
+// (branches mispredict), nils in-band. Run with --benchmark_filter=Kernel
+// to compare the pairs; the gated ratio lives in the throughput bench.
+// ---------------------------------------------------------------------------
+
+BatPtr KernelSelectInput() {
+  const size_t n = 1u << 18;
+  Rng rng(11001);
+  std::vector<int32_t> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    vals[i] = rng.Uniform(64) == 0 ? NilOf<int32_t>()
+                                   : static_cast<int32_t>(rng.Uniform(1000));
+  }
+  return Bat::DenseHead(Column::Make<int32_t>(TypeTag::kInt, std::move(vals)));
+}
+
+void BM_KernelSelectVec(benchmark::State& state) {
+  BatPtr b = KernelSelectInput();
+  for (auto _ : state) {
+    auto r = engine::Select(b, Scalar::Int(100), Scalar::Int(299), true, true);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_KernelSelectVec);
+
+void BM_KernelSelectScalar(benchmark::State& state) {
+  BatPtr b = KernelSelectInput();
+  for (auto _ : state) {
+    auto r = engine::scalar_ref::ScanRangeSelect(b, Scalar::Int(100),
+                                                 Scalar::Int(299), true, true);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_KernelSelectScalar);
+
+struct KernelProbeInput {
+  std::vector<int64_t> rkeys;
+  std::vector<int64_t> probes;
+};
+
+KernelProbeInput MakeKernelProbeInput() {
+  KernelProbeInput in;
+  const size_t rn = 1u << 16;
+  const size_t ln = 1u << 18;
+  Rng rng(11002);
+  in.rkeys.resize(rn);
+  for (size_t i = 0; i < rn; ++i) in.rkeys[i] = static_cast<int64_t>(i);
+  for (size_t i = rn - 1; i > 0; --i) {
+    std::swap(in.rkeys[i], in.rkeys[rng.Uniform(i + 1)]);
+  }
+  in.probes.resize(ln);
+  for (size_t i = 0; i < ln; ++i) {
+    in.probes[i] = static_cast<int64_t>(rng.Uniform(4 * rn));
+  }
+  return in;
+}
+
+void BM_KernelJoinProbeVec(benchmark::State& state) {
+  KernelProbeInput in = MakeKernelProbeInput();
+  HashIndexT<int64_t> index(in.rkeys.data(), in.rkeys.size());
+  std::vector<uint32_t> sel(in.probes.size()), pos(in.probes.size());
+  for (auto _ : state) {
+    size_t o = engine::vec::BatchProbeUnique(
+        index, in.probes.data(), in.probes.size(), sel.data(), pos.data());
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_KernelJoinProbeVec);
+
+void BM_KernelJoinProbeScalar(benchmark::State& state) {
+  KernelProbeInput in = MakeKernelProbeInput();
+  HashIndexT<int64_t> index(in.rkeys.data(), in.rkeys.size());
+  std::vector<uint32_t> sel, pos;
+  for (auto _ : state) {
+    sel.clear();
+    pos.clear();
+    for (size_t i = 0; i < in.probes.size(); ++i) {
+      index.ForEachMatch(in.probes[i], [&](uint32_t p) {
+        sel.push_back(static_cast<uint32_t>(i));
+        pos.push_back(p);
+      });
+    }
+    benchmark::DoNotOptimize(sel.data());
+  }
+}
+BENCHMARK(BM_KernelJoinProbeScalar);
+
+struct KernelGroupInput {
+  BatPtr vals;
+  BatPtr map;
+};
+
+KernelGroupInput MakeKernelGroupInput() {
+  const size_t n = 1u << 18;
+  const size_t ngroups = 64;
+  Rng rng(11003);
+  std::vector<int64_t> vals(n);
+  std::vector<Oid> gids(n);
+  for (size_t i = 0; i < n; ++i) {
+    vals[i] = rng.Uniform(10) < 3 ? NilOf<int64_t>()
+                                  : static_cast<int64_t>(rng.Uniform(1000));
+    gids[i] = rng.Uniform(ngroups);
+  }
+  KernelGroupInput in;
+  in.vals =
+      Bat::DenseHead(Column::Make<int64_t>(TypeTag::kLng, std::move(vals)));
+  in.map = Bat::DenseHead(Column::Make<Oid>(TypeTag::kOid, std::move(gids)));
+  return in;
+}
+
+void BM_KernelGroupAggVec(benchmark::State& state) {
+  KernelGroupInput in = MakeKernelGroupInput();
+  for (auto _ : state) {
+    auto r = engine::GroupedAggr(engine::AggFn::kSum, in.vals, in.map, 64);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_KernelGroupAggVec);
+
+void BM_KernelGroupAggScalar(benchmark::State& state) {
+  KernelGroupInput in = MakeKernelGroupInput();
+  for (auto _ : state) {
+    auto r = engine::scalar_ref::GroupedAggr(engine::AggFn::kSum, in.vals,
+                                             in.map, 64);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_KernelGroupAggScalar);
 
 }  // namespace
 

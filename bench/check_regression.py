@@ -11,14 +11,25 @@ regresses beyond tolerance:
               tolerance); applies to the plan-cache counters (plan_*) and
               the DML pool-maintenance counters (propagated, invalidated,
               dml_commits)
-  p99_us      relative upper bound: fail when current > baseline * (1 +
-              latency tolerance); advisory on config mismatch, like qps
+  p99_us      relative upper bound: fail when current > max(baseline * (1 +
+              latency tolerance), baseline + latency grace); advisory on
+              config mismatch, like qps
               (p50_us is reported but not gated — log2 bucket edges make
               the median jumpy at microsecond scale)
   rel_qps     absolute: throughput relative to the same run's untraced
               phase (trace_ablation rows); machine-independent, so it
               stays binding even when absolute qps is advisory. The
-              "always" row is report-only.
+              "always" row is report-only. kernel_* rows instead carry
+              the vectorised-over-scalar-reference kernel ratio and are
+              gated by a HARD floor (--kernel-rel-floor, default 1.3)
+              rather than baseline-relative drift: the vectorised kernels
+              must stay decisively faster than the retained scalar loops.
+  encoded     bounded_memory/encoded row: within-run, binding. hit_ratio
+              must be STRICTLY greater than raw_hit_ratio (the identical
+              workload/budget without encodings — charging entries at
+              encoded size must fit more working set), and
+              encoding_savings_bytes must be positive (the encoding layer
+              still produces compressed intermediates).
   rel_p99     lower bound: exclusive-lock reader p99 over snapshot reader
               p99 (mvcc_mixed snapshot row); within-run and
               machine-independent, so always binding. Fails below
@@ -71,8 +82,16 @@ def main():
                    help="relative p99_us upper-bound tolerance (default 3.0 "
                         "= 4x: log2 buckets quantise in exact 2x steps, so "
                         "the ceiling must clear two bucket steps of noise)")
+    p.add_argument("--latency-grace-us", type=float, default=500.0,
+                   help="absolute p99_us grace (default 500): the ceiling "
+                        "is at least baseline + this, absorbing scheduler "
+                        "preemption spikes on shared hosts")
     p.add_argument("--rel-tolerance", type=float, default=0.15,
                    help="absolute rel_qps tolerance (default 0.15)")
+    p.add_argument("--kernel-rel-floor", type=float, default=1.3,
+                   help="hard rel_qps floor for kernel_* rows (default 1.3): "
+                        "vectorised kernels must beat the scalar reference "
+                        "by at least this ratio")
     p.add_argument("--rel-p99-tolerance", type=float, default=0.5,
                    help="relative rel_p99 tolerance (default 0.5); the "
                         "floor never drops below 1.0")
@@ -114,16 +133,26 @@ def main():
             continue
 
         # qps: lower bound only (faster is fine, but hint at stale baselines).
+        # Rows whose gate is a within-run ratio (kernel_* kernels, the
+        # encoded bounded-memory ablation) keep qps advisory even on matched
+        # configs: a single kernel's absolute rate swings with host jitter
+        # far more than the service phases' thousands-of-queries windows,
+        # and the ratio is what those rows exist to gate.
+        within_run_gated = (key[0].startswith("kernel_")
+                            or "raw_hit_ratio" in base)
         floor = base["qps"] * (1 - args.tolerance)
         status = "ok"
         if cur["qps"] < floor:
             msg = (f"{name}: qps {cur['qps']:.1f} < {floor:.1f} "
                    f"(baseline {base['qps']:.1f} - {args.tolerance:.0%})")
-            if qps_binding:
+            if qps_binding and not within_run_gated:
                 failures.append(msg)
                 status = "FAIL"
-            else:
+            elif not qps_binding:
                 notes.append(msg + " [advisory: config mismatch]")
+            else:
+                notes.append(msg + " [advisory: row gated by within-run "
+                             "ratio]")
         elif cur["qps"] > base["qps"] * (1 + args.tolerance):
             notes.append(
                 f"{name}: qps improved {base['qps']:.1f} -> {cur['qps']:.1f}; "
@@ -171,7 +200,10 @@ def main():
 
         # p99 latency: upper bound only, hardware-dependent like qps. The
         # log2 buckets quantise to powers of two, so the default tolerance
-        # is a full bucket step.
+        # is a full bucket step. The absolute grace floor absorbs scheduler
+        # preemption spikes on shared hosts: a single descheduling adds
+        # hundreds of microseconds to the tail regardless of the baseline,
+        # which would otherwise flake every low-latency row.
         in_base, in_cur = "p99_us" in base, "p99_us" in cur
         if in_base != in_cur:
             which = "baseline" if in_cur else "current run"
@@ -180,7 +212,8 @@ def main():
                 f"baseline so latency is gated")
             status = "FAIL"
         elif in_base:
-            ceil = base["p99_us"] * (1 + args.latency_tolerance)
+            ceil = max(base["p99_us"] * (1 + args.latency_tolerance),
+                       base["p99_us"] + args.latency_grace_us)
             if cur["p99_us"] > ceil:
                 msg = (f"{name}: p99_us {cur['p99_us']} > {ceil:.0f} "
                        f"(baseline {base['p99_us']} + "
@@ -191,8 +224,12 @@ def main():
                 else:
                     notes.append(msg + " [advisory: config mismatch]")
 
-        # rel_qps (trace_ablation): a within-run ratio, binding regardless
-        # of hardware. Always-on tracing is report-only by design.
+        # rel_qps: a within-run ratio, binding regardless of hardware.
+        # trace_ablation rows gate against baseline drift (always-on tracing
+        # is report-only by design); kernel_* rows gate against a HARD floor
+        # instead — ratios well above 1 are noisier than the near-1 tracing
+        # ratios, but the vectorised kernel must never fall back to scalar
+        # parity, whatever the baseline captured.
         in_base, in_cur = "rel_qps" in base, "rel_qps" in cur
         if in_base != in_cur:
             which = "baseline" if in_cur else "current run"
@@ -200,12 +237,45 @@ def main():
                 f"{name}: 'rel_qps' missing from the {which} — refresh the "
                 f"baseline so tracing overhead is gated")
             status = "FAIL"
+        elif in_base and key[0].startswith("kernel_"):
+            if cur["rel_qps"] < args.kernel_rel_floor:
+                failures.append(
+                    f"{name}: rel_qps {cur['rel_qps']:.3f} < hard floor "
+                    f"{args.kernel_rel_floor} (vectorised kernel no longer "
+                    f"decisively beats the scalar reference)")
+                status = "FAIL"
         elif in_base and key[1] != "always":
             if cur["rel_qps"] < base["rel_qps"] - args.rel_tolerance:
                 failures.append(
                     f"{name}: rel_qps {cur['rel_qps']:.3f} < baseline "
                     f"{base['rel_qps']:.3f} - {args.rel_tolerance} "
                     f"(tracing overhead regressed)")
+                status = "FAIL"
+
+        # Encoded bounded-memory gates (bounded_memory/encoded row): both
+        # within-run, so binding on any hardware. The hit-ratio win is the
+        # point of recycling compressed intermediates — losing it means
+        # encoded entries stopped being charged at encoded size (or stopped
+        # being admitted); zero savings means the encoder no longer covers
+        # the workload's intermediates.
+        in_base, in_cur = "raw_hit_ratio" in base, "raw_hit_ratio" in cur
+        if in_base != in_cur:
+            which = "baseline" if in_cur else "current run"
+            failures.append(
+                f"{name}: 'raw_hit_ratio' missing from the {which} — refresh "
+                f"the baseline so the encoded-recycling win is gated")
+            status = "FAIL"
+        elif in_cur:
+            if cur["hit_ratio"] <= cur["raw_hit_ratio"]:
+                failures.append(
+                    f"{name}: encoded hit_ratio {cur['hit_ratio']:.3f} <= raw "
+                    f"{cur['raw_hit_ratio']:.3f} under the same budget — "
+                    f"encoded intermediates no longer stretch the pool")
+                status = "FAIL"
+            if cur.get("encoding_savings_bytes", 0) <= 0:
+                failures.append(
+                    f"{name}: encoding_savings_bytes is zero — no compressed "
+                    f"intermediates reached the pool")
                 status = "FAIL"
 
         # rel_p99 (mvcc_mixed snapshot row): exclusive-lock reader p99 over

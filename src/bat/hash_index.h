@@ -59,6 +59,17 @@ class HashIndexT {
     return best;
   }
 
+  // Decomposed probe steps for the batched kernels (engine/vec/hashprobe.h):
+  // hash a whole batch of keys first, prefetch the bucket heads, then walk
+  // the chains — same chain order as ForEachMatch.
+  size_t BucketOf(const T& key) const { return std::hash<T>()(key) & mask_; }
+  uint32_t Head(size_t bucket) const { return buckets_[bucket]; }
+  uint32_t Next(uint32_t pos) const { return next_[pos]; }
+  const T& ValueAt(uint32_t pos) const { return data_[pos]; }
+  void PrefetchBucket(size_t bucket) const {
+    __builtin_prefetch(&buckets_[bucket]);
+  }
+
  private:
   std::vector<uint32_t> buckets_;
   std::vector<uint32_t> next_;

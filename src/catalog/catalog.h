@@ -283,6 +283,18 @@ class Catalog {
 
   size_t TotalPersistentBytes() const;
 
+  /// Attaches compressed sidecars to the loaded persistent columns:
+  /// frame-of-reference for integer/date/oid columns, dictionary for string
+  /// columns, where profitable. The raw vectors stay in place — an attached
+  /// encoding only gives the vectorised kernels a compressed representation
+  /// to scan and TakeSide a code array to gather, so binds, accounting and
+  /// results are unchanged. Serving-time only: call after bulk load and
+  /// before queries run, under the same external serialisation as DDL
+  /// (encodings are not maintained across commits; columns replaced by a
+  /// delta merge simply lose their sidecar). Returns the number of columns
+  /// that got an encoding.
+  size_t BuildEncodings();
+
  private:
   struct FkIndex {
     std::string name;

@@ -1,10 +1,12 @@
 #include "engine/detail.h"
 #include "engine/materialize.h"
 #include "engine/operators.h"
+#include "engine/vec/groupagg.h"
 
 namespace recycledb::engine {
 
 using detail::AnySideReader;
+using detail::RawSideArray;
 
 namespace {
 
@@ -55,7 +57,8 @@ Result<Scalar> AggrTyped(AggFn fn, const BatPtr& b) {
       case AggFn::kMax: {
         if (!any) return Scalar::Nil(t);
         if (t == TypeTag::kDbl) return Scalar::Dbl(static_cast<double>(best));
-        if (t == TypeTag::kDate) return Scalar::DateVal(static_cast<int32_t>(best));
+        if (t == TypeTag::kDate)
+          return Scalar::DateVal(static_cast<int32_t>(best));
         if (t == TypeTag::kInt) return Scalar::Int(static_cast<int32_t>(best));
         if (t == TypeTag::kOid) return Scalar::OidVal(static_cast<Oid>(best));
         return Scalar::Lng(static_cast<int64_t>(best));
@@ -67,16 +70,20 @@ Result<Scalar> AggrTyped(AggFn fn, const BatPtr& b) {
   }
 }
 
+/// Grouped aggregation on the vectorised accumulators: group ids and values
+/// stream as raw arrays through engine/vec/groupagg.h. Accumulation is in
+/// row order, so every result — including float sums — is byte-identical
+/// to the former element-at-a-time loops.
 template <typename T>
 Result<BatPtr> GroupedAggrTyped(AggFn fn, const BatPtr& vals,
                                 const BatPtr& map, size_t ngroups) {
-  AnySideReader<T> vreader(vals->tail());
-  AnySideReader<Oid> greader(map->tail());
   size_t n = vals->size();
+  std::vector<Oid> gtmp;
+  const Oid* gids = RawSideArray<Oid>(map->tail(), n, &gtmp);
 
   if (fn == AggFn::kCount) {
     std::vector<int64_t> cnt(ngroups, 0);
-    for (size_t i = 0; i < n; ++i) ++cnt[greader[i]];
+    vec::CountInto(gids, n, cnt.data());
     return Bat::DenseHead(Column::Make(TypeTag::kLng, std::move(cnt)));
   }
 
@@ -84,32 +91,23 @@ Result<BatPtr> GroupedAggrTyped(AggFn fn, const BatPtr& vals,
     return Status::TypeMismatch("grouped numeric aggregate over strings");
   } else {
     TypeTag t = vals->tail().LogicalType();
+    std::vector<T> vtmp;
+    const T* v = RawSideArray<T>(vals->tail(), n, &vtmp);
     switch (fn) {
       case AggFn::kSum: {
         if (t == TypeTag::kDbl) {
           std::vector<double> acc(ngroups, 0);
-          for (size_t i = 0; i < n; ++i) {
-            T v = vreader[i];
-            if (!IsNil(v)) acc[greader[i]] += static_cast<double>(v);
-          }
+          vec::SumIntoDbl(gids, v, n, acc.data());
           return Bat::DenseHead(Column::Make(TypeTag::kDbl, std::move(acc)));
         }
         std::vector<int64_t> acc(ngroups, 0);
-        for (size_t i = 0; i < n; ++i) {
-          T v = vreader[i];
-          if (!IsNil(v)) acc[greader[i]] += static_cast<int64_t>(v);
-        }
+        vec::SumIntoI64(gids, v, n, acc.data());
         return Bat::DenseHead(Column::Make(TypeTag::kLng, std::move(acc)));
       }
       case AggFn::kAvg: {
         std::vector<double> acc(ngroups, 0);
         std::vector<int64_t> cnt(ngroups, 0);
-        for (size_t i = 0; i < n; ++i) {
-          T v = vreader[i];
-          if (IsNil(v)) continue;
-          acc[greader[i]] += static_cast<double>(v);
-          ++cnt[greader[i]];
-        }
+        vec::AvgInto(gids, v, n, acc.data(), cnt.data());
         for (size_t g = 0; g < ngroups; ++g)
           acc[g] = cnt[g] ? acc[g] / static_cast<double>(cnt[g])
                           : NilOf<double>();
@@ -118,13 +116,7 @@ Result<BatPtr> GroupedAggrTyped(AggFn fn, const BatPtr& vals,
       case AggFn::kMin:
       case AggFn::kMax: {
         std::vector<T> acc(ngroups, NilOf<T>());
-        for (size_t i = 0; i < n; ++i) {
-          T v = vreader[i];
-          if (IsNil(v)) continue;
-          T& slot = acc[greader[i]];
-          if (IsNil(slot) || (fn == AggFn::kMin ? v < slot : slot < v))
-            slot = v;
-        }
+        vec::MinMaxInto(gids, v, n, fn == AggFn::kMin, acc.data());
         return Bat::DenseHead(Column::Make(t, std::move(acc)));
       }
       case AggFn::kCount:

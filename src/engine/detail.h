@@ -37,6 +37,20 @@ class AnySideReader {
   const T* data_ = nullptr;
 };
 
+/// Contiguous view of a side's values for the vectorised kernels,
+/// materialising a dense oid run into `*tmp` when necessary so callers
+/// always see a raw array. For materialised sides this is a zero-copy
+/// pointer — in particular string sides are read in place instead of
+/// copied element-wise through AnySideReader.
+template <typename T>
+const T* RawSideArray(const BatSide& s, size_t n, std::vector<T>* tmp) {
+  if (!s.dense()) return s.col->Data<T>().data() + s.offset;
+  AnySideReader<T> reader(s);
+  tmp->resize(n);
+  for (size_t i = 0; i < n; ++i) (*tmp)[i] = reader[i];
+  return tmp->data();
+}
+
 /// True iff the two logical types share a physical representation, so that
 /// typed operator code can treat them interchangeably.
 inline bool PhysCompatible(TypeTag a, TypeTag b) {

@@ -7,6 +7,7 @@
 namespace recycledb::engine {
 
 using detail::AnySideReader;
+using detail::RawSideArray;
 
 Result<BatPtr> Kunique(const BatPtr& b) {
   const BatSide& head = b->head();
@@ -35,17 +36,19 @@ namespace {
 
 template <typename T>
 GroupResult GroupByTyped(const BatPtr& keys) {
-  AnySideReader<T> reader(keys->tail());
   AnySideReader<Oid> heads(keys->head());
   size_t n = keys->size();
+  // Key reads hoisted to a raw array: materialised tails (in particular
+  // string tails) are read in place instead of copied per row.
+  std::vector<T> ktmp;
+  const T* kv = RawSideArray<T>(keys->tail(), n, &ktmp);
   std::unordered_map<T, Oid> groups;
   groups.reserve(n);
   std::vector<Oid> map;
   map.reserve(n);
   std::vector<Oid> reps;
   for (size_t i = 0; i < n; ++i) {
-    auto [it, fresh] =
-        groups.emplace(reader[i], static_cast<Oid>(groups.size()));
+    auto [it, fresh] = groups.emplace(kv[i], static_cast<Oid>(groups.size()));
     if (fresh) reps.push_back(heads[i]);
     map.push_back(it->second);
   }
@@ -72,10 +75,12 @@ struct PairKeyHash {
 
 template <typename T>
 GroupResult SubGroupByTyped(const BatPtr& keys, const BatPtr& prev_map) {
-  AnySideReader<T> reader(keys->tail());
   AnySideReader<Oid> heads(keys->head());
-  AnySideReader<Oid> prev(prev_map->tail());
   size_t n = keys->size();
+  std::vector<T> ktmp;
+  const T* kv = RawSideArray<T>(keys->tail(), n, &ktmp);
+  std::vector<Oid> ptmp;
+  const Oid* prev = RawSideArray<Oid>(prev_map->tail(), n, &ptmp);
   // Group on (previous gid, key value); to avoid per-type pair maps we key
   // on (gid, hash(value)) and verify values via a representative check.
   std::unordered_map<PairKey, Oid, PairKeyHash> groups;
@@ -85,10 +90,10 @@ GroupResult SubGroupByTyped(const BatPtr& keys, const BatPtr& prev_map) {
   map.reserve(n);
   std::vector<Oid> reps;
   for (size_t i = 0; i < n; ++i) {
-    PairKey k{prev[i], std::hash<T>()(reader[i])};
+    PairKey k{prev[i], std::hash<T>()(kv[i])};
     auto it = groups.find(k);
     // Resolve (rare) hash collisions by probing alternative keys.
-    while (it != groups.end() && !(reader[first_row[it->second]] == reader[i])) {
+    while (it != groups.end() && !(kv[first_row[it->second]] == kv[i])) {
       k.vhash = k.vhash * 0x100000001b3ULL + 1;
       it = groups.find(k);
     }

@@ -2,11 +2,15 @@
 #include "engine/detail.h"
 #include "engine/materialize.h"
 #include "engine/operators.h"
+#include "engine/vec/bitmap.h"
+#include "engine/vec/hashprobe.h"
+#include "engine/vec/select.h"
 
 namespace recycledb::engine {
 
 using detail::AnySideReader;
 using detail::PhysCompatible;
+using detail::RawSideArray;
 
 namespace {
 
@@ -32,6 +36,39 @@ Result<BatPtr> PositionalJoin(const BatPtr& l, const BatPtr& r) {
                      SliceSide(r->tail(), roff, len), len);
   }
 
+  if (const ColumnEncoding* enc = ltail.col->encoding();
+      enc != nullptr && enc->kind() == ColumnEncoding::Kind::kFor) {
+    // FOR-encoded oid tail: the window test [seq, seq+rn) translates to an
+    // inclusive code range, and the r position is code + (base - seq) —
+    // the whole probe runs over the narrow codes without decoding.
+    return enc->VisitCodes([&](const auto& codes) -> Result<BatPtr> {
+      using C = typename std::decay_t<decltype(codes)>::value_type;
+      const C* cd = codes.data() + ltail.offset;
+      const __int128 base =
+          static_cast<__int128>(static_cast<uint64_t>(enc->base()));
+      const __int128 max_code = ColumnEncoding::NilCode<C>() - 1;
+      __int128 cl = static_cast<__int128>(seq) - base;
+      __int128 ch = static_cast<__int128>(seq) + static_cast<__int128>(rn) -
+                    1 - base;
+      if (cl < 0) cl = 0;
+      if (ch > max_code) ch = max_code;
+      std::vector<uint64_t> bits(vec::BitmapWords(ln), 0);
+      if (cl <= ch)
+        vec::CodeRangeBits(cd, ln, static_cast<C>(cl), static_cast<C>(ch),
+                           bits.data());
+      SelVector sel_l;
+      vec::BitsToSel(bits.data(), ln, &sel_l);
+      SelVector pos_r;
+      pos_r.reserve(sel_l.size());
+      const int64_t delta = static_cast<int64_t>(base - seq);
+      for (uint32_t i : sel_l)
+        pos_r.push_back(static_cast<uint32_t>(
+            static_cast<int64_t>(cd[i]) + delta));
+      return Bat::Make(TakeSide(l->head(), ln, sel_l),
+                       TakeSide(r->tail(), rn, pos_r), sel_l.size());
+    });
+  }
+
   SelVector sel_l, pos_r;
   sel_l.reserve(ln);
   pos_r.reserve(ln);
@@ -53,12 +90,22 @@ Result<BatPtr> HashJoin(const BatPtr& l, const BatPtr& r) {
   size_t rn = r->size();
   HashIndexT<T> index(rdata, rn);
 
-  AnySideReader<T> lreader(l->tail());
+  const BatSide& ltail = l->tail();
   size_t ln = l->size();
+  std::vector<T> tmp;
+  const T* keys = RawSideArray<T>(ltail, ln, &tmp);
   SelVector sel_l, pos_r;
-  for (size_t i = 0; i < ln; ++i) {
-    const T& v = lreader[i];
-    index.ForEachMatch(v, [&](uint32_t j) {
+  if (rhead.col->key() && rn > 0) {
+    // Unique inner: at most one match per probe, so the branch-free
+    // compaction probe applies and the output size is bounded by ln.
+    sel_l.resize(ln);
+    pos_r.resize(ln);
+    size_t o =
+        vec::BatchProbeUnique(index, keys, ln, sel_l.data(), pos_r.data());
+    sel_l.resize(o);
+    pos_r.resize(o);
+  } else {
+    vec::BatchProbe(index, keys, ln, [&](size_t i, uint32_t j) {
       sel_l.push_back(static_cast<uint32_t>(i));
       pos_r.push_back(j);
     });
@@ -88,28 +135,26 @@ namespace {
 template <typename T>
 Result<BatPtr> HashSemijoin(const BatPtr& l, const BatPtr& r, bool anti) {
   const BatSide& rhead = r->head();
-  AnySideReader<T> rreader(rhead);
   size_t rn = r->size();
   // Build over r.head; dense r heads are handled by the caller's fast path
   // for the positive case, but anti-joins still land here.
   std::vector<T> rvals;
-  const T* rdata;
-  if (rreader.dense()) {
-    rvals.reserve(rn);
-    for (size_t j = 0; j < rn; ++j) rvals.push_back(rreader[j]);
-    rdata = rvals.data();
-  } else {
-    rdata = rhead.col->Data<T>().data() + rhead.offset;
-  }
+  const T* rdata = RawSideArray<T>(rhead, rn, &rvals);
   HashIndexT<T> index(rdata, rn);
 
-  AnySideReader<T> lreader(l->head());
+  const BatSide& lhead = l->head();
   size_t ln = l->size();
+  std::vector<T> tmp;
+  const T* keys = RawSideArray<T>(lhead, ln, &tmp);
+  std::vector<uint8_t> hits(ln);
+  vec::BatchContains(index, keys, ln, hits.data());
+
+  size_t nhits = 0;
+  for (size_t i = 0; i < ln; ++i) nhits += hits[i];
   SelVector sel;
+  sel.reserve(anti ? ln - nhits : nhits);
   for (size_t i = 0; i < ln; ++i) {
-    const T& v = lreader[i];
-    bool in = !IsNil(v) && index.Contains(v);
-    if (in != anti) sel.push_back(static_cast<uint32_t>(i));
+    if ((hits[i] != 0) != anti) sel.push_back(static_cast<uint32_t>(i));
   }
   return Bat::Make(TakeSide(l->head(), ln, sel), TakeSide(l->tail(), ln, sel),
                    sel.size());

@@ -4,26 +4,53 @@
 
 namespace recycledb::engine {
 
+namespace {
+
+bool IncreasingSel(const SelVector& sel) {
+  for (size_t k = 1; k < sel.size(); ++k) {
+    if (sel[k] <= sel[k - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 BatSide TakeSide(const BatSide& side, size_t count, const SelVector& sel) {
   (void)count;
   if (side.dense()) {
     std::vector<Oid> out;
     out.reserve(sel.size());
     for (uint32_t i : sel) out.push_back(side.seq + i);
-    auto col = Column::Make(TypeTag::kOid, std::move(out));
     // A gather from a dense sequence at increasing positions stays sorted.
-    bool increasing = true;
-    for (size_t k = 1; k < sel.size(); ++k) {
-      if (sel[k] <= sel[k - 1]) {
-        increasing = false;
-        break;
+    bool increasing = IncreasingSel(sel);
+    if (EncodedIntermediatesEnabled()) {
+      // Compress the fresh oid run: dense-derived gathers are the dominant
+      // intermediate shape, and FOR usually narrows them to u16/u32 codes.
+      if (EncodingPtr enc = ColumnEncoding::TryFor<Oid>(out)) {
+        auto col = Column::MakeEncoded(TypeTag::kOid, std::move(enc));
+        col->set_sorted(increasing);
+        col->set_key(increasing);
+        return BatSide::Materialized(std::move(col));
       }
     }
+    auto col = Column::Make(TypeTag::kOid, std::move(out));
     col->set_sorted(increasing);
     col->set_key(increasing);
     return BatSide::Materialized(std::move(col));
   }
   TypeTag t = side.type;
+  if (EncodedIntermediatesEnabled()) {
+    // Gather in code space: the result column carries the (shared-dict or
+    // same-base) encoding and is charged to the recycler at encoded size;
+    // downstream kernels consume the codes without decompressing.
+    if (EncodingPtr enc = side.col->shared_encoding()) {
+      if (EncodingPtr g = ColumnEncoding::Gather(*enc, side.offset, sel)) {
+        auto col = Column::MakeEncoded(t, std::move(g));
+        if (side.col->sorted() && IncreasingSel(sel)) col->set_sorted(true);
+        return BatSide::Materialized(std::move(col));
+      }
+    }
+  }
   return VisitPhysical(t, [&](auto tag) -> BatSide {
     using T = typename decltype(tag)::type;
     const T* src = side.col->Data<T>().data() + side.offset;

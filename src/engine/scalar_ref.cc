@@ -1,0 +1,156 @@
+#include "engine/scalar_ref.h"
+
+#include "bat/hash_index.h"
+#include "engine/detail.h"
+#include "engine/materialize.h"
+#include "util/str.h"
+
+namespace recycledb::engine::scalar_ref {
+
+using detail::AnySideReader;
+using detail::PhysCompatible;
+
+Result<BatPtr> ScanRangeSelect(const BatPtr& b, const Scalar& lo,
+                               const Scalar& hi, bool lo_inc, bool hi_inc) {
+  const BatSide& tail = b->tail();
+  TypeTag t = tail.LogicalType();
+  bool has_lo = !lo.is_nil();
+  bool has_hi = !hi.is_nil();
+  if (has_lo && !PhysCompatible(lo.tag(), t))
+    return Status::TypeMismatch("scalar_ref select bound type mismatch");
+  if (has_hi && !PhysCompatible(hi.tag(), t))
+    return Status::TypeMismatch("scalar_ref select bound type mismatch");
+  return VisitPhysical(t, [&](auto tag) -> Result<BatPtr> {
+    using T = typename decltype(tag)::type;
+    T lov = has_lo ? lo.Get<T>() : T{};
+    T hiv = has_hi ? hi.Get<T>() : T{};
+    AnySideReader<T> reader(tail);
+    size_t n = b->size();
+    SelVector sel;
+    for (size_t i = 0; i < n; ++i) {
+      const T& v = reader[i];
+      if (IsNil(v)) continue;
+      if (has_lo) {
+        if (lo_inc ? v < lov : !(lov < v)) continue;
+      }
+      if (has_hi) {
+        if (hi_inc ? hiv < v : !(v < hiv)) continue;
+      }
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+    return Bat::Make(TakeSide(b->head(), n, sel), TakeSide(tail, n, sel),
+                     sel.size());
+  });
+}
+
+Result<BatPtr> HashJoin(const BatPtr& l, const BatPtr& r) {
+  TypeTag lt = l->tail().LogicalType();
+  TypeTag rt = r->head().LogicalType();
+  if (!PhysCompatible(lt, rt) || r->head().dense())
+    return Status::TypeMismatch("scalar_ref hash join inputs");
+  return VisitPhysical(rt, [&](auto tag) -> Result<BatPtr> {
+    using T = typename decltype(tag)::type;
+    const BatSide& rhead = r->head();
+    const T* rdata = rhead.col->Data<T>().data() + rhead.offset;
+    size_t rn = r->size();
+    HashIndexT<T> index(rdata, rn);
+    AnySideReader<T> lreader(l->tail());
+    size_t ln = l->size();
+    SelVector sel_l, pos_r;
+    for (size_t i = 0; i < ln; ++i) {
+      const T& v = lreader[i];
+      index.ForEachMatch(v, [&](uint32_t j) {
+        sel_l.push_back(static_cast<uint32_t>(i));
+        pos_r.push_back(j);
+      });
+    }
+    return Bat::Make(TakeSide(l->head(), ln, sel_l),
+                     TakeSide(r->tail(), rn, pos_r), sel_l.size());
+  });
+}
+
+Result<BatPtr> GroupedAggr(AggFn fn, const BatPtr& vals, const BatPtr& map,
+                           size_t ngroups) {
+  if (vals->size() != map->size())
+    return Status::InvalidArgument("scalar_ref grouped aggregate inputs");
+  TypeTag t = vals->tail().LogicalType();
+  return VisitPhysical(t, [&](auto tag) -> Result<BatPtr> {
+    using T = typename decltype(tag)::type;
+    AnySideReader<T> vreader(vals->tail());
+    AnySideReader<Oid> greader(map->tail());
+    size_t n = vals->size();
+    if (fn == AggFn::kCount) {
+      std::vector<int64_t> cnt(ngroups, 0);
+      for (size_t i = 0; i < n; ++i) ++cnt[greader[i]];
+      return Bat::DenseHead(Column::Make(TypeTag::kLng, std::move(cnt)));
+    }
+    if constexpr (std::is_same_v<T, std::string>) {
+      return Status::TypeMismatch("grouped numeric aggregate over strings");
+    } else {
+      switch (fn) {
+        case AggFn::kSum: {
+          if (t == TypeTag::kDbl) {
+            std::vector<double> acc(ngroups, 0);
+            for (size_t i = 0; i < n; ++i) {
+              T v = vreader[i];
+              if (!IsNil(v)) acc[greader[i]] += static_cast<double>(v);
+            }
+            return Bat::DenseHead(Column::Make(TypeTag::kDbl, std::move(acc)));
+          }
+          std::vector<int64_t> acc(ngroups, 0);
+          for (size_t i = 0; i < n; ++i) {
+            T v = vreader[i];
+            if (!IsNil(v)) acc[greader[i]] += static_cast<int64_t>(v);
+          }
+          return Bat::DenseHead(Column::Make(TypeTag::kLng, std::move(acc)));
+        }
+        case AggFn::kAvg: {
+          std::vector<double> acc(ngroups, 0);
+          std::vector<int64_t> cnt(ngroups, 0);
+          for (size_t i = 0; i < n; ++i) {
+            T v = vreader[i];
+            if (IsNil(v)) continue;
+            acc[greader[i]] += static_cast<double>(v);
+            ++cnt[greader[i]];
+          }
+          for (size_t g = 0; g < ngroups; ++g)
+            acc[g] = cnt[g] ? acc[g] / static_cast<double>(cnt[g])
+                            : NilOf<double>();
+          return Bat::DenseHead(Column::Make(TypeTag::kDbl, std::move(acc)));
+        }
+        case AggFn::kMin:
+        case AggFn::kMax: {
+          std::vector<T> acc(ngroups, NilOf<T>());
+          for (size_t i = 0; i < n; ++i) {
+            T v = vreader[i];
+            if (IsNil(v)) continue;
+            T& slot = acc[greader[i]];
+            if (IsNil(slot) || (fn == AggFn::kMin ? v < slot : slot < v))
+              slot = v;
+          }
+          return Bat::DenseHead(Column::Make(t, std::move(acc)));
+        }
+        case AggFn::kCount:
+          break;
+      }
+      RDB_UNREACHABLE();
+    }
+  });
+}
+
+Result<BatPtr> LikeSelect(const BatPtr& b, const std::string& pattern) {
+  const BatSide& tail = b->tail();
+  if (tail.LogicalType() != TypeTag::kStr)
+    return Status::TypeMismatch("likeselect on non-string tail");
+  const std::string* data = tail.col->Data<std::string>().data() + tail.offset;
+  size_t n = b->size();
+  SelVector sel;
+  for (size_t i = 0; i < n; ++i) {
+    if (!data[i].empty() && LikeMatch(data[i], pattern))
+      sel.push_back(static_cast<uint32_t>(i));
+  }
+  return Bat::Make(TakeSide(b->head(), n, sel), TakeSide(tail, n, sel),
+                   sel.size());
+}
+
+}  // namespace recycledb::engine::scalar_ref

@@ -1,0 +1,62 @@
+#ifndef RECYCLEDB_ENGINE_VEC_BITMAP_H_
+#define RECYCLEDB_ENGINE_VEC_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace recycledb::engine::vec {
+
+/// Candidate bitmap utilities shared by every vectorised kernel: predicates
+/// evaluate into 64-bit words (one bit per row, branch-free inner loops),
+/// and one compaction pass turns the words into a selection vector. This is
+/// the single compaction helper ScanRangeSelect / AntiUselect / SelectNotNil
+/// / LikeSelect all funnel through.
+
+inline size_t BitmapWords(size_t n) { return (n + 63) / 64; }
+
+/// Evaluates `pred(d[i])` for i in [0, n) into `bits` (little-endian bit
+/// order within each word). `pred` must be branch-free for arithmetic types
+/// — compose it from `&`/`|` over bools, not `&&`.
+template <typename T, typename Pred>
+inline void PredBits(const T* d, size_t n, uint64_t* bits, Pred pred) {
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    uint64_t word = 0;
+    for (size_t j = 0; j < 64; ++j)
+      word |= static_cast<uint64_t>(pred(d[i + j])) << j;
+    bits[i >> 6] = word;
+  }
+  if (i < n) {
+    uint64_t word = 0;
+    for (size_t j = 0; i + j < n; ++j)
+      word |= static_cast<uint64_t>(pred(d[i + j])) << j;
+    bits[i >> 6] = word;
+  }
+}
+
+inline size_t CountBits(const uint64_t* bits, size_t n) {
+  size_t count = 0;
+  for (size_t w = 0; w < BitmapWords(n); ++w)
+    count += static_cast<size_t>(__builtin_popcountll(bits[w]));
+  return count;
+}
+
+/// Appends the positions of set bits to `sel` in ascending order, reserving
+/// the exact output size up front (one popcount pass, then ctz extraction).
+inline void BitsToSel(const uint64_t* bits, size_t n,
+                      std::vector<uint32_t>* sel) {
+  sel->reserve(sel->size() + CountBits(bits, n));
+  for (size_t w = 0; w < BitmapWords(n); ++w) {
+    uint64_t word = bits[w];
+    uint32_t base = static_cast<uint32_t>(w << 6);
+    while (word != 0) {
+      uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(word));
+      sel->push_back(base + bit);
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace recycledb::engine::vec
+
+#endif  // RECYCLEDB_ENGINE_VEC_BITMAP_H_

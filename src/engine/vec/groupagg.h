@@ -1,0 +1,73 @@
+#ifndef RECYCLEDB_ENGINE_VEC_GROUPAGG_H_
+#define RECYCLEDB_ENGINE_VEC_GROUPAGG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bat/types.h"
+
+namespace recycledb::engine::vec {
+
+/// Batched grouped-aggregate accumulation over raw arrays: group ids and
+/// values stream through tight loops with the nil handling folded into
+/// arithmetic masks where the operation allows it. Accumulation order is
+/// row order, identical to the scalar loops — float results match exactly.
+
+inline void CountInto(const Oid* gids, size_t n, int64_t* cnt) {
+  for (size_t i = 0; i < n; ++i) ++cnt[gids[i]];
+}
+
+template <typename T>
+inline void SumIntoI64(const Oid* gids, const T* vals, size_t n,
+                       int64_t* acc) {
+  for (size_t i = 0; i < n; ++i) {
+    T v = vals[i];
+    // Nil contributes 0 — a mask multiply, not a branch.
+    acc[gids[i]] += static_cast<int64_t>(v) *
+                    static_cast<int64_t>(!IsNil(v));
+  }
+}
+
+template <typename T>
+inline void SumIntoDbl(const Oid* gids, const T* vals, size_t n, double* acc) {
+  for (size_t i = 0; i < n; ++i) {
+    T v = vals[i];
+    acc[gids[i]] += static_cast<double>(v) * static_cast<double>(!IsNil(v));
+  }
+}
+
+/// Sum + non-nil count in one pass (the AVG accumulator).
+template <typename T>
+inline void AvgInto(const Oid* gids, const T* vals, size_t n, double* acc,
+                    int64_t* cnt) {
+  for (size_t i = 0; i < n; ++i) {
+    T v = vals[i];
+    bool live = !IsNil(v);
+    acc[gids[i]] += static_cast<double>(v) * static_cast<double>(live);
+    cnt[gids[i]] += static_cast<int64_t>(live);
+  }
+}
+
+template <typename T>
+inline void MinMaxInto(const Oid* gids, const T* vals, size_t n, bool is_min,
+                       T* acc) {
+  if (is_min) {
+    for (size_t i = 0; i < n; ++i) {
+      T v = vals[i];
+      if (IsNil(v)) continue;
+      T& slot = acc[gids[i]];
+      if (IsNil(slot) || v < slot) slot = v;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      T v = vals[i];
+      if (IsNil(v)) continue;
+      T& slot = acc[gids[i]];
+      if (IsNil(slot) || slot < v) slot = v;
+    }
+  }
+}
+
+}  // namespace recycledb::engine::vec
+
+#endif  // RECYCLEDB_ENGINE_VEC_GROUPAGG_H_

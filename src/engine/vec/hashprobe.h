@@ -1,0 +1,113 @@
+#ifndef RECYCLEDB_ENGINE_VEC_HASHPROBE_H_
+#define RECYCLEDB_ENGINE_VEC_HASHPROBE_H_
+
+#include <cstdint>
+
+#include "bat/hash_index.h"
+#include "bat/types.h"
+
+namespace recycledb::engine::vec {
+
+/// Batched hash-join probe: keys are processed in fixed-size batches — the
+/// whole batch is hashed first (with the bucket heads prefetched), then the
+/// chains are walked. The nil check happens once per key outside the chain
+/// walk, and the hash computation is lifted out of the match loop entirely.
+///
+/// `emit(i, pos)` fires for key index i (ascending) and every matching
+/// build position, in exactly HashIndexT::ForEachMatch's chain order, so a
+/// probe-loop rewrite on top of this is byte-identical to the scalar one.
+inline constexpr size_t kProbeBatch = 256;
+
+template <typename T, typename Emit>
+inline void BatchProbe(const HashIndexT<T>& index, const T* keys, size_t n,
+                       Emit&& emit) {
+  size_t buckets[kProbeBatch];
+  for (size_t b0 = 0; b0 < n; b0 += kProbeBatch) {
+    size_t m = n - b0 < kProbeBatch ? n - b0 : kProbeBatch;
+    for (size_t j = 0; j < m; ++j) {
+      buckets[j] = index.BucketOf(keys[b0 + j]);
+      index.PrefetchBucket(buckets[j]);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const T& v = keys[b0 + j];
+      if (IsNil(v)) continue;
+      for (uint32_t p = index.Head(buckets[j]); p != 0; p = index.Next(p - 1)) {
+        if (index.ValueAt(p - 1) == v) emit(b0 + j, p - 1);
+      }
+    }
+  }
+}
+
+/// Branch-free probe for a UNIQUE build side (the inner's column carries the
+/// `key` property, so every probe matches at most once — the same property
+/// the engine already trusts to skip duplicate handling). Per key: compute
+/// the bucket, conditionally-moved chain head, compare, then an
+/// unconditional store into sel/pos with the output cursor advanced by the
+/// match bit — the classic selection-vector compaction, no data-dependent
+/// branches on the hot path. Hash collisions (first chain entry mismatches
+/// but the chain continues) fall back to the ordinary walk; with a
+/// power-of-two table at load factor <= 0.5 that branch is almost never
+/// taken, so it stays perfectly predicted.
+///
+/// Nil probe keys can never match: nils are never inserted into the index,
+/// so the value compare rejects them without a dedicated check. The index
+/// must be non-empty (callers guard rn == 0). sel/pos must have room for n
+/// entries; returns the match count. Emission order is ascending key index,
+/// identical to ForEachMatch over a unique build side.
+template <typename T>
+inline size_t BatchProbeUnique(const HashIndexT<T>& index, const T* keys,
+                               size_t n, uint32_t* sel, uint32_t* pos) {
+  size_t o = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const T& v = keys[i];
+    uint32_t p = index.Head(index.BucketOf(v));
+    uint32_t q = p != 0 ? p - 1 : 0;
+    bool match = (p != 0) & (index.ValueAt(q) == v);
+    if (__builtin_expect((p != 0) & !match, 0)) {
+      for (uint32_t c = index.Next(q); c != 0; c = index.Next(c - 1)) {
+        if (index.ValueAt(c - 1) == v) {
+          q = c - 1;
+          match = true;
+          break;
+        }
+      }
+    }
+    sel[o] = static_cast<uint32_t>(i);
+    pos[o] = q;
+    o += match;
+  }
+  return o;
+}
+
+/// Batched membership probe for semijoins: sets `hit[i]` to 1 iff keys[i]
+/// is non-nil and present in the index.
+template <typename T>
+inline void BatchContains(const HashIndexT<T>& index, const T* keys, size_t n,
+                          uint8_t* hit) {
+  size_t buckets[kProbeBatch];
+  for (size_t b0 = 0; b0 < n; b0 += kProbeBatch) {
+    size_t m = n - b0 < kProbeBatch ? n - b0 : kProbeBatch;
+    for (size_t j = 0; j < m; ++j) {
+      buckets[j] = index.BucketOf(keys[b0 + j]);
+      index.PrefetchBucket(buckets[j]);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const T& v = keys[b0 + j];
+      uint8_t found = 0;
+      if (!IsNil(v)) {
+        for (uint32_t p = index.Head(buckets[j]); p != 0;
+             p = index.Next(p - 1)) {
+          if (index.ValueAt(p - 1) == v) {
+            found = 1;
+            break;
+          }
+        }
+      }
+      hit[b0 + j] = found;
+    }
+  }
+}
+
+}  // namespace recycledb::engine::vec
+
+#endif  // RECYCLEDB_ENGINE_VEC_HASHPROBE_H_

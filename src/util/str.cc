@@ -46,4 +46,46 @@ bool LikeMatch(const std::string& value, const std::string& pattern) {
   return p == pattern.size();
 }
 
+LikePattern::LikePattern(std::string pattern) : pattern_(std::move(pattern)) {
+  size_t first = pattern_.find_first_not_of('%');
+  if (first == std::string::npos) {
+    // Only '%' runs (including the empty pattern matching only "").
+    shape_ = pattern_.empty() ? Shape::kExact : Shape::kAny;
+    return;
+  }
+  size_t last = pattern_.find_last_not_of('%');
+  std::string core = pattern_.substr(first, last - first + 1);
+  if (core.find('%') != std::string::npos ||
+      core.find('_') != std::string::npos) {
+    shape_ = Shape::kGeneral;
+    return;
+  }
+  bool lead = first > 0;                      // pattern starts with '%'
+  bool trail = last + 1 < pattern_.size();    // pattern ends with '%'
+  literal_ = std::move(core);
+  shape_ = lead ? (trail ? Shape::kContains : Shape::kSuffix)
+                : (trail ? Shape::kPrefix : Shape::kExact);
+}
+
+bool LikePattern::Match(const std::string& value) const {
+  switch (shape_) {
+    case Shape::kAny:
+      return true;
+    case Shape::kExact:
+      return value == literal_;
+    case Shape::kPrefix:
+      return value.size() >= literal_.size() &&
+             value.compare(0, literal_.size(), literal_) == 0;
+    case Shape::kSuffix:
+      return value.size() >= literal_.size() &&
+             value.compare(value.size() - literal_.size(), literal_.size(),
+                           literal_) == 0;
+    case Shape::kContains:
+      return value.find(literal_) != std::string::npos;
+    case Shape::kGeneral:
+      return LikeMatch(value, pattern_);
+  }
+  return false;
+}
+
 }  // namespace recycledb
